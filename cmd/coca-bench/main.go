@@ -1,0 +1,67 @@
+// Command coca-bench regenerates the paper's tables and figures on the
+// simulated substrate and prints them in paper-style layout.
+//
+// Usage:
+//
+//	coca-bench -list
+//	coca-bench -exp table2
+//	coca-bench -exp all -scale 0.5 -csv
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"time"
+
+	"coca/internal/experiments"
+)
+
+func main() {
+	var (
+		exp   = flag.String("exp", "", "experiment id (fig1a..fig10b, table1..table3) or \"all\"")
+		scale = flag.Float64("scale", 1.0, "run-length scale (1.0 = full experiment)")
+		seed  = flag.Uint64("seed", 1, "workload seed")
+		csv   = flag.Bool("csv", false, "emit CSV instead of aligned text")
+		list  = flag.Bool("list", false, "list experiments and exit")
+	)
+	flag.Parse()
+
+	if *list || *exp == "" {
+		fmt.Println("available experiments:")
+		for _, e := range experiments.Registry() {
+			fmt.Printf("  %-8s %s\n           shape: %s\n", e.ID, e.Title, e.Shape)
+		}
+		if *exp == "" && !*list {
+			os.Exit(2)
+		}
+		return
+	}
+
+	var targets []experiments.Experiment
+	if *exp == "all" {
+		targets = experiments.Registry()
+	} else {
+		e, err := experiments.ByID(*exp)
+		if err != nil {
+			log.Fatal(err)
+		}
+		targets = []experiments.Experiment{e}
+	}
+
+	opts := experiments.Options{Scale: *scale, Seed: *seed}
+	for _, e := range targets {
+		start := time.Now()
+		res, err := e.Run(opts)
+		if err != nil {
+			log.Fatalf("%s: %v", e.ID, err)
+		}
+		if *csv {
+			fmt.Print(res.Table.CSV())
+		} else {
+			fmt.Print(res.Table.String())
+		}
+		fmt.Fprintf(os.Stderr, "# %s completed in %.1fs\n\n", e.ID, time.Since(start).Seconds())
+	}
+}

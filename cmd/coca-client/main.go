@@ -1,0 +1,106 @@
+// Command coca-client runs a CoCa edge client over TCP: it connects to a
+// coca-server, registers, and drives a synthetic sample stream through
+// cached inference for the requested number of rounds, printing the
+// latency/accuracy summary.
+//
+// The model, dataset and class-count flags must match the server's.
+//
+// Usage:
+//
+//	coca-client -addr localhost:7070 -model ResNet101 -dataset UCF101 \
+//	    -classes 50 -id 0 -rounds 5 -budget 300
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+
+	"coca/internal/core"
+	"coca/internal/dataset"
+	"coca/internal/metrics"
+	"coca/internal/model"
+	"coca/internal/protocol"
+	"coca/internal/semantics"
+	"coca/internal/stream"
+	"coca/internal/transport"
+)
+
+func main() {
+	var (
+		addr    = flag.String("addr", "localhost:7070", "server address")
+		modelN  = flag.String("model", "ResNet101", "model preset")
+		dataN   = flag.String("dataset", "UCF101", "dataset preset")
+		classes = flag.Int("classes", 0, "dataset subset size (0 = all)")
+		id      = flag.Int("id", 0, "client id")
+		theta   = flag.Float64("theta", 0.012, "hit threshold Θ")
+		budget  = flag.Int("budget", 300, "cache budget Π in entries")
+		rounds  = flag.Int("rounds", 5, "rounds to run")
+		frames  = flag.Int("frames", core.DefaultRoundFrames, "frames per round F")
+		bias    = flag.Float64("bias", 0.05, "client feature-bias weight")
+		seed    = flag.Uint64("seed", 7, "workload seed")
+	)
+	flag.Parse()
+
+	arch, err := model.ByName(*modelN)
+	if err != nil {
+		log.Fatal(err)
+	}
+	ds, err := dataset.ByName(*dataN)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if *classes > 0 {
+		ds = ds.Subset(*classes)
+	}
+	space := semantics.NewSpace(ds, arch)
+
+	conn, err := transport.Dial(*addr)
+	if err != nil {
+		log.Fatal(err)
+	}
+	coord := protocol.NewCoordinatorClient(conn, ds.NumClasses, arch.NumLayers)
+	defer coord.Close()
+
+	client, err := core.NewClient(space, coord, core.ClientConfig{
+		ID: *id, Theta: *theta, Budget: *budget, RoundFrames: *frames,
+		EnvBiasWeight: *bias, EnvSeed: uint64(*id) + 1,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	part, err := stream.NewPartition(stream.Config{
+		Dataset: ds, NumClients: *id + 1, SceneMeanFrames: 25,
+		WorkingSetSize: 15, WorkingSetChurn: 0.05, Seed: *seed,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	gen := part.Client(*id)
+
+	var acc metrics.Accumulator
+	for round := 0; round < *rounds; round++ {
+		if err := client.BeginRound(); err != nil {
+			log.Fatalf("round %d begin: %v", round, err)
+		}
+		for f := 0; f < *frames; f++ {
+			smp := gen.Next()
+			res := client.Infer(smp)
+			acc.Record(metrics.Obs{
+				LatencyMs: res.LatencyMs, LookupMs: res.LookupMs,
+				Correct: res.Pred == smp.Class, Hit: res.Hit, HitLayer: res.HitLayer,
+			})
+		}
+		if err := client.EndRound(); err != nil {
+			log.Fatalf("round %d end: %v", round, err)
+		}
+		s := acc.Summary()
+		fmt.Printf("round %d: avg %.2f ms, accuracy %.2f%%, hit ratio %.1f%%\n",
+			round, s.AvgLatencyMs, 100*s.Accuracy, 100*s.HitRatio)
+	}
+	s := acc.Summary()
+	fmt.Printf("\nclient %d done: frames=%d avg=%.2fms p95=%.2fms acc=%.2f%% hit=%.1f%% hitAcc=%.2f%% (edge-only %.2fms)\n",
+		*id, s.Frames, s.AvgLatencyMs, s.P95LatencyMs, 100*s.Accuracy,
+		100*s.HitRatio, 100*s.HitAccuracy, arch.TotalLatencyMs())
+}

@@ -1,0 +1,75 @@
+// Command coca-server runs a CoCa edge server over TCP: it builds the
+// simulated model/dataset universe, initializes the global cache table from
+// the shared dataset, and serves cache allocation and global-update
+// requests from coca-client processes.
+//
+// Usage:
+//
+//	coca-server -addr :7070 -model ResNet101 -dataset UCF101 -classes 50 -theta 0.012
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+
+	"coca/internal/core"
+	"coca/internal/dataset"
+	"coca/internal/model"
+	"coca/internal/protocol"
+	"coca/internal/semantics"
+	"coca/internal/transport"
+)
+
+func main() {
+	var (
+		addr    = flag.String("addr", ":7070", "listen address")
+		modelN  = flag.String("model", "ResNet101", "model preset (VGG16_BN, ResNet50, ResNet101, ResNet152, AST)")
+		dataN   = flag.String("dataset", "UCF101", "dataset preset (ImageNet-100, UCF101, ESC-50)")
+		classes = flag.Int("classes", 0, "restrict the dataset to its first N classes (0 = all)")
+		theta   = flag.Float64("theta", 0.012, "hit threshold Θ used for layer profiling")
+		gamma   = flag.Float64("gamma", 0.99, "global merge decay γ (Eq. 4)")
+		seed    = flag.Uint64("seed", 1, "shared-dataset seed")
+	)
+	flag.Parse()
+
+	arch, err := model.ByName(*modelN)
+	if err != nil {
+		log.Fatal(err)
+	}
+	ds, err := dataset.ByName(*dataN)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if *classes > 0 {
+		ds = ds.Subset(*classes)
+	}
+	fmt.Fprintf(os.Stderr, "coca-server: building %s × %s universe...\n", arch.Name, ds.Name)
+	space := semantics.NewSpace(ds, arch)
+	srv := core.NewServer(space, core.ServerConfig{Theta: *theta, Gamma: *gamma, Seed: *seed})
+
+	l, err := transport.Listen(*addr)
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer l.Close()
+	fmt.Fprintf(os.Stderr, "coca-server: %s × %s (%d classes, %d cache sites) listening on %s\n",
+		arch.Name, ds.Name, ds.NumClasses, arch.NumLayers, l.Addr())
+
+	for {
+		conn, err := l.Accept()
+		if err != nil {
+			log.Printf("accept: %v", err)
+			return
+		}
+		go func() {
+			if err := protocol.ServeConn(conn, srv); err != nil {
+				log.Printf("session: %v", err)
+			}
+			_ = conn.Close()
+			allocs, merges := srv.Stats()
+			fmt.Fprintf(os.Stderr, "coca-server: session done (total allocations %d, merges %d)\n", allocs, merges)
+		}()
+	}
+}

@@ -1,0 +1,273 @@
+// Package coca is a Go implementation of CoCa, the multi-client
+// collaborative caching framework for accelerating edge inference from
+// "Many Hands Make Light Work: Accelerating Edge Inference via Multi-Client
+// Collaborative Caching" (ICDE 2025).
+//
+// CoCa inserts semantic cache layers between the blocks of a DNN. Each
+// cache entry is the semantic center of a class at a layer; inference
+// performs sequential lookups at the activated layers, accumulates cosine
+// similarity across layers, and exits early when the top class clearly
+// separates from the runner-up. An edge server maintains a global
+// classes × layers cache table aggregated from all clients and allocates
+// each client a personalized sub-table with the Adaptive Cache Allocation
+// heuristic (hot-spot classes by frequency × recency, layers by expected
+// latency reduction).
+//
+// Because this module is a faithful reproduction on a simulated substrate
+// (no GPU or video data), models and datasets are synthetic universes that
+// preserve the properties caching interacts with: per-layer semantic
+// vectors with depth-dependent discriminability, class confusion structure,
+// temporal locality, non-IID client distributions and long-tail class
+// popularity. See DESIGN.md for the substitution map.
+//
+// Quick start:
+//
+//	sys, err := coca.NewSystem(coca.Options{
+//		Model: "ResNet101", Dataset: "UCF101", Classes: 50,
+//		NumClients: 4, Rounds: 6,
+//	})
+//	if err != nil { ... }
+//	report, err := sys.Run()
+//	fmt.Printf("%.1f%% latency reduction at %.2f%% accuracy\n",
+//		100*report.LatencyReduction(), 100*report.Accuracy)
+package coca
+
+import (
+	"fmt"
+
+	"coca/internal/core"
+	"coca/internal/dataset"
+	"coca/internal/model"
+	"coca/internal/semantics"
+	"coca/internal/stream"
+	"coca/internal/xrand"
+)
+
+// Options configures a CoCa deployment. The zero value of every field
+// selects the paper's default.
+type Options struct {
+	// Model is the architecture preset: "VGG16_BN", "ResNet50",
+	// "ResNet101" (default), "ResNet152" or "AST".
+	Model string
+	// Dataset is the dataset preset: "ImageNet-100", "UCF101" (default)
+	// or "ESC-50".
+	Dataset string
+	// Classes restricts the dataset to its first n classes (0 = all).
+	Classes int
+
+	// NumClients is the fleet size (default 4).
+	NumClients int
+	// Rounds to run and WarmupRounds to exclude from metrics.
+	Rounds, WarmupRounds int
+
+	// Theta is the cache-hit threshold Θ (0 picks the model's
+	// recommended <3%-loss operating point).
+	Theta float64
+	// Budget is each client's cache size Π in entries (default 300).
+	Budget int
+	// RoundFrames is F, frames per round (default 300).
+	RoundFrames int
+	// GammaCollect (Γ) and DeltaCollect (Δ) gate update collection
+	// (defaults per the library calibration).
+	GammaCollect, DeltaCollect float64
+
+	// NonIIDLevel is the paper's p = 1/ε knob (0 = IID).
+	NonIIDLevel float64
+	// LongTailRho sets long-tail class popularity with imbalance ratio
+	// ρ (0 or 1 = uniform).
+	LongTailRho float64
+	// SceneMeanFrames, WorkingSetSize and WorkingSetChurn shape temporal
+	// locality (defaults 25 / 15 / 0.05).
+	SceneMeanFrames float64
+	WorkingSetSize  int
+	WorkingSetChurn float64
+
+	// ClientBias adds per-client feature shift (default 0.05).
+	ClientBias float64
+	// DriftWeight and DriftPerRound enable gradual semantic drift.
+	DriftWeight, DriftPerRound float64
+
+	// Seed roots all randomness (default 1).
+	Seed uint64
+}
+
+func (o Options) withDefaults() Options {
+	if o.Model == "" {
+		o.Model = "ResNet101"
+	}
+	if o.Dataset == "" {
+		o.Dataset = "UCF101"
+	}
+	if o.NumClients == 0 {
+		o.NumClients = 4
+	}
+	if o.Rounds == 0 {
+		o.Rounds = 6
+	}
+	if o.Budget == 0 {
+		o.Budget = 300
+	}
+	if o.RoundFrames == 0 {
+		o.RoundFrames = core.DefaultRoundFrames
+	}
+	if o.SceneMeanFrames == 0 {
+		o.SceneMeanFrames = 25
+	}
+	if o.WorkingSetSize == 0 {
+		o.WorkingSetSize = 15
+	}
+	if o.WorkingSetChurn == 0 {
+		o.WorkingSetChurn = 0.05
+	}
+	if o.ClientBias == 0 {
+		o.ClientBias = 0.05
+	}
+	if o.Seed == 0 {
+		o.Seed = 1
+	}
+	return o
+}
+
+// resolve builds the simulation universe behind the options.
+func (o Options) resolve() (*semantics.Space, stream.Config, error) {
+	arch, err := model.ByName(o.Model)
+	if err != nil {
+		return nil, stream.Config{}, err
+	}
+	ds, err := dataset.ByName(o.Dataset)
+	if err != nil {
+		return nil, stream.Config{}, err
+	}
+	if o.Classes > 0 {
+		ds = ds.Subset(o.Classes)
+	}
+	space := semantics.NewSpace(ds, arch)
+	scfg := stream.Config{
+		Dataset:         ds,
+		NumClients:      o.NumClients,
+		NonIIDLevel:     o.NonIIDLevel,
+		SceneMeanFrames: o.SceneMeanFrames,
+		WorkingSetSize:  o.WorkingSetSize,
+		WorkingSetChurn: o.WorkingSetChurn,
+		Seed:            o.Seed,
+	}
+	if o.LongTailRho > 1 {
+		scfg.ClassWeights = xrand.LongTailWeights(ds.NumClasses, o.LongTailRho)
+	}
+	return space, scfg, nil
+}
+
+// theta picks the configured or recommended threshold.
+func (o Options) theta(arch *model.Arch) float64 {
+	if o.Theta != 0 {
+		return o.Theta
+	}
+	switch arch.Name {
+	case "VGG16_BN":
+		return 0.035
+	case "AST":
+		return 0.022
+	default:
+		return 0.012
+	}
+}
+
+// System is an in-process CoCa deployment: one edge server plus a fleet of
+// clients over a shared synthetic workload.
+type System struct {
+	opts    Options
+	cluster *core.Cluster
+}
+
+// NewSystem builds a deployment.
+func NewSystem(opts Options) (*System, error) {
+	opts = opts.withDefaults()
+	space, scfg, err := opts.resolve()
+	if err != nil {
+		return nil, err
+	}
+	theta := opts.theta(space.Arch)
+	cluster, err := core.NewCluster(space, core.ClusterConfig{
+		NumClients: opts.NumClients,
+		Client: core.ClientConfig{
+			Theta:         theta,
+			Budget:        opts.Budget,
+			RoundFrames:   opts.RoundFrames,
+			GammaCollect:  opts.GammaCollect,
+			DeltaCollect:  opts.DeltaCollect,
+			EnvBiasWeight: opts.ClientBias,
+			DriftWeight:   opts.DriftWeight,
+			DriftPerRound: opts.DriftPerRound,
+		},
+		Server: core.ServerConfig{Theta: theta, Seed: opts.Seed},
+		Stream: scfg,
+		Rounds: opts.Rounds, SkipRounds: opts.WarmupRounds,
+	})
+	if err != nil {
+		return nil, err
+	}
+	return &System{opts: opts, cluster: cluster}, nil
+}
+
+// Report summarizes a run.
+type Report struct {
+	// Frames measured (after warm-up).
+	Frames int
+	// AvgLatencyMs / P95LatencyMs of cached inference.
+	AvgLatencyMs, P95LatencyMs float64
+	// EdgeOnlyLatencyMs is the uncached forward-pass latency.
+	EdgeOnlyLatencyMs float64
+	// Accuracy, HitRatio and HitAccuracy over measured frames.
+	Accuracy, HitRatio, HitAccuracy float64
+	// PerClient holds each client's average latency and accuracy.
+	PerClient []ClientReport
+}
+
+// ClientReport is one client's slice of the run.
+type ClientReport struct {
+	ID           int
+	AvgLatencyMs float64
+	Accuracy     float64
+	HitRatio     float64
+}
+
+// LatencyReduction returns the fractional latency saving versus edge-only
+// inference.
+func (r Report) LatencyReduction() float64 {
+	if r.EdgeOnlyLatencyMs == 0 {
+		return 0
+	}
+	return 1 - r.AvgLatencyMs/r.EdgeOnlyLatencyMs
+}
+
+// String renders a one-line summary.
+func (r Report) String() string {
+	return fmt.Sprintf("frames=%d latency=%.2fms (edge-only %.2fms, −%.1f%%) accuracy=%.2f%% hits=%.1f%% (hit accuracy %.2f%%)",
+		r.Frames, r.AvgLatencyMs, r.EdgeOnlyLatencyMs, 100*r.LatencyReduction(),
+		100*r.Accuracy, 100*r.HitRatio, 100*r.HitAccuracy)
+}
+
+// Run executes the configured rounds and reports combined metrics.
+func (s *System) Run() (Report, error) {
+	per, combined, err := s.cluster.Run()
+	if err != nil {
+		return Report{}, err
+	}
+	sum := combined.Summary()
+	rep := Report{
+		Frames:            sum.Frames,
+		AvgLatencyMs:      sum.AvgLatencyMs,
+		P95LatencyMs:      sum.P95LatencyMs,
+		EdgeOnlyLatencyMs: s.cluster.Space.Arch.TotalLatencyMs(),
+		Accuracy:          sum.Accuracy,
+		HitRatio:          sum.HitRatio,
+		HitAccuracy:       sum.HitAccuracy,
+	}
+	for k, acc := range per {
+		cs := acc.Summary()
+		rep.PerClient = append(rep.PerClient, ClientReport{
+			ID: k, AvgLatencyMs: cs.AvgLatencyMs, Accuracy: cs.Accuracy, HitRatio: cs.HitRatio,
+		})
+	}
+	return rep, nil
+}

@@ -1,0 +1,46 @@
+// Smart-city surveillance: twelve non-IID cameras (intersections, parks,
+// transit stops each see very different class mixes) sharing one edge
+// server. The cross-client global cache is what makes the skewed cameras
+// benefit from each other — the motivating scenario of the paper's
+// introduction.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"coca"
+)
+
+func main() {
+	fmt.Println("smart-city surveillance: 12 heterogeneous cameras, ResNet101, UCF101-100")
+
+	for _, p := range []float64{0, 2, 10} {
+		sys, err := coca.NewSystem(coca.Options{
+			Model:   "ResNet101",
+			Dataset: "UCF101",
+			Classes: 100,
+
+			NumClients:   12,
+			Rounds:       6,
+			WarmupRounds: 1,
+
+			NonIIDLevel: p,
+			LongTailRho: 30,
+
+			// Cameras differ in optics and mounting: per-client bias.
+			ClientBias: 0.05,
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+		report, err := sys.Run()
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("non-IID p=%-2.0f  %.2f ms (−%.1f%%)  accuracy %.2f%%  hits %.1f%%\n",
+			p, report.AvgLatencyMs, 100*report.LatencyReduction(),
+			100*report.Accuracy, 100*report.HitRatio)
+	}
+	fmt.Println("more heterogeneous fleets concentrate each camera's classes — caching gets better, not worse")
+}

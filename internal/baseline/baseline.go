@@ -1,0 +1,36 @@
+// Package baseline implements the comparison systems of the paper's
+// evaluation (§VI-B): Edge-Only, LearnedCache, FoggyCache and SMTM, plus
+// the policy-managed semantic cache used by the Fig. 8 replacement-policy
+// comparison. All engines satisfy engine.Engine and run against the same
+// simulated substrate as CoCa.
+package baseline
+
+import (
+	"coca/internal/dataset"
+	"coca/internal/engine"
+	"coca/internal/semantics"
+)
+
+// EdgeOnly runs the full model on every frame — the paper's reference
+// configuration that every acceleration method is measured against.
+type EdgeOnly struct {
+	space *semantics.Space
+	env   *semantics.Env
+}
+
+// NewEdgeOnly builds the baseline for one client. env may be nil.
+func NewEdgeOnly(space *semantics.Space, env *semantics.Env) *EdgeOnly {
+	return &EdgeOnly{space: space, env: env}
+}
+
+// Infer implements engine.Engine.
+func (e *EdgeOnly) Infer(smp dataset.Sample) engine.Result {
+	pred := e.space.Predict(smp, e.env)
+	return engine.Result{
+		Pred:      pred.Class,
+		LatencyMs: e.space.Arch.TotalLatencyMs(),
+		HitLayer:  -1,
+	}
+}
+
+var _ engine.Engine = (*EdgeOnly)(nil)

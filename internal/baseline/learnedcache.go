@@ -1,0 +1,138 @@
+package baseline
+
+import (
+	"fmt"
+
+	"coca/internal/dataset"
+	"coca/internal/engine"
+	"coca/internal/semantics"
+	"coca/internal/vecmath"
+)
+
+// LearnedCacheConfig parametrizes the LearnedCache baseline
+// (Balasubramanian et al., 2021): multiple intermediate exits, each with a
+// small learned model that predicts whether the sample can exit early, kept
+// fresh by frequent retraining whose cost degrades QoS (§II, §VI-B).
+type LearnedCacheConfig struct {
+	// NumExits is the number of intermediate exits, evenly spaced.
+	NumExits int
+	// ExitMargin is the per-exit confidence requirement: the top-2
+	// cosine-margin the exit classifier needs before terminating. Zero
+	// picks a per-architecture default tied to the class-separation
+	// scale.
+	ExitMargin float64
+	// RetrainEveryFrames and RetrainCostMs model the periodic retraining
+	// of exit models; the cost is amortized over the interval's frames.
+	RetrainEveryFrames int
+	RetrainCostMs      float64
+}
+
+func (c LearnedCacheConfig) withDefaults(space *semantics.Space) LearnedCacheConfig {
+	if c.NumExits == 0 {
+		c.NumExits = 4
+	}
+	if c.ExitMargin == 0 {
+		// Require a clear within-group separation at the exit.
+		c.ExitMargin = 0.9 * (1 - space.Arch.RhoSame)
+	}
+	if c.RetrainEveryFrames == 0 {
+		c.RetrainEveryFrames = 300
+	}
+	if c.RetrainCostMs == 0 {
+		// One retraining pass costs several full forward passes,
+		// amortized across the interval.
+		c.RetrainCostMs = 8 * space.Arch.TotalLatencyMs()
+	}
+	return c
+}
+
+// LearnedCache is the multi-exit baseline for one client.
+type LearnedCache struct {
+	cfg   LearnedCacheConfig
+	space *semantics.Space
+	env   *semantics.Env
+	exits []int
+	// amortized retraining cost added to every frame.
+	retrainPerFrameMs float64
+}
+
+// NewLearnedCache builds the baseline. env may be nil.
+func NewLearnedCache(space *semantics.Space, env *semantics.Env, cfg LearnedCacheConfig) (*LearnedCache, error) {
+	cfg = cfg.withDefaults(space)
+	L := space.Arch.NumLayers
+	if cfg.NumExits < 1 || cfg.NumExits > L {
+		return nil, fmt.Errorf("baseline: LearnedCache exits %d outside [1,%d]", cfg.NumExits, L)
+	}
+	lc := &LearnedCache{
+		cfg:               cfg,
+		space:             space,
+		env:               env,
+		retrainPerFrameMs: cfg.RetrainCostMs / float64(cfg.RetrainEveryFrames),
+	}
+	// Exits evenly spaced over the depth, biased away from layer 0 where
+	// no learned exit model is useful.
+	for e := 1; e <= cfg.NumExits; e++ {
+		site := e * L / (cfg.NumExits + 1)
+		lc.exits = append(lc.exits, site)
+	}
+	return lc, nil
+}
+
+// Exits returns the exit sites (diagnostics).
+func (lc *LearnedCache) Exits() []int { return append([]int(nil), lc.exits...) }
+
+// Infer implements engine.Engine: run blocks in order, consult the learned
+// exit model at every exit site, and terminate when it is confident.
+func (lc *LearnedCache) Infer(smp dataset.Sample) engine.Result {
+	arch := lc.space.Arch
+	ds := lc.space.DS
+	latency := lc.retrainPerFrameMs
+	var lookupMs float64
+	exitIdx := 0
+	for j := 0; j <= arch.NumLayers; j++ {
+		latency += arch.BlockLatencyMs[j]
+		if j == arch.NumLayers {
+			break
+		}
+		if exitIdx >= len(lc.exits) || lc.exits[exitIdx] != j {
+			continue
+		}
+		exitIdx++
+		// The exit model scores the intermediate feature against every
+		// class; its cost is that of a full-width cache layer.
+		cost := arch.LookupCostMs(ds.NumClasses)
+		latency += cost
+		lookupMs += cost
+		vec := lc.space.SampleVector(smp, j, lc.env)
+		best, second := -2.0, -2.0
+		bestClass := -1
+		for c := 0; c < ds.NumClasses; c++ {
+			s := float64(vecmath.Dot(vec, lc.space.Prototype(c, j)))
+			switch {
+			case s > best:
+				second = best
+				best, bestClass = s, c
+			case s > second:
+				second = s
+			}
+		}
+		if best-second > lc.cfg.ExitMargin {
+			return engine.Result{
+				Pred:      bestClass,
+				LatencyMs: latency,
+				LookupMs:  lookupMs,
+				Hit:       true,
+				HitLayer:  j,
+			}
+		}
+	}
+	pred := lc.space.Predict(smp, lc.env)
+	return engine.Result{
+		Pred:      pred.Class,
+		LatencyMs: latency,
+		LookupMs:  lookupMs,
+		HitLayer:  -1,
+	}
+}
+
+var _ engine.Engine = (*LearnedCache)(nil)

@@ -1,0 +1,225 @@
+// Package cache implements the client-side class-based semantic cache of
+// SMTM/CoCa (paper §II-3).
+//
+// A local cache holds, for each *activated* cache layer, one unit semantic
+// entry per hot-spot class. During inference the model probes activated
+// layers in depth order: at layer j it computes the cosine similarity
+// C(i,j) between the sample's semantic vector and every entry i, folds it
+// into the cross-layer accumulated similarity
+//
+//	A(i,j) = C(i,j) + α·A(i,j-1)            (Eq. 1)
+//
+// and hits when the discriminative score between the two highest
+// accumulated classes a, b
+//
+//	D(j) = (A(a,j) − A(b,j)) / A(b,j)       (Eq. 2)
+//
+// exceeds the threshold Θ, returning class a and terminating inference.
+package cache
+
+import (
+	"fmt"
+	"sort"
+
+	"coca/internal/vecmath"
+)
+
+// DefaultAlpha is the paper's default cross-layer decay coefficient.
+const DefaultAlpha = 0.5
+
+// Config are the lookup parameters.
+type Config struct {
+	// Alpha is the Eq. 1 decay coefficient for previous layers' scores.
+	Alpha float64
+	// Theta is the Eq. 2 hit threshold.
+	Theta float64
+}
+
+// Validate reports whether the configuration is usable.
+func (c Config) Validate() error {
+	if c.Alpha < 0 || c.Alpha > 1 {
+		return fmt.Errorf("cache: Alpha %v outside [0,1]", c.Alpha)
+	}
+	if c.Theta < 0 {
+		return fmt.Errorf("cache: Theta %v < 0", c.Theta)
+	}
+	return nil
+}
+
+// Layer is the cache content at one activated cache site.
+type Layer struct {
+	// Site is the cache-layer index in the model (column of the global
+	// table).
+	Site int
+	// Classes[i] is the class of entry i (row ids).
+	Classes []int
+	// Entries[i] is the unit semantic vector cached for Classes[i].
+	Entries [][]float32
+}
+
+// Len returns the number of entries at this layer.
+func (l *Layer) Len() int { return len(l.Classes) }
+
+// Local is a client's allocated cache: a sparse sub-table of the global
+// cache, stored as activated layers in ascending site order.
+type Local struct {
+	layers []Layer
+}
+
+// NewLocal assembles a local cache from layers, sorting them by site and
+// rejecting duplicates or ragged entry sets.
+func NewLocal(layers []Layer) (*Local, error) {
+	ls := make([]Layer, len(layers))
+	copy(ls, layers)
+	sort.Slice(ls, func(i, j int) bool { return ls[i].Site < ls[j].Site })
+	for i := range ls {
+		if len(ls[i].Classes) != len(ls[i].Entries) {
+			return nil, fmt.Errorf("cache: layer site %d has %d classes but %d entries",
+				ls[i].Site, len(ls[i].Classes), len(ls[i].Entries))
+		}
+		if i > 0 && ls[i].Site == ls[i-1].Site {
+			return nil, fmt.Errorf("cache: duplicate layer site %d", ls[i].Site)
+		}
+	}
+	return &Local{layers: ls}, nil
+}
+
+// Empty returns an allocated cache with no layers (all lookups skip).
+func Empty() *Local { return &Local{} }
+
+// Layers returns the activated layers in ascending site order. The slice
+// is shared; callers must not mutate it.
+func (c *Local) Layers() []Layer { return c.layers }
+
+// LayerAt returns the layer at the given model site, or nil if that site
+// is not activated.
+func (c *Local) LayerAt(site int) *Layer {
+	for i := range c.layers {
+		if c.layers[i].Site == site {
+			return &c.layers[i]
+		}
+		if c.layers[i].Site > site {
+			break
+		}
+	}
+	return nil
+}
+
+// NumEntries returns the total entry count across all layers — the cache
+// size in entry units (all entries share one dimensionality, so the
+// paper's per-entry sizes m(i,j) are uniform here).
+func (c *Local) NumEntries() int {
+	n := 0
+	for i := range c.layers {
+		n += c.layers[i].Len()
+	}
+	return n
+}
+
+// Sites returns the activated site indices in ascending order.
+func (c *Local) Sites() []int {
+	out := make([]int, len(c.layers))
+	for i := range c.layers {
+		out[i] = c.layers[i].Site
+	}
+	return out
+}
+
+// Result is the outcome of probing one cache layer.
+type Result struct {
+	// Hit reports whether the discriminative score cleared Theta.
+	Hit bool
+	// Class is the winning class on a hit (undefined otherwise).
+	Class int
+	// Score is the discriminative score D(j) of Eq. 2; 0 when fewer than
+	// two classes have accumulated scores.
+	Score float64
+	// Entries is the number of entries compared (for lookup-cost
+	// accounting).
+	Entries int
+	// LayerClass is the top class by this layer's raw cosines alone
+	// (no accumulation) — the per-site evidence, used to select which
+	// sites' vectors are worth uploading for global updates.
+	LayerClass int
+}
+
+// Lookup carries the cross-layer accumulated similarities of one inference
+// (Eq. 1 state). It must be Reset between samples; it is not safe for
+// concurrent use.
+type Lookup struct {
+	cfg Config
+	acc map[int]float64
+}
+
+// NewLookup returns a lookup context. It panics on invalid configuration:
+// configurations are produced by code, not user input.
+func NewLookup(cfg Config) *Lookup {
+	if err := cfg.Validate(); err != nil {
+		panic(err)
+	}
+	return &Lookup{cfg: cfg, acc: make(map[int]float64)}
+}
+
+// Reset clears accumulated state for a new sample.
+func (l *Lookup) Reset() {
+	clear(l.acc)
+}
+
+// Config returns the lookup parameters.
+func (l *Lookup) Config() Config { return l.cfg }
+
+// Probe runs the Eq. 1 / Eq. 2 update for one activated layer against the
+// sample's semantic vector at that layer.
+func (l *Lookup) Probe(layer *Layer, vec []float32) Result {
+	n := layer.Len()
+	if n == 0 {
+		return Result{LayerClass: -1}
+	}
+	rawBest, rawBestClass := -1e18, -1
+	for i, class := range layer.Classes {
+		c := float64(vecmath.Cosine(vec, layer.Entries[i]))
+		if c > rawBest {
+			rawBest, rawBestClass = c, class
+		}
+		l.acc[class] = c + l.cfg.Alpha*l.acc[class]
+	}
+	res := Result{Entries: n, LayerClass: rawBestClass}
+	if len(l.acc) < 2 {
+		// A single cached class can never clear Eq. 2; report a miss
+		// with zero score.
+		return res
+	}
+	var bestClass, secondClass int
+	best, second := -1e18, -1e18
+	for class, a := range l.acc {
+		switch {
+		case a > best:
+			second, secondClass = best, bestClass
+			best, bestClass = a, class
+		case a > second:
+			second, secondClass = a, class
+		}
+	}
+	_ = secondClass
+	if second <= 0 {
+		// Degenerate accumulations (non-positive runner-up) cannot be
+		// scored by Eq. 2's ratio; treat as a miss.
+		return res
+	}
+	res.Score = (best - second) / second
+	if res.Score > l.cfg.Theta {
+		res.Hit = true
+		res.Class = bestClass
+	}
+	return res
+}
+
+// Accumulated returns a copy of the current per-class accumulated scores
+// (diagnostic; used by tests and the motivation experiments).
+func (l *Lookup) Accumulated() map[int]float64 {
+	out := make(map[int]float64, len(l.acc))
+	for k, v := range l.acc {
+		out[k] = v
+	}
+	return out
+}

@@ -1,0 +1,258 @@
+package cache
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"coca/internal/vecmath"
+	"coca/internal/xrand"
+)
+
+func unit(parts ...uint64) []float32 {
+	v := xrand.NormalVector(xrand.New(parts...), 16)
+	vecmath.Normalize(v)
+	return v
+}
+
+func layerOf(site int, classes []int, entries [][]float32) Layer {
+	return Layer{Site: site, Classes: classes, Entries: entries}
+}
+
+func TestConfigValidate(t *testing.T) {
+	if err := (Config{Alpha: 0.5, Theta: 0.01}).Validate(); err != nil {
+		t.Fatal(err)
+	}
+	for _, bad := range []Config{{Alpha: -0.1, Theta: 0}, {Alpha: 1.5, Theta: 0}, {Alpha: 0.5, Theta: -1}} {
+		if err := bad.Validate(); err == nil {
+			t.Errorf("config %+v should be invalid", bad)
+		}
+	}
+}
+
+func TestNewLocalSortsAndValidates(t *testing.T) {
+	a := unit(1)
+	l, err := NewLocal([]Layer{
+		layerOf(7, []int{0}, [][]float32{a}),
+		layerOf(2, []int{0}, [][]float32{a}),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sites := l.Sites(); sites[0] != 2 || sites[1] != 7 {
+		t.Fatalf("sites = %v, want sorted", sites)
+	}
+	if _, err := NewLocal([]Layer{layerOf(1, []int{0, 1}, [][]float32{a})}); err == nil {
+		t.Fatal("ragged layer must be rejected")
+	}
+	if _, err := NewLocal([]Layer{
+		layerOf(3, []int{0}, [][]float32{a}),
+		layerOf(3, []int{1}, [][]float32{a}),
+	}); err == nil {
+		t.Fatal("duplicate site must be rejected")
+	}
+}
+
+func TestLayerAtAndNumEntries(t *testing.T) {
+	a, b := unit(1), unit(2)
+	l, err := NewLocal([]Layer{
+		layerOf(4, []int{0, 1}, [][]float32{a, b}),
+		layerOf(9, []int{0}, [][]float32{a}),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if l.NumEntries() != 3 {
+		t.Fatalf("NumEntries = %d", l.NumEntries())
+	}
+	if got := l.LayerAt(9); got == nil || got.Len() != 1 {
+		t.Fatalf("LayerAt(9) = %+v", got)
+	}
+	if l.LayerAt(5) != nil {
+		t.Fatal("LayerAt(5) should be nil")
+	}
+	if Empty().NumEntries() != 0 {
+		t.Fatal("Empty cache has entries")
+	}
+}
+
+func TestProbeHitOnClearWinner(t *testing.T) {
+	a, b := unit(10), unit(11)
+	layer := layerOf(0, []int{3, 8}, [][]float32{a, b})
+	lk := NewLookup(Config{Alpha: 0.5, Theta: 0.05})
+	// Probe with a vector close to entry a but with positive cosine to b
+	// as well (Eq. 2 needs a positive runner-up).
+	v := vecmath.WeightedSum(1, a, 0.3, b)
+	vecmath.Normalize(v)
+	res := lk.Probe(&layer, v)
+	if !res.Hit || res.Class != 3 {
+		t.Fatalf("expected hit on class 3, got %+v", res)
+	}
+	if res.Entries != 2 {
+		t.Fatalf("Entries = %d", res.Entries)
+	}
+	if res.Score <= 0.05 {
+		t.Fatalf("score %v should exceed theta", res.Score)
+	}
+}
+
+func TestProbeMissWhenAmbiguous(t *testing.T) {
+	a, b := unit(10), unit(11)
+	layer := layerOf(0, []int{3, 8}, [][]float32{a, b})
+	lk := NewLookup(Config{Alpha: 0.5, Theta: 0.05})
+	// Equidistant vector: discriminative score ~0.
+	v := vecmath.WeightedSum(1, a, 1, b)
+	vecmath.Normalize(v)
+	res := lk.Probe(&layer, v)
+	if res.Hit {
+		t.Fatalf("ambiguous vector must miss, got %+v", res)
+	}
+	if res.Score > 0.05 {
+		t.Fatalf("ambiguous score = %v", res.Score)
+	}
+}
+
+func TestProbeSingleClassNeverHits(t *testing.T) {
+	a := unit(1)
+	layer := layerOf(0, []int{5}, [][]float32{a})
+	lk := NewLookup(Config{Alpha: 0.5, Theta: 0.0})
+	if res := lk.Probe(&layer, a); res.Hit {
+		t.Fatal("single cached class cannot clear Eq. 2")
+	}
+}
+
+func TestProbeEmptyLayer(t *testing.T) {
+	layer := layerOf(0, nil, nil)
+	lk := NewLookup(Config{Alpha: 0.5, Theta: 0.01})
+	res := lk.Probe(&layer, unit(1))
+	if res.Hit || res.Entries != 0 {
+		t.Fatalf("empty layer probe = %+v", res)
+	}
+}
+
+func TestAccumulationAcrossLayers(t *testing.T) {
+	// Eq. 1: A2 = C2 + alpha*C1. Verify against a hand computation.
+	dim := 4
+	e1 := []float32{1, 0, 0, 0}
+	e2 := []float32{0, 1, 0, 0}
+	layerA := layerOf(0, []int{0, 1}, [][]float32{e1, e2})
+	layerB := layerOf(1, []int{0, 1}, [][]float32{e1, e2})
+	lk := NewLookup(Config{Alpha: 0.5, Theta: 1e9}) // never hit; inspect state
+	v := make([]float32, dim)
+	v[0], v[1] = 0.8, 0.6 // unit: cos to e1 = 0.8, e2 = 0.6
+	lk.Probe(&layerA, v)
+	lk.Probe(&layerB, v)
+	acc := lk.Accumulated()
+	if math.Abs(acc[0]-(0.8+0.5*0.8)) > 1e-6 {
+		t.Fatalf("acc[0] = %v, want 1.2", acc[0])
+	}
+	if math.Abs(acc[1]-(0.6+0.5*0.6)) > 1e-6 {
+		t.Fatalf("acc[1] = %v, want 0.9", acc[1])
+	}
+}
+
+func TestAccumulationStabilizesDecision(t *testing.T) {
+	// A vector that is marginally closer to class 0 at every layer should
+	// hit after enough layers even if a single layer's score is below
+	// theta — accumulated scores preserve the consistent small gap while
+	// Eq. 2's ratio stays roughly constant, so this checks the gap does
+	// not vanish.
+	e0, e1 := unit(20), unit(21)
+	theta := 0.02
+	lk := NewLookup(Config{Alpha: 0.5, Theta: theta})
+	v := vecmath.WeightedSum(1, e0, 0.92, e1)
+	vecmath.Normalize(v)
+	layer := layerOf(0, []int{0, 1}, [][]float32{e0, e1})
+	res := lk.Probe(&layer, v)
+	for s := 1; s < 6 && !res.Hit; s++ {
+		l := layerOf(s, []int{0, 1}, [][]float32{e0, e1})
+		res = lk.Probe(&l, v)
+	}
+	if !res.Hit || res.Class != 0 {
+		t.Fatalf("consistent small-gap vector should eventually hit class 0: %+v", res)
+	}
+}
+
+func TestResetClearsState(t *testing.T) {
+	e0, e1 := unit(30), unit(31)
+	layer := layerOf(0, []int{0, 1}, [][]float32{e0, e1})
+	lk := NewLookup(Config{Alpha: 0.5, Theta: 0.05})
+	lk.Probe(&layer, e0)
+	lk.Reset()
+	if len(lk.Accumulated()) != 0 {
+		t.Fatal("Reset must clear accumulated scores")
+	}
+}
+
+func TestNewLookupPanicsOnBadConfig(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	NewLookup(Config{Alpha: 2, Theta: 0})
+}
+
+func TestNegativeRunnerUpIsMiss(t *testing.T) {
+	e0 := []float32{1, 0}
+	e1 := []float32{0, 1}
+	layer := layerOf(0, []int{0, 1}, [][]float32{e0, e1})
+	lk := NewLookup(Config{Alpha: 0.5, Theta: 0.01})
+	// cos to e0 positive, cos to e1 negative => ratio undefined => miss.
+	res := lk.Probe(&layer, []float32{0.9, -0.4})
+	if res.Hit {
+		t.Fatal("negative runner-up must not hit")
+	}
+}
+
+func TestPropertyHitImpliesScoreAboveTheta(t *testing.T) {
+	f := func(seed uint64, thetaRaw uint8) bool {
+		theta := float64(thetaRaw) / 512.0
+		r := xrand.New(seed)
+		n := 2 + r.IntN(8)
+		classes := make([]int, n)
+		entries := make([][]float32, n)
+		for i := range classes {
+			classes[i] = i
+			entries[i] = unit(seed, uint64(i))
+		}
+		layer := layerOf(0, classes, entries)
+		lk := NewLookup(Config{Alpha: 0.5, Theta: theta})
+		v := unit(seed, 999)
+		res := lk.Probe(&layer, v)
+		if res.Hit && res.Score <= theta {
+			return false
+		}
+		// The winning class must carry the max accumulated score.
+		if res.Hit {
+			acc := lk.Accumulated()
+			for _, a := range acc {
+				if a > acc[res.Class] {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func BenchmarkProbe50Entries(b *testing.B) {
+	classes := make([]int, 50)
+	entries := make([][]float32, 50)
+	for i := range classes {
+		classes[i] = i
+		entries[i] = unit(uint64(i))
+	}
+	layer := layerOf(0, classes, entries)
+	lk := NewLookup(Config{Alpha: 0.5, Theta: 0.02})
+	v := unit(777)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		lk.Reset()
+		lk.Probe(&layer, v)
+	}
+}

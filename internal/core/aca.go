@@ -1,0 +1,178 @@
+// Adaptive Cache Allocation — Algorithm 1 of the paper (§V-B).
+package core
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// ACA defaults from the paper.
+const (
+	// RecencyBase is the 0.20 base of Eq. 10's recency discount.
+	RecencyBase = 0.20
+	// ScoreCoverage is the cumulative-score fraction (95%) that defines
+	// the hot-spot class set.
+	ScoreCoverage = 0.95
+)
+
+// ACAInput carries the inputs of Algorithm 1 for one client.
+type ACAInput struct {
+	// GlobalFreq is Φ, the server's per-class occurrence counts.
+	GlobalFreq []float64
+	// Tau is τ_k, the client's per-class staleness counters (inferences
+	// since the class last appeared).
+	Tau []int
+	// HitRatio is R, the cumulative hit probability by each cache layer
+	// under a maximal cache (see Server profiling); length L.
+	HitRatio []float64
+	// SavedMs is Υ, the model compute saved by a hit at each layer;
+	// length L.
+	SavedMs []float64
+	// Budget is Π_k, the client's cache size limit in entry units.
+	Budget int
+	// RoundFrames is F, the inference count per round (Eq. 10's
+	// staleness unit).
+	RoundFrames int
+	// Coverage overrides ScoreCoverage when positive.
+	Coverage float64
+	// MaxLayers caps the number of selected layers when positive
+	// (used by the motivation experiments to force fixed shapes).
+	MaxLayers int
+	// LookupCostMs is the per-layer probe cost for a layer holding the
+	// hot-spot set. Stage 2 stops once the best remaining expected
+	// benefit no longer clearly exceeds this cost (§V-B: "ensures that
+	// the overhead caused by cache lookup remains within a reasonable
+	// range"). Zero disables the cost guard.
+	LookupCostMs float64
+}
+
+func (in *ACAInput) validate() error {
+	switch {
+	case len(in.GlobalFreq) == 0:
+		return fmt.Errorf("core: ACA needs global frequencies")
+	case len(in.Tau) != len(in.GlobalFreq):
+		return fmt.Errorf("core: ACA tau length %d, want %d", len(in.Tau), len(in.GlobalFreq))
+	case len(in.HitRatio) == 0 || len(in.HitRatio) != len(in.SavedMs):
+		return fmt.Errorf("core: ACA layer vectors mismatched (%d vs %d)", len(in.HitRatio), len(in.SavedMs))
+	case in.Budget < 0:
+		return fmt.Errorf("core: ACA budget %d < 0", in.Budget)
+	case in.RoundFrames < 1:
+		return fmt.Errorf("core: ACA round frames %d < 1", in.RoundFrames)
+	}
+	return nil
+}
+
+// ACAResult is the allocation decision: the hot-spot classes and the cache
+// sites to activate, each of which is filled with all hot-spot classes.
+type ACAResult struct {
+	// Classes is the hot-spot class set A_k in descending score order.
+	Classes []int
+	// Layers is the selected cache sites in selection (benefit) order.
+	Layers []int
+	// Scores is the per-class Eq. 10 score (diagnostic; indexed by
+	// class).
+	Scores []float64
+}
+
+// Entries returns the total allocated entries (|Classes| × |Layers|).
+func (r *ACAResult) Entries() int { return len(r.Classes) * len(r.Layers) }
+
+// RunACA executes Algorithm 1.
+//
+// Stage 1 scores each class by frequency and recency (Eq. 10):
+//
+//	s_i = Φ_i · 0.20^⌊τ_i / F⌋
+//
+// and selects the top classes covering 95% of the total score as hot-spot
+// classes. Stage 2 greedily activates the cache layer with the highest
+// expected latency reduction ζ_b = Υ_b · R_b, then discounts the residual
+// hit ratio of every layer at or after b by R_b (hypothesis: a sample
+// hitting at b would also hit later), until the entry budget is reached.
+//
+// Deviation from the paper's pseudocode, documented in DESIGN.md: when the
+// hot-spot set alone exceeds the budget the paper would allocate nothing;
+// we truncate the set to the budget so small caches still function.
+func RunACA(in ACAInput) (ACAResult, error) {
+	if err := in.validate(); err != nil {
+		return ACAResult{}, err
+	}
+	coverage := in.Coverage
+	if coverage <= 0 {
+		coverage = ScoreCoverage
+	}
+
+	// Stage 1: hot-spot class selection.
+	n := len(in.GlobalFreq)
+	scores := make([]float64, n)
+	var total float64
+	for i := 0; i < n; i++ {
+		s := in.GlobalFreq[i] * math.Pow(RecencyBase, math.Floor(float64(in.Tau[i])/float64(in.RoundFrames)))
+		scores[i] = s
+		total += s
+	}
+	order := make([]int, n)
+	for i := range order {
+		order[i] = i
+	}
+	sort.SliceStable(order, func(a, b int) bool { return scores[order[a]] > scores[order[b]] })
+
+	var classes []int
+	if total <= 0 {
+		// Cold start: no frequency signal at all; cache every class the
+		// budget permits, in index order.
+		for i := 0; i < n; i++ {
+			classes = append(classes, i)
+		}
+	} else {
+		var acc float64
+		for _, c := range order {
+			classes = append(classes, c)
+			acc += scores[c]
+			if acc >= coverage*total {
+				break
+			}
+		}
+	}
+	if in.Budget > 0 && len(classes) > in.Budget {
+		classes = classes[:in.Budget]
+	}
+	res := ACAResult{Classes: classes, Scores: scores}
+	if len(classes) == 0 || in.Budget == 0 {
+		return res, nil
+	}
+
+	// Stage 2: greedy layer selection under the entry budget.
+	resid := append([]float64(nil), in.HitRatio...)
+	used := 0
+	for {
+		if in.MaxLayers > 0 && len(res.Layers) >= in.MaxLayers {
+			break
+		}
+		best, bestZeta := -1, 0.0
+		for b, r := range resid {
+			if zeta := r * in.SavedMs[b]; zeta > bestZeta {
+				best, bestZeta = b, zeta
+			}
+		}
+		if best < 0 {
+			break // no remaining layer offers positive benefit
+		}
+		if bestZeta <= 2*in.LookupCostMs {
+			break // residual benefit cannot cover the probe cost
+		}
+		used += len(classes)
+		if used > in.Budget {
+			break // would exceed Π_k: stop just before
+		}
+		res.Layers = append(res.Layers, best)
+		p := resid[best]
+		for j := best; j < len(resid); j++ {
+			resid[j] -= p
+			if resid[j] < 0 {
+				resid[j] = 0
+			}
+		}
+	}
+	return res, nil
+}

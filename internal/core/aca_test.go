@@ -1,0 +1,254 @@
+package core
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"coca/internal/xrand"
+)
+
+func uniformACAInput(classes, layers, budget int) ACAInput {
+	freq := make([]float64, classes)
+	tau := make([]int, classes)
+	r := make([]float64, layers)
+	saved := make([]float64, layers)
+	for i := range freq {
+		freq[i] = 10
+	}
+	for j := range r {
+		// Cumulative profile rising to 0.9; saved time declining.
+		r[j] = 0.9 * float64(j+1) / float64(layers)
+		saved[j] = 40 * float64(layers-j) / float64(layers)
+	}
+	return ACAInput{GlobalFreq: freq, Tau: tau, HitRatio: r, SavedMs: saved, Budget: budget, RoundFrames: 300}
+}
+
+func TestACAValidation(t *testing.T) {
+	bad := uniformACAInput(10, 5, 100)
+	bad.Tau = bad.Tau[:3]
+	if _, err := RunACA(bad); err == nil {
+		t.Error("tau length mismatch accepted")
+	}
+	bad = uniformACAInput(10, 5, 100)
+	bad.SavedMs = bad.SavedMs[:2]
+	if _, err := RunACA(bad); err == nil {
+		t.Error("layer vector mismatch accepted")
+	}
+	bad = uniformACAInput(10, 5, 100)
+	bad.Budget = -1
+	if _, err := RunACA(bad); err == nil {
+		t.Error("negative budget accepted")
+	}
+	bad = uniformACAInput(10, 5, 100)
+	bad.RoundFrames = 0
+	if _, err := RunACA(bad); err == nil {
+		t.Error("zero round frames accepted")
+	}
+}
+
+func TestACAEq10Scoring(t *testing.T) {
+	in := uniformACAInput(4, 3, 100)
+	in.GlobalFreq = []float64{100, 100, 10, 10}
+	in.Tau = []int{0, 600, 0, 600} // 600 = 2 rounds stale at F=300
+	res, err := RunACA(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Expected scores: 100, 100*0.04=4, 10, 10*0.04=0.4.
+	want := []float64{100, 4, 10, 0.4}
+	for i, w := range want {
+		if math.Abs(res.Scores[i]-w) > 1e-9 {
+			t.Errorf("score[%d] = %v, want %v", i, res.Scores[i], w)
+		}
+	}
+	// 95% coverage of 114.4 = 108.7: classes 0 (100) + 2 (10) reach it.
+	if len(res.Classes) != 2 || res.Classes[0] != 0 || res.Classes[1] != 2 {
+		t.Fatalf("hot-spot classes = %v, want [0 2]", res.Classes)
+	}
+}
+
+func TestACARespectsBudget(t *testing.T) {
+	in := uniformACAInput(10, 8, 35)
+	res, err := RunACA(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Entries() > 35 {
+		t.Fatalf("allocated %d entries over budget 35", res.Entries())
+	}
+	if len(res.Layers) == 0 {
+		t.Fatal("no layers allocated despite available budget")
+	}
+}
+
+func TestACAZeroBudget(t *testing.T) {
+	res, err := RunACA(uniformACAInput(10, 8, 0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Layers) != 0 {
+		t.Fatalf("zero budget allocated layers %v", res.Layers)
+	}
+}
+
+func TestACATruncatesClassesToBudget(t *testing.T) {
+	// 10 uniform classes need ~9 to reach 95%, but budget is 4: the set
+	// is truncated so one layer can still be allocated.
+	in := uniformACAInput(10, 8, 4)
+	res, err := RunACA(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Classes) != 4 {
+		t.Fatalf("classes = %v, want 4 entries", res.Classes)
+	}
+	if len(res.Layers) != 1 {
+		t.Fatalf("layers = %v, want exactly 1", res.Layers)
+	}
+}
+
+func TestACAGreedyPrefersBenefit(t *testing.T) {
+	in := uniformACAInput(5, 4, 5) // budget for exactly one layer
+	in.HitRatio = []float64{0.1, 0.5, 0.6, 0.65}
+	in.SavedMs = []float64{40, 30, 20, 10}
+	// ζ = {4, 15, 12, 6.5}: layer 1 wins.
+	res, err := RunACA(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Layers) != 1 || res.Layers[0] != 1 {
+		t.Fatalf("layers = %v, want [1]", res.Layers)
+	}
+}
+
+func TestACAResidualDiscount(t *testing.T) {
+	// After picking layer 1 (cumulative hit 0.5), downstream layers keep
+	// only their residual; layer 0 keeps its full ratio and should win
+	// next despite a smaller raw ζ.
+	in := uniformACAInput(2, 4, 100)
+	in.HitRatio = []float64{0.3, 0.5, 0.55, 0.58}
+	in.SavedMs = []float64{40, 30, 20, 10}
+	res, err := RunACA(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Layers) < 2 || res.Layers[0] != 1 || res.Layers[1] != 0 {
+		t.Fatalf("layers = %v, want [1 0 ...]", res.Layers)
+	}
+}
+
+func TestACAColdStartCachesAllClasses(t *testing.T) {
+	in := uniformACAInput(6, 3, 100)
+	for i := range in.GlobalFreq {
+		in.GlobalFreq[i] = 0
+	}
+	res, err := RunACA(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Classes) != 6 {
+		t.Fatalf("cold start classes = %v, want all 6", res.Classes)
+	}
+}
+
+func TestACACostGuardStopsCheapLayers(t *testing.T) {
+	in := uniformACAInput(5, 6, 1000)
+	in.LookupCostMs = 5 // huge probe cost: only high-benefit layers pass
+	res, err := RunACA(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, b := range res.Layers {
+		if in.HitRatio[b]*in.SavedMs[b] <= 2*in.LookupCostMs {
+			t.Fatalf("layer %d allocated with benefit below cost guard", b)
+		}
+	}
+	full, err := RunACA(uniformACAInput(5, 6, 1000))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Layers) >= len(full.Layers) {
+		t.Fatalf("cost guard did not reduce layers: %d vs %d", len(res.Layers), len(full.Layers))
+	}
+}
+
+func TestACAMaxLayers(t *testing.T) {
+	in := uniformACAInput(5, 6, 1000)
+	in.MaxLayers = 2
+	res, err := RunACA(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Layers) != 2 {
+		t.Fatalf("layers = %v, want 2", res.Layers)
+	}
+}
+
+func TestACAPropertyBudgetNeverExceeded(t *testing.T) {
+	f := func(seed uint64, budgetRaw uint16) bool {
+		r := xrand.New(seed)
+		classes := 2 + r.IntN(60)
+		layers := 1 + r.IntN(40)
+		in := ACAInput{
+			GlobalFreq:  make([]float64, classes),
+			Tau:         make([]int, classes),
+			HitRatio:    make([]float64, layers),
+			SavedMs:     make([]float64, layers),
+			Budget:      int(budgetRaw) % 500,
+			RoundFrames: 300,
+		}
+		for i := range in.GlobalFreq {
+			in.GlobalFreq[i] = r.Float64() * 100
+			in.Tau[i] = r.IntN(2000)
+		}
+		for j := range in.HitRatio {
+			in.HitRatio[j] = r.Float64()
+			in.SavedMs[j] = r.Float64() * 50
+		}
+		res, err := RunACA(in)
+		if err != nil {
+			return false
+		}
+		if res.Entries() > in.Budget {
+			return false
+		}
+		// No duplicate layers.
+		seen := map[int]bool{}
+		for _, l := range res.Layers {
+			if seen[l] {
+				return false
+			}
+			seen[l] = true
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestACAPropertyClassesSortedByScore(t *testing.T) {
+	f := func(seed uint64) bool {
+		r := xrand.New(seed)
+		classes := 2 + r.IntN(40)
+		in := uniformACAInput(classes, 4, 1000)
+		for i := range in.GlobalFreq {
+			in.GlobalFreq[i] = r.Float64() * 100
+			in.Tau[i] = r.IntN(1500)
+		}
+		res, err := RunACA(in)
+		if err != nil {
+			return false
+		}
+		for i := 1; i < len(res.Classes); i++ {
+			if res.Scores[res.Classes[i]] > res.Scores[res.Classes[i-1]]+1e-12 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,147 @@
+package core
+
+import (
+	"fmt"
+	"testing"
+
+	"coca/internal/dataset"
+	"coca/internal/model"
+	"coca/internal/semantics"
+	"coca/internal/stream"
+	"coca/internal/xrand"
+)
+
+// TestCalibrationProbe prints the simulator's operating point for the
+// paper's reference configuration (ResNet101, UCF101-50, Θ=0.012). Run with
+// -v to inspect. It asserts only broad sanity; the experiment suite checks
+// the paper shapes.
+func TestCalibrationProbe(t *testing.T) {
+	if testing.Short() {
+		t.Skip("calibration probe skipped in -short")
+	}
+	space := semantics.NewSpace(dataset.UCF101().Subset(50), model.ResNet101())
+	cl, err := NewCluster(space, ClusterConfig{
+		NumClients: 2,
+		Client: ClientConfig{
+			Theta:         0.012,
+			Budget:        200,
+			RoundFrames:   300,
+			EnvBiasWeight: 0.05,
+		},
+		Server: ServerConfig{Theta: 0.012, Seed: 7},
+		Stream: stream.Config{SceneMeanFrames: 25, WorkingSetSize: 15, WorkingSetChurn: 0.05, Seed: 11},
+		Rounds: 6, SkipRounds: 1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, combined, err := cl.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := combined.Summary()
+	noCache := space.Arch.TotalLatencyMs()
+	t.Logf("frames=%d avgLat=%.2fms (no-cache %.2f, reduction %.1f%%) acc=%.2f%% hit=%.1f%% hitAcc=%.2f%% lookup=%.2fms",
+		s.Frames, s.AvgLatencyMs, noCache, 100*(1-s.AvgLatencyMs/noCache),
+		100*s.Accuracy, 100*s.HitRatio, 100*s.HitAccuracy, s.AvgLookupMs)
+	prof := cl.Server.Profile()
+	t.Logf("server cumulative profile R: %v", fmtF(prof))
+	alloc := cl.Clients[0].Cache()
+	t.Logf("client0 sites=%v entries=%d", alloc.Sites(), alloc.NumEntries())
+	if s.HitRatio < 0.2 {
+		t.Errorf("hit ratio %v too low — geometry/threshold miscalibrated", s.HitRatio)
+	}
+	if s.AvgLatencyMs >= noCache {
+		t.Errorf("caching made latency worse: %v >= %v", s.AvgLatencyMs, noCache)
+	}
+	if s.Accuracy < 0.60 {
+		t.Errorf("accuracy collapsed: %v", s.Accuracy)
+	}
+}
+
+func fmtF(xs []float64) string {
+	out := ""
+	for i, x := range xs {
+		if i > 0 {
+			out += " "
+		}
+		out += fmt.Sprintf("%.2f", x)
+	}
+	return out
+}
+
+// TestCalibrationRepresentative runs CoCa on the paper-style workload
+// (mild non-IID, long-tail popularity) and checks the headline claim:
+// substantial latency reduction at small accuracy loss.
+func TestCalibrationRepresentative(t *testing.T) {
+	if testing.Short() {
+		t.Skip("calibration probe skipped in -short")
+	}
+	ds := dataset.UCF101().Subset(50)
+	space := semantics.NewSpace(ds, model.ResNet101())
+	cl, err := NewCluster(space, ClusterConfig{
+		NumClients: 4,
+		Client: ClientConfig{
+			Theta:         0.012,
+			Budget:        300,
+			RoundFrames:   300,
+			EnvBiasWeight: 0.05,
+		},
+		Server: ServerConfig{Theta: 0.012, Seed: 7},
+		Stream: stream.Config{
+			ClassWeights:    xrand.LongTailWeights(50, 10),
+			NonIIDLevel:     1,
+			SceneMeanFrames: 25,
+			WorkingSetSize:  15,
+			WorkingSetChurn: 0.05,
+			Seed:            11,
+		},
+		Rounds: 8, SkipRounds: 2,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, combined, err := cl.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := combined.Summary()
+	noCache := space.Arch.TotalLatencyMs()
+	// Edge-Only accuracy on the same streams for the loss comparison.
+	part, err := stream.NewPartition(stream.Config{
+		Dataset:         ds,
+		NumClients:      4,
+		ClassWeights:    xrand.LongTailWeights(50, 10),
+		NonIIDLevel:     1,
+		SceneMeanFrames: 25,
+		WorkingSetSize:  15,
+		WorkingSetChurn: 0.05,
+		Seed:            11,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	correct, n := 0, 0
+	for k := 0; k < 4; k++ {
+		g := part.Client(k)
+		env := cl.Clients[k].Env()
+		for f := 0; f < 8*300; f++ {
+			smp := g.Next()
+			if space.Predict(smp, env).Class == smp.Class {
+				correct++
+			}
+			n++
+		}
+	}
+	edgeAcc := float64(correct) / float64(n)
+	reduction := 1 - s.AvgLatencyMs/noCache
+	loss := edgeAcc - s.Accuracy
+	t.Logf("CoCa: lat=%.2fms (reduction %.1f%%) acc=%.2f%% (edge %.2f%%, loss %.2f%%) hit=%.1f%% hitAcc=%.1f%%",
+		s.AvgLatencyMs, 100*reduction, 100*s.Accuracy, 100*edgeAcc, 100*loss, 100*s.HitRatio, 100*s.HitAccuracy)
+	if reduction < 0.20 {
+		t.Errorf("latency reduction %.3f below paper's 23%% floor", reduction)
+	}
+	if loss > 0.05 {
+		t.Errorf("accuracy loss %.3f exceeds 5%%", loss)
+	}
+}

@@ -1,0 +1,420 @@
+// The CoCa edge client: cached inference, status tracking and update
+// collection (paper §IV-A/C).
+package core
+
+import (
+	"fmt"
+
+	"coca/internal/cache"
+	"coca/internal/dataset"
+	"coca/internal/engine"
+	"coca/internal/gtable"
+	"coca/internal/model"
+	"coca/internal/semantics"
+)
+
+// Defaults from the paper.
+const (
+	// DefaultRoundFrames is F, the frames per round (§IV-C).
+	DefaultRoundFrames = 300
+	// DefaultGammaCollect is Γ, the hit-reinforcement collection
+	// threshold. The paper recommends 0.1 for ResNets; our simulated
+	// feature geometry compresses discriminative scores (mid-network
+	// lone-class hits peak near 0.05), so the equivalent operating point
+	// is 0.05 — the value that absorbs only confident hits and keeps the
+	// noise-selection bias of reinforcement mild. See EXPERIMENTS.md
+	// (Fig. 6).
+	DefaultGammaCollect = 0.05
+	// DefaultDeltaCollect is Δ, the miss-expansion collection threshold
+	// (§VI-D recommends 0.25 for ResNets).
+	DefaultDeltaCollect = 0.25
+	// hitRatioEMA is the blending weight for client-observed hit ratios
+	// against the previous estimate.
+	hitRatioEMA = 0.30
+)
+
+// ClientConfig parametrizes a CoCa client.
+type ClientConfig struct {
+	// ID identifies the client to the coordinator.
+	ID int
+	// Theta is the Eq. 2 hit threshold Θ.
+	Theta float64
+	// Alpha is the Eq. 1 decay (default 0.5).
+	Alpha float64
+	// GammaCollect (Γ) and DeltaCollect (Δ) gate update collection.
+	GammaCollect, DeltaCollect float64
+	// Beta is the Eq. 3 update-table decay (default 0.95).
+	Beta float64
+	// RoundFrames is F.
+	RoundFrames int
+	// Budget is Π_k in entry units.
+	Budget int
+	// EnvBiasWeight adds a client-specific feature shift (0 disables).
+	EnvBiasWeight float64
+	// EnvSeed roots the bias direction (defaults to ID).
+	EnvSeed uint64
+	// DriftWeight scales the shared, gradual evolution of class
+	// semantics over time (0 disables). DriftPerRound advances the
+	// drift clock at every round boundary.
+	DriftWeight, DriftPerRound float64
+	// CoordPerRoundMs charges each round's coordination (cache request
+	// waiting, transfer, upload) amortized over the round's frames —
+	// the server-load effect §VI-I measures. 0 models free coordination.
+	CoordPerRoundMs float64
+	// DisableDynamicAllocation freezes the first allocation for the
+	// whole run (the "without DCA" ablation arm, §VI-H): the client
+	// keeps requesting rounds but reuses its initial cache shape, with
+	// entries refreshed from the global table.
+	DisableDynamicAllocation bool
+	// DisableCollection stops the client from uploading update vectors
+	// (isolates allocation effects).
+	DisableCollection bool
+	// PredictedLabelStatus switches the τ/φ status bookkeeping from
+	// ground-truth labels to the inference results. The paper's
+	// evaluation harness tracks "the current sample class" (§IV-C) with
+	// its labeled test streams, which we follow by default; the
+	// predicted-label mode shows the staleness feedback loop a fully
+	// label-free deployment would face.
+	PredictedLabelStatus bool
+}
+
+func (c ClientConfig) withDefaults() ClientConfig {
+	if c.Alpha == 0 {
+		c.Alpha = cache.DefaultAlpha
+	}
+	if c.GammaCollect == 0 {
+		c.GammaCollect = DefaultGammaCollect
+	}
+	if c.DeltaCollect == 0 {
+		c.DeltaCollect = DefaultDeltaCollect
+	}
+	if c.Beta == 0 {
+		c.Beta = gtable.DefaultBeta
+	}
+	if c.RoundFrames == 0 {
+		c.RoundFrames = DefaultRoundFrames
+	}
+	if c.EnvSeed == 0 {
+		c.EnvSeed = uint64(c.ID) + 1
+	}
+	return c
+}
+
+// CollectionStats counts update-collection outcomes for the Fig. 6
+// experiment.
+type CollectionStats struct {
+	// Hits and Misses count samples satisfying each precondition.
+	Hits, Misses int
+	// HitAbsorbed / MissAbsorbed count collected samples per type.
+	HitAbsorbed, MissAbsorbed int
+	// HitAbsorbedCorrect / MissAbsorbedCorrect count collected samples
+	// whose predicted label matched ground truth.
+	HitAbsorbedCorrect, MissAbsorbedCorrect int
+}
+
+// Client is a CoCa edge client. It implements engine.Engine and
+// engine.RoundHooks. Not safe for concurrent use: each client is a single
+// simulated device.
+type Client struct {
+	cfg   ClientConfig
+	space *semantics.Space
+	env   *semantics.Env
+	coord Coordinator
+
+	local  *cache.Local
+	lookup *cache.Lookup
+	frozen *Allocation // first allocation, when DisableDynamicAllocation
+
+	tau      []int
+	freq     *gtable.Frequencies
+	upd      *gtable.UpdateTable
+	hitRatio []float64 // cumulative per-layer estimate R_k
+	savedMs  []float64
+
+	// per-round hit observation (cumulative by construction).
+	roundHitsBy []int
+	roundFrames int
+
+	collect CollectionStats
+	rounds  int
+}
+
+// NewClient registers a client with the coordinator.
+func NewClient(space *semantics.Space, coord Coordinator, cfg ClientConfig) (*Client, error) {
+	cfg = cfg.withDefaults()
+	if cfg.Theta < 0 {
+		return nil, fmt.Errorf("core: client %d Theta %v < 0", cfg.ID, cfg.Theta)
+	}
+	if cfg.Budget < 0 {
+		return nil, fmt.Errorf("core: client %d budget %v < 0", cfg.ID, cfg.Budget)
+	}
+	info, err := coord.Register(cfg.ID)
+	if err != nil {
+		return nil, fmt.Errorf("core: client %d register: %w", cfg.ID, err)
+	}
+	if info.NumClasses != space.DS.NumClasses || info.NumLayers != space.Arch.NumLayers {
+		return nil, fmt.Errorf("core: client %d model/dataset mismatch with server (%d×%d vs %d×%d)",
+			cfg.ID, space.DS.NumClasses, space.Arch.NumLayers, info.NumClasses, info.NumLayers)
+	}
+	c := &Client{
+		cfg:         cfg,
+		space:       space,
+		coord:       coord,
+		local:       cache.Empty(),
+		lookup:      cache.NewLookup(cache.Config{Alpha: cfg.Alpha, Theta: cfg.Theta}),
+		tau:         make([]int, space.DS.NumClasses),
+		freq:        gtable.NewFrequencies(space.DS.NumClasses),
+		upd:         gtable.NewUpdateTable(cfg.Beta, model.Dim),
+		hitRatio:    append([]float64(nil), info.ProfileHitRatio...),
+		savedMs:     append([]float64(nil), info.SavedMs...),
+		roundHitsBy: make([]int, space.Arch.NumLayers),
+	}
+	if cfg.EnvBiasWeight != 0 || cfg.DriftWeight != 0 {
+		c.env = semantics.NewEnv(cfg.EnvSeed, cfg.EnvBiasWeight)
+		c.env.DriftWeight = cfg.DriftWeight
+	}
+	return c, nil
+}
+
+// Config returns the client's configuration.
+func (c *Client) Config() ClientConfig { return c.cfg }
+
+// Cache returns the currently loaded local cache (diagnostics).
+func (c *Client) Cache() *cache.Local { return c.local }
+
+// Collection returns the accumulated collection statistics.
+func (c *Client) Collection() CollectionStats { return c.collect }
+
+// Env returns the client's feature environment (nil when unbiased).
+func (c *Client) Env() *semantics.Env { return c.env }
+
+// BeginRound implements engine.RoundHooks: upload status, receive and load
+// the allocated cache.
+func (c *Client) BeginRound() error {
+	if c.env != nil {
+		c.env.DriftEpoch = float64(c.rounds) * c.cfg.DriftPerRound
+	}
+	var alloc Allocation
+	var err error
+	if c.cfg.DisableDynamicAllocation && c.frozen != nil {
+		// Keep the frozen shape but refresh entries from the server by
+		// re-requesting with the original status; the server re-extracts
+		// current global entries for the frozen classes/layers.
+		alloc = *c.frozen
+		refreshed, rerr := c.coord.Allocate(c.cfg.ID, c.frozenStatus())
+		if rerr == nil {
+			// Use refreshed entries only for the frozen sites.
+			alloc = refreshEntries(*c.frozen, refreshed)
+		}
+	} else {
+		alloc, err = c.coord.Allocate(c.cfg.ID, c.status())
+		if err != nil {
+			return fmt.Errorf("core: client %d allocate: %w", c.cfg.ID, err)
+		}
+		if c.cfg.DisableDynamicAllocation && c.frozen == nil {
+			frozen := alloc
+			c.frozen = &frozen
+		}
+	}
+	local, err := cache.NewLocal(alloc.Layers)
+	if err != nil {
+		return fmt.Errorf("core: client %d allocation invalid: %w", c.cfg.ID, err)
+	}
+	c.local = local
+	c.roundHitsBy = make([]int, c.space.Arch.NumLayers)
+	c.roundFrames = 0
+	return nil
+}
+
+// frozenStatus reproduces a neutral status for frozen-allocation refreshes.
+func (c *Client) frozenStatus() StatusReport {
+	return StatusReport{
+		Tau:         make([]int, c.space.DS.NumClasses),
+		HitRatio:    nil, // server profile
+		Budget:      c.cfg.Budget,
+		RoundFrames: c.cfg.RoundFrames,
+	}
+}
+
+// refreshEntries overlays refreshed entry vectors onto the frozen shape
+// where sites match; sites missing from the refresh keep frozen entries.
+func refreshEntries(frozen, refreshed Allocation) Allocation {
+	bySite := make(map[int]cache.Layer, len(refreshed.Layers))
+	for _, l := range refreshed.Layers {
+		bySite[l.Site] = l
+	}
+	out := Allocation{Classes: frozen.Classes}
+	for _, l := range frozen.Layers {
+		if r, ok := bySite[l.Site]; ok && len(r.Classes) == len(l.Classes) {
+			out.Layers = append(out.Layers, r)
+		} else {
+			out.Layers = append(out.Layers, l)
+		}
+	}
+	return out
+}
+
+func (c *Client) status() StatusReport {
+	return StatusReport{
+		Tau:         append([]int(nil), c.tau...),
+		HitRatio:    append([]float64(nil), c.hitRatio...),
+		Budget:      c.cfg.Budget,
+		RoundFrames: c.cfg.RoundFrames,
+	}
+}
+
+// EndRound implements engine.RoundHooks: update the hit-ratio estimate and
+// upload the round's update table and frequencies.
+func (c *Client) EndRound() error {
+	c.updateHitRatio()
+	report := UpdateReport{Freq: c.freq.Snapshot()}
+	if !c.cfg.DisableCollection {
+		c.upd.ForEach(func(class, layer int, vec []float32, count int) {
+			report.Cells = append(report.Cells, UpdateCell{
+				Class: class, Layer: layer, Count: count,
+				Vec: append([]float32(nil), vec...),
+			})
+		})
+	}
+	if err := c.coord.Upload(c.cfg.ID, report); err != nil {
+		return fmt.Errorf("core: client %d upload: %w", c.cfg.ID, err)
+	}
+	c.upd.Reset()
+	c.freq.Reset()
+	c.rounds++
+	return nil
+}
+
+// updateHitRatio folds this round's observed cumulative hit ratios into
+// the client's estimate R_k by EMA, only at the activated sites where the
+// observation is meaningful. Observations are cumulative-by-layer, matching
+// the server profile semantics under the paper's "hits at b also hit at
+// b+1" hypothesis; sites that were not activated keep their estimate.
+func (c *Client) updateHitRatio() {
+	if c.roundFrames == 0 || c.local.NumEntries() == 0 {
+		return
+	}
+	active := make(map[int]bool, len(c.local.Sites()))
+	for _, s := range c.local.Sites() {
+		active[s] = true
+	}
+	cum := 0
+	for j := 0; j < c.space.Arch.NumLayers; j++ {
+		cum += c.roundHitsBy[j]
+		if !active[j] {
+			continue
+		}
+		obs := float64(cum) / float64(c.roundFrames)
+		c.hitRatio[j] = (1-hitRatioEMA)*c.hitRatio[j] + hitRatioEMA*obs
+	}
+}
+
+// Infer implements engine.Engine: sequential block execution with cache
+// probes at activated sites, early exit on hit, full prediction on miss
+// (§II-3, §IV-C).
+func (c *Client) Infer(smp dataset.Sample) engine.Result {
+	arch := c.space.Arch
+	c.lookup.Reset()
+	var latency, lookupMs float64
+	if c.cfg.CoordPerRoundMs > 0 {
+		latency += c.cfg.CoordPerRoundMs / float64(c.cfg.RoundFrames)
+	}
+	res := engine.Result{Pred: -1, HitLayer: -1}
+
+	// Vectors computed at activated sites this inference, for hit-type
+	// collection ("limited to the point of the cache hit"). Each records
+	// the site's raw winner so only sites whose own evidence agrees with
+	// the hit class are uploaded — shallow sites where the frame is not
+	// yet discriminative would otherwise erode the global entries.
+	type probed struct {
+		site  int
+		vec   []float32
+		agree int
+	}
+	var seen []probed
+
+	for j := 0; j <= arch.NumLayers; j++ {
+		latency += arch.BlockLatencyMs[j]
+		if j == arch.NumLayers {
+			break
+		}
+		layer := c.local.LayerAt(j)
+		if layer == nil || layer.Len() == 0 {
+			continue
+		}
+		vec := c.space.SampleVector(smp, j, c.env)
+		cost := arch.LookupCostMs(layer.Len())
+		latency += cost
+		lookupMs += cost
+		pr := c.lookup.Probe(layer, vec)
+		seen = append(seen, probed{site: j, vec: vec, agree: pr.LayerClass})
+		if pr.Hit {
+			res.Pred = pr.Class
+			res.Hit = true
+			res.HitLayer = j
+			c.roundHitsBy[j]++
+			c.collect.Hits++
+			if !c.cfg.DisableCollection && pr.Score > c.cfg.GammaCollect {
+				c.collect.HitAbsorbed++
+				if pr.Class == smp.Class {
+					c.collect.HitAbsorbedCorrect++
+				}
+				// "Limited to the point of the cache hit": reinforce the
+				// entry at the site that served the hit, whose entry
+				// population is exactly the samples hitting there.
+				// Earlier sites saw this frame as not-yet-discriminative
+				// and would only be eroded by its vectors.
+				// Absorb errors only arise from degenerate vectors,
+				// which unit sample vectors never are.
+				_ = c.upd.Absorb(pr.Class, j, vec)
+			}
+			break
+		}
+	}
+
+	if !res.Hit {
+		pred := c.space.Predict(smp, c.env)
+		res.Pred = pred.Class
+		c.collect.Misses++
+		if !c.cfg.DisableCollection && float64(pred.Top2Gap()) > c.cfg.DeltaCollect {
+			c.collect.MissAbsorbed++
+			if pred.Class == smp.Class {
+				c.collect.MissAbsorbedCorrect++
+			}
+			// Expansion vectors: probed sites whose own evidence agrees
+			// with the prediction, plus the sites past the last probe,
+			// where a confidently-classified frame is fully resolved.
+			deepest := -1
+			for _, p := range seen {
+				if p.agree == pred.Class {
+					_ = c.upd.Absorb(pred.Class, p.site, p.vec)
+				}
+				deepest = p.site
+			}
+			for j := deepest + 1; j < arch.NumLayers; j++ {
+				_ = c.upd.Absorb(pred.Class, j, c.space.SampleVector(smp, j, c.env))
+			}
+		}
+	}
+
+	// Status-vector maintenance (§IV-C).
+	statusClass := smp.Class
+	if c.cfg.PredictedLabelStatus {
+		statusClass = res.Pred
+	}
+	for i := range c.tau {
+		c.tau[i]++
+	}
+	c.tau[statusClass] = 0
+	c.freq.Observe(statusClass)
+	c.roundFrames++
+
+	res.LatencyMs = latency
+	res.LookupMs = lookupMs
+	return res
+}
+
+var (
+	_ engine.Engine     = (*Client)(nil)
+	_ engine.RoundHooks = (*Client)(nil)
+)

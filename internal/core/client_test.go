@@ -1,0 +1,270 @@
+package core
+
+import (
+	"errors"
+	"testing"
+
+	"coca/internal/dataset"
+	"coca/internal/stream"
+)
+
+func smallClient(t testing.TB, cfg ClientConfig) (*Client, *Server) {
+	t.Helper()
+	space := smallSpace()
+	srv := NewServer(space, ServerConfig{Theta: 0.035, Seed: 3, ProfileSamples: 200, InitSamplesPerClass: 16})
+	if cfg.Theta == 0 {
+		cfg.Theta = 0.035
+	}
+	if cfg.Budget == 0 {
+		cfg.Budget = 40
+	}
+	c, err := NewClient(space, srv, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return c, srv
+}
+
+func smallGen(t testing.TB) *stream.Generator {
+	t.Helper()
+	part, err := stream.NewPartition(stream.Config{
+		Dataset:         dataset.ESC50().Subset(10),
+		NumClients:      1,
+		SceneMeanFrames: 20,
+		WorkingSetSize:  6,
+		WorkingSetChurn: 0.05,
+		Seed:            5,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return part.Client(0)
+}
+
+func TestClientDefaults(t *testing.T) {
+	c, _ := smallClient(t, ClientConfig{ID: 3})
+	cfg := c.Config()
+	if cfg.Alpha != 0.5 || cfg.Beta != 0.95 || cfg.RoundFrames != 300 {
+		t.Fatalf("defaults not applied: %+v", cfg)
+	}
+	if cfg.GammaCollect != DefaultGammaCollect || cfg.DeltaCollect != DefaultDeltaCollect {
+		t.Fatalf("collection defaults not applied: %+v", cfg)
+	}
+}
+
+func TestClientRejectsBadConfig(t *testing.T) {
+	space := smallSpace()
+	srv := NewServer(space, ServerConfig{Theta: 0.035, Seed: 3, ProfileSamples: 100, InitSamplesPerClass: 16})
+	if _, err := NewClient(space, srv, ClientConfig{Theta: -1}); err == nil {
+		t.Error("negative theta accepted")
+	}
+	if _, err := NewClient(space, srv, ClientConfig{Budget: -5}); err == nil {
+		t.Error("negative budget accepted")
+	}
+}
+
+func TestClientInferWithoutCacheFallsThrough(t *testing.T) {
+	c, _ := smallClient(t, ClientConfig{})
+	smp := dataset.ESC50().Subset(10).NewSample(2, 77)
+	res := c.Infer(smp)
+	if res.Hit {
+		t.Fatal("empty cache cannot hit")
+	}
+	if res.Pred < 0 {
+		t.Fatal("no prediction returned")
+	}
+	total := c.space.Arch.TotalLatencyMs()
+	if res.LatencyMs != total {
+		t.Fatalf("uncached latency = %v, want %v", res.LatencyMs, total)
+	}
+	if res.LookupMs != 0 {
+		t.Fatalf("lookup cost without cache = %v", res.LookupMs)
+	}
+}
+
+func TestClientRoundLifecycle(t *testing.T) {
+	c, srv := smallClient(t, ClientConfig{RoundFrames: 50})
+	gen := smallGen(t)
+	for round := 0; round < 3; round++ {
+		if err := c.BeginRound(); err != nil {
+			t.Fatal(err)
+		}
+		if c.Cache().NumEntries() == 0 {
+			t.Fatal("no cache after BeginRound")
+		}
+		for f := 0; f < 50; f++ {
+			res := c.Infer(gen.Next())
+			if res.LatencyMs <= 0 {
+				t.Fatal("non-positive latency")
+			}
+			if res.Hit && res.LatencyMs >= c.space.Arch.TotalLatencyMs() {
+				t.Fatal("hit did not reduce latency")
+			}
+		}
+		if err := c.EndRound(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	allocs, _ := srv.Stats()
+	if allocs < 3 {
+		t.Fatalf("server saw %d allocations, want >= 3", allocs)
+	}
+	// After EndRound the frequency snapshot must have been uploaded:
+	// global frequencies exceed the init counts.
+	var totalFreq float64
+	for _, f := range srv.GlobalFreq() {
+		totalFreq += f
+	}
+	if totalFreq <= 16*10 {
+		t.Fatal("uploads did not grow global frequencies")
+	}
+}
+
+func TestClientHitsReduceLatency(t *testing.T) {
+	c, _ := smallClient(t, ClientConfig{RoundFrames: 100, Budget: 60})
+	gen := smallGen(t)
+	if err := c.BeginRound(); err != nil {
+		t.Fatal(err)
+	}
+	var hits int
+	var hitLat, missLat, nHit, nMiss float64
+	for f := 0; f < 100; f++ {
+		res := c.Infer(gen.Next())
+		if res.Hit {
+			hits++
+			hitLat += res.LatencyMs
+			nHit++
+		} else {
+			missLat += res.LatencyMs
+			nMiss++
+		}
+	}
+	if hits == 0 {
+		t.Fatal("no hits on a temporally-local stream")
+	}
+	if nMiss > 0 && hitLat/nHit >= missLat/nMiss {
+		t.Fatalf("hit latency %v not below miss latency %v", hitLat/nHit, missLat/nMiss)
+	}
+}
+
+func TestClientTauTracksClasses(t *testing.T) {
+	c, _ := smallClient(t, ClientConfig{RoundFrames: 10})
+	ds := dataset.ESC50().Subset(10)
+	if err := c.BeginRound(); err != nil {
+		t.Fatal(err)
+	}
+	c.Infer(ds.NewSample(4, 1))
+	if c.tau[4] != 0 {
+		t.Fatalf("tau[4] = %d after observing class 4", c.tau[4])
+	}
+	c.Infer(ds.NewSample(7, 2))
+	if c.tau[4] != 1 || c.tau[7] != 0 {
+		t.Fatalf("tau = %v, want class 4 aged to 1", c.tau[:8])
+	}
+}
+
+func TestClientFrozenAllocation(t *testing.T) {
+	c, _ := smallClient(t, ClientConfig{RoundFrames: 30, DisableDynamicAllocation: true, Budget: 40})
+	gen := smallGen(t)
+	if err := c.BeginRound(); err != nil {
+		t.Fatal(err)
+	}
+	sites1 := c.Cache().Sites()
+	for f := 0; f < 30; f++ {
+		c.Infer(gen.Next())
+	}
+	if err := c.EndRound(); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.BeginRound(); err != nil {
+		t.Fatal(err)
+	}
+	sites2 := c.Cache().Sites()
+	if len(sites1) != len(sites2) {
+		t.Fatalf("frozen allocation changed shape: %v vs %v", sites1, sites2)
+	}
+	for i := range sites1 {
+		if sites1[i] != sites2[i] {
+			t.Fatalf("frozen allocation changed sites: %v vs %v", sites1, sites2)
+		}
+	}
+}
+
+type failingCoordinator struct {
+	Coordinator
+	failAllocate bool
+	failUpload   bool
+}
+
+func (f *failingCoordinator) Allocate(id int, st StatusReport) (Allocation, error) {
+	if f.failAllocate {
+		return Allocation{}, errors.New("injected allocate failure")
+	}
+	return f.Coordinator.Allocate(id, st)
+}
+
+func (f *failingCoordinator) Upload(id int, upd UpdateReport) error {
+	if f.failUpload {
+		return errors.New("injected upload failure")
+	}
+	return f.Coordinator.Upload(id, upd)
+}
+
+func TestClientSurfacesCoordinatorErrors(t *testing.T) {
+	space := smallSpace()
+	srv := NewServer(space, ServerConfig{Theta: 0.035, Seed: 3, ProfileSamples: 100, InitSamplesPerClass: 16})
+	fc := &failingCoordinator{Coordinator: srv, failAllocate: true}
+	c, err := NewClient(space, fc, ClientConfig{Theta: 0.035, Budget: 20})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := c.BeginRound(); err == nil {
+		t.Fatal("allocate failure not surfaced")
+	}
+	fc.failAllocate = false
+	fc.failUpload = true
+	if err := c.BeginRound(); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.EndRound(); err == nil {
+		t.Fatal("upload failure not surfaced")
+	}
+}
+
+func TestClientCollectionStatsConsistent(t *testing.T) {
+	c, _ := smallClient(t, ClientConfig{RoundFrames: 200, Budget: 60})
+	gen := smallGen(t)
+	if err := c.BeginRound(); err != nil {
+		t.Fatal(err)
+	}
+	for f := 0; f < 200; f++ {
+		c.Infer(gen.Next())
+	}
+	cs := c.Collection()
+	if cs.Hits+cs.Misses != 200 {
+		t.Fatalf("hits %d + misses %d != 200", cs.Hits, cs.Misses)
+	}
+	if cs.HitAbsorbed > cs.Hits || cs.MissAbsorbed > cs.Misses {
+		t.Fatal("absorbed exceeds preconditions")
+	}
+	if cs.HitAbsorbedCorrect > cs.HitAbsorbed || cs.MissAbsorbedCorrect > cs.MissAbsorbed {
+		t.Fatal("correct counts exceed absorbed counts")
+	}
+}
+
+func TestClientDisableCollectionUploadsNothing(t *testing.T) {
+	c, srv := smallClient(t, ClientConfig{RoundFrames: 100, Budget: 60, DisableCollection: true})
+	gen := smallGen(t)
+	if err := c.BeginRound(); err != nil {
+		t.Fatal(err)
+	}
+	for f := 0; f < 100; f++ {
+		c.Infer(gen.Next())
+	}
+	if err := c.EndRound(); err != nil {
+		t.Fatal(err)
+	}
+	if _, merges := srv.Stats(); merges != 0 {
+		t.Fatalf("merges = %d with collection disabled", merges)
+	}
+}

@@ -1,0 +1,99 @@
+package core
+
+import (
+	"testing"
+
+	"coca/internal/dataset"
+	"coca/internal/model"
+	"coca/internal/semantics"
+	"coca/internal/stream"
+)
+
+func TestClusterValidation(t *testing.T) {
+	space := smallSpace()
+	if _, err := NewCluster(space, ClusterConfig{NumClients: 0, Rounds: 1}); err == nil {
+		t.Error("zero clients accepted")
+	}
+	if _, err := NewCluster(space, ClusterConfig{NumClients: 1, Rounds: 0}); err == nil {
+		t.Error("zero rounds accepted")
+	}
+	if _, err := NewCluster(space, ClusterConfig{
+		NumClients: 2, Rounds: 1,
+		Stream: stream.Config{NumClients: 5},
+	}); err == nil {
+		t.Error("client-count mismatch accepted")
+	}
+}
+
+func TestClusterRunProducesMetrics(t *testing.T) {
+	space := smallSpace()
+	cl, err := NewCluster(space, ClusterConfig{
+		NumClients: 3,
+		Client:     ClientConfig{Theta: 0.035, Budget: 40, RoundFrames: 60},
+		Server:     ServerConfig{Theta: 0.035, Seed: 1, ProfileSamples: 150, InitSamplesPerClass: 16},
+		Stream:     stream.Config{SceneMeanFrames: 15, WorkingSetSize: 6, WorkingSetChurn: 0.05, Seed: 2},
+		Rounds:     2,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	per, combined, err := cl.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(per) != 3 {
+		t.Fatalf("per-client accumulators = %d", len(per))
+	}
+	if combined.Frames() != 3*2*60 {
+		t.Fatalf("combined frames = %d, want 360", combined.Frames())
+	}
+	s := combined.Summary()
+	if s.AvgLatencyMs <= 0 || s.Accuracy <= 0 {
+		t.Fatalf("degenerate summary %+v", s)
+	}
+}
+
+func TestClusterSkipRounds(t *testing.T) {
+	space := smallSpace()
+	cl, err := NewCluster(space, ClusterConfig{
+		NumClients: 1,
+		Client:     ClientConfig{Theta: 0.035, Budget: 40, RoundFrames: 40},
+		Server:     ServerConfig{Theta: 0.035, Seed: 1, ProfileSamples: 100, InitSamplesPerClass: 16},
+		Stream:     stream.Config{SceneMeanFrames: 15, Seed: 2},
+		Rounds:     3, SkipRounds: 2,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, combined, err := cl.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if combined.Frames() != 40 {
+		t.Fatalf("frames = %d, want only the last round's 40", combined.Frames())
+	}
+}
+
+func TestClusterDeterministic(t *testing.T) {
+	mk := func() float64 {
+		space := semantics.NewSpace(dataset.ESC50().Subset(10), model.VGG16BN())
+		cl, err := NewCluster(space, ClusterConfig{
+			NumClients: 2,
+			Client:     ClientConfig{Theta: 0.035, Budget: 40, RoundFrames: 50, EnvBiasWeight: 0.05},
+			Server:     ServerConfig{Theta: 0.035, Seed: 1, ProfileSamples: 100, InitSamplesPerClass: 16},
+			Stream:     stream.Config{SceneMeanFrames: 15, WorkingSetSize: 6, WorkingSetChurn: 0.1, Seed: 2},
+			Rounds:     3,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		_, combined, err := cl.Run()
+		if err != nil {
+			t.Fatal(err)
+		}
+		return combined.Summary().AvgLatencyMs
+	}
+	if a, b := mk(), mk(); a != b {
+		t.Fatalf("cluster runs not deterministic: %v vs %v", a, b)
+	}
+}

@@ -1,0 +1,392 @@
+// The CoCa edge server: global cache table maintenance, layer-benefit
+// profiling, and per-client cache allocation (paper §IV-B, §IV-D).
+package core
+
+import (
+	"fmt"
+	"sync"
+
+	"coca/internal/cache"
+	"coca/internal/gtable"
+	"coca/internal/model"
+	"coca/internal/semantics"
+	"coca/internal/xrand"
+)
+
+// ServerConfig parametrizes a CoCa server.
+type ServerConfig struct {
+	// Gamma is the Eq. 4 global-merge decay (paper default 0.99).
+	Gamma float64
+	// Alpha and Theta configure the lookup model used when profiling
+	// layer hit ratios; they should match the clients' settings.
+	Alpha, Theta float64
+	// InitSamplesPerClass is the size of the shared dataset slice used
+	// to build the initial global cache (semantic centers per class and
+	// layer).
+	InitSamplesPerClass int
+	// ProfileSamples is the number of shared-dataset samples used to
+	// estimate the per-layer cumulative hit-ratio profile R.
+	ProfileSamples int
+	// SupportCap bounds the per-cell evidence count used as the Eq. 4
+	// merge weight, giving the global cache sliding-window semantics: a
+	// bounded cap keeps the adaptation rate constant so entries track
+	// gradual semantic drift instead of freezing as evidence accumulates.
+	SupportCap float64
+	// Seed roots the shared dataset draws.
+	Seed uint64
+	// DisableGlobalUpdates freezes the global table after initialization
+	// (the "without GCU" ablation arm, §VI-H).
+	DisableGlobalUpdates bool
+}
+
+// withDefaults fills unset fields with the paper's defaults.
+func (c ServerConfig) withDefaults() ServerConfig {
+	if c.Gamma == 0 {
+		c.Gamma = gtable.DefaultGamma
+	}
+	if c.Alpha == 0 {
+		c.Alpha = cache.DefaultAlpha
+	}
+	if c.InitSamplesPerClass == 0 {
+		c.InitSamplesPerClass = 64
+	}
+	if c.ProfileSamples == 0 {
+		c.ProfileSamples = 600
+	}
+	if c.SupportCap == 0 {
+		c.SupportCap = 160
+	}
+	return c
+}
+
+// StatusReport is the client→server upload at the start of a round
+// (§IV-A step 1): staleness counters, the client's current hit-ratio
+// estimate and its cache budget.
+type StatusReport struct {
+	// Tau is the per-class staleness vector τ_k.
+	Tau []int
+	// HitRatio is the client's cumulative per-layer hit-ratio estimate
+	// R_k (empty to use the server profile).
+	HitRatio []float64
+	// Budget is Π_k in entry units.
+	Budget int
+	// RoundFrames is the client's F.
+	RoundFrames int
+}
+
+// Allocation is the server→client response: the activated layers with
+// materialized entries extracted from the global table.
+type Allocation struct {
+	Layers []cache.Layer
+	// Classes is the hot-spot set backing the layers (diagnostic).
+	Classes []int
+}
+
+// UpdateCell is one uploaded update-table entry. Count is the number of
+// samples absorbed into Vec this round; it weights the Eq. 4 merge so that
+// an entry supported by many samples moves the global cache more than a
+// single frame can.
+type UpdateCell struct {
+	Class, Layer int
+	Count        int
+	Vec          []float32
+}
+
+// UpdateReport is the client→server upload at the end of a round
+// (§IV-C/D): the Eq. 3 update table and the local class frequencies φ_k.
+type UpdateReport struct {
+	Cells []UpdateCell
+	Freq  []float64
+}
+
+// RegisterInfo is handed to clients on registration.
+type RegisterInfo struct {
+	NumClasses int
+	NumLayers  int
+	// ProfileHitRatio is the server's cumulative per-layer hit-ratio
+	// profile R (length NumLayers).
+	ProfileHitRatio []float64
+	// SavedMs is Υ: compute saved by a hit at each layer.
+	SavedMs []float64
+}
+
+// Coordinator is the server-side interface clients depend on; it is
+// implemented in-process by *Server and over the wire by the protocol
+// client.
+type Coordinator interface {
+	Register(clientID int) (RegisterInfo, error)
+	Allocate(clientID int, status StatusReport) (Allocation, error)
+	Upload(clientID int, upd UpdateReport) error
+}
+
+// Server is the CoCa edge server. All exported methods are safe for
+// concurrent use; the paper's server serializes global-cache access the
+// same way (§VI-I measures the resulting contention).
+type Server struct {
+	cfg   ServerConfig
+	space *semantics.Space
+
+	mu    sync.Mutex
+	table *gtable.Table
+	freq  *gtable.Frequencies
+	// support[class][layer] counts the samples behind each global entry:
+	// the Eq. 4 merge weight. The paper weights by stream frequency Φ/φ;
+	// we weight by evidence counts so a cell built from one noisy frame
+	// cannot displace a center estimated from many (see DESIGN.md).
+	support [][]float64
+	profile []float64
+	savedMs []float64
+	// allocs counts allocation requests (diagnostics / load analysis).
+	allocs int
+	// merges counts applied update cells.
+	merges int
+}
+
+// NewServer builds a server: it materializes the initial global cache from
+// a simulated shared dataset (per-class semantic centers at every layer)
+// and profiles the per-layer cumulative hit ratio R on held-out shared
+// samples.
+func NewServer(space *semantics.Space, cfg ServerConfig) *Server {
+	cfg = cfg.withDefaults()
+	s := &Server{cfg: cfg, space: space}
+	s.initTable()
+	s.profileLayers()
+	return s
+}
+
+// initTable seeds the global table with per-(class, layer) semantic
+// centers computed from InitSamplesPerClass unbiased shared samples, and
+// the frequency vector Φ with the shared counts.
+func (s *Server) initTable() {
+	ds := s.space.DS
+	arch := s.space.Arch
+	s.table = InitialTable(s.space, s.cfg.InitSamplesPerClass, s.cfg.Seed)
+	s.freq = gtable.NewFrequencies(ds.NumClasses)
+	s.support = make([][]float64, ds.NumClasses)
+	for c := range s.support {
+		s.support[c] = make([]float64, arch.NumLayers)
+		for j := range s.support[c] {
+			s.support[c][j] = float64(s.cfg.InitSamplesPerClass)
+		}
+		s.freq.Add(c, float64(s.cfg.InitSamplesPerClass))
+	}
+}
+
+// InitialTable builds the shared-dataset cache table: per-(class, layer)
+// semantic centers averaged over perClass unbiased samples. It is what the
+// paper's server computes from "the global shared dataset" and is also the
+// starting point for the single-client baselines (SMTM, policy caches).
+func InitialTable(space *semantics.Space, perClass int, seed uint64) *gtable.Table {
+	ds := space.DS
+	arch := space.Arch
+	table := gtable.New(ds.NumClasses, arch.NumLayers, model.Dim)
+	for c := 0; c < ds.NumClasses; c++ {
+		sum := make([][]float64, arch.NumLayers)
+		for j := range sum {
+			sum[j] = make([]float64, model.Dim)
+		}
+		for k := 0; k < perClass; k++ {
+			smp := ds.NewSample(c, seed, 0x1217, uint64(k))
+			for j := 0; j < arch.NumLayers; j++ {
+				v := space.SampleVector(smp, j, nil)
+				for d, x := range v {
+					sum[j][d] += float64(x)
+				}
+			}
+		}
+		for j := 0; j < arch.NumLayers; j++ {
+			center := make([]float32, model.Dim)
+			for d := range center {
+				center[d] = float32(sum[j][d])
+			}
+			if err := table.Set(c, j, center); err != nil {
+				panic(fmt.Sprintf("core: initial cache center degenerate for class %d layer %d: %v", c, j, err))
+			}
+		}
+	}
+	return table
+}
+
+// CumulativeHitProfile estimates R over a table: the probability that a
+// shared-dataset sample has hit at or before each layer when every layer
+// and class is cached, at the given lookup configuration.
+func CumulativeHitProfile(space *semantics.Space, table *gtable.Table, lookupCfg cache.Config, samples int, seed uint64) []float64 {
+	arch := space.Arch
+	ds := space.DS
+	L := arch.NumLayers
+	allClasses := make([]int, ds.NumClasses)
+	for i := range allClasses {
+		allClasses[i] = i
+	}
+	layers := make([]cache.Layer, L)
+	for j := 0; j < L; j++ {
+		cls, entries := table.ExtractLayer(j, allClasses)
+		layers[j] = cache.Layer{Site: j, Classes: cls, Entries: entries}
+	}
+	hitsBy := make([]int, L)
+	lookup := cache.NewLookup(lookupCfg)
+	r := xrand.New(seed, 0x9F0F)
+	for n := 0; n < samples; n++ {
+		smp := ds.NewSample(r.IntN(ds.NumClasses), seed, 0x9F0F, uint64(n))
+		lookup.Reset()
+		for j := 0; j < L; j++ {
+			vec := space.SampleVector(smp, j, nil)
+			if lookup.Probe(&layers[j], vec).Hit {
+				hitsBy[j]++
+				break
+			}
+		}
+	}
+	profile := make([]float64, L)
+	cum := 0
+	for j := 0; j < L; j++ {
+		cum += hitsBy[j]
+		profile[j] = float64(cum) / float64(samples)
+	}
+	return profile
+}
+
+// profileLayers estimates R on the server's table and fills Υ with the
+// compute each layer saves on a hit.
+func (s *Server) profileLayers() {
+	arch := s.space.Arch
+	L := arch.NumLayers
+	s.savedMs = make([]float64, L)
+	for j := 0; j < L; j++ {
+		s.savedMs[j] = arch.RemainingLatencyMs(j)
+	}
+	s.profile = CumulativeHitProfile(s.space, s.table,
+		cache.Config{Alpha: s.cfg.Alpha, Theta: s.cfg.Theta},
+		s.cfg.ProfileSamples, s.cfg.Seed)
+}
+
+// Register implements Coordinator.
+func (s *Server) Register(clientID int) (RegisterInfo, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return RegisterInfo{
+		NumClasses:      s.space.DS.NumClasses,
+		NumLayers:       s.space.Arch.NumLayers,
+		ProfileHitRatio: append([]float64(nil), s.profile...),
+		SavedMs:         append([]float64(nil), s.savedMs...),
+	}, nil
+}
+
+// Allocate implements Coordinator: it runs ACA on the client's status and
+// extracts the resulting sub-table from the global cache (§IV-B).
+func (s *Server) Allocate(clientID int, status StatusReport) (Allocation, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if len(status.Tau) != s.space.DS.NumClasses {
+		return Allocation{}, fmt.Errorf("core: client %d status has %d classes, want %d",
+			clientID, len(status.Tau), s.space.DS.NumClasses)
+	}
+	hitRatio := status.HitRatio
+	if len(hitRatio) == 0 {
+		hitRatio = s.profile
+	} else if len(hitRatio) != s.space.Arch.NumLayers {
+		return Allocation{}, fmt.Errorf("core: client %d hit-ratio length %d, want %d",
+			clientID, len(hitRatio), s.space.Arch.NumLayers)
+	}
+	roundFrames := status.RoundFrames
+	if roundFrames <= 0 {
+		roundFrames = DefaultRoundFrames
+	}
+	// Hot-spot set size determines per-layer probe cost; ACA needs it
+	// before stage 1 runs, so run stage 1 implicitly via a first pass
+	// without the cost guard, then re-run with the guard in place.
+	probe, err := RunACA(ACAInput{
+		GlobalFreq:  s.freq.Snapshot(),
+		Tau:         status.Tau,
+		HitRatio:    hitRatio,
+		SavedMs:     s.savedMs,
+		Budget:      status.Budget,
+		RoundFrames: roundFrames,
+		MaxLayers:   1,
+	})
+	if err != nil {
+		return Allocation{}, err
+	}
+	res, err := RunACA(ACAInput{
+		GlobalFreq:   s.freq.Snapshot(),
+		Tau:          status.Tau,
+		HitRatio:     hitRatio,
+		SavedMs:      s.savedMs,
+		Budget:       status.Budget,
+		RoundFrames:  roundFrames,
+		LookupCostMs: s.space.Arch.LookupCostMs(len(probe.Classes)),
+	})
+	if err != nil {
+		return Allocation{}, err
+	}
+	s.allocs++
+	alloc := Allocation{Classes: res.Classes}
+	for _, site := range res.Layers {
+		cls, entries := s.table.ExtractLayer(site, res.Classes)
+		alloc.Layers = append(alloc.Layers, cache.Layer{Site: site, Classes: cls, Entries: entries})
+	}
+	return alloc, nil
+}
+
+// Upload implements Coordinator: it merges the client's update table into
+// the global cache (Eq. 4) and folds its frequencies into Φ (Eq. 5).
+func (s *Server) Upload(clientID int, upd UpdateReport) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if len(upd.Freq) != s.space.DS.NumClasses {
+		return fmt.Errorf("core: client %d frequency length %d, want %d",
+			clientID, len(upd.Freq), s.space.DS.NumClasses)
+	}
+	if !s.cfg.DisableGlobalUpdates {
+		for _, cell := range upd.Cells {
+			if cell.Class < 0 || cell.Class >= s.table.Classes() || cell.Layer < 0 || cell.Layer >= s.table.Layers() {
+				return fmt.Errorf("core: client %d update cell (%d,%d) out of range", clientID, cell.Class, cell.Layer)
+			}
+			if cell.Count < 1 {
+				return fmt.Errorf("core: client %d update cell (%d,%d) has count %d", clientID, cell.Class, cell.Layer, cell.Count)
+			}
+			local := float64(cell.Count)
+			if err := s.table.Merge(cell.Class, cell.Layer, cell.Vec, s.cfg.Gamma, s.support[cell.Class][cell.Layer], local); err != nil {
+				return fmt.Errorf("core: client %d merge (%d,%d): %w", clientID, cell.Class, cell.Layer, err)
+			}
+			s.support[cell.Class][cell.Layer] = min(s.support[cell.Class][cell.Layer]+local, s.cfg.SupportCap)
+			s.merges++
+		}
+	}
+	for class, f := range upd.Freq {
+		if f < 0 {
+			return fmt.Errorf("core: client %d negative frequency for class %d", clientID, class)
+		}
+		s.freq.Add(class, f)
+	}
+	return nil
+}
+
+// Table returns a snapshot of the global cache table (diagnostics and the
+// Fig. 2 experiment).
+func (s *Server) Table() *gtable.Table {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.table.Snapshot()
+}
+
+// GlobalFreq returns a snapshot of Φ.
+func (s *Server) GlobalFreq() []float64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.freq.Snapshot()
+}
+
+// Profile returns the server's cumulative hit-ratio profile R.
+func (s *Server) Profile() []float64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return append([]float64(nil), s.profile...)
+}
+
+// Stats reports allocation and merge counters.
+func (s *Server) Stats() (allocs, merges int) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.allocs, s.merges
+}

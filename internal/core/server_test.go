@@ -1,0 +1,230 @@
+package core
+
+import (
+	"math"
+	"testing"
+
+	"coca/internal/dataset"
+	"coca/internal/model"
+	"coca/internal/semantics"
+	"coca/internal/vecmath"
+	"coca/internal/xrand"
+)
+
+func smallSpace() *semantics.Space {
+	return semantics.NewSpace(dataset.ESC50().Subset(10), model.VGG16BN())
+}
+
+func smallServer(t testing.TB) *Server {
+	t.Helper()
+	return NewServer(smallSpace(), ServerConfig{Theta: 0.035, Seed: 3, ProfileSamples: 200, InitSamplesPerClass: 16})
+}
+
+func TestServerInitTablePopulated(t *testing.T) {
+	srv := smallServer(t)
+	tbl := srv.Table()
+	if tbl.Populated() != 10*13 {
+		t.Fatalf("populated = %d, want %d", tbl.Populated(), 10*13)
+	}
+	// Entries are unit-norm and close to the class prototype.
+	sp := smallSpace()
+	for _, c := range []int{0, 5, 9} {
+		for _, j := range []int{0, 6, 12} {
+			e := tbl.Get(c, j)
+			if math.Abs(float64(vecmath.Norm(e))-1) > 1e-5 {
+				t.Fatalf("entry (%d,%d) not unit", c, j)
+			}
+			if cos := vecmath.Cosine(e, sp.Prototype(c, j)); cos < 0.8 {
+				t.Fatalf("entry (%d,%d) far from prototype: cos %v", c, j, cos)
+			}
+		}
+	}
+}
+
+func TestServerProfileCumulative(t *testing.T) {
+	srv := smallServer(t)
+	prof := srv.Profile()
+	if len(prof) != 13 {
+		t.Fatalf("profile length %d", len(prof))
+	}
+	for j := 1; j < len(prof); j++ {
+		if prof[j] < prof[j-1] {
+			t.Fatal("cumulative profile must be non-decreasing")
+		}
+	}
+	if prof[len(prof)-1] < 0.3 {
+		t.Fatalf("final cumulative hit ratio %v suspiciously low", prof[len(prof)-1])
+	}
+}
+
+func TestServerRegister(t *testing.T) {
+	srv := smallServer(t)
+	info, err := srv.Register(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if info.NumClasses != 10 || info.NumLayers != 13 {
+		t.Fatalf("register info %+v", info)
+	}
+	if len(info.ProfileHitRatio) != 13 || len(info.SavedMs) != 13 {
+		t.Fatal("register vectors wrong length")
+	}
+	if info.SavedMs[0] <= info.SavedMs[12] {
+		t.Fatal("earlier layers must save more compute")
+	}
+}
+
+func TestServerAllocate(t *testing.T) {
+	srv := smallServer(t)
+	status := StatusReport{Tau: make([]int, 10), Budget: 30, RoundFrames: 300}
+	alloc, err := srv.Allocate(1, status)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(alloc.Layers) == 0 {
+		t.Fatal("no layers allocated")
+	}
+	total := 0
+	for _, l := range alloc.Layers {
+		total += l.Len()
+		if len(l.Classes) != len(alloc.Classes) {
+			t.Fatalf("layer %d holds %d classes, hot-spot set has %d", l.Site, len(l.Classes), len(alloc.Classes))
+		}
+	}
+	if total > 30 {
+		t.Fatalf("allocated %d entries over budget", total)
+	}
+	allocs, _ := srv.Stats()
+	if allocs < 1 {
+		t.Fatal("allocation counter not incremented")
+	}
+}
+
+func TestServerAllocateValidatesStatus(t *testing.T) {
+	srv := smallServer(t)
+	if _, err := srv.Allocate(0, StatusReport{Tau: make([]int, 3), Budget: 10}); err == nil {
+		t.Error("short tau accepted")
+	}
+	if _, err := srv.Allocate(0, StatusReport{Tau: make([]int, 10), HitRatio: make([]float64, 2), Budget: 10}); err == nil {
+		t.Error("short hit-ratio accepted")
+	}
+}
+
+func TestServerUploadMergesAndCounts(t *testing.T) {
+	srv := smallServer(t)
+	before := srv.Table().Get(2, 3)
+	vec := xrand.NormalVector(xrand.New(1), model.Dim)
+	vecmath.Normalize(vec)
+	freq := make([]float64, 10)
+	freq[2] = 50
+	err := srv.Upload(0, UpdateReport{
+		Cells: []UpdateCell{{Class: 2, Layer: 3, Count: 8, Vec: vec}},
+		Freq:  freq,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	after := srv.Table().Get(2, 3)
+	if vecmath.Cosine(before, after) > 0.99999 {
+		t.Fatal("merge did not move the entry")
+	}
+	if cos := vecmath.Cosine(after, vec); cos <= vecmath.Cosine(before, vec) {
+		t.Fatalf("entry did not move toward update: %v", cos)
+	}
+	gf := srv.GlobalFreq()
+	if gf[2] != 16+50 {
+		t.Fatalf("global freq = %v, want init+50", gf[2])
+	}
+	_, merges := srv.Stats()
+	if merges != 1 {
+		t.Fatalf("merges = %d", merges)
+	}
+}
+
+func TestServerUploadValidation(t *testing.T) {
+	srv := smallServer(t)
+	vec := make([]float32, model.Dim)
+	vec[0] = 1
+	freq := make([]float64, 10)
+	if err := srv.Upload(0, UpdateReport{Freq: make([]float64, 3)}); err == nil {
+		t.Error("short freq accepted")
+	}
+	if err := srv.Upload(0, UpdateReport{
+		Cells: []UpdateCell{{Class: 99, Layer: 0, Count: 1, Vec: vec}}, Freq: freq,
+	}); err == nil {
+		t.Error("out-of-range class accepted")
+	}
+	if err := srv.Upload(0, UpdateReport{
+		Cells: []UpdateCell{{Class: 0, Layer: 0, Count: 0, Vec: vec}}, Freq: freq,
+	}); err == nil {
+		t.Error("zero count accepted")
+	}
+	badFreq := make([]float64, 10)
+	badFreq[0] = -1
+	if err := srv.Upload(0, UpdateReport{Freq: badFreq}); err == nil {
+		t.Error("negative frequency accepted")
+	}
+}
+
+func TestServerDisableGlobalUpdates(t *testing.T) {
+	srv := NewServer(smallSpace(), ServerConfig{
+		Theta: 0.035, Seed: 3, ProfileSamples: 100, InitSamplesPerClass: 16,
+		DisableGlobalUpdates: true,
+	})
+	before := srv.Table().Get(1, 1)
+	vec := xrand.NormalVector(xrand.New(9), model.Dim)
+	vecmath.Normalize(vec)
+	err := srv.Upload(0, UpdateReport{
+		Cells: []UpdateCell{{Class: 1, Layer: 1, Count: 5, Vec: vec}},
+		Freq:  make([]float64, 10),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	after := srv.Table().Get(1, 1)
+	for i := range before {
+		if before[i] != after[i] {
+			t.Fatal("table changed despite DisableGlobalUpdates")
+		}
+	}
+}
+
+func TestServerSupportCapBoundsAdaptation(t *testing.T) {
+	srv := NewServer(smallSpace(), ServerConfig{
+		Theta: 0.035, Seed: 3, ProfileSamples: 100, InitSamplesPerClass: 16, SupportCap: 20,
+	})
+	vec := xrand.NormalVector(xrand.New(5), model.Dim)
+	vecmath.Normalize(vec)
+	freq := make([]float64, 10)
+	// Many merges: with a capped support, later merges keep a fixed
+	// adaptation rate, so the entry converges near the update vector.
+	for i := 0; i < 60; i++ {
+		if err := srv.Upload(0, UpdateReport{
+			Cells: []UpdateCell{{Class: 4, Layer: 2, Count: 5, Vec: vec}},
+			Freq:  freq,
+		}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if cos := vecmath.Cosine(srv.Table().Get(4, 2), vec); cos < 0.95 {
+		t.Fatalf("capped support should track updates: cos %v", cos)
+	}
+}
+
+func TestServerAllocationUsesClientHitRatio(t *testing.T) {
+	srv := smallServer(t)
+	// A client reporting all hit mass on layer 9 should get layer 9.
+	hr := make([]float64, 13)
+	for j := 9; j < 13; j++ {
+		hr[j] = 0.9
+	}
+	alloc, err := srv.Allocate(0, StatusReport{
+		Tau: make([]int, 10), HitRatio: hr, Budget: 10, RoundFrames: 300,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(alloc.Layers) == 0 || alloc.Layers[0].Site != 9 {
+		t.Fatalf("allocation ignored client hit profile: %+v", alloc.Layers)
+	}
+}

@@ -1,0 +1,176 @@
+package dataset
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestPresetsValidate(t *testing.T) {
+	for _, s := range []*Spec{ImageNet100(), UCF101(), ESC50()} {
+		if err := s.Validate(); err != nil {
+			t.Errorf("%s: %v", s.Name, err)
+		}
+	}
+}
+
+func TestPresetClassCounts(t *testing.T) {
+	if got := ImageNet100().NumClasses; got != 100 {
+		t.Errorf("ImageNet-100 classes = %d", got)
+	}
+	if got := UCF101().NumClasses; got != 101 {
+		t.Errorf("UCF101 classes = %d", got)
+	}
+	if got := ESC50().NumClasses; got != 50 {
+		t.Errorf("ESC-50 classes = %d", got)
+	}
+}
+
+func TestValidateRejectsBadSpecs(t *testing.T) {
+	bad := []*Spec{
+		{Name: "x", NumClasses: 1, BaseAccuracy: 0.5, GroupSize: 1, DifficultyAlpha: 1, DifficultyBeta: 1},
+		{Name: "x", NumClasses: 10, BaseAccuracy: 0, GroupSize: 1, DifficultyAlpha: 1, DifficultyBeta: 1},
+		{Name: "x", NumClasses: 10, BaseAccuracy: 1.5, GroupSize: 1, DifficultyAlpha: 1, DifficultyBeta: 1},
+		{Name: "x", NumClasses: 10, BaseAccuracy: 0.5, GroupSize: 0, DifficultyAlpha: 1, DifficultyBeta: 1},
+		{Name: "x", NumClasses: 10, BaseAccuracy: 0.5, GroupSize: 1, DifficultyAlpha: 0, DifficultyBeta: 1},
+	}
+	for i, s := range bad {
+		if err := s.Validate(); err == nil {
+			t.Errorf("case %d: expected validation error", i)
+		}
+	}
+}
+
+func TestSubset(t *testing.T) {
+	base := UCF101()
+	sub := base.Subset(50)
+	if sub.NumClasses != 50 {
+		t.Fatalf("subset classes = %d", sub.NumClasses)
+	}
+	if sub.Name != "UCF101-50" {
+		t.Fatalf("subset name = %q", sub.Name)
+	}
+	if base.NumClasses != 101 {
+		t.Fatal("Subset mutated the base spec")
+	}
+}
+
+func TestSubsetPanicsOutOfRange(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	UCF101().Subset(500)
+}
+
+func TestGroupAndConfusables(t *testing.T) {
+	s := ImageNet100() // GroupSize 5
+	if s.Group(0) != 0 || s.Group(4) != 0 || s.Group(5) != 1 {
+		t.Fatal("Group boundaries wrong")
+	}
+	c := s.Confusables(7)
+	want := map[int]bool{5: true, 6: true, 8: true, 9: true}
+	if len(c) != 4 {
+		t.Fatalf("Confusables(7) = %v", c)
+	}
+	for _, x := range c {
+		if !want[x] {
+			t.Fatalf("Confusables(7) = %v, unexpected %d", c, x)
+		}
+	}
+}
+
+func TestConfusablesLastPartialGroup(t *testing.T) {
+	s := UCF101() // 101 classes, GroupSize 5 => last group is {100}
+	c := s.Confusables(100)
+	if len(c) != 0 {
+		t.Fatalf("Confusables(100) = %v, want empty", c)
+	}
+}
+
+func TestNewSampleDeterministic(t *testing.T) {
+	s := UCF101()
+	a := s.NewSample(3, 42, 7)
+	b := s.NewSample(3, 42, 7)
+	if a != b {
+		t.Fatalf("same seed parts gave different samples: %+v vs %+v", a, b)
+	}
+	c := s.NewSample(3, 42, 8)
+	if a.Seed == c.Seed {
+		t.Fatal("different seed parts gave same sample seed")
+	}
+}
+
+func TestNewSampleDifficultyDistribution(t *testing.T) {
+	s := UCF101()
+	const n = 5000
+	var sum float64
+	var hard int
+	for i := 0; i < n; i++ {
+		smp := s.NewSample(i%s.NumClasses, uint64(i))
+		if smp.Difficulty < 0 || smp.Difficulty >= 1 {
+			t.Fatalf("difficulty out of range: %v", smp.Difficulty)
+		}
+		sum += smp.Difficulty
+		if smp.Difficulty > 0.7 {
+			hard++
+		}
+	}
+	mean := sum / n
+	// Beta(1.1, 2.4) mean = 1.1/3.5 ≈ 0.314.
+	if math.Abs(mean-0.314) > 0.03 {
+		t.Fatalf("difficulty mean = %v, want ~0.314", mean)
+	}
+	// Heavy right tail must exist but be a minority.
+	frac := float64(hard) / n
+	if frac < 0.02 || frac > 0.25 {
+		t.Fatalf("hard-sample fraction = %v, want small minority", frac)
+	}
+}
+
+func TestByName(t *testing.T) {
+	for _, name := range []string{"ImageNet-100", "UCF101", "ESC-50"} {
+		s, err := ByName(name)
+		if err != nil || s.Name != name {
+			t.Errorf("ByName(%q) = %v, %v", name, s, err)
+		}
+	}
+	if _, err := ByName("CIFAR"); err == nil {
+		t.Error("ByName should reject unknown dataset")
+	}
+}
+
+func TestPropertySampleClassPreserved(t *testing.T) {
+	s := ImageNet100()
+	f := func(classRaw uint8, seed uint64) bool {
+		class := int(classRaw) % s.NumClasses
+		smp := s.NewSample(class, seed)
+		return smp.Class == class && smp.Difficulty >= 0 && smp.Difficulty < 1
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPropertyGroupPartition(t *testing.T) {
+	s := UCF101()
+	f := func(aRaw, bRaw uint8) bool {
+		a := int(aRaw) % s.NumClasses
+		b := int(bRaw) % s.NumClasses
+		sameGroup := s.Group(a) == s.Group(b)
+		inConf := false
+		for _, c := range s.Confusables(a) {
+			if c == b {
+				inConf = true
+			}
+		}
+		if a == b {
+			return !inConf // a class is never its own confusable
+		}
+		return inConf == sameGroup
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,107 @@
+// Package engine defines the inference-engine abstraction shared by CoCa
+// and all baselines, and a round-structured runner that drives a fleet of
+// per-client engines over their sample streams, mirroring the paper's
+// evaluation loop (F frames per round, with per-round coordination hooks).
+package engine
+
+import (
+	"fmt"
+
+	"coca/internal/dataset"
+	"coca/internal/metrics"
+	"coca/internal/stream"
+)
+
+// Result is the outcome of one inference.
+type Result struct {
+	// Pred is the returned class.
+	Pred int
+	// LatencyMs is the total virtual latency, including lookups.
+	LatencyMs float64
+	// LookupMs is the portion spent probing caches.
+	LookupMs float64
+	// Hit reports whether a cache served the result; HitLayer is the
+	// serving cache site (-1 on a miss).
+	Hit      bool
+	HitLayer int
+}
+
+// Engine is a per-client inference engine.
+type Engine interface {
+	// Infer processes one sample.
+	Infer(smp dataset.Sample) Result
+}
+
+// RoundHooks is implemented by engines that coordinate per round (CoCa's
+// allocation/update protocol, SMTM's cache refresh, LearnedCache's
+// retraining).
+type RoundHooks interface {
+	// BeginRound runs before the round's frames (e.g. request a cache
+	// allocation).
+	BeginRound() error
+	// EndRound runs after the round's frames (e.g. upload updates).
+	EndRound() error
+}
+
+// RunConfig drives RunRounds.
+type RunConfig struct {
+	// Rounds is the number of rounds to execute.
+	Rounds int
+	// FramesPerRound is the paper's F (default cadence 300).
+	FramesPerRound int
+	// SkipRounds drops the first n rounds from the reported metrics,
+	// excluding cold-start transients (cache warm-up) the way the
+	// paper's steady-state measurements do. The frames still run.
+	SkipRounds int
+}
+
+// RunRounds drives one engine per client over its generator for the
+// configured rounds and returns a per-client accumulator plus a combined
+// one. Engines implementing RoundHooks get BeginRound/EndRound calls around
+// every round; hook errors abort the run.
+func RunRounds(engines []Engine, gens []*stream.Generator, cfg RunConfig) (perClient []*metrics.Accumulator, combined *metrics.Accumulator, err error) {
+	if len(engines) != len(gens) {
+		return nil, nil, fmt.Errorf("engine: %d engines but %d generators", len(engines), len(gens))
+	}
+	if cfg.Rounds < 1 || cfg.FramesPerRound < 1 {
+		return nil, nil, fmt.Errorf("engine: invalid run config %+v", cfg)
+	}
+	perClient = make([]*metrics.Accumulator, len(engines))
+	for i := range perClient {
+		perClient[i] = &metrics.Accumulator{}
+	}
+	combined = &metrics.Accumulator{}
+	for round := 0; round < cfg.Rounds; round++ {
+		record := round >= cfg.SkipRounds
+		for k, eng := range engines {
+			if h, ok := eng.(RoundHooks); ok {
+				if err := h.BeginRound(); err != nil {
+					return nil, nil, fmt.Errorf("engine: client %d round %d begin: %w", k, round, err)
+				}
+			}
+			for f := 0; f < cfg.FramesPerRound; f++ {
+				smp := gens[k].Next()
+				res := eng.Infer(smp)
+				if record {
+					obs := metrics.Obs{
+						LatencyMs: res.LatencyMs,
+						LookupMs:  res.LookupMs,
+						Correct:   res.Pred == smp.Class,
+						Hit:       res.Hit,
+						HitLayer:  res.HitLayer,
+						TrueClass: smp.Class,
+						Pred:      res.Pred,
+					}
+					perClient[k].Record(obs)
+					combined.Record(obs)
+				}
+			}
+			if h, ok := eng.(RoundHooks); ok {
+				if err := h.EndRound(); err != nil {
+					return nil, nil, fmt.Errorf("engine: client %d round %d end: %w", k, round, err)
+				}
+			}
+		}
+	}
+	return perClient, combined, nil
+}

@@ -1,0 +1,404 @@
+// Package experiments regenerates every table and figure of the paper's
+// evaluation (§III motivation studies and §VI performance evaluation) on
+// the simulated substrate. Each experiment is registered by its paper id
+// (e.g. "table2", "fig7") and produces a metrics.Table whose rows mirror
+// the paper's; EXPERIMENTS.md records the paper-vs-measured comparison.
+package experiments
+
+import (
+	"fmt"
+	"sort"
+
+	"coca/internal/baseline"
+	"coca/internal/cache"
+	"coca/internal/core"
+	"coca/internal/dataset"
+	"coca/internal/engine"
+	"coca/internal/gtable"
+	"coca/internal/metrics"
+	"coca/internal/model"
+	"coca/internal/semantics"
+	"coca/internal/stream"
+)
+
+// Options tune an experiment run.
+type Options struct {
+	// Scale shrinks run lengths for quick checks and benchmarks: 1.0 is
+	// the full experiment, 0.25 runs quarter-length rounds/sweeps.
+	Scale float64
+	// Seed roots all workload randomness.
+	Seed uint64
+}
+
+func (o Options) withDefaults() Options {
+	if o.Scale == 0 {
+		o.Scale = 1
+	}
+	if o.Seed == 0 {
+		o.Seed = 1
+	}
+	return o
+}
+
+// frames scales a frame count, with a floor that keeps statistics sane.
+func (o Options) frames(full int) int {
+	n := int(float64(full) * o.Scale)
+	if n < 60 {
+		n = 60
+	}
+	return n
+}
+
+// rounds scales a round count, with a floor of 2.
+func (o Options) rounds(full int) int {
+	n := int(float64(full) * o.Scale)
+	if n < 2 {
+		n = 2
+	}
+	return n
+}
+
+// Result is an experiment's output.
+type Result struct {
+	ID    string
+	Table *metrics.Table
+}
+
+// Experiment is a registered reproduction target.
+type Experiment struct {
+	// ID is the paper artifact id: "fig1a" ... "fig10b", "table1" ...
+	ID string
+	// Title describes the artifact.
+	Title string
+	// Shape states the qualitative property the paper reports and this
+	// run should reproduce.
+	Shape string
+	// Run executes the experiment.
+	Run func(Options) (*Result, error)
+}
+
+// Registry lists all experiments in paper order.
+func Registry() []Experiment {
+	return []Experiment{
+		{ID: "fig1a", Title: "Fig. 1(a): latency/accuracy vs cache size", Shape: "latency dips to a minimum near 10% cache size then creeps up; accuracy stable", Run: Fig1a},
+		{ID: "fig1b", Title: "Fig. 1(b): per-layer hit ratio and hit accuracy", Shape: "hit ratio high shallow+deep, low mid; hit accuracy lower at shallow/deep than middle", Run: Fig1b},
+		{ID: "fig2", Title: "Fig. 2: global updates vs cluster quality (t-SNE)", Shape: "with global updates, cache centers align with sample clusters (higher margin/silhouette)", Run: Fig2},
+		{ID: "table1", Title: "Table I: hot-spot class count sweep", Shape: "latency minimal near the true hot-spot count; accuracy collapses below it, stabilizes above", Run: Table1},
+		{ID: "fig5", Title: "Fig. 5: threshold Θ sweep", Shape: "hit ratio falls with Θ; hit/total accuracy and latency rise", Run: Fig5},
+		{ID: "fig6", Title: "Fig. 6: collection thresholds Γ and Δ", Shape: "absorption ratio falls, collected-sample accuracy rises with both thresholds", Run: Fig6},
+		{ID: "table2", Title: "Table II: latency under SLO accuracy-loss budgets", Shape: "CoCa lowest latency under both budgets; order CoCa < SMTM < FoggyCache < LearnedCache < Edge-Only", Run: Table2},
+		{ID: "table3", Title: "Table III: uniform vs long-tail distribution", Shape: "CoCa best in both groups and faster on long-tail than uniform", Run: Table3},
+		{ID: "fig7", Title: "Fig. 7: latency under non-IID levels", Shape: "Edge-Only flat; caching methods speed up as non-IID level rises; CoCa best", Run: Fig7},
+		{ID: "fig8", Title: "Fig. 8: ACA vs LRU/FIFO/RAND", Shape: "all methods improve then worsen with cache size; ACA clearly best past size 30", Run: Fig8},
+		{ID: "fig9", Title: "Fig. 9: ablation (Normal/GCU/DCA/DCA+GCU)", Shape: "DCA dominates latency reduction; DCA+GCU best overall; GCU mild", Run: Fig9},
+		{ID: "fig10a", Title: "Fig. 10(a): update cycle F sweep", Shape: "latency falls then stabilizes for F ≥ 300; accuracy declines slightly with F", Run: Fig10a},
+		{ID: "fig10b", Title: "Fig. 10(b): cache-request response latency vs clients", Shape: "response latency grows mildly with client count (~+7% from 60 to 160)", Run: Fig10b},
+	}
+}
+
+// ByID finds a registered experiment.
+func ByID(id string) (Experiment, error) {
+	for _, e := range Registry() {
+		if e.ID == id {
+			return e, nil
+		}
+	}
+	return Experiment{}, fmt.Errorf("experiments: unknown experiment %q", id)
+}
+
+// ---- shared scenario plumbing ----
+
+// Per-model hit thresholds Θ for the two SLO accuracy-loss budgets the
+// paper evaluates (§VI-D): <3% and <5%.
+func thetaFor(arch *model.Arch, strict bool) float64 {
+	switch arch.Name {
+	case "VGG16_BN":
+		if strict {
+			return 0.035
+		}
+		return 0.027
+	case "AST":
+		if strict {
+			return 0.022
+		}
+		return 0.017
+	default: // ResNets
+		if strict {
+			return 0.012
+		}
+		return 0.008
+	}
+}
+
+// workload bundles the stream settings shared by most experiments.
+type workload struct {
+	ds           *dataset.Spec
+	classWeights []float64
+	nonIID       float64
+	sceneMean    float64
+	workingSet   int
+	churn        float64
+	seed         uint64
+}
+
+func defaultWorkload(ds *dataset.Spec, seed uint64) workload {
+	return workload{
+		ds: ds, sceneMean: 25, workingSet: 15, churn: 0.05, seed: seed,
+	}
+}
+
+func (w workload) config(clients int) stream.Config {
+	return stream.Config{
+		Dataset:         w.ds,
+		NumClients:      clients,
+		ClassWeights:    w.classWeights,
+		NonIIDLevel:     w.nonIID,
+		SceneMeanFrames: w.sceneMean,
+		WorkingSetSize:  w.workingSet,
+		WorkingSetChurn: w.churn,
+		Seed:            w.seed,
+	}
+}
+
+// envFor builds the per-client feature environment used across methods so
+// comparisons see identical conditions.
+func envFor(clientID int, bias float64) *semantics.Env {
+	if bias == 0 {
+		return nil
+	}
+	return semantics.NewEnv(uint64(clientID)+1, bias)
+}
+
+// runEngines drives one engine per client over the workload and returns
+// the combined summary.
+func runEngines(engines []engine.Engine, w workload, rounds, framesPerRound, skip int) (metrics.Summary, error) {
+	part, err := stream.NewPartition(w.config(len(engines)))
+	if err != nil {
+		return metrics.Summary{}, err
+	}
+	gens := make([]*stream.Generator, len(engines))
+	for k := range gens {
+		gens[k] = part.Client(k)
+	}
+	_, combined, err := engine.RunRounds(engines, gens, engine.RunConfig{
+		Rounds: rounds, FramesPerRound: framesPerRound, SkipRounds: skip,
+	})
+	if err != nil {
+		return metrics.Summary{}, err
+	}
+	return combined.Summary(), nil
+}
+
+// methodSet builds the five comparison systems on a shared space/workload.
+type methodSet struct {
+	space   *semantics.Space
+	clients int
+	bias    float64
+	theta   float64
+	budget  int
+	frames  int
+	seed    uint64
+	// initTable is shared by SMTM and the policy caches.
+	initTable *gtable.Table
+}
+
+func newMethodSet(space *semantics.Space, clients int, theta float64, budget, frames int, seed uint64) *methodSet {
+	return &methodSet{
+		space: space, clients: clients, bias: 0.05, theta: theta,
+		budget: budget, frames: frames, seed: seed,
+		initTable: core.InitialTable(space, 64, seed),
+	}
+}
+
+func (m *methodSet) edgeOnly() []engine.Engine {
+	out := make([]engine.Engine, m.clients)
+	for k := range out {
+		out[k] = baseline.NewEdgeOnly(m.space, envFor(k, m.bias))
+	}
+	return out
+}
+
+func (m *methodSet) learnedCache(strict bool) ([]engine.Engine, error) {
+	margin := 0.7 * (1 - m.space.Arch.RhoSame)
+	if !strict {
+		margin = 0.55 * (1 - m.space.Arch.RhoSame)
+	}
+	out := make([]engine.Engine, m.clients)
+	for k := range out {
+		lc, err := baseline.NewLearnedCache(m.space, envFor(k, m.bias), baseline.LearnedCacheConfig{
+			ExitMargin: margin,
+		})
+		if err != nil {
+			return nil, err
+		}
+		out[k] = lc
+	}
+	return out, nil
+}
+
+func (m *methodSet) foggyCache(strict bool) ([]engine.Engine, error) {
+	minSim := 0.34
+	if !strict {
+		minSim = 0.28
+	}
+	srv := baseline.NewFoggyServer(baseline.FoggyCacheConfig{MinSimilarity: minSim})
+	out := make([]engine.Engine, m.clients)
+	for k := range out {
+		fc, err := baseline.NewFoggyCache(m.space, envFor(k, m.bias), srv, baseline.FoggyCacheConfig{MinSimilarity: minSim})
+		if err != nil {
+			return nil, err
+		}
+		out[k] = fc
+	}
+	return out, nil
+}
+
+func (m *methodSet) smtm(theta float64) ([]engine.Engine, error) {
+	out := make([]engine.Engine, m.clients)
+	for k := range out {
+		s, err := baseline.NewSMTM(m.space, envFor(k, m.bias), baseline.SMTMConfig{
+			Theta: theta, NumLayers: 4, Budget: m.budget,
+			RoundFrames: m.frames, InitTable: m.initTable,
+		})
+		if err != nil {
+			return nil, err
+		}
+		out[k] = s
+	}
+	return out, nil
+}
+
+// coca builds a CoCa cluster sharing the workload conditions; mutate is an
+// optional hook over the cluster config (ablation arms etc.).
+func (m *methodSet) coca(theta float64, mutate func(*core.ClusterConfig)) ([]engine.Engine, *core.Cluster, error) {
+	cfg := core.ClusterConfig{
+		NumClients: m.clients,
+		Client: core.ClientConfig{
+			Theta: theta, Budget: m.budget, RoundFrames: m.frames,
+			EnvBiasWeight: m.bias,
+		},
+		Server: core.ServerConfig{Theta: theta, Seed: m.seed},
+		Rounds: 1, // overridden by the caller's runEngines loop
+	}
+	if mutate != nil {
+		mutate(&cfg)
+	}
+	// The cluster builds its own generators, but experiments drive all
+	// methods through runEngines for identical streams; so only its
+	// server/clients are used.
+	space := m.space
+	srv := core.NewServer(space, cfg.Server)
+	engines := make([]engine.Engine, m.clients)
+	cluster := &core.Cluster{Space: space, Server: srv}
+	for k := 0; k < m.clients; k++ {
+		ccfg := cfg.Client
+		ccfg.ID = k
+		ccfg.EnvSeed = uint64(k) + 1
+		cl, err := core.NewClient(space, srv, ccfg)
+		if err != nil {
+			return nil, nil, err
+		}
+		engines[k] = cl
+		cluster.Clients = append(cluster.Clients, cl)
+	}
+	return engines, cluster, nil
+}
+
+// newSpace builds a semantics space (alias kept short for experiment code).
+func newSpace(ds *dataset.Spec, arch *model.Arch) *semantics.Space {
+	return semantics.NewSpace(ds, arch)
+}
+
+// sortedLayerKeys returns sorted keys of a per-layer map.
+func sortedLayerKeys(m map[int]float64) []int {
+	keys := make([]int, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Ints(keys)
+	return keys
+}
+
+// fixedEngine is a single-client semantic cache with a frozen layer/class
+// configuration — the instrument behind the paper's §III motivation
+// studies (Fig. 1, Table I), which isolate cache geometry from allocation.
+type fixedEngine struct {
+	space  *semantics.Space
+	env    *semantics.Env
+	local  *cache.Local
+	lookup *cache.Lookup
+}
+
+func newFixedEngine(space *semantics.Space, env *semantics.Env, table *gtable.Table, sites, classes []int, theta float64) (*fixedEngine, error) {
+	layers := make([]cache.Layer, 0, len(sites))
+	for _, site := range sites {
+		cls, entries := table.ExtractLayer(site, classes)
+		layers = append(layers, cache.Layer{Site: site, Classes: cls, Entries: entries})
+	}
+	local, err := cache.NewLocal(layers)
+	if err != nil {
+		return nil, err
+	}
+	return &fixedEngine{
+		space:  space,
+		env:    env,
+		local:  local,
+		lookup: cache.NewLookup(cache.Config{Alpha: cache.DefaultAlpha, Theta: theta}),
+	}, nil
+}
+
+func (f *fixedEngine) Infer(smp dataset.Sample) engine.Result {
+	arch := f.space.Arch
+	f.lookup.Reset()
+	var latency, lookupMs float64
+	res := engine.Result{Pred: -1, HitLayer: -1}
+	for j := 0; j <= arch.NumLayers; j++ {
+		latency += arch.BlockLatencyMs[j]
+		if j == arch.NumLayers {
+			break
+		}
+		layer := f.local.LayerAt(j)
+		if layer == nil || layer.Len() == 0 {
+			continue
+		}
+		vec := f.space.SampleVector(smp, j, f.env)
+		cost := arch.LookupCostMs(layer.Len())
+		latency += cost
+		lookupMs += cost
+		if pr := f.lookup.Probe(layer, vec); pr.Hit {
+			res.Pred = pr.Class
+			res.Hit = true
+			res.HitLayer = j
+			break
+		}
+	}
+	if !res.Hit {
+		res.Pred = f.space.Predict(smp, f.env).Class
+	}
+	res.LatencyMs = latency
+	res.LookupMs = lookupMs
+	return res
+}
+
+// evenSites returns n sites evenly spaced over [0, L).
+func evenSites(L, n int) []int {
+	if n <= 0 {
+		return nil
+	}
+	if n > L {
+		n = L
+	}
+	out := make([]int, 0, n)
+	for i := 0; i < n; i++ {
+		out = append(out, i*L/n)
+	}
+	return out
+}
+
+func allClasses(n int) []int {
+	out := make([]int, n)
+	for i := range out {
+		out[i] = i
+	}
+	return out
+}

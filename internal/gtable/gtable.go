@@ -1,0 +1,318 @@
+// Package gtable implements CoCa's two-dimensional cache tables
+// (paper §IV): the server's global cache table, whose rows are classes and
+// columns are cache layers, and the client-side cache update table that is
+// periodically uploaded and merged into it.
+//
+// Update rules implemented here:
+//
+//	U(i,j) = V(i,j) + β·U(i,j), then L2-normalize          (Eq. 3)
+//	E(i,j) = γ·Φi/(Φi+φi)·E(i,j) + φi/(Φi+φi)·U(i,j),
+//	         then L2-normalize                              (Eq. 4)
+//	Φi     = Φi + φi                                        (Eq. 5)
+package gtable
+
+import (
+	"fmt"
+
+	"coca/internal/vecmath"
+)
+
+// Default decay coefficients from the paper.
+const (
+	// DefaultBeta attenuates older samples in the client update table
+	// (Eq. 3).
+	DefaultBeta = 0.95
+	// DefaultGamma attenuates the old global entry during merges
+	// (Eq. 4).
+	DefaultGamma = 0.99
+)
+
+// Table is a dense classes × layers table of unit semantic vectors.
+// Entries may be absent (nil) until first set. Table is not safe for
+// concurrent mutation; CoCa's server serializes access.
+type Table struct {
+	classes int
+	layers  int
+	dim     int
+	vecs    [][][]float32 // [class][layer] -> unit vector or nil
+}
+
+// New creates an empty table. It panics on non-positive dimensions:
+// table shapes come from validated specs.
+func New(classes, layers, dim int) *Table {
+	if classes < 1 || layers < 1 || dim < 1 {
+		panic(fmt.Sprintf("gtable: invalid shape %d×%d×%d", classes, layers, dim))
+	}
+	t := &Table{classes: classes, layers: layers, dim: dim}
+	t.vecs = make([][][]float32, classes)
+	for i := range t.vecs {
+		t.vecs[i] = make([][]float32, layers)
+	}
+	return t
+}
+
+// Classes returns the number of rows.
+func (t *Table) Classes() int { return t.classes }
+
+// Layers returns the number of columns.
+func (t *Table) Layers() int { return t.layers }
+
+// Dim returns the entry dimensionality.
+func (t *Table) Dim() int { return t.dim }
+
+func (t *Table) check(class, layer int) {
+	if class < 0 || class >= t.classes || layer < 0 || layer >= t.layers {
+		panic(fmt.Sprintf("gtable: index (%d,%d) outside %d×%d", class, layer, t.classes, t.layers))
+	}
+}
+
+// Has reports whether entry (class, layer) is populated.
+func (t *Table) Has(class, layer int) bool {
+	t.check(class, layer)
+	return t.vecs[class][layer] != nil
+}
+
+// Get returns the entry at (class, layer), or nil if absent. The returned
+// slice is shared; callers must not mutate it.
+func (t *Table) Get(class, layer int) []float32 {
+	t.check(class, layer)
+	return t.vecs[class][layer]
+}
+
+// Set stores a normalized copy of vec at (class, layer). A zero vector is
+// rejected.
+func (t *Table) Set(class, layer int, vec []float32) error {
+	t.check(class, layer)
+	if len(vec) != t.dim {
+		return fmt.Errorf("gtable: Set dim %d, want %d", len(vec), t.dim)
+	}
+	v := vecmath.Clone(vec)
+	if vecmath.Normalize(v) == 0 {
+		return fmt.Errorf("gtable: Set zero vector at (%d,%d)", class, layer)
+	}
+	t.vecs[class][layer] = v
+	return nil
+}
+
+// Merge applies Eq. 4 to entry (class, layer): a weighted combination of
+// the existing global entry (weight γ·Φ/(Φ+φ)) and the uploaded update
+// vector (weight φ/(Φ+φ)), re-normalized. If the entry was absent the
+// update is stored directly. globalFreq and localFreq are Φi and φi; both
+// must be non-negative and localFreq positive.
+func (t *Table) Merge(class, layer int, update []float32, gamma, globalFreq, localFreq float64) error {
+	t.check(class, layer)
+	if len(update) != t.dim {
+		return fmt.Errorf("gtable: Merge dim %d, want %d", len(update), t.dim)
+	}
+	if gamma < 0 || gamma > 1 {
+		return fmt.Errorf("gtable: Merge gamma %v outside [0,1]", gamma)
+	}
+	if globalFreq < 0 || localFreq <= 0 {
+		return fmt.Errorf("gtable: Merge frequencies Φ=%v φ=%v invalid", globalFreq, localFreq)
+	}
+	old := t.vecs[class][layer]
+	if old == nil {
+		return t.Set(class, layer, update)
+	}
+	wOld := float32(gamma * globalFreq / (globalFreq + localFreq))
+	wNew := float32(localFreq / (globalFreq + localFreq))
+	merged := vecmath.WeightedSum(wOld, old, wNew, update)
+	if vecmath.Normalize(merged) == 0 {
+		// Perfect cancellation: keep the previous entry rather than
+		// storing a degenerate zero.
+		return nil
+	}
+	t.vecs[class][layer] = merged
+	return nil
+}
+
+// Snapshot returns a deep copy of the table.
+func (t *Table) Snapshot() *Table {
+	out := New(t.classes, t.layers, t.dim)
+	for i := range t.vecs {
+		for j, v := range t.vecs[i] {
+			if v != nil {
+				out.vecs[i][j] = vecmath.Clone(v)
+			}
+		}
+	}
+	return out
+}
+
+// ExtractLayer returns copies of the populated entries of the given column
+// restricted to classes, preserving the class order and skipping absent
+// entries.
+func (t *Table) ExtractLayer(layer int, classes []int) (cls []int, entries [][]float32) {
+	for _, c := range classes {
+		t.check(c, layer)
+		if v := t.vecs[c][layer]; v != nil {
+			cls = append(cls, c)
+			entries = append(entries, vecmath.Clone(v))
+		}
+	}
+	return cls, entries
+}
+
+// Populated returns the number of non-nil entries.
+func (t *Table) Populated() int {
+	n := 0
+	for i := range t.vecs {
+		for _, v := range t.vecs[i] {
+			if v != nil {
+				n++
+			}
+		}
+	}
+	return n
+}
+
+// UpdateTable accumulates a client's selected sample vectors between
+// uploads (Eq. 3). It is sparse: only touched (class, layer) cells exist.
+// Each cell also tracks how many samples it absorbed, which the server
+// uses as the merge weight — an entry supported by many samples carries
+// more evidence than one built from a single frame.
+type UpdateTable struct {
+	beta   float64
+	dim    int
+	vecs   map[cell][]float32
+	counts map[cell]int
+}
+
+type cell struct{ class, layer int }
+
+// NewUpdateTable creates an empty update table with decay beta.
+func NewUpdateTable(beta float64, dim int) *UpdateTable {
+	if beta < 0 || beta > 1 {
+		panic(fmt.Sprintf("gtable: update beta %v outside [0,1]", beta))
+	}
+	if dim < 1 {
+		panic(fmt.Sprintf("gtable: update dim %d < 1", dim))
+	}
+	return &UpdateTable{
+		beta:   beta,
+		dim:    dim,
+		vecs:   make(map[cell][]float32),
+		counts: make(map[cell]int),
+	}
+}
+
+// Absorb folds a sample's semantic vector at (class, layer) into the
+// table per Eq. 3 and re-normalizes.
+func (u *UpdateTable) Absorb(class, layer int, vec []float32) error {
+	if len(vec) != u.dim {
+		return fmt.Errorf("gtable: Absorb dim %d, want %d", len(vec), u.dim)
+	}
+	key := cell{class, layer}
+	old := u.vecs[key]
+	var v []float32
+	if old == nil {
+		v = vecmath.Clone(vec)
+	} else {
+		v = vecmath.WeightedSum(1, vec, float32(u.beta), old)
+	}
+	if vecmath.Normalize(v) == 0 {
+		return fmt.Errorf("gtable: Absorb degenerate vector at (%d,%d)", class, layer)
+	}
+	u.vecs[key] = v
+	u.counts[key]++
+	return nil
+}
+
+// Len returns the number of populated cells.
+func (u *UpdateTable) Len() int { return len(u.vecs) }
+
+// Reset clears the table for the next round.
+func (u *UpdateTable) Reset() {
+	clear(u.vecs)
+	clear(u.counts)
+}
+
+// Entry returns the cell's vector, or nil. Shared; do not mutate.
+func (u *UpdateTable) Entry(class, layer int) []float32 {
+	return u.vecs[cell{class, layer}]
+}
+
+// Count returns how many samples the cell absorbed since the last Reset.
+func (u *UpdateTable) Count(class, layer int) int {
+	return u.counts[cell{class, layer}]
+}
+
+// ForEach visits populated cells in unspecified order.
+func (u *UpdateTable) ForEach(fn func(class, layer int, vec []float32, count int)) {
+	for k, v := range u.vecs {
+		fn(k.class, k.layer, v, u.counts[k])
+	}
+}
+
+// Cells returns the populated (class, layer) pairs in unspecified order.
+func (u *UpdateTable) Cells() [][2]int {
+	out := make([][2]int, 0, len(u.vecs))
+	for k := range u.vecs {
+		out = append(out, [2]int{k.class, k.layer})
+	}
+	return out
+}
+
+// Frequencies tracks the class frequency vectors Φ (global) and φ (local).
+type Frequencies struct {
+	counts []float64
+}
+
+// NewFrequencies creates a zero frequency vector over n classes.
+func NewFrequencies(n int) *Frequencies {
+	if n < 1 {
+		panic(fmt.Sprintf("gtable: frequencies over %d classes", n))
+	}
+	return &Frequencies{counts: make([]float64, n)}
+}
+
+// Observe increments class's count.
+func (f *Frequencies) Observe(class int) { f.counts[class]++ }
+
+// Add increases class's count by n (n must be non-negative).
+func (f *Frequencies) Add(class int, n float64) {
+	if n < 0 {
+		panic(fmt.Sprintf("gtable: Add negative count %v", n))
+	}
+	f.counts[class] += n
+}
+
+// Count returns class's count.
+func (f *Frequencies) Count(class int) float64 { return f.counts[class] }
+
+// Len returns the class count.
+func (f *Frequencies) Len() int { return len(f.counts) }
+
+// AddFrom merges another frequency vector per Eq. 5.
+func (f *Frequencies) AddFrom(other *Frequencies) error {
+	if other.Len() != f.Len() {
+		return fmt.Errorf("gtable: AddFrom length %d, want %d", other.Len(), f.Len())
+	}
+	for i, c := range other.counts {
+		f.counts[i] += c
+	}
+	return nil
+}
+
+// Reset zeroes all counts.
+func (f *Frequencies) Reset() {
+	for i := range f.counts {
+		f.counts[i] = 0
+	}
+}
+
+// Snapshot returns a copy of the counts.
+func (f *Frequencies) Snapshot() []float64 {
+	out := make([]float64, len(f.counts))
+	copy(out, f.counts)
+	return out
+}
+
+// Total returns the sum of all counts.
+func (f *Frequencies) Total() float64 {
+	var s float64
+	for _, c := range f.counts {
+		s += c
+	}
+	return s
+}

@@ -1,0 +1,133 @@
+package metrics
+
+import (
+	"math"
+	"strings"
+	"testing"
+)
+
+func TestAccumulatorBasics(t *testing.T) {
+	var a Accumulator
+	a.Record(Obs{LatencyMs: 10, LookupMs: 1, Correct: true, Hit: true, HitLayer: 3})
+	a.Record(Obs{LatencyMs: 30, LookupMs: 2, Correct: false, Hit: false, HitLayer: -1})
+	a.Record(Obs{LatencyMs: 20, LookupMs: 3, Correct: true, Hit: true, HitLayer: 3})
+	s := a.Summary()
+	if s.Frames != 3 {
+		t.Fatalf("Frames = %d", s.Frames)
+	}
+	if math.Abs(s.AvgLatencyMs-20) > 1e-9 {
+		t.Fatalf("AvgLatencyMs = %v", s.AvgLatencyMs)
+	}
+	if math.Abs(s.AvgLookupMs-2) > 1e-9 {
+		t.Fatalf("AvgLookupMs = %v", s.AvgLookupMs)
+	}
+	if math.Abs(s.Accuracy-2.0/3) > 1e-9 {
+		t.Fatalf("Accuracy = %v", s.Accuracy)
+	}
+	if math.Abs(s.HitRatio-2.0/3) > 1e-9 {
+		t.Fatalf("HitRatio = %v", s.HitRatio)
+	}
+	if s.HitAccuracy != 1 {
+		t.Fatalf("HitAccuracy = %v", s.HitAccuracy)
+	}
+	if math.Abs(s.PerLayerHitRatio[3]-2.0/3) > 1e-9 {
+		t.Fatalf("PerLayerHitRatio = %v", s.PerLayerHitRatio)
+	}
+}
+
+func TestEmptySummary(t *testing.T) {
+	var a Accumulator
+	s := a.Summary()
+	if s.Frames != 0 || s.AvgLatencyMs != 0 || s.Accuracy != 0 {
+		t.Fatalf("empty summary = %+v", s)
+	}
+}
+
+func TestPercentiles(t *testing.T) {
+	var a Accumulator
+	for i := 1; i <= 100; i++ {
+		a.Record(Obs{LatencyMs: float64(i)})
+	}
+	s := a.Summary()
+	if s.P50LatencyMs < 45 || s.P50LatencyMs > 55 {
+		t.Fatalf("P50 = %v", s.P50LatencyMs)
+	}
+	if s.P95LatencyMs < 90 || s.P95LatencyMs > 99 {
+		t.Fatalf("P95 = %v", s.P95LatencyMs)
+	}
+	if s.P99LatencyMs < 95 || s.P99LatencyMs > 100 {
+		t.Fatalf("P99 = %v", s.P99LatencyMs)
+	}
+}
+
+func TestMerge(t *testing.T) {
+	var a, b Accumulator
+	a.Record(Obs{LatencyMs: 10, Correct: true, Hit: true, HitLayer: 1})
+	b.Record(Obs{LatencyMs: 20, Correct: false, Hit: true, HitLayer: 2})
+	b.Record(Obs{LatencyMs: 30})
+	a.Merge(&b)
+	s := a.Summary()
+	if s.Frames != 3 {
+		t.Fatalf("merged frames = %d", s.Frames)
+	}
+	if math.Abs(s.AvgLatencyMs-20) > 1e-9 {
+		t.Fatalf("merged avg = %v", s.AvgLatencyMs)
+	}
+	if s.PerLayerHitRatio[1] == 0 || s.PerLayerHitRatio[2] == 0 {
+		t.Fatal("merged per-layer hits missing")
+	}
+}
+
+func TestHitAccuracyNoHits(t *testing.T) {
+	var a Accumulator
+	a.Record(Obs{LatencyMs: 1, Correct: true})
+	if got := a.Summary().HitAccuracy; got != 0 {
+		t.Fatalf("HitAccuracy with no hits = %v", got)
+	}
+}
+
+func TestTableString(t *testing.T) {
+	tb := NewTable("Table II", "Method", "Lat.(ms)", "Acc.(%)")
+	tb.AddRow("Edge-Only", "29.94", "78.12")
+	tb.AddRow("CoCa", "23.05", "75.73")
+	tb.AddNote("accuracy loss constraint 3%%")
+	out := tb.String()
+	for _, want := range []string{"Table II", "Edge-Only", "CoCa", "Method", "23.05", "# accuracy loss"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("table output missing %q:\n%s", want, out)
+		}
+	}
+	lines := strings.Split(strings.TrimSpace(out), "\n")
+	if len(lines) != 6 {
+		t.Fatalf("unexpected line count %d:\n%s", len(lines), out)
+	}
+}
+
+func TestTableShortRowPadded(t *testing.T) {
+	tb := NewTable("", "A", "B")
+	tb.AddRow("only")
+	if len(tb.Rows[0]) != 2 {
+		t.Fatal("short row not padded")
+	}
+}
+
+func TestTableCSV(t *testing.T) {
+	tb := NewTable("x", "A", "B")
+	tb.AddRow("1", `va"l,ue`)
+	csv := tb.CSV()
+	if !strings.Contains(csv, `"va""l,ue"`) {
+		t.Fatalf("CSV quoting wrong: %q", csv)
+	}
+	if !strings.HasPrefix(csv, "A,B\n") {
+		t.Fatalf("CSV header wrong: %q", csv)
+	}
+}
+
+func TestFmtPct(t *testing.T) {
+	if Fmt(3.14159, 2) != "3.14" {
+		t.Fatal("Fmt wrong")
+	}
+	if Pct(0.7812, 2) != "78.12" {
+		t.Fatal("Pct wrong")
+	}
+}

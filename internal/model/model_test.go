@@ -1,0 +1,181 @@
+package model
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestPresetsValidate(t *testing.T) {
+	for _, a := range Presets() {
+		if err := a.Validate(); err != nil {
+			t.Errorf("%s: %v", a.Name, err)
+		}
+	}
+}
+
+func TestPresetShapes(t *testing.T) {
+	cases := []struct {
+		arch    *Arch
+		layers  int
+		totalMs float64
+	}{
+		{VGG16BN(), 13, 29.94},
+		{ResNet50(), 16, 36.10},
+		{ResNet101(), 34, 40.58},
+		{ResNet152(), 50, 62.85},
+		{ASTBase(), 12, 52.00},
+	}
+	for _, c := range cases {
+		if c.arch.NumLayers != c.layers {
+			t.Errorf("%s layers = %d, want %d", c.arch.Name, c.arch.NumLayers, c.layers)
+		}
+		if got := c.arch.TotalLatencyMs(); math.Abs(got-c.totalMs) > 1e-9 {
+			t.Errorf("%s total = %v, want %v", c.arch.Name, got, c.totalMs)
+		}
+	}
+}
+
+func TestLookupCalibration(t *testing.T) {
+	// Searching all layers with 50 entries each must cost ~56.22% of the
+	// uncached pass (paper §III-1 measured this for ResNet101).
+	a := ResNet101()
+	var total float64
+	for j := 0; j < a.NumLayers; j++ {
+		total += a.LookupCostMs(50)
+	}
+	frac := total / a.TotalLatencyMs()
+	if math.Abs(frac-0.5622) > 1e-6 {
+		t.Fatalf("all-layer lookup fraction = %v, want 0.5622", frac)
+	}
+}
+
+func TestLookupCostMonotone(t *testing.T) {
+	a := ResNet101()
+	if a.LookupCostMs(0) != 0 {
+		t.Fatal("empty layer must cost 0")
+	}
+	if a.LookupCostMs(-3) != 0 {
+		t.Fatal("negative entries must cost 0")
+	}
+	if !(a.LookupCostMs(10) < a.LookupCostMs(50)) {
+		t.Fatal("lookup cost must grow with entries")
+	}
+}
+
+func TestPrefixRemainingLatency(t *testing.T) {
+	a := VGG16BN()
+	for j := 0; j < a.NumLayers; j++ {
+		p := a.PrefixLatencyMs(j)
+		r := a.RemainingLatencyMs(j)
+		if p <= 0 || r <= 0 {
+			t.Fatalf("layer %d: prefix %v remaining %v", j, p, r)
+		}
+		if math.Abs(p+r-a.TotalLatencyMs()) > 1e-9 {
+			t.Fatalf("layer %d: prefix+remaining != total", j)
+		}
+	}
+	// Earlier exits save more compute.
+	if !(a.RemainingLatencyMs(0) > a.RemainingLatencyMs(a.NumLayers-1)) {
+		t.Fatal("early exits must save more")
+	}
+}
+
+func TestNoiseProfileShape(t *testing.T) {
+	for _, a := range Presets() {
+		ns := a.NoiseScale
+		// Non-increasing overall (validated), final clearly small.
+		if ns[len(ns)-1] > 0.15 {
+			t.Errorf("%s: final noise %v too high", a.Name, ns[len(ns)-1])
+		}
+		if ns[0] < 0.8 {
+			t.Errorf("%s: shallow noise %v too low", a.Name, ns[0])
+		}
+		// The last-quarter drop must be steeper than the mid-section
+		// decline (sharp late gain in discriminability).
+		L := a.NumLayers
+		knee := int(math.Round(0.75 * float64(L)))
+		midSlope := (ns[0] - ns[knee]) / float64(knee)
+		lateSlope := (ns[knee] - ns[L]) / float64(L-knee)
+		if lateSlope <= midSlope {
+			t.Errorf("%s: late noise drop (%v/layer) not steeper than mid (%v/layer)", a.Name, lateSlope, midSlope)
+		}
+	}
+}
+
+func TestRhoProfiles(t *testing.T) {
+	a := ResNet101()
+	// Cross-group correlation declines with depth (features specialize).
+	if !(a.RhoCross[0] > a.RhoCross[a.NumLayers]) {
+		t.Fatal("cross-group correlation must decline with depth")
+	}
+	// Same-group correlation always exceeds cross-group.
+	for j, rc := range a.RhoCross {
+		if rc >= a.RhoSame {
+			t.Fatalf("layer %d: RhoCross %v >= RhoSame %v", j, rc, a.RhoSame)
+		}
+	}
+	// VGG's flatter feature space has lower same-group correlation,
+	// giving it larger discriminative-score scales: D ≈ (1−ρ)/ρ lands in
+	// the paper's Θ ranges (ResNet 0.008–0.016, VGG 0.027–0.043).
+	v := VGG16BN()
+	dResNet := (1 - a.RhoSame) / a.RhoSame
+	dVGG := (1 - v.RhoSame) / v.RhoSame
+	if !(dResNet > 0.008 && dResNet < 0.025) {
+		t.Errorf("ResNet D scale = %v, want within paper Θ range", dResNet)
+	}
+	// VGG's sweep tops out at Θ=0.043, so its D scale must exceed it.
+	if !(dVGG > 0.043 && dVGG < 0.08) {
+		t.Errorf("VGG D scale = %v, want just above paper Θ range", dVGG)
+	}
+}
+
+func TestValidateCatchesCorruption(t *testing.T) {
+	a := ResNet101()
+	a.BlockLatencyMs[3] = -1
+	if err := a.Validate(); err == nil {
+		t.Fatal("expected error for negative block latency")
+	}
+	a = ResNet101()
+	a.NoiseScale[5] = a.NoiseScale[4] + 1
+	if err := a.Validate(); err == nil {
+		t.Fatal("expected error for increasing noise")
+	}
+	a = ResNet101()
+	a.NoiseScale = a.NoiseScale[:3]
+	if err := a.Validate(); err == nil {
+		t.Fatal("expected error for short NoiseScale")
+	}
+}
+
+func TestByName(t *testing.T) {
+	for _, name := range []string{"VGG16_BN", "ResNet50", "ResNet101", "ResNet152", "AST"} {
+		a, err := ByName(name)
+		if err != nil || a.Name != name {
+			t.Errorf("ByName(%q) = %v, %v", name, a, err)
+		}
+	}
+	if _, err := ByName("BERT"); err == nil {
+		t.Error("ByName should reject unknown model")
+	}
+}
+
+func TestDeeperModelsSlower(t *testing.T) {
+	if !(ResNet50().TotalLatencyMs() < ResNet101().TotalLatencyMs()) {
+		t.Fatal("ResNet50 must be faster than ResNet101")
+	}
+	if !(ResNet101().TotalLatencyMs() < ResNet152().TotalLatencyMs()) {
+		t.Fatal("ResNet101 must be faster than ResNet152")
+	}
+}
+
+func TestPropertyPrefixMonotone(t *testing.T) {
+	a := ResNet152()
+	f := func(x uint8) bool {
+		j := int(x) % (a.NumLayers - 1)
+		return a.PrefixLatencyMs(j) < a.PrefixLatencyMs(j+1)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}

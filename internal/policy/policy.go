@@ -1,0 +1,179 @@
+// Package policy implements the classical cache-replacement strategies the
+// paper compares ACA against in Fig. 8: LRU, FIFO and RAND, operating over
+// class identifiers within a fixed-capacity set.
+package policy
+
+import (
+	"container/list"
+	"fmt"
+	"math/rand/v2"
+
+	"coca/internal/xrand"
+)
+
+// Replacer manages a bounded set of cached classes under a replacement
+// strategy. Implementations are not safe for concurrent use.
+type Replacer interface {
+	// Contains reports whether class is cached.
+	Contains(class int) bool
+	// Touch records an access to class (a cache hit); no-op for classes
+	// not cached.
+	Touch(class int)
+	// Insert adds class, evicting per the policy when full. It returns
+	// the evicted class and whether an eviction happened. Inserting a
+	// cached class is a Touch.
+	Insert(class int) (evicted int, didEvict bool)
+	// Classes returns the cached classes in unspecified order.
+	Classes() []int
+	// Len and Cap report current and maximum size.
+	Len() int
+	Cap() int
+}
+
+// NewLRU returns a least-recently-used replacer.
+func NewLRU(capacity int) Replacer {
+	mustPositive(capacity)
+	return &lru{capacity: capacity, elems: make(map[int]*list.Element), order: list.New()}
+}
+
+type lru struct {
+	capacity int
+	elems    map[int]*list.Element
+	order    *list.List // front = most recent
+}
+
+func (c *lru) Contains(class int) bool { _, ok := c.elems[class]; return ok }
+func (c *lru) Len() int                { return len(c.elems) }
+func (c *lru) Cap() int                { return c.capacity }
+
+func (c *lru) Touch(class int) {
+	if e, ok := c.elems[class]; ok {
+		c.order.MoveToFront(e)
+	}
+}
+
+func (c *lru) Insert(class int) (int, bool) {
+	if e, ok := c.elems[class]; ok {
+		c.order.MoveToFront(e)
+		return 0, false
+	}
+	var evicted int
+	didEvict := false
+	if len(c.elems) >= c.capacity {
+		back := c.order.Back()
+		evicted = back.Value.(int)
+		c.order.Remove(back)
+		delete(c.elems, evicted)
+		didEvict = true
+	}
+	c.elems[class] = c.order.PushFront(class)
+	return evicted, didEvict
+}
+
+func (c *lru) Classes() []int {
+	out := make([]int, 0, len(c.elems))
+	for e := c.order.Front(); e != nil; e = e.Next() {
+		out = append(out, e.Value.(int))
+	}
+	return out
+}
+
+// NewFIFO returns a first-in-first-out replacer.
+func NewFIFO(capacity int) Replacer {
+	mustPositive(capacity)
+	return &fifo{capacity: capacity, members: make(map[int]bool)}
+}
+
+type fifo struct {
+	capacity int
+	members  map[int]bool
+	queue    []int
+}
+
+func (c *fifo) Contains(class int) bool { return c.members[class] }
+func (c *fifo) Len() int                { return len(c.members) }
+func (c *fifo) Cap() int                { return c.capacity }
+func (c *fifo) Touch(int)               {} // FIFO ignores accesses
+
+func (c *fifo) Insert(class int) (int, bool) {
+	if c.members[class] {
+		return 0, false
+	}
+	var evicted int
+	didEvict := false
+	if len(c.members) >= c.capacity {
+		evicted = c.queue[0]
+		c.queue = c.queue[1:]
+		delete(c.members, evicted)
+		didEvict = true
+	}
+	c.members[class] = true
+	c.queue = append(c.queue, class)
+	return evicted, didEvict
+}
+
+func (c *fifo) Classes() []int {
+	return append([]int(nil), c.queue...)
+}
+
+// NewRand returns a random-replacement replacer seeded deterministically.
+func NewRand(capacity int, seed uint64) Replacer {
+	mustPositive(capacity)
+	return &random{capacity: capacity, members: make(map[int]int), rng: xrand.New(seed, 0x4A4D)}
+}
+
+type random struct {
+	capacity int
+	members  map[int]int // class -> index in order
+	order    []int
+	rng      *rand.Rand
+}
+
+func (c *random) Contains(class int) bool { _, ok := c.members[class]; return ok }
+func (c *random) Len() int                { return len(c.members) }
+func (c *random) Cap() int                { return c.capacity }
+func (c *random) Touch(int)               {} // RAND ignores accesses
+
+func (c *random) Insert(class int) (int, bool) {
+	if _, ok := c.members[class]; ok {
+		return 0, false
+	}
+	var evicted int
+	didEvict := false
+	if len(c.members) >= c.capacity {
+		i := c.rng.IntN(len(c.order))
+		evicted = c.order[i]
+		last := len(c.order) - 1
+		c.order[i] = c.order[last]
+		c.members[c.order[i]] = i
+		c.order = c.order[:last]
+		delete(c.members, evicted)
+		didEvict = true
+	}
+	c.members[class] = len(c.order)
+	c.order = append(c.order, class)
+	return evicted, didEvict
+}
+
+func (c *random) Classes() []int {
+	return append([]int(nil), c.order...)
+}
+
+// ByName constructs a replacer by policy name ("LRU", "FIFO", "RAND").
+func ByName(name string, capacity int, seed uint64) (Replacer, error) {
+	switch name {
+	case "LRU":
+		return NewLRU(capacity), nil
+	case "FIFO":
+		return NewFIFO(capacity), nil
+	case "RAND":
+		return NewRand(capacity, seed), nil
+	}
+	return nil, fmt.Errorf("policy: unknown policy %q", name)
+}
+
+func mustPositive(capacity int) {
+	if capacity < 1 {
+		panic(fmt.Sprintf("policy: capacity %d < 1", capacity))
+	}
+}

@@ -1,0 +1,141 @@
+package policy
+
+import (
+	"testing"
+	"testing/quick"
+
+	"coca/internal/xrand"
+)
+
+func TestLRUEvictsLeastRecent(t *testing.T) {
+	c := NewLRU(2)
+	c.Insert(1)
+	c.Insert(2)
+	c.Touch(1) // 2 is now least recent
+	evicted, did := c.Insert(3)
+	if !did || evicted != 2 {
+		t.Fatalf("evicted %d (%v), want 2", evicted, did)
+	}
+	if !c.Contains(1) || !c.Contains(3) || c.Contains(2) {
+		t.Fatalf("contents wrong: %v", c.Classes())
+	}
+}
+
+func TestLRUInsertExistingIsTouch(t *testing.T) {
+	c := NewLRU(2)
+	c.Insert(1)
+	c.Insert(2)
+	if _, did := c.Insert(1); did {
+		t.Fatal("re-insert must not evict")
+	}
+	// 1 is now most recent; inserting 3 evicts 2.
+	if evicted, _ := c.Insert(3); evicted != 2 {
+		t.Fatalf("evicted %d, want 2", evicted)
+	}
+}
+
+func TestFIFOEvictsOldestRegardlessOfTouch(t *testing.T) {
+	c := NewFIFO(2)
+	c.Insert(1)
+	c.Insert(2)
+	c.Touch(1) // must not matter
+	evicted, did := c.Insert(3)
+	if !did || evicted != 1 {
+		t.Fatalf("evicted %d (%v), want 1", evicted, did)
+	}
+}
+
+func TestFIFOOrder(t *testing.T) {
+	c := NewFIFO(3)
+	for _, x := range []int{4, 5, 6} {
+		c.Insert(x)
+	}
+	got := c.Classes()
+	for i, want := range []int{4, 5, 6} {
+		if got[i] != want {
+			t.Fatalf("queue order %v", got)
+		}
+	}
+}
+
+func TestRandEvictsSomeMember(t *testing.T) {
+	c := NewRand(3, 1)
+	c.Insert(1)
+	c.Insert(2)
+	c.Insert(3)
+	evicted, did := c.Insert(4)
+	if !did {
+		t.Fatal("expected eviction")
+	}
+	if evicted != 1 && evicted != 2 && evicted != 3 {
+		t.Fatalf("evicted non-member %d", evicted)
+	}
+	if c.Len() != 3 || !c.Contains(4) {
+		t.Fatalf("post-insert state wrong: %v", c.Classes())
+	}
+}
+
+func TestByName(t *testing.T) {
+	for _, name := range []string{"LRU", "FIFO", "RAND"} {
+		r, err := ByName(name, 4, 1)
+		if err != nil || r.Cap() != 4 {
+			t.Errorf("ByName(%q) = %v, %v", name, r, err)
+		}
+	}
+	if _, err := ByName("ARC", 4, 1); err == nil {
+		t.Error("unknown policy accepted")
+	}
+}
+
+func TestZeroCapacityPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	NewLRU(0)
+}
+
+func TestPropertyInvariants(t *testing.T) {
+	f := func(seed uint64, capRaw, opsRaw uint8) bool {
+		capacity := 1 + int(capRaw)%10
+		r := xrand.New(seed)
+		for _, mk := range []func() Replacer{
+			func() Replacer { return NewLRU(capacity) },
+			func() Replacer { return NewFIFO(capacity) },
+			func() Replacer { return NewRand(capacity, seed) },
+		} {
+			c := mk()
+			for i := 0; i < int(opsRaw); i++ {
+				class := r.IntN(20)
+				switch r.IntN(3) {
+				case 0:
+					before := c.Contains(class)
+					evicted, did := c.Insert(class)
+					if before && did {
+						return false // inserting member must not evict
+					}
+					if did && c.Contains(evicted) {
+						return false // evicted must be gone
+					}
+					if !c.Contains(class) {
+						return false // inserted must be present
+					}
+				case 1:
+					c.Touch(class)
+				case 2:
+					if len(c.Classes()) != c.Len() {
+						return false
+					}
+				}
+				if c.Len() > c.Cap() {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}

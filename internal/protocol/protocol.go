@@ -1,0 +1,313 @@
+// Package protocol defines the wire format of CoCa's client–server
+// exchanges and adapters that run the core coordinator over any
+// transport.Conn: a versioned binary codec (stdlib encoding/binary only)
+// for registration, status upload / cache allocation, and update upload.
+package protocol
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math"
+
+	"coca/internal/cache"
+	"coca/internal/core"
+)
+
+// Version is the wire-format version; mismatches are rejected.
+const Version = 1
+
+// Message type tags.
+const (
+	TypeHello byte = iota + 1
+	TypeHelloAck
+	TypeStatus
+	TypeAllocation
+	TypeUpdate
+	TypeAck
+	TypeError
+)
+
+// Message is a decoded protocol message; exactly one payload field is set,
+// matching Type.
+type Message struct {
+	Type     byte
+	ClientID int32
+
+	Hello      *Hello
+	HelloAck   *core.RegisterInfo
+	Status     *core.StatusReport
+	Allocation *core.Allocation
+	Update     *core.UpdateReport
+	Error      string
+}
+
+// Hello is the registration request.
+type Hello struct {
+	// NumClasses and NumLayers let the server verify model agreement.
+	NumClasses, NumLayers int32
+}
+
+// ---- encoding primitives ----
+
+type writer struct{ buf []byte }
+
+func (w *writer) u8(v byte)     { w.buf = append(w.buf, v) }
+func (w *writer) u32(v uint32)  { w.buf = binary.BigEndian.AppendUint32(w.buf, v) }
+func (w *writer) i32(v int32)   { w.u32(uint32(v)) }
+func (w *writer) f64(v float64) { w.buf = binary.BigEndian.AppendUint64(w.buf, math.Float64bits(v)) }
+func (w *writer) f32(v float32) { w.u32(math.Float32bits(v)) }
+
+func (w *writer) i32s(vs []int) {
+	w.u32(uint32(len(vs)))
+	for _, v := range vs {
+		w.i32(int32(v))
+	}
+}
+
+func (w *writer) f64s(vs []float64) {
+	w.u32(uint32(len(vs)))
+	for _, v := range vs {
+		w.f64(v)
+	}
+}
+
+func (w *writer) f32s(vs []float32) {
+	w.u32(uint32(len(vs)))
+	for _, v := range vs {
+		w.f32(v)
+	}
+}
+
+func (w *writer) str(s string) {
+	w.u32(uint32(len(s)))
+	w.buf = append(w.buf, s...)
+}
+
+type reader struct {
+	buf []byte
+	off int
+	err error
+}
+
+func (r *reader) fail(what string) {
+	if r.err == nil {
+		r.err = fmt.Errorf("protocol: truncated %s at offset %d", what, r.off)
+	}
+}
+
+func (r *reader) u8() byte {
+	if r.err != nil || r.off+1 > len(r.buf) {
+		r.fail("u8")
+		return 0
+	}
+	v := r.buf[r.off]
+	r.off++
+	return v
+}
+
+func (r *reader) u32() uint32 {
+	if r.err != nil || r.off+4 > len(r.buf) {
+		r.fail("u32")
+		return 0
+	}
+	v := binary.BigEndian.Uint32(r.buf[r.off:])
+	r.off += 4
+	return v
+}
+
+func (r *reader) i32() int32   { return int32(r.u32()) }
+func (r *reader) f32() float32 { return math.Float32frombits(r.u32()) }
+
+func (r *reader) f64() float64 {
+	if r.err != nil || r.off+8 > len(r.buf) {
+		r.fail("f64")
+		return 0
+	}
+	v := math.Float64frombits(binary.BigEndian.Uint64(r.buf[r.off:]))
+	r.off += 8
+	return v
+}
+
+// length reads a collection length and bounds it against the remaining
+// bytes (at least minElemSize bytes must remain per element).
+func (r *reader) length(minElemSize int) int {
+	n := int(r.u32())
+	if r.err == nil && (n < 0 || n*minElemSize > len(r.buf)-r.off) {
+		r.fail("length")
+		return 0
+	}
+	return n
+}
+
+func (r *reader) i32s() []int {
+	n := r.length(4)
+	out := make([]int, 0, n)
+	for i := 0; i < n; i++ {
+		out = append(out, int(r.i32()))
+	}
+	return out
+}
+
+func (r *reader) f64s() []float64 {
+	n := r.length(8)
+	out := make([]float64, 0, n)
+	for i := 0; i < n; i++ {
+		out = append(out, r.f64())
+	}
+	return out
+}
+
+func (r *reader) f32s() []float32 {
+	n := r.length(4)
+	out := make([]float32, 0, n)
+	for i := 0; i < n; i++ {
+		out = append(out, r.f32())
+	}
+	return out
+}
+
+func (r *reader) str() string {
+	n := r.length(1)
+	if r.err != nil {
+		return ""
+	}
+	s := string(r.buf[r.off : r.off+n])
+	r.off += n
+	return s
+}
+
+// ---- message codec ----
+
+// Encode serializes a message.
+func Encode(m *Message) ([]byte, error) {
+	w := &writer{buf: make([]byte, 0, 256)}
+	w.u8(Version)
+	w.u8(m.Type)
+	w.i32(m.ClientID)
+	switch m.Type {
+	case TypeHello:
+		if m.Hello == nil {
+			return nil, fmt.Errorf("protocol: hello payload missing")
+		}
+		w.i32(m.Hello.NumClasses)
+		w.i32(m.Hello.NumLayers)
+	case TypeHelloAck:
+		if m.HelloAck == nil {
+			return nil, fmt.Errorf("protocol: hello-ack payload missing")
+		}
+		w.i32(int32(m.HelloAck.NumClasses))
+		w.i32(int32(m.HelloAck.NumLayers))
+		w.f64s(m.HelloAck.ProfileHitRatio)
+		w.f64s(m.HelloAck.SavedMs)
+	case TypeStatus:
+		if m.Status == nil {
+			return nil, fmt.Errorf("protocol: status payload missing")
+		}
+		w.i32s(m.Status.Tau)
+		w.f64s(m.Status.HitRatio)
+		w.i32(int32(m.Status.Budget))
+		w.i32(int32(m.Status.RoundFrames))
+	case TypeAllocation:
+		if m.Allocation == nil {
+			return nil, fmt.Errorf("protocol: allocation payload missing")
+		}
+		w.i32s(m.Allocation.Classes)
+		w.u32(uint32(len(m.Allocation.Layers)))
+		for _, l := range m.Allocation.Layers {
+			w.i32(int32(l.Site))
+			w.i32s(l.Classes)
+			w.u32(uint32(len(l.Entries)))
+			for _, e := range l.Entries {
+				w.f32s(e)
+			}
+		}
+	case TypeUpdate:
+		if m.Update == nil {
+			return nil, fmt.Errorf("protocol: update payload missing")
+		}
+		w.f64s(m.Update.Freq)
+		w.u32(uint32(len(m.Update.Cells)))
+		for _, c := range m.Update.Cells {
+			w.i32(int32(c.Class))
+			w.i32(int32(c.Layer))
+			w.i32(int32(c.Count))
+			w.f32s(c.Vec)
+		}
+	case TypeAck:
+		// no payload
+	case TypeError:
+		w.str(m.Error)
+	default:
+		return nil, fmt.Errorf("protocol: unknown message type %d", m.Type)
+	}
+	return w.buf, nil
+}
+
+// Decode parses a frame.
+func Decode(frame []byte) (*Message, error) {
+	r := &reader{buf: frame}
+	if v := r.u8(); v != Version {
+		return nil, fmt.Errorf("protocol: version %d, want %d", v, Version)
+	}
+	m := &Message{Type: r.u8(), ClientID: r.i32()}
+	switch m.Type {
+	case TypeHello:
+		m.Hello = &Hello{NumClasses: r.i32(), NumLayers: r.i32()}
+	case TypeHelloAck:
+		info := &core.RegisterInfo{
+			NumClasses: int(r.i32()),
+			NumLayers:  int(r.i32()),
+		}
+		info.ProfileHitRatio = r.f64s()
+		info.SavedMs = r.f64s()
+		m.HelloAck = info
+	case TypeStatus:
+		st := &core.StatusReport{}
+		st.Tau = r.i32s()
+		st.HitRatio = r.f64s()
+		st.Budget = int(r.i32())
+		st.RoundFrames = int(r.i32())
+		m.Status = st
+	case TypeAllocation:
+		al := &core.Allocation{}
+		al.Classes = r.i32s()
+		nLayers := r.length(4)
+		for i := 0; i < nLayers && r.err == nil; i++ {
+			l := cache.Layer{Site: int(r.i32())}
+			l.Classes = r.i32s()
+			nEntries := r.length(4)
+			for e := 0; e < nEntries && r.err == nil; e++ {
+				l.Entries = append(l.Entries, r.f32s())
+			}
+			al.Layers = append(al.Layers, l)
+		}
+		m.Allocation = al
+	case TypeUpdate:
+		up := &core.UpdateReport{}
+		up.Freq = r.f64s()
+		nCells := r.length(12)
+		for i := 0; i < nCells && r.err == nil; i++ {
+			c := core.UpdateCell{
+				Class: int(r.i32()),
+				Layer: int(r.i32()),
+				Count: int(r.i32()),
+			}
+			c.Vec = r.f32s()
+			up.Cells = append(up.Cells, c)
+		}
+		m.Update = up
+	case TypeAck:
+		// no payload
+	case TypeError:
+		m.Error = r.str()
+	default:
+		return nil, fmt.Errorf("protocol: unknown message type %d", m.Type)
+	}
+	if r.err != nil {
+		return nil, r.err
+	}
+	if r.off != len(frame) {
+		return nil, fmt.Errorf("protocol: %d trailing bytes", len(frame)-r.off)
+	}
+	return m, nil
+}

@@ -1,0 +1,178 @@
+package protocol
+
+import (
+	"reflect"
+	"testing"
+	"testing/quick"
+
+	"coca/internal/cache"
+	"coca/internal/core"
+	"coca/internal/xrand"
+)
+
+func sampleMessages() []*Message {
+	return []*Message{
+		{Type: TypeHello, ClientID: 3, Hello: &Hello{NumClasses: 50, NumLayers: 34}},
+		{Type: TypeHelloAck, ClientID: 3, HelloAck: &core.RegisterInfo{
+			NumClasses: 50, NumLayers: 34,
+			ProfileHitRatio: []float64{0.1, 0.5, 0.9},
+			SavedMs:         []float64{40, 20, 5},
+		}},
+		{Type: TypeStatus, ClientID: 7, Status: &core.StatusReport{
+			Tau:      []int{0, 3, 900},
+			HitRatio: []float64{0.2, 0.4},
+			Budget:   200, RoundFrames: 300,
+		}},
+		{Type: TypeAllocation, ClientID: 7, Allocation: &core.Allocation{
+			Classes: []int{4, 9},
+			Layers: []cache.Layer{
+				{Site: 2, Classes: []int{4, 9}, Entries: [][]float32{{1, 0}, {0, 1}}},
+				{Site: 8, Classes: []int{4, 9}, Entries: [][]float32{{0.5, 0.5}, {0.7, 0.1}}},
+			},
+		}},
+		{Type: TypeUpdate, ClientID: 1, Update: &core.UpdateReport{
+			Freq: []float64{1, 0, 7},
+			Cells: []core.UpdateCell{
+				{Class: 0, Layer: 5, Count: 3, Vec: []float32{0.1, 0.9}},
+			},
+		}},
+		{Type: TypeAck, ClientID: 1},
+		{Type: TypeError, ClientID: 2, Error: "model mismatch"},
+	}
+}
+
+func TestEncodeDecodeRoundTrip(t *testing.T) {
+	for _, m := range sampleMessages() {
+		frame, err := Encode(m)
+		if err != nil {
+			t.Fatalf("encode type %d: %v", m.Type, err)
+		}
+		got, err := Decode(frame)
+		if err != nil {
+			t.Fatalf("decode type %d: %v", m.Type, err)
+		}
+		if !reflect.DeepEqual(m, got) {
+			t.Fatalf("round-trip mismatch for type %d:\n  sent %+v\n  got  %+v", m.Type, m, got)
+		}
+	}
+}
+
+func TestDecodeRejectsVersionMismatch(t *testing.T) {
+	frame, err := Encode(&Message{Type: TypeAck})
+	if err != nil {
+		t.Fatal(err)
+	}
+	frame[0] = Version + 1
+	if _, err := Decode(frame); err == nil {
+		t.Fatal("version mismatch accepted")
+	}
+}
+
+func TestDecodeRejectsUnknownType(t *testing.T) {
+	frame, err := Encode(&Message{Type: TypeAck})
+	if err != nil {
+		t.Fatal(err)
+	}
+	frame[1] = 0x7F
+	if _, err := Decode(frame); err == nil {
+		t.Fatal("unknown type accepted")
+	}
+}
+
+func TestDecodeRejectsTruncation(t *testing.T) {
+	for _, m := range sampleMessages() {
+		frame, err := Encode(m)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, cut := range []int{1, len(frame) / 2, len(frame) - 1} {
+			if cut >= len(frame) {
+				continue
+			}
+			if _, err := Decode(frame[:cut]); err == nil {
+				t.Fatalf("truncated frame (type %d, %d/%d bytes) accepted", m.Type, cut, len(frame))
+			}
+		}
+	}
+}
+
+func TestDecodeRejectsTrailingBytes(t *testing.T) {
+	frame, err := Encode(&Message{Type: TypeAck, ClientID: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Decode(append(frame, 0xAA)); err == nil {
+		t.Fatal("trailing bytes accepted")
+	}
+}
+
+func TestEncodeRejectsMissingPayload(t *testing.T) {
+	for _, typ := range []byte{TypeHello, TypeHelloAck, TypeStatus, TypeAllocation, TypeUpdate} {
+		if _, err := Encode(&Message{Type: typ}); err == nil {
+			t.Errorf("type %d with nil payload accepted", typ)
+		}
+	}
+	if _, err := Encode(&Message{Type: 0x55}); err == nil {
+		t.Error("unknown type accepted")
+	}
+}
+
+func TestDecodeRejectsAbsurdLengths(t *testing.T) {
+	// A status message claiming 2^31 tau entries in a tiny frame.
+	w := &writer{}
+	w.u8(Version)
+	w.u8(TypeStatus)
+	w.i32(1)
+	w.u32(0x7FFFFFFF) // tau length
+	if _, err := Decode(w.buf); err == nil {
+		t.Fatal("absurd collection length accepted")
+	}
+}
+
+func TestPropertyFuzzDecodeNeverPanics(t *testing.T) {
+	f := func(seed uint64, size uint8) bool {
+		r := xrand.New(seed)
+		frame := make([]byte, int(size))
+		for i := range frame {
+			frame[i] = byte(r.UintN(256))
+		}
+		// Must not panic; errors are fine.
+		_, _ = Decode(frame)
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPropertyStatusRoundTrip(t *testing.T) {
+	f := func(seed uint64, nc, nl uint8) bool {
+		r := xrand.New(seed)
+		classes := 1 + int(nc)%60
+		layers := 1 + int(nl)%40
+		st := &core.StatusReport{
+			Tau:      make([]int, classes),
+			HitRatio: make([]float64, layers),
+			Budget:   r.IntN(1000), RoundFrames: 1 + r.IntN(900),
+		}
+		for i := range st.Tau {
+			st.Tau[i] = r.IntN(5000)
+		}
+		for j := range st.HitRatio {
+			st.HitRatio[j] = r.Float64()
+		}
+		m := &Message{Type: TypeStatus, ClientID: int32(r.IntN(200)), Status: st}
+		frame, err := Encode(m)
+		if err != nil {
+			return false
+		}
+		got, err := Decode(frame)
+		if err != nil {
+			return false
+		}
+		return reflect.DeepEqual(m, got)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,160 @@
+package protocol
+
+import (
+	"errors"
+	"fmt"
+	"io"
+
+	"coca/internal/core"
+	"coca/internal/transport"
+)
+
+// CoordinatorClient implements core.Coordinator over a transport
+// connection, letting a core.Client run against a remote server exactly as
+// it runs in-process. Calls are strictly request/response and must not be
+// issued concurrently (a CoCa client is a single simulated device).
+type CoordinatorClient struct {
+	conn transport.Conn
+	// expected model shape, sent with Hello for server-side validation.
+	numClasses, numLayers int
+}
+
+// NewCoordinatorClient wraps a connection. numClasses/numLayers describe
+// the client's model and are validated by the server at registration.
+func NewCoordinatorClient(conn transport.Conn, numClasses, numLayers int) *CoordinatorClient {
+	return &CoordinatorClient{conn: conn, numClasses: numClasses, numLayers: numLayers}
+}
+
+func (c *CoordinatorClient) roundTrip(req *Message) (*Message, error) {
+	frame, err := Encode(req)
+	if err != nil {
+		return nil, err
+	}
+	if err := c.conn.Send(frame); err != nil {
+		return nil, err
+	}
+	resp, err := c.conn.Recv()
+	if err != nil {
+		return nil, err
+	}
+	m, err := Decode(resp)
+	if err != nil {
+		return nil, err
+	}
+	if m.Type == TypeError {
+		return nil, fmt.Errorf("protocol: server error: %s", m.Error)
+	}
+	return m, nil
+}
+
+// Register implements core.Coordinator.
+func (c *CoordinatorClient) Register(clientID int) (core.RegisterInfo, error) {
+	m, err := c.roundTrip(&Message{
+		Type:     TypeHello,
+		ClientID: int32(clientID),
+		Hello:    &Hello{NumClasses: int32(c.numClasses), NumLayers: int32(c.numLayers)},
+	})
+	if err != nil {
+		return core.RegisterInfo{}, err
+	}
+	if m.Type != TypeHelloAck || m.HelloAck == nil {
+		return core.RegisterInfo{}, fmt.Errorf("protocol: unexpected reply type %d to hello", m.Type)
+	}
+	return *m.HelloAck, nil
+}
+
+// Allocate implements core.Coordinator.
+func (c *CoordinatorClient) Allocate(clientID int, status core.StatusReport) (core.Allocation, error) {
+	m, err := c.roundTrip(&Message{
+		Type:     TypeStatus,
+		ClientID: int32(clientID),
+		Status:   &status,
+	})
+	if err != nil {
+		return core.Allocation{}, err
+	}
+	if m.Type != TypeAllocation || m.Allocation == nil {
+		return core.Allocation{}, fmt.Errorf("protocol: unexpected reply type %d to status", m.Type)
+	}
+	return *m.Allocation, nil
+}
+
+// Upload implements core.Coordinator.
+func (c *CoordinatorClient) Upload(clientID int, upd core.UpdateReport) error {
+	m, err := c.roundTrip(&Message{
+		Type:     TypeUpdate,
+		ClientID: int32(clientID),
+		Update:   &upd,
+	})
+	if err != nil {
+		return err
+	}
+	if m.Type != TypeAck {
+		return fmt.Errorf("protocol: unexpected reply type %d to update", m.Type)
+	}
+	return nil
+}
+
+// Close releases the connection.
+func (c *CoordinatorClient) Close() error { return c.conn.Close() }
+
+var _ core.Coordinator = (*CoordinatorClient)(nil)
+
+// ServeConn drives one client connection against the server until the peer
+// disconnects. Malformed requests receive a TypeError reply; transport
+// failures end the session. It returns nil on orderly shutdown.
+func ServeConn(conn transport.Conn, srv *core.Server) error {
+	for {
+		frame, err := conn.Recv()
+		if err != nil {
+			if errors.Is(err, transport.ErrClosed) || errors.Is(err, io.EOF) {
+				return nil
+			}
+			// Stream transports surface EOF wrapped; treat any receive
+			// failure after at least one message as disconnect.
+			return nil
+		}
+		resp := handle(frame, srv)
+		out, err := Encode(resp)
+		if err != nil {
+			return fmt.Errorf("protocol: encode reply: %w", err)
+		}
+		if err := conn.Send(out); err != nil {
+			return fmt.Errorf("protocol: send reply: %w", err)
+		}
+	}
+}
+
+func handle(frame []byte, srv *core.Server) *Message {
+	m, err := Decode(frame)
+	if err != nil {
+		return &Message{Type: TypeError, Error: err.Error()}
+	}
+	switch m.Type {
+	case TypeHello:
+		info, err := srv.Register(int(m.ClientID))
+		if err != nil {
+			return &Message{Type: TypeError, ClientID: m.ClientID, Error: err.Error()}
+		}
+		if int(m.Hello.NumClasses) != info.NumClasses || int(m.Hello.NumLayers) != info.NumLayers {
+			return &Message{Type: TypeError, ClientID: m.ClientID,
+				Error: fmt.Sprintf("model mismatch: client %d×%d, server %d×%d",
+					m.Hello.NumClasses, m.Hello.NumLayers, info.NumClasses, info.NumLayers)}
+		}
+		return &Message{Type: TypeHelloAck, ClientID: m.ClientID, HelloAck: &info}
+	case TypeStatus:
+		alloc, err := srv.Allocate(int(m.ClientID), *m.Status)
+		if err != nil {
+			return &Message{Type: TypeError, ClientID: m.ClientID, Error: err.Error()}
+		}
+		return &Message{Type: TypeAllocation, ClientID: m.ClientID, Allocation: &alloc}
+	case TypeUpdate:
+		if err := srv.Upload(int(m.ClientID), *m.Update); err != nil {
+			return &Message{Type: TypeError, ClientID: m.ClientID, Error: err.Error()}
+		}
+		return &Message{Type: TypeAck, ClientID: m.ClientID}
+	default:
+		return &Message{Type: TypeError, ClientID: m.ClientID,
+			Error: fmt.Sprintf("unexpected request type %d", m.Type)}
+	}
+}

@@ -1,0 +1,169 @@
+package protocol
+
+import (
+	"strings"
+	"sync"
+	"testing"
+
+	"coca/internal/core"
+	"coca/internal/dataset"
+	"coca/internal/engine"
+	"coca/internal/metrics"
+	"coca/internal/model"
+	"coca/internal/semantics"
+	"coca/internal/stream"
+	"coca/internal/transport"
+)
+
+func testServer(t testing.TB) (*core.Server, *semantics.Space) {
+	t.Helper()
+	space := semantics.NewSpace(dataset.ESC50().Subset(10), model.VGG16BN())
+	srv := core.NewServer(space, core.ServerConfig{
+		Theta: 0.035, Seed: 3, ProfileSamples: 150, InitSamplesPerClass: 16,
+	})
+	return srv, space
+}
+
+func TestCoordinatorOverPipe(t *testing.T) {
+	srv, space := testServer(t)
+	cConn, sConn := transport.Pipe()
+	done := make(chan error, 1)
+	go func() { done <- ServeConn(sConn, srv) }()
+
+	coord := NewCoordinatorClient(cConn, space.DS.NumClasses, space.Arch.NumLayers)
+	client, err := core.NewClient(space, coord, core.ClientConfig{
+		ID: 0, Theta: 0.035, Budget: 40, RoundFrames: 50,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	part, err := stream.NewPartition(stream.Config{
+		Dataset: space.DS, NumClients: 1, SceneMeanFrames: 15,
+		WorkingSetSize: 6, WorkingSetChurn: 0.05, Seed: 2,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	gen := part.Client(0)
+	var acc metrics.Accumulator
+	for round := 0; round < 2; round++ {
+		if err := client.BeginRound(); err != nil {
+			t.Fatal(err)
+		}
+		for f := 0; f < 50; f++ {
+			smp := gen.Next()
+			res := client.Infer(smp)
+			acc.Record(metrics.Obs{LatencyMs: res.LatencyMs, Correct: res.Pred == smp.Class, Hit: res.Hit})
+		}
+		if err := client.EndRound(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	s := acc.Summary()
+	if s.HitRatio == 0 {
+		t.Fatal("no hits over wire-backed coordinator")
+	}
+	allocs, _ := srv.Stats()
+	if allocs < 2 {
+		t.Fatalf("server allocations = %d", allocs)
+	}
+	_ = coord.Close()
+	if err := <-done; err != nil {
+		t.Fatalf("serve loop: %v", err)
+	}
+}
+
+func TestCoordinatorOverTCP(t *testing.T) {
+	srv, space := testServer(t)
+	l, err := transport.Listen("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l.Close()
+
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		conn, err := l.Accept()
+		if err != nil {
+			return
+		}
+		_ = ServeConn(conn, srv)
+	}()
+
+	conn, err := transport.Dial(l.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	coord := NewCoordinatorClient(conn, space.DS.NumClasses, space.Arch.NumLayers)
+	info, err := coord.Register(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if info.NumClasses != 10 || info.NumLayers != 13 {
+		t.Fatalf("register info %+v", info)
+	}
+	alloc, err := coord.Allocate(0, core.StatusReport{
+		Tau: make([]int, 10), Budget: 30, RoundFrames: 300,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(alloc.Layers) == 0 {
+		t.Fatal("empty allocation over TCP")
+	}
+	if err := coord.Upload(0, core.UpdateReport{Freq: make([]float64, 10)}); err != nil {
+		t.Fatal(err)
+	}
+	_ = coord.Close()
+	wg.Wait()
+}
+
+func TestServerRejectsModelMismatch(t *testing.T) {
+	srv, _ := testServer(t)
+	cConn, sConn := transport.Pipe()
+	go func() { _ = ServeConn(sConn, srv) }()
+	coord := NewCoordinatorClient(cConn, 99, 99)
+	_, err := coord.Register(0)
+	if err == nil || !strings.Contains(err.Error(), "model mismatch") {
+		t.Fatalf("mismatch not rejected: %v", err)
+	}
+	_ = coord.Close()
+}
+
+func TestServeConnRepliesErrorOnGarbage(t *testing.T) {
+	srv, _ := testServer(t)
+	cConn, sConn := transport.Pipe()
+	go func() { _ = ServeConn(sConn, srv) }()
+	if err := cConn.Send([]byte{0xFF, 0xFF, 0xFF}); err != nil {
+		t.Fatal(err)
+	}
+	frame, err := cConn.Recv()
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := Decode(frame)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Type != TypeError {
+		t.Fatalf("expected error reply, got type %d", m.Type)
+	}
+	_ = cConn.Close()
+}
+
+func TestServerErrorsPropagate(t *testing.T) {
+	srv, space := testServer(t)
+	cConn, sConn := transport.Pipe()
+	go func() { _ = ServeConn(sConn, srv) }()
+	coord := NewCoordinatorClient(cConn, space.DS.NumClasses, space.Arch.NumLayers)
+	// Bad status: wrong tau length.
+	_, err := coord.Allocate(0, core.StatusReport{Tau: make([]int, 2), Budget: 10})
+	if err == nil {
+		t.Fatal("server-side validation error not propagated")
+	}
+	_ = coord.Close()
+}
+
+var _ engine.Engine = (*core.Client)(nil)

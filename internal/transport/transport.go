@@ -1,0 +1,176 @@
+// Package transport provides the message-framing layer of CoCa's
+// client–server protocol: an in-process channel transport for simulations
+// and tests, and a TCP transport with length-prefixed frames for real
+// deployments (the role MPI plays in the paper's testbed, §VI-C).
+package transport
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+	"net"
+	"sync"
+)
+
+// MaxFrameSize bounds a single message (16 MiB): large enough for a full
+// global-cache sub-table, small enough to reject corrupt length prefixes.
+const MaxFrameSize = 16 << 20
+
+// ErrClosed is returned by operations on a closed connection.
+var ErrClosed = errors.New("transport: connection closed")
+
+// Conn is a reliable, ordered, message-oriented connection.
+type Conn interface {
+	// Send transmits one frame.
+	Send(frame []byte) error
+	// Recv blocks for the next frame.
+	Recv() ([]byte, error)
+	// Close releases the connection; pending Recv calls fail.
+	Close() error
+}
+
+// Pipe returns an in-process connection pair: frames sent on one end are
+// received on the other. Both ends are safe for one concurrent sender and
+// one concurrent receiver.
+func Pipe() (Conn, Conn) {
+	ab := make(chan []byte, 16)
+	ba := make(chan []byte, 16)
+	done := make(chan struct{})
+	var once sync.Once
+	closeFn := func() { once.Do(func() { close(done) }) }
+	a := &pipeConn{send: ab, recv: ba, done: done, close: closeFn}
+	b := &pipeConn{send: ba, recv: ab, done: done, close: closeFn}
+	return a, b
+}
+
+type pipeConn struct {
+	send  chan []byte
+	recv  chan []byte
+	done  chan struct{}
+	close func()
+}
+
+func (c *pipeConn) Send(frame []byte) error {
+	// Check for closure first: with buffer space available, the send
+	// case below would otherwise race the done case and sometimes win
+	// on an already-closed connection.
+	select {
+	case <-c.done:
+		return ErrClosed
+	default:
+	}
+	cp := append([]byte(nil), frame...)
+	select {
+	case c.send <- cp:
+		return nil
+	case <-c.done:
+		return ErrClosed
+	}
+}
+
+func (c *pipeConn) Recv() ([]byte, error) {
+	select {
+	case f := <-c.recv:
+		return f, nil
+	case <-c.done:
+		// Drain anything already queued before reporting closure.
+		select {
+		case f := <-c.recv:
+			return f, nil
+		default:
+			return nil, ErrClosed
+		}
+	}
+}
+
+func (c *pipeConn) Close() error {
+	c.close()
+	return nil
+}
+
+// tcpConn frames messages over a stream with a 4-byte big-endian length
+// prefix.
+type tcpConn struct {
+	nc       net.Conn
+	sendLock sync.Mutex
+	recvLock sync.Mutex
+}
+
+// NewTCPConn wraps an established net.Conn with message framing.
+func NewTCPConn(nc net.Conn) Conn { return &tcpConn{nc: nc} }
+
+// Dial connects to a CoCa server at addr ("host:port").
+func Dial(addr string) (Conn, error) {
+	nc, err := net.Dial("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("transport: dial %s: %w", addr, err)
+	}
+	return NewTCPConn(nc), nil
+}
+
+func (c *tcpConn) Send(frame []byte) error {
+	if len(frame) > MaxFrameSize {
+		return fmt.Errorf("transport: frame of %d bytes exceeds limit", len(frame))
+	}
+	c.sendLock.Lock()
+	defer c.sendLock.Unlock()
+	var hdr [4]byte
+	binary.BigEndian.PutUint32(hdr[:], uint32(len(frame)))
+	if _, err := c.nc.Write(hdr[:]); err != nil {
+		return fmt.Errorf("transport: write header: %w", err)
+	}
+	if _, err := c.nc.Write(frame); err != nil {
+		return fmt.Errorf("transport: write frame: %w", err)
+	}
+	return nil
+}
+
+func (c *tcpConn) Recv() ([]byte, error) {
+	c.recvLock.Lock()
+	defer c.recvLock.Unlock()
+	var hdr [4]byte
+	if _, err := io.ReadFull(c.nc, hdr[:]); err != nil {
+		return nil, fmt.Errorf("transport: read header: %w", err)
+	}
+	n := binary.BigEndian.Uint32(hdr[:])
+	if n > MaxFrameSize {
+		return nil, fmt.Errorf("transport: frame of %d bytes exceeds limit", n)
+	}
+	frame := make([]byte, n)
+	if _, err := io.ReadFull(c.nc, frame); err != nil {
+		return nil, fmt.Errorf("transport: read frame: %w", err)
+	}
+	return frame, nil
+}
+
+func (c *tcpConn) Close() error { return c.nc.Close() }
+
+// Listener accepts framed connections.
+type Listener struct {
+	nl net.Listener
+}
+
+// Listen opens a TCP listener at addr (":0" for an ephemeral port).
+func Listen(addr string) (*Listener, error) {
+	nl, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("transport: listen %s: %w", addr, err)
+	}
+	return &Listener{nl: nl}, nil
+}
+
+// Addr returns the bound address.
+func (l *Listener) Addr() string { return l.nl.Addr().String() }
+
+// Accept blocks for the next connection.
+func (l *Listener) Accept() (Conn, error) {
+	nc, err := l.nl.Accept()
+	if err != nil {
+		return nil, fmt.Errorf("transport: accept: %w", err)
+	}
+	return NewTCPConn(nc), nil
+}
+
+// Close stops the listener.
+func (l *Listener) Close() error { return l.nl.Close() }

@@ -1,0 +1,175 @@
+package transport
+
+import (
+	"bytes"
+	"errors"
+	"sync"
+	"testing"
+)
+
+func TestPipeRoundTrip(t *testing.T) {
+	a, b := Pipe()
+	defer a.Close()
+	if err := a.Send([]byte("hello")); err != nil {
+		t.Fatal(err)
+	}
+	got, err := b.Recv()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(got) != "hello" {
+		t.Fatalf("got %q", got)
+	}
+	if err := b.Send([]byte("world")); err != nil {
+		t.Fatal(err)
+	}
+	got, err = a.Recv()
+	if err != nil || string(got) != "world" {
+		t.Fatalf("reverse direction: %q, %v", got, err)
+	}
+}
+
+func TestPipeCopiesFrames(t *testing.T) {
+	a, b := Pipe()
+	defer a.Close()
+	frame := []byte{1, 2, 3}
+	if err := a.Send(frame); err != nil {
+		t.Fatal(err)
+	}
+	frame[0] = 99
+	got, err := b.Recv()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got[0] != 1 {
+		t.Fatal("sent frame aliased caller's buffer")
+	}
+}
+
+func TestPipeClose(t *testing.T) {
+	a, b := Pipe()
+	_ = a.Send([]byte("queued"))
+	if err := a.Close(); err != nil {
+		t.Fatal(err)
+	}
+	// Queued frame still delivered, then closed.
+	if got, err := b.Recv(); err != nil || string(got) != "queued" {
+		t.Fatalf("queued frame lost: %q %v", got, err)
+	}
+	if _, err := b.Recv(); !errors.Is(err, ErrClosed) {
+		t.Fatalf("expected ErrClosed, got %v", err)
+	}
+	if err := b.Send([]byte("x")); !errors.Is(err, ErrClosed) {
+		t.Fatalf("send after close: %v", err)
+	}
+}
+
+func TestTCPRoundTrip(t *testing.T) {
+	l, err := Listen("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l.Close()
+
+	var wg sync.WaitGroup
+	wg.Add(1)
+	var serverErr error
+	go func() {
+		defer wg.Done()
+		conn, err := l.Accept()
+		if err != nil {
+			serverErr = err
+			return
+		}
+		defer conn.Close()
+		for i := 0; i < 3; i++ {
+			frame, err := conn.Recv()
+			if err != nil {
+				serverErr = err
+				return
+			}
+			if err := conn.Send(append([]byte("echo:"), frame...)); err != nil {
+				serverErr = err
+				return
+			}
+		}
+	}()
+
+	c, err := Dial(l.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	payloads := [][]byte{[]byte("a"), bytes.Repeat([]byte("b"), 70000), {}}
+	for _, p := range payloads {
+		if err := c.Send(p); err != nil {
+			t.Fatal(err)
+		}
+		got, err := c.Recv()
+		if err != nil {
+			t.Fatal(err)
+		}
+		want := append([]byte("echo:"), p...)
+		if !bytes.Equal(got, want) {
+			t.Fatalf("echo mismatch: %d bytes vs %d", len(got), len(want))
+		}
+	}
+	wg.Wait()
+	if serverErr != nil {
+		t.Fatal(serverErr)
+	}
+}
+
+func TestTCPOversizeFrameRejected(t *testing.T) {
+	l, err := Listen("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l.Close()
+	go func() {
+		conn, err := l.Accept()
+		if err == nil {
+			defer conn.Close()
+			_, _ = conn.Recv()
+		}
+	}()
+	c, err := Dial(l.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	if err := c.Send(make([]byte, MaxFrameSize+1)); err == nil {
+		t.Fatal("oversize frame accepted")
+	}
+}
+
+func TestTCPRecvAfterPeerClose(t *testing.T) {
+	l, err := Listen("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l.Close()
+	accepted := make(chan Conn, 1)
+	go func() {
+		conn, err := l.Accept()
+		if err == nil {
+			accepted <- conn
+		}
+	}()
+	c, err := Dial(l.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	server := <-accepted
+	_ = c.Close()
+	if _, err := server.Recv(); err == nil {
+		t.Fatal("Recv after peer close must fail")
+	}
+	_ = server.Close()
+}
+
+func TestDialFailure(t *testing.T) {
+	if _, err := Dial("127.0.0.1:1"); err == nil {
+		t.Fatal("dial to closed port succeeded")
+	}
+}

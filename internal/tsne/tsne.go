@@ -1,0 +1,300 @@
+// Package tsne reproduces the analysis behind the paper's Fig. 2: a t-SNE
+// embedding of sample semantic vectors against cached class centers, plus
+// quantitative cluster metrics (mean intra/inter-class cosine, silhouette)
+// so the "global updates tighten clusters" claim is testable rather than
+// only visual.
+//
+// The t-SNE implementation is the exact O(N²) algorithm (van der Maaten &
+// Hinton, 2008) with perplexity-calibrated Gaussian affinities, early
+// exaggeration and momentum gradient descent — adequate for the few hundred
+// points Fig. 2 plots.
+package tsne
+
+import (
+	"fmt"
+	"math"
+
+	"coca/internal/vecmath"
+	"coca/internal/xrand"
+)
+
+// Config parametrizes Run.
+type Config struct {
+	// Perplexity targets the effective neighbour count (default 20).
+	Perplexity float64
+	// Iterations of gradient descent (default 400).
+	Iterations int
+	// LearningRate of the embedding updates (default 100).
+	LearningRate float64
+	// Seed roots the embedding initialization.
+	Seed uint64
+}
+
+func (c Config) withDefaults() Config {
+	if c.Perplexity == 0 {
+		c.Perplexity = 20
+	}
+	if c.Iterations == 0 {
+		c.Iterations = 400
+	}
+	if c.LearningRate == 0 {
+		c.LearningRate = 100
+	}
+	return c
+}
+
+// Run embeds the given unit vectors into 2-D. Distances are cosine
+// distances (1 − cos), matching how the cache compares semantic vectors.
+func Run(vecs [][]float32, cfg Config) ([][2]float64, error) {
+	cfg = cfg.withDefaults()
+	n := len(vecs)
+	if n < 3 {
+		return nil, fmt.Errorf("tsne: need at least 3 points, got %d", n)
+	}
+	// A perplexity near the dataset size blurs all structure; clamp to a
+	// third of the points.
+	if maxPerp := float64(n-1) / 3; cfg.Perplexity > maxPerp {
+		cfg.Perplexity = maxPerp
+	}
+	// Pairwise squared distances.
+	d2 := make([][]float64, n)
+	for i := range d2 {
+		d2[i] = make([]float64, n)
+	}
+	for i := 0; i < n; i++ {
+		for j := i + 1; j < n; j++ {
+			d := 1 - float64(vecmath.Cosine(vecs[i], vecs[j]))
+			d2[i][j] = d * d
+			d2[j][i] = d * d
+		}
+	}
+	p := affinities(d2, cfg.Perplexity)
+	// Symmetrize and normalize.
+	for i := 0; i < n; i++ {
+		for j := i + 1; j < n; j++ {
+			v := (p[i][j] + p[j][i]) / (2 * float64(n))
+			if v < 1e-12 {
+				v = 1e-12
+			}
+			p[i][j], p[j][i] = v, v
+		}
+		p[i][i] = 0
+	}
+
+	r := xrand.New(cfg.Seed, 0x75E1)
+	y := make([][2]float64, n)
+	vel := make([][2]float64, n)
+	for i := range y {
+		y[i][0] = r.NormFloat64() * 1e-2
+		y[i][1] = r.NormFloat64() * 1e-2
+	}
+	grad := make([][2]float64, n)
+	q := make([][]float64, n)
+	for i := range q {
+		q[i] = make([]float64, n)
+	}
+	for iter := 0; iter < cfg.Iterations; iter++ {
+		exaggeration := 1.0
+		if iter < cfg.Iterations/4 {
+			exaggeration = 4.0
+		}
+		momentum := 0.5
+		if iter >= cfg.Iterations/4 {
+			momentum = 0.8
+		}
+		// Student-t affinities in the embedding.
+		var qsum float64
+		for i := 0; i < n; i++ {
+			for j := i + 1; j < n; j++ {
+				dx := y[i][0] - y[j][0]
+				dy := y[i][1] - y[j][1]
+				v := 1 / (1 + dx*dx + dy*dy)
+				q[i][j], q[j][i] = v, v
+				qsum += 2 * v
+			}
+		}
+		for i := range grad {
+			grad[i] = [2]float64{}
+		}
+		for i := 0; i < n; i++ {
+			for j := 0; j < n; j++ {
+				if i == j {
+					continue
+				}
+				qij := q[i][j] / qsum
+				if qij < 1e-12 {
+					qij = 1e-12
+				}
+				mult := (exaggeration*p[i][j] - qij) * q[i][j]
+				grad[i][0] += 4 * mult * (y[i][0] - y[j][0])
+				grad[i][1] += 4 * mult * (y[i][1] - y[j][1])
+			}
+		}
+		for i := 0; i < n; i++ {
+			for d := 0; d < 2; d++ {
+				vel[i][d] = momentum*vel[i][d] - cfg.LearningRate*grad[i][d]
+				y[i][d] += vel[i][d]
+			}
+		}
+	}
+	return y, nil
+}
+
+// affinities computes row-wise Gaussian affinities calibrated to the target
+// perplexity by bisection on the precision beta.
+func affinities(d2 [][]float64, perplexity float64) [][]float64 {
+	n := len(d2)
+	target := math.Log(perplexity)
+	p := make([][]float64, n)
+	for i := 0; i < n; i++ {
+		p[i] = make([]float64, n)
+		lo, hi := 1e-10, 1e10
+		beta := 1.0
+		for iter := 0; iter < 50; iter++ {
+			var sum float64
+			for j := 0; j < n; j++ {
+				if j == i {
+					continue
+				}
+				p[i][j] = math.Exp(-d2[i][j] * beta)
+				sum += p[i][j]
+			}
+			if sum == 0 {
+				sum = 1e-12
+			}
+			// Shannon entropy of the row distribution.
+			var h float64
+			for j := 0; j < n; j++ {
+				if j == i || p[i][j] == 0 {
+					continue
+				}
+				pj := p[i][j] / sum
+				h -= pj * math.Log(pj)
+			}
+			if math.Abs(h-target) < 1e-5 {
+				break
+			}
+			if h > target {
+				lo = beta
+				if hi >= 1e10 {
+					beta *= 2
+				} else {
+					beta = (beta + hi) / 2
+				}
+			} else {
+				hi = beta
+				beta = (beta + lo) / 2
+			}
+		}
+		var sum float64
+		for j := 0; j < n; j++ {
+			sum += p[i][j]
+		}
+		if sum > 0 {
+			for j := 0; j < n; j++ {
+				p[i][j] /= sum
+			}
+		}
+	}
+	return p
+}
+
+// ClusterMetrics summarizes label-cluster quality in the original space.
+type ClusterMetrics struct {
+	// MeanIntraCosine is the average cosine between same-label pairs.
+	MeanIntraCosine float64
+	// MeanInterCosine is the average cosine between different-label
+	// pairs.
+	MeanInterCosine float64
+	// Margin is MeanIntraCosine − MeanInterCosine: larger means tighter,
+	// better-separated clusters.
+	Margin float64
+	// Silhouette is the mean silhouette coefficient under cosine
+	// distance, in [-1, 1].
+	Silhouette float64
+}
+
+// Evaluate computes cluster metrics for labelled vectors.
+func Evaluate(vecs [][]float32, labels []int) (ClusterMetrics, error) {
+	n := len(vecs)
+	if n != len(labels) {
+		return ClusterMetrics{}, fmt.Errorf("tsne: %d vectors but %d labels", n, len(labels))
+	}
+	if n < 2 {
+		return ClusterMetrics{}, fmt.Errorf("tsne: need at least 2 points")
+	}
+	cos := make([][]float64, n)
+	for i := range cos {
+		cos[i] = make([]float64, n)
+	}
+	for i := 0; i < n; i++ {
+		for j := i + 1; j < n; j++ {
+			c := float64(vecmath.Cosine(vecs[i], vecs[j]))
+			cos[i][j], cos[j][i] = c, c
+		}
+	}
+	var m ClusterMetrics
+	var intraN, interN int
+	for i := 0; i < n; i++ {
+		for j := i + 1; j < n; j++ {
+			if labels[i] == labels[j] {
+				m.MeanIntraCosine += cos[i][j]
+				intraN++
+			} else {
+				m.MeanInterCosine += cos[i][j]
+				interN++
+			}
+		}
+	}
+	if intraN > 0 {
+		m.MeanIntraCosine /= float64(intraN)
+	}
+	if interN > 0 {
+		m.MeanInterCosine /= float64(interN)
+	}
+	m.Margin = m.MeanIntraCosine - m.MeanInterCosine
+
+	// Silhouette under cosine distance.
+	var silSum float64
+	var silN int
+	for i := 0; i < n; i++ {
+		var a, aN float64
+		bByLabel := map[int]*[2]float64{} // label -> {sum, count}
+		for j := 0; j < n; j++ {
+			if j == i {
+				continue
+			}
+			d := 1 - cos[i][j]
+			if labels[j] == labels[i] {
+				a += d
+				aN++
+			} else {
+				s := bByLabel[labels[j]]
+				if s == nil {
+					s = &[2]float64{}
+					bByLabel[labels[j]] = s
+				}
+				s[0] += d
+				s[1]++
+			}
+		}
+		if aN == 0 || len(bByLabel) == 0 {
+			continue
+		}
+		a /= aN
+		b := math.Inf(1)
+		for _, s := range bByLabel {
+			if avg := s[0] / s[1]; avg < b {
+				b = avg
+			}
+		}
+		if mx := math.Max(a, b); mx > 0 {
+			silSum += (b - a) / mx
+			silN++
+		}
+	}
+	if silN > 0 {
+		m.Silhouette = silSum / float64(silN)
+	}
+	return m, nil
+}

@@ -1,0 +1,134 @@
+package tsne
+
+import (
+	"math"
+	"testing"
+
+	"coca/internal/vecmath"
+	"coca/internal/xrand"
+)
+
+// clusteredData builds k well-separated clusters of m points in dim
+// dimensions, returning vectors and labels.
+func clusteredData(k, m, dim int, spread float32, seed uint64) ([][]float32, []int) {
+	var vecs [][]float32
+	var labels []int
+	for c := 0; c < k; c++ {
+		center := xrand.NormalVector(xrand.New(seed, uint64(c)), dim)
+		vecmath.Normalize(center)
+		for i := 0; i < m; i++ {
+			n := xrand.NormalVector(xrand.New(seed, uint64(c), uint64(i)), dim)
+			vecmath.Normalize(n)
+			v := vecmath.WeightedSum(1, center, spread, n)
+			vecmath.Normalize(v)
+			vecs = append(vecs, v)
+			labels = append(labels, c)
+		}
+	}
+	return vecs, labels
+}
+
+func TestRunValidation(t *testing.T) {
+	if _, err := Run(nil, Config{}); err == nil {
+		t.Fatal("empty input accepted")
+	}
+	v, _ := clusteredData(1, 2, 8, 0.1, 1)
+	if _, err := Run(v, Config{}); err == nil {
+		t.Fatal("2 points accepted")
+	}
+}
+
+func TestRunSeparatesClusters(t *testing.T) {
+	vecs, labels := clusteredData(3, 12, 16, 0.15, 7)
+	y, err := Run(vecs, Config{Iterations: 250, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(y) != len(vecs) {
+		t.Fatalf("embedding size %d", len(y))
+	}
+	// Mean intra-cluster embedding distance must be well below
+	// inter-cluster distance.
+	var intra, inter float64
+	var intraN, interN int
+	for i := range y {
+		for j := i + 1; j < len(y); j++ {
+			d := math.Hypot(y[i][0]-y[j][0], y[i][1]-y[j][1])
+			if labels[i] == labels[j] {
+				intra += d
+				intraN++
+			} else {
+				inter += d
+				interN++
+			}
+		}
+	}
+	intra /= float64(intraN)
+	inter /= float64(interN)
+	if inter < 1.5*intra {
+		t.Fatalf("clusters not separated in embedding: intra %v inter %v", intra, inter)
+	}
+}
+
+func TestRunDeterministic(t *testing.T) {
+	vecs, _ := clusteredData(2, 8, 8, 0.2, 3)
+	a, err := Run(vecs, Config{Iterations: 100, Seed: 9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Run(vecs, Config{Iterations: 100, Seed: 9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatal("embedding not deterministic for fixed seed")
+		}
+	}
+}
+
+func TestEvaluateMetrics(t *testing.T) {
+	tight, labels := clusteredData(4, 10, 16, 0.1, 5)
+	loose, _ := clusteredData(4, 10, 16, 0.9, 5)
+	mt, err := Evaluate(tight, labels)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ml, err := Evaluate(loose, labels)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if mt.Margin <= ml.Margin {
+		t.Fatalf("tight clusters must have larger margin: %v vs %v", mt.Margin, ml.Margin)
+	}
+	if mt.Silhouette <= ml.Silhouette {
+		t.Fatalf("tight clusters must have larger silhouette: %v vs %v", mt.Silhouette, ml.Silhouette)
+	}
+	if mt.Silhouette < 0.3 {
+		t.Fatalf("tight-cluster silhouette %v too low", mt.Silhouette)
+	}
+	if mt.MeanIntraCosine <= mt.MeanInterCosine {
+		t.Fatal("intra-class cosine must exceed inter-class")
+	}
+}
+
+func TestEvaluateValidation(t *testing.T) {
+	v, l := clusteredData(2, 3, 8, 0.1, 1)
+	if _, err := Evaluate(v, l[:2]); err == nil {
+		t.Fatal("label mismatch accepted")
+	}
+	if _, err := Evaluate(v[:1], l[:1]); err == nil {
+		t.Fatal("single point accepted")
+	}
+}
+
+func TestSilhouetteRange(t *testing.T) {
+	vecs, labels := clusteredData(3, 8, 8, 0.5, 11)
+	m, err := Evaluate(vecs, labels)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Silhouette < -1 || m.Silhouette > 1 {
+		t.Fatalf("silhouette %v out of range", m.Silhouette)
+	}
+}

@@ -1,0 +1,243 @@
+// Package vecmath provides the small dense float32 vector kernel used by the
+// semantic caching machinery: dot products, cosine similarity, L2
+// normalization and a handful of reductions.
+//
+// All functions are allocation-free unless documented otherwise, and all
+// panic on length mismatches: a mismatched vector is a programming error in
+// this codebase, never a runtime condition to recover from.
+package vecmath
+
+import (
+	"fmt"
+	"math"
+)
+
+// Dot returns the inner product of a and b.
+// It panics if len(a) != len(b).
+func Dot(a, b []float32) float32 {
+	if len(a) != len(b) {
+		panic(fmt.Sprintf("vecmath: Dot length mismatch %d != %d", len(a), len(b)))
+	}
+	// Accumulate in float64 for stability; the vectors here are short
+	// (tens to a few hundred elements) but many results are compared
+	// against thresholds of order 1e-2.
+	var s float64
+	for i, av := range a {
+		s += float64(av) * float64(b[i])
+	}
+	return float32(s)
+}
+
+// Norm returns the Euclidean (L2) norm of v.
+func Norm(v []float32) float32 {
+	var s float64
+	for _, x := range v {
+		s += float64(x) * float64(x)
+	}
+	return float32(math.Sqrt(s))
+}
+
+// Normalize scales v in place to unit L2 norm and returns its original norm.
+// A zero vector is left unchanged and 0 is returned.
+func Normalize(v []float32) float32 {
+	n := Norm(v)
+	if n == 0 {
+		return 0
+	}
+	inv := 1 / n
+	for i := range v {
+		v[i] *= inv
+	}
+	return n
+}
+
+// Normalized returns a fresh unit-norm copy of v. A zero vector yields a
+// zero copy.
+func Normalized(v []float32) []float32 {
+	out := make([]float32, len(v))
+	copy(out, v)
+	Normalize(out)
+	return out
+}
+
+// Cosine returns the cosine similarity of a and b, in [-1, 1].
+// If either vector is zero, Cosine returns 0.
+func Cosine(a, b []float32) float32 {
+	if len(a) != len(b) {
+		panic(fmt.Sprintf("vecmath: Cosine length mismatch %d != %d", len(a), len(b)))
+	}
+	var dot, na, nb float64
+	for i, av := range a {
+		bv := b[i]
+		dot += float64(av) * float64(bv)
+		na += float64(av) * float64(av)
+		nb += float64(bv) * float64(bv)
+	}
+	if na == 0 || nb == 0 {
+		return 0
+	}
+	c := dot / (math.Sqrt(na) * math.Sqrt(nb))
+	// Clamp against floating-point drift so callers can rely on the range.
+	if c > 1 {
+		c = 1
+	} else if c < -1 {
+		c = -1
+	}
+	return float32(c)
+}
+
+// Axpy computes dst[i] += alpha*x[i] in place.
+// It panics if len(dst) != len(x).
+func Axpy(alpha float32, x, dst []float32) {
+	if len(dst) != len(x) {
+		panic(fmt.Sprintf("vecmath: Axpy length mismatch %d != %d", len(dst), len(x)))
+	}
+	for i, xv := range x {
+		dst[i] += alpha * xv
+	}
+}
+
+// Scale multiplies v by alpha in place.
+func Scale(alpha float32, v []float32) {
+	for i := range v {
+		v[i] *= alpha
+	}
+}
+
+// Add returns a fresh vector a+b. It panics on length mismatch.
+func Add(a, b []float32) []float32 {
+	if len(a) != len(b) {
+		panic(fmt.Sprintf("vecmath: Add length mismatch %d != %d", len(a), len(b)))
+	}
+	out := make([]float32, len(a))
+	for i := range a {
+		out[i] = a[i] + b[i]
+	}
+	return out
+}
+
+// Sub returns a fresh vector a-b. It panics on length mismatch.
+func Sub(a, b []float32) []float32 {
+	if len(a) != len(b) {
+		panic(fmt.Sprintf("vecmath: Sub length mismatch %d != %d", len(a), len(b)))
+	}
+	out := make([]float32, len(a))
+	for i := range a {
+		out[i] = a[i] - b[i]
+	}
+	return out
+}
+
+// WeightedSum computes w1*a + w2*b into a fresh vector.
+// It panics on length mismatch.
+func WeightedSum(w1 float32, a []float32, w2 float32, b []float32) []float32 {
+	if len(a) != len(b) {
+		panic(fmt.Sprintf("vecmath: WeightedSum length mismatch %d != %d", len(a), len(b)))
+	}
+	out := make([]float32, len(a))
+	for i := range a {
+		out[i] = w1*a[i] + w2*b[i]
+	}
+	return out
+}
+
+// Mean returns the element-wise mean of the given vectors as a fresh vector.
+// It panics if vs is empty or the vectors disagree in length.
+func Mean(vs [][]float32) []float32 {
+	if len(vs) == 0 {
+		panic("vecmath: Mean of no vectors")
+	}
+	out := make([]float32, len(vs[0]))
+	for _, v := range vs {
+		if len(v) != len(out) {
+			panic(fmt.Sprintf("vecmath: Mean length mismatch %d != %d", len(v), len(out)))
+		}
+		for i, x := range v {
+			out[i] += x
+		}
+	}
+	inv := 1 / float32(len(vs))
+	for i := range out {
+		out[i] *= inv
+	}
+	return out
+}
+
+// Argmax returns the index of the largest element of v, or -1 if v is empty.
+// Ties resolve to the lowest index.
+func Argmax(v []float32) int {
+	if len(v) == 0 {
+		return -1
+	}
+	best := 0
+	for i := 1; i < len(v); i++ {
+		if v[i] > v[best] {
+			best = i
+		}
+	}
+	return best
+}
+
+// ArgTop2 returns the indices of the largest and second-largest elements of
+// v. If v has fewer than two elements the missing index is -1.
+// Ties resolve to the lowest index.
+func ArgTop2(v []float32) (first, second int) {
+	first, second = -1, -1
+	for i, x := range v {
+		switch {
+		case first == -1 || x > v[first]:
+			second = first
+			first = i
+		case second == -1 || x > v[second]:
+			second = i
+		}
+	}
+	return first, second
+}
+
+// Softmax writes the softmax of logits into a fresh slice. It is numerically
+// stabilized by max subtraction. An empty input yields an empty output.
+func Softmax(logits []float32) []float32 {
+	out := make([]float32, len(logits))
+	if len(logits) == 0 {
+		return out
+	}
+	maxv := logits[0]
+	for _, x := range logits[1:] {
+		if x > maxv {
+			maxv = x
+		}
+	}
+	var sum float64
+	for i, x := range logits {
+		e := math.Exp(float64(x - maxv))
+		out[i] = float32(e)
+		sum += e
+	}
+	inv := float32(1 / sum)
+	for i := range out {
+		out[i] *= inv
+	}
+	return out
+}
+
+// Clone returns a copy of v.
+func Clone(v []float32) []float32 {
+	out := make([]float32, len(v))
+	copy(out, v)
+	return out
+}
+
+// EuclideanDistance returns the L2 distance between a and b.
+// It panics on length mismatch.
+func EuclideanDistance(a, b []float32) float32 {
+	if len(a) != len(b) {
+		panic(fmt.Sprintf("vecmath: EuclideanDistance length mismatch %d != %d", len(a), len(b)))
+	}
+	var s float64
+	for i := range a {
+		d := float64(a[i]) - float64(b[i])
+		s += d * d
+	}
+	return float32(math.Sqrt(s))
+}

@@ -1,0 +1,318 @@
+package vecmath
+
+import (
+	"math"
+	"math/rand/v2"
+	"testing"
+	"testing/quick"
+)
+
+func almostEq(a, b, tol float64) bool { return math.Abs(a-b) <= tol }
+
+func TestDot(t *testing.T) {
+	got := Dot([]float32{1, 2, 3}, []float32{4, 5, 6})
+	if got != 32 {
+		t.Fatalf("Dot = %v, want 32", got)
+	}
+}
+
+func TestDotEmpty(t *testing.T) {
+	if got := Dot(nil, nil); got != 0 {
+		t.Fatalf("Dot(nil,nil) = %v, want 0", got)
+	}
+}
+
+func TestDotMismatchPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic on length mismatch")
+		}
+	}()
+	Dot([]float32{1}, []float32{1, 2})
+}
+
+func TestNorm(t *testing.T) {
+	if got := Norm([]float32{3, 4}); got != 5 {
+		t.Fatalf("Norm = %v, want 5", got)
+	}
+	if got := Norm(nil); got != 0 {
+		t.Fatalf("Norm(nil) = %v, want 0", got)
+	}
+}
+
+func TestNormalize(t *testing.T) {
+	v := []float32{3, 4}
+	old := Normalize(v)
+	if old != 5 {
+		t.Fatalf("Normalize returned %v, want 5", old)
+	}
+	if !almostEq(float64(Norm(v)), 1, 1e-6) {
+		t.Fatalf("normalized norm = %v, want 1", Norm(v))
+	}
+}
+
+func TestNormalizeZeroVector(t *testing.T) {
+	v := []float32{0, 0, 0}
+	if got := Normalize(v); got != 0 {
+		t.Fatalf("Normalize(zero) = %v, want 0", got)
+	}
+	for _, x := range v {
+		if x != 0 {
+			t.Fatal("zero vector must remain zero")
+		}
+	}
+}
+
+func TestNormalizedDoesNotMutate(t *testing.T) {
+	v := []float32{3, 4}
+	u := Normalized(v)
+	if v[0] != 3 || v[1] != 4 {
+		t.Fatal("Normalized mutated its input")
+	}
+	if !almostEq(float64(Norm(u)), 1, 1e-6) {
+		t.Fatalf("Normalized norm = %v", Norm(u))
+	}
+}
+
+func TestCosine(t *testing.T) {
+	tests := []struct {
+		a, b []float32
+		want float64
+		tol  float64
+	}{
+		{[]float32{1, 0}, []float32{1, 0}, 1, 1e-7},
+		{[]float32{1, 0}, []float32{0, 1}, 0, 1e-7},
+		{[]float32{1, 0}, []float32{-1, 0}, -1, 1e-7},
+		{[]float32{1, 1}, []float32{1, 0}, math.Sqrt2 / 2, 1e-6},
+		{[]float32{0, 0}, []float32{1, 0}, 0, 0}, // zero vector convention
+	}
+	for _, tc := range tests {
+		if got := Cosine(tc.a, tc.b); !almostEq(float64(got), tc.want, tc.tol) {
+			t.Errorf("Cosine(%v,%v) = %v, want %v", tc.a, tc.b, got, tc.want)
+		}
+	}
+}
+
+func TestAxpyScaleAddSub(t *testing.T) {
+	dst := []float32{1, 1}
+	Axpy(2, []float32{3, 4}, dst)
+	if dst[0] != 7 || dst[1] != 9 {
+		t.Fatalf("Axpy = %v", dst)
+	}
+	Scale(0.5, dst)
+	if dst[0] != 3.5 || dst[1] != 4.5 {
+		t.Fatalf("Scale = %v", dst)
+	}
+	s := Add([]float32{1, 2}, []float32{3, 4})
+	if s[0] != 4 || s[1] != 6 {
+		t.Fatalf("Add = %v", s)
+	}
+	d := Sub([]float32{1, 2}, []float32{3, 4})
+	if d[0] != -2 || d[1] != -2 {
+		t.Fatalf("Sub = %v", d)
+	}
+}
+
+func TestWeightedSum(t *testing.T) {
+	got := WeightedSum(0.25, []float32{4, 0}, 0.75, []float32{0, 4})
+	if got[0] != 1 || got[1] != 3 {
+		t.Fatalf("WeightedSum = %v", got)
+	}
+}
+
+func TestMean(t *testing.T) {
+	m := Mean([][]float32{{1, 2}, {3, 4}})
+	if m[0] != 2 || m[1] != 3 {
+		t.Fatalf("Mean = %v", m)
+	}
+}
+
+func TestMeanEmptyPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic on empty Mean")
+		}
+	}()
+	Mean(nil)
+}
+
+func TestArgmax(t *testing.T) {
+	if got := Argmax([]float32{1, 5, 3}); got != 1 {
+		t.Fatalf("Argmax = %d, want 1", got)
+	}
+	if got := Argmax(nil); got != -1 {
+		t.Fatalf("Argmax(nil) = %d, want -1", got)
+	}
+	// Ties resolve to lowest index.
+	if got := Argmax([]float32{2, 2, 2}); got != 0 {
+		t.Fatalf("Argmax(ties) = %d, want 0", got)
+	}
+}
+
+func TestArgTop2(t *testing.T) {
+	f, s := ArgTop2([]float32{0.1, 0.9, 0.5})
+	if f != 1 || s != 2 {
+		t.Fatalf("ArgTop2 = (%d,%d), want (1,2)", f, s)
+	}
+	f, s = ArgTop2([]float32{7})
+	if f != 0 || s != -1 {
+		t.Fatalf("ArgTop2 single = (%d,%d), want (0,-1)", f, s)
+	}
+	f, s = ArgTop2(nil)
+	if f != -1 || s != -1 {
+		t.Fatalf("ArgTop2 empty = (%d,%d)", f, s)
+	}
+}
+
+func TestSoftmax(t *testing.T) {
+	p := Softmax([]float32{1, 1, 1})
+	for _, x := range p {
+		if !almostEq(float64(x), 1.0/3, 1e-6) {
+			t.Fatalf("uniform softmax = %v", p)
+		}
+	}
+	// Large logits must not overflow.
+	p = Softmax([]float32{1000, 0})
+	if !almostEq(float64(p[0]), 1, 1e-6) {
+		t.Fatalf("softmax overflow handling: %v", p)
+	}
+	if got := Softmax(nil); len(got) != 0 {
+		t.Fatalf("Softmax(nil) = %v", got)
+	}
+}
+
+func TestEuclideanDistance(t *testing.T) {
+	if got := EuclideanDistance([]float32{0, 0}, []float32{3, 4}); got != 5 {
+		t.Fatalf("EuclideanDistance = %v, want 5", got)
+	}
+}
+
+func TestClone(t *testing.T) {
+	v := []float32{1, 2}
+	c := Clone(v)
+	c[0] = 9
+	if v[0] != 1 {
+		t.Fatal("Clone aliases its input")
+	}
+}
+
+// randVec produces a bounded random vector for property tests.
+func randVec(r *rand.Rand, n int) []float32 {
+	v := make([]float32, n)
+	for i := range v {
+		v[i] = float32(r.NormFloat64())
+	}
+	return v
+}
+
+func TestPropertyCosineRangeAndSymmetry(t *testing.T) {
+	r := rand.New(rand.NewPCG(1, 2))
+	f := func(seed uint64) bool {
+		rr := rand.New(rand.NewPCG(seed, 99))
+		n := 1 + rr.IntN(64)
+		a, b := randVec(r, n), randVec(r, n)
+		c1, c2 := Cosine(a, b), Cosine(b, a)
+		return c1 >= -1 && c1 <= 1 && almostEq(float64(c1), float64(c2), 1e-6)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPropertyNormalizeIdempotentAndUnit(t *testing.T) {
+	r := rand.New(rand.NewPCG(3, 4))
+	f := func(seed uint64) bool {
+		rr := rand.New(rand.NewPCG(seed, 7))
+		n := 1 + rr.IntN(128)
+		v := randVec(r, n)
+		if Norm(v) == 0 {
+			return true
+		}
+		Normalize(v)
+		n1 := Norm(v)
+		Normalize(v)
+		n2 := Norm(v)
+		return almostEq(float64(n1), 1, 1e-5) && almostEq(float64(n2), 1, 1e-5)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPropertyCosineScaleInvariant(t *testing.T) {
+	r := rand.New(rand.NewPCG(5, 6))
+	f := func(seed uint64) bool {
+		rr := rand.New(rand.NewPCG(seed, 11))
+		n := 1 + rr.IntN(64)
+		a, b := randVec(r, n), randVec(r, n)
+		alpha := float32(0.1 + rr.Float64()*10)
+		scaled := Clone(a)
+		Scale(alpha, scaled)
+		return almostEq(float64(Cosine(a, b)), float64(Cosine(scaled, b)), 1e-4)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPropertySoftmaxSumsToOne(t *testing.T) {
+	r := rand.New(rand.NewPCG(7, 8))
+	f := func(seed uint64) bool {
+		rr := rand.New(rand.NewPCG(seed, 13))
+		n := 1 + rr.IntN(100)
+		p := Softmax(randVec(r, n))
+		var sum float64
+		for _, x := range p {
+			if x < 0 {
+				return false
+			}
+			sum += float64(x)
+		}
+		return almostEq(sum, 1, 1e-4)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPropertyArgTop2Consistent(t *testing.T) {
+	f := func(raw []float32) bool {
+		if len(raw) < 2 {
+			return true
+		}
+		first, second := ArgTop2(raw)
+		if first == second {
+			return false
+		}
+		for i, x := range raw {
+			if x > raw[first] {
+				return false
+			}
+			if i != first && x > raw[second] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func BenchmarkDot64(b *testing.B) {
+	r := rand.New(rand.NewPCG(1, 1))
+	x, y := randVec(r, 64), randVec(r, 64)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		Dot(x, y)
+	}
+}
+
+func BenchmarkCosine64(b *testing.B) {
+	r := rand.New(rand.NewPCG(1, 1))
+	x, y := randVec(r, 64), randVec(r, 64)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		Cosine(x, y)
+	}
+}

@@ -1,0 +1,258 @@
+// Package xrand supplies the deterministic randomness substrate for the
+// simulator: stable 64-bit hashing for content-addressed seeds, PCG-backed
+// streams, and the distributions the paper's evaluation needs (Gaussian
+// vectors, Gamma/Dirichlet for non-IID client partitions, exponential
+// long-tail class weights, and an alias-method weighted sampler).
+//
+// Everything is seeded explicitly so that experiments are reproducible
+// run-to-run and independent of goroutine scheduling.
+package xrand
+
+import (
+	"fmt"
+	"math"
+	"math/rand/v2"
+)
+
+// SplitMix64 advances the splitmix64 state x and returns the next value.
+// It is the standard seeding PRNG from Steele et al.; here it is used as a
+// stable mixing function to derive independent seeds from tuples of small
+// integers (dataset id, class id, layer id, ...).
+func SplitMix64(x uint64) uint64 {
+	x += 0x9e3779b97f4a7c15
+	z := x
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return z ^ (z >> 31)
+}
+
+// HashSeed mixes an arbitrary sequence of 64-bit parts into a single seed.
+// Equal inputs always produce equal outputs; order matters.
+func HashSeed(parts ...uint64) uint64 {
+	h := uint64(0x243f6a8885a308d3) // pi digits, arbitrary non-zero start
+	for _, p := range parts {
+		h = SplitMix64(h ^ p)
+	}
+	return h
+}
+
+// New returns a rand.Rand driven by PCG seeded from the given parts.
+func New(parts ...uint64) *rand.Rand {
+	s := HashSeed(parts...)
+	return rand.New(rand.NewPCG(s, SplitMix64(s)))
+}
+
+// NormalVector fills a fresh length-n vector with independent N(0,1) draws.
+func NormalVector(r *rand.Rand, n int) []float32 {
+	v := make([]float32, n)
+	for i := range v {
+		v[i] = float32(r.NormFloat64())
+	}
+	return v
+}
+
+// Gamma draws from a Gamma(shape, 1) distribution using the
+// Marsaglia–Tsang method. shape must be > 0.
+func Gamma(r *rand.Rand, shape float64) float64 {
+	if shape <= 0 {
+		panic(fmt.Sprintf("xrand: Gamma shape %v <= 0", shape))
+	}
+	if shape < 1 {
+		// Boost: Gamma(a) = Gamma(a+1) * U^(1/a).
+		u := r.Float64()
+		for u == 0 {
+			u = r.Float64()
+		}
+		return Gamma(r, shape+1) * math.Pow(u, 1/shape)
+	}
+	d := shape - 1.0/3.0
+	c := 1 / math.Sqrt(9*d)
+	for {
+		x := r.NormFloat64()
+		v := 1 + c*x
+		if v <= 0 {
+			continue
+		}
+		v = v * v * v
+		u := r.Float64()
+		if u < 1-0.0331*x*x*x*x {
+			return d * v
+		}
+		if u > 0 && math.Log(u) < 0.5*x*x+d*(1-v+math.Log(v)) {
+			return d * v
+		}
+	}
+}
+
+// Dirichlet draws a probability vector from Dir(alpha, ..., alpha) of the
+// given dimension. alpha must be > 0 and dim >= 1. The result sums to 1.
+func Dirichlet(r *rand.Rand, alpha float64, dim int) []float64 {
+	if dim < 1 {
+		panic(fmt.Sprintf("xrand: Dirichlet dim %d < 1", dim))
+	}
+	out := make([]float64, dim)
+	var sum float64
+	for i := range out {
+		g := Gamma(r, alpha)
+		out[i] = g
+		sum += g
+	}
+	if sum == 0 {
+		// Astronomically unlikely, but keep the simplex invariant.
+		for i := range out {
+			out[i] = 1 / float64(dim)
+		}
+		return out
+	}
+	for i := range out {
+		out[i] /= sum
+	}
+	return out
+}
+
+// LongTailWeights returns normalized class weights following the
+// exponential-decay long-tail construction of Cao et al. (used by the
+// paper, §VI-A): weight_i ∝ rho^(-i/(n-1)), so the ratio between the most
+// and least frequent class is exactly rho. rho must be >= 1; rho == 1
+// yields the uniform distribution. The weights sum to 1.
+func LongTailWeights(n int, rho float64) []float64 {
+	if n < 1 {
+		panic(fmt.Sprintf("xrand: LongTailWeights n %d < 1", n))
+	}
+	if rho < 1 {
+		panic(fmt.Sprintf("xrand: LongTailWeights rho %v < 1", rho))
+	}
+	w := make([]float64, n)
+	if n == 1 {
+		w[0] = 1
+		return w
+	}
+	var sum float64
+	for i := range w {
+		w[i] = math.Pow(rho, -float64(i)/float64(n-1))
+		sum += w[i]
+	}
+	for i := range w {
+		w[i] /= sum
+	}
+	return w
+}
+
+// Uniform returns the length-n uniform probability vector.
+func Uniform(n int) []float64 {
+	w := make([]float64, n)
+	for i := range w {
+		w[i] = 1 / float64(n)
+	}
+	return w
+}
+
+// Mix returns (1-t)*a + t*b element-wise; both inputs must be the same
+// length. With probability vectors as inputs the result is a probability
+// vector. Used to interpolate between IID and fully non-IID partitions.
+func Mix(a, b []float64, t float64) []float64 {
+	if len(a) != len(b) {
+		panic(fmt.Sprintf("xrand: Mix length mismatch %d != %d", len(a), len(b)))
+	}
+	out := make([]float64, len(a))
+	for i := range a {
+		out[i] = (1-t)*a[i] + t*b[i]
+	}
+	return out
+}
+
+// AliasSampler draws integers in [0, n) from a fixed discrete distribution
+// in O(1) per draw using Vose's alias method.
+type AliasSampler struct {
+	prob  []float64
+	alias []int
+}
+
+// NewAliasSampler builds a sampler over weights. Weights must be
+// non-negative with a positive sum.
+func NewAliasSampler(weights []float64) (*AliasSampler, error) {
+	n := len(weights)
+	if n == 0 {
+		return nil, fmt.Errorf("xrand: alias sampler needs at least one weight")
+	}
+	var sum float64
+	for i, w := range weights {
+		if w < 0 || math.IsNaN(w) || math.IsInf(w, 0) {
+			return nil, fmt.Errorf("xrand: alias sampler weight[%d]=%v invalid", i, w)
+		}
+		sum += w
+	}
+	if sum <= 0 {
+		return nil, fmt.Errorf("xrand: alias sampler weights sum to %v", sum)
+	}
+	s := &AliasSampler{
+		prob:  make([]float64, n),
+		alias: make([]int, n),
+	}
+	scaled := make([]float64, n)
+	small := make([]int, 0, n)
+	large := make([]int, 0, n)
+	for i, w := range weights {
+		scaled[i] = w * float64(n) / sum
+		if scaled[i] < 1 {
+			small = append(small, i)
+		} else {
+			large = append(large, i)
+		}
+	}
+	for len(small) > 0 && len(large) > 0 {
+		l := small[len(small)-1]
+		small = small[:len(small)-1]
+		g := large[len(large)-1]
+		large = large[:len(large)-1]
+		s.prob[l] = scaled[l]
+		s.alias[l] = g
+		scaled[g] = scaled[g] + scaled[l] - 1
+		if scaled[g] < 1 {
+			small = append(small, g)
+		} else {
+			large = append(large, g)
+		}
+	}
+	for _, g := range large {
+		s.prob[g] = 1
+		s.alias[g] = g
+	}
+	for _, l := range small {
+		s.prob[l] = 1
+		s.alias[l] = l
+	}
+	return s, nil
+}
+
+// MustAliasSampler is NewAliasSampler that panics on error; for use with
+// weights known to be valid by construction.
+func MustAliasSampler(weights []float64) *AliasSampler {
+	s, err := NewAliasSampler(weights)
+	if err != nil {
+		panic(err)
+	}
+	return s
+}
+
+// N returns the size of the sampled domain.
+func (s *AliasSampler) N() int { return len(s.prob) }
+
+// Sample draws one index from the distribution.
+func (s *AliasSampler) Sample(r *rand.Rand) int {
+	i := r.IntN(len(s.prob))
+	if r.Float64() < s.prob[i] {
+		return i
+	}
+	return s.alias[i]
+}
+
+// Beta draws from a Beta(a, b) distribution via two Gamma draws.
+func Beta(r *rand.Rand, a, b float64) float64 {
+	x := Gamma(r, a)
+	y := Gamma(r, b)
+	if x+y == 0 {
+		return 0.5
+	}
+	return x / (x + y)
+}

@@ -1,0 +1,293 @@
+package xrand
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestHashSeedDeterministicAndOrderSensitive(t *testing.T) {
+	a := HashSeed(1, 2, 3)
+	b := HashSeed(1, 2, 3)
+	c := HashSeed(3, 2, 1)
+	if a != b {
+		t.Fatal("HashSeed not deterministic")
+	}
+	if a == c {
+		t.Fatal("HashSeed ignores order")
+	}
+}
+
+func TestNewStreamsIndependent(t *testing.T) {
+	r1 := New(1)
+	r2 := New(2)
+	same := 0
+	for i := 0; i < 100; i++ {
+		if r1.Uint64() == r2.Uint64() {
+			same++
+		}
+	}
+	if same > 2 {
+		t.Fatalf("streams with different seeds collide %d/100 times", same)
+	}
+}
+
+func TestNewReproducible(t *testing.T) {
+	r1 := New(42, 7)
+	r2 := New(42, 7)
+	for i := 0; i < 32; i++ {
+		if r1.Uint64() != r2.Uint64() {
+			t.Fatal("same seed must give same stream")
+		}
+	}
+}
+
+func TestNormalVectorMoments(t *testing.T) {
+	r := New(99)
+	const n = 20000
+	v := NormalVector(r, n)
+	var mean, sq float64
+	for _, x := range v {
+		mean += float64(x)
+		sq += float64(x) * float64(x)
+	}
+	mean /= n
+	variance := sq/n - mean*mean
+	if math.Abs(mean) > 0.05 {
+		t.Fatalf("normal mean = %v", mean)
+	}
+	if math.Abs(variance-1) > 0.1 {
+		t.Fatalf("normal variance = %v", variance)
+	}
+}
+
+func TestGammaMean(t *testing.T) {
+	r := New(5)
+	for _, shape := range []float64{0.3, 1, 2.5, 10} {
+		const n = 30000
+		var sum float64
+		for i := 0; i < n; i++ {
+			g := Gamma(r, shape)
+			if g < 0 {
+				t.Fatalf("Gamma(%v) produced negative draw %v", shape, g)
+			}
+			sum += g
+		}
+		mean := sum / n
+		// Gamma(shape,1) has mean = shape.
+		if math.Abs(mean-shape) > 0.15*shape+0.03 {
+			t.Fatalf("Gamma(%v) mean = %v", shape, mean)
+		}
+	}
+}
+
+func TestGammaInvalidShapePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic for shape <= 0")
+		}
+	}()
+	Gamma(New(1), 0)
+}
+
+func TestDirichletSimplex(t *testing.T) {
+	r := New(11)
+	for _, alpha := range []float64{0.1, 0.5, 1, 10} {
+		p := Dirichlet(r, alpha, 20)
+		var sum float64
+		for _, x := range p {
+			if x < 0 {
+				t.Fatalf("Dirichlet(%v) negative component", alpha)
+			}
+			sum += x
+		}
+		if math.Abs(sum-1) > 1e-9 {
+			t.Fatalf("Dirichlet(%v) sums to %v", alpha, sum)
+		}
+	}
+}
+
+func TestDirichletConcentration(t *testing.T) {
+	// Small alpha => concentrated (high max); large alpha => near-uniform.
+	r := New(13)
+	maxOf := func(alpha float64) float64 {
+		var avgMax float64
+		const trials = 200
+		for i := 0; i < trials; i++ {
+			p := Dirichlet(r, alpha, 10)
+			mx := 0.0
+			for _, x := range p {
+				if x > mx {
+					mx = x
+				}
+			}
+			avgMax += mx
+		}
+		return avgMax / trials
+	}
+	sharp := maxOf(0.1)
+	flat := maxOf(100)
+	if sharp < flat+0.2 {
+		t.Fatalf("Dirichlet concentration inverted: alpha=0.1 avg max %v vs alpha=100 avg max %v", sharp, flat)
+	}
+}
+
+func TestLongTailWeights(t *testing.T) {
+	w := LongTailWeights(100, 90)
+	var sum float64
+	for i := 1; i < len(w); i++ {
+		if w[i] > w[i-1] {
+			t.Fatal("long-tail weights must be non-increasing")
+		}
+	}
+	for _, x := range w {
+		sum += x
+	}
+	if math.Abs(sum-1) > 1e-9 {
+		t.Fatalf("long-tail weights sum to %v", sum)
+	}
+	ratio := w[0] / w[len(w)-1]
+	if math.Abs(ratio-90) > 1e-6 {
+		t.Fatalf("imbalance ratio = %v, want 90", ratio)
+	}
+}
+
+func TestLongTailTopHeavy(t *testing.T) {
+	// The paper sets rho=90 so that the top 20% classes hold ~60% of mass.
+	w := LongTailWeights(100, 90)
+	var top20 float64
+	for i := 0; i < 20; i++ {
+		top20 += w[i]
+	}
+	if top20 < 0.5 || top20 > 0.7 {
+		t.Fatalf("top-20%% mass = %v, want ~0.6", top20)
+	}
+}
+
+func TestLongTailUniformWhenRhoOne(t *testing.T) {
+	w := LongTailWeights(10, 1)
+	for _, x := range w {
+		if math.Abs(x-0.1) > 1e-12 {
+			t.Fatalf("rho=1 weights not uniform: %v", w)
+		}
+	}
+}
+
+func TestUniformAndMix(t *testing.T) {
+	u := Uniform(4)
+	for _, x := range u {
+		if x != 0.25 {
+			t.Fatalf("Uniform = %v", u)
+		}
+	}
+	m := Mix([]float64{1, 0}, []float64{0, 1}, 0.25)
+	if math.Abs(m[0]-0.75) > 1e-12 || math.Abs(m[1]-0.25) > 1e-12 {
+		t.Fatalf("Mix = %v", m)
+	}
+}
+
+func TestAliasSamplerDistribution(t *testing.T) {
+	weights := []float64{0.5, 0.3, 0.15, 0.05}
+	s := MustAliasSampler(weights)
+	r := New(17)
+	counts := make([]int, len(weights))
+	const n = 200000
+	for i := 0; i < n; i++ {
+		counts[s.Sample(r)]++
+	}
+	for i, w := range weights {
+		got := float64(counts[i]) / n
+		if math.Abs(got-w) > 0.01 {
+			t.Fatalf("alias sampler freq[%d] = %v, want %v", i, got, w)
+		}
+	}
+}
+
+func TestAliasSamplerErrors(t *testing.T) {
+	if _, err := NewAliasSampler(nil); err == nil {
+		t.Fatal("expected error for empty weights")
+	}
+	if _, err := NewAliasSampler([]float64{0, 0}); err == nil {
+		t.Fatal("expected error for zero-sum weights")
+	}
+	if _, err := NewAliasSampler([]float64{-1, 2}); err == nil {
+		t.Fatal("expected error for negative weight")
+	}
+	if _, err := NewAliasSampler([]float64{math.NaN()}); err == nil {
+		t.Fatal("expected error for NaN weight")
+	}
+}
+
+func TestAliasSamplerSingleton(t *testing.T) {
+	s := MustAliasSampler([]float64{3})
+	r := New(1)
+	for i := 0; i < 10; i++ {
+		if s.Sample(r) != 0 {
+			t.Fatal("singleton sampler must always return 0")
+		}
+	}
+}
+
+func TestBetaRange(t *testing.T) {
+	r := New(23)
+	for i := 0; i < 1000; i++ {
+		b := Beta(r, 2, 5)
+		if b < 0 || b > 1 {
+			t.Fatalf("Beta out of range: %v", b)
+		}
+	}
+}
+
+func TestPropertyDirichletAlwaysSimplex(t *testing.T) {
+	f := func(seed uint64, dimRaw uint8, alphaRaw uint8) bool {
+		dim := 1 + int(dimRaw)%50
+		alpha := 0.05 + float64(alphaRaw)/16.0
+		p := Dirichlet(New(seed), alpha, dim)
+		var sum float64
+		for _, x := range p {
+			if x < 0 || math.IsNaN(x) {
+				return false
+			}
+			sum += x
+		}
+		return math.Abs(sum-1) < 1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPropertyLongTailRatioExact(t *testing.T) {
+	f := func(nRaw uint8, rhoRaw uint8) bool {
+		n := 2 + int(nRaw)%200
+		rho := 1 + float64(rhoRaw)
+		w := LongTailWeights(n, rho)
+		ratio := w[0] / w[n-1]
+		return math.Abs(ratio-rho)/rho < 1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPropertyAliasSamplerInRange(t *testing.T) {
+	f := func(seed uint64, nRaw uint8) bool {
+		n := 1 + int(nRaw)%32
+		w := make([]float64, n)
+		r := New(seed)
+		for i := range w {
+			w[i] = r.Float64() + 0.01
+		}
+		s := MustAliasSampler(w)
+		for i := 0; i < 50; i++ {
+			idx := s.Sample(r)
+			if idx < 0 || idx >= n {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
