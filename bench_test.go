@@ -6,6 +6,7 @@
 package coca
 
 import (
+	"context"
 	"strconv"
 	"testing"
 
@@ -76,7 +77,7 @@ func BenchmarkHeadline(b *testing.B) {
 func BenchmarkInferencePath(b *testing.B) {
 	space := semantics.NewSpace(dataset.UCF101().Subset(50), model.ResNet101())
 	srv := core.NewServer(space, core.ServerConfig{Theta: 0.012, Seed: 1})
-	client, err := core.NewClient(space, srv, core.ClientConfig{
+	client, err := core.NewClient(context.Background(), space, srv, core.ClientConfig{
 		Theta: 0.012, Budget: 300, RoundFrames: 300,
 	})
 	if err != nil {

@@ -1,17 +1,22 @@
 // Command coca-client runs a CoCa edge client over TCP: it connects to a
-// coca-server, registers, and drives a synthetic sample stream through
-// cached inference for the requested number of rounds, printing the
-// latency/accuracy summary.
+// coca-server, opens a coordination session (wire protocol v2: allocation
+// deltas instead of full cache tables), and drives a synthetic sample
+// stream through cached inference for the requested number of rounds,
+// printing the latency/accuracy summary.
 //
-// The model, dataset and class-count flags must match the server's.
+// The model, dataset and class-count flags must match the server's, and
+// -clients must name the fleet size so every client carves the same
+// workload partition: client -id K of -clients N always streams partition
+// K of N, regardless of which process it runs in.
 //
 // Usage:
 //
 //	coca-client -addr localhost:7070 -model ResNet101 -dataset UCF101 \
-//	    -classes 50 -id 0 -rounds 5 -budget 300
+//	    -classes 50 -id 0 -clients 4 -rounds 5 -budget 300
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"log"
@@ -32,15 +37,20 @@ func main() {
 		modelN  = flag.String("model", "ResNet101", "model preset")
 		dataN   = flag.String("dataset", "UCF101", "dataset preset")
 		classes = flag.Int("classes", 0, "dataset subset size (0 = all)")
-		id      = flag.Int("id", 0, "client id")
+		id      = flag.Int("id", 0, "client id (0 ≤ id < clients)")
+		clients = flag.Int("clients", 1, "fleet size: total clients sharing the workload")
 		theta   = flag.Float64("theta", 0.012, "hit threshold Θ")
 		budget  = flag.Int("budget", 300, "cache budget Π in entries")
 		rounds  = flag.Int("rounds", 5, "rounds to run")
 		frames  = flag.Int("frames", core.DefaultRoundFrames, "frames per round F")
 		bias    = flag.Float64("bias", 0.05, "client feature-bias weight")
-		seed    = flag.Uint64("seed", 7, "workload seed")
+		seed    = flag.Uint64("seed", 7, "workload seed (must match across the fleet)")
 	)
 	flag.Parse()
+
+	if *clients < 1 || *id < 0 || *id >= *clients {
+		log.Fatalf("coca-client: id %d outside fleet of %d clients", *id, *clients)
+	}
 
 	arch, err := model.ByName(*modelN)
 	if err != nil {
@@ -55,23 +65,28 @@ func main() {
 	}
 	space := semantics.NewSpace(ds, arch)
 
-	conn, err := transport.Dial(*addr)
+	ctx := context.Background()
+	conn, err := transport.DialContext(ctx, *addr)
 	if err != nil {
 		log.Fatal(err)
 	}
-	coord := protocol.NewCoordinatorClient(conn, ds.NumClasses, arch.NumLayers)
+	coord := protocol.NewSessionClient(conn, ds.NumClasses, arch.NumLayers)
 	defer coord.Close()
 
-	client, err := core.NewClient(space, coord, core.ClientConfig{
+	client, err := core.NewClient(ctx, space, coord, core.ClientConfig{
 		ID: *id, Theta: *theta, Budget: *budget, RoundFrames: *frames,
 		EnvBiasWeight: *bias, EnvSeed: uint64(*id) + 1,
 	})
 	if err != nil {
 		log.Fatal(err)
 	}
+	defer client.Close()
 
+	// The fleet-wide partition: every process builds the same N-client
+	// partition and takes its own slice, so streams are disjoint and
+	// consistent no matter how the fleet is launched.
 	part, err := stream.NewPartition(stream.Config{
-		Dataset: ds, NumClients: *id + 1, SceneMeanFrames: 25,
+		Dataset: ds, NumClients: *clients, SceneMeanFrames: 25,
 		WorkingSetSize: 15, WorkingSetChurn: 0.05, Seed: *seed,
 	})
 	if err != nil {
@@ -96,11 +111,12 @@ func main() {
 			log.Fatalf("round %d end: %v", round, err)
 		}
 		s := acc.Summary()
-		fmt.Printf("round %d: avg %.2f ms, accuracy %.2f%%, hit ratio %.1f%%\n",
-			round, s.AvgLatencyMs, 100*s.Accuracy, 100*s.HitRatio)
+		fmt.Printf("round %d: avg %.2f ms, accuracy %.2f%%, hit ratio %.1f%%, cache view v%d (%d cells)\n",
+			round, s.AvgLatencyMs, 100*s.Accuracy, 100*s.HitRatio,
+			client.View().Version(), client.View().NumCells())
 	}
 	s := acc.Summary()
-	fmt.Printf("\nclient %d done: frames=%d avg=%.2fms p95=%.2fms acc=%.2f%% hit=%.1f%% hitAcc=%.2f%% (edge-only %.2fms)\n",
-		*id, s.Frames, s.AvgLatencyMs, s.P95LatencyMs, 100*s.Accuracy,
+	fmt.Printf("\nclient %d/%d done: frames=%d avg=%.2fms p95=%.2fms acc=%.2f%% hit=%.1f%% hitAcc=%.2f%% (edge-only %.2fms)\n",
+		*id, *clients, s.Frames, s.AvgLatencyMs, s.P95LatencyMs, 100*s.Accuracy,
 		100*s.HitRatio, 100*s.HitAccuracy, arch.TotalLatencyMs())
 }

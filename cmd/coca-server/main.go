@@ -1,7 +1,12 @@
 // Command coca-server runs a CoCa edge server over TCP: it builds the
 // simulated model/dataset universe, initializes the global cache table from
-// the shared dataset, and serves cache allocation and global-update
-// requests from coca-client processes.
+// the shared dataset, and serves session, cache-allocation and
+// global-update requests from coca-client processes (wire protocol v2,
+// with v1 clients still accepted).
+//
+// On SIGINT/SIGTERM the server shuts down gracefully: it stops accepting
+// new connections, lets in-flight sessions drain for -drain, then closes
+// the remaining connections and exits.
 //
 // Usage:
 //
@@ -9,10 +14,15 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"log"
 	"os"
+	"os/signal"
+	"sync"
+	"syscall"
+	"time"
 
 	"coca/internal/core"
 	"coca/internal/dataset"
@@ -31,6 +41,7 @@ func main() {
 		theta   = flag.Float64("theta", 0.012, "hit threshold Θ used for layer profiling")
 		gamma   = flag.Float64("gamma", 0.99, "global merge decay γ (Eq. 4)")
 		seed    = flag.Uint64("seed", 1, "shared-dataset seed")
+		drain   = flag.Duration("drain", 10*time.Second, "graceful-shutdown drain window for in-flight sessions")
 	)
 	flag.Parse()
 
@@ -53,23 +64,57 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
-	defer l.Close()
 	fmt.Fprintf(os.Stderr, "coca-server: %s × %s (%d classes, %d cache sites) listening on %s\n",
 		arch.Name, ds.Name, ds.NumClasses, arch.NumLayers, l.Addr())
 
-	for {
-		conn, err := l.Accept()
-		if err != nil {
-			log.Printf("accept: %v", err)
-			return
-		}
-		go func() {
-			if err := protocol.ServeConn(conn, srv); err != nil {
-				log.Printf("session: %v", err)
+	// Shutdown plumbing: the signal cancels sigCtx; connCtx stays open
+	// through the drain window so in-flight sessions can finish their
+	// round trips, then its cancellation force-closes the stragglers.
+	sigCtx, stop := signal.NotifyContext(context.Background(), syscall.SIGINT, syscall.SIGTERM)
+	defer stop()
+	connCtx, cancelConns := context.WithCancel(context.Background())
+	defer cancelConns()
+
+	// The accept loop itself is counted in the WaitGroup so that a
+	// connection accepted right at shutdown cannot slip between its
+	// wg.Add and the main goroutine's wg.Wait.
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for {
+			conn, err := l.Accept()
+			if err != nil {
+				return // listener closed (shutdown) or fatal accept error
 			}
-			_ = conn.Close()
-			allocs, merges := srv.Stats()
-			fmt.Fprintf(os.Stderr, "coca-server: session done (total allocations %d, merges %d)\n", allocs, merges)
-		}()
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				if err := protocol.ServeConn(connCtx, conn, srv); err != nil {
+					log.Printf("session: %v", err)
+				}
+				_ = conn.Close()
+				allocs, merges := srv.Stats()
+				fmt.Fprintf(os.Stderr, "coca-server: connection done (open sessions %d, total allocations %d, merges %d)\n",
+					srv.Sessions(), allocs, merges)
+			}()
+		}
+	}()
+
+	<-sigCtx.Done()
+	fmt.Fprintf(os.Stderr, "coca-server: shutting down: draining %d open session(s) for up to %s...\n",
+		srv.Sessions(), *drain)
+	_ = l.Close() // stop accepting
+
+	drained := make(chan struct{})
+	go func() { wg.Wait(); close(drained) }()
+	select {
+	case <-drained:
+	case <-time.After(*drain):
+		fmt.Fprintln(os.Stderr, "coca-server: drain window elapsed; closing remaining connections")
+		cancelConns()
+		<-drained
 	}
+	allocs, merges := srv.Stats()
+	fmt.Fprintf(os.Stderr, "coca-server: shut down cleanly (total allocations %d, merges %d)\n", allocs, merges)
 }

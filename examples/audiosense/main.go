@@ -5,6 +5,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -25,6 +26,7 @@ func main() {
 	space := semantics.NewSpace(ds, arch)
 	srv := core.NewServer(space, core.ServerConfig{Theta: 0.022, Seed: 5})
 
+	ctx := context.Background()
 	l, err := transport.Listen("127.0.0.1:0")
 	if err != nil {
 		log.Fatal(err)
@@ -36,7 +38,7 @@ func main() {
 			if err != nil {
 				return
 			}
-			go func() { _ = protocol.ServeConn(conn, srv); _ = conn.Close() }()
+			go func() { _ = protocol.ServeConn(ctx, conn, srv); _ = conn.Close() }()
 		}
 	}()
 
@@ -49,12 +51,12 @@ func main() {
 	}
 
 	for id := 0; id < 3; id++ {
-		conn, err := transport.Dial(l.Addr())
+		conn, err := transport.DialContext(ctx, l.Addr())
 		if err != nil {
 			log.Fatal(err)
 		}
-		coord := protocol.NewCoordinatorClient(conn, ds.NumClasses, arch.NumLayers)
-		client, err := core.NewClient(space, coord, core.ClientConfig{
+		coord := protocol.NewSessionClient(conn, ds.NumClasses, arch.NumLayers)
+		client, err := core.NewClient(ctx, space, coord, core.ClientConfig{
 			ID: id, Theta: 0.022, Budget: 200, RoundFrames: 150,
 			EnvBiasWeight: 0.05, EnvSeed: uint64(id) + 1,
 		})
@@ -81,6 +83,7 @@ func main() {
 		s := acc.Summary()
 		fmt.Printf("sensor %d: %.2f ms/clip (edge-only %.2f), accuracy %.2f%%, hits %.1f%%\n",
 			id, s.AvgLatencyMs, arch.TotalLatencyMs(), 100*s.Accuracy, 100*s.HitRatio)
+		_ = client.Close()
 		_ = coord.Close()
 	}
 	allocs, merges := srv.Stats()

@@ -1,0 +1,57 @@
+// Network fleet via the public serving API: coca.Serve starts a
+// session-serving edge server on loopback, coca.Dial connects each fleet
+// client, and the clients run their rounds concurrently — the v2 delta
+// protocol end to end with no internal imports.
+package main
+
+import (
+	"context"
+	"fmt"
+	"log"
+	"sync"
+	"time"
+
+	"coca"
+)
+
+func main() {
+	ctx := context.Background()
+	opts := coca.Options{
+		Model: "ResNet50", Dataset: "UCF101", Classes: 20,
+		NumClients: 3, Rounds: 4, RoundFrames: 100, Budget: 80, Seed: 2,
+	}
+
+	srv, clients, err := coca.ServeAndDial(ctx, opts)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("netfleet: serving on %s, %d clients connected\n", srv.Addr(), len(clients))
+
+	var wg sync.WaitGroup
+	for id, cl := range clients {
+		wg.Add(1)
+		go func(id int, cl *coca.Client) {
+			defer wg.Done()
+			rep, err := cl.Run(ctx, 0)
+			if err != nil {
+				log.Printf("client %d: %v", id, err)
+				return
+			}
+			fmt.Printf("client %d: %s (cache view v%d)\n", id, rep, cl.ViewVersion())
+		}(id, cl)
+	}
+	wg.Wait()
+
+	for _, cl := range clients {
+		_ = cl.Close()
+	}
+	allocs, merges, sessions := srv.Stats()
+	fmt.Printf("server: %d allocations, %d merges, %d open sessions\n", allocs, merges, sessions)
+
+	sctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	if err := srv.Shutdown(sctx); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("netfleet: server shut down cleanly")
+}

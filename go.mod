@@ -1,0 +1,3 @@
+module coca
+
+go 1.24

@@ -1,8 +1,10 @@
 // The CoCa edge client: cached inference, status tracking and update
-// collection (paper §IV-A/C).
+// collection (paper §IV-A/C), coordinating through a Coordinator v2
+// session.
 package core
 
 import (
+	"context"
 	"fmt"
 
 	"coca/internal/cache"
@@ -114,15 +116,18 @@ type CollectionStats struct {
 
 // Client is a CoCa edge client. It implements engine.Engine and
 // engine.RoundHooks. Not safe for concurrent use: each client is a single
-// simulated device.
+// simulated device. Its coordination calls run under the lifecycle
+// context passed to NewClient.
 type Client struct {
 	cfg   ClientConfig
 	space *semantics.Space
 	env   *semantics.Env
-	coord Coordinator
+	ctx   context.Context
+	sess  Session
 
 	local  *cache.Local
 	lookup *cache.Lookup
+	view   *AllocView
 	frozen *Allocation // first allocation, when DisableDynamicAllocation
 
 	tau      []int
@@ -139,8 +144,10 @@ type Client struct {
 	rounds  int
 }
 
-// NewClient registers a client with the coordinator.
-func NewClient(space *semantics.Space, coord Coordinator, cfg ClientConfig) (*Client, error) {
+// NewClient opens a session with the coordinator and builds a client
+// around it. ctx is the client's lifecycle context: it bounds the open
+// call and every later per-round coordination call.
+func NewClient(ctx context.Context, space *semantics.Space, coord Coordinator, cfg ClientConfig) (*Client, error) {
 	cfg = cfg.withDefaults()
 	if cfg.Theta < 0 {
 		return nil, fmt.Errorf("core: client %d Theta %v < 0", cfg.ID, cfg.Theta)
@@ -148,20 +155,27 @@ func NewClient(space *semantics.Space, coord Coordinator, cfg ClientConfig) (*Cl
 	if cfg.Budget < 0 {
 		return nil, fmt.Errorf("core: client %d budget %v < 0", cfg.ID, cfg.Budget)
 	}
-	info, err := coord.Register(cfg.ID)
-	if err != nil {
-		return nil, fmt.Errorf("core: client %d register: %w", cfg.ID, err)
+	if ctx == nil {
+		ctx = context.Background()
 	}
+	sess, err := coord.Open(ctx, cfg.ID)
+	if err != nil {
+		return nil, fmt.Errorf("core: client %d open session: %w", cfg.ID, err)
+	}
+	info := sess.Info()
 	if info.NumClasses != space.DS.NumClasses || info.NumLayers != space.Arch.NumLayers {
+		_ = sess.Close()
 		return nil, fmt.Errorf("core: client %d model/dataset mismatch with server (%d×%d vs %d×%d)",
 			cfg.ID, space.DS.NumClasses, space.Arch.NumLayers, info.NumClasses, info.NumLayers)
 	}
 	c := &Client{
 		cfg:         cfg,
 		space:       space,
-		coord:       coord,
+		ctx:         ctx,
+		sess:        sess,
 		local:       cache.Empty(),
 		lookup:      cache.NewLookup(cache.Config{Alpha: cfg.Alpha, Theta: cfg.Theta}),
+		view:        NewAllocView(),
 		tau:         make([]int, space.DS.NumClasses),
 		freq:        gtable.NewFrequencies(space.DS.NumClasses),
 		upd:         gtable.NewUpdateTable(cfg.Beta, model.Dim),
@@ -188,26 +202,45 @@ func (c *Client) Collection() CollectionStats { return c.collect }
 // Env returns the client's feature environment (nil when unbiased).
 func (c *Client) Env() *semantics.Env { return c.env }
 
-// BeginRound implements engine.RoundHooks: upload status, receive and load
-// the allocated cache.
+// View returns the client's materialized allocation view (diagnostics).
+func (c *Client) View() *AllocView { return c.view }
+
+// Close releases the client's coordination session.
+func (c *Client) Close() error { return c.sess.Close() }
+
+// allocate requests a delta for the given status, folds it into the view
+// and returns the materialized allocation.
+func (c *Client) allocate(status StatusReport) (Allocation, error) {
+	status.LastVersion = c.view.Version()
+	delta, err := c.sess.Allocate(c.ctx, status)
+	if err != nil {
+		return Allocation{}, err
+	}
+	if err := c.view.Apply(delta); err != nil {
+		return Allocation{}, fmt.Errorf("core: client %d delta: %w", c.cfg.ID, err)
+	}
+	return c.view.Allocation(), nil
+}
+
+// BeginRound implements engine.RoundHooks: upload status, receive the
+// allocation delta, and load the materialized cache.
 func (c *Client) BeginRound() error {
 	if c.env != nil {
 		c.env.DriftEpoch = float64(c.rounds) * c.cfg.DriftPerRound
 	}
 	var alloc Allocation
-	var err error
 	if c.cfg.DisableDynamicAllocation && c.frozen != nil {
 		// Keep the frozen shape but refresh entries from the server by
 		// re-requesting with the original status; the server re-extracts
 		// current global entries for the frozen classes/layers.
 		alloc = *c.frozen
-		refreshed, rerr := c.coord.Allocate(c.cfg.ID, c.frozenStatus())
-		if rerr == nil {
+		if refreshed, rerr := c.allocate(c.frozenStatus()); rerr == nil {
 			// Use refreshed entries only for the frozen sites.
 			alloc = refreshEntries(*c.frozen, refreshed)
 		}
 	} else {
-		alloc, err = c.coord.Allocate(c.cfg.ID, c.status())
+		var err error
+		alloc, err = c.allocate(c.status())
 		if err != nil {
 			return fmt.Errorf("core: client %d allocate: %w", c.cfg.ID, err)
 		}
@@ -276,7 +309,7 @@ func (c *Client) EndRound() error {
 			})
 		})
 	}
-	if err := c.coord.Upload(c.cfg.ID, report); err != nil {
+	if err := c.sess.Upload(c.ctx, report); err != nil {
 		return fmt.Errorf("core: client %d upload: %w", c.cfg.ID, err)
 	}
 	c.upd.Reset()

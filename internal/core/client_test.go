@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"errors"
 	"testing"
 
@@ -18,7 +19,7 @@ func smallClient(t testing.TB, cfg ClientConfig) (*Client, *Server) {
 	if cfg.Budget == 0 {
 		cfg.Budget = 40
 	}
-	c, err := NewClient(space, srv, cfg)
+	c, err := NewClient(context.Background(), space, srv, cfg)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -55,10 +56,10 @@ func TestClientDefaults(t *testing.T) {
 func TestClientRejectsBadConfig(t *testing.T) {
 	space := smallSpace()
 	srv := NewServer(space, ServerConfig{Theta: 0.035, Seed: 3, ProfileSamples: 100, InitSamplesPerClass: 16})
-	if _, err := NewClient(space, srv, ClientConfig{Theta: -1}); err == nil {
+	if _, err := NewClient(context.Background(), space, srv, ClientConfig{Theta: -1}); err == nil {
 		t.Error("negative theta accepted")
 	}
-	if _, err := NewClient(space, srv, ClientConfig{Budget: -5}); err == nil {
+	if _, err := NewClient(context.Background(), space, srv, ClientConfig{Budget: -5}); err == nil {
 		t.Error("negative budget accepted")
 	}
 }
@@ -190,31 +191,46 @@ func TestClientFrozenAllocation(t *testing.T) {
 	}
 }
 
+// failingCoordinator wraps a coordinator and injects failures into the
+// sessions it opens.
 type failingCoordinator struct {
-	Coordinator
+	inner        Coordinator
 	failAllocate bool
 	failUpload   bool
 }
 
-func (f *failingCoordinator) Allocate(id int, st StatusReport) (Allocation, error) {
-	if f.failAllocate {
-		return Allocation{}, errors.New("injected allocate failure")
+func (f *failingCoordinator) Open(ctx context.Context, clientID int) (Session, error) {
+	sess, err := f.inner.Open(ctx, clientID)
+	if err != nil {
+		return nil, err
 	}
-	return f.Coordinator.Allocate(id, st)
+	return &failingSession{Session: sess, f: f}, nil
 }
 
-func (f *failingCoordinator) Upload(id int, upd UpdateReport) error {
-	if f.failUpload {
+type failingSession struct {
+	Session
+	f *failingCoordinator
+}
+
+func (s *failingSession) Allocate(ctx context.Context, st StatusReport) (Delta, error) {
+	if s.f.failAllocate {
+		return Delta{}, errors.New("injected allocate failure")
+	}
+	return s.Session.Allocate(ctx, st)
+}
+
+func (s *failingSession) Upload(ctx context.Context, upd UpdateReport) error {
+	if s.f.failUpload {
 		return errors.New("injected upload failure")
 	}
-	return f.Coordinator.Upload(id, upd)
+	return s.Session.Upload(ctx, upd)
 }
 
 func TestClientSurfacesCoordinatorErrors(t *testing.T) {
 	space := smallSpace()
 	srv := NewServer(space, ServerConfig{Theta: 0.035, Seed: 3, ProfileSamples: 100, InitSamplesPerClass: 16})
-	fc := &failingCoordinator{Coordinator: srv, failAllocate: true}
-	c, err := NewClient(space, fc, ClientConfig{Theta: 0.035, Budget: 20})
+	fc := &failingCoordinator{inner: srv, failAllocate: true}
+	c, err := NewClient(context.Background(), space, fc, ClientConfig{Theta: 0.035, Budget: 20})
 	if err != nil {
 		t.Fatal(err)
 	}

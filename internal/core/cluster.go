@@ -2,6 +2,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 
 	"coca/internal/engine"
@@ -64,7 +65,7 @@ func NewCluster(space *semantics.Space, cfg ClusterConfig) (*Cluster, error) {
 		if ccfg.EnvSeed == 0 {
 			ccfg.EnvSeed = uint64(k) + 1
 		}
-		client, err := NewClient(space, srv, ccfg)
+		client, err := NewClient(context.Background(), space, srv, ccfg)
 		if err != nil {
 			return nil, err
 		}
@@ -75,7 +76,9 @@ func NewCluster(space *semantics.Space, cfg ClusterConfig) (*Cluster, error) {
 }
 
 // Run executes the configured rounds and returns per-client and combined
-// metrics.
+// metrics. Clients run concurrently — one goroutine per client within
+// every round — against the server's session API; uploads apply at the
+// round barrier in client order, keeping runs deterministic.
 func (c *Cluster) Run() (perClient []*metrics.Accumulator, combined *metrics.Accumulator, err error) {
 	engines := make([]engine.Engine, len(c.Clients))
 	for i, cl := range c.Clients {
@@ -86,5 +89,6 @@ func (c *Cluster) Run() (perClient []*metrics.Accumulator, combined *metrics.Acc
 		Rounds:         c.cfg.Rounds,
 		FramesPerRound: frames,
 		SkipRounds:     c.cfg.SkipRounds,
+		Concurrent:     true,
 	})
 }

@@ -1,10 +1,14 @@
 // The CoCa edge server: global cache table maintenance, layer-benefit
-// profiling, and per-client cache allocation (paper §IV-B, §IV-D).
+// profiling, and per-client cache allocation (paper §IV-B, §IV-D), served
+// through the session-based Coordinator v2 API.
 package core
 
 import (
+	"context"
 	"fmt"
+	"sort"
 	"sync"
+	"sync/atomic"
 
 	"coca/internal/cache"
 	"coca/internal/gtable"
@@ -61,7 +65,7 @@ func (c ServerConfig) withDefaults() ServerConfig {
 
 // StatusReport is the client→server upload at the start of a round
 // (§IV-A step 1): staleness counters, the client's current hit-ratio
-// estimate and its cache budget.
+// estimate, its cache budget, and the allocation version it holds.
 type StatusReport struct {
 	// Tau is the per-class staleness vector τ_k.
 	Tau []int
@@ -72,10 +76,16 @@ type StatusReport struct {
 	Budget int
 	// RoundFrames is the client's F.
 	RoundFrames int
+	// LastVersion is the allocation version the client currently holds
+	// (0 = none); the server deltas against it, or sends a full
+	// allocation when it cannot.
+	LastVersion uint64
 }
 
-// Allocation is the server→client response: the activated layers with
-// materialized entries extracted from the global table.
+// Allocation is a fully materialized per-client cache: the activated
+// layers with entries extracted from the global table. v2 sessions
+// exchange Deltas instead; Allocation remains the materialized form
+// (protocol-v1 replies, frozen-allocation refreshes, diagnostics).
 type Allocation struct {
 	Layers []cache.Layer
 	// Classes is the hot-spot set backing the layers (diagnostic).
@@ -99,7 +109,7 @@ type UpdateReport struct {
 	Freq  []float64
 }
 
-// RegisterInfo is handed to clients on registration.
+// RegisterInfo is handed to clients when a session opens.
 type RegisterInfo struct {
 	NumClasses int
 	NumLayers  int
@@ -110,36 +120,32 @@ type RegisterInfo struct {
 	SavedMs []float64
 }
 
-// Coordinator is the server-side interface clients depend on; it is
-// implemented in-process by *Server and over the wire by the protocol
-// client.
-type Coordinator interface {
-	Register(clientID int) (RegisterInfo, error)
-	Allocate(clientID int, status StatusReport) (Allocation, error)
-	Upload(clientID int, upd UpdateReport) error
-}
-
-// Server is the CoCa edge server. All exported methods are safe for
-// concurrent use; the paper's server serializes global-cache access the
-// same way (§VI-I measures the resulting contention).
+// Server is the CoCa edge server. It implements Coordinator; sessions
+// from different clients are served concurrently — the global table is
+// sharded by class row (see gtable.Sharded), so allocations and merges
+// that touch different classes proceed in parallel, and the frequency
+// vector sits behind its own short read/write lock.
 type Server struct {
 	cfg   ServerConfig
 	space *semantics.Space
 
-	mu    sync.Mutex
-	table *gtable.Table
-	freq  *gtable.Frequencies
-	// support[class][layer] counts the samples behind each global entry:
-	// the Eq. 4 merge weight. The paper weights by stream frequency Φ/φ;
-	// we weight by evidence counts so a cell built from one noisy frame
-	// cannot displace a center estimated from many (see DESIGN.md).
-	support [][]float64
+	table *gtable.Sharded
+
+	freqMu sync.RWMutex
+	freq   *gtable.Frequencies
+
+	// profile and savedMs are computed at construction and immutable.
 	profile []float64
 	savedMs []float64
-	// allocs counts allocation requests (diagnostics / load analysis).
-	allocs int
-	// merges counts applied update cells.
-	merges int
+
+	sessMu   sync.Mutex
+	sessions map[uint64]*ServerSession
+	nextSess uint64
+
+	// allocs counts allocation requests; merges counts applied update
+	// cells (diagnostics / load analysis).
+	allocs atomic.Int64
+	merges atomic.Int64
 }
 
 // NewServer builds a server: it materializes the initial global cache from
@@ -148,7 +154,7 @@ type Server struct {
 // samples.
 func NewServer(space *semantics.Space, cfg ServerConfig) *Server {
 	cfg = cfg.withDefaults()
-	s := &Server{cfg: cfg, space: space}
+	s := &Server{cfg: cfg, space: space, sessions: make(map[uint64]*ServerSession)}
 	s.initTable()
 	s.profileLayers()
 	return s
@@ -159,15 +165,10 @@ func NewServer(space *semantics.Space, cfg ServerConfig) *Server {
 // the frequency vector Φ with the shared counts.
 func (s *Server) initTable() {
 	ds := s.space.DS
-	arch := s.space.Arch
-	s.table = InitialTable(s.space, s.cfg.InitSamplesPerClass, s.cfg.Seed)
+	init := InitialTable(s.space, s.cfg.InitSamplesPerClass, s.cfg.Seed)
+	s.table = gtable.ShardedFromTable(init, float64(s.cfg.InitSamplesPerClass))
 	s.freq = gtable.NewFrequencies(ds.NumClasses)
-	s.support = make([][]float64, ds.NumClasses)
-	for c := range s.support {
-		s.support[c] = make([]float64, arch.NumLayers)
-		for j := range s.support[c] {
-			s.support[c][j] = float64(s.cfg.InitSamplesPerClass)
-		}
+	for c := 0; c < ds.NumClasses; c++ {
 		s.freq.Add(c, float64(s.cfg.InitSamplesPerClass))
 	}
 }
@@ -255,48 +256,77 @@ func (s *Server) profileLayers() {
 	for j := 0; j < L; j++ {
 		s.savedMs[j] = arch.RemainingLatencyMs(j)
 	}
-	s.profile = CumulativeHitProfile(s.space, s.table,
+	s.profile = CumulativeHitProfile(s.space, s.table.Snapshot(),
 		cache.Config{Alpha: s.cfg.Alpha, Theta: s.cfg.Theta},
 		s.cfg.ProfileSamples, s.cfg.Seed)
 }
 
-// Register implements Coordinator.
-func (s *Server) Register(clientID int) (RegisterInfo, error) {
-	s.mu.Lock()
-	defer s.mu.Unlock()
+// registerInfo builds the registration payload.
+func (s *Server) registerInfo() RegisterInfo {
 	return RegisterInfo{
 		NumClasses:      s.space.DS.NumClasses,
 		NumLayers:       s.space.Arch.NumLayers,
 		ProfileHitRatio: append([]float64(nil), s.profile...),
 		SavedMs:         append([]float64(nil), s.savedMs...),
-	}, nil
+	}
 }
 
-// Allocate implements Coordinator: it runs ACA on the client's status and
-// extracts the resulting sub-table from the global cache (§IV-B).
-func (s *Server) Allocate(clientID int, status StatusReport) (Allocation, error) {
-	s.mu.Lock()
-	defer s.mu.Unlock()
+// Open implements Coordinator: it registers the client and returns its
+// session. Sessions opened by different clients operate concurrently.
+func (s *Server) Open(ctx context.Context, clientID int) (Session, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	sess := &ServerSession{
+		srv:      s,
+		clientID: clientID,
+		info:     s.registerInfo(),
+		view:     make(map[CellRef]uint64),
+	}
+	s.sessMu.Lock()
+	s.nextSess++
+	sess.id = s.nextSess
+	s.sessions[sess.id] = sess
+	s.sessMu.Unlock()
+	return sess, nil
+}
+
+// targetCell is one cell of a freshly computed allocation, with the table
+// version backing its entry.
+type targetCell struct {
+	ref CellRef
+	vec []float32
+	ver uint64
+}
+
+// computeAllocation runs ACA on the client's status and extracts the
+// resulting sub-table cells from the global cache (§IV-B). It takes no
+// global lock: ACA reads a frequency snapshot, and extraction read-locks
+// one table row at a time.
+func (s *Server) computeAllocation(clientID int, status StatusReport) (classes, sites []int, cells []targetCell, err error) {
 	if len(status.Tau) != s.space.DS.NumClasses {
-		return Allocation{}, fmt.Errorf("core: client %d status has %d classes, want %d",
+		return nil, nil, nil, fmt.Errorf("core: client %d status has %d classes, want %d",
 			clientID, len(status.Tau), s.space.DS.NumClasses)
 	}
 	hitRatio := status.HitRatio
 	if len(hitRatio) == 0 {
 		hitRatio = s.profile
 	} else if len(hitRatio) != s.space.Arch.NumLayers {
-		return Allocation{}, fmt.Errorf("core: client %d hit-ratio length %d, want %d",
+		return nil, nil, nil, fmt.Errorf("core: client %d hit-ratio length %d, want %d",
 			clientID, len(hitRatio), s.space.Arch.NumLayers)
 	}
 	roundFrames := status.RoundFrames
 	if roundFrames <= 0 {
 		roundFrames = DefaultRoundFrames
 	}
+	s.freqMu.RLock()
+	globalFreq := s.freq.Snapshot()
+	s.freqMu.RUnlock()
 	// Hot-spot set size determines per-layer probe cost; ACA needs it
 	// before stage 1 runs, so run stage 1 implicitly via a first pass
 	// without the cost guard, then re-run with the guard in place.
 	probe, err := RunACA(ACAInput{
-		GlobalFreq:  s.freq.Snapshot(),
+		GlobalFreq:  globalFreq,
 		Tau:         status.Tau,
 		HitRatio:    hitRatio,
 		SavedMs:     s.savedMs,
@@ -305,10 +335,10 @@ func (s *Server) Allocate(clientID int, status StatusReport) (Allocation, error)
 		MaxLayers:   1,
 	})
 	if err != nil {
-		return Allocation{}, err
+		return nil, nil, nil, err
 	}
 	res, err := RunACA(ACAInput{
-		GlobalFreq:   s.freq.Snapshot(),
+		GlobalFreq:   globalFreq,
 		Tau:          status.Tau,
 		HitRatio:     hitRatio,
 		SavedMs:      s.savedMs,
@@ -317,25 +347,39 @@ func (s *Server) Allocate(clientID int, status StatusReport) (Allocation, error)
 		LookupCostMs: s.space.Arch.LookupCostMs(len(probe.Classes)),
 	})
 	if err != nil {
-		return Allocation{}, err
+		return nil, nil, nil, err
 	}
-	s.allocs++
-	alloc := Allocation{Classes: res.Classes}
+	s.allocs.Add(1)
 	for _, site := range res.Layers {
-		cls, entries := s.table.ExtractLayer(site, res.Classes)
-		alloc.Layers = append(alloc.Layers, cache.Layer{Site: site, Classes: cls, Entries: entries})
+		cls, entries, vers := s.table.ExtractLayerVersioned(site, res.Classes)
+		if len(cls) > 0 {
+			sites = append(sites, site)
+		}
+		for i := range cls {
+			cells = append(cells, targetCell{
+				ref: CellRef{Site: site, Class: cls[i]},
+				vec: entries[i],
+				ver: vers[i],
+			})
+		}
 	}
-	return alloc, nil
+	// ACA returns layers in selection (benefit) order; Delta.Sites is a
+	// wire contract promising ascending order.
+	sort.Ints(sites)
+	return res.Classes, sites, cells, nil
 }
 
-// Upload implements Coordinator: it merges the client's update table into
-// the global cache (Eq. 4) and folds its frequencies into Φ (Eq. 5).
-func (s *Server) Upload(clientID int, upd UpdateReport) error {
-	s.mu.Lock()
-	defer s.mu.Unlock()
+// upload merges the client's update table into the global cache (Eq. 4)
+// and folds its frequencies into Φ (Eq. 5).
+func (s *Server) upload(clientID int, upd UpdateReport) error {
 	if len(upd.Freq) != s.space.DS.NumClasses {
 		return fmt.Errorf("core: client %d frequency length %d, want %d",
 			clientID, len(upd.Freq), s.space.DS.NumClasses)
+	}
+	for class, f := range upd.Freq {
+		if f < 0 {
+			return fmt.Errorf("core: client %d negative frequency for class %d", clientID, class)
+		}
 	}
 	if !s.cfg.DisableGlobalUpdates {
 		for _, cell := range upd.Cells {
@@ -345,48 +389,161 @@ func (s *Server) Upload(clientID int, upd UpdateReport) error {
 			if cell.Count < 1 {
 				return fmt.Errorf("core: client %d update cell (%d,%d) has count %d", clientID, cell.Class, cell.Layer, cell.Count)
 			}
-			local := float64(cell.Count)
-			if err := s.table.Merge(cell.Class, cell.Layer, cell.Vec, s.cfg.Gamma, s.support[cell.Class][cell.Layer], local); err != nil {
+			if err := s.table.Merge(cell.Class, cell.Layer, cell.Vec, s.cfg.Gamma, float64(cell.Count), s.cfg.SupportCap); err != nil {
 				return fmt.Errorf("core: client %d merge (%d,%d): %w", clientID, cell.Class, cell.Layer, err)
 			}
-			s.support[cell.Class][cell.Layer] = min(s.support[cell.Class][cell.Layer]+local, s.cfg.SupportCap)
-			s.merges++
+			s.merges.Add(1)
 		}
 	}
+	s.freqMu.Lock()
 	for class, f := range upd.Freq {
-		if f < 0 {
-			return fmt.Errorf("core: client %d negative frequency for class %d", clientID, class)
-		}
 		s.freq.Add(class, f)
 	}
+	s.freqMu.Unlock()
 	return nil
+}
+
+// dropSession removes a closed session from the registry.
+func (s *Server) dropSession(id uint64) {
+	s.sessMu.Lock()
+	delete(s.sessions, id)
+	s.sessMu.Unlock()
 }
 
 // Table returns a snapshot of the global cache table (diagnostics and the
 // Fig. 2 experiment).
 func (s *Server) Table() *gtable.Table {
-	s.mu.Lock()
-	defer s.mu.Unlock()
 	return s.table.Snapshot()
 }
 
 // GlobalFreq returns a snapshot of Φ.
 func (s *Server) GlobalFreq() []float64 {
-	s.mu.Lock()
-	defer s.mu.Unlock()
+	s.freqMu.RLock()
+	defer s.freqMu.RUnlock()
 	return s.freq.Snapshot()
 }
 
 // Profile returns the server's cumulative hit-ratio profile R.
 func (s *Server) Profile() []float64 {
-	s.mu.Lock()
-	defer s.mu.Unlock()
 	return append([]float64(nil), s.profile...)
 }
 
 // Stats reports allocation and merge counters.
 func (s *Server) Stats() (allocs, merges int) {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	return s.allocs, s.merges
+	return int(s.allocs.Load()), int(s.merges.Load())
 }
+
+// Sessions returns the number of open sessions.
+func (s *Server) Sessions() int {
+	s.sessMu.Lock()
+	defer s.sessMu.Unlock()
+	return len(s.sessions)
+}
+
+var _ Coordinator = (*Server)(nil)
+
+// ServerSession is the in-process Session implementation: it remembers
+// which cell versions its client holds so Allocate can answer with a
+// delta instead of the full table extract.
+type ServerSession struct {
+	srv      *Server
+	id       uint64
+	clientID int
+	info     RegisterInfo
+
+	mu      sync.Mutex
+	version uint64
+	view    map[CellRef]uint64
+	closed  bool
+}
+
+// ID returns the server-assigned session identifier.
+func (ss *ServerSession) ID() uint64 { return ss.id }
+
+// ClientID returns the registered client id.
+func (ss *ServerSession) ClientID() int { return ss.clientID }
+
+// Info implements Session.
+func (ss *ServerSession) Info() RegisterInfo { return ss.info }
+
+// Allocate implements Session: it computes the client's allocation and
+// returns the delta against the version the client reports holding. The
+// delta is full when the client holds nothing (LastVersion 0) or a
+// version the session does not recognize (reconnect / divergence).
+func (ss *ServerSession) Allocate(ctx context.Context, status StatusReport) (Delta, error) {
+	if err := ctx.Err(); err != nil {
+		return Delta{}, err
+	}
+	ss.mu.Lock()
+	if ss.closed {
+		ss.mu.Unlock()
+		return Delta{}, fmt.Errorf("core: session %d closed", ss.id)
+	}
+	ss.mu.Unlock()
+
+	// Compute outside the session lock: different sessions allocate in
+	// parallel against the sharded table.
+	classes, sites, cells, err := ss.srv.computeAllocation(ss.clientID, status)
+	if err != nil {
+		return Delta{}, err
+	}
+
+	ss.mu.Lock()
+	defer ss.mu.Unlock()
+	if ss.closed {
+		return Delta{}, fmt.Errorf("core: session %d closed", ss.id)
+	}
+	full := ss.version == 0 || status.LastVersion != ss.version
+	newView := make(map[CellRef]uint64, len(cells))
+	d := Delta{Full: full, Classes: classes, Sites: sites}
+	for _, c := range cells {
+		newView[c.ref] = c.ver
+		if !full {
+			if old, ok := ss.view[c.ref]; ok && old == c.ver {
+				continue // unchanged since last sent
+			}
+		}
+		d.Cells = append(d.Cells, DeltaCell{Site: c.ref.Site, Class: c.ref.Class, Vec: c.vec})
+	}
+	if !full {
+		d.BaseVersion = ss.version
+		for ref := range ss.view {
+			if _, ok := newView[ref]; !ok {
+				d.Evict = append(d.Evict, ref)
+			}
+		}
+	}
+	ss.version++
+	d.Version = ss.version
+	ss.view = newView
+	return d, nil
+}
+
+// Upload implements Session.
+func (ss *ServerSession) Upload(ctx context.Context, upd UpdateReport) error {
+	if err := ctx.Err(); err != nil {
+		return err
+	}
+	ss.mu.Lock()
+	if ss.closed {
+		ss.mu.Unlock()
+		return fmt.Errorf("core: session %d closed", ss.id)
+	}
+	ss.mu.Unlock()
+	return ss.srv.upload(ss.clientID, upd)
+}
+
+// Close implements Session.
+func (ss *ServerSession) Close() error {
+	ss.mu.Lock()
+	if ss.closed {
+		ss.mu.Unlock()
+		return nil
+	}
+	ss.closed = true
+	ss.mu.Unlock()
+	ss.srv.dropSession(ss.id)
+	return nil
+}
+
+var _ Session = (*ServerSession)(nil)

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"math"
 	"testing"
 
@@ -18,6 +19,35 @@ func smallSpace() *semantics.Space {
 func smallServer(t testing.TB) *Server {
 	t.Helper()
 	return NewServer(smallSpace(), ServerConfig{Theta: 0.035, Seed: 3, ProfileSamples: 200, InitSamplesPerClass: 16})
+}
+
+// testSession opens a session for the given client id.
+func testSession(t testing.TB, srv *Server, id int) Session {
+	t.Helper()
+	sess, err := srv.Open(context.Background(), id)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return sess
+}
+
+// allocate requests an allocation through a fresh session and
+// materializes the (full) delta.
+func allocate(t testing.TB, sess Session, status StatusReport) (Allocation, error) {
+	t.Helper()
+	d, err := sess.Allocate(context.Background(), status)
+	if err != nil {
+		return Allocation{}, err
+	}
+	v := NewAllocView()
+	if err := v.Apply(d); err != nil {
+		t.Fatal(err)
+	}
+	return v.Allocation(), nil
+}
+
+func upload(sess Session, upd UpdateReport) error {
+	return sess.Upload(context.Background(), upd)
 }
 
 func TestServerInitTablePopulated(t *testing.T) {
@@ -59,10 +89,12 @@ func TestServerProfileCumulative(t *testing.T) {
 
 func TestServerRegister(t *testing.T) {
 	srv := smallServer(t)
-	info, err := srv.Register(0)
-	if err != nil {
-		t.Fatal(err)
+	sess := testSession(t, srv, 0)
+	defer sess.Close()
+	if srv.Sessions() != 1 {
+		t.Fatalf("open sessions = %d, want 1", srv.Sessions())
 	}
+	info := sess.Info()
 	if info.NumClasses != 10 || info.NumLayers != 13 {
 		t.Fatalf("register info %+v", info)
 	}
@@ -77,7 +109,7 @@ func TestServerRegister(t *testing.T) {
 func TestServerAllocate(t *testing.T) {
 	srv := smallServer(t)
 	status := StatusReport{Tau: make([]int, 10), Budget: 30, RoundFrames: 300}
-	alloc, err := srv.Allocate(1, status)
+	alloc, err := allocate(t, testSession(t, srv, 1), status)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -102,10 +134,11 @@ func TestServerAllocate(t *testing.T) {
 
 func TestServerAllocateValidatesStatus(t *testing.T) {
 	srv := smallServer(t)
-	if _, err := srv.Allocate(0, StatusReport{Tau: make([]int, 3), Budget: 10}); err == nil {
+	sess := testSession(t, srv, 0)
+	if _, err := allocate(t, sess, StatusReport{Tau: make([]int, 3), Budget: 10}); err == nil {
 		t.Error("short tau accepted")
 	}
-	if _, err := srv.Allocate(0, StatusReport{Tau: make([]int, 10), HitRatio: make([]float64, 2), Budget: 10}); err == nil {
+	if _, err := allocate(t, sess, StatusReport{Tau: make([]int, 10), HitRatio: make([]float64, 2), Budget: 10}); err == nil {
 		t.Error("short hit-ratio accepted")
 	}
 }
@@ -117,7 +150,7 @@ func TestServerUploadMergesAndCounts(t *testing.T) {
 	vecmath.Normalize(vec)
 	freq := make([]float64, 10)
 	freq[2] = 50
-	err := srv.Upload(0, UpdateReport{
+	err := upload(testSession(t, srv, 0), UpdateReport{
 		Cells: []UpdateCell{{Class: 2, Layer: 3, Count: 8, Vec: vec}},
 		Freq:  freq,
 	})
@@ -146,22 +179,23 @@ func TestServerUploadValidation(t *testing.T) {
 	vec := make([]float32, model.Dim)
 	vec[0] = 1
 	freq := make([]float64, 10)
-	if err := srv.Upload(0, UpdateReport{Freq: make([]float64, 3)}); err == nil {
+	sess := testSession(t, srv, 0)
+	if err := upload(sess, UpdateReport{Freq: make([]float64, 3)}); err == nil {
 		t.Error("short freq accepted")
 	}
-	if err := srv.Upload(0, UpdateReport{
+	if err := upload(sess, UpdateReport{
 		Cells: []UpdateCell{{Class: 99, Layer: 0, Count: 1, Vec: vec}}, Freq: freq,
 	}); err == nil {
 		t.Error("out-of-range class accepted")
 	}
-	if err := srv.Upload(0, UpdateReport{
+	if err := upload(sess, UpdateReport{
 		Cells: []UpdateCell{{Class: 0, Layer: 0, Count: 0, Vec: vec}}, Freq: freq,
 	}); err == nil {
 		t.Error("zero count accepted")
 	}
 	badFreq := make([]float64, 10)
 	badFreq[0] = -1
-	if err := srv.Upload(0, UpdateReport{Freq: badFreq}); err == nil {
+	if err := upload(sess, UpdateReport{Freq: badFreq}); err == nil {
 		t.Error("negative frequency accepted")
 	}
 }
@@ -174,7 +208,7 @@ func TestServerDisableGlobalUpdates(t *testing.T) {
 	before := srv.Table().Get(1, 1)
 	vec := xrand.NormalVector(xrand.New(9), model.Dim)
 	vecmath.Normalize(vec)
-	err := srv.Upload(0, UpdateReport{
+	err := upload(testSession(t, srv, 0), UpdateReport{
 		Cells: []UpdateCell{{Class: 1, Layer: 1, Count: 5, Vec: vec}},
 		Freq:  make([]float64, 10),
 	})
@@ -196,10 +230,11 @@ func TestServerSupportCapBoundsAdaptation(t *testing.T) {
 	vec := xrand.NormalVector(xrand.New(5), model.Dim)
 	vecmath.Normalize(vec)
 	freq := make([]float64, 10)
+	sess := testSession(t, srv, 0)
 	// Many merges: with a capped support, later merges keep a fixed
 	// adaptation rate, so the entry converges near the update vector.
 	for i := 0; i < 60; i++ {
-		if err := srv.Upload(0, UpdateReport{
+		if err := upload(sess, UpdateReport{
 			Cells: []UpdateCell{{Class: 4, Layer: 2, Count: 5, Vec: vec}},
 			Freq:  freq,
 		}); err != nil {
@@ -218,7 +253,7 @@ func TestServerAllocationUsesClientHitRatio(t *testing.T) {
 	for j := 9; j < 13; j++ {
 		hr[j] = 0.9
 	}
-	alloc, err := srv.Allocate(0, StatusReport{
+	alloc, err := allocate(t, testSession(t, srv, 0), StatusReport{
 		Tau: make([]int, 10), HitRatio: hr, Budget: 10, RoundFrames: 300,
 	})
 	if err != nil {

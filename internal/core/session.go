@@ -1,0 +1,174 @@
+// Coordinator v2: the session-based client↔server coordination API.
+//
+// The v1 coordinator was a context-free three-method interface
+// (Register/Allocate/Upload) that re-materialized the client's whole cache
+// table every round and serialized all clients behind one server mutex.
+// v2 makes coordination session-oriented: registration opens a Session,
+// every call takes a context, and Allocate returns a versioned Delta
+// against the client's last-seen allocation — only changed and evicted
+// cells travel, which is what makes the per-round hot path cheap at fleet
+// scale.
+package core
+
+import (
+	"context"
+	"fmt"
+	"sort"
+
+	"coca/internal/cache"
+)
+
+// Coordinator is the server-side interface clients depend on; it is
+// implemented in-process by *Server and over the wire by the protocol
+// session client.
+type Coordinator interface {
+	// Open registers a client and returns its coordination session.
+	Open(ctx context.Context, clientID int) (Session, error)
+}
+
+// Session is one registered client's handle to the coordinator. A session
+// is owned by a single client and its methods are called sequentially by
+// that client; different sessions may be used concurrently.
+type Session interface {
+	// Info returns the registration payload (model shape, server profile).
+	Info() RegisterInfo
+	// Allocate runs cache allocation on the client's status and returns a
+	// versioned delta against the allocation version named by
+	// status.LastVersion. When the server cannot delta against that
+	// version (first round, reconnect, or divergence) the delta is Full.
+	Allocate(ctx context.Context, status StatusReport) (Delta, error)
+	// Upload merges the client's round update table and frequencies into
+	// the global state.
+	Upload(ctx context.Context, upd UpdateReport) error
+	// Close releases the session; subsequent calls fail.
+	Close() error
+}
+
+// CellRef names one allocated cache cell: class at cache site.
+type CellRef struct {
+	Site, Class int
+}
+
+// DeltaCell is one new or changed cache cell with its entry vector.
+type DeltaCell struct {
+	Site, Class int
+	Vec         []float32
+}
+
+// Delta is a versioned allocation update. Applying it to the allocation
+// with version BaseVersion yields the allocation with version Version:
+// Cells are upserted, Evict cells are dropped, and the activated shape
+// becomes exactly Sites × (the classes present per site). When Full is
+// set the delta ignores BaseVersion and describes the complete
+// allocation.
+type Delta struct {
+	// Version identifies the resulting allocation.
+	Version uint64
+	// BaseVersion is the allocation this delta applies to (0 with Full).
+	BaseVersion uint64
+	// Full marks a complete (non-incremental) allocation.
+	Full bool
+	// Classes is the hot-spot class set behind the allocation
+	// (diagnostic, mirrors v1 Allocation.Classes).
+	Classes []int
+	// Sites lists the activated cache sites of the resulting allocation,
+	// ascending.
+	Sites []int
+	// Cells are the new or changed cells.
+	Cells []DeltaCell
+	// Evict are the cells to drop (never set with Full).
+	Evict []CellRef
+}
+
+// AllocView is a client-side materialized view of its current allocation:
+// the cells received so far, keyed by (site, class). Applying successive
+// deltas keeps the view in sync with the server's session record; the
+// view's version is echoed back in StatusReport.LastVersion so the server
+// knows which base the client holds.
+type AllocView struct {
+	version uint64
+	classes []int
+	sites   []int
+	cells   map[CellRef][]float32
+}
+
+// NewAllocView returns an empty view (version 0: nothing allocated yet).
+func NewAllocView() *AllocView {
+	return &AllocView{cells: make(map[CellRef][]float32)}
+}
+
+// Version returns the version of the currently held allocation.
+func (v *AllocView) Version() uint64 { return v.version }
+
+// Classes returns the hot-spot class set of the current allocation.
+func (v *AllocView) Classes() []int { return v.classes }
+
+// NumCells returns the number of materialized cells.
+func (v *AllocView) NumCells() int { return len(v.cells) }
+
+// Apply folds a delta into the view. A non-full delta must be based on
+// the view's current version; a full delta resets the view.
+func (v *AllocView) Apply(d Delta) error {
+	if d.Full {
+		clear(v.cells)
+	} else if d.BaseVersion != v.version {
+		return fmt.Errorf("core: delta base version %d, view holds %d", d.BaseVersion, v.version)
+	}
+	for _, ref := range d.Evict {
+		delete(v.cells, ref)
+	}
+	for _, c := range d.Cells {
+		if len(c.Vec) == 0 {
+			return fmt.Errorf("core: delta cell (%d,%d) has empty vector", c.Site, c.Class)
+		}
+		v.cells[CellRef{Site: c.Site, Class: c.Class}] = c.Vec
+	}
+	// Drop cells at sites no longer activated (shape shrink without
+	// explicit evictions only happens on Full deltas, but keep the view
+	// an exact function of the delta's declared shape either way).
+	active := make(map[int]bool, len(d.Sites))
+	for _, s := range d.Sites {
+		active[s] = true
+	}
+	for ref := range v.cells {
+		if !active[ref.Site] {
+			delete(v.cells, ref)
+		}
+	}
+	v.version = d.Version
+	v.classes = append(v.classes[:0], d.Classes...)
+	v.sites = append(v.sites[:0], d.Sites...)
+	return nil
+}
+
+// Layers materializes the view as cache layers (sites ascending, classes
+// ascending within a site), the shape cache.NewLocal consumes.
+func (v *AllocView) Layers() []cache.Layer {
+	bySite := make(map[int][]int)
+	for ref := range v.cells {
+		bySite[ref.Site] = append(bySite[ref.Site], ref.Class)
+	}
+	sites := make([]int, 0, len(bySite))
+	for s := range bySite {
+		sites = append(sites, s)
+	}
+	sort.Ints(sites)
+	out := make([]cache.Layer, 0, len(sites))
+	for _, s := range sites {
+		cls := bySite[s]
+		sort.Ints(cls)
+		entries := make([][]float32, len(cls))
+		for i, c := range cls {
+			entries[i] = v.cells[CellRef{Site: s, Class: c}]
+		}
+		out = append(out, cache.Layer{Site: s, Classes: cls, Entries: entries})
+	}
+	return out
+}
+
+// Allocation materializes the view as a v1-style full allocation (used by
+// the wire server to answer protocol-v1 clients and by frozen-allocation
+// refreshes).
+func (v *AllocView) Allocation() Allocation {
+	return Allocation{Classes: append([]int(nil), v.classes...), Layers: v.Layers()}
+}

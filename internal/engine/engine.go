@@ -6,6 +6,7 @@ package engine
 
 import (
 	"fmt"
+	"sync"
 
 	"coca/internal/dataset"
 	"coca/internal/metrics"
@@ -53,6 +54,14 @@ type RunConfig struct {
 	// excluding cold-start transients (cache warm-up) the way the
 	// paper's steady-state measurements do. The frames still run.
 	SkipRounds int
+	// Concurrent drives the clients of each round in parallel, one
+	// goroutine per client: BeginRound (allocation) and the round's
+	// frames run concurrently across clients, then EndRound (upload)
+	// runs at the round barrier in client order. Allocations only read
+	// global coordinator state and frames only touch client-local state,
+	// so results stay deterministic while the round's heavy work — the
+	// paper's concurrent multi-client serving load — runs in parallel.
+	Concurrent bool
 }
 
 // RunRounds drives one engine per client over its generator for the
@@ -70,38 +79,96 @@ func RunRounds(engines []Engine, gens []*stream.Generator, cfg RunConfig) (perCl
 	for i := range perClient {
 		perClient[i] = &metrics.Accumulator{}
 	}
-	combined = &metrics.Accumulator{}
 	for round := 0; round < cfg.Rounds; round++ {
 		record := round >= cfg.SkipRounds
-		for k, eng := range engines {
-			if h, ok := eng.(RoundHooks); ok {
-				if err := h.BeginRound(); err != nil {
-					return nil, nil, fmt.Errorf("engine: client %d round %d begin: %w", k, round, err)
-				}
-			}
-			for f := 0; f < cfg.FramesPerRound; f++ {
-				smp := gens[k].Next()
-				res := eng.Infer(smp)
-				if record {
-					obs := metrics.Obs{
-						LatencyMs: res.LatencyMs,
-						LookupMs:  res.LookupMs,
-						Correct:   res.Pred == smp.Class,
-						Hit:       res.Hit,
-						HitLayer:  res.HitLayer,
-						TrueClass: smp.Class,
-						Pred:      res.Pred,
-					}
-					perClient[k].Record(obs)
-					combined.Record(obs)
-				}
-			}
-			if h, ok := eng.(RoundHooks); ok {
-				if err := h.EndRound(); err != nil {
-					return nil, nil, fmt.Errorf("engine: client %d round %d end: %w", k, round, err)
-				}
-			}
+		if cfg.Concurrent {
+			err = runRoundConcurrent(engines, gens, perClient, cfg.FramesPerRound, round, record)
+		} else {
+			err = runRoundSequential(engines, gens, perClient, cfg.FramesPerRound, round, record)
+		}
+		if err != nil {
+			return nil, nil, err
 		}
 	}
+	combined = &metrics.Accumulator{}
+	for _, acc := range perClient {
+		combined.Merge(acc)
+	}
 	return perClient, combined, nil
+}
+
+// runClientRound drives one client through one round's begin hook and
+// frames (the parallelizable part of a round).
+func runClientRound(eng Engine, gen *stream.Generator, acc *metrics.Accumulator, frames, k, round int, record bool) error {
+	if h, ok := eng.(RoundHooks); ok {
+		if err := h.BeginRound(); err != nil {
+			return fmt.Errorf("engine: client %d round %d begin: %w", k, round, err)
+		}
+	}
+	for f := 0; f < frames; f++ {
+		smp := gen.Next()
+		res := eng.Infer(smp)
+		if record {
+			acc.Record(metrics.Obs{
+				LatencyMs: res.LatencyMs,
+				LookupMs:  res.LookupMs,
+				Correct:   res.Pred == smp.Class,
+				Hit:       res.Hit,
+				HitLayer:  res.HitLayer,
+				TrueClass: smp.Class,
+				Pred:      res.Pred,
+			})
+		}
+	}
+	return nil
+}
+
+func endClientRound(eng Engine, k, round int) error {
+	if h, ok := eng.(RoundHooks); ok {
+		if err := h.EndRound(); err != nil {
+			return fmt.Errorf("engine: client %d round %d end: %w", k, round, err)
+		}
+	}
+	return nil
+}
+
+func runRoundSequential(engines []Engine, gens []*stream.Generator, perClient []*metrics.Accumulator, frames, round int, record bool) error {
+	for k, eng := range engines {
+		if err := runClientRound(eng, gens[k], perClient[k], frames, k, round, record); err != nil {
+			return err
+		}
+		if err := endClientRound(eng, k, round); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// runRoundConcurrent fans one goroutine out per client for the round's
+// begin-and-infer phase, then applies the uploads at the barrier in client
+// order. Ordered uploads keep the global merge sequence — and therefore
+// every metric — deterministic while allocations and inference, the bulk
+// of a round, run fully in parallel.
+func runRoundConcurrent(engines []Engine, gens []*stream.Generator, perClient []*metrics.Accumulator, frames, round int, record bool) error {
+	errs := make([]error, len(engines))
+	var wg sync.WaitGroup
+	for k := range engines {
+		wg.Add(1)
+		go func(k int) {
+			defer wg.Done()
+			errs[k] = runClientRound(engines[k], gens[k], perClient[k], frames, k, round, record)
+		}(k)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return err
+		}
+	}
+	for k, eng := range engines {
+		if err := endClientRound(eng, k, round); err != nil {
+			return err
+		}
+	}
+	return nil
 }

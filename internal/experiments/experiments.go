@@ -6,6 +6,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"sort"
 
@@ -294,7 +295,7 @@ func (m *methodSet) coca(theta float64, mutate func(*core.ClusterConfig)) ([]eng
 		ccfg := cfg.Client
 		ccfg.ID = k
 		ccfg.EnvSeed = uint64(k) + 1
-		cl, err := core.NewClient(space, srv, ccfg)
+		cl, err := core.NewClient(context.Background(), space, srv, ccfg)
 		if err != nil {
 			return nil, nil, err
 		}

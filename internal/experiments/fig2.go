@@ -1,6 +1,8 @@
 package experiments
 
 import (
+	"context"
+
 	"coca/internal/core"
 	"coca/internal/dataset"
 	"coca/internal/gtable"
@@ -30,6 +32,7 @@ func Fig2(opts Options) (*Result, error) {
 		driftPerRound   = 0.40
 	)
 	rounds := opts.rounds(8)
+	ctx := context.Background()
 	probeClasses := []int{0, 5, 10, 15} // 4 classes, as in the figure
 	const samplesPerClass = 25
 
@@ -50,6 +53,15 @@ func Fig2(opts Options) (*Result, error) {
 			Theta: thetaFor(arch, true), Seed: opts.Seed,
 			DisableGlobalUpdates: !updates,
 		})
+		// One coordination session per client, as a real fleet would hold.
+		sessions := make([]core.Session, numClients)
+		for k := range sessions {
+			sess, err := srv.Open(ctx, k)
+			if err != nil {
+				return nil, err
+			}
+			sessions[k] = sess
+		}
 		// Rounds of client uploads: each client absorbs semantic vectors
 		// of the samples it inferred (Eq. 3) and uploads them (Eq. 4/5),
 		// exactly the §IV-C/D cycle, driven directly so every class and
@@ -73,7 +85,7 @@ func Fig2(opts Options) (*Result, error) {
 						Vec: append([]float32(nil), vec...),
 					})
 				})
-				if err := srv.Upload(k, report); err != nil {
+				if err := sessions[k].Upload(ctx, report); err != nil {
 					return nil, err
 				}
 			}

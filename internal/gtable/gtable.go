@@ -114,16 +114,25 @@ func (t *Table) Merge(class, layer int, update []float32, gamma, globalFreq, loc
 	if old == nil {
 		return t.Set(class, layer, update)
 	}
+	if merged := mergeEntry(old, update, gamma, globalFreq, localFreq); merged != nil {
+		t.vecs[class][layer] = merged
+	}
+	return nil
+}
+
+// mergeEntry is the Eq. 4 combination shared by Table.Merge and
+// Sharded.Merge: the old entry weighted γ·Φ/(Φ+φ) against the update
+// weighted φ/(Φ+φ), re-normalized. It returns nil on perfect
+// cancellation, in which case callers keep the previous entry rather
+// than storing a degenerate zero.
+func mergeEntry(old, update []float32, gamma, globalFreq, localFreq float64) []float32 {
 	wOld := float32(gamma * globalFreq / (globalFreq + localFreq))
 	wNew := float32(localFreq / (globalFreq + localFreq))
 	merged := vecmath.WeightedSum(wOld, old, wNew, update)
 	if vecmath.Normalize(merged) == 0 {
-		// Perfect cancellation: keep the previous entry rather than
-		// storing a degenerate zero.
 		return nil
 	}
-	t.vecs[class][layer] = merged
-	return nil
+	return merged
 }
 
 // Snapshot returns a deep copy of the table.

@@ -1,0 +1,232 @@
+package gtable
+
+import (
+	"fmt"
+	"sync"
+
+	"coca/internal/vecmath"
+)
+
+// Sharded is a concurrent classes × layers cache table sharded by class
+// row: every row carries its own RWMutex, so merges and extractions that
+// touch different classes proceed in parallel and extractions (reads) of
+// the same row only contend with merges into it. It replaces the single
+// server-wide mutex the v1 coordinator serialized every request behind.
+//
+// Each cell also tracks
+//
+//   - a version counter, bumped on every write, which the session layer
+//     uses to compute delta allocations (resend a cell only when its
+//     version moved past the one the client last saw), and
+//   - a support count — the per-cell evidence behind the entry, used as
+//     the Eq. 4 merge weight Φ and capped to keep the adaptation rate
+//     bounded (sliding-window semantics).
+type Sharded struct {
+	classes int
+	layers  int
+	dim     int
+	rows    []shardRow
+}
+
+type shardRow struct {
+	mu      sync.RWMutex
+	vecs    [][]float32 // [layer] -> unit vector or nil
+	vers    []uint64    // [layer] -> write version (0 = never written)
+	support []float64   // [layer] -> evidence count Φ
+}
+
+// NewSharded creates an empty sharded table. It panics on non-positive
+// dimensions, matching New.
+func NewSharded(classes, layers, dim int) *Sharded {
+	if classes < 1 || layers < 1 || dim < 1 {
+		panic(fmt.Sprintf("gtable: invalid sharded shape %d×%d×%d", classes, layers, dim))
+	}
+	s := &Sharded{classes: classes, layers: layers, dim: dim}
+	s.rows = make([]shardRow, classes)
+	for i := range s.rows {
+		s.rows[i].vecs = make([][]float32, layers)
+		s.rows[i].vers = make([]uint64, layers)
+		s.rows[i].support = make([]float64, layers)
+	}
+	return s
+}
+
+// ShardedFromTable copies a materialized table into a sharded one, giving
+// every populated cell the initial support count (the evidence behind the
+// shared-dataset centers) and version 1.
+func ShardedFromTable(t *Table, initialSupport float64) *Sharded {
+	s := NewSharded(t.Classes(), t.Layers(), t.Dim())
+	for c := 0; c < t.Classes(); c++ {
+		row := &s.rows[c]
+		for j := 0; j < t.Layers(); j++ {
+			if v := t.Get(c, j); v != nil {
+				row.vecs[j] = vecmath.Clone(v)
+				row.vers[j] = 1
+				row.support[j] = initialSupport
+			}
+		}
+	}
+	return s
+}
+
+// Classes returns the number of rows.
+func (s *Sharded) Classes() int { return s.classes }
+
+// Layers returns the number of columns.
+func (s *Sharded) Layers() int { return s.layers }
+
+// Dim returns the entry dimensionality.
+func (s *Sharded) Dim() int { return s.dim }
+
+func (s *Sharded) check(class, layer int) error {
+	if class < 0 || class >= s.classes || layer < 0 || layer >= s.layers {
+		return fmt.Errorf("gtable: index (%d,%d) outside %d×%d", class, layer, s.classes, s.layers)
+	}
+	return nil
+}
+
+// Get returns a copy of the entry at (class, layer), or nil if absent.
+func (s *Sharded) Get(class, layer int) []float32 {
+	if err := s.check(class, layer); err != nil {
+		panic(err)
+	}
+	row := &s.rows[class]
+	row.mu.RLock()
+	defer row.mu.RUnlock()
+	if row.vecs[layer] == nil {
+		return nil
+	}
+	return vecmath.Clone(row.vecs[layer])
+}
+
+// CellVersion returns the write version of (class, layer); 0 means the
+// cell was never written.
+func (s *Sharded) CellVersion(class, layer int) uint64 {
+	if err := s.check(class, layer); err != nil {
+		panic(err)
+	}
+	row := &s.rows[class]
+	row.mu.RLock()
+	defer row.mu.RUnlock()
+	return row.vers[layer]
+}
+
+// Merge applies Eq. 4 to cell (class, layer) under the row's lock: the
+// existing entry weighted γ·Φ/(Φ+φ) against the update weighted φ/(Φ+φ),
+// re-normalized, where Φ is the cell's stored support and φ is localFreq.
+// The support is then advanced by φ and capped at supportCap (no cap when
+// supportCap <= 0), and the cell version is bumped. Absent cells store the
+// update directly.
+func (s *Sharded) Merge(class, layer int, update []float32, gamma, localFreq, supportCap float64) error {
+	if err := s.check(class, layer); err != nil {
+		return err
+	}
+	if len(update) != s.dim {
+		return fmt.Errorf("gtable: Merge dim %d, want %d", len(update), s.dim)
+	}
+	if gamma < 0 || gamma > 1 {
+		return fmt.Errorf("gtable: Merge gamma %v outside [0,1]", gamma)
+	}
+	if localFreq <= 0 {
+		return fmt.Errorf("gtable: Merge local frequency φ=%v invalid", localFreq)
+	}
+	row := &s.rows[class]
+	row.mu.Lock()
+	defer row.mu.Unlock()
+	old := row.vecs[layer]
+	if old == nil {
+		v := vecmath.Clone(update)
+		if vecmath.Normalize(v) == 0 {
+			return fmt.Errorf("gtable: Merge zero vector at (%d,%d)", class, layer)
+		}
+		row.vecs[layer] = v
+	} else if merged := mergeEntry(old, update, gamma, row.support[layer], localFreq); merged != nil {
+		row.vecs[layer] = merged
+		// Perfect cancellation (nil) keeps the previous entry, as in
+		// Table.Merge; it still counts as evidence below.
+	}
+	row.support[layer] += localFreq
+	if supportCap > 0 && row.support[layer] > supportCap {
+		row.support[layer] = supportCap
+	}
+	row.vers[layer]++
+	return nil
+}
+
+// Set stores a normalized copy of vec at (class, layer), bumping version
+// and setting support to the given evidence count.
+func (s *Sharded) Set(class, layer int, vec []float32, support float64) error {
+	if err := s.check(class, layer); err != nil {
+		return err
+	}
+	if len(vec) != s.dim {
+		return fmt.Errorf("gtable: Set dim %d, want %d", len(vec), s.dim)
+	}
+	v := vecmath.Clone(vec)
+	if vecmath.Normalize(v) == 0 {
+		return fmt.Errorf("gtable: Set zero vector at (%d,%d)", class, layer)
+	}
+	row := &s.rows[class]
+	row.mu.Lock()
+	defer row.mu.Unlock()
+	row.vecs[layer] = v
+	row.support[layer] = support
+	row.vers[layer]++
+	return nil
+}
+
+// ExtractLayerVersioned returns copies of the populated entries of the
+// given column restricted to classes, with each entry's current version,
+// preserving class order and skipping absent cells. Rows are read-locked
+// one at a time, so concurrent merges into other rows are not blocked.
+func (s *Sharded) ExtractLayerVersioned(layer int, classes []int) (cls []int, entries [][]float32, vers []uint64) {
+	for _, c := range classes {
+		if err := s.check(c, layer); err != nil {
+			panic(err)
+		}
+		row := &s.rows[c]
+		row.mu.RLock()
+		v := row.vecs[layer]
+		if v != nil {
+			cls = append(cls, c)
+			entries = append(entries, vecmath.Clone(v))
+			vers = append(vers, row.vers[layer])
+		}
+		row.mu.RUnlock()
+	}
+	return cls, entries, vers
+}
+
+// Snapshot copies the sharded table into a plain Table (diagnostics and
+// experiments). Rows are locked one at a time: the snapshot is per-row
+// consistent, matching what any single allocation can observe.
+func (s *Sharded) Snapshot() *Table {
+	out := New(s.classes, s.layers, s.dim)
+	for c := range s.rows {
+		row := &s.rows[c]
+		row.mu.RLock()
+		for j, v := range row.vecs {
+			if v != nil {
+				out.vecs[c][j] = vecmath.Clone(v)
+			}
+		}
+		row.mu.RUnlock()
+	}
+	return out
+}
+
+// Populated returns the number of non-nil entries.
+func (s *Sharded) Populated() int {
+	n := 0
+	for c := range s.rows {
+		row := &s.rows[c]
+		row.mu.RLock()
+		for _, v := range row.vecs {
+			if v != nil {
+				n++
+			}
+		}
+		row.mu.RUnlock()
+	}
+	return n
+}

@@ -1,0 +1,189 @@
+package gtable
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+
+	"coca/internal/vecmath"
+)
+
+func axis(dim, hot int) []float32 {
+	v := make([]float32, dim)
+	v[hot] = 1
+	return v
+}
+
+func TestShardedFromTableCopiesEntries(t *testing.T) {
+	tbl := New(3, 2, 4)
+	if err := tbl.Set(1, 1, axis(4, 2)); err != nil {
+		t.Fatal(err)
+	}
+	s := ShardedFromTable(tbl, 16)
+	if s.Populated() != 1 {
+		t.Fatalf("populated = %d", s.Populated())
+	}
+	if got := s.Get(1, 1); got == nil || got[2] != 1 {
+		t.Fatalf("entry not copied: %v", got)
+	}
+	if s.CellVersion(1, 1) != 1 {
+		t.Fatalf("initial version = %d, want 1", s.CellVersion(1, 1))
+	}
+	if s.CellVersion(0, 0) != 0 {
+		t.Fatal("absent cell must have version 0")
+	}
+	// Mutating the sharded copy must not touch the source table.
+	if err := s.Set(1, 1, axis(4, 0), 1); err != nil {
+		t.Fatal(err)
+	}
+	if tbl.Get(1, 1)[2] != 1 {
+		t.Fatal("sharded table aliased the source")
+	}
+}
+
+func TestShardedMergeMovesEntryAndBumpsVersion(t *testing.T) {
+	s := NewSharded(2, 2, 4)
+	if err := s.Set(0, 0, axis(4, 0), 10); err != nil {
+		t.Fatal(err)
+	}
+	v0 := s.CellVersion(0, 0)
+	update := axis(4, 1)
+	if err := s.Merge(0, 0, update, 0.99, 5, 0); err != nil {
+		t.Fatal(err)
+	}
+	if s.CellVersion(0, 0) != v0+1 {
+		t.Fatalf("version %d after merge, want %d", s.CellVersion(0, 0), v0+1)
+	}
+	got := s.Get(0, 0)
+	if vecmath.Cosine(got, update) <= 0 {
+		t.Fatalf("entry did not move toward update: %v", got)
+	}
+	if vecmath.Cosine(got, axis(4, 0)) <= 0 {
+		t.Fatal("entry overshot the old center entirely")
+	}
+}
+
+func TestShardedMergeIntoAbsentCellStoresUpdate(t *testing.T) {
+	s := NewSharded(1, 1, 3)
+	if err := s.Merge(0, 0, axis(3, 1), 0.99, 2, 100); err != nil {
+		t.Fatal(err)
+	}
+	if got := s.Get(0, 0); got == nil || got[1] != 1 {
+		t.Fatalf("absent-cell merge did not store the update: %v", got)
+	}
+	if s.CellVersion(0, 0) != 1 {
+		t.Fatalf("version = %d", s.CellVersion(0, 0))
+	}
+}
+
+func TestShardedMergeValidation(t *testing.T) {
+	s := NewSharded(2, 2, 3)
+	if err := s.Merge(5, 0, axis(3, 0), 0.9, 1, 0); err == nil {
+		t.Error("out-of-range class accepted")
+	}
+	if err := s.Merge(0, 0, axis(2, 0), 0.9, 1, 0); err == nil {
+		t.Error("wrong dim accepted")
+	}
+	if err := s.Merge(0, 0, axis(3, 0), 1.5, 1, 0); err == nil {
+		t.Error("gamma > 1 accepted")
+	}
+	if err := s.Merge(0, 0, axis(3, 0), 0.9, 0, 0); err == nil {
+		t.Error("zero local frequency accepted")
+	}
+	if err := s.Merge(0, 0, make([]float32, 3), 0.9, 1, 0); err == nil {
+		t.Error("zero vector into absent cell accepted")
+	}
+}
+
+func TestShardedSupportCap(t *testing.T) {
+	s := NewSharded(1, 1, 4)
+	if err := s.Set(0, 0, axis(4, 0), 10); err != nil {
+		t.Fatal(err)
+	}
+	update := axis(4, 1)
+	// Many capped merges keep a constant adaptation rate, so the entry
+	// converges near the update instead of freezing.
+	for i := 0; i < 80; i++ {
+		if err := s.Merge(0, 0, update, 0.99, 5, 20); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if cos := vecmath.Cosine(s.Get(0, 0), update); cos < 0.95 {
+		t.Fatalf("capped support should track updates: cos %v", cos)
+	}
+}
+
+func TestShardedExtractLayerVersioned(t *testing.T) {
+	s := NewSharded(4, 2, 3)
+	for _, c := range []int{0, 2, 3} {
+		if err := s.Set(c, 1, axis(3, c%3), 1); err != nil {
+			t.Fatal(err)
+		}
+	}
+	cls, entries, vers := s.ExtractLayerVersioned(1, []int{0, 1, 2})
+	if len(cls) != 2 || cls[0] != 0 || cls[1] != 2 {
+		t.Fatalf("cls = %v", cls)
+	}
+	if len(entries) != 2 || len(vers) != 2 {
+		t.Fatalf("entries/vers length %d/%d", len(entries), len(vers))
+	}
+	if vers[0] != 1 || vers[1] != 1 {
+		t.Fatalf("vers = %v", vers)
+	}
+	if err := s.Merge(2, 1, axis(3, 1), 0.99, 1, 0); err != nil {
+		t.Fatal(err)
+	}
+	_, _, vers = s.ExtractLayerVersioned(1, []int{0, 2})
+	if vers[0] != 1 || vers[1] != 2 {
+		t.Fatalf("post-merge vers = %v", vers)
+	}
+}
+
+func TestShardedConcurrentMergeAndExtract(t *testing.T) {
+	const classes, layers, dim = 16, 6, 8
+	s := NewSharded(classes, layers, dim)
+	for c := 0; c < classes; c++ {
+		for j := 0; j < layers; j++ {
+			if err := s.Set(c, j, axis(dim, (c+j)%dim), 8); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	all := make([]int, classes)
+	for i := range all {
+		all[i] = i
+	}
+	var wg sync.WaitGroup
+	errs := make(chan error, 64)
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < 200; i++ {
+				c := (w*31 + i) % classes
+				j := (w + i) % layers
+				if err := s.Merge(c, j, axis(dim, (w+i)%dim), 0.99, 2, 64); err != nil {
+					errs <- err
+					return
+				}
+			}
+		}(w)
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < 100; i++ {
+				cls, entries, vers := s.ExtractLayerVersioned((w+i)%layers, all)
+				if len(cls) != classes || len(entries) != classes || len(vers) != classes {
+					errs <- fmt.Errorf("partial extract: %d classes", len(cls))
+					return
+				}
+			}
+			_ = s.Snapshot()
+		}(w)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatal(err)
+	}
+}

@@ -1,7 +1,16 @@
 // Package protocol defines the wire format of CoCa's client–server
 // exchanges and adapters that run the core coordinator over any
 // transport.Conn: a versioned binary codec (stdlib encoding/binary only)
-// for registration, status upload / cache allocation, and update upload.
+// for session establishment, status upload / delta cache allocation, and
+// update upload.
+//
+// Two wire versions are live. Version 2 is session-oriented: Hello opens
+// a server-side session (the ack carries its id and the negotiated
+// version) and allocation replies are versioned deltas — only changed and
+// evicted cells travel. Version 1 — the original context-free
+// request/response format with fully materialized allocations — remains
+// decodable and served for old clients; each frame names its version in
+// the first byte, so one server loop speaks both.
 package protocol
 
 import (
@@ -13,10 +22,20 @@ import (
 	"coca/internal/core"
 )
 
-// Version is the wire-format version; mismatches are rejected.
-const Version = 1
+// Wire versions. A frame's first byte names the version it is encoded
+// in; Hello carries the highest version the client speaks, and the
+// server's ack names the version chosen for the session.
+const (
+	// V1 is the legacy format: no sessions, full allocations.
+	V1 = 1
+	// V2 is the session/delta format.
+	V2 = 2
+	// Version is the highest version this build speaks.
+	Version = V2
+)
 
-// Message type tags.
+// Message type tags. Tags 1–7 exist in both versions; TypeDelta and
+// TypeBye are v2-only, and TypeAllocation is only produced for v1 peers.
 const (
 	TypeHello byte = iota + 1
 	TypeHelloAck
@@ -25,18 +44,31 @@ const (
 	TypeUpdate
 	TypeAck
 	TypeError
+	TypeDelta
+	TypeBye
 )
 
 // Message is a decoded protocol message; exactly one payload field is set,
 // matching Type.
 type Message struct {
+	// Version is the wire version the frame is (or will be) encoded in;
+	// 0 encodes as the latest Version.
+	Version  byte
 	Type     byte
 	ClientID int32
+	// SessionID routes v2 frames to their server-side session (0 in v1
+	// frames and in v2 Hello, which opens the session).
+	SessionID uint64
+	// Proto is the negotiated protocol version: the client's highest
+	// supported version in a v2 Hello, the server's choice in a v2
+	// HelloAck.
+	Proto byte
 
 	Hello      *Hello
 	HelloAck   *core.RegisterInfo
 	Status     *core.StatusReport
 	Allocation *core.Allocation
+	Delta      *core.Delta
 	Update     *core.UpdateReport
 	Error      string
 }
@@ -53,6 +85,7 @@ type writer struct{ buf []byte }
 
 func (w *writer) u8(v byte)     { w.buf = append(w.buf, v) }
 func (w *writer) u32(v uint32)  { w.buf = binary.BigEndian.AppendUint32(w.buf, v) }
+func (w *writer) u64(v uint64)  { w.buf = binary.BigEndian.AppendUint64(w.buf, v) }
 func (w *writer) i32(v int32)   { w.u32(uint32(v)) }
 func (w *writer) f64(v float64) { w.buf = binary.BigEndian.AppendUint64(w.buf, math.Float64bits(v)) }
 func (w *writer) f32(v float32) { w.u32(math.Float32bits(v)) }
@@ -112,6 +145,16 @@ func (r *reader) u32() uint32 {
 	}
 	v := binary.BigEndian.Uint32(r.buf[r.off:])
 	r.off += 4
+	return v
+}
+
+func (r *reader) u64() uint64 {
+	if r.err != nil || r.off+8 > len(r.buf) {
+		r.fail("u64")
+		return 0
+	}
+	v := binary.BigEndian.Uint64(r.buf[r.off:])
+	r.off += 8
 	return v
 }
 
@@ -178,10 +221,22 @@ func (r *reader) str() string {
 
 // ---- message codec ----
 
-// Encode serializes a message.
+// Encode serializes a message in its Version's wire format (the latest
+// when Version is 0).
 func Encode(m *Message) ([]byte, error) {
+	switch m.Version {
+	case V1:
+		return encodeV1(m)
+	case 0, V2:
+		return encodeV2(m)
+	default:
+		return nil, fmt.Errorf("protocol: cannot encode version %d", m.Version)
+	}
+}
+
+func encodeV1(m *Message) ([]byte, error) {
 	w := &writer{buf: make([]byte, 0, 256)}
-	w.u8(Version)
+	w.u8(V1)
 	w.u8(m.Type)
 	w.i32(m.ClientID)
 	switch m.Type {
@@ -225,31 +280,128 @@ func Encode(m *Message) ([]byte, error) {
 		if m.Update == nil {
 			return nil, fmt.Errorf("protocol: update payload missing")
 		}
-		w.f64s(m.Update.Freq)
-		w.u32(uint32(len(m.Update.Cells)))
-		for _, c := range m.Update.Cells {
-			w.i32(int32(c.Class))
-			w.i32(int32(c.Layer))
-			w.i32(int32(c.Count))
-			w.f32s(c.Vec)
-		}
+		encodeUpdate(w, m.Update)
 	case TypeAck:
 		// no payload
 	case TypeError:
 		w.str(m.Error)
 	default:
-		return nil, fmt.Errorf("protocol: unknown message type %d", m.Type)
+		return nil, fmt.Errorf("protocol: message type %d not in version 1", m.Type)
 	}
 	return w.buf, nil
 }
 
-// Decode parses a frame.
+func encodeV2(m *Message) ([]byte, error) {
+	w := &writer{buf: make([]byte, 0, 256)}
+	w.u8(V2)
+	w.u8(m.Type)
+	w.i32(m.ClientID)
+	w.u64(m.SessionID)
+	switch m.Type {
+	case TypeHello:
+		if m.Hello == nil {
+			return nil, fmt.Errorf("protocol: hello payload missing")
+		}
+		w.i32(m.Hello.NumClasses)
+		w.i32(m.Hello.NumLayers)
+		w.u8(m.Proto)
+	case TypeHelloAck:
+		if m.HelloAck == nil {
+			return nil, fmt.Errorf("protocol: hello-ack payload missing")
+		}
+		w.u8(m.Proto)
+		w.i32(int32(m.HelloAck.NumClasses))
+		w.i32(int32(m.HelloAck.NumLayers))
+		w.f64s(m.HelloAck.ProfileHitRatio)
+		w.f64s(m.HelloAck.SavedMs)
+	case TypeStatus:
+		if m.Status == nil {
+			return nil, fmt.Errorf("protocol: status payload missing")
+		}
+		w.i32s(m.Status.Tau)
+		w.f64s(m.Status.HitRatio)
+		w.i32(int32(m.Status.Budget))
+		w.i32(int32(m.Status.RoundFrames))
+		w.u64(m.Status.LastVersion)
+	case TypeDelta:
+		if m.Delta == nil {
+			return nil, fmt.Errorf("protocol: delta payload missing")
+		}
+		d := m.Delta
+		w.u64(d.Version)
+		w.u64(d.BaseVersion)
+		if d.Full {
+			w.u8(1)
+		} else {
+			w.u8(0)
+		}
+		w.i32s(d.Classes)
+		w.i32s(d.Sites)
+		w.u32(uint32(len(d.Cells)))
+		for _, c := range d.Cells {
+			w.i32(int32(c.Site))
+			w.i32(int32(c.Class))
+			w.f32s(c.Vec)
+		}
+		w.u32(uint32(len(d.Evict)))
+		for _, e := range d.Evict {
+			w.i32(int32(e.Site))
+			w.i32(int32(e.Class))
+		}
+	case TypeUpdate:
+		if m.Update == nil {
+			return nil, fmt.Errorf("protocol: update payload missing")
+		}
+		encodeUpdate(w, m.Update)
+	case TypeAck, TypeBye:
+		// no payload
+	case TypeError:
+		w.str(m.Error)
+	default:
+		return nil, fmt.Errorf("protocol: message type %d not in version 2", m.Type)
+	}
+	return w.buf, nil
+}
+
+func encodeUpdate(w *writer, up *core.UpdateReport) {
+	w.f64s(up.Freq)
+	w.u32(uint32(len(up.Cells)))
+	for _, c := range up.Cells {
+		w.i32(int32(c.Class))
+		w.i32(int32(c.Layer))
+		w.i32(int32(c.Count))
+		w.f32s(c.Vec)
+	}
+}
+
+// Decode parses a frame of either wire version.
 func Decode(frame []byte) (*Message, error) {
 	r := &reader{buf: frame}
-	if v := r.u8(); v != Version {
-		return nil, fmt.Errorf("protocol: version %d, want %d", v, Version)
+	version := r.u8()
+	var m *Message
+	var err error
+	switch version {
+	case V1:
+		m, err = decodeV1(r)
+	case V2:
+		m, err = decodeV2(r)
+	default:
+		return nil, fmt.Errorf("protocol: version %d, want %d or %d", version, V1, V2)
 	}
-	m := &Message{Type: r.u8(), ClientID: r.i32()}
+	if err != nil {
+		return nil, err
+	}
+	if r.err != nil {
+		return nil, r.err
+	}
+	if r.off != len(frame) {
+		return nil, fmt.Errorf("protocol: %d trailing bytes", len(frame)-r.off)
+	}
+	return m, nil
+}
+
+func decodeV1(r *reader) (*Message, error) {
+	m := &Message{Version: V1, Type: r.u8(), ClientID: r.i32()}
 	switch m.Type {
 	case TypeHello:
 		m.Hello = &Hello{NumClasses: r.i32(), NumLayers: r.i32()}
@@ -283,31 +435,82 @@ func Decode(frame []byte) (*Message, error) {
 		}
 		m.Allocation = al
 	case TypeUpdate:
-		up := &core.UpdateReport{}
-		up.Freq = r.f64s()
-		nCells := r.length(12)
-		for i := 0; i < nCells && r.err == nil; i++ {
-			c := core.UpdateCell{
-				Class: int(r.i32()),
-				Layer: int(r.i32()),
-				Count: int(r.i32()),
-			}
-			c.Vec = r.f32s()
-			up.Cells = append(up.Cells, c)
-		}
-		m.Update = up
+		m.Update = decodeUpdate(r)
 	case TypeAck:
 		// no payload
 	case TypeError:
 		m.Error = r.str()
 	default:
-		return nil, fmt.Errorf("protocol: unknown message type %d", m.Type)
-	}
-	if r.err != nil {
-		return nil, r.err
-	}
-	if r.off != len(frame) {
-		return nil, fmt.Errorf("protocol: %d trailing bytes", len(frame)-r.off)
+		return nil, fmt.Errorf("protocol: unknown v1 message type %d", m.Type)
 	}
 	return m, nil
+}
+
+func decodeV2(r *reader) (*Message, error) {
+	m := &Message{Version: V2, Type: r.u8(), ClientID: r.i32(), SessionID: r.u64()}
+	switch m.Type {
+	case TypeHello:
+		m.Hello = &Hello{NumClasses: r.i32(), NumLayers: r.i32()}
+		m.Proto = r.u8()
+	case TypeHelloAck:
+		m.Proto = r.u8()
+		info := &core.RegisterInfo{
+			NumClasses: int(r.i32()),
+			NumLayers:  int(r.i32()),
+		}
+		info.ProfileHitRatio = r.f64s()
+		info.SavedMs = r.f64s()
+		m.HelloAck = info
+	case TypeStatus:
+		st := &core.StatusReport{}
+		st.Tau = r.i32s()
+		st.HitRatio = r.f64s()
+		st.Budget = int(r.i32())
+		st.RoundFrames = int(r.i32())
+		st.LastVersion = r.u64()
+		m.Status = st
+	case TypeDelta:
+		d := &core.Delta{}
+		d.Version = r.u64()
+		d.BaseVersion = r.u64()
+		d.Full = r.u8() == 1
+		d.Classes = r.i32s()
+		d.Sites = r.i32s()
+		nCells := r.length(12)
+		for i := 0; i < nCells && r.err == nil; i++ {
+			c := core.DeltaCell{Site: int(r.i32()), Class: int(r.i32())}
+			c.Vec = r.f32s()
+			d.Cells = append(d.Cells, c)
+		}
+		nEvict := r.length(8)
+		for i := 0; i < nEvict && r.err == nil; i++ {
+			d.Evict = append(d.Evict, core.CellRef{Site: int(r.i32()), Class: int(r.i32())})
+		}
+		m.Delta = d
+	case TypeUpdate:
+		m.Update = decodeUpdate(r)
+	case TypeAck, TypeBye:
+		// no payload
+	case TypeError:
+		m.Error = r.str()
+	default:
+		return nil, fmt.Errorf("protocol: unknown v2 message type %d", m.Type)
+	}
+	return m, nil
+}
+
+func decodeUpdate(r *reader) *core.UpdateReport {
+	up := &core.UpdateReport{}
+	up.Freq = r.f64s()
+	nCells := r.length(12)
+	for i := 0; i < nCells && r.err == nil; i++ {
+		c := core.UpdateCell{
+			Class: int(r.i32()),
+			Layer: int(r.i32()),
+			Count: int(r.i32()),
+		}
+		c.Vec = r.f32s()
+		up.Cells = append(up.Cells, c)
+	}
+	return up
 }

@@ -1,59 +1,119 @@
 package protocol
 
 import (
+	"context"
 	"reflect"
 	"testing"
 	"testing/quick"
 
 	"coca/internal/cache"
 	"coca/internal/core"
+	"coca/internal/model"
+	"coca/internal/vecmath"
 	"coca/internal/xrand"
 )
 
-func sampleMessages() []*Message {
+// sampleMessagesV1 covers every legacy (wire version 1) message shape.
+func sampleMessagesV1() []*Message {
 	return []*Message{
-		{Type: TypeHello, ClientID: 3, Hello: &Hello{NumClasses: 50, NumLayers: 34}},
-		{Type: TypeHelloAck, ClientID: 3, HelloAck: &core.RegisterInfo{
+		{Version: V1, Type: TypeHello, ClientID: 3, Hello: &Hello{NumClasses: 50, NumLayers: 34}},
+		{Version: V1, Type: TypeHelloAck, ClientID: 3, HelloAck: &core.RegisterInfo{
 			NumClasses: 50, NumLayers: 34,
 			ProfileHitRatio: []float64{0.1, 0.5, 0.9},
 			SavedMs:         []float64{40, 20, 5},
 		}},
-		{Type: TypeStatus, ClientID: 7, Status: &core.StatusReport{
+		{Version: V1, Type: TypeStatus, ClientID: 7, Status: &core.StatusReport{
 			Tau:      []int{0, 3, 900},
 			HitRatio: []float64{0.2, 0.4},
 			Budget:   200, RoundFrames: 300,
 		}},
-		{Type: TypeAllocation, ClientID: 7, Allocation: &core.Allocation{
+		{Version: V1, Type: TypeAllocation, ClientID: 7, Allocation: &core.Allocation{
 			Classes: []int{4, 9},
 			Layers: []cache.Layer{
 				{Site: 2, Classes: []int{4, 9}, Entries: [][]float32{{1, 0}, {0, 1}}},
 				{Site: 8, Classes: []int{4, 9}, Entries: [][]float32{{0.5, 0.5}, {0.7, 0.1}}},
 			},
 		}},
-		{Type: TypeUpdate, ClientID: 1, Update: &core.UpdateReport{
+		{Version: V1, Type: TypeUpdate, ClientID: 1, Update: &core.UpdateReport{
 			Freq: []float64{1, 0, 7},
 			Cells: []core.UpdateCell{
 				{Class: 0, Layer: 5, Count: 3, Vec: []float32{0.1, 0.9}},
 			},
 		}},
-		{Type: TypeAck, ClientID: 1},
-		{Type: TypeError, ClientID: 2, Error: "model mismatch"},
+		{Version: V1, Type: TypeAck, ClientID: 1},
+		{Version: V1, Type: TypeError, ClientID: 2, Error: "model mismatch"},
 	}
+}
+
+// sampleMessagesV2 covers every session-protocol (wire version 2) shape.
+func sampleMessagesV2() []*Message {
+	return []*Message{
+		{Version: V2, Type: TypeHello, ClientID: 3, Proto: V2,
+			Hello: &Hello{NumClasses: 50, NumLayers: 34}},
+		{Version: V2, Type: TypeHelloAck, ClientID: 3, SessionID: 12, Proto: V2,
+			HelloAck: &core.RegisterInfo{
+				NumClasses: 50, NumLayers: 34,
+				ProfileHitRatio: []float64{0.1, 0.5, 0.9},
+				SavedMs:         []float64{40, 20, 5},
+			}},
+		{Version: V2, Type: TypeStatus, ClientID: 7, SessionID: 12, Status: &core.StatusReport{
+			Tau:      []int{0, 3, 900},
+			HitRatio: []float64{0.2, 0.4},
+			Budget:   200, RoundFrames: 300, LastVersion: 41,
+		}},
+		{Version: V2, Type: TypeDelta, ClientID: 7, SessionID: 12, Delta: &core.Delta{
+			Version: 42, BaseVersion: 41,
+			Classes: []int{4, 9}, Sites: []int{2, 8},
+			Cells: []core.DeltaCell{
+				{Site: 2, Class: 4, Vec: []float32{1, 0}},
+				{Site: 8, Class: 9, Vec: []float32{0.7, 0.1}},
+			},
+			Evict: []core.CellRef{{Site: 2, Class: 1}},
+		}},
+		{Version: V2, Type: TypeDelta, ClientID: 7, SessionID: 13, Delta: &core.Delta{
+			Version: 1, Full: true,
+			Classes: []int{4}, Sites: []int{2},
+			Cells: []core.DeltaCell{{Site: 2, Class: 4, Vec: []float32{1, 0}}},
+		}},
+		{Version: V2, Type: TypeUpdate, ClientID: 1, SessionID: 12, Update: &core.UpdateReport{
+			Freq: []float64{1, 0, 7},
+			Cells: []core.UpdateCell{
+				{Class: 0, Layer: 5, Count: 3, Vec: []float32{0.1, 0.9}},
+			},
+		}},
+		{Version: V2, Type: TypeBye, ClientID: 1, SessionID: 12},
+		{Version: V2, Type: TypeAck, ClientID: 1, SessionID: 12},
+		{Version: V2, Type: TypeError, ClientID: 2, SessionID: 12, Error: "model mismatch"},
+	}
+}
+
+func sampleMessages() []*Message {
+	return append(sampleMessagesV1(), sampleMessagesV2()...)
 }
 
 func TestEncodeDecodeRoundTrip(t *testing.T) {
 	for _, m := range sampleMessages() {
 		frame, err := Encode(m)
 		if err != nil {
-			t.Fatalf("encode type %d: %v", m.Type, err)
+			t.Fatalf("encode v%d type %d: %v", m.Version, m.Type, err)
 		}
 		got, err := Decode(frame)
 		if err != nil {
-			t.Fatalf("decode type %d: %v", m.Type, err)
+			t.Fatalf("decode v%d type %d: %v", m.Version, m.Type, err)
 		}
 		if !reflect.DeepEqual(m, got) {
-			t.Fatalf("round-trip mismatch for type %d:\n  sent %+v\n  got  %+v", m.Type, m, got)
+			t.Fatalf("round-trip mismatch for v%d type %d:\n  sent %+v\n  got  %+v", m.Version, m.Type, m, got)
 		}
+	}
+}
+
+func TestEncodeDefaultsToLatestVersion(t *testing.T) {
+	frame, err := Encode(&Message{Type: TypeAck})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if frame[0] != Version {
+		t.Fatalf("unversioned message encoded as v%d, want v%d", frame[0], Version)
 	}
 }
 
@@ -64,18 +124,38 @@ func TestDecodeRejectsVersionMismatch(t *testing.T) {
 	}
 	frame[0] = Version + 1
 	if _, err := Decode(frame); err == nil {
-		t.Fatal("version mismatch accepted")
+		t.Fatal("unknown version accepted")
+	}
+	frame[0] = 0
+	if _, err := Decode(frame); err == nil {
+		t.Fatal("version 0 accepted")
+	}
+}
+
+func TestEncodeRejectsCrossVersionTypes(t *testing.T) {
+	// Delta and Bye do not exist in v1.
+	if _, err := Encode(&Message{Version: V1, Type: TypeDelta, Delta: &core.Delta{}}); err == nil {
+		t.Error("v1 delta accepted")
+	}
+	if _, err := Encode(&Message{Version: V1, Type: TypeBye}); err == nil {
+		t.Error("v1 bye accepted")
+	}
+	// Full allocations are only produced for v1 peers.
+	if _, err := Encode(&Message{Version: V2, Type: TypeAllocation, Allocation: &core.Allocation{}}); err == nil {
+		t.Error("v2 allocation accepted")
 	}
 }
 
 func TestDecodeRejectsUnknownType(t *testing.T) {
-	frame, err := Encode(&Message{Type: TypeAck})
-	if err != nil {
-		t.Fatal(err)
-	}
-	frame[1] = 0x7F
-	if _, err := Decode(frame); err == nil {
-		t.Fatal("unknown type accepted")
+	for _, v := range []byte{V1, V2} {
+		frame, err := Encode(&Message{Version: v, Type: TypeAck})
+		if err != nil {
+			t.Fatal(err)
+		}
+		frame[1] = 0x7F
+		if _, err := Decode(frame); err == nil {
+			t.Fatalf("unknown v%d type accepted", v)
+		}
 	}
 }
 
@@ -90,26 +170,33 @@ func TestDecodeRejectsTruncation(t *testing.T) {
 				continue
 			}
 			if _, err := Decode(frame[:cut]); err == nil {
-				t.Fatalf("truncated frame (type %d, %d/%d bytes) accepted", m.Type, cut, len(frame))
+				t.Fatalf("truncated frame (v%d type %d, %d/%d bytes) accepted", m.Version, m.Type, cut, len(frame))
 			}
 		}
 	}
 }
 
 func TestDecodeRejectsTrailingBytes(t *testing.T) {
-	frame, err := Encode(&Message{Type: TypeAck, ClientID: 1})
-	if err != nil {
-		t.Fatal(err)
-	}
-	if _, err := Decode(append(frame, 0xAA)); err == nil {
-		t.Fatal("trailing bytes accepted")
+	for _, v := range []byte{V1, V2} {
+		frame, err := Encode(&Message{Version: v, Type: TypeAck, ClientID: 1})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := Decode(append(frame, 0xAA)); err == nil {
+			t.Fatalf("trailing bytes accepted at v%d", v)
+		}
 	}
 }
 
 func TestEncodeRejectsMissingPayload(t *testing.T) {
-	for _, typ := range []byte{TypeHello, TypeHelloAck, TypeStatus, TypeAllocation, TypeUpdate} {
+	for _, typ := range []byte{TypeHello, TypeHelloAck, TypeStatus, TypeUpdate, TypeDelta} {
 		if _, err := Encode(&Message{Type: typ}); err == nil {
 			t.Errorf("type %d with nil payload accepted", typ)
+		}
+	}
+	for _, typ := range []byte{TypeHello, TypeHelloAck, TypeStatus, TypeAllocation, TypeUpdate} {
+		if _, err := Encode(&Message{Version: V1, Type: typ}); err == nil {
+			t.Errorf("v1 type %d with nil payload accepted", typ)
 		}
 	}
 	if _, err := Encode(&Message{Type: 0x55}); err == nil {
@@ -118,11 +205,12 @@ func TestEncodeRejectsMissingPayload(t *testing.T) {
 }
 
 func TestDecodeRejectsAbsurdLengths(t *testing.T) {
-	// A status message claiming 2^31 tau entries in a tiny frame.
+	// A v2 status message claiming 2^31 tau entries in a tiny frame.
 	w := &writer{}
-	w.u8(Version)
+	w.u8(V2)
 	w.u8(TypeStatus)
 	w.i32(1)
+	w.u64(9)          // session id
 	w.u32(0x7FFFFFFF) // tau length
 	if _, err := Decode(w.buf); err == nil {
 		t.Fatal("absurd collection length accepted")
@@ -146,7 +234,7 @@ func TestPropertyFuzzDecodeNeverPanics(t *testing.T) {
 }
 
 func TestPropertyStatusRoundTrip(t *testing.T) {
-	f := func(seed uint64, nc, nl uint8) bool {
+	f := func(seed uint64, nc, nl uint8, version bool) bool {
 		r := xrand.New(seed)
 		classes := 1 + int(nc)%60
 		layers := 1 + int(nl)%40
@@ -161,7 +249,12 @@ func TestPropertyStatusRoundTrip(t *testing.T) {
 		for j := range st.HitRatio {
 			st.HitRatio[j] = r.Float64()
 		}
-		m := &Message{Type: TypeStatus, ClientID: int32(r.IntN(200)), Status: st}
+		m := &Message{Version: V1, Type: TypeStatus, ClientID: int32(r.IntN(200)), Status: st}
+		if version {
+			m.Version = V2
+			m.SessionID = r.Uint64()
+			st.LastVersion = r.Uint64()
+		}
 		frame, err := Encode(m)
 		if err != nil {
 			return false
@@ -175,4 +268,73 @@ func TestPropertyStatusRoundTrip(t *testing.T) {
 	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
 		t.Fatal(err)
 	}
+}
+
+// TestSteadyStateDeltaSmallerThanV1Full is the wire-cost argument for the
+// v2 protocol: after the first round, an unchanged-shape allocation
+// encodes as a near-empty delta, far below the v1 full materialization of
+// the same cache.
+func TestSteadyStateDeltaSmallerThanV1Full(t *testing.T) {
+	srv, _ := testServer(t)
+	ctx := context.Background()
+	sess, err := srv.Open(ctx, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	status := core.StatusReport{Tau: make([]int, 10), Budget: 40, RoundFrames: 300}
+
+	first, err := sess.Allocate(ctx, status)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !first.Full {
+		t.Fatal("first allocation must be full")
+	}
+	view := core.NewAllocView()
+	if err := view.Apply(first); err != nil {
+		t.Fatal(err)
+	}
+
+	// Steady state with a little churn: one cell of the held allocation
+	// is refreshed by an upload before the next round.
+	vec := xrand.NormalVector(xrand.New(11), model.Dim)
+	vecmath.Normalize(vec)
+	upd := core.UpdateReport{
+		Cells: []core.UpdateCell{{Class: first.Cells[0].Class, Layer: first.Cells[0].Site, Count: 4, Vec: vec}},
+		Freq:  make([]float64, 10),
+	}
+	if err := sess.Upload(ctx, upd); err != nil {
+		t.Fatal(err)
+	}
+
+	status.LastVersion = view.Version()
+	second, err := sess.Allocate(ctx, status)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if second.Full {
+		t.Fatal("steady-state allocation should be a delta, not full")
+	}
+	if len(second.Cells) >= len(first.Cells) {
+		t.Fatalf("steady-state delta carries %d cells, full allocation %d", len(second.Cells), len(first.Cells))
+	}
+
+	deltaFrame, err := Encode(&Message{Type: TypeDelta, SessionID: 1, Delta: &second})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := view.Apply(second); err != nil {
+		t.Fatal(err)
+	}
+	alloc := view.Allocation()
+	fullFrame, err := Encode(&Message{Version: V1, Type: TypeAllocation, Allocation: &alloc})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(deltaFrame) >= len(fullFrame) {
+		t.Fatalf("steady-state delta (%d bytes) not smaller than v1 full allocation (%d bytes)",
+			len(deltaFrame), len(fullFrame))
+	}
+	t.Logf("steady-state delta %d bytes vs v1 full allocation %d bytes (%.1f%%)",
+		len(deltaFrame), len(fullFrame), 100*float64(len(deltaFrame))/float64(len(fullFrame)))
 }

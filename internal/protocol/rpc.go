@@ -1,31 +1,47 @@
 package protocol
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"io"
+	"sync"
+	"sync/atomic"
 
 	"coca/internal/core"
 	"coca/internal/transport"
 )
 
-// CoordinatorClient implements core.Coordinator over a transport
-// connection, letting a core.Client run against a remote server exactly as
-// it runs in-process. Calls are strictly request/response and must not be
-// issued concurrently (a CoCa client is a single simulated device).
-type CoordinatorClient struct {
+// SessionClient implements core.Coordinator over a transport connection
+// with protocol v2: Open performs the Hello handshake (negotiating the
+// wire version and obtaining a server session id) and returns a
+// core.Session whose Allocate receives versioned deltas. One connection
+// can carry several sessions; round trips are serialized on the
+// connection, matching the strictly request/response wire format.
+type SessionClient struct {
 	conn transport.Conn
 	// expected model shape, sent with Hello for server-side validation.
 	numClasses, numLayers int
+
+	mu sync.Mutex // serializes round trips
 }
 
-// NewCoordinatorClient wraps a connection. numClasses/numLayers describe
-// the client's model and are validated by the server at registration.
-func NewCoordinatorClient(conn transport.Conn, numClasses, numLayers int) *CoordinatorClient {
-	return &CoordinatorClient{conn: conn, numClasses: numClasses, numLayers: numLayers}
+// NewSessionClient wraps a connection. numClasses/numLayers describe the
+// client's model and are validated by the server at session open.
+func NewSessionClient(conn transport.Conn, numClasses, numLayers int) *SessionClient {
+	return &SessionClient{conn: conn, numClasses: numClasses, numLayers: numLayers}
 }
 
-func (c *CoordinatorClient) roundTrip(req *Message) (*Message, error) {
+// roundTrip performs one serialized request/response exchange. The
+// context gates entry only: an exchange already in flight is not
+// interrupted (the transport has no per-frame cancellation), so a
+// stalled server holds the call until the connection is closed.
+func (c *SessionClient) roundTrip(ctx context.Context, req *Message) (*Message, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
 	frame, err := Encode(req)
 	if err != nil {
 		return nil, err
@@ -47,44 +63,93 @@ func (c *CoordinatorClient) roundTrip(req *Message) (*Message, error) {
 	return m, nil
 }
 
-// Register implements core.Coordinator.
-func (c *CoordinatorClient) Register(clientID int) (core.RegisterInfo, error) {
-	m, err := c.roundTrip(&Message{
+// Open implements core.Coordinator: it registers the client and returns
+// its wire-backed session.
+func (c *SessionClient) Open(ctx context.Context, clientID int) (core.Session, error) {
+	m, err := c.roundTrip(ctx, &Message{
 		Type:     TypeHello,
 		ClientID: int32(clientID),
+		Proto:    Version,
 		Hello:    &Hello{NumClasses: int32(c.numClasses), NumLayers: int32(c.numLayers)},
 	})
 	if err != nil {
-		return core.RegisterInfo{}, err
+		return nil, err
 	}
 	if m.Type != TypeHelloAck || m.HelloAck == nil {
-		return core.RegisterInfo{}, fmt.Errorf("protocol: unexpected reply type %d to hello", m.Type)
+		return nil, fmt.Errorf("protocol: unexpected reply type %d to hello", m.Type)
 	}
-	return *m.HelloAck, nil
+	if m.Proto != Version {
+		return nil, fmt.Errorf("protocol: server negotiated unsupported version %d", m.Proto)
+	}
+	if m.SessionID == 0 {
+		return nil, fmt.Errorf("protocol: server did not assign a session id")
+	}
+	return &wireSession{
+		c:        c,
+		id:       m.SessionID,
+		clientID: int32(clientID),
+		info:     *m.HelloAck,
+	}, nil
 }
 
-// Allocate implements core.Coordinator.
-func (c *CoordinatorClient) Allocate(clientID int, status core.StatusReport) (core.Allocation, error) {
-	m, err := c.roundTrip(&Message{
-		Type:     TypeStatus,
-		ClientID: int32(clientID),
-		Status:   &status,
+// Close releases the connection (and with it every session opened on it).
+func (c *SessionClient) Close() error { return c.conn.Close() }
+
+var _ core.Coordinator = (*SessionClient)(nil)
+
+// wireSession is the client-side handle to one server session.
+type wireSession struct {
+	c        *SessionClient
+	id       uint64
+	clientID int32
+	info     core.RegisterInfo
+
+	mu     sync.Mutex
+	closed bool
+}
+
+// Info implements core.Session.
+func (s *wireSession) Info() core.RegisterInfo { return s.info }
+
+func (s *wireSession) check() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return fmt.Errorf("protocol: session %d closed", s.id)
+	}
+	return nil
+}
+
+// Allocate implements core.Session.
+func (s *wireSession) Allocate(ctx context.Context, status core.StatusReport) (core.Delta, error) {
+	if err := s.check(); err != nil {
+		return core.Delta{}, err
+	}
+	m, err := s.c.roundTrip(ctx, &Message{
+		Type:      TypeStatus,
+		ClientID:  s.clientID,
+		SessionID: s.id,
+		Status:    &status,
 	})
 	if err != nil {
-		return core.Allocation{}, err
+		return core.Delta{}, err
 	}
-	if m.Type != TypeAllocation || m.Allocation == nil {
-		return core.Allocation{}, fmt.Errorf("protocol: unexpected reply type %d to status", m.Type)
+	if m.Type != TypeDelta || m.Delta == nil {
+		return core.Delta{}, fmt.Errorf("protocol: unexpected reply type %d to status", m.Type)
 	}
-	return *m.Allocation, nil
+	return *m.Delta, nil
 }
 
-// Upload implements core.Coordinator.
-func (c *CoordinatorClient) Upload(clientID int, upd core.UpdateReport) error {
-	m, err := c.roundTrip(&Message{
-		Type:     TypeUpdate,
-		ClientID: int32(clientID),
-		Update:   &upd,
+// Upload implements core.Session.
+func (s *wireSession) Upload(ctx context.Context, upd core.UpdateReport) error {
+	if err := s.check(); err != nil {
+		return err
+	}
+	m, err := s.c.roundTrip(ctx, &Message{
+		Type:      TypeUpdate,
+		ClientID:  s.clientID,
+		SessionID: s.id,
+		Update:    &upd,
 	})
 	if err != nil {
 		return err
@@ -95,66 +160,226 @@ func (c *CoordinatorClient) Upload(clientID int, upd core.UpdateReport) error {
 	return nil
 }
 
-// Close releases the connection.
-func (c *CoordinatorClient) Close() error { return c.conn.Close() }
+// Close implements core.Session: it sends Bye so the server can release
+// the session. Transport failures are tolerated — the connection may
+// already be gone, which releases the session server-side anyway.
+func (s *wireSession) Close() error {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return nil
+	}
+	s.closed = true
+	s.mu.Unlock()
+	// Bye is best-effort: the connection may already be gone, which
+	// releases the session server-side anyway.
+	_, _ = s.c.roundTrip(context.Background(), &Message{
+		Type: TypeBye, ClientID: s.clientID, SessionID: s.id,
+	})
+	return nil
+}
 
-var _ core.Coordinator = (*CoordinatorClient)(nil)
+var _ core.Session = (*wireSession)(nil)
 
-// ServeConn drives one client connection against the server until the peer
-// disconnects. Malformed requests receive a TypeError reply; transport
-// failures end the session. It returns nil on orderly shutdown.
-func ServeConn(conn transport.Conn, srv *core.Server) error {
+// v1Peer is the per-connection state of a legacy (v1) client: its core
+// session plus the server-side view used to materialize full allocations
+// from the session's deltas.
+type v1Peer struct {
+	sess core.Session
+	view *core.AllocView
+}
+
+// connState tracks everything a connection's sessions own, so it can be
+// released when the peer disconnects.
+type connState struct {
+	coord core.Coordinator
+	v2    map[uint64]core.Session
+	v1    map[int32]*v1Peer
+}
+
+func (cs *connState) closeAll() {
+	for _, s := range cs.v2 {
+		_ = s.Close()
+	}
+	for _, p := range cs.v1 {
+		_ = p.sess.Close()
+	}
+}
+
+// ServeConn drives one client connection against the coordinator until
+// the peer disconnects or ctx is canceled (which closes the connection
+// and drains the handler). It speaks both wire versions, keyed per frame.
+// Malformed requests receive a TypeError reply; transport failures end
+// the session. It returns nil on orderly shutdown.
+func ServeConn(ctx context.Context, conn transport.Conn, coord core.Coordinator) error {
+	cs := &connState{coord: coord, v2: make(map[uint64]core.Session), v1: make(map[int32]*v1Peer)}
+	defer cs.closeAll()
+
+	done := make(chan struct{})
+	defer close(done)
+	go func() {
+		select {
+		case <-ctx.Done():
+			_ = conn.Close() // unblocks Recv
+		case <-done:
+		}
+	}()
+
 	for {
 		frame, err := conn.Recv()
 		if err != nil {
-			if errors.Is(err, transport.ErrClosed) || errors.Is(err, io.EOF) {
+			if errors.Is(err, transport.ErrClosed) || errors.Is(err, io.EOF) || ctx.Err() != nil {
 				return nil
 			}
 			// Stream transports surface EOF wrapped; treat any receive
 			// failure after at least one message as disconnect.
 			return nil
 		}
-		resp := handle(frame, srv)
+		resp := cs.handle(ctx, frame)
 		out, err := Encode(resp)
 		if err != nil {
 			return fmt.Errorf("protocol: encode reply: %w", err)
 		}
 		if err := conn.Send(out); err != nil {
+			if ctx.Err() != nil {
+				return nil
+			}
 			return fmt.Errorf("protocol: send reply: %w", err)
 		}
 	}
 }
 
-func handle(frame []byte, srv *core.Server) *Message {
+func (cs *connState) handle(ctx context.Context, frame []byte) *Message {
 	m, err := Decode(frame)
 	if err != nil {
 		return &Message{Type: TypeError, Error: err.Error()}
 	}
+	if m.Version == V1 {
+		return cs.handleV1(ctx, m)
+	}
+	return cs.handleV2(ctx, m)
+}
+
+func errorReply(version byte, clientID int32, sessionID uint64, format string, args ...any) *Message {
+	return &Message{Version: version, Type: TypeError, ClientID: clientID, SessionID: sessionID,
+		Error: fmt.Sprintf(format, args...)}
+}
+
+// open validates the hello shape against a fresh session's registration
+// info, closing the session and reporting the mismatch if they disagree.
+func (cs *connState) open(ctx context.Context, clientID int32, hello *Hello) (core.Session, core.RegisterInfo, error) {
+	sess, err := cs.coord.Open(ctx, int(clientID))
+	if err != nil {
+		return nil, core.RegisterInfo{}, err
+	}
+	info := sess.Info()
+	if int(hello.NumClasses) != info.NumClasses || int(hello.NumLayers) != info.NumLayers {
+		_ = sess.Close()
+		return nil, core.RegisterInfo{}, fmt.Errorf("model mismatch: client %d×%d, server %d×%d",
+			hello.NumClasses, hello.NumLayers, info.NumClasses, info.NumLayers)
+	}
+	return sess, info, nil
+}
+
+// handleV2 serves the session protocol.
+func (cs *connState) handleV2(ctx context.Context, m *Message) *Message {
 	switch m.Type {
 	case TypeHello:
-		info, err := srv.Register(int(m.ClientID))
+		if m.Proto < V2 {
+			return errorReply(V2, m.ClientID, 0, "client offered protocol %d; reissue the hello as a v1 frame", m.Proto)
+		}
+		sess, info, err := cs.open(ctx, m.ClientID, m.Hello)
 		if err != nil {
-			return &Message{Type: TypeError, ClientID: m.ClientID, Error: err.Error()}
+			return errorReply(V2, m.ClientID, 0, "%v", err)
 		}
-		if int(m.Hello.NumClasses) != info.NumClasses || int(m.Hello.NumLayers) != info.NumLayers {
-			return &Message{Type: TypeError, ClientID: m.ClientID,
-				Error: fmt.Sprintf("model mismatch: client %d×%d, server %d×%d",
-					m.Hello.NumClasses, m.Hello.NumLayers, info.NumClasses, info.NumLayers)}
-		}
-		return &Message{Type: TypeHelloAck, ClientID: m.ClientID, HelloAck: &info}
+		id := sessionID(sess)
+		cs.v2[id] = sess
+		return &Message{Type: TypeHelloAck, ClientID: m.ClientID, SessionID: id, Proto: V2, HelloAck: &info}
 	case TypeStatus:
-		alloc, err := srv.Allocate(int(m.ClientID), *m.Status)
+		sess, ok := cs.v2[m.SessionID]
+		if !ok {
+			return errorReply(V2, m.ClientID, m.SessionID, "unknown session %d", m.SessionID)
+		}
+		delta, err := sess.Allocate(ctx, *m.Status)
 		if err != nil {
-			return &Message{Type: TypeError, ClientID: m.ClientID, Error: err.Error()}
+			return errorReply(V2, m.ClientID, m.SessionID, "%v", err)
 		}
-		return &Message{Type: TypeAllocation, ClientID: m.ClientID, Allocation: &alloc}
+		return &Message{Type: TypeDelta, ClientID: m.ClientID, SessionID: m.SessionID, Delta: &delta}
 	case TypeUpdate:
-		if err := srv.Upload(int(m.ClientID), *m.Update); err != nil {
-			return &Message{Type: TypeError, ClientID: m.ClientID, Error: err.Error()}
+		sess, ok := cs.v2[m.SessionID]
+		if !ok {
+			return errorReply(V2, m.ClientID, m.SessionID, "unknown session %d", m.SessionID)
 		}
-		return &Message{Type: TypeAck, ClientID: m.ClientID}
+		if err := sess.Upload(ctx, *m.Update); err != nil {
+			return errorReply(V2, m.ClientID, m.SessionID, "%v", err)
+		}
+		return &Message{Type: TypeAck, ClientID: m.ClientID, SessionID: m.SessionID}
+	case TypeBye:
+		sess, ok := cs.v2[m.SessionID]
+		if !ok {
+			return errorReply(V2, m.ClientID, m.SessionID, "unknown session %d", m.SessionID)
+		}
+		delete(cs.v2, m.SessionID)
+		_ = sess.Close()
+		return &Message{Type: TypeAck, ClientID: m.ClientID, SessionID: m.SessionID}
 	default:
-		return &Message{Type: TypeError, ClientID: m.ClientID,
-			Error: fmt.Sprintf("unexpected request type %d", m.Type)}
+		return errorReply(V2, m.ClientID, m.SessionID, "unexpected request type %d", m.Type)
 	}
+}
+
+// handleV1 serves legacy clients: sessions are keyed by client id, and
+// every status reply is the session's delta materialized to a full
+// allocation (v1 clients report no held version, so deltas are full).
+func (cs *connState) handleV1(ctx context.Context, m *Message) *Message {
+	switch m.Type {
+	case TypeHello:
+		sess, info, err := cs.open(ctx, m.ClientID, m.Hello)
+		if err != nil {
+			return errorReply(V1, m.ClientID, 0, "%v", err)
+		}
+		if old, ok := cs.v1[m.ClientID]; ok {
+			_ = old.sess.Close()
+		}
+		cs.v1[m.ClientID] = &v1Peer{sess: sess, view: core.NewAllocView()}
+		return &Message{Version: V1, Type: TypeHelloAck, ClientID: m.ClientID, HelloAck: &info}
+	case TypeStatus:
+		peer, ok := cs.v1[m.ClientID]
+		if !ok {
+			return errorReply(V1, m.ClientID, 0, "client %d has not sent hello", m.ClientID)
+		}
+		status := *m.Status
+		status.LastVersion = 0 // v1 clients hold no versioned view
+		delta, err := peer.sess.Allocate(ctx, status)
+		if err != nil {
+			return errorReply(V1, m.ClientID, 0, "%v", err)
+		}
+		if err := peer.view.Apply(delta); err != nil {
+			return errorReply(V1, m.ClientID, 0, "%v", err)
+		}
+		alloc := peer.view.Allocation()
+		return &Message{Version: V1, Type: TypeAllocation, ClientID: m.ClientID, Allocation: &alloc}
+	case TypeUpdate:
+		peer, ok := cs.v1[m.ClientID]
+		if !ok {
+			return errorReply(V1, m.ClientID, 0, "client %d has not sent hello", m.ClientID)
+		}
+		if err := peer.sess.Upload(ctx, *m.Update); err != nil {
+			return errorReply(V1, m.ClientID, 0, "%v", err)
+		}
+		return &Message{Version: V1, Type: TypeAck, ClientID: m.ClientID}
+	default:
+		return errorReply(V1, m.ClientID, 0, "unexpected request type %d", m.Type)
+	}
+}
+
+// sessionID extracts the server-assigned id when the coordinator is the
+// in-process server; sessions from other coordinators get process-local
+// ids (safe across the concurrent per-connection serve loops).
+var fallbackID atomic.Uint64
+
+func sessionID(sess core.Session) uint64 {
+	if ss, ok := sess.(*core.ServerSession); ok {
+		return ss.ID()
+	}
+	return fallbackID.Add(1)
 }

@@ -1,6 +1,8 @@
 package protocol
 
 import (
+	"context"
+	"fmt"
 	"strings"
 	"sync"
 	"testing"
@@ -24,14 +26,15 @@ func testServer(t testing.TB) (*core.Server, *semantics.Space) {
 	return srv, space
 }
 
-func TestCoordinatorOverPipe(t *testing.T) {
+func TestSessionOverPipe(t *testing.T) {
 	srv, space := testServer(t)
+	ctx := context.Background()
 	cConn, sConn := transport.Pipe()
 	done := make(chan error, 1)
-	go func() { done <- ServeConn(sConn, srv) }()
+	go func() { done <- ServeConn(ctx, sConn, srv) }()
 
-	coord := NewCoordinatorClient(cConn, space.DS.NumClasses, space.Arch.NumLayers)
-	client, err := core.NewClient(space, coord, core.ClientConfig{
+	coord := NewSessionClient(cConn, space.DS.NumClasses, space.Arch.NumLayers)
+	client, err := core.NewClient(ctx, space, coord, core.ClientConfig{
 		ID: 0, Theta: 0.035, Budget: 40, RoundFrames: 50,
 	})
 	if err != nil {
@@ -63,9 +66,18 @@ func TestCoordinatorOverPipe(t *testing.T) {
 	if s.HitRatio == 0 {
 		t.Fatal("no hits over wire-backed coordinator")
 	}
+	if v := client.View().Version(); v != 2 {
+		t.Fatalf("client view at version %d after 2 rounds, want 2", v)
+	}
 	allocs, _ := srv.Stats()
 	if allocs < 2 {
 		t.Fatalf("server allocations = %d", allocs)
+	}
+	if err := client.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if n := srv.Sessions(); n != 0 {
+		t.Fatalf("server still holds %d sessions after close", n)
 	}
 	_ = coord.Close()
 	if err := <-done; err != nil {
@@ -73,8 +85,9 @@ func TestCoordinatorOverPipe(t *testing.T) {
 	}
 }
 
-func TestCoordinatorOverTCP(t *testing.T) {
+func TestSessionOverTCP(t *testing.T) {
 	srv, space := testServer(t)
+	ctx := context.Background()
 	l, err := transport.Listen("127.0.0.1:0")
 	if err != nil {
 		t.Fatal(err)
@@ -89,45 +102,118 @@ func TestCoordinatorOverTCP(t *testing.T) {
 		if err != nil {
 			return
 		}
-		_ = ServeConn(conn, srv)
+		_ = ServeConn(ctx, conn, srv)
 	}()
 
-	conn, err := transport.Dial(l.Addr())
+	conn, err := transport.DialContext(ctx, l.Addr())
 	if err != nil {
 		t.Fatal(err)
 	}
-	coord := NewCoordinatorClient(conn, space.DS.NumClasses, space.Arch.NumLayers)
-	info, err := coord.Register(0)
+	coord := NewSessionClient(conn, space.DS.NumClasses, space.Arch.NumLayers)
+	sess, err := coord.Open(ctx, 0)
 	if err != nil {
 		t.Fatal(err)
 	}
+	info := sess.Info()
 	if info.NumClasses != 10 || info.NumLayers != 13 {
 		t.Fatalf("register info %+v", info)
 	}
-	alloc, err := coord.Allocate(0, core.StatusReport{
+	delta, err := sess.Allocate(ctx, core.StatusReport{
 		Tau: make([]int, 10), Budget: 30, RoundFrames: 300,
 	})
 	if err != nil {
 		t.Fatal(err)
 	}
-	if len(alloc.Layers) == 0 {
-		t.Fatal("empty allocation over TCP")
+	if !delta.Full || len(delta.Cells) == 0 {
+		t.Fatalf("first allocation should be a full delta with cells, got %+v", delta)
 	}
-	if err := coord.Upload(0, core.UpdateReport{Freq: make([]float64, 10)}); err != nil {
+	if err := sess.Upload(ctx, core.UpdateReport{Freq: make([]float64, 10)}); err != nil {
+		t.Fatal(err)
+	}
+	if err := sess.Close(); err != nil {
 		t.Fatal(err)
 	}
 	_ = coord.Close()
 	wg.Wait()
 }
 
+// TestConcurrentSessions drives ≥8 clients through one server over the
+// in-memory transport, each on its own connection and goroutine, with
+// allocations and uploads interleaving freely — the scenario the sharded
+// table and session locking exist for. Run under -race in CI.
+func TestConcurrentSessions(t *testing.T) {
+	srv, space := testServer(t)
+	ctx := context.Background()
+	const clients = 8
+	const rounds = 3
+
+	part, err := stream.NewPartition(stream.Config{
+		Dataset: space.DS, NumClients: clients, SceneMeanFrames: 15,
+		WorkingSetSize: 6, WorkingSetChurn: 0.05, Seed: 2,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	var wg sync.WaitGroup
+	errs := make(chan error, clients)
+	for id := 0; id < clients; id++ {
+		cConn, sConn := transport.Pipe()
+		go func() { _ = ServeConn(ctx, sConn, srv) }()
+		wg.Add(1)
+		go func(id int, conn transport.Conn) {
+			defer wg.Done()
+			coord := NewSessionClient(conn, space.DS.NumClasses, space.Arch.NumLayers)
+			defer coord.Close()
+			client, err := core.NewClient(ctx, space, coord, core.ClientConfig{
+				ID: id, Theta: 0.035, Budget: 40, RoundFrames: 40,
+			})
+			if err != nil {
+				errs <- fmt.Errorf("client %d: %w", id, err)
+				return
+			}
+			defer client.Close()
+			gen := part.Client(id)
+			for round := 0; round < rounds; round++ {
+				if err := client.BeginRound(); err != nil {
+					errs <- fmt.Errorf("client %d round %d: %w", id, round, err)
+					return
+				}
+				for f := 0; f < 40; f++ {
+					client.Infer(gen.Next())
+				}
+				if err := client.EndRound(); err != nil {
+					errs <- fmt.Errorf("client %d round %d: %w", id, round, err)
+					return
+				}
+			}
+		}(id, cConn)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatal(err)
+	}
+	allocs, _ := srv.Stats()
+	if allocs < clients*rounds {
+		t.Fatalf("server allocations = %d, want >= %d", allocs, clients*rounds)
+	}
+	if n := srv.Sessions(); n != 0 {
+		t.Fatalf("%d sessions leaked", n)
+	}
+}
+
 func TestServerRejectsModelMismatch(t *testing.T) {
 	srv, _ := testServer(t)
 	cConn, sConn := transport.Pipe()
-	go func() { _ = ServeConn(sConn, srv) }()
-	coord := NewCoordinatorClient(cConn, 99, 99)
-	_, err := coord.Register(0)
+	go func() { _ = ServeConn(context.Background(), sConn, srv) }()
+	coord := NewSessionClient(cConn, 99, 99)
+	_, err := coord.Open(context.Background(), 0)
 	if err == nil || !strings.Contains(err.Error(), "model mismatch") {
 		t.Fatalf("mismatch not rejected: %v", err)
+	}
+	if n := srv.Sessions(); n != 0 {
+		t.Fatalf("mismatched hello leaked %d sessions", n)
 	}
 	_ = coord.Close()
 }
@@ -135,7 +221,7 @@ func TestServerRejectsModelMismatch(t *testing.T) {
 func TestServeConnRepliesErrorOnGarbage(t *testing.T) {
 	srv, _ := testServer(t)
 	cConn, sConn := transport.Pipe()
-	go func() { _ = ServeConn(sConn, srv) }()
+	go func() { _ = ServeConn(context.Background(), sConn, srv) }()
 	if err := cConn.Send([]byte{0xFF, 0xFF, 0xFF}); err != nil {
 		t.Fatal(err)
 	}
@@ -155,15 +241,118 @@ func TestServeConnRepliesErrorOnGarbage(t *testing.T) {
 
 func TestServerErrorsPropagate(t *testing.T) {
 	srv, space := testServer(t)
+	ctx := context.Background()
 	cConn, sConn := transport.Pipe()
-	go func() { _ = ServeConn(sConn, srv) }()
-	coord := NewCoordinatorClient(cConn, space.DS.NumClasses, space.Arch.NumLayers)
+	go func() { _ = ServeConn(ctx, sConn, srv) }()
+	coord := NewSessionClient(cConn, space.DS.NumClasses, space.Arch.NumLayers)
+	sess, err := coord.Open(ctx, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
 	// Bad status: wrong tau length.
-	_, err := coord.Allocate(0, core.StatusReport{Tau: make([]int, 2), Budget: 10})
-	if err == nil {
+	if _, err := sess.Allocate(ctx, core.StatusReport{Tau: make([]int, 2), Budget: 10}); err == nil {
 		t.Fatal("server-side validation error not propagated")
 	}
 	_ = coord.Close()
+}
+
+func TestUnknownSessionRejected(t *testing.T) {
+	srv, _ := testServer(t)
+	cConn, sConn := transport.Pipe()
+	go func() { _ = ServeConn(context.Background(), sConn, srv) }()
+	frame, err := Encode(&Message{
+		Type: TypeStatus, ClientID: 0, SessionID: 777,
+		Status: &core.StatusReport{Tau: make([]int, 10), Budget: 10},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := cConn.Send(frame); err != nil {
+		t.Fatal(err)
+	}
+	resp, err := cConn.Recv()
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := Decode(resp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Type != TypeError || !strings.Contains(m.Error, "unknown session") {
+		t.Fatalf("unknown session not rejected: %+v", m)
+	}
+	_ = cConn.Close()
+}
+
+// v1RoundTrip performs one raw v1 exchange against a serve loop.
+func v1RoundTrip(t *testing.T, conn transport.Conn, req *Message) *Message {
+	t.Helper()
+	req.Version = V1
+	frame, err := Encode(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := conn.Send(frame); err != nil {
+		t.Fatal(err)
+	}
+	resp, err := conn.Recv()
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := Decode(resp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return m
+}
+
+// TestServeConnSpeaksV1 exercises the legacy client flow end to end: a
+// peer that only speaks wire version 1 registers, requests an allocation
+// and uploads, receiving fully materialized v1 replies.
+func TestServeConnSpeaksV1(t *testing.T) {
+	srv, space := testServer(t)
+	cConn, sConn := transport.Pipe()
+	go func() { _ = ServeConn(context.Background(), sConn, srv) }()
+
+	ack := v1RoundTrip(t, cConn, &Message{
+		Type: TypeHello, ClientID: 4,
+		Hello: &Hello{NumClasses: int32(space.DS.NumClasses), NumLayers: int32(space.Arch.NumLayers)},
+	})
+	if ack.Type != TypeHelloAck || ack.Version != V1 || ack.HelloAck == nil {
+		t.Fatalf("v1 hello reply: %+v", ack)
+	}
+	if ack.HelloAck.NumClasses != 10 || ack.HelloAck.NumLayers != 13 {
+		t.Fatalf("v1 register info %+v", ack.HelloAck)
+	}
+
+	for round := 0; round < 2; round++ {
+		resp := v1RoundTrip(t, cConn, &Message{
+			Type: TypeStatus, ClientID: 4,
+			Status: &core.StatusReport{Tau: make([]int, 10), Budget: 30, RoundFrames: 300},
+		})
+		if resp.Type != TypeAllocation || resp.Version != V1 || resp.Allocation == nil {
+			t.Fatalf("v1 status reply: %+v", resp)
+		}
+		if len(resp.Allocation.Layers) == 0 {
+			t.Fatalf("round %d: empty v1 allocation", round)
+		}
+		total := 0
+		for _, l := range resp.Allocation.Layers {
+			total += l.Len()
+		}
+		if total == 0 || total > 30 {
+			t.Fatalf("round %d: v1 allocation size %d outside (0, 30]", round, total)
+		}
+	}
+
+	up := v1RoundTrip(t, cConn, &Message{
+		Type: TypeUpdate, ClientID: 4,
+		Update: &core.UpdateReport{Freq: make([]float64, 10)},
+	})
+	if up.Type != TypeAck || up.Version != V1 {
+		t.Fatalf("v1 update reply: %+v", up)
+	}
+	_ = cConn.Close()
 }
 
 var _ engine.Engine = (*core.Client)(nil)

@@ -5,6 +5,7 @@
 package transport
 
 import (
+	"context"
 	"encoding/binary"
 	"errors"
 	"fmt"
@@ -102,7 +103,14 @@ func NewTCPConn(nc net.Conn) Conn { return &tcpConn{nc: nc} }
 
 // Dial connects to a CoCa server at addr ("host:port").
 func Dial(addr string) (Conn, error) {
-	nc, err := net.Dial("tcp", addr)
+	return DialContext(context.Background(), addr)
+}
+
+// DialContext connects to a CoCa server at addr, honoring the context's
+// cancellation and deadline during connection establishment.
+func DialContext(ctx context.Context, addr string) (Conn, error) {
+	var d net.Dialer
+	nc, err := d.DialContext(ctx, "tcp", addr)
 	if err != nil {
 		return nil, fmt.Errorf("transport: dial %s: %w", addr, err)
 	}

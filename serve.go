@@ -1,0 +1,247 @@
+// Network serving: the public façade over cmd/coca-server's and
+// cmd/coca-client's machinery. Serve starts a session-serving CoCa edge
+// server over TCP; Dial connects a client to it. Both speak wire
+// protocol v2 (delta allocations); the served endpoint also accepts
+// legacy v1 clients.
+package coca
+
+import (
+	"context"
+	"fmt"
+	"sync"
+	"time"
+
+	"coca/internal/core"
+	"coca/internal/metrics"
+	"coca/internal/protocol"
+	"coca/internal/semantics"
+	"coca/internal/stream"
+	"coca/internal/transport"
+)
+
+// Server is a running network CoCa deployment: the edge server plus its
+// TCP listener and connection handlers.
+type Server struct {
+	core *core.Server
+	lis  *transport.Listener
+
+	cancelConns context.CancelFunc
+	wg          sync.WaitGroup
+
+	mu     sync.Mutex
+	closed bool
+}
+
+// Serve builds the simulation universe behind opts, starts a CoCa edge
+// server and serves coordination sessions over TCP at addr (":0" picks an
+// ephemeral port; see Addr). Canceling ctx starts a shutdown equivalent
+// to Shutdown with no drain window. Serve returns once the listener is
+// accepting.
+func Serve(ctx context.Context, addr string, opts Options) (*Server, error) {
+	opts = opts.withDefaults()
+	space, _, err := opts.resolve()
+	if err != nil {
+		return nil, err
+	}
+	srv := core.NewServer(space, core.ServerConfig{Theta: opts.theta(space.Arch), Seed: opts.Seed})
+	lis, err := transport.Listen(addr)
+	if err != nil {
+		return nil, err
+	}
+	connCtx, cancelConns := context.WithCancel(context.Background())
+	s := &Server{core: srv, lis: lis, cancelConns: cancelConns}
+
+	s.wg.Add(1)
+	go func() {
+		defer s.wg.Done()
+		for {
+			conn, err := lis.Accept()
+			if err != nil {
+				return // listener closed
+			}
+			s.wg.Add(1)
+			go func() {
+				defer s.wg.Done()
+				_ = protocol.ServeConn(connCtx, conn, srv)
+				_ = conn.Close()
+			}()
+		}
+	}()
+	if ctx.Done() != nil {
+		go func() {
+			select {
+			case <-ctx.Done():
+				_ = s.Shutdown(context.Background())
+			case <-connCtx.Done():
+			}
+		}()
+	}
+	return s, nil
+}
+
+// Addr returns the bound listen address.
+func (s *Server) Addr() string { return s.lis.Addr() }
+
+// Stats reports the underlying server's allocation/merge counters and
+// open session count.
+func (s *Server) Stats() (allocs, merges, sessions int) {
+	allocs, merges = s.core.Stats()
+	return allocs, merges, s.core.Sessions()
+}
+
+// Shutdown stops accepting connections, waits for in-flight sessions to
+// drain until ctx is done, then force-closes the remainder. It is safe
+// to call more than once.
+func (s *Server) Shutdown(ctx context.Context) error {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		s.wg.Wait()
+		return nil
+	}
+	s.closed = true
+	s.mu.Unlock()
+
+	_ = s.lis.Close()
+	drained := make(chan struct{})
+	go func() { s.wg.Wait(); close(drained) }()
+	select {
+	case <-drained:
+	case <-ctx.Done():
+		s.cancelConns()
+		<-drained
+	}
+	s.cancelConns()
+	return nil
+}
+
+// Client is a network CoCa client: a coordination session to a served
+// endpoint plus the client's slice of the fleet workload.
+type Client struct {
+	opts   Options
+	id     int
+	space  *semantics.Space
+	conn   *protocol.SessionClient
+	client *core.Client
+	gen    *stream.Generator
+}
+
+// Dial connects to a CoCa server at addr and registers client clientID of
+// the opts.NumClients-wide fleet. The model/dataset options must match
+// the server's; the workload options carve this client's partition — the
+// same opts on every fleet member yield disjoint, consistent streams.
+func Dial(ctx context.Context, addr string, clientID int, opts Options) (*Client, error) {
+	opts = opts.withDefaults()
+	if clientID < 0 || clientID >= opts.NumClients {
+		return nil, fmt.Errorf("coca: client id %d outside fleet of %d", clientID, opts.NumClients)
+	}
+	space, scfg, err := opts.resolve()
+	if err != nil {
+		return nil, err
+	}
+	part, err := stream.NewPartition(scfg)
+	if err != nil {
+		return nil, err
+	}
+	conn, err := transport.DialContext(ctx, addr)
+	if err != nil {
+		return nil, err
+	}
+	coord := protocol.NewSessionClient(conn, space.DS.NumClasses, space.Arch.NumLayers)
+	cl, err := core.NewClient(ctx, space, coord, core.ClientConfig{
+		ID:            clientID,
+		Theta:         opts.theta(space.Arch),
+		Budget:        opts.Budget,
+		RoundFrames:   opts.RoundFrames,
+		GammaCollect:  opts.GammaCollect,
+		DeltaCollect:  opts.DeltaCollect,
+		EnvBiasWeight: opts.ClientBias,
+		DriftWeight:   opts.DriftWeight,
+		DriftPerRound: opts.DriftPerRound,
+	})
+	if err != nil {
+		_ = coord.Close()
+		return nil, err
+	}
+	return &Client{opts: opts, id: clientID, space: space, conn: coord, client: cl, gen: part.Client(clientID)}, nil
+}
+
+// Run drives the client for the given number of rounds (opts.Rounds when
+// 0) and reports its metrics. ctx is checked at round boundaries.
+func (c *Client) Run(ctx context.Context, rounds int) (Report, error) {
+	if rounds <= 0 {
+		rounds = c.opts.Rounds
+	}
+	var acc metrics.Accumulator
+	for round := 0; round < rounds; round++ {
+		if err := ctx.Err(); err != nil {
+			return Report{}, err
+		}
+		if err := c.client.BeginRound(); err != nil {
+			return Report{}, fmt.Errorf("coca: round %d begin: %w", round, err)
+		}
+		for f := 0; f < c.opts.RoundFrames; f++ {
+			smp := c.gen.Next()
+			res := c.client.Infer(smp)
+			if round >= c.opts.WarmupRounds {
+				acc.Record(metrics.Obs{
+					LatencyMs: res.LatencyMs, LookupMs: res.LookupMs,
+					Correct: res.Pred == smp.Class, Hit: res.Hit, HitLayer: res.HitLayer,
+				})
+			}
+		}
+		if err := c.client.EndRound(); err != nil {
+			return Report{}, fmt.Errorf("coca: round %d end: %w", round, err)
+		}
+	}
+	sum := acc.Summary()
+	rep := Report{
+		Frames:            sum.Frames,
+		AvgLatencyMs:      sum.AvgLatencyMs,
+		P95LatencyMs:      sum.P95LatencyMs,
+		EdgeOnlyLatencyMs: c.space.Arch.TotalLatencyMs(),
+		Accuracy:          sum.Accuracy,
+		HitRatio:          sum.HitRatio,
+		HitAccuracy:       sum.HitAccuracy,
+		PerClient: []ClientReport{{
+			ID: c.id, AvgLatencyMs: sum.AvgLatencyMs, Accuracy: sum.Accuracy, HitRatio: sum.HitRatio,
+		}},
+	}
+	return rep, nil
+}
+
+// ViewVersion returns the version of the allocation the client holds
+// (grows by one per round; diagnostic for the delta protocol).
+func (c *Client) ViewVersion() uint64 { return c.client.View().Version() }
+
+// Close ends the coordination session and the connection.
+func (c *Client) Close() error {
+	_ = c.client.Close()
+	return c.conn.Close()
+}
+
+// ServeAndDial is a convenience for tests and examples: it serves on a
+// loopback ephemeral port and dials the full fleet, returning the server
+// and connected clients. The caller owns shutdown/closing.
+func ServeAndDial(ctx context.Context, opts Options) (*Server, []*Client, error) {
+	srv, err := Serve(ctx, "127.0.0.1:0", opts)
+	if err != nil {
+		return nil, nil, err
+	}
+	opts = opts.withDefaults()
+	clients := make([]*Client, 0, opts.NumClients)
+	for id := 0; id < opts.NumClients; id++ {
+		cl, err := Dial(ctx, srv.Addr(), id, opts)
+		if err != nil {
+			for _, c := range clients {
+				_ = c.Close()
+			}
+			sctx, cancel := context.WithTimeout(context.Background(), time.Second)
+			_ = srv.Shutdown(sctx)
+			cancel()
+			return nil, nil, err
+		}
+		clients = append(clients, cl)
+	}
+	return srv, clients, nil
+}

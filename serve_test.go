@@ -1,0 +1,108 @@
+package coca
+
+import (
+	"context"
+	"sync"
+	"testing"
+	"time"
+)
+
+func serveOpts() Options {
+	return Options{
+		Model: "VGG16_BN", Dataset: "ESC-50", Classes: 10,
+		NumClients: 3, Rounds: 2, RoundFrames: 50, Budget: 40, Seed: 4,
+	}
+}
+
+func TestServeAndDialFleet(t *testing.T) {
+	ctx := context.Background()
+	srv, clients, err := ServeAndDial(ctx, serveOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() {
+		sctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+		defer cancel()
+		_ = srv.Shutdown(sctx)
+	}()
+
+	var wg sync.WaitGroup
+	reports := make([]Report, len(clients))
+	errs := make([]error, len(clients))
+	for i, cl := range clients {
+		wg.Add(1)
+		go func(i int, cl *Client) {
+			defer wg.Done()
+			reports[i], errs[i] = cl.Run(ctx, 0)
+		}(i, cl)
+	}
+	wg.Wait()
+	for i, err := range errs {
+		if err != nil {
+			t.Fatalf("client %d: %v", i, err)
+		}
+	}
+	for i, rep := range reports {
+		if rep.Frames != 2*50 {
+			t.Fatalf("client %d frames = %d, want 100", i, rep.Frames)
+		}
+		if rep.AvgLatencyMs <= 0 || rep.AvgLatencyMs >= rep.EdgeOnlyLatencyMs {
+			t.Fatalf("client %d latency not reduced: %+v", i, rep)
+		}
+	}
+	for i, cl := range clients {
+		if v := cl.ViewVersion(); v != 2 {
+			t.Fatalf("client %d view version %d after 2 rounds, want 2", i, v)
+		}
+		_ = cl.Close()
+	}
+	allocs, _, sessions := srv.Stats()
+	if allocs < 3*2 {
+		t.Fatalf("server allocations = %d, want >= 6", allocs)
+	}
+	if sessions != 0 {
+		t.Fatalf("%d sessions still open after client closes", sessions)
+	}
+}
+
+func TestDialValidatesClientID(t *testing.T) {
+	ctx := context.Background()
+	srv, err := Serve(ctx, "127.0.0.1:0", serveOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() {
+		sctx, cancel := context.WithTimeout(context.Background(), time.Second)
+		defer cancel()
+		_ = srv.Shutdown(sctx)
+	}()
+	if _, err := Dial(ctx, srv.Addr(), 99, serveOpts()); err == nil {
+		t.Fatal("out-of-fleet client id accepted")
+	}
+}
+
+func TestServerShutdownIdempotentAndDraining(t *testing.T) {
+	ctx := context.Background()
+	srv, clients, err := ServeAndDial(ctx, serveOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, cl := range clients {
+		if _, err := cl.Run(ctx, 1); err != nil {
+			t.Fatal(err)
+		}
+		_ = cl.Close()
+	}
+	sctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	if err := srv.Shutdown(sctx); err != nil {
+		t.Fatal(err)
+	}
+	if err := srv.Shutdown(sctx); err != nil {
+		t.Fatal(err)
+	}
+	// New connections must be refused after shutdown.
+	if _, err := Dial(ctx, srv.Addr(), 0, serveOpts()); err == nil {
+		t.Fatal("dial succeeded after shutdown")
+	}
+}
