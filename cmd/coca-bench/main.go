@@ -1,11 +1,23 @@
 // Command coca-bench regenerates the paper's tables and figures on the
-// simulated substrate and prints them in paper-style layout.
+// simulated substrate, and measures this build's performance into a
+// machine-readable report.
 //
 // Usage:
 //
 //	coca-bench -list
 //	coca-bench -exp table2
 //	coca-bench -exp all -scale 0.5 -csv
+//	coca-bench -exp table2 -batch 32
+//	coca-bench -bench
+//	coca-bench -bench -json -out . -benchtime 1x
+//
+// -list enumerates the experiment registry (the happy path when exploring).
+// -exp runs one experiment (or "all") and prints its paper-style table;
+// -batch drives CoCa clients through the batched round driver. -bench runs
+// the headline + inference hot-path benchmark suite; with -json it also
+// writes a versioned BENCH_<date>.json (schema internal/perfjson) whose
+// committed history is the repository's perf trajectory (see
+// EXPERIMENTS.md).
 package main
 
 import (
@@ -13,55 +25,187 @@ import (
 	"fmt"
 	"log"
 	"os"
+	"runtime"
+	"sort"
+	"strconv"
+	"strings"
+	"testing"
 	"time"
 
+	"coca/internal/benchsuite"
 	"coca/internal/experiments"
+	"coca/internal/perfjson"
 )
 
 func main() {
 	var (
-		exp   = flag.String("exp", "", "experiment id (fig1a..fig10b, table1..table3) or \"all\"")
-		scale = flag.Float64("scale", 1.0, "run-length scale (1.0 = full experiment)")
-		seed  = flag.Uint64("seed", 1, "workload seed")
-		csv   = flag.Bool("csv", false, "emit CSV instead of aligned text")
-		list  = flag.Bool("list", false, "list experiments and exit")
+		exp       = flag.String("exp", "", "experiment id (fig1a..fig10b, table1..table3) or \"all\"")
+		scale     = flag.Float64("scale", 1.0, "run-length scale (1.0 = full experiment)")
+		seed      = flag.Uint64("seed", 1, "workload seed")
+		csv       = flag.Bool("csv", false, "emit CSV instead of aligned text")
+		list      = flag.Bool("list", false, "list experiments and exit")
+		batch     = flag.Int("batch", 0, "inference batch size for the round driver (0 = frame at a time)")
+		bench     = flag.Bool("bench", false, "run the headline + hot-path benchmark suite")
+		jsonOut   = flag.Bool("json", false, "with -bench: write BENCH_<date>.json")
+		outDir    = flag.String("out", ".", "with -bench -json: directory for the report")
+		benchTime = flag.String("benchtime", "", "with -bench: per-benchmark budget, e.g. 2s or 1x (default 1s)")
 	)
+	testing.Init() // register test.* flags so -benchtime can be forwarded
 	flag.Parse()
 
-	if *list || *exp == "" {
-		fmt.Println("available experiments:")
-		for _, e := range experiments.Registry() {
-			fmt.Printf("  %-8s %s\n           shape: %s\n", e.ID, e.Title, e.Shape)
+	switch {
+	case *bench:
+		if err := runBench(*benchTime, *jsonOut, *outDir); err != nil {
+			log.Fatal(err)
 		}
-		if *exp == "" && !*list {
-			os.Exit(2)
+	case *list:
+		printRegistry(os.Stdout)
+	case *exp == "":
+		fmt.Fprintln(os.Stderr, "coca-bench: no experiment selected")
+		fmt.Fprintln(os.Stderr, "usage: coca-bench -list | -exp <id|all> [-scale f] [-seed n] [-batch n] [-csv] | -bench [-json]")
+		fmt.Fprintln(os.Stderr, "run coca-bench -list to see the experiment registry")
+		os.Exit(2)
+	default:
+		if err := runExperiments(*exp, experiments.Options{Scale: *scale, Seed: *seed, BatchSize: *batch}, *csv); err != nil {
+			log.Fatal(err)
 		}
-		return
 	}
+}
 
+func printRegistry(w *os.File) {
+	fmt.Fprintln(w, "available experiments:")
+	for _, e := range experiments.Registry() {
+		fmt.Fprintf(w, "  %-8s %s\n           shape: %s\n", e.ID, e.Title, e.Shape)
+	}
+}
+
+func runExperiments(id string, opts experiments.Options, csv bool) error {
 	var targets []experiments.Experiment
-	if *exp == "all" {
+	if id == "all" {
 		targets = experiments.Registry()
 	} else {
-		e, err := experiments.ByID(*exp)
+		e, err := experiments.ByID(id)
 		if err != nil {
-			log.Fatal(err)
+			return err
 		}
 		targets = []experiments.Experiment{e}
 	}
-
-	opts := experiments.Options{Scale: *scale, Seed: *seed}
 	for _, e := range targets {
 		start := time.Now()
 		res, err := e.Run(opts)
 		if err != nil {
-			log.Fatalf("%s: %v", e.ID, err)
+			return fmt.Errorf("%s: %w", e.ID, err)
 		}
-		if *csv {
+		if csv {
 			fmt.Print(res.Table.CSV())
 		} else {
 			fmt.Print(res.Table.String())
 		}
 		fmt.Fprintf(os.Stderr, "# %s completed in %.1fs\n\n", e.ID, time.Since(start).Seconds())
 	}
+	return nil
+}
+
+// namedBench pairs a report name with a runnable benchmark body.
+type namedBench struct {
+	name string
+	run  func(*testing.B)
+}
+
+// suite is the fixed benchmark set of -bench mode: the headline
+// reproduction plus the inference hot path across scales and batch sizes.
+func suite() []namedBench {
+	out := []namedBench{{"headline", benchsuite.Headline}}
+	for _, scale := range []benchsuite.Scale{benchsuite.ScaleRef, benchsuite.ScaleFleet} {
+		for _, batch := range []int{1, 8, 32} {
+			out = append(out, namedBench{
+				fmt.Sprintf("inference-path/scale=%s/batch=%d", scale, batch),
+				func(b *testing.B) { benchsuite.InferencePath(b, scale, batch) },
+			})
+		}
+	}
+	return out
+}
+
+func runBench(benchTime string, jsonOut bool, outDir string) error {
+	if benchTime != "" {
+		if err := flag.Set("test.benchtime", benchTime); err != nil {
+			return fmt.Errorf("bad -benchtime: %w", err)
+		}
+	}
+	report := &perfjson.Report{
+		Schema:    perfjson.SchemaVersion,
+		Date:      time.Now().UTC().Format("2006-01-02"),
+		GoVersion: runtime.Version(),
+		GOOS:      runtime.GOOS,
+		GOARCH:    runtime.GOARCH,
+	}
+	// ns/op of the batch=1 runs, for derived speedup metrics.
+	base := map[string]float64{}
+	for _, bm := range suite() {
+		res := testing.Benchmark(bm.run)
+		if res.N == 0 {
+			return fmt.Errorf("benchmark %s failed", bm.name)
+		}
+		entry := perfjson.Benchmark{
+			Name:        bm.name,
+			Iterations:  res.N,
+			NsPerOp:     float64(res.T.Nanoseconds()) / float64(res.N),
+			AllocsPerOp: float64(res.AllocsPerOp()),
+			BytesPerOp:  float64(res.AllocedBytesPerOp()),
+		}
+		if len(res.Extra) > 0 {
+			entry.Metrics = map[string]float64{}
+			for k, v := range res.Extra {
+				entry.Metrics[k] = v
+			}
+		}
+		if scale, batch, ok := parseInferenceName(bm.name); ok {
+			if batch == 1 {
+				base[scale] = entry.NsPerOp
+			} else if b1 := base[scale]; b1 > 0 && entry.NsPerOp > 0 {
+				if entry.Metrics == nil {
+					entry.Metrics = map[string]float64{}
+				}
+				entry.Metrics["speedup-vs-batch=1"] = b1 / entry.NsPerOp
+			}
+		}
+		report.Add(entry)
+		fmt.Printf("%-36s %12.0f ns/op %8.1f allocs/op", bm.name, entry.NsPerOp, entry.AllocsPerOp)
+		keys := make([]string, 0, len(entry.Metrics))
+		for k := range entry.Metrics {
+			keys = append(keys, k)
+		}
+		sort.Strings(keys)
+		for _, k := range keys {
+			fmt.Printf("  %s=%.2f", k, entry.Metrics[k])
+		}
+		fmt.Println()
+	}
+	if jsonOut {
+		path, err := report.WriteFile(outDir)
+		if err != nil {
+			return err
+		}
+		fmt.Fprintf(os.Stderr, "# wrote %s\n", path)
+	}
+	return nil
+}
+
+// parseInferenceName extracts (scale, batch) from an inference-path
+// benchmark name.
+func parseInferenceName(name string) (string, int, bool) {
+	rest, ok := strings.CutPrefix(name, "inference-path/scale=")
+	if !ok {
+		return "", 0, false
+	}
+	scale, batchPart, ok := strings.Cut(rest, "/batch=")
+	if !ok {
+		return "", 0, false
+	}
+	batch, err := strconv.Atoi(batchPart)
+	if err != nil {
+		return "", 0, false
+	}
+	return scale, batch, true
 }

@@ -59,6 +59,10 @@ type Options struct {
 	NumClients int
 	// Rounds to run and WarmupRounds to exclude from metrics.
 	Rounds, WarmupRounds int
+	// BatchSize drives each client's frames through the batched inference
+	// hot path in chunks of this size (0 or 1 = frame at a time; results
+	// are identical, batching only speeds the host computation up).
+	BatchSize int
 
 	// Theta is the cache-hit threshold Θ (0 picks the model's
 	// recommended <3%-loss operating point).
@@ -202,6 +206,7 @@ func NewSystem(opts Options) (*System, error) {
 		Server: core.ServerConfig{Theta: theta, Seed: opts.Seed},
 		Stream: scfg,
 		Rounds: opts.Rounds, SkipRounds: opts.WarmupRounds,
+		BatchSize: opts.BatchSize,
 	})
 	if err != nil {
 		return nil, err

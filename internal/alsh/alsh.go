@@ -73,6 +73,11 @@ type Index struct {
 	buckets map[uint32][]*entry
 	order   *list.List // front = most recent
 	size    int
+
+	// Query scratch, reused so steady-state lookups are allocation-free.
+	cands []*entry
+	top   []scored
+	sigs  []uint32
 }
 
 // New builds an index. It panics on invalid configuration (configurations
@@ -158,27 +163,72 @@ type Result struct {
 	Best float64
 }
 
+type scored struct {
+	e   *entry
+	sim float64
+}
+
 // Query runs a multi-probe H-kNN lookup. On a hit, the matched entries are
-// refreshed in LRU order.
+// refreshed in LRU order. Steady-state queries are allocation-free: the
+// candidate and top-k buffers are index-owned scratch.
 func (x *Index) Query(vec []float32) (Result, error) {
 	if len(vec) != x.cfg.Dim {
 		return Result{}, fmt.Errorf("alsh: Query dim %d, want %d", len(vec), x.cfg.Dim)
 	}
-	sig := x.signature(vec)
-	var cands []*entry
+	return x.query(vec, x.signature(vec)), nil
+}
+
+// QueryBatch runs one multi-probe H-kNN lookup per input vector, exactly as
+// len(vecs) sequential Query calls would (including LRU refreshes, in
+// order), and writes the results to out, which it returns. Signature
+// hashing is batched plane-major so every hyperplane is walked once per
+// batch instead of once per sample. out must be at least len(vecs) long.
+func (x *Index) QueryBatch(vecs [][]float32, out []Result) ([]Result, error) {
+	if len(out) < len(vecs) {
+		return nil, fmt.Errorf("alsh: QueryBatch out length %d < %d", len(out), len(vecs))
+	}
+	for i, vec := range vecs {
+		if len(vec) != x.cfg.Dim {
+			return nil, fmt.Errorf("alsh: QueryBatch vec %d dim %d, want %d", i, len(vec), x.cfg.Dim)
+		}
+	}
+	if cap(x.sigs) < len(vecs) {
+		x.sigs = make([]uint32, len(vecs))
+	}
+	sigs := x.sigs[:len(vecs)]
+	for i := range sigs {
+		sigs[i] = 0
+	}
+	for b, plane := range x.planes {
+		bit := uint32(1) << uint(b)
+		for i, vec := range vecs {
+			if vecmath.Dot(vec, plane) >= 0 {
+				sigs[i] |= bit
+			}
+		}
+	}
+	for i, vec := range vecs {
+		out[i] = x.query(vec, sigs[i])
+	}
+	return out[:len(vecs)], nil
+}
+
+// query is the shared lookup body; sig must be signature(vec).
+func (x *Index) query(vec []float32, sig uint32) Result {
+	cands := x.cands[:0]
 	cands = append(cands, x.buckets[sig]...)
 	for b := 0; b < x.cfg.Bits; b++ {
 		cands = append(cands, x.buckets[sig^(1<<uint(b))]...)
 	}
+	x.cands = cands // keep the grown backing array for the next query
 	res := Result{Candidates: len(cands)}
 	if len(cands) == 0 {
-		return res, nil
+		return res
 	}
-	type scored struct {
-		e   *entry
-		sim float64
+	if cap(x.top) < x.cfg.K {
+		x.top = make([]scored, 0, x.cfg.K)
 	}
-	top := make([]scored, 0, x.cfg.K)
+	top := x.top[:0]
 	for _, e := range cands {
 		s := float64(vecmath.Cosine(vec, e.vec))
 		if len(top) < x.cfg.K {
@@ -198,12 +248,28 @@ func (x *Index) Query(vec []float32) (Result, error) {
 	}
 	best := top[len(top)-1]
 	res.Best = best.sim
-	votes := make(map[int]int)
-	for _, s := range top {
-		votes[s.e.label]++
-	}
+	// Majority vote over the k nearest, counted without a map: for each
+	// distinct label (first occurrence wins ties, scanning from the
+	// nearest down so the tie-break is deterministic), count its votes.
 	winner, winCount := -1, 0
-	for label, n := range votes {
+	for i := len(top) - 1; i >= 0; i-- {
+		label := top[i].e.label
+		seen := false
+		for j := len(top) - 1; j > i; j-- {
+			if top[j].e.label == label {
+				seen = true
+				break
+			}
+		}
+		if seen {
+			continue
+		}
+		n := 0
+		for j := 0; j <= i; j++ {
+			if top[j].e.label == label {
+				n++
+			}
+		}
 		if n > winCount {
 			winner, winCount = label, n
 		}
@@ -218,5 +284,5 @@ func (x *Index) Query(vec []float32) (Result, error) {
 			}
 		}
 	}
-	return res, nil
+	return res
 }

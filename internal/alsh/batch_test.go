@@ -1,0 +1,89 @@
+package alsh
+
+import (
+	"math/rand/v2"
+	"testing"
+)
+
+func testIndex(t testing.TB, seed uint64, entries int) (*Index, *rand.Rand) {
+	t.Helper()
+	idx := New(Config{
+		Dim: 32, Bits: 6, Capacity: entries + 8, K: 4,
+		Homogeneity: 0.5, MinSimilarity: 0.1, Seed: seed,
+	})
+	r := rand.New(rand.NewPCG(seed, 0xBEEF))
+	for i := 0; i < entries; i++ {
+		v := make([]float32, 32)
+		for d := range v {
+			v[d] = float32(r.NormFloat64())
+		}
+		if err := idx.Add(v, r.IntN(6)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return idx, r
+}
+
+// TestQueryBatchMatchesSequential requires QueryBatch to behave exactly
+// like sequential Query calls, including the LRU refresh side effects
+// (verified by interleaving further queries after the comparison).
+func TestQueryBatchMatchesSequential(t *testing.T) {
+	seqIdx, r1 := testIndex(t, 77, 300)
+	batIdx, _ := testIndex(t, 77, 300)
+
+	const batch = 16
+	vecs := make([][]float32, batch)
+	out := make([]Result, batch)
+	for trial := 0; trial < 12; trial++ {
+		for i := range vecs {
+			v := make([]float32, 32)
+			for d := range v {
+				v[d] = float32(r1.NormFloat64())
+			}
+			vecs[i] = v
+		}
+		got, err := batIdx.QueryBatch(vecs, out)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i, vec := range vecs {
+			want, err := seqIdx.Query(vec)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if want != got[i] {
+				t.Fatalf("trial %d sample %d: Query %+v != QueryBatch %+v", trial, i, want, got[i])
+			}
+		}
+	}
+}
+
+// TestQueryZeroAllocsSteadyState asserts repeated queries reuse the
+// index-owned scratch.
+func TestQueryZeroAllocsSteadyState(t *testing.T) {
+	idx, r := testIndex(t, 5, 200)
+	vec := make([]float32, 32)
+	for d := range vec {
+		vec[d] = float32(r.NormFloat64())
+	}
+	if _, err := idx.Query(vec); err != nil { // warm scratch
+		t.Fatal(err)
+	}
+	if n := testing.AllocsPerRun(300, func() {
+		if _, err := idx.Query(vec); err != nil {
+			t.Fatal(err)
+		}
+	}); n != 0 {
+		t.Errorf("Query allocates %v/op at steady state, want 0", n)
+	}
+}
+
+func TestQueryBatchRejectsBadShapes(t *testing.T) {
+	idx, _ := testIndex(t, 1, 10)
+	if _, err := idx.QueryBatch(make([][]float32, 4), make([]Result, 3)); err == nil {
+		t.Fatal("short out slice accepted")
+	}
+	if _, err := idx.QueryBatch([][]float32{make([]float32, 7)}, make([]Result, 1)); err == nil {
+		t.Fatal("wrong-dim vector accepted")
+	}
+}

@@ -1,0 +1,125 @@
+// Package benchsuite defines the runnable bodies of the repository's
+// headline and hot-path benchmarks, shared between `go test -bench` (the
+// root bench_test.go wraps them) and cmd/coca-bench's -bench mode (which
+// drives them through testing.Benchmark and emits BENCH_<date>.json via
+// internal/perfjson). Keeping one definition ensures the numbers in a
+// committed BENCH file and an interactive benchmark run measure the same
+// thing.
+package benchsuite
+
+import (
+	"context"
+	"testing"
+
+	"coca/internal/core"
+	"coca/internal/dataset"
+	"coca/internal/model"
+	"coca/internal/semantics"
+	"coca/internal/stream"
+	"coca/internal/xrand"
+)
+
+// Scale selects the inference-path workload size.
+type Scale string
+
+const (
+	// ScaleRef is the paper's reference operating point: ResNet101 on a
+	// 50-class UCF101 subset with a 300-entry budget.
+	ScaleRef Scale = "ref"
+	// ScaleFleet is a production-leaning point: 100 classes and a
+	// 1000-entry budget, the regime a heavily loaded edge deployment
+	// caches at.
+	ScaleFleet Scale = "fleet"
+)
+
+// Headline reproduces the paper's headline claim per iteration (CoCa on
+// the reference workload) and reports the virtual latency reduction and
+// accuracy as benchmark metrics.
+func Headline(b *testing.B) {
+	var lastReduction, lastAccuracy float64
+	for i := 0; i < b.N; i++ {
+		seed := uint64(i) + 1
+		ds := dataset.UCF101().Subset(50)
+		space := semantics.NewSpace(ds, model.ResNet101())
+		cl, err := core.NewCluster(space, core.ClusterConfig{
+			NumClients: 4,
+			Client: core.ClientConfig{
+				Theta: 0.012, Budget: 300, RoundFrames: 300,
+				EnvBiasWeight: 0.05,
+			},
+			Server: core.ServerConfig{Theta: 0.012, Seed: seed},
+			Stream: stream.Config{
+				ClassWeights:    xrand.LongTailWeights(ds.NumClasses, 10),
+				NonIIDLevel:     1,
+				SceneMeanFrames: 25,
+				WorkingSetSize:  15,
+				WorkingSetChurn: 0.05,
+				Seed:            seed,
+			},
+			Rounds: 6, SkipRounds: 1,
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		_, combined, err := cl.Run()
+		if err != nil {
+			b.Fatal(err)
+		}
+		sum := combined.Summary()
+		lastReduction = 1 - sum.AvgLatencyMs/space.Arch.TotalLatencyMs()
+		lastAccuracy = sum.Accuracy
+	}
+	b.ReportMetric(100*lastReduction, "latency-reduction-%")
+	b.ReportMetric(100*lastAccuracy, "accuracy-%")
+}
+
+// InferencePath measures the real (host) cost per sample of the cached
+// inference hot path — Client.InferBatch over a warm allocation — at the
+// given batch size. ns/op is per sample, so throughput across batch sizes
+// compares directly. Stream generation runs outside the timed loop.
+func InferencePath(b *testing.B, scale Scale, batch int) {
+	if batch < 1 {
+		b.Fatalf("benchsuite: batch %d < 1", batch)
+	}
+	classes, budget := 50, 300
+	if scale == ScaleFleet {
+		classes, budget = 100, 1000
+	}
+	space := semantics.NewSpace(dataset.UCF101().Subset(classes), model.ResNet101())
+	srv := core.NewServer(space, core.ServerConfig{Theta: 0.012, Seed: 1})
+	client, err := core.NewClient(context.Background(), space, srv, core.ClientConfig{
+		Theta: 0.012, Budget: budget, RoundFrames: 300,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	part, err := stream.NewPartition(stream.Config{
+		Dataset: space.DS, NumClients: 1, SceneMeanFrames: 25,
+		WorkingSetSize: 15, WorkingSetChurn: 0.05, Seed: 1,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	gen := part.Client(0)
+	if err := client.BeginRound(); err != nil {
+		b.Fatal(err)
+	}
+	// A ring of pre-drawn batches keeps stream generation out of the
+	// timed loop while still varying the frames each iteration sees.
+	const ring = 64
+	batches := make([][]dataset.Sample, ring)
+	for i := range batches {
+		batches[i] = gen.Take(batch)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	// Exactly b.N samples pass through the engine, so ns/op is per sample
+	// at every batch size (the final batch is trimmed to the remainder).
+	for n := 0; n < b.N; n += batch {
+		chunk := batches[(n/batch)%ring]
+		if left := b.N - n; left < len(chunk) {
+			chunk = chunk[:left]
+		}
+		client.InferBatch(chunk)
+	}
+}

@@ -1,0 +1,107 @@
+package cache
+
+import (
+	"math/rand/v2"
+	"testing"
+)
+
+func randLayer(r *rand.Rand, site, entries, dim, classSpread int) Layer {
+	l := Layer{Site: site}
+	for i := 0; i < entries; i++ {
+		v := make([]float32, dim)
+		for d := range v {
+			v[d] = float32(r.NormFloat64())
+		}
+		l.Classes = append(l.Classes, r.IntN(classSpread))
+		l.Entries = append(l.Entries, v)
+	}
+	return l
+}
+
+// TestBatchProbeMatchesProbe drives the batched probe and per-sample
+// probes over identical random layers and requires bitwise-equal results
+// and accumulator states at every step.
+func TestBatchProbeMatchesProbe(t *testing.T) {
+	r := rand.New(rand.NewPCG(11, 13))
+	cfg := Config{Alpha: DefaultAlpha, Theta: 0.01}
+	const batch, dim, layers = 9, 64, 5
+
+	seq := make([]*Lookup, batch)
+	bat := make([]*Lookup, batch)
+	for i := range seq {
+		seq[i] = NewLookup(cfg)
+		bat[i] = NewLookup(cfg)
+	}
+	var bp BatchProbe
+	out := make([]Result, batch)
+	vecs := make([][]float32, batch)
+
+	for trial := 0; trial < 20; trial++ {
+		for i := range seq {
+			seq[i].Reset()
+			bat[i].Reset()
+		}
+		for li := 0; li < layers; li++ {
+			layer := randLayer(r, li, 1+r.IntN(13), dim, 12)
+			for i := range vecs {
+				v := make([]float32, dim)
+				for d := range v {
+					v[d] = float32(r.NormFloat64())
+				}
+				vecs[i] = v
+			}
+			bp.Probe(&layer, vecs, bat, out)
+			for i := range vecs {
+				want := seq[i].Probe(&layer, vecs[i])
+				if want != out[i] {
+					t.Fatalf("trial %d layer %d sample %d: Probe %+v != BatchProbe %+v", trial, li, i, want, out[i])
+				}
+			}
+		}
+		for i := range seq {
+			sa, ba := seq[i].Accumulated(), bat[i].Accumulated()
+			if len(sa) != len(ba) {
+				t.Fatalf("trial %d sample %d: accumulator sizes diverged", trial, i)
+			}
+			for class, v := range sa {
+				if ba[class] != v {
+					t.Fatalf("trial %d sample %d class %d: accumulated %v != %v", trial, i, class, v, ba[class])
+				}
+			}
+		}
+	}
+}
+
+// TestProbeZeroAllocsSteadyState asserts the per-sample probe path stays
+// allocation-free once the accumulator has grown to the class universe.
+func TestProbeZeroAllocsSteadyState(t *testing.T) {
+	r := rand.New(rand.NewPCG(3, 5))
+	lk := NewLookup(Config{Alpha: DefaultAlpha, Theta: 0.01})
+	layer := randLayer(r, 0, 24, 64, 40)
+	vec := make([]float32, 64)
+	for d := range vec {
+		vec[d] = float32(r.NormFloat64())
+	}
+	lk.Reset()
+	lk.Probe(&layer, vec) // warm: grow accumulator and touched list
+	if n := testing.AllocsPerRun(200, func() {
+		lk.Reset()
+		lk.Probe(&layer, vec)
+	}); n != 0 {
+		t.Errorf("Probe allocates %v/op at steady state, want 0", n)
+	}
+
+	var bp BatchProbe
+	vecs := [][]float32{vec, vec, vec, vec}
+	lks := []*Lookup{lk, NewLookup(lk.Config()), NewLookup(lk.Config()), NewLookup(lk.Config())}
+	out := make([]Result, len(vecs))
+	bp.Probe(&layer, vecs, lks, out) // warm the batch scratch
+	if n := testing.AllocsPerRun(200, func() {
+		for _, l := range lks {
+			l.Reset()
+		}
+		bp.Probe(&layer, vecs, lks, out)
+	}); n != 0 {
+		t.Errorf("BatchProbe allocates %v/op at steady state, want 0", n)
+	}
+}

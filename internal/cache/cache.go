@@ -145,10 +145,15 @@ type Result struct {
 
 // Lookup carries the cross-layer accumulated similarities of one inference
 // (Eq. 1 state). It must be Reset between samples; it is not safe for
-// concurrent use.
+// concurrent use. The steady-state Probe path is allocation-free: the
+// per-class accumulator is an epoch-stamped slice that grows once to the
+// highest class id and is then reused across samples.
 type Lookup struct {
-	cfg Config
-	acc map[int]float64
+	cfg     Config
+	acc     []float64 // by class; valid iff stamp[class] == epoch
+	stamp   []uint64
+	epoch   uint64
+	touched []int // classes accumulated since Reset, in first-touch order
 }
 
 // NewLookup returns a lookup context. It panics on invalid configuration:
@@ -157,50 +162,62 @@ func NewLookup(cfg Config) *Lookup {
 	if err := cfg.Validate(); err != nil {
 		panic(err)
 	}
-	return &Lookup{cfg: cfg, acc: make(map[int]float64)}
+	return &Lookup{cfg: cfg, epoch: 1}
 }
 
 // Reset clears accumulated state for a new sample.
 func (l *Lookup) Reset() {
-	clear(l.acc)
+	l.epoch++
+	l.touched = l.touched[:0]
 }
 
 // Config returns the lookup parameters.
 func (l *Lookup) Config() Config { return l.cfg }
 
-// Probe runs the Eq. 1 / Eq. 2 update for one activated layer against the
-// sample's semantic vector at that layer.
-func (l *Lookup) Probe(layer *Layer, vec []float32) Result {
-	n := layer.Len()
-	if n == 0 {
-		return Result{LayerClass: -1}
+// grow ensures the accumulator covers class ids up to maxClass.
+func (l *Lookup) grow(maxClass int) {
+	if maxClass < len(l.acc) {
+		return
 	}
-	rawBest, rawBestClass := -1e18, -1
-	for i, class := range layer.Classes {
-		c := float64(vecmath.Cosine(vec, layer.Entries[i]))
-		if c > rawBest {
-			rawBest, rawBestClass = c, class
-		}
-		l.acc[class] = c + l.cfg.Alpha*l.acc[class]
+	acc := make([]float64, maxClass+1)
+	stamp := make([]uint64, maxClass+1)
+	copy(acc, l.acc)
+	copy(stamp, l.stamp)
+	l.acc, l.stamp = acc, stamp
+}
+
+// fold applies one entry's similarity score to the Eq. 1 accumulator.
+func (l *Lookup) fold(class int, score float64) {
+	prev := 0.0
+	if l.stamp[class] == l.epoch {
+		prev = l.acc[class]
+	} else {
+		l.stamp[class] = l.epoch
+		l.touched = append(l.touched, class)
 	}
-	res := Result{Entries: n, LayerClass: rawBestClass}
-	if len(l.acc) < 2 {
+	l.acc[class] = score + l.cfg.Alpha*prev
+}
+
+// finish computes the Eq. 2 decision over the accumulated classes.
+func (l *Lookup) finish(entries, rawBestClass int) Result {
+	res := Result{Entries: entries, LayerClass: rawBestClass}
+	if len(l.touched) < 2 {
 		// A single cached class can never clear Eq. 2; report a miss
 		// with zero score.
 		return res
 	}
-	var bestClass, secondClass int
+	bestClass := -1
 	best, second := -1e18, -1e18
-	for class, a := range l.acc {
+	for _, class := range l.touched {
+		a := l.acc[class]
 		switch {
 		case a > best:
-			second, secondClass = best, bestClass
+			second = best
 			best, bestClass = a, class
 		case a > second:
-			second, secondClass = a, class
+			second = a
 		}
 	}
-	_ = secondClass
 	if second <= 0 {
 		// Degenerate accumulations (non-positive runner-up) cannot be
 		// scored by Eq. 2's ratio; treat as a miss.
@@ -214,12 +231,114 @@ func (l *Lookup) Probe(layer *Layer, vec []float32) Result {
 	return res
 }
 
+// maxClass returns the largest class id cached at the layer.
+func (layer *Layer) maxClass() int {
+	m := -1
+	for _, c := range layer.Classes {
+		if c > m {
+			m = c
+		}
+	}
+	return m
+}
+
+// Probe runs the Eq. 1 / Eq. 2 update for one activated layer against the
+// sample's semantic vector at that layer. Steady-state calls are
+// allocation-free.
+func (l *Lookup) Probe(layer *Layer, vec []float32) Result {
+	n := layer.Len()
+	if n == 0 {
+		return Result{LayerClass: -1}
+	}
+	l.grow(layer.maxClass())
+	rawBest, rawBestClass := -1e18, -1
+	for i, class := range layer.Classes {
+		c := float64(vecmath.Cosine(vec, layer.Entries[i]))
+		if c > rawBest {
+			rawBest, rawBestClass = c, class
+		}
+		l.fold(class, c)
+	}
+	return l.finish(n, rawBestClass)
+}
+
+// probeScored folds one layer's precomputed per-entry cosine scores —
+// scores[i] = Cosine(vec, layer.Entries[i]) — into the accumulator and
+// returns the same Result Probe would. maxClass is the layer's largest
+// class id, computed once per (layer, batch) by BatchProbe.
+func (l *Lookup) probeScored(layer *Layer, scores []float32, maxClass int) Result {
+	n := layer.Len()
+	if n == 0 {
+		return Result{LayerClass: -1}
+	}
+	l.grow(maxClass)
+	rawBest, rawBestClass := -1e18, -1
+	for i, class := range layer.Classes {
+		c := float64(scores[i])
+		if c > rawBest {
+			rawBest, rawBestClass = c, class
+		}
+		l.fold(class, c)
+	}
+	return l.finish(n, rawBestClass)
+}
+
 // Accumulated returns a copy of the current per-class accumulated scores
 // (diagnostic; used by tests and the motivation experiments).
 func (l *Lookup) Accumulated() map[int]float64 {
-	out := make(map[int]float64, len(l.acc))
-	for k, v := range l.acc {
-		out[k] = v
+	out := make(map[int]float64, len(l.touched))
+	for _, class := range l.touched {
+		out[class] = l.acc[class]
 	}
 	return out
+}
+
+// BatchProbe probes one layer for a whole batch of samples at once,
+// producing exactly the Results of per-sample Probe calls while amortizing
+// per-layer staging across the batch: the layer's entries are widened to
+// float64 and their squared norms computed once per (layer, batch) instead
+// of once per (layer, sample), and the cosine kernel runs tiled over
+// entries with a convert-free inner loop. The scratch buffers are owned by
+// the BatchProbe and reused; it is not safe for concurrent use.
+type BatchProbe struct {
+	wide   []float64 // widened entries of the current layer
+	norm2  []float64 // their squared norms
+	vec64  []float64 // widened query of the current sample
+	scores []float32 // its per-entry cosine scores
+}
+
+// Probe probes layer for every sample i, folding scores into lks[i] (the
+// sample's Eq. 1 state) and writing Probe-identical results to out[i].
+// vecs[i] is sample i's semantic vector at the layer. Steady-state calls
+// are allocation-free.
+func (bp *BatchProbe) Probe(layer *Layer, vecs [][]float32, lks []*Lookup, out []Result) {
+	if len(lks) < len(vecs) || len(out) < len(vecs) {
+		panic(fmt.Sprintf("cache: BatchProbe lks/out length %d/%d < %d", len(lks), len(out), len(vecs)))
+	}
+	n := layer.Len()
+	if n == 0 {
+		for i := range vecs {
+			out[i] = Result{LayerClass: -1}
+		}
+		return
+	}
+	dim := len(layer.Entries[0])
+	if cap(bp.wide) < n*dim {
+		bp.wide = make([]float64, n*dim)
+		bp.norm2 = make([]float64, n)
+		bp.scores = make([]float32, n)
+	}
+	if cap(bp.vec64) < dim {
+		bp.vec64 = make([]float64, dim)
+	}
+	wide := bp.wide[:n*dim]
+	norm2 := bp.norm2[:n]
+	scores := bp.scores[:n]
+	vecmath.Widen64(layer.Entries, dim, wide, norm2)
+	maxClass := layer.maxClass()
+	for i, vec := range vecs {
+		vn := vecmath.WidenVec(vec, bp.vec64)
+		vecmath.CosinesWidened(bp.vec64[:dim], vn, wide, dim, n, norm2, scores)
+		out[i] = lks[i].probeScored(layer, scores, maxClass)
+	}
 }

@@ -125,10 +125,10 @@ type Client struct {
 	ctx   context.Context
 	sess  Session
 
-	local  *cache.Local
-	lookup *cache.Lookup
-	view   *AllocView
-	frozen *Allocation // first allocation, when DisableDynamicAllocation
+	local   *cache.Local
+	scratch batchScratch
+	view    *AllocView
+	frozen  *Allocation // first allocation, when DisableDynamicAllocation
 
 	tau      []int
 	freq     *gtable.Frequencies
@@ -174,7 +174,6 @@ func NewClient(ctx context.Context, space *semantics.Space, coord Coordinator, c
 		ctx:         ctx,
 		sess:        sess,
 		local:       cache.Empty(),
-		lookup:      cache.NewLookup(cache.Config{Alpha: cfg.Alpha, Theta: cfg.Theta}),
 		view:        NewAllocView(),
 		tau:         make([]int, space.DS.NumClasses),
 		freq:        gtable.NewFrequencies(space.DS.NumClasses),
@@ -183,6 +182,9 @@ func NewClient(ctx context.Context, space *semantics.Space, coord Coordinator, c
 		savedMs:     append([]float64(nil), info.SavedMs...),
 		roundHitsBy: make([]int, space.Arch.NumLayers),
 	}
+	c.scratch.lookupCfg = cache.Config{Alpha: cfg.Alpha, Theta: cfg.Theta}
+	// Surface invalid lookup parameters now rather than at first inference.
+	cache.NewLookup(c.scratch.lookupCfg)
 	if cfg.EnvBiasWeight != 0 || cfg.DriftWeight != 0 {
 		c.env = semantics.NewEnv(cfg.EnvSeed, cfg.EnvBiasWeight)
 		c.env.DriftWeight = cfg.DriftWeight
@@ -342,54 +344,260 @@ func (c *Client) updateHitRatio() {
 	}
 }
 
+// fusedBatchMin is the smallest batch the fused site-major path pays off
+// for: below it, the per-layer entry-norm precompute cannot amortize and
+// the per-sample path is faster.
+const fusedBatchMin = 4
+
+// inferState is one batch slot's in-flight inference.
+type inferState struct {
+	latency   float64
+	lookupMs  float64
+	nextBlock int // next block-latency index to charge
+	probes    int // activated layers probed so far
+	hit       bool
+	hitSite   int     // serving site on a hit
+	hitOrd    int     // ordinal of the serving layer among activated layers
+	class     int     // hit class
+	score     float64 // discriminative score of the hit (collection gate)
+	predClass int     // full-model prediction on a miss
+	predGap   float32 // its top-2 probability gap (collection gate)
+}
+
+// batchScratch holds the client-owned buffers of the allocation-free
+// inference hot path. Everything is grown once to the high-water batch and
+// allocation shape and then reused; see Client.InferBatch.
+type batchScratch struct {
+	lookupCfg cache.Config
+	sem       *semantics.Scratch
+	bp        cache.BatchProbe
+	lks       []*cache.Lookup
+	states    []inferState
+	res       []engine.Result
+	active    []*cache.Layer // activated non-empty layers, ascending sites
+	flat      []float32      // vector store backing: (slot, ordinal) rows
+	agree     []int          // per-(slot, ordinal) raw layer winner
+	alive     []int          // slots still probing, ascending
+	aliveVecs [][]float32
+	aliveLks  []*cache.Lookup
+	probeOut  []cache.Result
+	absorb    []float32 // deep-site regeneration buffer
+	one       [1]dataset.Sample
+	slots     int // current capacity in batch slots
+	rows      int // activated layers the vector store is shaped for
+}
+
+// ensure shapes the scratch for a batch of n over the current allocation.
+func (c *Client) ensure(n int) {
+	sc := &c.scratch
+	if sc.sem == nil {
+		sc.sem = c.space.NewScratch()
+		sc.absorb = make([]float32, model.Dim)
+	}
+	sc.active = sc.active[:0]
+	layers := c.local.Layers()
+	for i := range layers {
+		if layers[i].Len() > 0 {
+			sc.active = append(sc.active, &layers[i])
+		}
+	}
+	rows := len(sc.active)
+	for len(sc.lks) < n {
+		sc.lks = append(sc.lks, cache.NewLookup(sc.lookupCfg))
+	}
+	if n > sc.slots || rows > sc.rows {
+		if n < sc.slots {
+			n = sc.slots
+		}
+		if rows < sc.rows {
+			rows = sc.rows
+		}
+		sc.states = make([]inferState, n)
+		sc.res = make([]engine.Result, n)
+		sc.flat = make([]float32, n*rows*model.Dim)
+		sc.agree = make([]int, n*rows)
+		sc.alive = make([]int, 0, n)
+		sc.aliveVecs = make([][]float32, n)
+		sc.aliveLks = make([]*cache.Lookup, n)
+		sc.probeOut = make([]cache.Result, n)
+		sc.slots, sc.rows = n, rows
+	}
+}
+
+// vecRow returns the stored semantic vector of batch slot s at activated
+// layer ordinal ord.
+func (sc *batchScratch) vecRow(s, ord int) []float32 {
+	base := (s*sc.rows + ord) * model.Dim
+	return sc.flat[base : base+model.Dim : base+model.Dim]
+}
+
+// initState charges a slot's round-amortized coordination cost.
+func (c *Client) initState(st *inferState) {
+	*st = inferState{hitSite: -1, hitOrd: -1, predClass: -1}
+	if c.cfg.CoordPerRoundMs > 0 {
+		st.latency += c.cfg.CoordPerRoundMs / float64(c.cfg.RoundFrames)
+	}
+}
+
+// advanceBlocks charges block latencies up to and including block j,
+// adding them one by one so float accumulation order matches the
+// sequential reference path exactly.
+func (st *inferState) advanceBlocks(blockMs []float64, j int) {
+	for ; st.nextBlock <= j; st.nextBlock++ {
+		st.latency += blockMs[st.nextBlock]
+	}
+}
+
 // Infer implements engine.Engine: sequential block execution with cache
 // probes at activated sites, early exit on hit, full prediction on miss
-// (§II-3, §IV-C).
+// (§II-3, §IV-C). It is the batch-of-1 case of InferBatch and shares its
+// allocation-free scratch.
 func (c *Client) Infer(smp dataset.Sample) engine.Result {
+	c.scratch.one[0] = smp
+	return c.InferBatch(c.scratch.one[:1])[0]
+}
+
+// InferBatch processes a batch of samples through the cached-inference hot
+// path and returns one result per sample, exactly equal to len(smps)
+// sequential Infer calls (same predictions, latencies, collection and
+// status updates, in the same order). Batches of fusedBatchMin or more run
+// site-major: each activated layer is probed for the whole batch at once,
+// amortizing per-layer entry norms across samples and keeping the layer's
+// entries hot in cache. The returned slice is owned by the client and only
+// valid until the next Infer/InferBatch call.
+func (c *Client) InferBatch(smps []dataset.Sample) []engine.Result {
+	c.ensure(len(smps))
+	sc := &c.scratch
+	if len(smps) == 0 {
+		return sc.res[:0]
+	}
+	if len(smps) < fusedBatchMin {
+		c.probeSequential(smps)
+	} else {
+		c.probeFused(smps)
+	}
+	c.predictMisses(smps)
+	c.apply(smps)
+	return sc.res[:len(smps)]
+}
+
+// probeSequential runs the probe phase sample-major with per-pair cosine
+// probes — optimal for tiny batches, and the reference the fused path must
+// match bitwise.
+func (c *Client) probeSequential(smps []dataset.Sample) {
+	sc := &c.scratch
 	arch := c.space.Arch
-	c.lookup.Reset()
-	var latency, lookupMs float64
-	if c.cfg.CoordPerRoundMs > 0 {
-		latency += c.cfg.CoordPerRoundMs / float64(c.cfg.RoundFrames)
+	for s := range smps {
+		st := &sc.states[s]
+		c.initState(st)
+		lk := sc.lks[s]
+		lk.Reset()
+		for ord, layer := range sc.active {
+			st.advanceBlocks(arch.BlockLatencyMs, layer.Site)
+			vec := sc.vecRow(s, ord)
+			c.space.SampleVectorInto(vec, smps[s], layer.Site, c.env, sc.sem)
+			cost := arch.LookupCostMs(layer.Len())
+			st.latency += cost
+			st.lookupMs += cost
+			pr := lk.Probe(layer, vec)
+			sc.agree[s*sc.rows+ord] = pr.LayerClass
+			st.probes = ord + 1
+			if pr.Hit {
+				st.hit = true
+				st.hitSite, st.hitOrd = layer.Site, ord
+				st.class, st.score = pr.Class, pr.Score
+				break
+			}
+		}
+		if !st.hit {
+			st.advanceBlocks(arch.BlockLatencyMs, arch.NumLayers)
+		}
 	}
-	res := engine.Result{Pred: -1, HitLayer: -1}
+}
 
-	// Vectors computed at activated sites this inference, for hit-type
-	// collection ("limited to the point of the cache hit"). Each records
-	// the site's raw winner so only sites whose own evidence agrees with
-	// the hit class are uploaded — shallow sites where the frame is not
-	// yet discriminative would otherwise erode the global entries.
-	type probed struct {
-		site  int
-		vec   []float32
-		agree int
+// probeFused runs the probe phase site-major: at every activated layer the
+// still-undecided samples' vectors are generated and probed together
+// through cache.BatchProbe. Per-sample decisions and bookkeeping are
+// identical to probeSequential; only the execution order across samples —
+// which no per-sample state depends on — differs.
+func (c *Client) probeFused(smps []dataset.Sample) {
+	sc := &c.scratch
+	arch := c.space.Arch
+	sc.alive = sc.alive[:0]
+	for s := range smps {
+		c.initState(&sc.states[s])
+		sc.lks[s].Reset()
+		sc.alive = append(sc.alive, s)
 	}
-	var seen []probed
-
-	for j := 0; j <= arch.NumLayers; j++ {
-		latency += arch.BlockLatencyMs[j]
-		if j == arch.NumLayers {
+	for ord, layer := range sc.active {
+		if len(sc.alive) == 0 {
 			break
 		}
-		layer := c.local.LayerAt(j)
-		if layer == nil || layer.Len() == 0 {
+		cost := arch.LookupCostMs(layer.Len())
+		for i, s := range sc.alive {
+			st := &sc.states[s]
+			st.advanceBlocks(arch.BlockLatencyMs, layer.Site)
+			vec := sc.vecRow(s, ord)
+			c.space.SampleVectorInto(vec, smps[s], layer.Site, c.env, sc.sem)
+			st.latency += cost
+			st.lookupMs += cost
+			sc.aliveVecs[i] = vec
+			sc.aliveLks[i] = sc.lks[s]
+		}
+		sc.bp.Probe(layer, sc.aliveVecs[:len(sc.alive)], sc.aliveLks[:len(sc.alive)], sc.probeOut)
+		next := sc.alive[:0]
+		for i, s := range sc.alive {
+			pr := sc.probeOut[i]
+			st := &sc.states[s]
+			sc.agree[s*sc.rows+ord] = pr.LayerClass
+			st.probes = ord + 1
+			if pr.Hit {
+				st.hit = true
+				st.hitSite, st.hitOrd = layer.Site, ord
+				st.class, st.score = pr.Class, pr.Score
+			} else {
+				next = append(next, s)
+			}
+		}
+		sc.alive = next
+	}
+	for _, s := range sc.alive {
+		sc.states[s].advanceBlocks(arch.BlockLatencyMs, arch.NumLayers)
+	}
+}
+
+// predictMisses runs the full model for every missed slot (pure
+// computation; order across slots is immaterial).
+func (c *Client) predictMisses(smps []dataset.Sample) {
+	sc := &c.scratch
+	for s := range smps {
+		st := &sc.states[s]
+		if st.hit {
 			continue
 		}
-		vec := c.space.SampleVector(smp, j, c.env)
-		cost := arch.LookupCostMs(layer.Len())
-		latency += cost
-		lookupMs += cost
-		pr := c.lookup.Probe(layer, vec)
-		seen = append(seen, probed{site: j, vec: vec, agree: pr.LayerClass})
-		if pr.Hit {
-			res.Pred = pr.Class
-			res.Hit = true
-			res.HitLayer = j
-			c.roundHitsBy[j]++
+		pred := c.space.PredictScratch(sc.sem, smps[s], c.env)
+		st.predClass = pred.Class
+		st.predGap = pred.Top2Gap()
+	}
+}
+
+// apply commits each slot's side effects — hit reinforcement or miss
+// expansion into the update table, collection statistics and the τ/φ
+// status vectors — in slot order, exactly as sequential Infer calls would.
+func (c *Client) apply(smps []dataset.Sample) {
+	sc := &c.scratch
+	arch := c.space.Arch
+	for s := range smps {
+		st := &sc.states[s]
+		smp := smps[s]
+		res := engine.Result{Pred: -1, HitLayer: -1}
+		if st.hit {
+			res.Pred, res.Hit, res.HitLayer = st.class, true, st.hitSite
+			c.roundHitsBy[st.hitSite]++
 			c.collect.Hits++
-			if !c.cfg.DisableCollection && pr.Score > c.cfg.GammaCollect {
+			if !c.cfg.DisableCollection && st.score > c.cfg.GammaCollect {
 				c.collect.HitAbsorbed++
-				if pr.Class == smp.Class {
+				if st.class == smp.Class {
 					c.collect.HitAbsorbedCorrect++
 				}
 				// "Limited to the point of the cache hit": reinforce the
@@ -399,55 +607,54 @@ func (c *Client) Infer(smp dataset.Sample) engine.Result {
 				// and would only be eroded by its vectors.
 				// Absorb errors only arise from degenerate vectors,
 				// which unit sample vectors never are.
-				_ = c.upd.Absorb(pr.Class, j, vec)
+				_ = c.upd.Absorb(st.class, st.hitSite, sc.vecRow(s, st.hitOrd))
 			}
-			break
-		}
-	}
-
-	if !res.Hit {
-		pred := c.space.Predict(smp, c.env)
-		res.Pred = pred.Class
-		c.collect.Misses++
-		if !c.cfg.DisableCollection && float64(pred.Top2Gap()) > c.cfg.DeltaCollect {
-			c.collect.MissAbsorbed++
-			if pred.Class == smp.Class {
-				c.collect.MissAbsorbedCorrect++
-			}
-			// Expansion vectors: probed sites whose own evidence agrees
-			// with the prediction, plus the sites past the last probe,
-			// where a confidently-classified frame is fully resolved.
-			deepest := -1
-			for _, p := range seen {
-				if p.agree == pred.Class {
-					_ = c.upd.Absorb(pred.Class, p.site, p.vec)
+		} else {
+			res.Pred = st.predClass
+			c.collect.Misses++
+			if !c.cfg.DisableCollection && float64(st.predGap) > c.cfg.DeltaCollect {
+				c.collect.MissAbsorbed++
+				if st.predClass == smp.Class {
+					c.collect.MissAbsorbedCorrect++
 				}
-				deepest = p.site
-			}
-			for j := deepest + 1; j < arch.NumLayers; j++ {
-				_ = c.upd.Absorb(pred.Class, j, c.space.SampleVector(smp, j, c.env))
+				// Expansion vectors: probed sites whose own evidence agrees
+				// with the prediction, plus the sites past the last probe,
+				// where a confidently-classified frame is fully resolved.
+				deepest := -1
+				for ord := 0; ord < st.probes; ord++ {
+					site := sc.active[ord].Site
+					if sc.agree[s*sc.rows+ord] == st.predClass {
+						_ = c.upd.Absorb(st.predClass, site, sc.vecRow(s, ord))
+					}
+					deepest = site
+				}
+				for j := deepest + 1; j < arch.NumLayers; j++ {
+					c.space.SampleVectorInto(sc.absorb, smp, j, c.env, sc.sem)
+					_ = c.upd.Absorb(st.predClass, j, sc.absorb)
+				}
 			}
 		}
-	}
 
-	// Status-vector maintenance (§IV-C).
-	statusClass := smp.Class
-	if c.cfg.PredictedLabelStatus {
-		statusClass = res.Pred
-	}
-	for i := range c.tau {
-		c.tau[i]++
-	}
-	c.tau[statusClass] = 0
-	c.freq.Observe(statusClass)
-	c.roundFrames++
+		// Status-vector maintenance (§IV-C).
+		statusClass := smp.Class
+		if c.cfg.PredictedLabelStatus {
+			statusClass = res.Pred
+		}
+		for i := range c.tau {
+			c.tau[i]++
+		}
+		c.tau[statusClass] = 0
+		c.freq.Observe(statusClass)
+		c.roundFrames++
 
-	res.LatencyMs = latency
-	res.LookupMs = lookupMs
-	return res
+		res.LatencyMs = st.latency
+		res.LookupMs = st.lookupMs
+		sc.res[s] = res
+	}
 }
 
 var (
-	_ engine.Engine     = (*Client)(nil)
-	_ engine.RoundHooks = (*Client)(nil)
+	_ engine.Engine      = (*Client)(nil)
+	_ engine.BatchEngine = (*Client)(nil)
+	_ engine.RoundHooks  = (*Client)(nil)
 )

@@ -12,6 +12,7 @@ package dataset
 
 import (
 	"fmt"
+	"math/rand/v2"
 
 	"coca/internal/xrand"
 )
@@ -107,7 +108,18 @@ type Sample struct {
 // difficulty, rooting its noise at the given seed parts.
 func (s *Spec) NewSample(class int, seedParts ...uint64) Sample {
 	seed := xrand.HashSeed(append([]uint64{s.Seed, uint64(class)}, seedParts...)...)
-	r := xrand.New(seed)
+	return s.sampleAt(xrand.New(seed), class, seed)
+}
+
+// StreamSample is NewSample(class, p0, p1, p2) drawing through a reused
+// stream: identical results, no allocation. The three fixed seed parts
+// match the (workload seed, client, frame) addressing of stream.Generator.
+func (s *Spec) StreamSample(st *xrand.Stream, class int, p0, p1, p2 uint64) Sample {
+	seed := xrand.HashSeed(s.Seed, uint64(class), p0, p1, p2)
+	return s.sampleAt(st.Seed(xrand.HashSeed(seed)), class, seed)
+}
+
+func (s *Spec) sampleAt(r *rand.Rand, class int, seed uint64) Sample {
 	d := xrand.Beta(r, s.DifficultyAlpha, s.DifficultyBeta)
 	if d >= 1 {
 		d = 0.999999

@@ -1,0 +1,109 @@
+package engine
+
+import (
+	"testing"
+
+	"coca/internal/dataset"
+	"coca/internal/stream"
+)
+
+// chunkEngine records how frames were delivered.
+type chunkEngine struct {
+	chunks  []int
+	samples []dataset.Sample
+}
+
+func (e *chunkEngine) Infer(smp dataset.Sample) Result {
+	e.chunks = append(e.chunks, 1)
+	e.samples = append(e.samples, smp)
+	return Result{Pred: smp.Class, HitLayer: -1}
+}
+
+func (e *chunkEngine) InferBatch(smps []dataset.Sample) []Result {
+	e.chunks = append(e.chunks, len(smps))
+	e.samples = append(e.samples, smps...)
+	out := make([]Result, len(smps))
+	for i, smp := range smps {
+		out[i] = Result{Pred: smp.Class, HitLayer: -1}
+	}
+	return out
+}
+
+func driverGens(t *testing.T, n int) []*stream.Generator {
+	t.Helper()
+	part, err := stream.NewPartition(stream.Config{
+		Dataset: dataset.ESC50().Subset(10), NumClients: n, Seed: 4,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	gens := make([]*stream.Generator, n)
+	for i := range gens {
+		gens[i] = part.Client(i)
+	}
+	return gens
+}
+
+// TestRunRoundsBatchChunks verifies the batched round driver cuts each
+// round's frames into BatchSize chunks (with a ragged tail), draws the
+// same stream, and records the same metrics as the per-sample driver.
+func TestRunRoundsBatchChunks(t *testing.T) {
+	eng := &chunkEngine{}
+	_, combinedBatched, err := RunRounds([]Engine{eng}, driverGens(t, 1), RunConfig{
+		Rounds: 2, FramesPerRound: 70, BatchSize: 32,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantChunks := []int{32, 32, 6, 32, 32, 6}
+	if len(eng.chunks) != len(wantChunks) {
+		t.Fatalf("chunks %v, want %v", eng.chunks, wantChunks)
+	}
+	for i, n := range wantChunks {
+		if eng.chunks[i] != n {
+			t.Fatalf("chunks %v, want %v", eng.chunks, wantChunks)
+		}
+	}
+
+	plain := &chunkEngine{}
+	_, combinedPlain, err := RunRounds([]Engine{plain}, driverGens(t, 1), RunConfig{
+		Rounds: 2, FramesPerRound: 70,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(plain.samples) != len(eng.samples) {
+		t.Fatalf("sample counts diverged: %d != %d", len(plain.samples), len(eng.samples))
+	}
+	for i := range plain.samples {
+		if plain.samples[i] != eng.samples[i] {
+			t.Fatalf("sample %d diverged", i)
+		}
+	}
+	sp, sb := combinedPlain.Summary(), combinedBatched.Summary()
+	if sp.Frames != sb.Frames || sp.AvgLatencyMs != sb.AvgLatencyMs || sp.Accuracy != sb.Accuracy || sp.HitRatio != sb.HitRatio {
+		t.Fatalf("summaries diverged: %+v != %+v", sp, sb)
+	}
+}
+
+// plainEngine has no InferBatch; the driver must fall back to Infer even
+// when a batch size is configured.
+type plainEngine struct{ n int }
+
+func (e *plainEngine) Infer(smp dataset.Sample) Result {
+	e.n++
+	return Result{Pred: smp.Class, HitLayer: -1}
+}
+
+func TestRunRoundsBatchFallsBackWithoutBatchEngine(t *testing.T) {
+	eng := &plainEngine{}
+	_, _, err := RunRounds([]Engine{eng}, driverGens(t, 1), RunConfig{
+		Rounds: 1, FramesPerRound: 50, BatchSize: 16,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if eng.n != 50 {
+		t.Fatalf("Infer called %d times, want 50", eng.n)
+	}
+}

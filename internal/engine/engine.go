@@ -33,6 +33,17 @@ type Engine interface {
 	Infer(smp dataset.Sample) Result
 }
 
+// BatchEngine is implemented by engines whose hot path processes batches
+// (CoCa's client). InferBatch must behave exactly like len(smps)
+// sequential Infer calls; the returned slice may be owned by the engine
+// and is only valid until its next inference call. Engines without
+// BatchEngine are driven sample by sample regardless of the configured
+// batch size.
+type BatchEngine interface {
+	Engine
+	InferBatch(smps []dataset.Sample) []Result
+}
+
 // RoundHooks is implemented by engines that coordinate per round (CoCa's
 // allocation/update protocol, SMTM's cache refresh, LearnedCache's
 // retraining).
@@ -62,6 +73,11 @@ type RunConfig struct {
 	// so results stay deterministic while the round's heavy work — the
 	// paper's concurrent multi-client serving load — runs in parallel.
 	Concurrent bool
+	// BatchSize drives each client's frames through BatchEngine.InferBatch
+	// in chunks of this size (drawn from the stream as a batch). 0 or 1
+	// processes frames one at a time. Results are identical either way;
+	// batching only changes the execution schedule.
+	BatchSize int
 }
 
 // RunRounds drives one engine per client over its generator for the
@@ -79,12 +95,26 @@ func RunRounds(engines []Engine, gens []*stream.Generator, cfg RunConfig) (perCl
 	for i := range perClient {
 		perClient[i] = &metrics.Accumulator{}
 	}
+	// Per-client batch-draw buffers, allocated once for the whole run.
+	var bufs [][]dataset.Sample
+	if cfg.BatchSize > 1 {
+		bufs = make([][]dataset.Sample, len(engines))
+		for i := range bufs {
+			bufs[i] = make([]dataset.Sample, cfg.BatchSize)
+		}
+	}
+	clientBuf := func(k int) []dataset.Sample {
+		if bufs == nil {
+			return nil
+		}
+		return bufs[k]
+	}
 	for round := 0; round < cfg.Rounds; round++ {
 		record := round >= cfg.SkipRounds
 		if cfg.Concurrent {
-			err = runRoundConcurrent(engines, gens, perClient, cfg.FramesPerRound, round, record)
+			err = runRoundConcurrent(engines, gens, perClient, cfg, round, record, clientBuf)
 		} else {
-			err = runRoundSequential(engines, gens, perClient, cfg.FramesPerRound, round, record)
+			err = runRoundSequential(engines, gens, perClient, cfg, round, record, clientBuf)
 		}
 		if err != nil {
 			return nil, nil, err
@@ -98,29 +128,51 @@ func RunRounds(engines []Engine, gens []*stream.Generator, cfg RunConfig) (perCl
 }
 
 // runClientRound drives one client through one round's begin hook and
-// frames (the parallelizable part of a round).
-func runClientRound(eng Engine, gen *stream.Generator, acc *metrics.Accumulator, frames, k, round int, record bool) error {
+// frames (the parallelizable part of a round). With a batch size above 1
+// and a BatchEngine, frames are drawn from the stream into buf (the
+// client's reusable batch buffer) and inferred in batches; results are
+// identical to the sample-by-sample schedule.
+func runClientRound(eng Engine, gen *stream.Generator, acc *metrics.Accumulator, cfg RunConfig, k, round int, record bool, buf []dataset.Sample) error {
 	if h, ok := eng.(RoundHooks); ok {
 		if err := h.BeginRound(); err != nil {
 			return fmt.Errorf("engine: client %d round %d begin: %w", k, round, err)
 		}
 	}
+	frames := cfg.FramesPerRound
+	be, batched := eng.(BatchEngine)
+	if cfg.BatchSize > 1 && batched {
+		for f := 0; f < frames; f += len(buf) {
+			n := frames - f
+			if n > len(buf) {
+				n = len(buf)
+			}
+			batch := gen.NextBatch(buf[:n])
+			for i, res := range be.InferBatch(batch) {
+				recordObs(acc, batch[i], res, record)
+			}
+		}
+		return nil
+	}
 	for f := 0; f < frames; f++ {
 		smp := gen.Next()
-		res := eng.Infer(smp)
-		if record {
-			acc.Record(metrics.Obs{
-				LatencyMs: res.LatencyMs,
-				LookupMs:  res.LookupMs,
-				Correct:   res.Pred == smp.Class,
-				Hit:       res.Hit,
-				HitLayer:  res.HitLayer,
-				TrueClass: smp.Class,
-				Pred:      res.Pred,
-			})
-		}
+		recordObs(acc, smp, eng.Infer(smp), record)
 	}
 	return nil
+}
+
+func recordObs(acc *metrics.Accumulator, smp dataset.Sample, res Result, record bool) {
+	if !record {
+		return
+	}
+	acc.Record(metrics.Obs{
+		LatencyMs: res.LatencyMs,
+		LookupMs:  res.LookupMs,
+		Correct:   res.Pred == smp.Class,
+		Hit:       res.Hit,
+		HitLayer:  res.HitLayer,
+		TrueClass: smp.Class,
+		Pred:      res.Pred,
+	})
 }
 
 func endClientRound(eng Engine, k, round int) error {
@@ -132,9 +184,9 @@ func endClientRound(eng Engine, k, round int) error {
 	return nil
 }
 
-func runRoundSequential(engines []Engine, gens []*stream.Generator, perClient []*metrics.Accumulator, frames, round int, record bool) error {
+func runRoundSequential(engines []Engine, gens []*stream.Generator, perClient []*metrics.Accumulator, cfg RunConfig, round int, record bool, clientBuf func(int) []dataset.Sample) error {
 	for k, eng := range engines {
-		if err := runClientRound(eng, gens[k], perClient[k], frames, k, round, record); err != nil {
+		if err := runClientRound(eng, gens[k], perClient[k], cfg, k, round, record, clientBuf(k)); err != nil {
 			return err
 		}
 		if err := endClientRound(eng, k, round); err != nil {
@@ -149,14 +201,14 @@ func runRoundSequential(engines []Engine, gens []*stream.Generator, perClient []
 // order. Ordered uploads keep the global merge sequence — and therefore
 // every metric — deterministic while allocations and inference, the bulk
 // of a round, run fully in parallel.
-func runRoundConcurrent(engines []Engine, gens []*stream.Generator, perClient []*metrics.Accumulator, frames, round int, record bool) error {
+func runRoundConcurrent(engines []Engine, gens []*stream.Generator, perClient []*metrics.Accumulator, cfg RunConfig, round int, record bool, clientBuf func(int) []dataset.Sample) error {
 	errs := make([]error, len(engines))
 	var wg sync.WaitGroup
 	for k := range engines {
 		wg.Add(1)
 		go func(k int) {
 			defer wg.Done()
-			errs[k] = runClientRound(engines[k], gens[k], perClient[k], frames, k, round, record)
+			errs[k] = runClientRound(engines[k], gens[k], perClient[k], cfg, k, round, record, clientBuf(k))
 		}(k)
 	}
 	wg.Wait()

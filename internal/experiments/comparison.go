@@ -75,7 +75,7 @@ func Table2(opts Options) (*Result, error) {
 	ds := dataset.UCF101().Subset(100)
 	out := metrics.NewTable("Table II — latency under SLO accuracy-loss budgets (UCF101-100)",
 		"Model", "Method", "<3% Lat.(ms)", "<3% Acc.(%)", "<5% Lat.(ms)", "<5% Acc.(%)")
-	w := defaultWorkload(ds, opts.Seed)
+	w := opts.workload(ds)
 	w.classWeights = xrand.LongTailWeights(ds.NumClasses, 10)
 	w.nonIID = 1
 	w.workingSet = 20
@@ -110,8 +110,8 @@ func Table3(opts Options) (*Result, error) {
 	out := metrics.NewTable("Table III — uniform vs long-tail (ResNet101, ImageNet-100)",
 		"Method", "Unif Lat.(ms)", "Unif Acc.(%)", "LT Lat.(ms)", "LT Acc.(%)")
 
-	uniform := defaultWorkload(ds, opts.Seed)
-	longtail := defaultWorkload(ds, opts.Seed)
+	uniform := opts.workload(ds)
+	longtail := opts.workload(ds)
 	longtail.classWeights = xrand.LongTailWeights(ds.NumClasses, 90)
 
 	uniRows, err := compareMethods(space, uniform, 8, 300, opts.frames(300), opts.rounds(6), 1, true, opts.Seed)
@@ -152,7 +152,7 @@ func Fig7(opts Options) (*Result, error) {
 		lat := make(map[string][]string)
 		order := []string{}
 		for _, p := range levels {
-			w := defaultWorkload(c.ds, opts.Seed)
+			w := opts.workload(c.ds)
 			w.nonIID = p
 			// A larger working set lets the client's distribution
 			// concentration (the non-IID level) govern effective

@@ -52,7 +52,7 @@ func Fig10a(opts Options) (*Result, error) {
 		if err != nil {
 			return nil, err
 		}
-		w := defaultWorkload(ds, opts.Seed)
+		w := opts.workload(ds)
 		w.classWeights = xrand.LongTailWeights(ds.NumClasses, 90)
 		s, err := runEngines(engines, w, opts.rounds(rounds), frames, skip)
 		if err != nil {

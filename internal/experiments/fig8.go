@@ -28,7 +28,7 @@ func Fig8(opts Options) (*Result, error) {
 	// of the network, where expected benefit ζ = Υ·R is largest.
 	sites := evenSites(arch.NumLayers, 4)
 
-	w := defaultWorkload(ds, opts.Seed)
+	w := opts.workload(ds)
 	w.classWeights = xrand.LongTailWeights(ds.NumClasses, 90)
 
 	out := metrics.NewTable("Fig. 8 — replacement policy comparison (ResNet101, long-tail UCF101-100)",

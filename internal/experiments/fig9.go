@@ -43,7 +43,7 @@ func Fig9(opts Options) (*Result, error) {
 			if err != nil {
 				return nil, err
 			}
-			w := defaultWorkload(ds, opts.Seed)
+			w := opts.workload(ds)
 			s, err := runEngines(engines, w, opts.rounds(6), ms.frames, 1)
 			if err != nil {
 				return nil, err

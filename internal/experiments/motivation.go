@@ -40,7 +40,7 @@ func Fig1a(opts Options) (*Result, error) {
 	arch := model.ResNet101()
 	space := semantics.NewSpace(ds, arch)
 	table := core.InitialTable(space, 64, opts.Seed)
-	w := defaultWorkload(ds, opts.Seed)
+	w := opts.workload(ds)
 	frames := opts.frames(3000)
 	theta := thetaFor(arch, true)
 
@@ -76,7 +76,7 @@ func Fig1b(opts Options) (*Result, error) {
 	arch := model.ResNet101()
 	space := semantics.NewSpace(ds, arch)
 	table := core.InitialTable(space, 64, opts.Seed)
-	w := defaultWorkload(ds, opts.Seed)
+	w := opts.workload(ds)
 	frames := opts.frames(4000)
 	theta := thetaFor(arch, true)
 
@@ -123,7 +123,7 @@ func Table1(opts Options) (*Result, error) {
 		}
 		space := semantics.NewSpace(ds, arch)
 		table := core.InitialTable(space, 64, opts.Seed)
-		w := defaultWorkload(ds, opts.Seed)
+		w := opts.workload(ds)
 		frames := opts.frames(3000)
 		cells[dsName] = make(map[int]cell)
 		for _, k := range counts {

@@ -31,7 +31,7 @@ func Fig5(opts Options) (*Result, error) {
 			if err != nil {
 				return nil, err
 			}
-			w := defaultWorkload(ds, opts.Seed)
+			w := opts.workload(ds)
 			s, err := runEngines(engines, w, opts.rounds(6), ms.frames, 1)
 			if err != nil {
 				return nil, err
@@ -69,7 +69,7 @@ func Fig6(opts Options) (*Result, error) {
 		if err != nil {
 			return core.CollectionStats{}, err
 		}
-		w := defaultWorkload(ds, opts.Seed)
+		w := opts.workload(ds)
 		if _, err := runEngines(engines, w, opts.rounds(5), ms.frames, 0); err != nil {
 			return core.CollectionStats{}, err
 		}

@@ -185,6 +185,7 @@ type UpdateTable struct {
 	dim    int
 	vecs   map[cell][]float32
 	counts map[cell]int
+	tmp    []float32 // Absorb staging buffer, so failures leave cells intact
 }
 
 type cell struct{ class, layer int }
@@ -202,27 +203,37 @@ func NewUpdateTable(beta float64, dim int) *UpdateTable {
 		dim:    dim,
 		vecs:   make(map[cell][]float32),
 		counts: make(map[cell]int),
+		tmp:    make([]float32, dim),
 	}
 }
 
 // Absorb folds a sample's semantic vector at (class, layer) into the
-// table per Eq. 3 and re-normalizes.
+// table per Eq. 3 and re-normalizes. Absorbing into an existing cell is
+// allocation-free: the combination is staged in a reused buffer and copied
+// over the cell's vector in place.
 func (u *UpdateTable) Absorb(class, layer int, vec []float32) error {
 	if len(vec) != u.dim {
 		return fmt.Errorf("gtable: Absorb dim %d, want %d", len(vec), u.dim)
 	}
 	key := cell{class, layer}
 	old := u.vecs[key]
-	var v []float32
+	v := u.tmp
 	if old == nil {
-		v = vecmath.Clone(vec)
+		copy(v, vec)
 	} else {
-		v = vecmath.WeightedSum(1, vec, float32(u.beta), old)
+		beta := float32(u.beta)
+		for i, x := range vec {
+			v[i] = x + beta*old[i]
+		}
 	}
 	if vecmath.Normalize(v) == 0 {
 		return fmt.Errorf("gtable: Absorb degenerate vector at (%d,%d)", class, layer)
 	}
-	u.vecs[key] = v
+	if old == nil {
+		u.vecs[key] = vecmath.Clone(v)
+	} else {
+		copy(old, v)
+	}
 	u.counts[key]++
 	return nil
 }

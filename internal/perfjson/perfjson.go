@@ -1,0 +1,147 @@
+// Package perfjson defines the machine-readable performance report that
+// cmd/coca-bench emits (`coca-bench -bench -json`): a versioned JSON
+// schema capturing the headline reproduction metrics and the hot-path
+// benchmarks of one build, written as BENCH_<date>.json. Committing these
+// files gives the repository a perf trajectory — every PR's numbers are
+// comparable with every other's — and Delta compares two reports the way
+// EXPERIMENTS.md describes.
+package perfjson
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"sort"
+	"time"
+)
+
+// SchemaVersion identifies the report layout. Bump it when fields change
+// meaning; comparison tooling refuses to diff across versions.
+const SchemaVersion = 1
+
+// Benchmark is one measured benchmark.
+type Benchmark struct {
+	// Name identifies the benchmark (e.g. "inference-path/batch=32").
+	Name string `json:"name"`
+	// Iterations is the measured iteration count (b.N).
+	Iterations int `json:"iterations"`
+	// NsPerOp is wall time per operation in nanoseconds.
+	NsPerOp float64 `json:"ns_per_op"`
+	// AllocsPerOp and BytesPerOp are the allocation profile per operation.
+	AllocsPerOp float64 `json:"allocs_per_op"`
+	BytesPerOp  float64 `json:"bytes_per_op"`
+	// Metrics holds benchmark-reported extra metrics, e.g.
+	// "latency-reduction-%" and "accuracy-%" for the headline run.
+	Metrics map[string]float64 `json:"metrics,omitempty"`
+}
+
+// Report is the top-level document.
+type Report struct {
+	Schema    int    `json:"schema"`
+	Date      string `json:"date"` // YYYY-MM-DD
+	GoVersion string `json:"go_version"`
+	GOOS      string `json:"goos"`
+	GOARCH    string `json:"goarch"`
+	// Benchmarks are sorted by name on write for stable diffs.
+	Benchmarks []Benchmark `json:"benchmarks"`
+}
+
+// Add appends a benchmark to the report.
+func (r *Report) Add(b Benchmark) { r.Benchmarks = append(r.Benchmarks, b) }
+
+// Filename returns the versioned file name for the report's date,
+// BENCH_<date>.json.
+func (r *Report) Filename() string {
+	return fmt.Sprintf("BENCH_%s.json", r.Date)
+}
+
+// normalize sorts benchmarks and validates the report before writing.
+func (r *Report) normalize() error {
+	if r.Schema == 0 {
+		r.Schema = SchemaVersion
+	}
+	if _, err := time.Parse("2006-01-02", r.Date); err != nil {
+		return fmt.Errorf("perfjson: date %q not YYYY-MM-DD: %w", r.Date, err)
+	}
+	sort.Slice(r.Benchmarks, func(i, j int) bool {
+		return r.Benchmarks[i].Name < r.Benchmarks[j].Name
+	})
+	return nil
+}
+
+// Write emits the report as indented JSON.
+func (r *Report) Write(w io.Writer) error {
+	if err := r.normalize(); err != nil {
+		return err
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(r)
+}
+
+// WriteFile writes the report into dir under its versioned name and
+// returns the path.
+func (r *Report) WriteFile(dir string) (string, error) {
+	if err := r.normalize(); err != nil {
+		return "", err
+	}
+	path := filepath.Join(dir, r.Filename())
+	f, err := os.Create(path)
+	if err != nil {
+		return "", err
+	}
+	if err := r.Write(f); err != nil {
+		f.Close()
+		return "", err
+	}
+	return path, f.Close()
+}
+
+// Load reads a report back.
+func Load(path string) (*Report, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var r Report
+	if err := json.Unmarshal(data, &r); err != nil {
+		return nil, fmt.Errorf("perfjson: %s: %w", path, err)
+	}
+	if r.Schema != SchemaVersion {
+		return nil, fmt.Errorf("perfjson: %s has schema %d, want %d", path, r.Schema, SchemaVersion)
+	}
+	return &r, nil
+}
+
+// BenchDelta is one benchmark's old→new movement.
+type BenchDelta struct {
+	Name string
+	// OldNs and NewNs are ns/op; a zero OldNs means the benchmark is new.
+	OldNs, NewNs float64
+	// Speedup is OldNs/NewNs (>1 is faster), 0 when not comparable.
+	Speedup float64
+}
+
+// Delta compares two reports benchmark by benchmark, returning movements
+// for every benchmark present in the new report.
+func Delta(old, new *Report) []BenchDelta {
+	prev := make(map[string]Benchmark, len(old.Benchmarks))
+	for _, b := range old.Benchmarks {
+		prev[b.Name] = b
+	}
+	out := make([]BenchDelta, 0, len(new.Benchmarks))
+	for _, b := range new.Benchmarks {
+		d := BenchDelta{Name: b.Name, NewNs: b.NsPerOp}
+		if p, ok := prev[b.Name]; ok {
+			d.OldNs = p.NsPerOp
+			if b.NsPerOp > 0 {
+				d.Speedup = p.NsPerOp / b.NsPerOp
+			}
+		}
+		out = append(out, d)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
+	return out
+}

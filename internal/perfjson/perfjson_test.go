@@ -1,0 +1,103 @@
+package perfjson
+
+import (
+	"bytes"
+	"encoding/json"
+	"os"
+	"strings"
+	"testing"
+)
+
+func sample() *Report {
+	return &Report{
+		Date:      "2026-07-25",
+		GoVersion: "go1.24.0",
+		GOOS:      "linux",
+		GOARCH:    "amd64",
+		Benchmarks: []Benchmark{
+			{Name: "inference-path/scale=ref/batch=32", Iterations: 100, NsPerOp: 40000, Metrics: map[string]float64{"speedup-vs-batch=1": 2.1}},
+			{Name: "headline", Iterations: 3, NsPerOp: 1.1e9, Metrics: map[string]float64{"latency-reduction-%": 45.4}},
+		},
+	}
+}
+
+func TestWriteSortsAndVersions(t *testing.T) {
+	var buf bytes.Buffer
+	r := sample()
+	if err := r.Write(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var back Report
+	if err := json.Unmarshal(buf.Bytes(), &back); err != nil {
+		t.Fatal(err)
+	}
+	if back.Schema != SchemaVersion {
+		t.Fatalf("schema %d, want %d", back.Schema, SchemaVersion)
+	}
+	if back.Benchmarks[0].Name != "headline" {
+		t.Fatalf("benchmarks not sorted: first is %q", back.Benchmarks[0].Name)
+	}
+	if got := r.Filename(); got != "BENCH_2026-07-25.json" {
+		t.Fatalf("filename %q", got)
+	}
+}
+
+func TestWriteRejectsBadDate(t *testing.T) {
+	r := sample()
+	r.Date = "July 25"
+	if err := r.Write(&bytes.Buffer{}); err == nil {
+		t.Fatal("bad date accepted")
+	}
+}
+
+func TestRoundTripAndSchemaGate(t *testing.T) {
+	dir := t.TempDir()
+	r := sample()
+	path, err := r.WriteFile(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.HasSuffix(path, r.Filename()) {
+		t.Fatalf("path %q", path)
+	}
+	back, err := Load(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(back.Benchmarks) != 2 || back.Benchmarks[1].NsPerOp != 40000 {
+		t.Fatalf("round trip mangled: %+v", back)
+	}
+
+	// A future-schema file must be refused, not silently misread.
+	bumped := *back
+	bumped.Schema = SchemaVersion + 1
+	data, _ := json.Marshal(bumped)
+	bad := dir + "/future.json"
+	if err := os.WriteFile(bad, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Load(bad); err == nil {
+		t.Fatal("future schema accepted")
+	}
+}
+
+func TestDelta(t *testing.T) {
+	old := sample()
+	next := sample()
+	next.Benchmarks[0].NsPerOp = 20000 // 2x faster
+	next.Benchmarks = append(next.Benchmarks, Benchmark{Name: "new-bench", NsPerOp: 5})
+	ds := Delta(old, next)
+	if len(ds) != 3 {
+		t.Fatalf("got %d deltas", len(ds))
+	}
+	byName := map[string]BenchDelta{}
+	for _, d := range ds {
+		byName[d.Name] = d
+	}
+	if d := byName["inference-path/scale=ref/batch=32"]; d.Speedup != 2 {
+		t.Fatalf("speedup %v, want 2", d.Speedup)
+	}
+	if d := byName["new-bench"]; d.OldNs != 0 || d.Speedup != 0 {
+		t.Fatalf("new benchmark delta %+v", d)
+	}
+}

@@ -238,6 +238,40 @@ func (s *Space) Prototype(class, layer int) []float32 {
 // FinalLayer returns the index of the final feature layer.
 func (s *Space) FinalLayer() int { return s.Arch.NumLayers }
 
+// Scratch holds the reusable buffers and RNG stream of the allocation-free
+// sampling fast path (SampleVectorInto, PredictScratch). All draws go
+// through reseeded deterministic streams, so results are bitwise identical
+// to the allocating SampleVector/Predict. Each concurrent user needs its
+// own Scratch; a Scratch is bound to the Space that created it.
+type Scratch struct {
+	rng    *xrand.Stream
+	noise  []float32
+	drift  []float32
+	vec    []float32 // PredictScratch's final-feature vector
+	logits []float32
+	probs  []float32
+}
+
+// NewScratch returns a scratch sized for the space.
+func (s *Space) NewScratch() *Scratch {
+	return &Scratch{
+		rng:   xrand.NewStream(),
+		noise: make([]float32, model.Dim),
+	}
+}
+
+// confusableSpan returns the class-id range [lo, hi) of the class's
+// confusion group.
+func (s *Space) confusableSpan(class int) (lo, hi int) {
+	g := s.DS.Group(class)
+	lo = g * s.DS.GroupSize
+	hi = lo + s.DS.GroupSize
+	if hi > s.DS.NumClasses {
+		hi = s.DS.NumClasses
+	}
+	return lo, hi
+}
+
 // confusableOf deterministically picks the class a hard sample drifts
 // toward.
 func (s *Space) confusableOf(smp dataset.Sample) int {
@@ -247,6 +281,25 @@ func (s *Space) confusableOf(smp dataset.Sample) int {
 	}
 	r := xrand.New(smp.Seed, saltConf)
 	return conf[r.IntN(len(conf))]
+}
+
+// confusableOfScratch is confusableOf on a reused RNG stream, avoiding the
+// Confusables allocation by indexing the group span directly. Draws and
+// results are identical to confusableOf.
+func (s *Space) confusableOfScratch(smp dataset.Sample, sc *Scratch) int {
+	lo, hi := s.confusableSpan(smp.Class)
+	n := hi - lo - 1 // siblings excluding the class itself
+	if n <= 0 {
+		return (smp.Class + 1) % s.DS.NumClasses
+	}
+	r := sc.rng.Seed(xrand.HashSeed(smp.Seed, saltConf))
+	i := r.IntN(n)
+	// Confusables lists lo..hi skipping smp.Class; index i of that list.
+	c := lo + i
+	if c >= smp.Class {
+		c++
+	}
+	return c
 }
 
 // blend returns how far the sample's center drifts toward its confusable
@@ -299,6 +352,36 @@ func (s *Space) center(smp dataset.Sample, layer int) []float32 {
 	return c
 }
 
+// centerInto writes center(smp, layer) into dst without allocating. The
+// arithmetic (operation order and operands) matches center exactly, so the
+// result is bitwise identical.
+func (s *Space) centerInto(dst []float32, smp dataset.Sample, layer int, sc *Scratch) {
+	b := s.blend(smp.Difficulty)
+	base := s.protos[layer][smp.Class]
+	if b > 0 {
+		conf := s.protos[layer][s.confusableOfScratch(smp, sc)]
+		w1, w2 := float32(1-b), float32(b)
+		for i := range dst {
+			dst[i] = w1*base[i] + w2*conf[i]
+		}
+		vecmath.Normalize(dst)
+		base = dst
+	}
+	w := s.resolutionWeight(smp.Difficulty, layer)
+	if w >= 1 {
+		if &base[0] != &dst[0] {
+			copy(dst, base)
+		}
+		return
+	}
+	centroid := s.centroids[layer][s.DS.Group(smp.Class)]
+	w1, w2 := float32(w), float32(1-w)
+	for i := range dst {
+		dst[i] = w1*base[i] + w2*centroid[i]
+	}
+	vecmath.Normalize(dst)
+}
+
 // driftVector returns the class's semantic-drift direction at the given
 // epoch: a smooth rotation within the class's confusion-group subspace
 // (toward one sibling, then the next), so stale cache entries genuinely
@@ -319,11 +402,44 @@ func (s *Space) driftVector(class, layer int, epoch float64) []float32 {
 	ta := s.protos[layer][targets[(e+off)%len(targets)]]
 	tb := s.protos[layer][targets[(e+1+off)%len(targets)]]
 	d := make([]float32, model.Dim)
-	for i := range d {
-		d[i] = (1-f)*(ta[i]-own[i]) + f*(tb[i]-own[i])
-	}
-	vecmath.Normalize(d)
+	driftInto(d, own, ta, tb, f)
 	return d
+}
+
+// driftVectorInto is driftVector into a reused buffer, indexing the
+// confusion-group span directly instead of materializing the sibling list.
+func (s *Space) driftVectorInto(dst []float32, class, layer int, epoch float64, sc *Scratch) {
+	lo, hi := s.confusableSpan(class)
+	n := hi - lo - 1 // siblings excluding the class itself
+	target := func(k int) int {
+		if n <= 0 {
+			return (class + 1) % s.DS.NumClasses
+		}
+		c := lo + k%n
+		if c >= class {
+			c++
+		}
+		return c
+	}
+	e := int(math.Floor(epoch))
+	f := float32(epoch - float64(e))
+	own := s.protos[layer][class]
+	r := sc.rng.Seed(xrand.HashSeed(s.DS.Seed, saltDrift, uint64(class)))
+	m := n
+	if m <= 0 {
+		m = 1
+	}
+	off := r.IntN(m)
+	ta := s.protos[layer][target(e+off)]
+	tb := s.protos[layer][target(e+1+off)]
+	driftInto(dst, own, ta, tb, f)
+}
+
+func driftInto(dst, own, ta, tb []float32, f float32) {
+	for i := range dst {
+		dst[i] = (1-f)*(ta[i]-own[i]) + f*(tb[i]-own[i])
+	}
+	vecmath.Normalize(dst)
 }
 
 // SampleVector generates the unit semantic vector of smp at cache-layer
@@ -349,6 +465,33 @@ func (s *Space) SampleVector(smp dataset.Sample, layer int, env *Env) []float32 
 	vecmath.Axpy(float32(sigma*math.Sqrt(1-sharedNoiseFrac)), noise, v)
 	vecmath.Normalize(v)
 	return v
+}
+
+// SampleVectorInto writes SampleVector(smp, layer, env) into dst using the
+// scratch's buffers and RNG streams instead of allocating. dst must be
+// model.Dim long. Every draw and floating-point operation mirrors
+// SampleVector, so the result is bitwise identical — the inference hot
+// path relies on this to batch without changing behaviour.
+func (s *Space) SampleVectorInto(dst []float32, smp dataset.Sample, layer int, env *Env, sc *Scratch) {
+	s.centerInto(dst, smp, layer, sc)
+	if env != nil && env.Weight != 0 {
+		vecmath.Axpy(float32(env.Weight), env.Bias, dst)
+	}
+	if env != nil && env.DriftWeight != 0 {
+		if sc.drift == nil {
+			sc.drift = make([]float32, model.Dim)
+		}
+		s.driftVectorInto(sc.drift, smp.Class, layer, env.DriftEpoch, sc)
+		vecmath.Axpy(float32(env.DriftWeight), sc.drift, dst)
+	}
+	sigma := s.Arch.NoiseScale[layer] * (noiseLo + noiseSpan*smp.Difficulty)
+	r := sc.rng.Seed(xrand.HashSeed(smp.Seed, saltNoise, uint64(layer)))
+	shared := float32(sigma * math.Sqrt(sharedNoiseFrac) * r.NormFloat64())
+	vecmath.Axpy(shared, s.commons[layer], dst)
+	xrand.FillNormal(r, sc.noise)
+	vecmath.Normalize(sc.noise)
+	vecmath.Axpy(float32(sigma*math.Sqrt(1-sharedNoiseFrac)), sc.noise, dst)
+	vecmath.Normalize(dst)
 }
 
 // CenteredVector returns the sample's semantic vector at layer with the
@@ -383,4 +526,24 @@ func (s *Space) Predict(smp dataset.Sample, env *Env) Prediction {
 	}
 	probs := vecmath.Softmax(logits)
 	return Prediction{Class: vecmath.Argmax(probs), Probs: probs}
+}
+
+// PredictScratch is Predict on reused scratch buffers: allocation-free and
+// bitwise identical. The returned Prediction's Probs slice aliases the
+// scratch and is only valid until the scratch's next use.
+func (s *Space) PredictScratch(sc *Scratch, smp dataset.Sample, env *Env) Prediction {
+	if sc.vec == nil {
+		sc.vec = make([]float32, model.Dim)
+		sc.logits = make([]float32, s.DS.NumClasses)
+		sc.probs = make([]float32, s.DS.NumClasses)
+	}
+	s.SampleVectorInto(sc.vec, smp, s.FinalLayer(), env, sc)
+	finals := s.protos[s.FinalLayer()]
+	temp := float32(softmaxTemp * (1 + 3*smp.Difficulty))
+	vecmath.Dots(sc.vec, finals, sc.logits)
+	for c := range sc.logits {
+		sc.logits[c] /= temp
+	}
+	vecmath.SoftmaxInto(sc.logits, sc.probs)
+	return Prediction{Class: vecmath.Argmax(sc.probs), Probs: sc.probs}
 }

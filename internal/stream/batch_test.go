@@ -1,0 +1,67 @@
+package stream
+
+import (
+	"testing"
+
+	"coca/internal/dataset"
+)
+
+func batchTestPartition(t testing.TB) *Partition {
+	t.Helper()
+	p, err := NewPartition(Config{
+		Dataset: dataset.UCF101().Subset(20), NumClients: 2,
+		SceneMeanFrames: 15, WorkingSetSize: 6, WorkingSetChurn: 0.1, Seed: 21,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return p
+}
+
+// TestNextBatchMatchesNext draws the same client stream once sample by
+// sample and once in ragged batches and requires identical frames.
+func TestNextBatchMatchesNext(t *testing.T) {
+	p := batchTestPartition(t)
+	seq := p.Client(0)
+	bat := p.Client(0)
+
+	var want []dataset.Sample
+	for i := 0; i < 500; i++ {
+		want = append(want, seq.Next())
+	}
+	var got []dataset.Sample
+	buf := make([]dataset.Sample, 32)
+	for sizes := []int{1, 32, 7, 32, 32, 32, 32, 32, 32, 32, 32, 32, 32, 32, 32, 32, 13}; len(got) < len(want); {
+		n := sizes[len(got)%len(sizes)]
+		if len(got)+n > len(want) {
+			n = len(want) - len(got)
+		}
+		got = append(got, bat.NextBatch(buf[:n])...)
+	}
+	for i := range want {
+		if want[i] != got[i] {
+			t.Fatalf("frame %d: %+v != %+v", i, want[i], got[i])
+		}
+	}
+	if seq.Frame() != bat.Frame() {
+		t.Fatalf("frame counters diverged: %d != %d", seq.Frame(), bat.Frame())
+	}
+}
+
+// TestNextZeroAllocs guards the batch draw's allocation-free contract.
+func TestNextZeroAllocs(t *testing.T) {
+	p := batchTestPartition(t)
+	g := p.Client(1)
+	g.Next() // warm
+	if n := testing.AllocsPerRun(500, func() {
+		g.Next()
+	}); n != 0 {
+		t.Errorf("Next allocates %v/op, want 0", n)
+	}
+	buf := make([]dataset.Sample, 32)
+	if n := testing.AllocsPerRun(100, func() {
+		g.NextBatch(buf)
+	}); n != 0 {
+		t.Errorf("NextBatch allocates %v/op, want 0", n)
+	}
+}

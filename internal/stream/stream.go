@@ -124,6 +124,7 @@ func (p *Partition) Client(k int) *Generator {
 		sceneMean: p.cfg.SceneMeanFrames,
 		churn:     p.cfg.WorkingSetChurn,
 		rng:       xrand.New(p.cfg.Seed, 0x57E0, uint64(k)),
+		st:        xrand.NewStream(),
 		client:    k,
 		seed:      p.cfg.Seed,
 	}
@@ -144,6 +145,7 @@ type Generator struct {
 	churn     float64
 	workset   []int
 	rng       *rand.Rand
+	st        *xrand.Stream
 	client    int
 	seed      uint64
 
@@ -155,16 +157,25 @@ type Generator struct {
 // Next returns the next frame's sample. Frames within a scene share a class;
 // scene lengths are geometric with the configured mean. With a working set
 // configured, scene classes are drawn from the set and the set slowly
-// churns toward the client's distribution.
+// churns toward the client's distribution. Next is allocation-free.
 func (g *Generator) Next() dataset.Sample {
 	if g.sceneLeft <= 0 {
 		g.sceneClass = g.nextSceneClass()
 		g.sceneLeft = g.sceneLength()
 	}
 	g.sceneLeft--
-	smp := g.ds.NewSample(g.sceneClass, g.seed, uint64(g.client), g.frame)
+	smp := g.ds.StreamSample(g.st, g.sceneClass, g.seed, uint64(g.client), g.frame)
 	g.frame++
 	return smp
+}
+
+// NextBatch fills dst with the next len(dst) samples and returns it — the
+// batch draw of the batched round driver. Like Next, it is allocation-free.
+func (g *Generator) NextBatch(dst []dataset.Sample) []dataset.Sample {
+	for i := range dst {
+		dst[i] = g.Next()
+	}
+	return dst
 }
 
 func (g *Generator) nextSceneClass() int {
@@ -202,13 +213,9 @@ func (g *Generator) sceneLength() int {
 	return n
 }
 
-// Take generates the next n samples as a slice.
+// Take generates the next n samples as a fresh slice.
 func (g *Generator) Take(n int) []dataset.Sample {
-	out := make([]dataset.Sample, n)
-	for i := range out {
-		out[i] = g.Next()
-	}
-	return out
+	return g.NextBatch(make([]dataset.Sample, n))
 }
 
 // Concentration measures how non-IID a distribution is: the total mass of

@@ -1,0 +1,103 @@
+package vecmath
+
+import (
+	"math/rand/v2"
+	"testing"
+)
+
+func kernelVectors(r *rand.Rand, n, dim int) [][]float32 {
+	out := make([][]float32, n)
+	for i := range out {
+		v := make([]float32, dim)
+		for d := range v {
+			v[d] = float32(r.NormFloat64())
+		}
+		out[i] = v
+	}
+	return out
+}
+
+// TestWidenedCosineBitwise locks the hot-path kernel contract: the staged
+// batch kernel (Widen64 + WidenVec + CosinesWidened) must reproduce the
+// scalar Cosine bit for bit — tiling may only run across pairs, never
+// inside one accumulation chain. Odd entry counts exercise the tail loop.
+func TestWidenedCosineBitwise(t *testing.T) {
+	r := rand.New(rand.NewPCG(1, 9))
+	for _, n := range []int{1, 3, 4, 7, 16, 33} {
+		const dim = 48
+		entries := kernelVectors(r, n, dim)
+		vec := kernelVectors(r, 1, dim)[0]
+
+		wide := make([]float64, n*dim)
+		norm2 := make([]float64, n)
+		Widen64(entries, dim, wide, norm2)
+		for i, e := range entries {
+			if norm2[i] != SquaredNorm(e) {
+				t.Fatalf("n=%d entry %d: widened norm %v != SquaredNorm %v", n, i, norm2[i], SquaredNorm(e))
+			}
+		}
+
+		vec64 := make([]float64, dim)
+		vn := WidenVec(vec, vec64)
+		if vn != SquaredNorm(vec) {
+			t.Fatalf("n=%d: WidenVec norm %v != SquaredNorm %v", n, vn, SquaredNorm(vec))
+		}
+
+		out := make([]float32, n)
+		CosinesWidened(vec64, vn, wide, dim, n, norm2, out)
+		for i, e := range entries {
+			if want := Cosine(vec, e); want != out[i] {
+				t.Fatalf("n=%d entry %d: Cosine %v != CosinesWidened %v", n, i, want, out[i])
+			}
+		}
+	}
+}
+
+// TestDotsBitwise checks the tiled multi-entry dot kernel against Dot.
+func TestDotsBitwise(t *testing.T) {
+	r := rand.New(rand.NewPCG(2, 5))
+	for _, n := range []int{1, 4, 5, 11} {
+		entries := kernelVectors(r, n, 96)
+		vec := kernelVectors(r, 1, 96)[0]
+		out := make([]float32, n)
+		Dots(vec, entries, out)
+		for i, e := range entries {
+			if want := Dot(vec, e); want != out[i] {
+				t.Fatalf("n=%d entry %d: Dot %v != Dots %v", n, i, want, out[i])
+			}
+		}
+	}
+}
+
+// TestSoftmaxIntoMatchesSoftmax checks the in-place variant.
+func TestSoftmaxIntoMatchesSoftmax(t *testing.T) {
+	r := rand.New(rand.NewPCG(3, 7))
+	logits := kernelVectors(r, 1, 40)[0]
+	want := Softmax(logits)
+	got := make([]float32, len(logits))
+	SoftmaxInto(logits, got)
+	for i := range want {
+		if want[i] != got[i] {
+			t.Fatalf("index %d: %v != %v", i, want[i], got[i])
+		}
+	}
+}
+
+// TestKernelsZeroAlloc asserts the batch kernels never allocate.
+func TestKernelsZeroAlloc(t *testing.T) {
+	r := rand.New(rand.NewPCG(4, 8))
+	entries := kernelVectors(r, 12, 64)
+	vec := kernelVectors(r, 1, 64)[0]
+	wide := make([]float64, 12*64)
+	norm2 := make([]float64, 12)
+	vec64 := make([]float64, 64)
+	out := make([]float32, 12)
+	if n := testing.AllocsPerRun(200, func() {
+		Widen64(entries, 64, wide, norm2)
+		vn := WidenVec(vec, vec64)
+		CosinesWidened(vec64, vn, wide, 64, 12, norm2, out)
+		Dots(vec, entries, out)
+	}); n != 0 {
+		t.Errorf("batch kernels allocate %v/op, want 0", n)
+	}
+}

@@ -1,0 +1,51 @@
+package xrand
+
+import "testing"
+
+// TestStreamMatchesNew verifies a reseeded Stream reproduces New's draw
+// sequences exactly — the property that lets hot paths switch to streams
+// without changing any simulation result.
+func TestStreamMatchesNew(t *testing.T) {
+	st := NewStream()
+	for _, parts := range [][]uint64{{1}, {2, 3}, {0xD0A0_0002, 7, 0x44, 12}} {
+		fresh := New(parts...)
+		reused := st.Seed(HashSeed(parts...))
+		for i := 0; i < 50; i++ {
+			if a, b := fresh.Uint64(), reused.Uint64(); a != b {
+				t.Fatalf("parts %v draw %d: %d != %d", parts, i, a, b)
+			}
+		}
+		fresh2 := New(parts...)
+		reused2 := st.Seed(HashSeed(parts...))
+		for i := 0; i < 20; i++ {
+			if a, b := fresh2.NormFloat64(), reused2.NormFloat64(); a != b {
+				t.Fatalf("parts %v normal draw %d: %v != %v", parts, i, a, b)
+			}
+		}
+	}
+}
+
+// TestFillNormalMatchesNormalVector checks the in-place filler draws the
+// same values as the allocating constructor.
+func TestFillNormalMatchesNormalVector(t *testing.T) {
+	want := NormalVector(New(5), 64)
+	got := make([]float32, 64)
+	FillNormal(New(5), got)
+	for i := range want {
+		if want[i] != got[i] {
+			t.Fatalf("index %d: %v != %v", i, want[i], got[i])
+		}
+	}
+}
+
+// TestStreamSeedZeroAllocs guards the hot-path contract: reseeding and
+// hashing must not allocate.
+func TestStreamSeedZeroAllocs(t *testing.T) {
+	st := NewStream()
+	if n := testing.AllocsPerRun(500, func() {
+		r := st.Seed(HashSeed(1, 2, 3, 4, 5))
+		r.Uint64()
+	}); n != 0 {
+		t.Errorf("Stream.Seed+HashSeed allocates %v/op, want 0", n)
+	}
+}

@@ -42,13 +42,46 @@ func New(parts ...uint64) *rand.Rand {
 	return rand.New(rand.NewPCG(s, SplitMix64(s)))
 }
 
+// Stream is a reusable, reseedable PCG stream for hot paths that would
+// otherwise allocate a fresh rand.Rand per draw sequence. Seeding a Stream
+// with a given seed yields exactly the same draws as New with parts hashing
+// to that seed, so callers can switch between the two without changing
+// results. Not safe for concurrent use.
+type Stream struct {
+	pcg rand.PCG
+	r   *rand.Rand
+}
+
+// NewStream returns an unseeded stream; call Seed before drawing.
+func NewStream() *Stream {
+	s := &Stream{}
+	s.r = rand.New(&s.pcg)
+	return s
+}
+
+// Seed positions the stream at the start of the sequence identified by
+// seed (as produced by HashSeed) and returns the stream's rand.Rand. The
+// returned Rand stays valid across reseeds; Seed never allocates.
+func (s *Stream) Seed(seed uint64) *rand.Rand {
+	s.pcg.Seed(seed, SplitMix64(seed))
+	return s.r
+}
+
+// Rand returns the stream's rand.Rand at its current position.
+func (s *Stream) Rand() *rand.Rand { return s.r }
+
 // NormalVector fills a fresh length-n vector with independent N(0,1) draws.
 func NormalVector(r *rand.Rand, n int) []float32 {
 	v := make([]float32, n)
+	FillNormal(r, v)
+	return v
+}
+
+// FillNormal overwrites v with independent N(0,1) draws without allocating.
+func FillNormal(r *rand.Rand, v []float32) {
 	for i := range v {
 		v[i] = float32(r.NormFloat64())
 	}
-	return v
 }
 
 // Gamma draws from a Gamma(shape, 1) distribution using the
