@@ -49,6 +49,13 @@ func BenchmarkFig9(b *testing.B)   { benchExperiment(b, "fig9") }
 func BenchmarkFig10a(b *testing.B) { benchExperiment(b, "fig10a") }
 func BenchmarkFig10b(b *testing.B) { benchExperiment(b, "fig10b") }
 
+// BenchmarkFederation measures the federation tier (3-server mesh with
+// peer delta-sync vs partitioned no-sync) per iteration, reporting hit
+// amplification, tail latency and sync traffic. The body lives in
+// internal/benchsuite so cmd/coca-bench emits the same numbers into
+// BENCH_<date>.json.
+func BenchmarkFederation(b *testing.B) { benchsuite.Federation(b) }
+
 // BenchmarkHeadline reproduces the paper's headline claim per iteration
 // (CoCa on the reference workload) and reports the virtual latency
 // reduction and accuracy as benchmark metrics. The body lives in

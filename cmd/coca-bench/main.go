@@ -115,7 +115,10 @@ type namedBench struct {
 // suite is the fixed benchmark set of -bench mode: the headline
 // reproduction plus the inference hot path across scales and batch sizes.
 func suite() []namedBench {
-	out := []namedBench{{"headline", benchsuite.Headline}}
+	out := []namedBench{
+		{"headline", benchsuite.Headline},
+		{"federation", benchsuite.Federation},
+	}
 	for _, scale := range []benchsuite.Scale{benchsuite.ScaleRef, benchsuite.ScaleFleet} {
 		for _, batch := range []int{1, 8, 32} {
 			out = append(out, namedBench{

@@ -4,13 +4,22 @@
 // global-update requests from coca-client processes (wire protocol v2,
 // with v1 clients still accepted).
 //
+// With -peers, the server joins a federation: it gossips global-cache
+// cell deltas to the listed peer servers every -sync interval and merges
+// the deltas they push, so classes cached by another server's clients
+// accelerate this server's clients too. Every fleet member must run the
+// same -model/-dataset/-classes/-seed (the shared dataset aligning their
+// initial tables) and a distinct -node-id.
+//
 // On SIGINT/SIGTERM the server shuts down gracefully: it stops accepting
 // new connections, lets in-flight sessions drain for -drain, then closes
-// the remaining connections and exits.
+// the remaining connections, prints its final counters (allocations,
+// merges, sessions, peer-sync traffic) and exits.
 //
 // Usage:
 //
 //	coca-server -addr :7070 -model ResNet101 -dataset UCF101 -classes 50 -theta 0.012
+//	coca-server -addr :7071 -node-id 1 -peers 127.0.0.1:7070,127.0.0.1:7072 -sync 5s
 package main
 
 import (
@@ -20,12 +29,14 @@ import (
 	"log"
 	"os"
 	"os/signal"
+	"strings"
 	"sync"
 	"syscall"
 	"time"
 
 	"coca/internal/core"
 	"coca/internal/dataset"
+	"coca/internal/federation"
 	"coca/internal/model"
 	"coca/internal/protocol"
 	"coca/internal/semantics"
@@ -42,6 +53,10 @@ func main() {
 		gamma   = flag.Float64("gamma", 0.99, "global merge decay γ (Eq. 4)")
 		seed    = flag.Uint64("seed", 1, "shared-dataset seed")
 		drain   = flag.Duration("drain", 10*time.Second, "graceful-shutdown drain window for in-flight sessions")
+		peersF  = flag.String("peers", "", "comma-separated federated peer server addresses (host:port,...)")
+		nodeID  = flag.Int("node-id", 0, "this server's federation id (distinct per fleet member)")
+		relay   = flag.Bool("relay", false, "relay received peer evidence onward (set on star hubs / ring members; leave off in a full mesh)")
+		syncInt = flag.Duration("sync", 5*time.Second, "federation peer-sync cadence (with -peers)")
 	)
 	flag.Parse()
 
@@ -59,6 +74,14 @@ func main() {
 	fmt.Fprintf(os.Stderr, "coca-server: building %s × %s universe...\n", arch.Name, ds.Name)
 	space := semantics.NewSpace(ds, arch)
 	srv := core.NewServer(space, core.ServerConfig{Theta: *theta, Gamma: *gamma, Seed: *seed})
+	node := federation.NewNode(srv, federation.NodeConfig{ID: *nodeID, Relay: *relay})
+
+	var peerAddrs []string
+	for _, a := range strings.Split(*peersF, ",") {
+		if a = strings.TrimSpace(a); a != "" {
+			peerAddrs = append(peerAddrs, a)
+		}
+	}
 
 	l, err := transport.Listen(*addr)
 	if err != nil {
@@ -66,6 +89,10 @@ func main() {
 	}
 	fmt.Fprintf(os.Stderr, "coca-server: %s × %s (%d classes, %d cache sites) listening on %s\n",
 		arch.Name, ds.Name, ds.NumClasses, arch.NumLayers, l.Addr())
+	if len(peerAddrs) > 0 {
+		fmt.Fprintf(os.Stderr, "coca-server: federation node %d syncing with %d peer(s) every %s\n",
+			*nodeID, len(peerAddrs), *syncInt)
+	}
 
 	// Shutdown plumbing: the signal cancels sigCtx; connCtx stays open
 	// through the drain window so in-flight sessions can finish their
@@ -90,7 +117,7 @@ func main() {
 			wg.Add(1)
 			go func() {
 				defer wg.Done()
-				if err := protocol.ServeConn(connCtx, conn, srv); err != nil {
+				if err := protocol.ServeConn(connCtx, conn, node); err != nil {
 					log.Printf("session: %v", err)
 				}
 				_ = conn.Close()
@@ -101,9 +128,22 @@ func main() {
 		}
 	}()
 
+	// The peer-sync loop runs on its own context, canceled as soon as the
+	// signal lands so the drain window is spent on sessions, not gossip.
+	var peerWg sync.WaitGroup
+	if len(peerAddrs) > 0 {
+		peers := federation.NewPeerSet(node, peerAddrs)
+		peerWg.Add(1)
+		go func() {
+			defer peerWg.Done()
+			peers.Run(sigCtx, *syncInt, func(err error) { log.Printf("peer sync: %v", err) })
+		}()
+	}
+
 	<-sigCtx.Done()
 	fmt.Fprintf(os.Stderr, "coca-server: shutting down: draining %d open session(s) for up to %s...\n",
 		srv.Sessions(), *drain)
+	peerWg.Wait()
 	_ = l.Close() // stop accepting
 
 	drained := make(chan struct{})
@@ -115,6 +155,23 @@ func main() {
 		cancelConns()
 		<-drained
 	}
+	printFinalStats(srv, node)
+}
+
+// printFinalStats renders the server's counters on graceful shutdown —
+// the numbers a multi-server run is debugged from.
+func printFinalStats(srv *core.Server, node *federation.Node) {
 	allocs, merges := srv.Stats()
-	fmt.Fprintf(os.Stderr, "coca-server: shut down cleanly (total allocations %d, merges %d)\n", allocs, merges)
+	sync := node.Stats()
+	fmt.Fprintln(os.Stderr, "coca-server: shut down cleanly; final stats:")
+	fmt.Fprintf(os.Stderr, "  allocations      %d\n", allocs)
+	fmt.Fprintf(os.Stderr, "  merges           %d\n", merges)
+	fmt.Fprintf(os.Stderr, "  peer merges      %d\n", srv.PeerMerges())
+	fmt.Fprintf(os.Stderr, "  open sessions    %d\n", srv.Sessions())
+	fmt.Fprintf(os.Stderr, "  peer syncs       %d\n", sync.Syncs)
+	fmt.Fprintf(os.Stderr, "  peer cells sent  %d (%.1f KiB)\n", sync.CellsSent, float64(sync.BytesSent)/1024)
+	fmt.Fprintf(os.Stderr, "  peer cells recv  %d (%.1f KiB)\n", sync.CellsRecv, float64(sync.BytesRecv)/1024)
+	if sync.Errors > 0 {
+		fmt.Fprintf(os.Stderr, "  peer sync errors %d (last: %s)\n", sync.Errors, sync.LastError)
+	}
 }

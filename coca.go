@@ -34,6 +34,7 @@ package coca
 
 import (
 	"fmt"
+	"time"
 
 	"coca/internal/core"
 	"coca/internal/dataset"
@@ -91,6 +92,31 @@ type Options struct {
 	// DriftWeight and DriftPerRound enable gradual semantic drift.
 	DriftWeight, DriftPerRound float64
 
+	// Peers lists the addresses of federated peer edge servers. When
+	// non-empty, a served endpoint (Serve) gossips global-cache cell
+	// deltas to them every PeerSyncInterval, so classes cached by another
+	// server's clients accelerate this server's clients too. Every fleet
+	// member must use the same model/dataset options and Seed (the shared
+	// dataset that aligns their initial tables) and a distinct NodeID —
+	// a peer offering this server's own id is rejected. Sync failures
+	// (unreachable peers, id or model mismatches) are recorded in
+	// Server.SyncStats (Errors / LastError); check it when a fleet shows
+	// no federation benefit.
+	Peers []string
+	// NodeID is this server's federation id (peer merges apply in id
+	// order; give every server a distinct id).
+	NodeID int
+	// PeerRelay marks this server as a relay hop for non-full-mesh peer
+	// graphs (star hubs, ring members): evidence received from one peer
+	// then stays pending toward the others and forwards onward. Leave it
+	// false when every fleet member lists every other in Peers (a full
+	// mesh) — non-relaying servers treat received evidence as delivered
+	// everywhere, which is what stops a mesh from re-circulating it.
+	PeerRelay bool
+	// PeerSyncInterval is the wire peer-sync cadence (default 5s when
+	// Peers is non-empty).
+	PeerSyncInterval time.Duration
+
 	// Seed roots all randomness (default 1).
 	Seed uint64
 }
@@ -128,6 +154,9 @@ func (o Options) withDefaults() Options {
 	}
 	if o.Seed == 0 {
 		o.Seed = 1
+	}
+	if len(o.Peers) > 0 && o.PeerSyncInterval == 0 {
+		o.PeerSyncInterval = 5 * time.Second
 	}
 	return o
 }

@@ -1,0 +1,118 @@
+// Federated edge fleet via the public serving API: three coca.Serve
+// servers on loopback, each listing the other two in Options.Peers, form
+// a full-mesh federation — every server gossips global-cache cell deltas
+// (and class-frequency increments) to its peers on the sync cadence, so a
+// class cached by one server's clients accelerates every other server's
+// clients. Twelve coca.Dial clients split 4/4/4 across the servers and
+// run their rounds concurrently; the fleet-wide workload partition is the
+// same one a single-server deployment would use, carved by client id.
+package main
+
+import (
+	"context"
+	"fmt"
+	"log"
+	"net"
+	"sync"
+	"time"
+
+	"coca"
+)
+
+// freeAddrs reserves n distinct loopback ports by binding and releasing
+// them, so every server can name its peers before any of them is up
+// (PeerSet dials lazily and retries, so start order does not matter).
+func freeAddrs(n int) ([]string, error) {
+	addrs := make([]string, n)
+	listeners := make([]net.Listener, n)
+	for i := range addrs {
+		l, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			return nil, err
+		}
+		listeners[i] = l
+		addrs[i] = l.Addr().String()
+	}
+	for _, l := range listeners {
+		_ = l.Close()
+	}
+	return addrs, nil
+}
+
+func main() {
+	ctx := context.Background()
+	const (
+		servers          = 3
+		clientsPerServer = 4
+	)
+	opts := coca.Options{
+		Model: "ResNet50", Dataset: "UCF101", Classes: 20,
+		NumClients: servers * clientsPerServer,
+		Rounds:     8, RoundFrames: 100, Budget: 80, Seed: 2,
+		NonIIDLevel:      4,
+		PeerSyncInterval: 50 * time.Millisecond,
+	}
+
+	addrs, err := freeAddrs(servers)
+	if err != nil {
+		log.Fatal(err)
+	}
+	srvs := make([]*coca.Server, servers)
+	for i := 0; i < servers; i++ {
+		o := opts
+		o.NodeID = i
+		for j, a := range addrs {
+			if j != i {
+				o.Peers = append(o.Peers, a)
+			}
+		}
+		srv, err := coca.Serve(ctx, addrs[i], o)
+		if err != nil {
+			log.Fatal(err)
+		}
+		srvs[i] = srv
+		fmt.Printf("federation: server %d serving on %s, syncing with %v\n", i, srv.Addr(), o.Peers)
+	}
+
+	// Dial the fleet: client k attaches to server k/clientsPerServer.
+	var wg sync.WaitGroup
+	for id := 0; id < opts.NumClients; id++ {
+		cl, err := coca.Dial(ctx, addrs[id/clientsPerServer], id, opts)
+		if err != nil {
+			log.Fatal(err)
+		}
+		wg.Add(1)
+		go func(id int, cl *coca.Client) {
+			defer wg.Done()
+			defer cl.Close()
+			rep, err := cl.Run(ctx, 0)
+			if err != nil {
+				log.Printf("client %d: %v", id, err)
+				return
+			}
+			fmt.Printf("client %2d (server %d): %s\n", id, id/clientsPerServer, rep)
+		}(id, cl)
+	}
+	wg.Wait()
+	// Give every server a couple of sync ticks past the last upload so
+	// the final round's deltas travel before the stats print.
+	time.Sleep(3 * opts.PeerSyncInterval)
+
+	for i, srv := range srvs {
+		allocs, merges, sessions := srv.Stats()
+		sync := srv.SyncStats()
+		fmt.Printf("server %d: %d allocations, %d merges, %d peer merges, %d open sessions; %d sync rounds, %d cells out (%.1f KiB), %d in (%.1f KiB)\n",
+			i, allocs, merges, srv.PeerMerges(), sessions, sync.Syncs,
+			sync.CellsSent, float64(sync.BytesSent)/1024,
+			sync.CellsRecv, float64(sync.BytesRecv)/1024)
+	}
+
+	for i, srv := range srvs {
+		sctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+		if err := srv.Shutdown(sctx); err != nil {
+			log.Fatalf("server %d shutdown: %v", i, err)
+		}
+		cancel()
+	}
+	fmt.Println("federation: fleet shut down cleanly")
+}

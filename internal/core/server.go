@@ -6,6 +6,7 @@ package core
 import (
 	"context"
 	"fmt"
+	"math"
 	"sort"
 	"sync"
 	"sync/atomic"
@@ -36,6 +37,12 @@ type ServerConfig struct {
 	// bounded cap keeps the adaptation rate constant so entries track
 	// gradual semantic drift instead of freezing as evidence accumulates.
 	SupportCap float64
+	// PeerInertia is the local-weight floor of federation peer merges: a
+	// peer cell's fresh evidence is weighed against the local evidence
+	// accumulated since the last sync plus this floor, so an idle cell
+	// still keeps some inertia instead of being overwritten outright
+	// (default 16).
+	PeerInertia float64
 	// Seed roots the shared dataset draws.
 	Seed uint64
 	// DisableGlobalUpdates freezes the global table after initialization
@@ -59,6 +66,9 @@ func (c ServerConfig) withDefaults() ServerConfig {
 	}
 	if c.SupportCap == 0 {
 		c.SupportCap = 160
+	}
+	if c.PeerInertia == 0 {
+		c.PeerInertia = 16
 	}
 	return c
 }
@@ -143,9 +153,11 @@ type Server struct {
 	nextSess uint64
 
 	// allocs counts allocation requests; merges counts applied update
-	// cells (diagnostics / load analysis).
-	allocs atomic.Int64
-	merges atomic.Int64
+	// cells; peerMerges counts cells merged from federated peer servers
+	// (diagnostics / load analysis).
+	allocs     atomic.Int64
+	merges     atomic.Int64
+	peerMerges atomic.Int64
 }
 
 // NewServer builds a server: it materializes the initial global cache from
@@ -431,6 +443,76 @@ func (s *Server) Profile() []float64 {
 // Stats reports allocation and merge counters.
 func (s *Server) Stats() (allocs, merges int) {
 	return int(s.allocs.Load()), int(s.merges.Load())
+}
+
+// PeerMerges reports how many cells have been merged from federated peer
+// servers.
+func (s *Server) PeerMerges() int { return int(s.peerMerges.Load()) }
+
+// Shape returns the model agreement pair (classes × cache layers) a peer
+// or client must match.
+func (s *Server) Shape() (classes, layers int) {
+	return s.space.DS.NumClasses, s.space.Arch.NumLayers
+}
+
+// ForEachCell visits every populated global-table cell with its entry
+// vector, write version, capped support and monotone evidence total — the
+// scan behind federation delta collection. The visited vector must not be
+// mutated.
+func (s *Server) ForEachCell(fn func(class, layer int, vec []float32, ver uint64, support, evTotal float64)) {
+	s.table.ForEachCell(fn)
+}
+
+// MergePeerCell folds one cell received from a federated peer server into
+// the global table: a recency-weighted combination of the local entry
+// (weighted by the evidence accumulated locally since the last sync with
+// that peer — sinceEv names the cell's ledger reading at that sync — plus
+// the PeerInertia floor) and the peer entry (weighted by the fresh
+// evidence it ships), under the same support cap as client merges. When
+// DisableGlobalUpdates is set (the frozen-table ablation) peer cells are
+// ignored, mirroring how client updates are; the returned version is 0
+// then, and otherwise the cell's resulting write version and evidence
+// total.
+func (s *Server) MergePeerCell(class, layer int, vec []float32, evidence, sinceEv float64) (uint64, float64, error) {
+	if s.cfg.DisableGlobalUpdates {
+		return 0, 0, nil
+	}
+	if class < 0 || class >= s.table.Classes() || layer < 0 || layer >= s.table.Layers() {
+		return 0, 0, fmt.Errorf("core: peer cell (%d,%d) out of range", class, layer)
+	}
+	if evidence <= 0 || math.IsNaN(evidence) || math.IsInf(evidence, 0) {
+		return 0, 0, fmt.Errorf("core: peer cell (%d,%d) has evidence %v", class, layer, evidence)
+	}
+	ver, evTotal, err := s.table.MergePeer(class, layer, vec, evidence, sinceEv, s.cfg.PeerInertia, s.cfg.SupportCap)
+	if err != nil {
+		return 0, 0, fmt.Errorf("core: peer merge (%d,%d): %w", class, layer, err)
+	}
+	s.peerMerges.Add(1)
+	return ver, evTotal, nil
+}
+
+// AddPeerFreq folds a peer server's class-frequency increments into Φ —
+// Eq. 5 extended across the federation, which is what lets this server's
+// ACA rank classes its own clients never stream. Like client updates,
+// peer increments are ignored under DisableGlobalUpdates.
+func (s *Server) AddPeerFreq(delta []float64) error {
+	if s.cfg.DisableGlobalUpdates {
+		return nil
+	}
+	if len(delta) != s.space.DS.NumClasses {
+		return fmt.Errorf("core: peer frequency length %d, want %d", len(delta), s.space.DS.NumClasses)
+	}
+	for class, f := range delta {
+		if f < 0 || math.IsNaN(f) || math.IsInf(f, 0) {
+			return fmt.Errorf("core: peer frequency for class %d is %v", class, f)
+		}
+	}
+	s.freqMu.Lock()
+	for class, f := range delta {
+		s.freq.Add(class, f)
+	}
+	s.freqMu.Unlock()
+	return nil
 }
 
 // Sessions returns the number of open sessions.

@@ -80,51 +80,88 @@ type RunConfig struct {
 	BatchSize int
 }
 
+// Runner drives a fleet of engines round by round. It factors the body of
+// RunRounds into a steppable form so multi-server orchestrators (the
+// federation cluster) can interleave their own work — peer cache syncs —
+// between rounds while reusing the exact same per-round machinery.
+type Runner struct {
+	engines   []Engine
+	gens      []*stream.Generator
+	cfg       RunConfig
+	perClient []*metrics.Accumulator
+	bufs      [][]dataset.Sample
+}
+
+// NewRunner validates the configuration and prepares per-client metric
+// accumulators and batch-draw buffers. cfg.Rounds only matters to
+// RunRounds-style loops; RunRound takes the round index explicitly.
+func NewRunner(engines []Engine, gens []*stream.Generator, cfg RunConfig) (*Runner, error) {
+	if len(engines) != len(gens) {
+		return nil, fmt.Errorf("engine: %d engines but %d generators", len(engines), len(gens))
+	}
+	if cfg.Rounds < 1 || cfg.FramesPerRound < 1 {
+		return nil, fmt.Errorf("engine: invalid run config %+v", cfg)
+	}
+	r := &Runner{engines: engines, gens: gens, cfg: cfg}
+	r.perClient = make([]*metrics.Accumulator, len(engines))
+	for i := range r.perClient {
+		r.perClient[i] = &metrics.Accumulator{}
+	}
+	// Per-client batch-draw buffers, allocated once for the whole run.
+	if cfg.BatchSize > 1 {
+		r.bufs = make([][]dataset.Sample, len(engines))
+		for i := range r.bufs {
+			r.bufs[i] = make([]dataset.Sample, cfg.BatchSize)
+		}
+	}
+	return r, nil
+}
+
+func (r *Runner) clientBuf(k int) []dataset.Sample {
+	if r.bufs == nil {
+		return nil
+	}
+	return r.bufs[k]
+}
+
+// RunRound executes one round (hooks and frames) across the fleet. Metrics
+// are recorded when round >= cfg.SkipRounds.
+func (r *Runner) RunRound(round int) error {
+	record := round >= r.cfg.SkipRounds
+	if r.cfg.Concurrent {
+		return runRoundConcurrent(r.engines, r.gens, r.perClient, r.cfg, round, record, r.clientBuf)
+	}
+	return runRoundSequential(r.engines, r.gens, r.perClient, r.cfg, round, record, r.clientBuf)
+}
+
+// PerClient returns the per-client accumulators (live; they keep filling
+// as rounds run).
+func (r *Runner) PerClient() []*metrics.Accumulator { return r.perClient }
+
+// Combined merges the per-client accumulators into a fresh one.
+func (r *Runner) Combined() *metrics.Accumulator {
+	combined := &metrics.Accumulator{}
+	for _, acc := range r.perClient {
+		combined.Merge(acc)
+	}
+	return combined
+}
+
 // RunRounds drives one engine per client over its generator for the
 // configured rounds and returns a per-client accumulator plus a combined
 // one. Engines implementing RoundHooks get BeginRound/EndRound calls around
 // every round; hook errors abort the run.
 func RunRounds(engines []Engine, gens []*stream.Generator, cfg RunConfig) (perClient []*metrics.Accumulator, combined *metrics.Accumulator, err error) {
-	if len(engines) != len(gens) {
-		return nil, nil, fmt.Errorf("engine: %d engines but %d generators", len(engines), len(gens))
-	}
-	if cfg.Rounds < 1 || cfg.FramesPerRound < 1 {
-		return nil, nil, fmt.Errorf("engine: invalid run config %+v", cfg)
-	}
-	perClient = make([]*metrics.Accumulator, len(engines))
-	for i := range perClient {
-		perClient[i] = &metrics.Accumulator{}
-	}
-	// Per-client batch-draw buffers, allocated once for the whole run.
-	var bufs [][]dataset.Sample
-	if cfg.BatchSize > 1 {
-		bufs = make([][]dataset.Sample, len(engines))
-		for i := range bufs {
-			bufs[i] = make([]dataset.Sample, cfg.BatchSize)
-		}
-	}
-	clientBuf := func(k int) []dataset.Sample {
-		if bufs == nil {
-			return nil
-		}
-		return bufs[k]
+	r, err := NewRunner(engines, gens, cfg)
+	if err != nil {
+		return nil, nil, err
 	}
 	for round := 0; round < cfg.Rounds; round++ {
-		record := round >= cfg.SkipRounds
-		if cfg.Concurrent {
-			err = runRoundConcurrent(engines, gens, perClient, cfg, round, record, clientBuf)
-		} else {
-			err = runRoundSequential(engines, gens, perClient, cfg, round, record, clientBuf)
-		}
-		if err != nil {
+		if err := r.RunRound(round); err != nil {
 			return nil, nil, err
 		}
 	}
-	combined = &metrics.Accumulator{}
-	for _, acc := range perClient {
-		combined.Merge(acc)
-	}
-	return perClient, combined, nil
+	return r.PerClient(), r.Combined(), nil
 }
 
 // runClientRound drives one client through one round's begin hook and

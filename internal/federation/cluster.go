@@ -1,0 +1,196 @@
+package federation
+
+import (
+	"context"
+	"fmt"
+	"sync"
+
+	"coca/internal/core"
+	"coca/internal/engine"
+	"coca/internal/metrics"
+	"coca/internal/semantics"
+	"coca/internal/stream"
+)
+
+// ClusterConfig assembles a multi-edge-server CoCa deployment in process:
+// N federated servers, a fleet of clients assigned across them, a shared
+// workload partition, and a peer-sync cadence.
+type ClusterConfig struct {
+	// NumServers is the edge-server count.
+	NumServers int
+	// NumClients is the total fleet size, assigned to servers per
+	// Assignment.
+	NumClients int
+	// Topology is the peer graph kind (default Mesh).
+	Topology Kind
+	// Assignment maps clients onto servers (default AssignBlock).
+	Assignment AssignPolicy
+	// SyncEvery runs a federation sync round after every SyncEvery-th
+	// round barrier; 0 disables peer sync (the partitioned baseline).
+	SyncEvery int
+	// RemoteFreqWeight is the NodeConfig.RemoteFreqWeight applied to
+	// every node (0 = default discount, negative = no frequency sync).
+	RemoteFreqWeight float64
+	// Client is the per-client configuration template; ID and EnvSeed are
+	// assigned per client from its fleet-wide id, so a client behaves
+	// identically wherever it is assigned.
+	Client core.ClientConfig
+	// Server configures every edge server. Servers share the Seed — the
+	// paper's shared global dataset — so their initial tables agree and
+	// the first sync ships only client-driven changes.
+	Server core.ServerConfig
+	// Stream describes the fleet-wide workload; its NumClients must match
+	// NumClients or be zero (it is then filled in).
+	Stream stream.Config
+	// Rounds and SkipRounds control the run length and warm-up exclusion.
+	Rounds, SkipRounds int
+	// BatchSize drives each client's frames through the batched hot path.
+	BatchSize int
+}
+
+// Cluster is a federated fleet wired in process: every server runs its
+// clients concurrently each round (the single-server Cluster semantics,
+// per server), and at sync barriers the nodes exchange cell deltas in
+// deterministic order.
+type Cluster struct {
+	Space *semantics.Space
+	Nodes []*Node
+	// Clients holds each server's clients, ascending fleet-wide id.
+	Clients [][]*core.Client
+	// ClientIDs is the client→server assignment that built Clients.
+	ClientIDs [][]int
+
+	topo    *Topology
+	runners []*engine.Runner
+	cfg     ClusterConfig
+}
+
+// NewCluster builds the servers, nodes, per-server client fleets and
+// stream generators.
+func NewCluster(space *semantics.Space, cfg ClusterConfig) (*Cluster, error) {
+	if cfg.NumServers < 1 {
+		return nil, fmt.Errorf("federation: cluster needs at least one server, got %d", cfg.NumServers)
+	}
+	if cfg.Rounds < 1 {
+		return nil, fmt.Errorf("federation: cluster rounds %d < 1", cfg.Rounds)
+	}
+	if cfg.SyncEvery < 0 {
+		return nil, fmt.Errorf("federation: SyncEvery %d < 0", cfg.SyncEvery)
+	}
+	if cfg.Topology == "" {
+		cfg.Topology = Mesh
+	}
+	topo, err := NewTopology(cfg.Topology, cfg.NumServers)
+	if err != nil {
+		return nil, err
+	}
+	assignment, err := Assign(cfg.NumClients, cfg.NumServers, cfg.Assignment)
+	if err != nil {
+		return nil, err
+	}
+	if cfg.Stream.NumClients == 0 {
+		cfg.Stream.NumClients = cfg.NumClients
+	}
+	if cfg.Stream.NumClients != cfg.NumClients {
+		return nil, fmt.Errorf("federation: stream has %d clients, cluster has %d", cfg.Stream.NumClients, cfg.NumClients)
+	}
+	if cfg.Stream.Dataset == nil {
+		cfg.Stream.Dataset = space.DS
+	}
+	part, err := stream.NewPartition(cfg.Stream)
+	if err != nil {
+		return nil, fmt.Errorf("federation: cluster workload: %w", err)
+	}
+
+	c := &Cluster{Space: space, ClientIDs: assignment, topo: topo, cfg: cfg}
+	frames := cfg.Client.RoundFrames
+	if frames == 0 {
+		frames = core.DefaultRoundFrames
+	}
+	for s := 0; s < cfg.NumServers; s++ {
+		srv := core.NewServer(space, cfg.Server)
+		node := NewNode(srv, NodeConfig{ID: s, Relay: topo.Forwarding(), RemoteFreqWeight: cfg.RemoteFreqWeight})
+		c.Nodes = append(c.Nodes, node)
+
+		clients := make([]*core.Client, 0, len(assignment[s]))
+		engines := make([]engine.Engine, 0, len(assignment[s]))
+		gens := make([]*stream.Generator, 0, len(assignment[s]))
+		for _, id := range assignment[s] {
+			ccfg := cfg.Client
+			ccfg.ID = id
+			if ccfg.EnvSeed == 0 {
+				ccfg.EnvSeed = uint64(id) + 1
+			}
+			client, err := core.NewClient(context.Background(), space, node, ccfg)
+			if err != nil {
+				return nil, err
+			}
+			clients = append(clients, client)
+			engines = append(engines, client)
+			gens = append(gens, part.Client(id))
+		}
+		c.Clients = append(c.Clients, clients)
+		runner, err := engine.NewRunner(engines, gens, engine.RunConfig{
+			Rounds:         cfg.Rounds,
+			FramesPerRound: frames,
+			SkipRounds:     cfg.SkipRounds,
+			Concurrent:     true,
+			BatchSize:      cfg.BatchSize,
+		})
+		if err != nil {
+			return nil, err
+		}
+		c.runners = append(c.runners, runner)
+	}
+	return c, nil
+}
+
+// Topology returns the cluster's peer graph.
+func (c *Cluster) Topology() *Topology { return c.topo }
+
+// Run executes the configured rounds. Servers run concurrently within a
+// round (their fleets are disjoint and each runner is itself concurrent
+// across its clients); at every SyncEvery-th round barrier the nodes
+// exchange deltas in deterministic order, so a fixed seed reproduces
+// identical metrics run to run. It returns per-server and fleet-combined
+// metrics.
+func (c *Cluster) Run() (perServer []*metrics.Accumulator, combined *metrics.Accumulator, err error) {
+	for round := 0; round < c.cfg.Rounds; round++ {
+		errs := make([]error, len(c.runners))
+		var wg sync.WaitGroup
+		for s := range c.runners {
+			wg.Add(1)
+			go func(s int) {
+				defer wg.Done()
+				errs[s] = c.runners[s].RunRound(round)
+			}(s)
+		}
+		wg.Wait()
+		for s, rerr := range errs {
+			if rerr != nil {
+				return nil, nil, fmt.Errorf("federation: server %d: %w", s, rerr)
+			}
+		}
+		if c.cfg.SyncEvery > 0 && (round+1)%c.cfg.SyncEvery == 0 {
+			if err := SyncNodes(c.Nodes, c.topo); err != nil {
+				return nil, nil, err
+			}
+		}
+	}
+	perServer = make([]*metrics.Accumulator, len(c.runners))
+	combined = &metrics.Accumulator{}
+	for s, r := range c.runners {
+		perServer[s] = r.Combined()
+		combined.Merge(perServer[s])
+	}
+	return perServer, combined, nil
+}
+
+// SyncStats aggregates the fleet's sync counters.
+func (c *Cluster) SyncStats() SyncStats {
+	var total SyncStats
+	for _, n := range c.Nodes {
+		total.add(n.Stats())
+	}
+	return total
+}

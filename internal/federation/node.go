@@ -1,0 +1,404 @@
+package federation
+
+import (
+	"context"
+	"fmt"
+	"sync"
+
+	"coca/internal/core"
+	"coca/internal/protocol"
+)
+
+// cellKey names one global-table cell.
+type cellKey struct{ class, layer int }
+
+// SyncStats counts a node's federation-tier traffic.
+type SyncStats struct {
+	// Syncs is the number of completed sync rounds (the node's epoch).
+	Syncs int
+	// CellsSent / CellsRecv count delta cells shipped and merged.
+	CellsSent, CellsRecv int
+	// BytesSent / BytesRecv measure sync traffic in encoded wire bytes
+	// (the delta encoding of internal/protocol), whether the delta
+	// actually traveled a wire or an in-process exchange.
+	BytesSent, BytesRecv int64
+	// Errors counts failed wire sync attempts; LastError describes the
+	// most recent one (empty when every sync succeeded).
+	Errors    int
+	LastError string
+}
+
+// add folds another stat set in (fleet-wide aggregation).
+func (s *SyncStats) add(o SyncStats) {
+	s.Syncs += o.Syncs
+	s.CellsSent += o.CellsSent
+	s.CellsRecv += o.CellsRecv
+	s.BytesSent += o.BytesSent
+	s.BytesRecv += o.BytesRecv
+	s.Errors += o.Errors
+	if o.LastError != "" {
+		s.LastError = o.LastError
+	}
+}
+
+// DefaultRemoteFreqWeight is the default importance discount on
+// frequency increments shipped to peers (see NodeConfig).
+const DefaultRemoteFreqWeight = 0.3
+
+// NodeConfig parametrizes a federation node.
+type NodeConfig struct {
+	// ID is the node's federation id; peer merges during a sync round are
+	// applied in ascending id order, which is what keeps multi-server
+	// simulations reproducible.
+	ID int
+	// Relay marks this node as a relay hop (star hubs, ring members):
+	// evidence received from one peer stays pending toward the others so
+	// it forwards onward. Non-relaying nodes (full mesh — every pair
+	// exchanges directly) credit received evidence to EVERY peer view
+	// immediately: the origin ships to each peer itself, and without
+	// this, evidence would re-circulate around wire meshes forever at
+	// constant amplitude (wire syncs have no barrier, so the in-process
+	// driver's post-sync fast-forward cannot help there).
+	Relay bool
+	// RemoteFreqWeight discounts the Φ increments shipped to peers.
+	// Remote observations are biased samples of ANOTHER fleet's class
+	// distribution: folded in at full weight they broaden every client's
+	// hot-spot set toward globally-popular classes it rarely streams,
+	// taxing lookup cost for entries that rarely hit. A weight below 1 is
+	// the importance correction — enough Φ mass for a churned-in class to
+	// clear ACA's coverage cut once local recency (τ) backs it, without
+	// letting remote popularity dominate local allocation. 0 defaults to
+	// DefaultRemoteFreqWeight; negative disables frequency sync.
+	RemoteFreqWeight float64
+}
+
+// remoteFreqWeight resolves the configured discount.
+func (c NodeConfig) remoteFreqWeight() float64 {
+	if c.RemoteFreqWeight == 0 {
+		return DefaultRemoteFreqWeight
+	}
+	if c.RemoteFreqWeight < 0 {
+		return 0
+	}
+	return c.RemoteFreqWeight
+}
+
+// Node is one federated edge server: it wraps a core.Server (implementing
+// core.Coordinator by delegation, so clients connect to it exactly as to
+// a standalone server) and adds the peer-sync state — one evidence view
+// per peer, mirroring how client sessions track delta state.
+//
+// A view records, per cell, how much of this server's (monotone) evidence
+// ledger the peer already possesses; a cell travels exactly when the
+// ledger moved past the view, carrying the difference as its merge
+// weight. All view updates are increments — commit adds what was shipped,
+// apply adds what was received — so they commute: wire syncs interleaving
+// with local merges and inbound deltas can neither lose a pending
+// contribution nor echo a received one, without any phase barrier. The Φ
+// (class-frequency) views work identically, Φ itself being a monotone
+// ledger.
+//
+// Views start from the server's initial table state rather than zero:
+// federated servers are built from the same shared dataset (same
+// ServerConfig.Seed), so the initial centers and counts are common
+// knowledge and the first sync ships only what client traffic changed.
+type Node struct {
+	cfg NodeConfig
+	srv *core.Server
+
+	mu sync.Mutex
+	// views[peer][cell] = portion of the cell's evidence ledger the peer
+	// possesses.
+	views map[int]map[cellKey]float64
+	// freqViews[peer][class] = portion of this server's Φ the peer
+	// possesses.
+	freqViews map[int][]float64
+	// initial / initialFreq snapshot the ledgers at construction, the
+	// starting point of every new peer view.
+	initial     map[cellKey]float64
+	initialFreq []float64
+	epoch       uint64
+	stats       SyncStats
+}
+
+// NewNode wraps a server as a federation node.
+func NewNode(srv *core.Server, cfg NodeConfig) *Node {
+	n := &Node{
+		cfg: cfg, srv: srv,
+		views:     make(map[int]map[cellKey]float64),
+		freqViews: make(map[int][]float64),
+	}
+	n.initial = make(map[cellKey]float64)
+	srv.ForEachCell(func(class, layer int, _ []float32, _ uint64, _, evTotal float64) {
+		n.initial[cellKey{class, layer}] = evTotal
+	})
+	n.initialFreq = srv.GlobalFreq()
+	return n
+}
+
+// ID returns the node's federation id.
+func (n *Node) ID() int { return n.cfg.ID }
+
+// Server returns the wrapped edge server.
+func (n *Node) Server() *core.Server { return n.srv }
+
+// Open implements core.Coordinator by delegation: clients of a federated
+// node coordinate with its local server as usual.
+func (n *Node) Open(ctx context.Context, clientID int) (core.Session, error) {
+	return n.srv.Open(ctx, clientID)
+}
+
+// Stats returns a snapshot of the node's sync counters.
+func (n *Node) Stats() SyncStats {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	return n.stats
+}
+
+// view returns (creating if needed) the evidence view for a peer.
+// Callers hold n.mu.
+func (n *Node) view(peerID int) map[cellKey]float64 {
+	v, ok := n.views[peerID]
+	if !ok {
+		v = make(map[cellKey]float64, len(n.initial))
+		for k, ev := range n.initial {
+			v[k] = ev
+		}
+		n.views[peerID] = v
+	}
+	return v
+}
+
+// freqView returns (creating if needed) the Φ view for a peer. Callers
+// hold n.mu.
+func (n *Node) freqView(peerID int) []float64 {
+	v, ok := n.freqViews[peerID]
+	if !ok {
+		v = append([]float64(nil), n.initialFreq...)
+		n.freqViews[peerID] = v
+	}
+	return v
+}
+
+// Delta is one peer-bound batch of changed cells and Φ increments.
+// freqRaw keeps the undiscounted Φ increments for CommitDelta (the peer
+// is credited with the full information even though it folds it in
+// discounted).
+type Delta struct {
+	Cells   []protocol.PeerCell
+	Freq    []float64
+	freqRaw []float64
+}
+
+// Empty reports whether the delta carries nothing.
+func (d Delta) Empty() bool { return len(d.Cells) == 0 && d.Freq == nil }
+
+// CollectDelta gathers the cells whose evidence ledger moved past what
+// the peer possesses — new entries, client merges, and (in forwarding
+// topologies) evidence learned from other peers — each carrying the
+// ledger difference as its evidence, plus the Φ increments under the
+// remote-importance discount. It does not mark anything as delivered;
+// call CommitDelta once the exchange succeeded, so a failed wire send
+// retries the same content on the next sync.
+func (n *Node) CollectDelta(peerID int) Delta {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	view := n.view(peerID)
+	var d Delta
+	n.srv.ForEachCell(func(class, layer int, vec []float32, _ uint64, _, evTotal float64) {
+		// The evidence shipped is the ledger growth since the last sync
+		// with this peer: exactly the new information, never the (capped)
+		// bulk of the entry's history.
+		if ev := evTotal - view[cellKey{class, layer}]; ev > 0 {
+			// vec is the live entry; merges replace entry slices rather
+			// than mutating them, so holding the reference is a stable
+			// snapshot.
+			d.Cells = append(d.Cells, protocol.PeerCell{Class: class, Layer: layer, Evidence: ev, Vec: vec})
+		}
+	})
+	// Φ increments since the last sync with this peer (Eq. 5 across the
+	// federation): Φ is monotone, so view differences are the increments,
+	// shipped under the remote-importance discount (biased samples of
+	// this fleet's distribution, not the receiver's).
+	w := n.cfg.remoteFreqWeight()
+	if w > 0 {
+		freq := n.srv.GlobalFreq()
+		fview := n.freqView(peerID)
+		var fdelta, fraw []float64
+		for i, f := range freq {
+			if f > fview[i] {
+				if fdelta == nil {
+					fdelta = make([]float64, len(freq))
+					fraw = make([]float64, len(freq))
+				}
+				fraw[i] = f - fview[i]
+				fdelta[i] = w * fraw[i]
+			}
+		}
+		if fdelta != nil {
+			d.Freq = fdelta
+			d.freqRaw = fraw
+		}
+	}
+	return d
+}
+
+// CommitDelta credits a successfully delivered delta to the peer's views
+// and counts its traffic. Credits are increments (never absolute
+// overwrites), so commits commute with inbound applies that landed
+// between collection and delivery.
+func (n *Node) CommitDelta(peerID int, d Delta, wireBytes int) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	view := n.view(peerID)
+	for _, c := range d.Cells {
+		view[cellKey{c.Class, c.Layer}] += c.Evidence
+	}
+	if d.freqRaw != nil {
+		fview := n.freqView(peerID)
+		for i, f := range d.freqRaw {
+			fview[i] += f
+		}
+	}
+	n.stats.CellsSent += len(d.Cells)
+	n.stats.BytesSent += int64(wireBytes)
+}
+
+// HandlePeerHello implements protocol.PeerHandler: it checks model
+// agreement (mirroring the client Hello validation) and returns this
+// node's id for the ack.
+func (n *Node) HandlePeerHello(nodeID, numClasses, numLayers int) (int, error) {
+	if nodeID == n.cfg.ID {
+		return 0, fmt.Errorf("federation: peer offers node id %d, which is this node's own id — every fleet member needs a distinct id", nodeID)
+	}
+	classes, layers := n.srv.Shape()
+	if numClasses != classes || numLayers != layers {
+		return 0, fmt.Errorf("federation: peer %d model mismatch: peer %d×%d, local %d×%d",
+			nodeID, numClasses, numLayers, classes, layers)
+	}
+	return n.cfg.ID, nil
+}
+
+// HandlePeerDelta implements protocol.PeerHandler: it merges a peer's
+// changed cells into the local table, recency-weighted, in the order sent
+// (ascending (class, layer) — CollectDelta's scan order), folds the
+// peer's Φ increments into the local frequencies, and credits the
+// received evidence to the sender's views — the sender possesses what it
+// sent, so nothing received is ever echoed back.
+//
+// Malformed cells are skipped (recorded in SyncStats) rather than
+// failing the exchange: erroring out mid-delta would leave the sender
+// uncommitted and retrying the already-applied prefix every sync —
+// unbounded evidence inflation from one bad cell. Only a bad frequency
+// vector fails the whole exchange (it is all-or-nothing by shape).
+func (n *Node) HandlePeerDelta(d *protocol.PeerDelta) (int, error) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	from := int(d.NodeID)
+	view := n.view(from)
+	applied := 0
+	for _, c := range d.Cells {
+		k := cellKey{c.Class, c.Layer}
+		ver, _, err := n.srv.MergePeerCell(c.Class, c.Layer, c.Vec, c.Evidence, view[k])
+		if err != nil {
+			n.stats.Errors++
+			n.stats.LastError = err.Error()
+			continue
+		}
+		if ver == 0 {
+			continue // updates disabled; the ledger did not move
+		}
+		applied++
+		if n.cfg.Relay {
+			view[k] += c.Evidence
+		} else {
+			// Non-relaying (mesh) node: the origin ships to every peer
+			// directly, so received evidence is possessed-by-all — credit
+			// every existing view and the template for future ones.
+			for _, v := range n.views {
+				v[k] += c.Evidence
+			}
+			n.initial[k] += c.Evidence
+		}
+	}
+	if len(d.Freq) > 0 {
+		if err := n.srv.AddPeerFreq(d.Freq); err != nil {
+			return applied, err
+		}
+		if n.cfg.Relay {
+			fview := n.freqView(from)
+			for i, f := range d.Freq {
+				fview[i] += f
+			}
+		} else {
+			for _, fv := range n.freqViews {
+				for i, f := range d.Freq {
+					fv[i] += f
+				}
+			}
+			for i, f := range d.Freq {
+				n.initialFreq[i] += f
+			}
+		}
+	}
+	n.stats.CellsRecv += applied
+	return applied, nil
+}
+
+// noteSyncError records a failed wire sync attempt so silent peer
+// misconfiguration (bad address, model mismatch) is visible in Stats.
+func (n *Node) noteSyncError(err error) {
+	n.mu.Lock()
+	n.stats.Errors++
+	n.stats.LastError = err.Error()
+	n.mu.Unlock()
+}
+
+// NotePeerRecvBytes counts inbound sync traffic (called by the serving
+// loop with the frame size of a received peer delta, and by the
+// in-process driver with the encoded exchange size).
+func (n *Node) NotePeerRecvBytes(b int) {
+	n.mu.Lock()
+	n.stats.BytesRecv += int64(b)
+	n.mu.Unlock()
+}
+
+// EndSync closes one sync round: the epoch advances and, when
+// fastForward is set (full-mesh fleets, where every pair exchanges
+// directly), every peer view jumps to the current ledgers so evidence
+// just learned from one peer is not re-broadcast to the others.
+// Forwarding topologies (star, ring) skip the fast-forward — relaying is
+// exactly how evidence crosses the hub or travels the ring. Wire fleets
+// skip it too: their syncs are not barriered, and collapsing views
+// mid-flight could mark locally-pending evidence as delivered.
+func (n *Node) EndSync(fastForward bool) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	n.epoch++
+	n.stats.Syncs++
+	if !fastForward || len(n.views) == 0 {
+		return
+	}
+	n.srv.ForEachCell(func(class, layer int, _ []float32, _ uint64, _, evTotal float64) {
+		k := cellKey{class, layer}
+		for _, view := range n.views {
+			view[k] = evTotal
+		}
+	})
+	freq := n.srv.GlobalFreq()
+	for _, fview := range n.freqViews {
+		copy(fview, freq)
+	}
+}
+
+// Epoch returns the number of completed sync rounds.
+func (n *Node) Epoch() uint64 {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	return n.epoch
+}
+
+var (
+	_ core.Coordinator     = (*Node)(nil)
+	_ protocol.PeerHandler = (*Node)(nil)
+)

@@ -1,0 +1,112 @@
+package federation
+
+import (
+	"fmt"
+
+	"coca/internal/protocol"
+)
+
+// SyncNodes executes one federation sync round over an in-process fleet,
+// deterministically. It runs in two phases so the outcome is a pure
+// function of the pre-sync state:
+//
+//  1. every node collects its delta for every peer link (ascending
+//     (sender, receiver) order) — nothing is applied yet, so collection
+//     order cannot influence content;
+//  2. every node applies the deltas addressed to it in ascending sender
+//     id order — the deterministic peer-id merge rule.
+//
+// Each non-empty delta is encoded as its protocol frame even though no
+// wire is involved: the frame length is the sync-traffic measurement the
+// federation experiments report, and encoding exercises the exact wire
+// path. Empty deltas are skipped (a wire sender would not dial for
+// nothing).
+func SyncNodes(nodes []*Node, topo *Topology) error {
+	if len(nodes) != topo.NumNodes() {
+		return fmt.Errorf("federation: %d nodes under a %d-node topology", len(nodes), topo.NumNodes())
+	}
+	byID := make(map[int]*Node, len(nodes))
+	order := make([]int, 0, len(nodes))
+	for _, n := range nodes {
+		if _, dup := byID[n.ID()]; dup {
+			return fmt.Errorf("federation: duplicate node id %d", n.ID())
+		}
+		byID[n.ID()] = n
+		order = append(order, n.ID())
+	}
+	for i := 1; i < len(order); i++ {
+		if order[i] < order[i-1] {
+			return fmt.Errorf("federation: nodes must be ordered by id (got %d before %d)", order[i-1], order[i])
+		}
+	}
+	if len(nodes) != len(topo.peers) {
+		return fmt.Errorf("federation: topology covers %d nodes, fleet has %d", len(topo.peers), len(nodes))
+	}
+	for _, n := range nodes {
+		if n.cfg.Relay != topo.Forwarding() {
+			return fmt.Errorf("federation: node %d has Relay=%v under a %s topology (want %v): evidence would %s",
+				n.ID(), n.cfg.Relay, topo.Kind(), topo.Forwarding(),
+				map[bool]string{true: "never cross the relay hop", false: "re-circulate the mesh"}[topo.Forwarding()])
+		}
+	}
+
+	type exchange struct {
+		from, to int
+		delta    Delta
+		bytes    int
+	}
+	var exchanges []exchange
+
+	// Phase 1: collect. Topology indices are positions in the ordered
+	// node slice, so node ids and topology nodes line up.
+	for i, n := range nodes {
+		for _, p := range topo.Peers(i) {
+			peer := nodes[p]
+			d := n.CollectDelta(peer.ID())
+			if d.Empty() {
+				continue
+			}
+			frame, err := protocol.Encode(&protocol.Message{
+				Type: protocol.TypePeerDelta,
+				PeerDelta: &protocol.PeerDelta{
+					NodeID: int32(n.ID()),
+					Epoch:  n.Epoch(),
+					Cells:  d.Cells,
+					Freq:   d.Freq,
+				},
+			})
+			if err != nil {
+				return fmt.Errorf("federation: encode delta %d→%d: %w", n.ID(), peer.ID(), err)
+			}
+			exchanges = append(exchanges, exchange{from: n.ID(), to: peer.ID(), delta: d, bytes: len(frame)})
+		}
+	}
+
+	// Phase 2: apply, receiver-major then sender order (exchanges were
+	// generated sender-major over ascending ids, so a stable selection by
+	// receiver preserves ascending sender order per receiver).
+	for _, n := range nodes {
+		for _, ex := range exchanges {
+			if ex.to != n.ID() {
+				continue
+			}
+			if _, err := n.HandlePeerDelta(&protocol.PeerDelta{
+				NodeID: int32(ex.from),
+				Epoch:  byID[ex.from].Epoch(),
+				Cells:  ex.delta.Cells,
+				Freq:   ex.delta.Freq,
+			}); err != nil {
+				return fmt.Errorf("federation: apply delta %d→%d: %w", ex.from, ex.to, err)
+			}
+			n.NotePeerRecvBytes(ex.bytes)
+			byID[ex.from].CommitDelta(ex.to, ex.delta, ex.bytes)
+		}
+	}
+
+	// Phase 3: close the round on every node.
+	fastForward := !topo.Forwarding()
+	for _, n := range nodes {
+		n.EndSync(fastForward)
+	}
+	return nil
+}

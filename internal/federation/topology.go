@@ -1,0 +1,100 @@
+// Package federation adds the multi-edge-server tier to CoCa: N edge
+// servers each run their own sharded global cache table for their local
+// client fleet and periodically exchange per-cell deltas with peer
+// servers, so a class cached by the clients of one server accelerates the
+// clients of every other. The sync protocol reuses the coordinator-v2
+// primitives — per-cell write versions drive delta collection exactly as
+// they drive client allocation deltas, and peer merges are
+// evidence-weighted (DESIGN.md rule) so a heavily-supported center cannot
+// be displaced by a sparsely-observed one.
+package federation
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Kind names a federation topology.
+type Kind string
+
+const (
+	// Mesh connects every node to every other. Nodes do not relay
+	// peer-learned changes (every pair already exchanges directly).
+	Mesh Kind = "mesh"
+	// Star connects every node to node 0, the hub — the two-tier
+	// edge+shield pattern: leaves sync with the hub only, and the hub
+	// relays between them.
+	Star Kind = "star"
+	// Ring connects node i to its neighbours (i±1 mod n); changes relay
+	// hop by hop around the ring.
+	Ring Kind = "ring"
+)
+
+// ParseKind validates a topology name.
+func ParseKind(s string) (Kind, error) {
+	switch Kind(s) {
+	case Mesh, Star, Ring:
+		return Kind(s), nil
+	}
+	return "", fmt.Errorf("federation: unknown topology %q (want mesh, star or ring)", s)
+}
+
+// Topology is a static peer graph over nodes 0..n-1.
+type Topology struct {
+	kind  Kind
+	peers [][]int
+}
+
+// NewTopology builds the peer graph of the given kind over n nodes.
+func NewTopology(kind Kind, n int) (*Topology, error) {
+	if n < 1 {
+		return nil, fmt.Errorf("federation: topology over %d nodes", n)
+	}
+	t := &Topology{kind: kind, peers: make([][]int, n)}
+	add := func(a, b int) {
+		t.peers[a] = append(t.peers[a], b)
+		t.peers[b] = append(t.peers[b], a)
+	}
+	switch kind {
+	case Mesh:
+		for a := 0; a < n; a++ {
+			for b := a + 1; b < n; b++ {
+				add(a, b)
+			}
+		}
+	case Star:
+		for b := 1; b < n; b++ {
+			add(0, b)
+		}
+	case Ring:
+		if n == 2 {
+			add(0, 1) // degenerate ring: a single link, not a double edge
+		} else {
+			for a := 0; a < n; a++ {
+				add(a, (a+1)%n)
+			}
+		}
+	default:
+		return nil, fmt.Errorf("federation: unknown topology kind %q", kind)
+	}
+	for i := range t.peers {
+		sort.Ints(t.peers[i])
+	}
+	return t, nil
+}
+
+// Kind returns the topology kind.
+func (t *Topology) Kind() Kind { return t.kind }
+
+// NumNodes returns the node count.
+func (t *Topology) NumNodes() int { return len(t.peers) }
+
+// Peers returns node i's neighbours, ascending (shared slice; do not
+// mutate).
+func (t *Topology) Peers(i int) []int { return t.peers[i] }
+
+// Forwarding reports whether nodes must relay peer-learned changes onward
+// — true for multi-hop topologies (star, ring), false for a full mesh
+// where every pair exchanges directly and relaying would only re-broadcast
+// already-delivered cells.
+func (t *Topology) Forwarding() bool { return t.kind != Mesh }

@@ -1,0 +1,195 @@
+package federation
+
+import (
+	"context"
+	"fmt"
+	"sync"
+	"time"
+
+	"coca/internal/protocol"
+	"coca/internal/transport"
+)
+
+// PeerSet manages a node's outbound wire links to a static peer address
+// list: it dials and handshakes lazily, retries failed peers on the next
+// sync, and ships each reachable peer the node's current delta. It is the
+// networked counterpart of SyncNodes — real fleets run one PeerSet per
+// server, on a time cadence rather than a round barrier, so cross-server
+// determinism is (deliberately) not promised there.
+type PeerSet struct {
+	node  *Node
+	addrs []string
+
+	mu sync.Mutex
+	// conns holds handshaken links; pending holds connections still in
+	// the dial/handshake window, so Close can cut a stuck handshake too.
+	conns   map[string]*protocol.PeerClient
+	pending map[string]transport.Conn
+	closed  bool
+}
+
+// NewPeerSet builds the link set; no connection is attempted until the
+// first sync.
+func NewPeerSet(node *Node, addrs []string) *PeerSet {
+	return &PeerSet{
+		node: node, addrs: addrs,
+		conns:   make(map[string]*protocol.PeerClient),
+		pending: make(map[string]transport.Conn),
+	}
+}
+
+// link returns an established handshaken link to addr, dialing if needed.
+// The lock is never held across network operations: the in-flight
+// connection is parked in pending so a concurrent Close unblocks the
+// dial/handshake instead of deadlocking behind it.
+func (p *PeerSet) link(ctx context.Context, addr string) (*protocol.PeerClient, error) {
+	p.mu.Lock()
+	if p.closed {
+		p.mu.Unlock()
+		return nil, fmt.Errorf("peer set closed")
+	}
+	if pc, ok := p.conns[addr]; ok {
+		p.mu.Unlock()
+		return pc, nil
+	}
+	p.mu.Unlock()
+
+	conn, err := transport.DialContext(ctx, addr)
+	if err != nil {
+		return nil, err
+	}
+	p.mu.Lock()
+	if p.closed {
+		p.mu.Unlock()
+		_ = conn.Close()
+		return nil, fmt.Errorf("peer set closed")
+	}
+	p.pending[addr] = conn
+	p.mu.Unlock()
+
+	classes, layers := p.node.Server().Shape()
+	pc, err := protocol.DialPeer(conn, p.node.ID(), classes, layers)
+
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	delete(p.pending, addr)
+	if err != nil {
+		_ = conn.Close()
+		return nil, err
+	}
+	if p.closed {
+		_ = pc.Close()
+		return nil, fmt.Errorf("peer set closed")
+	}
+	p.conns[addr] = pc
+	return pc, nil
+}
+
+// drop closes and forgets a failed link so the next sync re-dials.
+func (p *PeerSet) drop(addr string) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if pc, ok := p.conns[addr]; ok {
+		_ = pc.Close()
+		delete(p.conns, addr)
+	}
+}
+
+// SyncOnce pushes the node's delta to every reachable peer and closes the
+// sync round. Unreachable or failing peers are skipped (and re-dialed
+// next time); their cells stay pending because deltas commit only on a
+// successful exchange. Delivery is therefore at-least-once: if the ack
+// is lost after the peer applied the delta, the next sync re-sends the
+// same evidence and the peer counts it twice — a bounded, one-delta
+// inflation accepted in exchange for never losing contributions (the
+// receiver skips malformed cells rather than failing the exchange, so a
+// persistently bad cell cannot force the whole delta to retry forever).
+// It returns how many peers were synced and the first error observed
+// (nil when every peer synced); errors are also recorded in the node's
+// SyncStats.
+func (p *PeerSet) SyncOnce(ctx context.Context) (synced int, err error) {
+	for _, addr := range p.addrs {
+		pc, derr := p.link(ctx, addr)
+		if derr != nil {
+			derr = fmt.Errorf("federation: peer %s: %w", addr, derr)
+			p.node.noteSyncError(derr)
+			if err == nil {
+				err = derr
+			}
+			continue
+		}
+		d := p.node.CollectDelta(pc.PeerID())
+		if d.Empty() {
+			synced++
+			continue
+		}
+		_, wireBytes, serr := pc.SendDelta(p.node.Epoch(), d.Cells, d.Freq)
+		if serr != nil {
+			p.drop(addr)
+			serr = fmt.Errorf("federation: peer %s: %w", addr, serr)
+			p.node.noteSyncError(serr)
+			if err == nil {
+				err = serr
+			}
+			continue
+		}
+		p.node.CommitDelta(pc.PeerID(), d, wireBytes)
+		synced++
+	}
+	// Wire fleets keep per-peer views live (no fast-forward): syncs are
+	// not barriered, so collapsing views could drop client merges that
+	// landed mid-sync.
+	p.node.EndSync(false)
+	return synced, err
+}
+
+// Run pushes deltas on the given cadence until ctx is done, then closes
+// the links. Non-positive intervals fall back to 5s (a zero ticker would
+// panic). Sync errors are delivered to onErr (which may be nil) and
+// recorded in the node's SyncStats either way. A watcher goroutine
+// closes the links as soon as ctx is canceled, so a sync blocked on an
+// unresponsive peer — mid-handshake or mid-exchange — unblocks with an
+// error instead of stalling shutdown.
+func (p *PeerSet) Run(ctx context.Context, interval time.Duration, onErr func(error)) {
+	if interval <= 0 {
+		interval = 5 * time.Second
+	}
+	watch := make(chan struct{})
+	defer close(watch)
+	go func() {
+		select {
+		case <-ctx.Done():
+			p.Close()
+		case <-watch:
+		}
+	}()
+	t := time.NewTicker(interval)
+	defer t.Stop()
+	for {
+		select {
+		case <-ctx.Done():
+			p.Close()
+			return
+		case <-t.C:
+			if _, err := p.SyncOnce(ctx); err != nil && onErr != nil {
+				onErr(err)
+			}
+		}
+	}
+}
+
+// Close shuts every link down — including connections still in the
+// dial/handshake window — and refuses further dialing.
+func (p *PeerSet) Close() {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	p.closed = true
+	for addr, pc := range p.conns {
+		_ = pc.Close()
+		delete(p.conns, addr)
+	}
+	for addr, conn := range p.pending {
+		_ = conn.Close()
+		delete(p.pending, addr)
+	}
+}

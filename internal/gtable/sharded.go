@@ -20,7 +20,9 @@ import (
 //     version moved past the one the client last saw), and
 //   - a support count — the per-cell evidence behind the entry, used as
 //     the Eq. 4 merge weight Φ and capped to keep the adaptation rate
-//     bounded (sliding-window semantics).
+//     bounded (sliding-window semantics), and
+//   - an uncapped evidence total, the monotone ledger federation peer
+//     syncs difference against (see shardRow.evtotal).
 type Sharded struct {
 	classes int
 	layers  int
@@ -32,7 +34,14 @@ type shardRow struct {
 	mu      sync.RWMutex
 	vecs    [][]float32 // [layer] -> unit vector or nil
 	vers    []uint64    // [layer] -> write version (0 = never written)
-	support []float64   // [layer] -> evidence count Φ
+	support []float64   // [layer] -> evidence count Φ (capped)
+	// evtotal is the uncapped, monotone evidence accumulated by the cell
+	// over its lifetime. Where support is the capped sliding-window weight
+	// Eq. 4 merges against, evtotal is the federation tier's ledger: the
+	// evidence a peer delta ships for a cell is the evtotal growth since
+	// the last sync with that peer, so a sync transfers exactly the new
+	// information — never the (capped) bulk of the entry's history.
+	evtotal []float64
 }
 
 // NewSharded creates an empty sharded table. It panics on non-positive
@@ -47,6 +56,7 @@ func NewSharded(classes, layers, dim int) *Sharded {
 		s.rows[i].vecs = make([][]float32, layers)
 		s.rows[i].vers = make([]uint64, layers)
 		s.rows[i].support = make([]float64, layers)
+		s.rows[i].evtotal = make([]float64, layers)
 	}
 	return s
 }
@@ -63,6 +73,7 @@ func ShardedFromTable(t *Table, initialSupport float64) *Sharded {
 				row.vecs[j] = vecmath.Clone(v)
 				row.vers[j] = 1
 				row.support[j] = initialSupport
+				row.evtotal[j] = initialSupport
 			}
 		}
 	}
@@ -149,8 +160,101 @@ func (s *Sharded) Merge(class, layer int, update []float32, gamma, localFreq, su
 	if supportCap > 0 && row.support[layer] > supportCap {
 		row.support[layer] = supportCap
 	}
+	row.evtotal[layer] += localFreq
 	row.vers[layer]++
 	return nil
+}
+
+// MergePeer folds a peer server's cell into (class, layer) under the
+// row's lock — the federation-tier merge. Unlike Merge (a client upload,
+// which the paper decays by γ), a peer cell is an aggregated estimate
+// whose value is its freshness, so the combination is weighted by RECENT
+// evidence on both sides: the peer entry by the evidence it ships (its
+// ledger growth since the last sync) against the local entry by the local
+// ledger growth since the same point (sinceEv names the ledger reading at
+// the last sync) plus a small inertia floor. Lifetime support is
+// deliberately not the local weight — under drift it is a poor recency
+// signal, and weighting by it would make a federated entry lag an
+// actively-streaming peer by many rounds. A cell nobody local streams
+// therefore tracks its remote feeder closely (local recent evidence ~0),
+// while a locally-hot cell blends streams in proportion to their rates —
+// approximating what one shared table would have computed from both
+// fleets' uploads.
+//
+// Support still advances by the peer evidence and is capped
+// (sliding-window semantics, same as Merge), the ledger advances so
+// forwarding topologies relay received evidence onward, and the cell
+// version is bumped so delta allocations and onward peer syncs see the
+// change. Absent cells adopt the peer entry directly. It returns the
+// cell's resulting write version and evidence total, which the federation
+// tier records in its per-peer views.
+func (s *Sharded) MergePeer(class, layer int, update []float32, evidence, sinceEv, inertia, supportCap float64) (uint64, float64, error) {
+	if err := s.check(class, layer); err != nil {
+		return 0, 0, err
+	}
+	if len(update) != s.dim {
+		return 0, 0, fmt.Errorf("gtable: MergePeer dim %d, want %d", len(update), s.dim)
+	}
+	if evidence <= 0 {
+		return 0, 0, fmt.Errorf("gtable: MergePeer evidence %v invalid", evidence)
+	}
+	if inertia < 0 {
+		return 0, 0, fmt.Errorf("gtable: MergePeer inertia %v invalid", inertia)
+	}
+	row := &s.rows[class]
+	row.mu.Lock()
+	defer row.mu.Unlock()
+	localRecent := row.evtotal[layer] - sinceEv
+	if localRecent < 0 {
+		localRecent = 0
+	}
+	old := row.vecs[layer]
+	if old == nil {
+		v := vecmath.Clone(update)
+		if vecmath.Normalize(v) == 0 {
+			return 0, 0, fmt.Errorf("gtable: MergePeer zero vector at (%d,%d)", class, layer)
+		}
+		row.vecs[layer] = v
+	} else if merged := mergeEntry(old, update, 1, localRecent+inertia, evidence); merged != nil {
+		row.vecs[layer] = merged
+	}
+	row.support[layer] += evidence
+	if supportCap > 0 && row.support[layer] > supportCap {
+		row.support[layer] = supportCap
+	}
+	row.evtotal[layer] += evidence
+	row.vers[layer]++
+	return row.vers[layer], row.evtotal[layer], nil
+}
+
+// Support returns the evidence count behind (class, layer).
+func (s *Sharded) Support(class, layer int) float64 {
+	if err := s.check(class, layer); err != nil {
+		panic(err)
+	}
+	row := &s.rows[class]
+	row.mu.RLock()
+	defer row.mu.RUnlock()
+	return row.support[layer]
+}
+
+// ForEachCell visits every populated cell in (class, layer) order with its
+// entry vector, write version and support count — the scan the federation
+// tier's delta collection runs. Rows are read-locked one at a time, so
+// concurrent merges into other rows are not blocked; the visited vector is
+// the live entry (merges replace, never mutate, entry slices) and must not
+// be modified by fn.
+func (s *Sharded) ForEachCell(fn func(class, layer int, vec []float32, ver uint64, support, evTotal float64)) {
+	for c := range s.rows {
+		row := &s.rows[c]
+		row.mu.RLock()
+		for j, v := range row.vecs {
+			if v != nil {
+				fn(c, j, v, row.vers[j], row.support[j], row.evtotal[j])
+			}
+		}
+		row.mu.RUnlock()
+	}
 }
 
 // Set stores a normalized copy of vec at (class, layer), bumping version
@@ -171,6 +275,7 @@ func (s *Sharded) Set(class, layer int, vec []float32, support float64) error {
 	defer row.mu.Unlock()
 	row.vecs[layer] = v
 	row.support[layer] = support
+	row.evtotal[layer] += support // the ledger stays monotone across re-seeds
 	row.vers[layer]++
 	return nil
 }

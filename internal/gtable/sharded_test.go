@@ -187,3 +187,120 @@ func TestShardedConcurrentMergeAndExtract(t *testing.T) {
 		t.Fatal(err)
 	}
 }
+
+func TestMergePeerRecencyWeighting(t *testing.T) {
+	s := NewSharded(2, 2, 4)
+	if err := s.Set(0, 0, axis(4, 0), 64); err != nil {
+		t.Fatal(err)
+	}
+	// No local evidence since the peer's reference point (sinceEv equals
+	// the ledger) and zero inertia: the peer entry replaces the local one.
+	ver, ev, err := s.MergePeer(0, 0, axis(4, 1), 32, 64, 0, 160)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ver != 2 {
+		t.Fatalf("version = %d, want 2", ver)
+	}
+	if ev != 96 {
+		t.Fatalf("evidence total = %v, want 96", ev)
+	}
+	got := s.Get(0, 0)
+	if vecmath.Cosine(got, axis(4, 1)) < 0.999 {
+		t.Fatalf("idle cell did not adopt the peer entry: %v", got)
+	}
+
+	// With local evidence since the sync point equal to the peer's, the
+	// merge is an even blend, not a replacement.
+	if err := s.Set(1, 0, axis(4, 0), 64); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := s.MergePeer(1, 0, axis(4, 1), 32, 32, 0, 160); err != nil {
+		t.Fatal(err)
+	}
+	got = s.Get(1, 0)
+	if c0, c1 := vecmath.Cosine(got, axis(4, 0)), vecmath.Cosine(got, axis(4, 1)); c0 < 0.6 || c1 < 0.6 {
+		t.Fatalf("active cell not blended: cos0=%v cos1=%v", c0, c1)
+	}
+}
+
+func TestMergePeerAbsentAndValidation(t *testing.T) {
+	s := NewSharded(2, 2, 4)
+	ver, ev, err := s.MergePeer(0, 1, axis(4, 3), 8, 0, 16, 160)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ver != 1 || ev != 8 {
+		t.Fatalf("absent-cell merge: ver=%d ev=%v", ver, ev)
+	}
+	if got := s.Get(0, 1); got == nil || got[3] != 1 {
+		t.Fatalf("absent cell not adopted: %v", got)
+	}
+	if _, _, err := s.MergePeer(0, 0, axis(4, 0), 0, 0, 16, 160); err == nil {
+		t.Fatal("zero evidence accepted")
+	}
+	if _, _, err := s.MergePeer(0, 0, axis(3, 0), 1, 0, 16, 160); err == nil {
+		t.Fatal("wrong dimension accepted")
+	}
+	if _, _, err := s.MergePeer(9, 0, axis(4, 0), 1, 0, 16, 160); err == nil {
+		t.Fatal("out-of-range cell accepted")
+	}
+	if _, _, err := s.MergePeer(0, 0, axis(4, 0), 1, 0, -1, 160); err == nil {
+		t.Fatal("negative inertia accepted")
+	}
+}
+
+func TestEvidenceLedgerMonotone(t *testing.T) {
+	s := NewSharded(1, 1, 4)
+	if err := s.Merge(0, 0, axis(4, 0), 0.99, 10, 20); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Merge(0, 0, axis(4, 1), 0.99, 30, 20); err != nil {
+		t.Fatal(err)
+	}
+	// Support capped at 20, but the ledger keeps the full 40.
+	if got := s.Support(0, 0); got != 20 {
+		t.Fatalf("support = %v, want capped 20", got)
+	}
+	var ledger float64
+	s.ForEachCell(func(class, layer int, _ []float32, ver uint64, support, evTotal float64) {
+		if class != 0 || layer != 0 {
+			t.Fatalf("unexpected cell (%d,%d)", class, layer)
+		}
+		if ver != 2 || support != 20 {
+			t.Fatalf("cell state ver=%d support=%v", ver, support)
+		}
+		ledger = evTotal
+	})
+	if ledger != 40 {
+		t.Fatalf("evidence ledger = %v, want 40", ledger)
+	}
+	if _, _, err := s.MergePeer(0, 0, axis(4, 1), 5, 38, 16, 20); err != nil {
+		t.Fatal(err)
+	}
+	s.ForEachCell(func(_, _ int, _ []float32, _ uint64, _, evTotal float64) { ledger = evTotal })
+	if ledger != 45 {
+		t.Fatalf("ledger after peer merge = %v, want 45", ledger)
+	}
+}
+
+func TestForEachCellOrderAndSkip(t *testing.T) {
+	s := NewSharded(3, 2, 4)
+	if err := s.Set(2, 0, axis(4, 0), 1); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Set(0, 1, axis(4, 1), 1); err != nil {
+		t.Fatal(err)
+	}
+	var visited [][2]int
+	s.ForEachCell(func(class, layer int, vec []float32, ver uint64, _, _ float64) {
+		if vec == nil || ver == 0 {
+			t.Fatalf("visited cell (%d,%d) without state", class, layer)
+		}
+		visited = append(visited, [2]int{class, layer})
+	})
+	want := [][2]int{{0, 1}, {2, 0}}
+	if fmt.Sprint(visited) != fmt.Sprint(want) {
+		t.Fatalf("visit order %v, want %v", visited, want)
+	}
+}

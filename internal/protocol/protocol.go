@@ -35,7 +35,8 @@ const (
 )
 
 // Message type tags. Tags 1–7 exist in both versions; TypeDelta and
-// TypeBye are v2-only, and TypeAllocation is only produced for v1 peers.
+// TypeBye are v2-only, TypeAllocation is only produced for v1 peers, and
+// the TypePeer* tags (server↔server federation sync) are v2-only.
 const (
 	TypeHello byte = iota + 1
 	TypeHelloAck
@@ -46,6 +47,9 @@ const (
 	TypeError
 	TypeDelta
 	TypeBye
+	TypePeerHello
+	TypePeerDelta
+	TypePeerAck
 )
 
 // Message is a decoded protocol message; exactly one payload field is set,
@@ -70,6 +74,9 @@ type Message struct {
 	Allocation *core.Allocation
 	Delta      *core.Delta
 	Update     *core.UpdateReport
+	PeerHello  *PeerHello
+	PeerDelta  *PeerDelta
+	PeerAck    *PeerAck
 	Error      string
 }
 
@@ -77,6 +84,55 @@ type Message struct {
 type Hello struct {
 	// NumClasses and NumLayers let the server verify model agreement.
 	NumClasses, NumLayers int32
+}
+
+// PeerHello opens a federation peer link between two edge servers. It
+// mirrors the client Hello: the dialing node names itself, states its
+// model shape for agreement checking, and offers its highest protocol
+// version in Message.Proto; the PeerAck answers with the accepting node's
+// id and the negotiated version.
+type PeerHello struct {
+	// NodeID is the dialing node's federation id.
+	NodeID int32
+	// NumClasses and NumLayers let the peer verify model agreement.
+	NumClasses, NumLayers int32
+}
+
+// PeerCell is one global-table cell traveling between federated edge
+// servers: the entry vector plus the evidence count behind it, which
+// weights the receiving server's merge (DESIGN.md evidence-weighted rule).
+type PeerCell struct {
+	Class, Layer int
+	// Evidence is the support count behind Vec on the sending server.
+	Evidence float64
+	Vec      []float32
+}
+
+// PeerDelta carries what changed on the sending node since it last synced
+// with the receiving peer — the federation tier's analogue of the client
+// allocation delta, built from the same per-cell write versions: the
+// changed cells, plus the growth of the class-frequency vector Φ (Eq. 5
+// extended across servers, which is what informs the receiving server's
+// ACA hot-spot selection about classes its own clients never stream).
+type PeerDelta struct {
+	// NodeID is the sending node's federation id.
+	NodeID int32
+	// Epoch counts the sender's sync rounds (diagnostic / ordering aid).
+	Epoch uint64
+	Cells []PeerCell
+	// Freq is the per-class Φ increments since the last sync with this
+	// peer (empty when nothing moved).
+	Freq []float64
+}
+
+// PeerAck answers PeerHello (carrying the accepting node's id and the
+// negotiated version in Message.Proto) and PeerDelta (carrying the number
+// of cells merged).
+type PeerAck struct {
+	// NodeID is the responding node's federation id.
+	NodeID int32
+	// Applied is the number of delta cells merged (0 for hello acks).
+	Applied int32
 }
 
 // ---- encoding primitives ----
@@ -353,6 +409,36 @@ func encodeV2(m *Message) ([]byte, error) {
 			return nil, fmt.Errorf("protocol: update payload missing")
 		}
 		encodeUpdate(w, m.Update)
+	case TypePeerHello:
+		if m.PeerHello == nil {
+			return nil, fmt.Errorf("protocol: peer-hello payload missing")
+		}
+		w.u8(m.Proto)
+		w.i32(m.PeerHello.NodeID)
+		w.i32(m.PeerHello.NumClasses)
+		w.i32(m.PeerHello.NumLayers)
+	case TypePeerDelta:
+		if m.PeerDelta == nil {
+			return nil, fmt.Errorf("protocol: peer-delta payload missing")
+		}
+		d := m.PeerDelta
+		w.i32(d.NodeID)
+		w.u64(d.Epoch)
+		w.u32(uint32(len(d.Cells)))
+		for _, c := range d.Cells {
+			w.i32(int32(c.Class))
+			w.i32(int32(c.Layer))
+			w.f64(c.Evidence)
+			w.f32s(c.Vec)
+		}
+		w.f64s(d.Freq)
+	case TypePeerAck:
+		if m.PeerAck == nil {
+			return nil, fmt.Errorf("protocol: peer-ack payload missing")
+		}
+		w.u8(m.Proto)
+		w.i32(m.PeerAck.NodeID)
+		w.i32(m.PeerAck.Applied)
 	case TypeAck, TypeBye:
 		// no payload
 	case TypeError:
@@ -489,6 +575,24 @@ func decodeV2(r *reader) (*Message, error) {
 		m.Delta = d
 	case TypeUpdate:
 		m.Update = decodeUpdate(r)
+	case TypePeerHello:
+		m.Proto = r.u8()
+		m.PeerHello = &PeerHello{NodeID: r.i32(), NumClasses: r.i32(), NumLayers: r.i32()}
+	case TypePeerDelta:
+		d := &PeerDelta{NodeID: r.i32(), Epoch: r.u64()}
+		nCells := r.length(20)
+		for i := 0; i < nCells && r.err == nil; i++ {
+			c := PeerCell{Class: int(r.i32()), Layer: int(r.i32()), Evidence: r.f64()}
+			c.Vec = r.f32s()
+			d.Cells = append(d.Cells, c)
+		}
+		if f := r.f64s(); len(f) > 0 {
+			d.Freq = f
+		}
+		m.PeerDelta = d
+	case TypePeerAck:
+		m.Proto = r.u8()
+		m.PeerAck = &PeerAck{NodeID: r.i32(), Applied: r.i32()}
 	case TypeAck, TypeBye:
 		// no payload
 	case TypeError:

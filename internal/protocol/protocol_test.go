@@ -84,6 +84,16 @@ func sampleMessagesV2() []*Message {
 		{Version: V2, Type: TypeBye, ClientID: 1, SessionID: 12},
 		{Version: V2, Type: TypeAck, ClientID: 1, SessionID: 12},
 		{Version: V2, Type: TypeError, ClientID: 2, SessionID: 12, Error: "model mismatch"},
+		{Version: V2, Type: TypePeerHello, Proto: V2,
+			PeerHello: &PeerHello{NodeID: 2, NumClasses: 50, NumLayers: 34}},
+		{Version: V2, Type: TypePeerDelta, PeerDelta: &PeerDelta{
+			NodeID: 2, Epoch: 9,
+			Cells: []PeerCell{
+				{Class: 4, Layer: 2, Evidence: 64, Vec: []float32{1, 0}},
+				{Class: 9, Layer: 8, Evidence: 160, Vec: []float32{0.7, 0.1}},
+			},
+		}},
+		{Version: V2, Type: TypePeerAck, Proto: V2, PeerAck: &PeerAck{NodeID: 1, Applied: 2}},
 	}
 }
 
@@ -144,6 +154,16 @@ func TestEncodeRejectsCrossVersionTypes(t *testing.T) {
 	if _, err := Encode(&Message{Version: V2, Type: TypeAllocation, Allocation: &core.Allocation{}}); err == nil {
 		t.Error("v2 allocation accepted")
 	}
+	// Federation peer messages do not exist in v1.
+	if _, err := Encode(&Message{Version: V1, Type: TypePeerHello, PeerHello: &PeerHello{}}); err == nil {
+		t.Error("v1 peer hello accepted")
+	}
+	if _, err := Encode(&Message{Version: V1, Type: TypePeerDelta, PeerDelta: &PeerDelta{}}); err == nil {
+		t.Error("v1 peer delta accepted")
+	}
+	if _, err := Encode(&Message{Version: V1, Type: TypePeerAck, PeerAck: &PeerAck{}}); err == nil {
+		t.Error("v1 peer ack accepted")
+	}
 }
 
 func TestDecodeRejectsUnknownType(t *testing.T) {
@@ -189,7 +209,7 @@ func TestDecodeRejectsTrailingBytes(t *testing.T) {
 }
 
 func TestEncodeRejectsMissingPayload(t *testing.T) {
-	for _, typ := range []byte{TypeHello, TypeHelloAck, TypeStatus, TypeUpdate, TypeDelta} {
+	for _, typ := range []byte{TypeHello, TypeHelloAck, TypeStatus, TypeUpdate, TypeDelta, TypePeerHello, TypePeerDelta, TypePeerAck} {
 		if _, err := Encode(&Message{Type: typ}); err == nil {
 			t.Errorf("type %d with nil payload accepted", typ)
 		}

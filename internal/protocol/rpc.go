@@ -181,6 +181,113 @@ func (s *wireSession) Close() error {
 
 var _ core.Session = (*wireSession)(nil)
 
+// PeerHandler is implemented by coordinators that also participate in the
+// federation tier (federation.Node): ServeConn routes TypePeerHello and
+// TypePeerDelta frames to it. Coordinators without PeerHandler reject peer
+// frames with an error reply.
+type PeerHandler interface {
+	// HandlePeerHello validates a peer link request and returns the local
+	// node's federation id.
+	HandlePeerHello(nodeID, numClasses, numLayers int) (localID int, err error)
+	// HandlePeerDelta merges a peer's delta (changed cells and frequency
+	// increments) and returns how many cells were applied.
+	HandlePeerDelta(d *PeerDelta) (applied int, err error)
+}
+
+// PeerClient is the dialing side of a federation peer link: it performs
+// the PeerHello handshake over a transport connection and ships deltas.
+// Round trips are serialized on the connection.
+type PeerClient struct {
+	conn transport.Conn
+	// localID is this node's federation id; peerID is learned from the
+	// handshake ack.
+	localID int
+	peerID  int
+
+	mu sync.Mutex
+}
+
+// DialPeer performs the PeerHello handshake for the node localID over an
+// established connection, validating model agreement (numClasses ×
+// numLayers) and protocol version, and returns the link.
+func DialPeer(conn transport.Conn, localID, numClasses, numLayers int) (*PeerClient, error) {
+	pc := &PeerClient{conn: conn, localID: localID}
+	m, err := pc.roundTrip(&Message{
+		Type:  TypePeerHello,
+		Proto: Version,
+		PeerHello: &PeerHello{
+			NodeID:     int32(localID),
+			NumClasses: int32(numClasses),
+			NumLayers:  int32(numLayers),
+		},
+	})
+	if err != nil {
+		return nil, err
+	}
+	if m.Type != TypePeerAck || m.PeerAck == nil {
+		return nil, fmt.Errorf("protocol: unexpected reply type %d to peer hello", m.Type)
+	}
+	if m.Proto != Version {
+		return nil, fmt.Errorf("protocol: peer negotiated unsupported version %d", m.Proto)
+	}
+	pc.peerID = int(m.PeerAck.NodeID)
+	return pc, nil
+}
+
+// PeerID returns the remote node's federation id (from the handshake ack).
+func (pc *PeerClient) PeerID() int { return pc.peerID }
+
+func (pc *PeerClient) roundTrip(req *Message) (*Message, error) {
+	m, _, err := pc.roundTripSized(req)
+	return m, err
+}
+
+// roundTripSized is roundTrip plus the encoded request size, which the
+// federation tier reports as sync traffic.
+func (pc *PeerClient) roundTripSized(req *Message) (*Message, int, error) {
+	pc.mu.Lock()
+	defer pc.mu.Unlock()
+	frame, err := Encode(req)
+	if err != nil {
+		return nil, 0, err
+	}
+	if err := pc.conn.Send(frame); err != nil {
+		return nil, len(frame), err
+	}
+	resp, err := pc.conn.Recv()
+	if err != nil {
+		return nil, len(frame), err
+	}
+	m, err := Decode(resp)
+	if err != nil {
+		return nil, len(frame), err
+	}
+	if m.Type == TypeError {
+		return nil, len(frame), fmt.Errorf("protocol: peer error: %s", m.Error)
+	}
+	return m, len(frame), nil
+}
+
+// SendDelta ships changed cells and frequency increments to the peer and
+// returns how many cells it applied plus the encoded frame size in bytes
+// (the sync-traffic measurement the federation experiments report).
+func (pc *PeerClient) SendDelta(epoch uint64, cells []PeerCell, freq []float64) (applied, wireBytes int, err error) {
+	m, wireBytes, err := pc.roundTripSized(&Message{
+		Type:      TypePeerDelta,
+		PeerDelta: &PeerDelta{NodeID: int32(pc.localID), Epoch: epoch, Cells: cells, Freq: freq},
+	})
+	if err != nil {
+		return 0, wireBytes, err
+	}
+	if m.Type != TypePeerAck || m.PeerAck == nil {
+		return 0, wireBytes, fmt.Errorf("protocol: unexpected reply type %d to peer delta", m.Type)
+	}
+	return int(m.PeerAck.Applied), wireBytes, nil
+}
+
+// Close releases the underlying connection.
+func (pc *PeerClient) Close() error { return pc.conn.Close() }
+
 // v1Peer is the per-connection state of a legacy (v1) client: its core
 // session plus the server-side view used to materialize full allocations
 // from the session's deltas.
@@ -195,6 +302,9 @@ type connState struct {
 	coord core.Coordinator
 	v2    map[uint64]core.Session
 	v1    map[int32]*v1Peer
+	// peerHello records that the connection completed a federation peer
+	// handshake (gates TypePeerDelta).
+	peerHello bool
 }
 
 func (cs *connState) closeAll() {
@@ -257,7 +367,7 @@ func (cs *connState) handle(ctx context.Context, frame []byte) *Message {
 	if m.Version == V1 {
 		return cs.handleV1(ctx, m)
 	}
-	return cs.handleV2(ctx, m)
+	return cs.handleV2(ctx, m, len(frame))
 }
 
 func errorReply(version byte, clientID int32, sessionID uint64, format string, args ...any) *Message {
@@ -281,8 +391,9 @@ func (cs *connState) open(ctx context.Context, clientID int32, hello *Hello) (co
 	return sess, info, nil
 }
 
-// handleV2 serves the session protocol.
-func (cs *connState) handleV2(ctx context.Context, m *Message) *Message {
+// handleV2 serves the session protocol. frameLen is the received frame's
+// size, accounted as sync traffic for peer deltas.
+func (cs *connState) handleV2(ctx context.Context, m *Message, frameLen int) *Message {
 	switch m.Type {
 	case TypeHello:
 		if m.Proto < V2 {
@@ -322,6 +433,36 @@ func (cs *connState) handleV2(ctx context.Context, m *Message) *Message {
 		delete(cs.v2, m.SessionID)
 		_ = sess.Close()
 		return &Message{Type: TypeAck, ClientID: m.ClientID, SessionID: m.SessionID}
+	case TypePeerHello:
+		ph, ok := cs.coord.(PeerHandler)
+		if !ok {
+			return errorReply(V2, m.ClientID, 0, "peer sync not supported by this endpoint")
+		}
+		if m.Proto < V2 {
+			return errorReply(V2, m.ClientID, 0, "peer offered protocol %d; federation requires %d", m.Proto, V2)
+		}
+		localID, err := ph.HandlePeerHello(int(m.PeerHello.NodeID), int(m.PeerHello.NumClasses), int(m.PeerHello.NumLayers))
+		if err != nil {
+			return errorReply(V2, m.ClientID, 0, "%v", err)
+		}
+		cs.peerHello = true
+		return &Message{Type: TypePeerAck, Proto: V2, PeerAck: &PeerAck{NodeID: int32(localID)}}
+	case TypePeerDelta:
+		ph, ok := cs.coord.(PeerHandler)
+		if !ok {
+			return errorReply(V2, m.ClientID, 0, "peer sync not supported by this endpoint")
+		}
+		if !cs.peerHello {
+			return errorReply(V2, m.ClientID, 0, "peer delta before peer hello")
+		}
+		applied, err := ph.HandlePeerDelta(m.PeerDelta)
+		if err != nil {
+			return errorReply(V2, m.ClientID, 0, "%v", err)
+		}
+		if br, ok := cs.coord.(interface{ NotePeerRecvBytes(int) }); ok {
+			br.NotePeerRecvBytes(frameLen)
+		}
+		return &Message{Type: TypePeerAck, Proto: V2, PeerAck: &PeerAck{Applied: int32(applied)}}
 	default:
 		return errorReply(V2, m.ClientID, m.SessionID, "unexpected request type %d", m.Type)
 	}

@@ -2,7 +2,8 @@
 // cmd/coca-client's machinery. Serve starts a session-serving CoCa edge
 // server over TCP; Dial connects a client to it. Both speak wire
 // protocol v2 (delta allocations); the served endpoint also accepts
-// legacy v1 clients.
+// legacy v1 clients, and — with Options.Peers set — federates with peer
+// edge servers by gossiping global-cache cell deltas.
 package coca
 
 import (
@@ -12,6 +13,7 @@ import (
 	"time"
 
 	"coca/internal/core"
+	"coca/internal/federation"
 	"coca/internal/metrics"
 	"coca/internal/protocol"
 	"coca/internal/semantics"
@@ -20,12 +22,15 @@ import (
 )
 
 // Server is a running network CoCa deployment: the edge server plus its
-// TCP listener and connection handlers.
+// TCP listener, connection handlers and (when Options.Peers is set) its
+// federation sync loop.
 type Server struct {
 	core *core.Server
+	node *federation.Node
 	lis  *transport.Listener
 
 	cancelConns context.CancelFunc
+	cancelPeers context.CancelFunc
 	wg          sync.WaitGroup
 
 	mu     sync.Mutex
@@ -44,12 +49,13 @@ func Serve(ctx context.Context, addr string, opts Options) (*Server, error) {
 		return nil, err
 	}
 	srv := core.NewServer(space, core.ServerConfig{Theta: opts.theta(space.Arch), Seed: opts.Seed})
+	node := federation.NewNode(srv, federation.NodeConfig{ID: opts.NodeID, Relay: opts.PeerRelay})
 	lis, err := transport.Listen(addr)
 	if err != nil {
 		return nil, err
 	}
 	connCtx, cancelConns := context.WithCancel(context.Background())
-	s := &Server{core: srv, lis: lis, cancelConns: cancelConns}
+	s := &Server{core: srv, node: node, lis: lis, cancelConns: cancelConns}
 
 	s.wg.Add(1)
 	go func() {
@@ -62,11 +68,24 @@ func Serve(ctx context.Context, addr string, opts Options) (*Server, error) {
 			s.wg.Add(1)
 			go func() {
 				defer s.wg.Done()
-				_ = protocol.ServeConn(connCtx, conn, srv)
+				_ = protocol.ServeConn(connCtx, conn, node)
 				_ = conn.Close()
 			}()
 		}
 	}()
+	if len(opts.Peers) > 0 {
+		// The sync loop stops as soon as shutdown begins (its own context,
+		// canceled before the connection drain), so draining sessions
+		// never wait on a peer cadence.
+		peerCtx, cancelPeers := context.WithCancel(context.Background())
+		s.cancelPeers = cancelPeers
+		peers := federation.NewPeerSet(node, opts.Peers)
+		s.wg.Add(1)
+		go func() {
+			defer s.wg.Done()
+			peers.Run(peerCtx, opts.PeerSyncInterval, nil)
+		}()
+	}
 	if ctx.Done() != nil {
 		go func() {
 			select {
@@ -89,6 +108,14 @@ func (s *Server) Stats() (allocs, merges, sessions int) {
 	return allocs, merges, s.core.Sessions()
 }
 
+// PeerMerges reports how many global-cache cells were merged from
+// federated peer servers.
+func (s *Server) PeerMerges() int { return s.core.PeerMerges() }
+
+// SyncStats reports the federation sync counters (zero when the server
+// has no peers and no peer has dialed it).
+func (s *Server) SyncStats() federation.SyncStats { return s.node.Stats() }
+
 // Shutdown stops accepting connections, waits for in-flight sessions to
 // drain until ctx is done, then force-closes the remainder. It is safe
 // to call more than once.
@@ -102,6 +129,9 @@ func (s *Server) Shutdown(ctx context.Context) error {
 	s.closed = true
 	s.mu.Unlock()
 
+	if s.cancelPeers != nil {
+		s.cancelPeers()
+	}
 	_ = s.lis.Close()
 	drained := make(chan struct{})
 	go func() { s.wg.Wait(); close(drained) }()

@@ -2,6 +2,7 @@ package coca
 
 import (
 	"context"
+	"net"
 	"sync"
 	"testing"
 	"time"
@@ -104,5 +105,81 @@ func TestServerShutdownIdempotentAndDraining(t *testing.T) {
 	// New connections must be refused after shutdown.
 	if _, err := Dial(ctx, srv.Addr(), 0, serveOpts()); err == nil {
 		t.Fatal("dial succeeded after shutdown")
+	}
+}
+
+// TestServeFederatedPeers runs two public-API servers that name each
+// other in Options.Peers: both fleets drive rounds, and both endpoints
+// must end up having pushed and merged peer deltas (cells and frequency
+// increments traveling the wire in both directions).
+func TestServeFederatedPeers(t *testing.T) {
+	ctx := context.Background()
+	base := serveOpts()
+	base.NumClients = 4
+	base.Rounds = 3
+	base.PeerSyncInterval = 30 * time.Millisecond
+
+	// Reserve both ports up front so each server can name its peer
+	// before either listens; PeerSet dials lazily and retries.
+	addrs := make([]string, 2)
+	for i := range addrs {
+		l, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			t.Fatal(err)
+		}
+		addrs[i] = l.Addr().String()
+		_ = l.Close()
+	}
+	srvs := make([]*Server, 2)
+	for i := range srvs {
+		o := base
+		o.NodeID = i
+		o.Peers = []string{addrs[1-i]}
+		srv, err := Serve(ctx, addrs[i], o)
+		if err != nil {
+			t.Fatal(err)
+		}
+		srvs[i] = srv
+	}
+	defer func() {
+		for _, srv := range srvs {
+			sctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+			_ = srv.Shutdown(sctx)
+			cancel()
+		}
+	}()
+
+	var wg sync.WaitGroup
+	errs := make([]error, base.NumClients)
+	for id := 0; id < base.NumClients; id++ {
+		cl, err := Dial(ctx, addrs[id/2], id, base)
+		if err != nil {
+			t.Fatal(err)
+		}
+		wg.Add(1)
+		go func(id int, cl *Client) {
+			defer wg.Done()
+			defer cl.Close()
+			_, errs[id] = cl.Run(ctx, 0)
+		}(id, cl)
+	}
+	wg.Wait()
+	for id, err := range errs {
+		if err != nil {
+			t.Fatalf("client %d: %v", id, err)
+		}
+	}
+	// Let a few sync ticks land after the last uploads.
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		if srvs[0].PeerMerges() > 0 && srvs[1].PeerMerges() > 0 &&
+			srvs[0].SyncStats().CellsSent > 0 && srvs[1].SyncStats().CellsSent > 0 {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("federation did not sync both ways: s0=%+v (merges %d), s1=%+v (merges %d)",
+				srvs[0].SyncStats(), srvs[0].PeerMerges(), srvs[1].SyncStats(), srvs[1].PeerMerges())
+		}
+		time.Sleep(20 * time.Millisecond)
 	}
 }
