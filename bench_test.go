@@ -56,6 +56,28 @@ func BenchmarkFig10b(b *testing.B) { benchExperiment(b, "fig10b") }
 // BENCH_<date>.json.
 func BenchmarkFederation(b *testing.B) { benchsuite.Federation(b) }
 
+// BenchmarkServerPath measures the server-side coordination hot path —
+// Open/Allocate/Upload under concurrent sessions against the sharded
+// global table. allocate-only steady state is allocation-free; rounds with
+// uploads pay one replacement entry per merged cell. The body lives in
+// internal/benchsuite so cmd/coca-bench emits the same numbers into
+// BENCH_<date>.json.
+func BenchmarkServerPath(b *testing.B) {
+	for _, clients := range []int{1, 16} {
+		b.Run(fmt.Sprintf("allocate/clients=%d", clients), func(b *testing.B) {
+			benchsuite.ServerPath(b, clients, false)
+		})
+		b.Run(fmt.Sprintf("round/clients=%d", clients), func(b *testing.B) {
+			benchsuite.ServerPath(b, clients, true)
+		})
+	}
+}
+
+// BenchmarkFederationSyncRound measures one peer sync round of a warm
+// 3-node mesh: parallel table sweep, wire encoding, recency-weighted
+// merges and view bookkeeping.
+func BenchmarkFederationSyncRound(b *testing.B) { benchsuite.FederationSync(b) }
+
 // BenchmarkHeadline reproduces the paper's headline claim per iteration
 // (CoCa on the reference workload) and reports the virtual latency
 // reduction and accuracy as benchmark metrics. The body lives in

@@ -10,14 +10,19 @@
 //	coca-bench -exp table2 -batch 32
 //	coca-bench -bench
 //	coca-bench -bench -json -out . -benchtime 1x
+//	coca-bench -compare BENCH_old.json BENCH_new.json
+//	coca-bench -exp table2 -cpuprofile cpu.out -memprofile mem.out
 //
 // -list enumerates the experiment registry (the happy path when exploring).
 // -exp runs one experiment (or "all") and prints its paper-style table;
 // -batch drives CoCa clients through the batched round driver. -bench runs
-// the headline + inference hot-path benchmark suite; with -json it also
-// writes a versioned BENCH_<date>.json (schema internal/perfjson) whose
-// committed history is the repository's perf trajectory (see
-// EXPERIMENTS.md).
+// the headline + server/inference hot-path benchmark suite; with -json it
+// also writes a versioned BENCH_<date>.json (schema internal/perfjson)
+// whose committed history is the repository's perf trajectory (see
+// EXPERIMENTS.md). -compare diffs two BENCH files and exits non-zero when
+// a zero-alloc benchmark regressed by more than 20% allocs/op — the CI
+// bench-smoke gate. -cpuprofile/-memprofile write pprof profiles of any
+// mode, so hot-path regressions are diagnosed without code edits.
 package main
 
 import (
@@ -26,6 +31,7 @@ import (
 	"log"
 	"os"
 	"runtime"
+	"runtime/pprof"
 	"sort"
 	"strconv"
 	"strings"
@@ -39,36 +45,89 @@ import (
 
 func main() {
 	var (
-		exp       = flag.String("exp", "", "experiment id (fig1a..fig10b, table1..table3) or \"all\"")
-		scale     = flag.Float64("scale", 1.0, "run-length scale (1.0 = full experiment)")
-		seed      = flag.Uint64("seed", 1, "workload seed")
-		csv       = flag.Bool("csv", false, "emit CSV instead of aligned text")
-		list      = flag.Bool("list", false, "list experiments and exit")
-		batch     = flag.Int("batch", 0, "inference batch size for the round driver (0 = frame at a time)")
-		bench     = flag.Bool("bench", false, "run the headline + hot-path benchmark suite")
-		jsonOut   = flag.Bool("json", false, "with -bench: write BENCH_<date>.json")
-		outDir    = flag.String("out", ".", "with -bench -json: directory for the report")
-		benchTime = flag.String("benchtime", "", "with -bench: per-benchmark budget, e.g. 2s or 1x (default 1s)")
+		exp        = flag.String("exp", "", "experiment id (fig1a..fig10b, table1..table3) or \"all\"")
+		scale      = flag.Float64("scale", 1.0, "run-length scale (1.0 = full experiment)")
+		seed       = flag.Uint64("seed", 1, "workload seed")
+		csv        = flag.Bool("csv", false, "emit CSV instead of aligned text")
+		list       = flag.Bool("list", false, "list experiments and exit")
+		batch      = flag.Int("batch", 0, "inference batch size for the round driver (0 = frame at a time)")
+		bench      = flag.Bool("bench", false, "run the headline + hot-path benchmark suite")
+		jsonOut    = flag.Bool("json", false, "with -bench: write BENCH_<date>.json")
+		outDir     = flag.String("out", ".", "with -bench -json: directory for the report")
+		benchTime  = flag.String("benchtime", "", "with -bench: per-benchmark budget, e.g. 2s or 1x (default 1s)")
+		compare    = flag.Bool("compare", false, "compare two BENCH_<date>.json files (old new); non-zero exit on zero-alloc regression >20%")
+		cpuProfile = flag.String("cpuprofile", "", "write a CPU profile to this file")
+		memProfile = flag.String("memprofile", "", "write an allocation profile to this file on exit")
 	)
 	testing.Init() // register test.* flags so -benchtime can be forwarded
 	flag.Parse()
 
-	switch {
-	case *bench:
-		if err := runBench(*benchTime, *jsonOut, *outDir); err != nil {
+	if *cpuProfile != "" {
+		f, err := os.Create(*cpuProfile)
+		if err != nil {
 			log.Fatal(err)
 		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			log.Fatal(err)
+		}
+		defer func() {
+			pprof.StopCPUProfile()
+			f.Close()
+		}()
+	}
+	if *memProfile != "" {
+		defer func() {
+			f, err := os.Create(*memProfile)
+			if err != nil {
+				log.Print(err)
+				return
+			}
+			defer f.Close()
+			runtime.GC()
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				log.Print(err)
+			}
+		}()
+	}
+
+	// Dispatch returns instead of exiting so the deferred profile flushes
+	// above run even on failure — the failing run is exactly the one worth
+	// profiling. log.Fatal would os.Exit past them.
+	var runErr error
+	exitCode := 1
+	switch {
+	case *compare:
+		if flag.NArg() != 2 {
+			runErr = fmt.Errorf("usage: coca-bench -compare BENCH_old.json BENCH_new.json")
+			break
+		}
+		runErr = runCompare(flag.Arg(0), flag.Arg(1))
+	case *bench:
+		runErr = runBench(*benchTime, *jsonOut, *outDir)
 	case *list:
 		printRegistry(os.Stdout)
 	case *exp == "":
 		fmt.Fprintln(os.Stderr, "coca-bench: no experiment selected")
-		fmt.Fprintln(os.Stderr, "usage: coca-bench -list | -exp <id|all> [-scale f] [-seed n] [-batch n] [-csv] | -bench [-json]")
+		fmt.Fprintln(os.Stderr, "usage: coca-bench -list | -exp <id|all> [-scale f] [-seed n] [-batch n] [-csv] | -bench [-json] | -compare old.json new.json")
 		fmt.Fprintln(os.Stderr, "run coca-bench -list to see the experiment registry")
-		os.Exit(2)
+		runErr = fmt.Errorf("no mode selected")
+		exitCode = 2
 	default:
-		if err := runExperiments(*exp, experiments.Options{Scale: *scale, Seed: *seed, BatchSize: *batch}, *csv); err != nil {
-			log.Fatal(err)
+		runErr = runExperiments(*exp, experiments.Options{Scale: *scale, Seed: *seed, BatchSize: *batch}, *csv)
+	}
+	if runErr != nil {
+		log.Print(runErr)
+		if *cpuProfile != "" {
+			pprof.StopCPUProfile()
 		}
+		if *memProfile != "" {
+			if f, err := os.Create(*memProfile); err == nil {
+				runtime.GC()
+				_ = pprof.WriteHeapProfile(f)
+				f.Close()
+			}
+		}
+		os.Exit(exitCode)
 	}
 }
 
@@ -118,6 +177,18 @@ func suite() []namedBench {
 	out := []namedBench{
 		{"headline", benchsuite.Headline},
 		{"federation", benchsuite.Federation},
+		{"federation-sync-round", benchsuite.FederationSync},
+	}
+	for _, clients := range []int{1, 16} {
+		out = append(out,
+			namedBench{
+				fmt.Sprintf("server-path/allocate/clients=%d", clients),
+				func(b *testing.B) { benchsuite.ServerPath(b, clients, false) },
+			},
+			namedBench{
+				fmt.Sprintf("server-path/round/clients=%d", clients),
+				func(b *testing.B) { benchsuite.ServerPath(b, clients, true) },
+			})
 	}
 	for _, scale := range []benchsuite.Scale{benchsuite.ScaleRef, benchsuite.ScaleFleet} {
 		for _, batch := range []int{1, 8, 32} {
@@ -211,4 +282,42 @@ func parseInferenceName(name string) (string, int, bool) {
 		return "", 0, false
 	}
 	return scale, batch, true
+}
+
+// allocRegressionTolerance is the CI gate: a zero-alloc benchmark may not
+// regress its allocs/op by more than this fraction (plus one allocation of
+// absolute slack; see perfjson.BenchDelta.AllocRegression).
+const allocRegressionTolerance = 0.20
+
+// runCompare diffs two BENCH reports, prints every benchmark's movement
+// and fails (non-zero exit via error) when any zero-alloc benchmark
+// regressed its allocation profile beyond the tolerance.
+func runCompare(oldPath, newPath string) error {
+	oldRep, err := perfjson.Load(oldPath)
+	if err != nil {
+		return err
+	}
+	newRep, err := perfjson.Load(newPath)
+	if err != nil {
+		return err
+	}
+	var regressions []string
+	for _, d := range perfjson.Delta(oldRep, newRep) {
+		status := "new"
+		if d.Known {
+			status = fmt.Sprintf("%.2fx ns", d.Speedup)
+		}
+		fmt.Printf("%-40s %12.0f -> %12.0f ns/op  %10.1f -> %10.1f allocs/op  %s\n",
+			d.Name, d.OldNs, d.NewNs, d.OldAllocs, d.NewAllocs, status)
+		if d.AllocRegression(allocRegressionTolerance) {
+			regressions = append(regressions,
+				fmt.Sprintf("%s: allocs/op %.1f -> %.1f (> %.0f%% over a zero-alloc baseline)",
+					d.Name, d.OldAllocs, d.NewAllocs, 100*allocRegressionTolerance))
+		}
+	}
+	if len(regressions) > 0 {
+		return fmt.Errorf("allocation regressions:\n  %s", strings.Join(regressions, "\n  "))
+	}
+	fmt.Println("no zero-alloc regressions")
+	return nil
 }

@@ -20,6 +20,7 @@
 //
 //	coca-server -addr :7070 -model ResNet101 -dataset UCF101 -classes 50 -theta 0.012
 //	coca-server -addr :7071 -node-id 1 -peers 127.0.0.1:7070,127.0.0.1:7072 -sync 5s
+//	coca-server -addr :7070 -pprof localhost:6060
 package main
 
 import (
@@ -27,6 +28,8 @@ import (
 	"flag"
 	"fmt"
 	"log"
+	"net/http"
+	_ "net/http/pprof"
 	"os"
 	"os/signal"
 	"strings"
@@ -57,8 +60,21 @@ func main() {
 		nodeID  = flag.Int("node-id", 0, "this server's federation id (distinct per fleet member)")
 		relay   = flag.Bool("relay", false, "relay received peer evidence onward (set on star hubs / ring members; leave off in a full mesh)")
 		syncInt = flag.Duration("sync", 5*time.Second, "federation peer-sync cadence (with -peers)")
+		pprofA  = flag.String("pprof", "", "expose net/http/pprof on this address (e.g. localhost:6060; empty = off)")
 	)
 	flag.Parse()
+
+	if *pprofA != "" {
+		// Diagnostics only: profiles of the serving hot path are taken
+		// live (go tool pprof http://<addr>/debug/pprof/profile) without
+		// touching the coordination sockets or redeploying.
+		go func() {
+			fmt.Fprintf(os.Stderr, "coca-server: pprof on http://%s/debug/pprof/\n", *pprofA)
+			if err := http.ListenAndServe(*pprofA, nil); err != nil {
+				log.Printf("pprof: %v", err)
+			}
+		}()
+	}
 
 	arch, err := model.ByName(*modelN)
 	if err != nil {

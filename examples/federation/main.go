@@ -13,6 +13,7 @@ import (
 	"fmt"
 	"log"
 	"net"
+	"runtime"
 	"sync"
 	"time"
 
@@ -75,6 +76,13 @@ func main() {
 	}
 
 	// Dial the fleet: client k attaches to server k/clientsPerServer.
+	// Heap allocations across the whole serving window are sampled so the
+	// example doubles as a smoke check of the pooled wire path: the
+	// printed allocs/op (per client inference) collapses when the codec
+	// or server tier regresses into per-message allocation.
+	var msBefore runtime.MemStats
+	runtime.GC()
+	runtime.ReadMemStats(&msBefore)
 	var wg sync.WaitGroup
 	for id := 0; id < opts.NumClients; id++ {
 		cl, err := coca.Dial(ctx, addrs[id/clientsPerServer], id, opts)
@@ -98,6 +106,9 @@ func main() {
 	// the final round's deltas travel before the stats print.
 	time.Sleep(3 * opts.PeerSyncInterval)
 
+	var msAfter runtime.MemStats
+	runtime.ReadMemStats(&msAfter)
+
 	for i, srv := range srvs {
 		allocs, merges, sessions := srv.Stats()
 		sync := srv.SyncStats()
@@ -106,6 +117,17 @@ func main() {
 			sync.CellsSent, float64(sync.BytesSent)/1024,
 			sync.CellsRecv, float64(sync.BytesRecv)/1024)
 	}
+
+	inferences := uint64(opts.NumClients) * uint64(opts.Rounds) * uint64(opts.RoundFrames)
+	var bytesOut, bytesIn int64
+	for _, srv := range srvs {
+		st := srv.SyncStats()
+		bytesOut += st.BytesSent
+		bytesIn += st.BytesRecv
+	}
+	fmt.Printf("fleet: %.1f allocs/op over %d inferences (process-wide), sync traffic %.1f KiB out / %.1f KiB in\n",
+		float64(msAfter.Mallocs-msBefore.Mallocs)/float64(inferences), inferences,
+		float64(bytesOut)/1024, float64(bytesIn)/1024)
 
 	for i, srv := range srvs {
 		sctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)

@@ -78,6 +78,40 @@ type ACAResult struct {
 // Entries returns the total allocated entries (|Classes| × |Layers|).
 func (r *ACAResult) Entries() int { return len(r.Classes) * len(r.Layers) }
 
+// ACAScratch holds the reusable working memory of RunACAScratch: per-class
+// scores and ordering, the hot-spot set, the residual hit-ratio vector and
+// the selected layer list. A scratch belongs to one caller at a time; the
+// ACAResult returned from a run borrows its slices, which stay valid until
+// the scratch's next run.
+type ACAScratch struct {
+	scores  []float64
+	order   []int
+	classes []int
+	resid   []float64
+	layers  []int
+	sorter  acaSorter
+}
+
+// acaSorter sorts the class order by descending score via sort.Stable —
+// behaviourally identical to sort.SliceStable, but without the per-call
+// closure and reflect.Swapper allocations.
+type acaSorter struct {
+	order  []int
+	scores []float64
+}
+
+func (s *acaSorter) Len() int           { return len(s.order) }
+func (s *acaSorter) Less(a, b int) bool { return s.scores[s.order[a]] > s.scores[s.order[b]] }
+func (s *acaSorter) Swap(a, b int)      { s.order[a], s.order[b] = s.order[b], s.order[a] }
+
+// grow returns a zero-length slice with at least capacity n, reusing buf.
+func grow[T any](buf []T, n int) []T {
+	if cap(buf) < n {
+		return make([]T, 0, n)
+	}
+	return buf[:0]
+}
+
 // RunACA executes Algorithm 1.
 //
 // Stage 1 scores each class by frequency and recency (Eq. 10):
@@ -94,6 +128,15 @@ func (r *ACAResult) Entries() int { return len(r.Classes) * len(r.Layers) }
 // hot-spot set alone exceeds the budget the paper would allocate nothing;
 // we truncate the set to the budget so small caches still function.
 func RunACA(in ACAInput) (ACAResult, error) {
+	// A fresh scratch per call keeps the returned slices uniquely owned.
+	return RunACAScratch(in, &ACAScratch{})
+}
+
+// RunACAScratch is RunACA on caller-owned working memory: the server's
+// per-session allocation hot path runs it allocation-free at steady state.
+// The returned result borrows the scratch's slices and is valid until the
+// scratch's next run.
+func RunACAScratch(in ACAInput, sc *ACAScratch) (ACAResult, error) {
 	if err := in.validate(); err != nil {
 		return ACAResult{}, err
 	}
@@ -104,20 +147,21 @@ func RunACA(in ACAInput) (ACAResult, error) {
 
 	// Stage 1: hot-spot class selection.
 	n := len(in.GlobalFreq)
-	scores := make([]float64, n)
+	sc.scores = grow(sc.scores, n)
 	var total float64
 	for i := 0; i < n; i++ {
 		s := in.GlobalFreq[i] * math.Pow(RecencyBase, math.Floor(float64(in.Tau[i])/float64(in.RoundFrames)))
-		scores[i] = s
+		sc.scores = append(sc.scores, s)
 		total += s
 	}
-	order := make([]int, n)
-	for i := range order {
-		order[i] = i
+	sc.order = grow(sc.order, n)
+	for i := 0; i < n; i++ {
+		sc.order = append(sc.order, i)
 	}
-	sort.SliceStable(order, func(a, b int) bool { return scores[order[a]] > scores[order[b]] })
+	sc.sorter.order, sc.sorter.scores = sc.order, sc.scores
+	sort.Stable(&sc.sorter)
 
-	var classes []int
+	classes := grow(sc.classes, n)
 	if total <= 0 {
 		// Cold start: no frequency signal at all; cache every class the
 		// budget permits, in index order.
@@ -126,9 +170,9 @@ func RunACA(in ACAInput) (ACAResult, error) {
 		}
 	} else {
 		var acc float64
-		for _, c := range order {
+		for _, c := range sc.order {
 			classes = append(classes, c)
-			acc += scores[c]
+			acc += sc.scores[c]
 			if acc >= coverage*total {
 				break
 			}
@@ -137,16 +181,19 @@ func RunACA(in ACAInput) (ACAResult, error) {
 	if in.Budget > 0 && len(classes) > in.Budget {
 		classes = classes[:in.Budget]
 	}
-	res := ACAResult{Classes: classes, Scores: scores}
+	sc.classes = classes
+	res := ACAResult{Classes: classes, Scores: sc.scores}
+	sc.layers = sc.layers[:0]
 	if len(classes) == 0 || in.Budget == 0 {
 		return res, nil
 	}
 
 	// Stage 2: greedy layer selection under the entry budget.
-	resid := append([]float64(nil), in.HitRatio...)
+	sc.resid = append(grow(sc.resid, len(in.HitRatio)), in.HitRatio...)
+	resid := sc.resid
 	used := 0
 	for {
-		if in.MaxLayers > 0 && len(res.Layers) >= in.MaxLayers {
+		if in.MaxLayers > 0 && len(sc.layers) >= in.MaxLayers {
 			break
 		}
 		best, bestZeta := -1, 0.0
@@ -165,7 +212,7 @@ func RunACA(in ACAInput) (ACAResult, error) {
 		if used > in.Budget {
 			break // would exceed Π_k: stop just before
 		}
-		res.Layers = append(res.Layers, best)
+		sc.layers = append(sc.layers, best)
 		p := resid[best]
 		for j := best; j < len(resid); j++ {
 			resid[j] -= p
@@ -174,5 +221,6 @@ func RunACA(in ACAInput) (ACAResult, error) {
 			}
 		}
 	}
+	res.Layers = sc.layers
 	return res, nil
 }

@@ -7,11 +7,13 @@ import (
 	"context"
 	"fmt"
 	"math"
+	"runtime"
 	"sort"
 	"sync"
 	"sync/atomic"
 
 	"coca/internal/cache"
+	"coca/internal/dataset"
 	"coca/internal/gtable"
 	"coca/internal/model"
 	"coca/internal/semantics"
@@ -189,32 +191,68 @@ func (s *Server) initTable() {
 // semantic centers averaged over perClass unbiased samples. It is what the
 // paper's server computes from "the global shared dataset" and is also the
 // starting point for the single-client baselines (SMTM, policy caches).
+//
+// Classes are independent, so the build fans out across GOMAXPROCS
+// workers, each generating vectors through its own allocation-free
+// semantics.Scratch; per-class summation order is unchanged, so the
+// resulting centers are bitwise identical to a sequential build.
 func InitialTable(space *semantics.Space, perClass int, seed uint64) *gtable.Table {
 	ds := space.DS
 	arch := space.Arch
 	table := gtable.New(ds.NumClasses, arch.NumLayers, model.Dim)
-	for c := 0; c < ds.NumClasses; c++ {
-		sum := make([][]float64, arch.NumLayers)
-		for j := range sum {
-			sum[j] = make([]float64, model.Dim)
-		}
-		for k := 0; k < perClass; k++ {
-			smp := ds.NewSample(c, seed, 0x1217, uint64(k))
-			for j := 0; j < arch.NumLayers; j++ {
-				v := space.SampleVector(smp, j, nil)
-				for d, x := range v {
-					sum[j][d] += float64(x)
+	workers := runtime.GOMAXPROCS(0)
+	if workers > ds.NumClasses {
+		workers = ds.NumClasses
+	}
+	var next atomic.Int64
+	errs := make([]error, workers)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			sc := space.NewScratch()
+			vec := make([]float32, model.Dim)
+			center := make([]float32, model.Dim)
+			sum := make([][]float64, arch.NumLayers)
+			for j := range sum {
+				sum[j] = make([]float64, model.Dim)
+			}
+			for {
+				c := int(next.Add(1)) - 1
+				if c >= ds.NumClasses {
+					return
+				}
+				for j := range sum {
+					clear(sum[j])
+				}
+				for k := 0; k < perClass; k++ {
+					smp := ds.NewSample(c, seed, 0x1217, uint64(k))
+					for j := 0; j < arch.NumLayers; j++ {
+						space.SampleVectorInto(vec, smp, j, nil, sc)
+						for d, x := range vec {
+							sum[j][d] += float64(x)
+						}
+					}
+				}
+				// Table rows are written by exactly one worker (classes are
+				// partitioned by the atomic counter), so no lock is needed.
+				for j := 0; j < arch.NumLayers; j++ {
+					for d := range center {
+						center[d] = float32(sum[j][d])
+					}
+					if err := table.Set(c, j, center); err != nil {
+						errs[w] = fmt.Errorf("core: initial cache center degenerate for class %d layer %d: %w", c, j, err)
+						return
+					}
 				}
 			}
-		}
-		for j := 0; j < arch.NumLayers; j++ {
-			center := make([]float32, model.Dim)
-			for d := range center {
-				center[d] = float32(sum[j][d])
-			}
-			if err := table.Set(c, j, center); err != nil {
-				panic(fmt.Sprintf("core: initial cache center degenerate for class %d layer %d: %v", c, j, err))
-			}
+		}(w)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			panic(err.Error())
 		}
 	}
 	return table
@@ -236,20 +274,57 @@ func CumulativeHitProfile(space *semantics.Space, table *gtable.Table, lookupCfg
 		cls, entries := table.ExtractLayer(j, allClasses)
 		layers[j] = cache.Layer{Site: j, Classes: cls, Entries: entries}
 	}
-	hitsBy := make([]int, L)
-	lookup := cache.NewLookup(lookupCfg)
+	// Sample classes are drawn sequentially (the draw order is part of the
+	// deterministic contract); the per-sample probes are then independent,
+	// so they fan out across workers, each with its own lookup state and
+	// allocation-free scratch. Per-layer hit counts are integer sums, so
+	// the profile is identical to a sequential run.
+	smps := make([]dataset.Sample, samples)
 	r := xrand.New(seed, 0x9F0F)
-	for n := 0; n < samples; n++ {
-		smp := ds.NewSample(r.IntN(ds.NumClasses), seed, 0x9F0F, uint64(n))
-		lookup.Reset()
-		for j := 0; j < L; j++ {
-			vec := space.SampleVector(smp, j, nil)
-			if lookup.Probe(&layers[j], vec).Hit {
-				hitsBy[j]++
-				break
-			}
-		}
+	for n := range smps {
+		smps[n] = ds.NewSample(r.IntN(ds.NumClasses), seed, 0x9F0F, uint64(n))
 	}
+	workers := runtime.GOMAXPROCS(0)
+	if workers > samples {
+		workers = samples
+	}
+	if workers < 1 {
+		workers = 1
+	}
+	hitsBy := make([]int, L)
+	var mu sync.Mutex
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			sc := space.NewScratch()
+			vec := make([]float32, model.Dim)
+			lookup := cache.NewLookup(lookupCfg)
+			local := make([]int, L)
+			for {
+				n := int(next.Add(1)) - 1
+				if n >= samples {
+					break
+				}
+				lookup.Reset()
+				for j := 0; j < L; j++ {
+					space.SampleVectorInto(vec, smps[n], j, nil, sc)
+					if lookup.Probe(&layers[j], vec).Hit {
+						local[j]++
+						break
+					}
+				}
+			}
+			mu.Lock()
+			for j, h := range local {
+				hitsBy[j] += h
+			}
+			mu.Unlock()
+		}()
+	}
+	wg.Wait()
 	profile := make([]float64, L)
 	cum := 0
 	for j := 0; j < L; j++ {
@@ -293,7 +368,7 @@ func (s *Server) Open(ctx context.Context, clientID int) (Session, error) {
 		srv:      s,
 		clientID: clientID,
 		info:     s.registerInfo(),
-		view:     make(map[CellRef]uint64),
+		classes:  s.space.DS.NumClasses,
 	}
 	s.sessMu.Lock()
 	s.nextSess++
@@ -304,18 +379,35 @@ func (s *Server) Open(ctx context.Context, clientID int) (Session, error) {
 }
 
 // targetCell is one cell of a freshly computed allocation, with the table
-// version backing its entry.
+// version backing its entry. vec is a borrowed reference to the live
+// (immutable-once-published) global-table entry.
 type targetCell struct {
 	ref CellRef
 	vec []float32
 	ver uint64
 }
 
+// allocScratch is the session-owned working memory of the allocation hot
+// path: the ACA scratch, the frequency snapshot, per-layer extraction
+// buffers and the computed target-cell list. At steady state a session's
+// Allocate performs no heap allocation at all.
+type allocScratch struct {
+	aca     ACAScratch
+	freq    []float64
+	cls     []int
+	entries [][]float32
+	vers    []uint64
+	cells   []targetCell
+	sites   []int
+}
+
 // computeAllocation runs ACA on the client's status and extracts the
-// resulting sub-table cells from the global cache (§IV-B). It takes no
-// global lock: ACA reads a frequency snapshot, and extraction read-locks
-// one table row at a time.
-func (s *Server) computeAllocation(clientID int, status StatusReport) (classes, sites []int, cells []targetCell, err error) {
+// resulting sub-table cells from the global cache (§IV-B), into the
+// caller's scratch. It takes no global lock: ACA reads a frequency
+// snapshot, and extraction read-locks one table row at a time. The
+// returned slices (and the cell entry vectors, which are borrowed
+// immutable table entries) stay valid until the scratch's next use.
+func (s *Server) computeAllocation(clientID int, status StatusReport, sc *allocScratch) (classes, sites []int, cells []targetCell, err error) {
 	if len(status.Tau) != s.space.DS.NumClasses {
 		return nil, nil, nil, fmt.Errorf("core: client %d status has %d classes, want %d",
 			clientID, len(status.Tau), s.space.DS.NumClasses)
@@ -332,12 +424,13 @@ func (s *Server) computeAllocation(clientID int, status StatusReport) (classes, 
 		roundFrames = DefaultRoundFrames
 	}
 	s.freqMu.RLock()
-	globalFreq := s.freq.Snapshot()
+	sc.freq = s.freq.SnapshotInto(sc.freq)
 	s.freqMu.RUnlock()
+	globalFreq := sc.freq
 	// Hot-spot set size determines per-layer probe cost; ACA needs it
 	// before stage 1 runs, so run stage 1 implicitly via a first pass
 	// without the cost guard, then re-run with the guard in place.
-	probe, err := RunACA(ACAInput{
+	probe, err := RunACAScratch(ACAInput{
 		GlobalFreq:  globalFreq,
 		Tau:         status.Tau,
 		HitRatio:    hitRatio,
@@ -345,40 +438,43 @@ func (s *Server) computeAllocation(clientID int, status StatusReport) (classes, 
 		Budget:      status.Budget,
 		RoundFrames: roundFrames,
 		MaxLayers:   1,
-	})
+	}, &sc.aca)
 	if err != nil {
 		return nil, nil, nil, err
 	}
-	res, err := RunACA(ACAInput{
+	probeClasses := len(probe.Classes)
+	res, err := RunACAScratch(ACAInput{
 		GlobalFreq:   globalFreq,
 		Tau:          status.Tau,
 		HitRatio:     hitRatio,
 		SavedMs:      s.savedMs,
 		Budget:       status.Budget,
 		RoundFrames:  roundFrames,
-		LookupCostMs: s.space.Arch.LookupCostMs(len(probe.Classes)),
-	})
+		LookupCostMs: s.space.Arch.LookupCostMs(probeClasses),
+	}, &sc.aca)
 	if err != nil {
 		return nil, nil, nil, err
 	}
 	s.allocs.Add(1)
+	sc.cells = sc.cells[:0]
+	sc.sites = sc.sites[:0]
 	for _, site := range res.Layers {
-		cls, entries, vers := s.table.ExtractLayerVersioned(site, res.Classes)
-		if len(cls) > 0 {
-			sites = append(sites, site)
+		sc.cls, sc.entries, sc.vers = s.table.ExtractLayerVersionedInto(site, res.Classes, sc.cls[:0], sc.entries[:0], sc.vers[:0])
+		if len(sc.cls) > 0 {
+			sc.sites = append(sc.sites, site)
 		}
-		for i := range cls {
-			cells = append(cells, targetCell{
-				ref: CellRef{Site: site, Class: cls[i]},
-				vec: entries[i],
-				ver: vers[i],
+		for i := range sc.cls {
+			sc.cells = append(sc.cells, targetCell{
+				ref: CellRef{Site: site, Class: sc.cls[i]},
+				vec: sc.entries[i],
+				ver: sc.vers[i],
 			})
 		}
 	}
 	// ACA returns layers in selection (benefit) order; Delta.Sites is a
 	// wire contract promising ascending order.
-	sort.Ints(sites)
-	return res.Classes, sites, cells, nil
+	sort.Ints(sc.sites)
+	return res.Classes, sc.sites, sc.cells, nil
 }
 
 // upload merges the client's update table into the global cache (Eq. 4)
@@ -463,6 +559,22 @@ func (s *Server) ForEachCell(fn func(class, layer int, vec []float32, ver uint64
 	s.table.ForEachCell(fn)
 }
 
+// AppendCells appends every populated global-table cell to dst — the bulk
+// sweep behind federation delta collection, fanned out across per-shard
+// workers for large tables (see gtable.Sharded.AppendCells). Cell vectors
+// are borrowed immutable entries.
+func (s *Server) AppendCells(dst []gtable.Cell) []gtable.Cell {
+	return s.table.AppendCells(dst)
+}
+
+// GlobalFreqInto copies Φ into dst (growing it only when short) — the
+// allocation-free form of GlobalFreq.
+func (s *Server) GlobalFreqInto(dst []float64) []float64 {
+	s.freqMu.RLock()
+	defer s.freqMu.RUnlock()
+	return s.freq.SnapshotInto(dst)
+}
+
 // MergePeerCell folds one cell received from a federated peer server into
 // the global table: a recency-weighted combination of the local entry
 // (weighted by the evidence accumulated locally since the last sync with
@@ -496,11 +608,14 @@ func (s *Server) MergePeerCell(class, layer int, vec []float32, evidence, sinceE
 // ACA rank classes its own clients never stream. Like client updates,
 // peer increments are ignored under DisableGlobalUpdates.
 func (s *Server) AddPeerFreq(delta []float64) error {
-	if s.cfg.DisableGlobalUpdates {
-		return nil
-	}
+	// Shape is validated even under the frozen-table ablation: callers
+	// credit their per-peer views by the same vector, so a malformed
+	// length must fail the exchange, not silently pass.
 	if len(delta) != s.space.DS.NumClasses {
 		return fmt.Errorf("core: peer frequency length %d, want %d", len(delta), s.space.DS.NumClasses)
+	}
+	if s.cfg.DisableGlobalUpdates {
+		return nil
 	}
 	for class, f := range delta {
 		if f < 0 || math.IsNaN(f) || math.IsInf(f, 0) {
@@ -527,16 +642,49 @@ var _ Coordinator = (*Server)(nil)
 // ServerSession is the in-process Session implementation: it remembers
 // which cell versions its client holds so Allocate can answer with a
 // delta instead of the full table extract.
+//
+// The view is a dense, version-stamped per-(site, class) slice — the same
+// epoch-stamp technique that replaced cache.Lookup's map on the client hot
+// path: a cell belongs to the current view exactly when its stamp equals
+// the session's epoch, so rebuilding the view each round is a stamp write
+// per cell instead of a map rebuild, and steady-state Allocate performs no
+// heap allocation.
 type ServerSession struct {
 	srv      *Server
 	id       uint64
 	clientID int
 	info     RegisterInfo
+	classes  int // dense-view row stride (cells index site*classes+class)
 
 	mu      sync.Mutex
 	version uint64
-	view    map[CellRef]uint64
 	closed  bool
+
+	// epoch stamps the current view; stamp[i] == epoch marks cell i as
+	// held by the client, with ver[i] the table version it last received.
+	epoch uint64
+	stamp []uint64
+	ver   []uint64
+	// refs lists the current view's cell indices (the previous round's
+	// list is kept to detect evictions); both are reused across rounds.
+	refs, prevRefs []int32
+
+	sc allocScratch
+	// out double-buffers the delta's Cells/Evict slices. The contract is
+	// that a returned Delta (ALL of its slices — Classes and Sites live in
+	// the single-buffered compute scratch) is valid only until the next
+	// Allocate on this session; the second Cells/Evict buffer is merely
+	// hardening so a caller that holds cell contents one call too long
+	// reads stale-but-coherent data instead of torn writes. It is not an
+	// extension of the contract.
+	out     [2]deltaBuf
+	outFlip int
+}
+
+// deltaBuf backs one outstanding Delta's slices.
+type deltaBuf struct {
+	cells []DeltaCell
+	evict []CellRef
 }
 
 // ID returns the server-assigned session identifier.
@@ -552,52 +700,69 @@ func (ss *ServerSession) Info() RegisterInfo { return ss.info }
 // returns the delta against the version the client reports holding. The
 // delta is full when the client holds nothing (LastVersion 0) or a
 // version the session does not recognize (reconnect / divergence).
+//
+// The returned Delta borrows session-owned memory — its slices (and the
+// cell vectors, which are borrowed immutable global-table entries) are
+// valid until the next Allocate on this session. Sequential per-client use
+// (the Session contract) makes this safe: the caller applies or encodes
+// the delta before requesting the next one. The session lock is held for
+// the whole call; sessions of different clients still allocate in parallel
+// against the sharded table.
 func (ss *ServerSession) Allocate(ctx context.Context, status StatusReport) (Delta, error) {
 	if err := ctx.Err(); err != nil {
 		return Delta{}, err
 	}
 	ss.mu.Lock()
-	if ss.closed {
-		ss.mu.Unlock()
-		return Delta{}, fmt.Errorf("core: session %d closed", ss.id)
-	}
-	ss.mu.Unlock()
-
-	// Compute outside the session lock: different sessions allocate in
-	// parallel against the sharded table.
-	classes, sites, cells, err := ss.srv.computeAllocation(ss.clientID, status)
-	if err != nil {
-		return Delta{}, err
-	}
-
-	ss.mu.Lock()
 	defer ss.mu.Unlock()
 	if ss.closed {
 		return Delta{}, fmt.Errorf("core: session %d closed", ss.id)
 	}
-	full := ss.version == 0 || status.LastVersion != ss.version
-	newView := make(map[CellRef]uint64, len(cells))
-	d := Delta{Full: full, Classes: classes, Sites: sites}
-	for _, c := range cells {
-		newView[c.ref] = c.ver
-		if !full {
-			if old, ok := ss.view[c.ref]; ok && old == c.ver {
-				continue // unchanged since last sent
-			}
-		}
-		d.Cells = append(d.Cells, DeltaCell{Site: c.ref.Site, Class: c.ref.Class, Vec: c.vec})
+	classes, sites, cells, err := ss.srv.computeAllocation(ss.clientID, status, &ss.sc)
+	if err != nil {
+		return Delta{}, err
 	}
+
+	if ss.stamp == nil {
+		n := ss.classes * ss.srv.space.Arch.NumLayers
+		ss.stamp = make([]uint64, n)
+		ss.ver = make([]uint64, n)
+	}
+	full := ss.version == 0 || status.LastVersion != ss.version
+	ss.epoch++
+	epoch := ss.epoch
+	buf := &ss.out[ss.outFlip]
+	ss.outFlip = 1 - ss.outFlip
+	buf.cells = buf.cells[:0]
+	buf.evict = buf.evict[:0]
+	ss.refs, ss.prevRefs = ss.prevRefs[:0], ss.refs
+	d := Delta{Full: full, Classes: classes, Sites: sites}
+	for i := range cells {
+		c := &cells[i]
+		idx := c.ref.Site*ss.classes + c.ref.Class
+		unchanged := !full && ss.stamp[idx] == epoch-1 && ss.ver[idx] == c.ver
+		ss.stamp[idx] = epoch
+		ss.ver[idx] = c.ver
+		ss.refs = append(ss.refs, int32(idx))
+		if !unchanged {
+			buf.cells = append(buf.cells, DeltaCell{Site: c.ref.Site, Class: c.ref.Class, Vec: c.vec})
+		}
+	}
+	d.Cells = buf.cells
 	if !full {
 		d.BaseVersion = ss.version
-		for ref := range ss.view {
-			if _, ok := newView[ref]; !ok {
-				d.Evict = append(d.Evict, ref)
+		// A previous-view cell whose stamp was not advanced to the new
+		// epoch is no longer allocated: evict it. Order follows the
+		// previous allocation's cell order (deterministic, unlike the
+		// map iteration this replaced).
+		for _, idx := range ss.prevRefs {
+			if ss.stamp[idx] != epoch {
+				buf.evict = append(buf.evict, CellRef{Site: int(idx) / ss.classes, Class: int(idx) % ss.classes})
 			}
 		}
+		d.Evict = buf.evict
 	}
 	ss.version++
 	d.Version = ss.version
-	ss.view = newView
 	return d, nil
 }
 

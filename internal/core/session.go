@@ -108,6 +108,14 @@ func (v *AllocView) NumCells() int { return len(v.cells) }
 
 // Apply folds a delta into the view. A non-full delta must be based on
 // the view's current version; a full delta resets the view.
+//
+// The delta's slices are borrowed (server sessions and wire decoders
+// reuse them between calls), so Apply copies everything it keeps: each
+// changed cell gets a FRESH view-owned vector — never an in-place
+// overwrite, because previously materialized Layers()/Allocation() (the
+// frozen-allocation ablation retains one) alias the old slices and must
+// stay bitwise stable. After Apply returns, the delta may be invalidated
+// freely.
 func (v *AllocView) Apply(d Delta) error {
 	if d.Full {
 		clear(v.cells)
@@ -121,7 +129,7 @@ func (v *AllocView) Apply(d Delta) error {
 		if len(c.Vec) == 0 {
 			return fmt.Errorf("core: delta cell (%d,%d) has empty vector", c.Site, c.Class)
 		}
-		v.cells[CellRef{Site: c.Site, Class: c.Class}] = c.Vec
+		v.cells[CellRef{Site: c.Site, Class: c.Class}] = append([]float32(nil), c.Vec...)
 	}
 	// Drop cells at sites no longer activated (shape shrink without
 	// explicit evictions only happens on Full deltas, but keep the view

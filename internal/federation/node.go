@@ -6,11 +6,9 @@ import (
 	"sync"
 
 	"coca/internal/core"
+	"coca/internal/gtable"
 	"coca/internal/protocol"
 )
-
-// cellKey names one global-table cell.
-type cellKey struct{ class, layer int }
 
 // SyncStats counts a node's federation-tier traffic.
 type SyncStats struct {
@@ -105,32 +103,53 @@ func (c NodeConfig) remoteFreqWeight() float64 {
 type Node struct {
 	cfg NodeConfig
 	srv *core.Server
+	// classes and layers cache the server's shape; a view indexes cell
+	// (class, layer) densely at class*layers+layer.
+	classes, layers int
 
 	mu sync.Mutex
-	// views[peer][cell] = portion of the cell's evidence ledger the peer
-	// possesses.
-	views map[int]map[cellKey]float64
+	// views[peer][class*layers+layer] = portion of the cell's evidence
+	// ledger the peer possesses — a dense slice, not a map: sync sweeps
+	// touch every populated cell, and indexed reads keep the collection
+	// loop allocation- and hash-free.
+	views map[int][]float64
 	// freqViews[peer][class] = portion of this server's Φ the peer
 	// possesses.
 	freqViews map[int][]float64
 	// initial / initialFreq snapshot the ledgers at construction, the
 	// starting point of every new peer view.
-	initial     map[cellKey]float64
+	initial     []float64
 	initialFreq []float64
 	epoch       uint64
 	stats       SyncStats
+
+	// sweep and freqScratch are reused across sync rounds; deltas holds
+	// one reusable cell/frequency buffer set per peer, since a collected
+	// delta stays live until it is committed (after the exchange).
+	sweep       []gtable.Cell
+	freqScratch []float64
+	deltas      map[int]*peerScratch
+}
+
+// peerScratch backs one peer's in-flight Delta.
+type peerScratch struct {
+	cells         []protocol.PeerCell
+	freq, freqRaw []float64
 }
 
 // NewNode wraps a server as a federation node.
 func NewNode(srv *core.Server, cfg NodeConfig) *Node {
+	classes, layers := srv.Shape()
 	n := &Node{
 		cfg: cfg, srv: srv,
-		views:     make(map[int]map[cellKey]float64),
+		classes: classes, layers: layers,
+		views:     make(map[int][]float64),
 		freqViews: make(map[int][]float64),
+		deltas:    make(map[int]*peerScratch),
 	}
-	n.initial = make(map[cellKey]float64)
+	n.initial = make([]float64, classes*layers)
 	srv.ForEachCell(func(class, layer int, _ []float32, _ uint64, _, evTotal float64) {
-		n.initial[cellKey{class, layer}] = evTotal
+		n.initial[class*layers+layer] = evTotal
 	})
 	n.initialFreq = srv.GlobalFreq()
 	return n
@@ -157,16 +176,24 @@ func (n *Node) Stats() SyncStats {
 
 // view returns (creating if needed) the evidence view for a peer.
 // Callers hold n.mu.
-func (n *Node) view(peerID int) map[cellKey]float64 {
+func (n *Node) view(peerID int) []float64 {
 	v, ok := n.views[peerID]
 	if !ok {
-		v = make(map[cellKey]float64, len(n.initial))
-		for k, ev := range n.initial {
-			v[k] = ev
-		}
+		v = append([]float64(nil), n.initial...)
 		n.views[peerID] = v
 	}
 	return v
+}
+
+// delta returns (creating if needed) the peer's reusable delta buffers.
+// Callers hold n.mu.
+func (n *Node) delta(peerID int) *peerScratch {
+	d, ok := n.deltas[peerID]
+	if !ok {
+		d = &peerScratch{}
+		n.deltas[peerID] = d
+	}
+	return d
 }
 
 // freqView returns (creating if needed) the Φ view for a peer. Callers
@@ -200,44 +227,68 @@ func (d Delta) Empty() bool { return len(d.Cells) == 0 && d.Freq == nil }
 // remote-importance discount. It does not mark anything as delivered;
 // call CommitDelta once the exchange succeeded, so a failed wire send
 // retries the same content on the next sync.
+//
+// The returned Delta borrows the peer's reusable buffers (and the cell
+// vectors are borrowed immutable table entries): it stays valid until the
+// next CollectDelta FOR THE SAME PEER, which matches both sync drivers —
+// SyncNodes collects every pair before applying, PeerSet collects, ships
+// and commits one peer at a time. The global-table sweep runs through
+// gtable's per-shard parallel AppendCells, so one slow scan no longer
+// serializes the whole sync plane on a single goroutine.
 func (n *Node) CollectDelta(peerID int) Delta {
 	n.mu.Lock()
 	defer n.mu.Unlock()
 	view := n.view(peerID)
-	var d Delta
-	n.srv.ForEachCell(func(class, layer int, vec []float32, _ uint64, _, evTotal float64) {
+	ps := n.delta(peerID)
+	ps.cells = ps.cells[:0]
+	n.sweep = n.srv.AppendCells(n.sweep[:0])
+	for i := range n.sweep {
+		c := &n.sweep[i]
 		// The evidence shipped is the ledger growth since the last sync
 		// with this peer: exactly the new information, never the (capped)
 		// bulk of the entry's history.
-		if ev := evTotal - view[cellKey{class, layer}]; ev > 0 {
-			// vec is the live entry; merges replace entry slices rather
+		if ev := c.EvTotal - view[c.Class*n.layers+c.Layer]; ev > 0 {
+			// Vec is the live entry; merges replace entry slices rather
 			// than mutating them, so holding the reference is a stable
 			// snapshot.
-			d.Cells = append(d.Cells, protocol.PeerCell{Class: class, Layer: layer, Evidence: ev, Vec: vec})
+			ps.cells = append(ps.cells, protocol.PeerCell{Class: c.Class, Layer: c.Layer, Evidence: ev, Vec: c.Vec})
 		}
-	})
+	}
+	d := Delta{Cells: ps.cells}
 	// Φ increments since the last sync with this peer (Eq. 5 across the
 	// federation): Φ is monotone, so view differences are the increments,
 	// shipped under the remote-importance discount (biased samples of
 	// this fleet's distribution, not the receiver's).
 	w := n.cfg.remoteFreqWeight()
 	if w > 0 {
-		freq := n.srv.GlobalFreq()
+		n.freqScratch = n.srv.GlobalFreqInto(n.freqScratch)
+		freq := n.freqScratch
 		fview := n.freqView(peerID)
-		var fdelta, fraw []float64
+		moved := false
 		for i, f := range freq {
 			if f > fview[i] {
-				if fdelta == nil {
-					fdelta = make([]float64, len(freq))
-					fraw = make([]float64, len(freq))
-				}
-				fraw[i] = f - fview[i]
-				fdelta[i] = w * fraw[i]
+				moved = true
+				break
 			}
 		}
-		if fdelta != nil {
-			d.Freq = fdelta
-			d.freqRaw = fraw
+		if moved {
+			if cap(ps.freq) < len(freq) {
+				ps.freq = make([]float64, len(freq))
+				ps.freqRaw = make([]float64, len(freq))
+			}
+			ps.freq = ps.freq[:len(freq)]
+			ps.freqRaw = ps.freqRaw[:len(freq)]
+			for i, f := range freq {
+				if f > fview[i] {
+					ps.freqRaw[i] = f - fview[i]
+					ps.freq[i] = w * ps.freqRaw[i]
+				} else {
+					ps.freqRaw[i] = 0
+					ps.freq[i] = 0
+				}
+			}
+			d.Freq = ps.freq
+			d.freqRaw = ps.freqRaw
 		}
 	}
 	return d
@@ -252,7 +303,7 @@ func (n *Node) CommitDelta(peerID int, d Delta, wireBytes int) {
 	defer n.mu.Unlock()
 	view := n.view(peerID)
 	for _, c := range d.Cells {
-		view[cellKey{c.Class, c.Layer}] += c.Evidence
+		view[c.Class*n.layers+c.Layer] += c.Evidence
 	}
 	if d.freqRaw != nil {
 		fview := n.freqView(peerID)
@@ -298,7 +349,12 @@ func (n *Node) HandlePeerDelta(d *protocol.PeerDelta) (int, error) {
 	view := n.view(from)
 	applied := 0
 	for _, c := range d.Cells {
-		k := cellKey{c.Class, c.Layer}
+		if c.Class < 0 || c.Class >= n.classes || c.Layer < 0 || c.Layer >= n.layers {
+			n.stats.Errors++
+			n.stats.LastError = fmt.Sprintf("federation: peer cell (%d,%d) outside %d×%d", c.Class, c.Layer, n.classes, n.layers)
+			continue
+		}
+		k := c.Class*n.layers + c.Layer
 		ver, _, err := n.srv.MergePeerCell(c.Class, c.Layer, c.Vec, c.Evidence, view[k])
 		if err != nil {
 			n.stats.Errors++
@@ -322,6 +378,9 @@ func (n *Node) HandlePeerDelta(d *protocol.PeerDelta) (int, error) {
 		}
 	}
 	if len(d.Freq) > 0 {
+		if len(d.Freq) != n.classes {
+			return applied, fmt.Errorf("federation: peer frequency length %d, want %d", len(d.Freq), n.classes)
+		}
 		if err := n.srv.AddPeerFreq(d.Freq); err != nil {
 			return applied, err
 		}
@@ -379,15 +438,17 @@ func (n *Node) EndSync(fastForward bool) {
 	if !fastForward || len(n.views) == 0 {
 		return
 	}
-	n.srv.ForEachCell(func(class, layer int, _ []float32, _ uint64, _, evTotal float64) {
-		k := cellKey{class, layer}
+	n.sweep = n.srv.AppendCells(n.sweep[:0])
+	for i := range n.sweep {
+		c := &n.sweep[i]
+		k := c.Class*n.layers + c.Layer
 		for _, view := range n.views {
-			view[k] = evTotal
+			view[k] = c.EvTotal
 		}
-	})
-	freq := n.srv.GlobalFreq()
+	}
+	n.freqScratch = n.srv.GlobalFreqInto(n.freqScratch)
 	for _, fview := range n.freqViews {
-		copy(fview, freq)
+		copy(fview, n.freqScratch)
 	}
 }
 

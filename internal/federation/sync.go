@@ -2,9 +2,16 @@ package federation
 
 import (
 	"fmt"
+	"sync"
 
 	"coca/internal/protocol"
 )
+
+// syncFrameBuf recycles the frame buffer SyncNodes encodes deltas into:
+// the encoding exercises (and measures) the exact wire path, but the bytes
+// themselves are only needed for their length, so one reused buffer per
+// concurrent sync suffices.
+var syncFrameBuf = sync.Pool{New: func() any { return new([]byte) }}
 
 // SyncNodes executes one federation sync round over an in-process fleet,
 // deterministically. It runs in two phases so the outcome is a pure
@@ -56,6 +63,9 @@ func SyncNodes(nodes []*Node, topo *Topology) error {
 		bytes    int
 	}
 	var exchanges []exchange
+	buf := syncFrameBuf.Get().(*[]byte)
+	defer syncFrameBuf.Put(buf)
+	msg := protocol.Message{Type: protocol.TypePeerDelta, PeerDelta: &protocol.PeerDelta{}}
 
 	// Phase 1: collect. Topology indices are positions in the ordered
 	// node slice, so node ids and topology nodes line up.
@@ -66,18 +76,17 @@ func SyncNodes(nodes []*Node, topo *Topology) error {
 			if d.Empty() {
 				continue
 			}
-			frame, err := protocol.Encode(&protocol.Message{
-				Type: protocol.TypePeerDelta,
-				PeerDelta: &protocol.PeerDelta{
-					NodeID: int32(n.ID()),
-					Epoch:  n.Epoch(),
-					Cells:  d.Cells,
-					Freq:   d.Freq,
-				},
-			})
+			*msg.PeerDelta = protocol.PeerDelta{
+				NodeID: int32(n.ID()),
+				Epoch:  n.Epoch(),
+				Cells:  d.Cells,
+				Freq:   d.Freq,
+			}
+			frame, err := protocol.AppendEncode((*buf)[:0], &msg)
 			if err != nil {
 				return fmt.Errorf("federation: encode delta %d→%d: %w", n.ID(), peer.ID(), err)
 			}
+			*buf = frame[:0]
 			exchanges = append(exchanges, exchange{from: n.ID(), to: peer.ID(), delta: d, bytes: len(frame)})
 		}
 	}

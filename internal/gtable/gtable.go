@@ -328,6 +328,14 @@ func (f *Frequencies) Snapshot() []float64 {
 	return out
 }
 
+// SnapshotInto copies the counts into dst, growing it only when its
+// capacity is short — the allocation-free form of Snapshot hot paths reuse
+// a scratch buffer with.
+func (f *Frequencies) SnapshotInto(dst []float64) []float64 {
+	dst = append(dst[:0], f.counts...)
+	return dst
+}
+
 // Total returns the sum of all counts.
 func (f *Frequencies) Total() float64 {
 	var s float64

@@ -2,6 +2,7 @@ package gtable
 
 import (
 	"fmt"
+	"runtime"
 	"sync"
 
 	"coca/internal/vecmath"
@@ -257,6 +258,104 @@ func (s *Sharded) ForEachCell(fn func(class, layer int, vec []float32, ver uint6
 	}
 }
 
+// Cell is one populated cell as captured by a sweep. Vec is a borrowed
+// reference to the live entry — entry slices are immutable once published
+// (merges replace, never mutate, them), so holding it is a stable snapshot
+// and must not be written through.
+type Cell struct {
+	Class, Layer int
+	Vec          []float32
+	Ver          uint64
+	Support      float64
+	EvTotal      float64
+}
+
+// sweepParallelMinRows is the row count below which a parallel sweep
+// cannot amortize its goroutine fan-out; sweepMaxWorkers bounds the
+// fan-out (diminishing returns past a handful of lock-stride readers,
+// and a fixed bound keeps the per-sweep worker list off the heap).
+const (
+	sweepParallelMinRows = 32
+	sweepMaxWorkers      = 16
+)
+
+// cellBufPool recycles per-worker sweep buffers, keeping the parallel
+// sweep's cell storage allocation-free at steady state.
+var cellBufPool = sync.Pool{New: func() any { return new([]Cell) }}
+
+// AppendCells appends every populated cell in (class, layer) order to dst
+// and returns the extended slice — the bulk form of ForEachCell that the
+// federation tier's delta collection runs. Vec fields are borrowed (see
+// Cell). The sequential regime (small tables) allocates nothing beyond
+// dst growth; tables with at least sweepParallelMinRows rows are swept by
+// up to sweepMaxWorkers workers over contiguous row ranges — cell storage
+// comes from pooled buffers stitched back in row order, so the parallel
+// regime's steady-state cost is the goroutine fan-out itself, not per-cell
+// allocation — and one slow reader no longer serializes the whole sweep
+// behind a single goroutine.
+func (s *Sharded) AppendCells(dst []Cell) []Cell {
+	workers := runtime.GOMAXPROCS(0)
+	if s.classes < sweepParallelMinRows || workers < 2 {
+		return s.appendRows(dst, 0, s.classes)
+	}
+	if workers > sweepMaxWorkers {
+		workers = sweepMaxWorkers
+	}
+	if workers > s.classes {
+		workers = s.classes
+	}
+	var bufs [sweepMaxWorkers]*[]Cell
+	var wg sync.WaitGroup
+	chunk := (s.classes + workers - 1) / workers
+	for w := 0; w < workers; w++ {
+		lo := w * chunk
+		hi := lo + chunk
+		if hi > s.classes {
+			hi = s.classes
+		}
+		buf := cellBufPool.Get().(*[]Cell)
+		bufs[w] = buf
+		wg.Add(1)
+		go s.sweepWorker(lo, hi, buf, &wg)
+	}
+	wg.Wait()
+	for _, buf := range bufs[:workers] {
+		dst = append(dst, *buf...)
+		// Zero the elements before pooling: a parked buffer must not pin
+		// superseded entry slices (Vec borrows) against the GC.
+		clear(*buf)
+		*buf = (*buf)[:0]
+		cellBufPool.Put(buf)
+	}
+	return dst
+}
+
+// sweepWorker fills one pooled buffer with rows [lo, hi); taking plain
+// arguments (no closure) keeps the spawn allocation-free.
+func (s *Sharded) sweepWorker(lo, hi int, buf *[]Cell, wg *sync.WaitGroup) {
+	defer wg.Done()
+	*buf = s.appendRows((*buf)[:0], lo, hi)
+}
+
+// appendRows appends the populated cells of rows [lo, hi) to dst in
+// (class, layer) order, read-locking one row at a time.
+func (s *Sharded) appendRows(dst []Cell, lo, hi int) []Cell {
+	for c := lo; c < hi; c++ {
+		row := &s.rows[c]
+		row.mu.RLock()
+		for j, v := range row.vecs {
+			if v != nil {
+				dst = append(dst, Cell{
+					Class: c, Layer: j, Vec: v,
+					Ver: row.vers[j], Support: row.support[j], EvTotal: row.evtotal[j],
+				})
+			}
+		}
+		row.mu.RUnlock()
+	}
+	return dst
+}
+
 // Set stores a normalized copy of vec at (class, layer), bumping version
 // and setting support to the given evidence count.
 func (s *Sharded) Set(class, layer int, vec []float32, support float64) error {
@@ -280,11 +379,15 @@ func (s *Sharded) Set(class, layer int, vec []float32, support float64) error {
 	return nil
 }
 
-// ExtractLayerVersioned returns copies of the populated entries of the
-// given column restricted to classes, with each entry's current version,
-// preserving class order and skipping absent cells. Rows are read-locked
-// one at a time, so concurrent merges into other rows are not blocked.
-func (s *Sharded) ExtractLayerVersioned(layer int, classes []int) (cls []int, entries [][]float32, vers []uint64) {
+// ExtractLayerVersionedInto appends the populated entries of the given
+// column restricted to classes — with each entry's current version,
+// preserving class order and skipping absent cells — onto the caller's
+// scratch slices and returns them. Entries are borrowed references (see
+// Cell): the critical section per row is the capture of three words, and
+// no allocation ever happens under a shard lock; at steady state, once the
+// scratch has grown to the working-set size, the extraction allocates
+// nothing at all.
+func (s *Sharded) ExtractLayerVersionedInto(layer int, classes []int, cls []int, entries [][]float32, vers []uint64) ([]int, [][]float32, []uint64) {
 	for _, c := range classes {
 		if err := s.check(c, layer); err != nil {
 			panic(err)
@@ -292,30 +395,49 @@ func (s *Sharded) ExtractLayerVersioned(layer int, classes []int) (cls []int, en
 		row := &s.rows[c]
 		row.mu.RLock()
 		v := row.vecs[layer]
+		ver := row.vers[layer]
+		row.mu.RUnlock()
 		if v != nil {
 			cls = append(cls, c)
-			entries = append(entries, vecmath.Clone(v))
-			vers = append(vers, row.vers[layer])
+			entries = append(entries, v)
+			vers = append(vers, ver)
 		}
-		row.mu.RUnlock()
+	}
+	return cls, entries, vers
+}
+
+// ExtractLayerVersioned returns copies of the populated entries of the
+// given column restricted to classes, with each entry's current version,
+// preserving class order and skipping absent cells. Cloning happens
+// outside the row locks (entries are immutable once published); hot paths
+// use ExtractLayerVersionedInto and skip the copies entirely.
+func (s *Sharded) ExtractLayerVersioned(layer int, classes []int) (cls []int, entries [][]float32, vers []uint64) {
+	cls, entries, vers = s.ExtractLayerVersionedInto(layer, classes, nil, nil, nil)
+	for i, v := range entries {
+		entries[i] = vecmath.Clone(v)
 	}
 	return cls, entries, vers
 }
 
 // Snapshot copies the sharded table into a plain Table (diagnostics and
-// experiments). Rows are locked one at a time: the snapshot is per-row
-// consistent, matching what any single allocation can observe.
+// experiments). Rows are locked one at a time — the snapshot is per-row
+// consistent, matching what any single allocation can observe — and only
+// to capture entry references; the copies are made outside the critical
+// section (published entries are immutable), so concurrent Merge writers
+// never wait on a snapshot's allocations.
 func (s *Sharded) Snapshot() *Table {
 	out := New(s.classes, s.layers, s.dim)
+	refs := make([][]float32, s.layers)
 	for c := range s.rows {
 		row := &s.rows[c]
 		row.mu.RLock()
-		for j, v := range row.vecs {
+		copy(refs, row.vecs)
+		row.mu.RUnlock()
+		for j, v := range refs {
 			if v != nil {
 				out.vecs[c][j] = vecmath.Clone(v)
 			}
 		}
-		row.mu.RUnlock()
 	}
 	return out
 }

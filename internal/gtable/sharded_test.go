@@ -304,3 +304,189 @@ func TestForEachCellOrderAndSkip(t *testing.T) {
 		t.Fatalf("visit order %v, want %v", visited, want)
 	}
 }
+
+// TestAppendCellsMatchesForEachCell checks the bulk sweep against the
+// callback scan, both below and above the parallel fan-out threshold.
+func TestAppendCellsMatchesForEachCell(t *testing.T) {
+	for _, classes := range []int{5, sweepParallelMinRows * 3} {
+		s := NewSharded(classes, 4, 8)
+		r := uint64(1)
+		for c := 0; c < classes; c++ {
+			for j := 0; j < 4; j++ {
+				r = r*6364136223846793005 + 1442695040888963407
+				if r%3 == 0 {
+					continue // leave a third of the cells absent
+				}
+				if err := s.Set(c, j, axis(8, int(r%8)), float64(1+r%7)); err != nil {
+					t.Fatal(err)
+				}
+			}
+		}
+		var want []Cell
+		s.ForEachCell(func(class, layer int, vec []float32, ver uint64, support, evTotal float64) {
+			want = append(want, Cell{Class: class, Layer: layer, Vec: vec, Ver: ver, Support: support, EvTotal: evTotal})
+		})
+		got := s.AppendCells(nil)
+		if len(got) != len(want) {
+			t.Fatalf("classes=%d: %d cells, want %d", classes, len(got), len(want))
+		}
+		for i := range got {
+			if got[i].Class != want[i].Class || got[i].Layer != want[i].Layer ||
+				got[i].Ver != want[i].Ver || got[i].Support != want[i].Support ||
+				got[i].EvTotal != want[i].EvTotal || &got[i].Vec[0] != &want[i].Vec[0] {
+				t.Fatalf("classes=%d: cell %d = %+v, want %+v", classes, i, got[i], want[i])
+			}
+		}
+		// Appending onto existing scratch preserves the prefix.
+		pre := []Cell{{Class: -1}}
+		both := s.AppendCells(pre)
+		if both[0].Class != -1 || len(both) != 1+len(want) {
+			t.Fatal("AppendCells must append to the given scratch")
+		}
+	}
+}
+
+// TestExtractLayerVersionedIntoBorrowsLiveEntries verifies the Into
+// variant returns the live (immutable) entry slices without copying, and
+// that a later merge replaces — not mutates — what was borrowed.
+func TestExtractLayerVersionedIntoBorrowsLiveEntries(t *testing.T) {
+	s := NewSharded(3, 2, 4)
+	if err := s.Set(1, 0, axis(4, 1), 8); err != nil {
+		t.Fatal(err)
+	}
+	cls, entries, vers := s.ExtractLayerVersionedInto(0, []int{0, 1, 2}, nil, nil, nil)
+	if len(cls) != 1 || cls[0] != 1 || vers[0] != 1 {
+		t.Fatalf("extract = %v %v", cls, vers)
+	}
+	borrowed := entries[0]
+	if &borrowed[0] != &s.rows[1].vecs[0][0] {
+		t.Fatal("Into variant must borrow the live entry, not copy it")
+	}
+	snap := vecmath.Clone(borrowed)
+	if err := s.Merge(1, 0, axis(4, 3), 0.99, 4, 0); err != nil {
+		t.Fatal(err)
+	}
+	for i := range snap {
+		if borrowed[i] != snap[i] {
+			t.Fatal("merge mutated a published entry; merges must replace slices")
+		}
+	}
+	// Scratch reuse: a second extraction into the same buffers must not
+	// grow them.
+	cls, entries, vers = s.ExtractLayerVersionedInto(0, []int{0, 1, 2}, cls[:0], entries[:0], vers[:0])
+	if len(cls) != 1 || vers[0] != 2 {
+		t.Fatalf("re-extract = %v %v", cls, vers)
+	}
+}
+
+// TestSnapshotAndSweepUnderMergeContention hammers the table with
+// concurrent Merge writers while snapshots, extractions and bulk sweeps
+// run — the lock-held-while-allocating fix's regression test (run with
+// -race). Every observed entry must be a unit vector (no torn reads), and
+// the sweeps must terminate while writers are still running.
+func TestSnapshotAndSweepUnderMergeContention(t *testing.T) {
+	const classes, layers, dim = 64, 6, 16
+	s := NewSharded(classes, layers, dim)
+	for c := 0; c < classes; c++ {
+		for j := 0; j < layers; j++ {
+			if err := s.Set(c, j, axis(dim, (c+j)%dim), 4); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	for w := 0; w < 4; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			u := make([]float32, dim)
+			r := uint64(w + 1)
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				r = r*6364136223846793005 + 1442695040888963407
+				for i := range u {
+					u[i] = float32(int(r>>16)%17) - 8
+				}
+				u[int(r%dim)] = 9
+				if err := s.Merge(int(r%classes), int((r>>8)%layers), u, 0.99, 1, 160); err != nil {
+					t.Error(err)
+					return
+				}
+			}
+		}(w)
+	}
+	classList := make([]int, classes)
+	for i := range classList {
+		classList[i] = i
+	}
+	var cells []Cell
+	for i := 0; i < 50; i++ {
+		snap := s.Snapshot()
+		for c := 0; c < classes; c++ {
+			for j := 0; j < layers; j++ {
+				v := snap.Get(c, j)
+				if v == nil {
+					t.Fatalf("snapshot lost cell (%d,%d)", c, j)
+				}
+				if n := vecmath.Dot(v, v); n < 0.99 || n > 1.01 {
+					t.Fatalf("torn read: |v|² = %v at (%d,%d)", n, c, j)
+				}
+			}
+		}
+		cells = s.AppendCells(cells[:0])
+		if len(cells) != classes*layers {
+			t.Fatalf("sweep saw %d cells, want %d", len(cells), classes*layers)
+		}
+		_, entries, _ := s.ExtractLayerVersionedInto(i%layers, classList, nil, nil, nil)
+		for _, v := range entries {
+			if n := vecmath.Dot(v, v); n < 0.99 || n > 1.01 {
+				t.Fatalf("torn extract: |v|² = %v", n)
+			}
+		}
+	}
+	close(stop)
+	wg.Wait()
+}
+
+// TestShardedSteadyStateAllocs pins the allocation profile of the sweep
+// and extraction hot paths once scratch has reached its high-water size.
+func TestShardedSteadyStateAllocs(t *testing.T) {
+	const classes, layers, dim = 48, 4, 8 // sequential sweep regime
+	s := NewSharded(classes, layers, dim)
+	for c := 0; c < classes; c++ {
+		for j := 0; j < layers; j++ {
+			if err := s.Set(c, j, axis(dim, c%dim), 4); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	classList := make([]int, classes)
+	for i := range classList {
+		classList[i] = i
+	}
+	cells := s.AppendCells(nil)
+	if allocs := testing.AllocsPerRun(50, func() {
+		cells = s.AppendCells(cells[:0])
+	}); allocs != 0 {
+		t.Errorf("AppendCells steady state: %.1f allocs/op, want 0", allocs)
+	}
+	cls, entries, vers := s.ExtractLayerVersionedInto(0, classList, nil, nil, nil)
+	if allocs := testing.AllocsPerRun(50, func() {
+		cls, entries, vers = s.ExtractLayerVersionedInto(1, classList, cls[:0], entries[:0], vers[:0])
+	}); allocs != 0 {
+		t.Errorf("ExtractLayerVersionedInto steady state: %.1f allocs/op, want 0", allocs)
+	}
+	var freqDst []float64
+	f := NewFrequencies(classes)
+	freqDst = f.SnapshotInto(freqDst)
+	if allocs := testing.AllocsPerRun(50, func() {
+		freqDst = f.SnapshotInto(freqDst)
+	}); allocs != 0 {
+		t.Errorf("SnapshotInto steady state: %.1f allocs/op, want 0", allocs)
+	}
+}

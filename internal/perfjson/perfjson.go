@@ -122,6 +122,31 @@ type BenchDelta struct {
 	OldNs, NewNs float64
 	// Speedup is OldNs/NewNs (>1 is faster), 0 when not comparable.
 	Speedup float64
+	// OldAllocs and NewAllocs are allocs/op. Known reports only when the
+	// benchmark exists in both (see Known).
+	OldAllocs, NewAllocs float64
+	// Known marks that the benchmark was present in the old report (a new
+	// benchmark has nothing to regress against).
+	Known bool
+}
+
+// ZeroAllocThreshold is the allocs/op at or below which a benchmark
+// counts as "zero-alloc" for regression gating: genuinely allocation-free
+// steady states measure 0, but a stray amortized warmup allocation at
+// short -benchtime must not reclassify the benchmark.
+const ZeroAllocThreshold = 8
+
+// AllocRegression reports whether this delta is an allocation regression
+// in a zero-alloc benchmark: the old measurement was (near) zero-alloc and
+// the new one grew by more than tolerance (a fraction, e.g. 0.2 for 20%)
+// plus an absolute slack of one allocation — so at 20% tolerance, 0 → 1
+// from measurement noise does not fail a build, while 0 → 2 and 8 → 11
+// (over 8·1.2+1 = 10.6) do.
+func (d BenchDelta) AllocRegression(tolerance float64) bool {
+	if !d.Known || d.OldAllocs > ZeroAllocThreshold {
+		return false
+	}
+	return d.NewAllocs > d.OldAllocs*(1+tolerance)+1
 }
 
 // Delta compares two reports benchmark by benchmark, returning movements
@@ -133,9 +158,11 @@ func Delta(old, new *Report) []BenchDelta {
 	}
 	out := make([]BenchDelta, 0, len(new.Benchmarks))
 	for _, b := range new.Benchmarks {
-		d := BenchDelta{Name: b.Name, NewNs: b.NsPerOp}
+		d := BenchDelta{Name: b.Name, NewNs: b.NsPerOp, NewAllocs: b.AllocsPerOp}
 		if p, ok := prev[b.Name]; ok {
+			d.Known = true
 			d.OldNs = p.NsPerOp
+			d.OldAllocs = p.AllocsPerOp
 			if b.NsPerOp > 0 {
 				d.Speedup = p.NsPerOp / b.NsPerOp
 			}

@@ -101,3 +101,32 @@ func TestDelta(t *testing.T) {
 		t.Fatalf("new benchmark delta %+v", d)
 	}
 }
+
+func TestDeltaAllocRegression(t *testing.T) {
+	old := &Report{Schema: SchemaVersion, Date: "2026-07-25", Benchmarks: []Benchmark{
+		{Name: "zero", NsPerOp: 100, AllocsPerOp: 0},
+		{Name: "near-zero", NsPerOp: 100, AllocsPerOp: 4},
+		{Name: "heavy", NsPerOp: 100, AllocsPerOp: 1e6},
+	}}
+	new := &Report{Schema: SchemaVersion, Date: "2026-07-26", Benchmarks: []Benchmark{
+		{Name: "zero", NsPerOp: 90, AllocsPerOp: 3},      // 0 -> 3: regression
+		{Name: "near-zero", NsPerOp: 90, AllocsPerOp: 5}, // within 20%+1 slack
+		{Name: "heavy", NsPerOp: 90, AllocsPerOp: 2e6},   // not a zero-alloc bench
+		{Name: "fresh", NsPerOp: 50, AllocsPerOp: 10},    // unknown baseline
+	}}
+	got := map[string]bool{}
+	for _, d := range Delta(old, new) {
+		got[d.Name] = d.AllocRegression(0.20)
+	}
+	want := map[string]bool{"zero": true, "near-zero": false, "heavy": false, "fresh": false}
+	for name, wantReg := range want {
+		if got[name] != wantReg {
+			t.Errorf("%s: AllocRegression = %v, want %v", name, got[name], wantReg)
+		}
+	}
+	// A 0 -> 1 wobble must not fail a build.
+	d := BenchDelta{Known: true, OldAllocs: 0, NewAllocs: 1}
+	if d.AllocRegression(0.20) {
+		t.Error("0 -> 1 allocs flagged as regression; absolute slack must absorb it")
+	}
+}

@@ -176,6 +176,9 @@ type reader struct {
 	buf []byte
 	off int
 	err error
+	// dec, when set, supplies reusable scratch: decoded slices are carved
+	// from its arenas instead of fresh allocations.
+	dec *Decoder
 }
 
 func (r *reader) fail(what string) {
@@ -240,7 +243,12 @@ func (r *reader) length(minElemSize int) int {
 
 func (r *reader) i32s() []int {
 	n := r.length(4)
-	out := make([]int, 0, n)
+	var out []int
+	if r.dec != nil {
+		out = r.dec.ints.take(n)
+	} else {
+		out = make([]int, 0, n)
+	}
 	for i := 0; i < n; i++ {
 		out = append(out, int(r.i32()))
 	}
@@ -249,7 +257,12 @@ func (r *reader) i32s() []int {
 
 func (r *reader) f64s() []float64 {
 	n := r.length(8)
-	out := make([]float64, 0, n)
+	var out []float64
+	if r.dec != nil {
+		out = r.dec.f64s.take(n)
+	} else {
+		out = make([]float64, 0, n)
+	}
 	for i := 0; i < n; i++ {
 		out = append(out, r.f64())
 	}
@@ -258,7 +271,12 @@ func (r *reader) f64s() []float64 {
 
 func (r *reader) f32s() []float32 {
 	n := r.length(4)
-	out := make([]float32, 0, n)
+	var out []float32
+	if r.dec != nil {
+		out = r.dec.f32s.take(n)
+	} else {
+		out = make([]float32, 0, n)
+	}
 	for i := 0; i < n; i++ {
 		out = append(out, r.f32())
 	}
@@ -275,36 +293,219 @@ func (r *reader) str() string {
 	return s
 }
 
+// ---- decode scratch ----
+
+// arena is a reusable backing store for one element type: take carves a
+// zero-length slice with exactly the requested capacity and advances the
+// cursor, growing the backing only past its high-water mark. Slices carved
+// before a growth keep the old backing and stay valid.
+type arena[T any] struct {
+	buf []T
+	off int
+}
+
+func (a *arena[T]) reset() { a.off = 0 }
+
+func (a *arena[T]) take(n int) []T {
+	if a.off+n > len(a.buf) {
+		need := a.off + n
+		if need < 2*len(a.buf) {
+			need = 2 * len(a.buf)
+		}
+		a.buf = make([]T, need)
+		a.off = 0
+	}
+	s := a.buf[a.off : a.off : a.off+n]
+	a.off += n
+	return s
+}
+
+// Decoder decodes frames into reusable scratch: the returned Message, its
+// payload structs and every decoded slice live in decoder-owned memory and
+// are valid only until the next Decode call. One decoder serves one
+// connection (or any other strictly sequential frame stream); it is not
+// safe for concurrent use. At steady state — once the arenas have grown to
+// the connection's largest message shape — decoding allocates nothing.
+//
+// The package-level Decode remains the allocating form whose results the
+// caller owns indefinitely.
+type Decoder struct {
+	msg  Message
+	ints arena[int]
+	f64s arena[float64]
+	f32s arena[float32]
+
+	dcells []core.DeltaCell
+	ucells []core.UpdateCell
+	pcells []PeerCell
+	evicts []core.CellRef
+
+	hello     Hello
+	helloAck  core.RegisterInfo
+	status    core.StatusReport
+	delta     core.Delta
+	update    core.UpdateReport
+	peerHello PeerHello
+	peerDelta PeerDelta
+	peerAck   PeerAck
+}
+
+// Decode parses a frame of either wire version into the decoder's scratch.
+// The result is valid until the next Decode on this decoder.
+func (d *Decoder) Decode(frame []byte) (*Message, error) {
+	d.ints.reset()
+	d.f64s.reset()
+	d.f32s.reset()
+	return decodeFrame(&reader{buf: frame, dec: d})
+}
+
+// message returns the Message to decode into: decoder scratch when
+// present, a fresh allocation otherwise.
+func (r *reader) message() *Message {
+	if r.dec != nil {
+		r.dec.msg = Message{}
+		return &r.dec.msg
+	}
+	return &Message{}
+}
+
+func (r *reader) newHello() *Hello {
+	if r.dec != nil {
+		r.dec.hello = Hello{}
+		return &r.dec.hello
+	}
+	return &Hello{}
+}
+
+func (r *reader) newHelloAck() *core.RegisterInfo {
+	if r.dec != nil {
+		r.dec.helloAck = core.RegisterInfo{}
+		return &r.dec.helloAck
+	}
+	return &core.RegisterInfo{}
+}
+
+func (r *reader) newStatus() *core.StatusReport {
+	if r.dec != nil {
+		r.dec.status = core.StatusReport{}
+		return &r.dec.status
+	}
+	return &core.StatusReport{}
+}
+
+func (r *reader) newDelta() *core.Delta {
+	if r.dec != nil {
+		r.dec.delta = core.Delta{}
+		return &r.dec.delta
+	}
+	return &core.Delta{}
+}
+
+func (r *reader) newUpdate() *core.UpdateReport {
+	if r.dec != nil {
+		r.dec.update = core.UpdateReport{}
+		return &r.dec.update
+	}
+	return &core.UpdateReport{}
+}
+
+func (r *reader) newPeerHello() *PeerHello {
+	if r.dec != nil {
+		r.dec.peerHello = PeerHello{}
+		return &r.dec.peerHello
+	}
+	return &PeerHello{}
+}
+
+func (r *reader) newPeerDelta() *PeerDelta {
+	if r.dec != nil {
+		r.dec.peerDelta = PeerDelta{}
+		return &r.dec.peerDelta
+	}
+	return &PeerDelta{}
+}
+
+func (r *reader) newPeerAck() *PeerAck {
+	if r.dec != nil {
+		r.dec.peerAck = PeerAck{}
+		return &r.dec.peerAck
+	}
+	return &PeerAck{}
+}
+
+func (r *reader) deltaCellBuf() []core.DeltaCell {
+	if r.dec != nil {
+		return r.dec.dcells[:0]
+	}
+	return nil
+}
+
+func (r *reader) updateCellBuf() []core.UpdateCell {
+	if r.dec != nil {
+		return r.dec.ucells[:0]
+	}
+	return nil
+}
+
+func (r *reader) peerCellBuf() []PeerCell {
+	if r.dec != nil {
+		return r.dec.pcells[:0]
+	}
+	return nil
+}
+
+func (r *reader) evictBuf() []core.CellRef {
+	if r.dec != nil {
+		return r.dec.evicts[:0]
+	}
+	return nil
+}
+
 // ---- message codec ----
 
 // Encode serializes a message in its Version's wire format (the latest
 // when Version is 0).
 func Encode(m *Message) ([]byte, error) {
-	switch m.Version {
-	case V1:
-		return encodeV1(m)
-	case 0, V2:
-		return encodeV2(m)
-	default:
-		return nil, fmt.Errorf("protocol: cannot encode version %d", m.Version)
-	}
+	return AppendEncode(make([]byte, 0, 256), m)
 }
 
-func encodeV1(m *Message) ([]byte, error) {
-	w := &writer{buf: make([]byte, 0, 256)}
+// AppendEncode serializes a message appending onto dst and returns the
+// extended buffer — the reuse form of Encode: serving loops and peer
+// links keep one buffer per connection, so steady-state encoding costs no
+// allocation beyond the buffer's initial growth to the largest message.
+// On error the returned buffer may carry a partial frame and must be
+// truncated back by the caller before reuse.
+func AppendEncode(dst []byte, m *Message) ([]byte, error) {
+	w := writer{buf: dst}
+	var err error
+	switch m.Version {
+	case V1:
+		err = encodeV1(&w, m)
+	case 0, V2:
+		err = encodeV2(&w, m)
+	default:
+		return dst, fmt.Errorf("protocol: cannot encode version %d", m.Version)
+	}
+	if err != nil {
+		return dst, err
+	}
+	return w.buf, nil
+}
+
+func encodeV1(w *writer, m *Message) error {
 	w.u8(V1)
 	w.u8(m.Type)
 	w.i32(m.ClientID)
 	switch m.Type {
 	case TypeHello:
 		if m.Hello == nil {
-			return nil, fmt.Errorf("protocol: hello payload missing")
+			return fmt.Errorf("protocol: hello payload missing")
 		}
 		w.i32(m.Hello.NumClasses)
 		w.i32(m.Hello.NumLayers)
 	case TypeHelloAck:
 		if m.HelloAck == nil {
-			return nil, fmt.Errorf("protocol: hello-ack payload missing")
+			return fmt.Errorf("protocol: hello-ack payload missing")
 		}
 		w.i32(int32(m.HelloAck.NumClasses))
 		w.i32(int32(m.HelloAck.NumLayers))
@@ -312,7 +513,7 @@ func encodeV1(m *Message) ([]byte, error) {
 		w.f64s(m.HelloAck.SavedMs)
 	case TypeStatus:
 		if m.Status == nil {
-			return nil, fmt.Errorf("protocol: status payload missing")
+			return fmt.Errorf("protocol: status payload missing")
 		}
 		w.i32s(m.Status.Tau)
 		w.f64s(m.Status.HitRatio)
@@ -320,7 +521,7 @@ func encodeV1(m *Message) ([]byte, error) {
 		w.i32(int32(m.Status.RoundFrames))
 	case TypeAllocation:
 		if m.Allocation == nil {
-			return nil, fmt.Errorf("protocol: allocation payload missing")
+			return fmt.Errorf("protocol: allocation payload missing")
 		}
 		w.i32s(m.Allocation.Classes)
 		w.u32(uint32(len(m.Allocation.Layers)))
@@ -334,7 +535,7 @@ func encodeV1(m *Message) ([]byte, error) {
 		}
 	case TypeUpdate:
 		if m.Update == nil {
-			return nil, fmt.Errorf("protocol: update payload missing")
+			return fmt.Errorf("protocol: update payload missing")
 		}
 		encodeUpdate(w, m.Update)
 	case TypeAck:
@@ -342,13 +543,12 @@ func encodeV1(m *Message) ([]byte, error) {
 	case TypeError:
 		w.str(m.Error)
 	default:
-		return nil, fmt.Errorf("protocol: message type %d not in version 1", m.Type)
+		return fmt.Errorf("protocol: message type %d not in version 1", m.Type)
 	}
-	return w.buf, nil
+	return nil
 }
 
-func encodeV2(m *Message) ([]byte, error) {
-	w := &writer{buf: make([]byte, 0, 256)}
+func encodeV2(w *writer, m *Message) error {
 	w.u8(V2)
 	w.u8(m.Type)
 	w.i32(m.ClientID)
@@ -356,14 +556,14 @@ func encodeV2(m *Message) ([]byte, error) {
 	switch m.Type {
 	case TypeHello:
 		if m.Hello == nil {
-			return nil, fmt.Errorf("protocol: hello payload missing")
+			return fmt.Errorf("protocol: hello payload missing")
 		}
 		w.i32(m.Hello.NumClasses)
 		w.i32(m.Hello.NumLayers)
 		w.u8(m.Proto)
 	case TypeHelloAck:
 		if m.HelloAck == nil {
-			return nil, fmt.Errorf("protocol: hello-ack payload missing")
+			return fmt.Errorf("protocol: hello-ack payload missing")
 		}
 		w.u8(m.Proto)
 		w.i32(int32(m.HelloAck.NumClasses))
@@ -372,7 +572,7 @@ func encodeV2(m *Message) ([]byte, error) {
 		w.f64s(m.HelloAck.SavedMs)
 	case TypeStatus:
 		if m.Status == nil {
-			return nil, fmt.Errorf("protocol: status payload missing")
+			return fmt.Errorf("protocol: status payload missing")
 		}
 		w.i32s(m.Status.Tau)
 		w.f64s(m.Status.HitRatio)
@@ -381,7 +581,7 @@ func encodeV2(m *Message) ([]byte, error) {
 		w.u64(m.Status.LastVersion)
 	case TypeDelta:
 		if m.Delta == nil {
-			return nil, fmt.Errorf("protocol: delta payload missing")
+			return fmt.Errorf("protocol: delta payload missing")
 		}
 		d := m.Delta
 		w.u64(d.Version)
@@ -406,12 +606,12 @@ func encodeV2(m *Message) ([]byte, error) {
 		}
 	case TypeUpdate:
 		if m.Update == nil {
-			return nil, fmt.Errorf("protocol: update payload missing")
+			return fmt.Errorf("protocol: update payload missing")
 		}
 		encodeUpdate(w, m.Update)
 	case TypePeerHello:
 		if m.PeerHello == nil {
-			return nil, fmt.Errorf("protocol: peer-hello payload missing")
+			return fmt.Errorf("protocol: peer-hello payload missing")
 		}
 		w.u8(m.Proto)
 		w.i32(m.PeerHello.NodeID)
@@ -419,7 +619,7 @@ func encodeV2(m *Message) ([]byte, error) {
 		w.i32(m.PeerHello.NumLayers)
 	case TypePeerDelta:
 		if m.PeerDelta == nil {
-			return nil, fmt.Errorf("protocol: peer-delta payload missing")
+			return fmt.Errorf("protocol: peer-delta payload missing")
 		}
 		d := m.PeerDelta
 		w.i32(d.NodeID)
@@ -434,7 +634,7 @@ func encodeV2(m *Message) ([]byte, error) {
 		w.f64s(d.Freq)
 	case TypePeerAck:
 		if m.PeerAck == nil {
-			return nil, fmt.Errorf("protocol: peer-ack payload missing")
+			return fmt.Errorf("protocol: peer-ack payload missing")
 		}
 		w.u8(m.Proto)
 		w.i32(m.PeerAck.NodeID)
@@ -444,9 +644,9 @@ func encodeV2(m *Message) ([]byte, error) {
 	case TypeError:
 		w.str(m.Error)
 	default:
-		return nil, fmt.Errorf("protocol: message type %d not in version 2", m.Type)
+		return fmt.Errorf("protocol: message type %d not in version 2", m.Type)
 	}
-	return w.buf, nil
+	return nil
 }
 
 func encodeUpdate(w *writer, up *core.UpdateReport) {
@@ -460,9 +660,15 @@ func encodeUpdate(w *writer, up *core.UpdateReport) {
 	}
 }
 
-// Decode parses a frame of either wire version.
+// Decode parses a frame of either wire version. The result is freshly
+// allocated and owned by the caller; sequential frame streams use a
+// Decoder to reuse scratch instead.
 func Decode(frame []byte) (*Message, error) {
-	r := &reader{buf: frame}
+	return decodeFrame(&reader{buf: frame})
+}
+
+func decodeFrame(r *reader) (*Message, error) {
+	frame := r.buf
 	version := r.u8()
 	var m *Message
 	var err error
@@ -487,26 +693,34 @@ func Decode(frame []byte) (*Message, error) {
 }
 
 func decodeV1(r *reader) (*Message, error) {
-	m := &Message{Version: V1, Type: r.u8(), ClientID: r.i32()}
+	m := r.message()
+	m.Version, m.Type, m.ClientID = V1, r.u8(), r.i32()
 	switch m.Type {
 	case TypeHello:
-		m.Hello = &Hello{NumClasses: r.i32(), NumLayers: r.i32()}
+		h := r.newHello()
+		h.NumClasses, h.NumLayers = r.i32(), r.i32()
+		m.Hello = h
 	case TypeHelloAck:
-		info := &core.RegisterInfo{
-			NumClasses: int(r.i32()),
-			NumLayers:  int(r.i32()),
-		}
+		info := r.newHelloAck()
+		info.NumClasses = int(r.i32())
+		info.NumLayers = int(r.i32())
 		info.ProfileHitRatio = r.f64s()
 		info.SavedMs = r.f64s()
 		m.HelloAck = info
 	case TypeStatus:
-		st := &core.StatusReport{}
+		st := r.newStatus()
 		st.Tau = r.i32s()
 		st.HitRatio = r.f64s()
 		st.Budget = int(r.i32())
 		st.RoundFrames = int(r.i32())
 		m.Status = st
 	case TypeAllocation:
+		// Legacy-client cold path: allocations are fully materialized and
+		// retained by the caller, so they are decoded fresh even under a
+		// Decoder — the arenas are suspended for the payload so nothing
+		// the caller keeps aliases decoder scratch.
+		dec := r.dec
+		r.dec = nil
 		al := &core.Allocation{}
 		al.Classes = r.i32s()
 		nLayers := r.length(4)
@@ -519,6 +733,7 @@ func decodeV1(r *reader) (*Message, error) {
 			}
 			al.Layers = append(al.Layers, l)
 		}
+		r.dec = dec
 		m.Allocation = al
 	case TypeUpdate:
 		m.Update = decodeUpdate(r)
@@ -533,22 +748,24 @@ func decodeV1(r *reader) (*Message, error) {
 }
 
 func decodeV2(r *reader) (*Message, error) {
-	m := &Message{Version: V2, Type: r.u8(), ClientID: r.i32(), SessionID: r.u64()}
+	m := r.message()
+	m.Version, m.Type, m.ClientID, m.SessionID = V2, r.u8(), r.i32(), r.u64()
 	switch m.Type {
 	case TypeHello:
-		m.Hello = &Hello{NumClasses: r.i32(), NumLayers: r.i32()}
+		h := r.newHello()
+		h.NumClasses, h.NumLayers = r.i32(), r.i32()
+		m.Hello = h
 		m.Proto = r.u8()
 	case TypeHelloAck:
 		m.Proto = r.u8()
-		info := &core.RegisterInfo{
-			NumClasses: int(r.i32()),
-			NumLayers:  int(r.i32()),
-		}
+		info := r.newHelloAck()
+		info.NumClasses = int(r.i32())
+		info.NumLayers = int(r.i32())
 		info.ProfileHitRatio = r.f64s()
 		info.SavedMs = r.f64s()
 		m.HelloAck = info
 	case TypeStatus:
-		st := &core.StatusReport{}
+		st := r.newStatus()
 		st.Tau = r.i32s()
 		st.HitRatio = r.f64s()
 		st.Budget = int(r.i32())
@@ -556,35 +773,56 @@ func decodeV2(r *reader) (*Message, error) {
 		st.LastVersion = r.u64()
 		m.Status = st
 	case TypeDelta:
-		d := &core.Delta{}
+		d := r.newDelta()
 		d.Version = r.u64()
 		d.BaseVersion = r.u64()
 		d.Full = r.u8() == 1
 		d.Classes = r.i32s()
 		d.Sites = r.i32s()
 		nCells := r.length(12)
+		cells := r.deltaCellBuf()
 		for i := 0; i < nCells && r.err == nil; i++ {
 			c := core.DeltaCell{Site: int(r.i32()), Class: int(r.i32())}
 			c.Vec = r.f32s()
-			d.Cells = append(d.Cells, c)
+			cells = append(cells, c)
+		}
+		if nCells > 0 {
+			d.Cells = cells
 		}
 		nEvict := r.length(8)
+		evicts := r.evictBuf()
 		for i := 0; i < nEvict && r.err == nil; i++ {
-			d.Evict = append(d.Evict, core.CellRef{Site: int(r.i32()), Class: int(r.i32())})
+			evicts = append(evicts, core.CellRef{Site: int(r.i32()), Class: int(r.i32())})
+		}
+		if nEvict > 0 {
+			d.Evict = evicts
+		}
+		if r.dec != nil {
+			r.dec.dcells, r.dec.evicts = cells[:0], evicts[:0]
 		}
 		m.Delta = d
 	case TypeUpdate:
 		m.Update = decodeUpdate(r)
 	case TypePeerHello:
 		m.Proto = r.u8()
-		m.PeerHello = &PeerHello{NodeID: r.i32(), NumClasses: r.i32(), NumLayers: r.i32()}
+		ph := r.newPeerHello()
+		ph.NodeID, ph.NumClasses, ph.NumLayers = r.i32(), r.i32(), r.i32()
+		m.PeerHello = ph
 	case TypePeerDelta:
-		d := &PeerDelta{NodeID: r.i32(), Epoch: r.u64()}
+		d := r.newPeerDelta()
+		d.NodeID, d.Epoch = r.i32(), r.u64()
 		nCells := r.length(20)
+		cells := r.peerCellBuf()
 		for i := 0; i < nCells && r.err == nil; i++ {
 			c := PeerCell{Class: int(r.i32()), Layer: int(r.i32()), Evidence: r.f64()}
 			c.Vec = r.f32s()
-			d.Cells = append(d.Cells, c)
+			cells = append(cells, c)
+		}
+		if nCells > 0 {
+			d.Cells = cells
+		}
+		if r.dec != nil {
+			r.dec.pcells = cells[:0]
 		}
 		if f := r.f64s(); len(f) > 0 {
 			d.Freq = f
@@ -592,7 +830,9 @@ func decodeV2(r *reader) (*Message, error) {
 		m.PeerDelta = d
 	case TypePeerAck:
 		m.Proto = r.u8()
-		m.PeerAck = &PeerAck{NodeID: r.i32(), Applied: r.i32()}
+		pa := r.newPeerAck()
+		pa.NodeID, pa.Applied = r.i32(), r.i32()
+		m.PeerAck = pa
 	case TypeAck, TypeBye:
 		// no payload
 	case TypeError:
@@ -604,9 +844,10 @@ func decodeV2(r *reader) (*Message, error) {
 }
 
 func decodeUpdate(r *reader) *core.UpdateReport {
-	up := &core.UpdateReport{}
+	up := r.newUpdate()
 	up.Freq = r.f64s()
 	nCells := r.length(12)
+	cells := r.updateCellBuf()
 	for i := 0; i < nCells && r.err == nil; i++ {
 		c := core.UpdateCell{
 			Class: int(r.i32()),
@@ -614,7 +855,13 @@ func decodeUpdate(r *reader) *core.UpdateReport {
 			Count: int(r.i32()),
 		}
 		c.Vec = r.f32s()
-		up.Cells = append(up.Cells, c)
+		cells = append(cells, c)
+	}
+	if nCells > 0 {
+		up.Cells = cells
+	}
+	if r.dec != nil {
+		r.dec.ucells = cells[:0]
 	}
 	return up
 }

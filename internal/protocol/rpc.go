@@ -23,7 +23,12 @@ type SessionClient struct {
 	// expected model shape, sent with Hello for server-side validation.
 	numClasses, numLayers int
 
-	mu sync.Mutex // serializes round trips
+	mu sync.Mutex // serializes round trips; guards enc and dec
+	// enc and dec are the connection's pooled codec scratch: requests are
+	// encoded into a reused buffer and replies decoded into reused arenas,
+	// so steady-state round trips allocate nothing in the codec.
+	enc []byte
+	dec Decoder
 }
 
 // NewSessionClient wraps a connection. numClasses/numLayers describe the
@@ -32,64 +37,78 @@ func NewSessionClient(conn transport.Conn, numClasses, numLayers int) *SessionCl
 	return &SessionClient{conn: conn, numClasses: numClasses, numLayers: numLayers}
 }
 
-// roundTrip performs one serialized request/response exchange. The
+// roundTrip performs one serialized request/response exchange and hands
+// the decoded reply to consume WHILE STILL HOLDING the connection lock.
+// The reply lives in connection-owned decoder scratch that the next round
+// trip — possibly from another session sharing this connection —
+// overwrites, so consume must copy out everything its caller keeps. The
 // context gates entry only: an exchange already in flight is not
 // interrupted (the transport has no per-frame cancellation), so a
 // stalled server holds the call until the connection is closed.
-func (c *SessionClient) roundTrip(ctx context.Context, req *Message) (*Message, error) {
+func (c *SessionClient) roundTrip(ctx context.Context, req *Message, consume func(*Message) error) error {
 	if err := ctx.Err(); err != nil {
-		return nil, err
+		return err
 	}
 	c.mu.Lock()
 	defer c.mu.Unlock()
-	frame, err := Encode(req)
+	frame, err := AppendEncode(c.enc[:0], req)
 	if err != nil {
-		return nil, err
+		return err
 	}
+	c.enc = frame[:0]
 	if err := c.conn.Send(frame); err != nil {
-		return nil, err
+		return err
 	}
 	resp, err := c.conn.Recv()
 	if err != nil {
-		return nil, err
+		return err
 	}
-	m, err := Decode(resp)
+	m, err := c.dec.Decode(resp)
 	if err != nil {
-		return nil, err
+		return err
 	}
 	if m.Type == TypeError {
-		return nil, fmt.Errorf("protocol: server error: %s", m.Error)
+		return fmt.Errorf("protocol: server error: %s", m.Error)
 	}
-	return m, nil
+	return consume(m)
 }
 
 // Open implements core.Coordinator: it registers the client and returns
 // its wire-backed session.
 func (c *SessionClient) Open(ctx context.Context, clientID int) (core.Session, error) {
-	m, err := c.roundTrip(ctx, &Message{
+	var sess *wireSession
+	err := c.roundTrip(ctx, &Message{
 		Type:     TypeHello,
 		ClientID: int32(clientID),
 		Proto:    Version,
 		Hello:    &Hello{NumClasses: int32(c.numClasses), NumLayers: int32(c.numLayers)},
+	}, func(m *Message) error {
+		if m.Type != TypeHelloAck || m.HelloAck == nil {
+			return fmt.Errorf("protocol: unexpected reply type %d to hello", m.Type)
+		}
+		if m.Proto != Version {
+			return fmt.Errorf("protocol: server negotiated unsupported version %d", m.Proto)
+		}
+		if m.SessionID == 0 {
+			return fmt.Errorf("protocol: server did not assign a session id")
+		}
+		// The decoded ack lives in the connection's decoder scratch; the
+		// session retains its registration info, so copy it out.
+		info := *m.HelloAck
+		info.ProfileHitRatio = append([]float64(nil), m.HelloAck.ProfileHitRatio...)
+		info.SavedMs = append([]float64(nil), m.HelloAck.SavedMs...)
+		sess = &wireSession{
+			c:        c,
+			id:       m.SessionID,
+			clientID: int32(clientID),
+			info:     info,
+		}
+		return nil
 	})
 	if err != nil {
 		return nil, err
 	}
-	if m.Type != TypeHelloAck || m.HelloAck == nil {
-		return nil, fmt.Errorf("protocol: unexpected reply type %d to hello", m.Type)
-	}
-	if m.Proto != Version {
-		return nil, fmt.Errorf("protocol: server negotiated unsupported version %d", m.Proto)
-	}
-	if m.SessionID == 0 {
-		return nil, fmt.Errorf("protocol: server did not assign a session id")
-	}
-	return &wireSession{
-		c:        c,
-		id:       m.SessionID,
-		clientID: int32(clientID),
-		info:     *m.HelloAck,
-	}, nil
+	return sess, nil
 }
 
 // Close releases the connection (and with it every session opened on it).
@@ -106,6 +125,53 @@ type wireSession struct {
 
 	mu     sync.Mutex
 	closed bool
+
+	// Reply-copy scratch: deltas are copied out of the connection's
+	// shared decoder under its lock into these session-owned buffers
+	// (sessions are used sequentially by one client, so one set per
+	// session suffices). The returned Delta is valid until this session's
+	// next Allocate.
+	classes, sites []int
+	cells          []core.DeltaCell
+	evict          []core.CellRef
+	arena          []float32
+}
+
+// copyDelta deep-copies a decoded delta into the session's scratch.
+// Vectors land in one flat arena; if the arena grows mid-copy, earlier
+// cells keep the old backing (already holding their copied values).
+func (s *wireSession) copyDelta(src *core.Delta) core.Delta {
+	d := core.Delta{
+		Version:     src.Version,
+		BaseVersion: src.BaseVersion,
+		Full:        src.Full,
+	}
+	s.classes = append(s.classes[:0], src.Classes...)
+	s.sites = append(s.sites[:0], src.Sites...)
+	s.evict = append(s.evict[:0], src.Evict...)
+	s.cells = s.cells[:0]
+	s.arena = s.arena[:0]
+	for _, c := range src.Cells {
+		start := len(s.arena)
+		s.arena = append(s.arena, c.Vec...)
+		s.cells = append(s.cells, core.DeltaCell{
+			Site: c.Site, Class: c.Class,
+			Vec: s.arena[start:len(s.arena):len(s.arena)],
+		})
+	}
+	if len(s.classes) > 0 {
+		d.Classes = s.classes
+	}
+	if len(s.sites) > 0 {
+		d.Sites = s.sites
+	}
+	if len(s.cells) > 0 {
+		d.Cells = s.cells
+	}
+	if len(s.evict) > 0 {
+		d.Evict = s.evict
+	}
+	return d
 }
 
 // Info implements core.Session.
@@ -120,24 +186,32 @@ func (s *wireSession) check() error {
 	return nil
 }
 
-// Allocate implements core.Session.
+// Allocate implements core.Session. The returned delta lives in
+// session-owned scratch (copied out of the connection's shared decoder
+// under its lock, so sessions sharing one connection cannot tear each
+// other's replies) and is valid until this session's next Allocate;
+// core.AllocView.Apply copies what it keeps.
 func (s *wireSession) Allocate(ctx context.Context, status core.StatusReport) (core.Delta, error) {
 	if err := s.check(); err != nil {
 		return core.Delta{}, err
 	}
-	m, err := s.c.roundTrip(ctx, &Message{
+	var d core.Delta
+	err := s.c.roundTrip(ctx, &Message{
 		Type:      TypeStatus,
 		ClientID:  s.clientID,
 		SessionID: s.id,
 		Status:    &status,
+	}, func(m *Message) error {
+		if m.Type != TypeDelta || m.Delta == nil {
+			return fmt.Errorf("protocol: unexpected reply type %d to status", m.Type)
+		}
+		d = s.copyDelta(m.Delta)
+		return nil
 	})
 	if err != nil {
 		return core.Delta{}, err
 	}
-	if m.Type != TypeDelta || m.Delta == nil {
-		return core.Delta{}, fmt.Errorf("protocol: unexpected reply type %d to status", m.Type)
-	}
-	return *m.Delta, nil
+	return d, nil
 }
 
 // Upload implements core.Session.
@@ -145,19 +219,17 @@ func (s *wireSession) Upload(ctx context.Context, upd core.UpdateReport) error {
 	if err := s.check(); err != nil {
 		return err
 	}
-	m, err := s.c.roundTrip(ctx, &Message{
+	return s.c.roundTrip(ctx, &Message{
 		Type:      TypeUpdate,
 		ClientID:  s.clientID,
 		SessionID: s.id,
 		Update:    &upd,
+	}, func(m *Message) error {
+		if m.Type != TypeAck {
+			return fmt.Errorf("protocol: unexpected reply type %d to update", m.Type)
+		}
+		return nil
 	})
-	if err != nil {
-		return err
-	}
-	if m.Type != TypeAck {
-		return fmt.Errorf("protocol: unexpected reply type %d to update", m.Type)
-	}
-	return nil
 }
 
 // Close implements core.Session: it sends Bye so the server can release
@@ -173,9 +245,9 @@ func (s *wireSession) Close() error {
 	s.mu.Unlock()
 	// Bye is best-effort: the connection may already be gone, which
 	// releases the session server-side anyway.
-	_, _ = s.c.roundTrip(context.Background(), &Message{
+	_ = s.c.roundTrip(context.Background(), &Message{
 		Type: TypeBye, ClientID: s.clientID, SessionID: s.id,
-	})
+	}, func(*Message) error { return nil })
 	return nil
 }
 
@@ -204,7 +276,11 @@ type PeerClient struct {
 	localID int
 	peerID  int
 
-	mu sync.Mutex
+	mu sync.Mutex // serializes round trips; guards enc and dec
+	// enc and dec are reused across deltas: a sync round encodes into the
+	// same buffer and decodes acks into the same arenas every time.
+	enc []byte
+	dec Decoder
 }
 
 // DialPeer performs the PeerHello handshake for the node localID over an
@@ -247,10 +323,11 @@ func (pc *PeerClient) roundTrip(req *Message) (*Message, error) {
 func (pc *PeerClient) roundTripSized(req *Message) (*Message, int, error) {
 	pc.mu.Lock()
 	defer pc.mu.Unlock()
-	frame, err := Encode(req)
+	frame, err := AppendEncode(pc.enc[:0], req)
 	if err != nil {
 		return nil, 0, err
 	}
+	pc.enc = frame[:0]
 	if err := pc.conn.Send(frame); err != nil {
 		return nil, len(frame), err
 	}
@@ -258,7 +335,7 @@ func (pc *PeerClient) roundTripSized(req *Message) (*Message, int, error) {
 	if err != nil {
 		return nil, len(frame), err
 	}
-	m, err := Decode(resp)
+	m, err := pc.dec.Decode(resp)
 	if err != nil {
 		return nil, len(frame), err
 	}
@@ -305,6 +382,12 @@ type connState struct {
 	// peerHello records that the connection completed a federation peer
 	// handshake (gates TypePeerDelta).
 	peerHello bool
+	// enc and dec are the connection's pooled codec scratch: requests
+	// decode into reused arenas (handlers consume them before the next
+	// frame) and replies encode into one reused buffer (the transport
+	// does not retain frames past Send).
+	enc []byte
+	dec Decoder
 }
 
 func (cs *connState) closeAll() {
@@ -346,10 +429,11 @@ func ServeConn(ctx context.Context, conn transport.Conn, coord core.Coordinator)
 			return nil
 		}
 		resp := cs.handle(ctx, frame)
-		out, err := Encode(resp)
+		out, err := AppendEncode(cs.enc[:0], resp)
 		if err != nil {
 			return fmt.Errorf("protocol: encode reply: %w", err)
 		}
+		cs.enc = out[:0]
 		if err := conn.Send(out); err != nil {
 			if ctx.Err() != nil {
 				return nil
@@ -360,7 +444,7 @@ func ServeConn(ctx context.Context, conn transport.Conn, coord core.Coordinator)
 }
 
 func (cs *connState) handle(ctx context.Context, frame []byte) *Message {
-	m, err := Decode(frame)
+	m, err := cs.dec.Decode(frame)
 	if err != nil {
 		return &Message{Type: TypeError, Error: err.Error()}
 	}
