@@ -73,6 +73,22 @@ func BenchmarkServerPath(b *testing.B) {
 	}
 }
 
+// BenchmarkEngineRound measures one concurrent fleet round through
+// engine.Runner's persistent worker pool across client counts (the last
+// always GOMAXPROCS, named "max"), exposing the pool's scheduling cost
+// and parallel scaling. The body lives in internal/benchsuite so
+// cmd/coca-bench emits the same numbers into BENCH_<date>.json.
+func BenchmarkEngineRound(b *testing.B) {
+	ercs := benchsuite.EngineRoundClients()
+	for i, clients := range ercs {
+		name := fmt.Sprintf("clients=%d", clients)
+		if i == len(ercs)-1 {
+			name = "clients=max"
+		}
+		b.Run(name, func(b *testing.B) { benchsuite.EngineRound(b, clients) })
+	}
+}
+
 // BenchmarkFederationSyncRound measures one peer sync round of a warm
 // 3-node mesh: parallel table sweep, wire encoding, recency-weighted
 // merges and view bookkeeping.

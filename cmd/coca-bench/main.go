@@ -190,6 +190,17 @@ func suite() []namedBench {
 				func(b *testing.B) { benchsuite.ServerPath(b, clients, true) },
 			})
 	}
+	// The parallel-scaling fleet-round bench: the last entry always runs
+	// at GOMAXPROCS but keeps the machine-independent name "max" so
+	// committed BENCH files stay comparable across hosts.
+	ercs := benchsuite.EngineRoundClients()
+	for i, clients := range ercs {
+		name := fmt.Sprintf("engine-round/clients=%d", clients)
+		if i == len(ercs)-1 {
+			name = "engine-round/clients=max"
+		}
+		out = append(out, namedBench{name, func(b *testing.B) { benchsuite.EngineRound(b, clients) }})
+	}
 	for _, scale := range []benchsuite.Scale{benchsuite.ScaleRef, benchsuite.ScaleFleet} {
 		for _, batch := range []int{1, 8, 32} {
 			out = append(out, namedBench{
@@ -289,9 +300,23 @@ func parseInferenceName(name string) (string, int, bool) {
 // absolute slack; see perfjson.BenchDelta.AllocRegression).
 const allocRegressionTolerance = 0.20
 
+// Time-regression gate: a benchmark may not regress its ns/op by more
+// than this ratio plus the absolute slack (see
+// perfjson.BenchDelta.TimeRegression). The committed BENCH baselines and
+// CI runners are different machines, and the concurrent benches jitter
+// up to ~1.7× run-to-run even on one machine, so the ratio is generous —
+// the gate catches algorithmic wall-clock regressions (the >2× class:
+// lost staging, accidental quadratics), not micro-drift — and the slack
+// keeps sub-millisecond benchmarks from tripping on scheduler noise.
+const (
+	timeRegressionTolerance = 1.0
+	timeRegressionSlackNs   = 250e3 // 250µs
+)
+
 // runCompare diffs two BENCH reports, prints every benchmark's movement
 // and fails (non-zero exit via error) when any zero-alloc benchmark
-// regressed its allocation profile beyond the tolerance.
+// regressed its allocation profile beyond the tolerance, or any benchmark
+// regressed its wall clock beyond the time gate.
 func runCompare(oldPath, newPath string) error {
 	oldRep, err := perfjson.Load(oldPath)
 	if err != nil {
@@ -314,10 +339,15 @@ func runCompare(oldPath, newPath string) error {
 				fmt.Sprintf("%s: allocs/op %.1f -> %.1f (> %.0f%% over a zero-alloc baseline)",
 					d.Name, d.OldAllocs, d.NewAllocs, 100*allocRegressionTolerance))
 		}
+		if d.TimeRegression(timeRegressionTolerance, timeRegressionSlackNs) {
+			regressions = append(regressions,
+				fmt.Sprintf("%s: ns/op %.0f -> %.0f (> %.0f%% + %.0fµs slack)",
+					d.Name, d.OldNs, d.NewNs, 100*timeRegressionTolerance, timeRegressionSlackNs/1e3))
+		}
 	}
 	if len(regressions) > 0 {
-		return fmt.Errorf("allocation regressions:\n  %s", strings.Join(regressions, "\n  "))
+		return fmt.Errorf("performance regressions:\n  %s", strings.Join(regressions, "\n  "))
 	}
-	fmt.Println("no zero-alloc regressions")
+	fmt.Println("no zero-alloc or wall-clock regressions")
 	return nil
 }

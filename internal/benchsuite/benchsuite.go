@@ -9,10 +9,12 @@ package benchsuite
 
 import (
 	"context"
+	"runtime"
 	"testing"
 
 	"coca/internal/core"
 	"coca/internal/dataset"
+	"coca/internal/engine"
 	"coca/internal/federation"
 	"coca/internal/metrics"
 	"coca/internal/model"
@@ -38,6 +40,11 @@ const (
 // the reference workload) and reports the virtual latency reduction and
 // accuracy as benchmark metrics.
 func Headline(b *testing.B) {
+	// The reported reproduction metrics are pinned to the first (seed 1)
+	// iteration: they are a determinism check against the committed BENCH
+	// baselines, and must not depend on how many iterations the time
+	// budget happens to fit on a given build (a faster build would
+	// otherwise report the trailing seed's workload).
 	var last metrics.Summary
 	var lastReduction float64
 	for i := 0; i < b.N; i++ {
@@ -68,8 +75,10 @@ func Headline(b *testing.B) {
 		if err != nil {
 			b.Fatal(err)
 		}
-		last = combined.Summary()
-		lastReduction = 1 - last.AvgLatencyMs/space.Arch.TotalLatencyMs()
+		if i == 0 {
+			last = combined.Summary()
+			lastReduction = 1 - last.AvgLatencyMs/space.Arch.TotalLatencyMs()
+		}
 	}
 	b.ReportMetric(100*lastReduction, "latency-reduction-%")
 	b.ReportMetric(100*last.Accuracy, "accuracy-%")
@@ -96,10 +105,12 @@ func Federation(b *testing.B) {
 		rounds  = 8
 		frames  = 200
 	)
-	run := func(seed uint64, syncEvery int) (metrics.Summary, float64, federation.SyncStats) {
-		ds := dataset.UCF101().Subset(30)
-		space := semantics.NewSpace(ds, model.ResNet101())
+	// The federated and partitioned arms run the same server config at the
+	// same seed: one shared-dataset build serves both (and each arm's 3
+	// servers), bitwise identical to per-server construction.
+	run := func(space *semantics.Space, init *core.ServerInit, seed uint64, syncEvery int) (metrics.Summary, float64, federation.SyncStats) {
 		cl, err := federation.NewCluster(space, federation.ClusterConfig{
+			ServerInit: init,
 			NumServers: servers,
 			NumClients: clients,
 			Topology:   federation.Mesh,
@@ -110,7 +121,7 @@ func Federation(b *testing.B) {
 			},
 			Server: core.ServerConfig{Theta: 0.012, Seed: seed, PeerInertia: 4},
 			Stream: stream.Config{
-				ClassWeights:    xrand.LongTailWeights(ds.NumClasses, 10),
+				ClassWeights:    xrand.LongTailWeights(space.DS.NumClasses, 10),
 				NonIIDLevel:     6,
 				SceneMeanFrames: 20,
 				WorkingSetSize:  8,
@@ -134,13 +145,21 @@ func Federation(b *testing.B) {
 		}
 		return combined.Summary(), minHit, cl.SyncStats()
 	}
+	// Metrics are pinned to the seed-1 iteration, like Headline's.
 	var fed, part metrics.Summary
 	var fedMin, partMin float64
 	var sync federation.SyncStats
 	for i := 0; i < b.N; i++ {
 		seed := uint64(i) + 1
-		fed, fedMin, sync = run(seed, 1)
-		part, partMin, _ = run(seed, 0)
+		ds := dataset.UCF101().Subset(30)
+		space := semantics.NewSpace(ds, model.ResNet101())
+		init := core.BuildServerInit(space, core.ServerConfig{Theta: 0.012, Seed: seed, PeerInertia: 4})
+		f, fm, sy := run(space, init, seed, 1)
+		p, pm, _ := run(space, init, seed, 0)
+		if i == 0 {
+			fed, fedMin, sync = f, fm, sy
+			part, partMin = p, pm
+		}
 	}
 	b.ReportMetric(100*fed.HitRatio, "federated-hit-%")
 	b.ReportMetric(100*part.HitRatio, "partitioned-hit-%")
@@ -207,6 +226,72 @@ func InferencePath(b *testing.B, scale Scale, batch int) {
 			chunk = chunk[:left]
 		}
 		client.InferBatch(chunk)
+	}
+}
+
+// EngineRoundClients resolves the client counts of the parallel-scaling
+// engine-round benchmark: 1 and 4 fixed, plus "max" = GOMAXPROCS (the
+// point where the runner's worker pool has one pinned shard per core).
+func EngineRoundClients() []int {
+	return []int{1, 4, runtime.GOMAXPROCS(0)}
+}
+
+// EngineRound measures one concurrent fleet round per op — the BeginRound
+// allocations, the round's frames (batched hot path) and the ordered
+// upload barrier — driven through engine.Runner's persistent worker pool
+// at the given client count. Comparing client counts exposes the pool's
+// scheduling cost and parallel scaling in the BENCH json; the warm-up
+// rounds before the timer grow every client's scratch to its steady
+// shape, like the other hot-path benches.
+func EngineRound(b *testing.B, clients int) {
+	const frames = 120
+	ds := dataset.UCF101().Subset(50)
+	space := semantics.NewSpace(ds, model.ResNet101())
+	srv := core.NewServer(space, core.ServerConfig{Theta: 0.012, Seed: 1})
+	part, err := stream.NewPartition(stream.Config{
+		Dataset: ds, NumClients: clients, SceneMeanFrames: 25,
+		WorkingSetSize: 15, WorkingSetChurn: 0.05, Seed: 1,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	engines := make([]engine.Engine, clients)
+	gens := make([]*stream.Generator, clients)
+	ctx := context.Background()
+	for i := range engines {
+		cl, err := core.NewClient(ctx, space, srv, core.ClientConfig{
+			ID: i, Theta: 0.012, Budget: 300, RoundFrames: frames,
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		defer cl.Close()
+		engines[i] = cl
+		gens[i] = part.Client(i)
+	}
+	runner, err := engine.NewRunner(engines, gens, engine.RunConfig{
+		Rounds:         1,
+		FramesPerRound: frames,
+		Concurrent:     true,
+		BatchSize:      8,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer runner.Close()
+	round := 0
+	for ; round < 3; round++ { // warm scratch, views and the worker pool
+		if err := runner.RunRound(round); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for n := 0; n < b.N; n++ {
+		if err := runner.RunRound(round); err != nil {
+			b.Fatal(err)
+		}
+		round++
 	}
 }
 

@@ -19,6 +19,7 @@ package cache
 
 import (
 	"fmt"
+	"math"
 	"sort"
 
 	"coca/internal/vecmath"
@@ -55,10 +56,60 @@ type Layer struct {
 	Classes []int
 	// Entries[i] is the unit semantic vector cached for Classes[i].
 	Entries [][]float32
+
+	// Wide[i] and Norm2[i] are entry i's widened float64 mirror and
+	// squared norm — probe staging computed once when the entry is
+	// published (global-table merge, allocation apply, or Stage) and then
+	// shared read-only by every probe, batch and round. Layers built from
+	// the coordinator's allocation path arrive pre-staged with mirrors
+	// borrowed from the immutable-once-published global-table entries;
+	// Stage fills the staging for layers assembled by hand.
+	Wide  [][]float64
+	Norm2 []float64
+
+	// snorm[i] is math.Sqrt(Norm2[i]), the second half of each entry's
+	// cosine staging (computed by Stage; see vecmath.cosineFromSqrts).
+	snorm []float64
+	// maxCls caches the largest class id (valid when staged is set), so
+	// probes size their accumulator without an O(n) scan per sample.
+	maxCls int
+	staged bool
 }
 
 // Len returns the number of entries at this layer.
 func (l *Layer) Len() int { return len(l.Classes) }
+
+// Staged reports whether the layer carries probe staging.
+func (l *Layer) Staged() bool { return l.staged }
+
+// MaxClass returns the largest class id cached at the layer (-1 when
+// empty): the staged constant when available, an O(n) scan otherwise.
+func (l *Layer) MaxClass() int {
+	if l.staged {
+		return l.maxCls
+	}
+	return l.maxClass()
+}
+
+// Stage computes the layer's probe staging — widened entry mirrors,
+// squared norms and the max class id — unless already present, and marks
+// the layer staged. Entry mirrors handed in by the allocation path (Wide
+// and Norm2 covering every entry) are kept: they were computed when the
+// entries were published and widening is exact, so recomputing could only
+// reproduce them. Stage must complete before a layer is probed
+// concurrently; staged layers are read-only thereafter.
+func (l *Layer) Stage() {
+	if l.staged {
+		return
+	}
+	if len(l.Wide) != len(l.Entries) || len(l.Norm2) != len(l.Entries) {
+		l.Wide, l.Norm2 = vecmath.WidenRows(l.Entries)
+	}
+	l.snorm = make([]float64, len(l.Norm2))
+	vecmath.SqrtNorms(l.Norm2, l.snorm)
+	l.maxCls = l.maxClass()
+	l.staged = true
+}
 
 // Local is a client's allocated cache: a sparse sub-table of the global
 // cache, stored as activated layers in ascending site order.
@@ -80,6 +131,9 @@ func NewLocal(layers []Layer) (*Local, error) {
 		if i > 0 && ls[i].Site == ls[i-1].Site {
 			return nil, fmt.Errorf("cache: duplicate layer site %d", ls[i].Site)
 		}
+		// A local cache is probed on the hot path: guarantee staging at
+		// construction (free for pre-staged allocation layers).
+		ls[i].Stage()
 	}
 	return &Local{layers: ls}, nil
 }
@@ -154,6 +208,11 @@ type Lookup struct {
 	stamp   []uint64
 	epoch   uint64
 	touched []int // classes accumulated since Reset, in first-touch order
+
+	// vec64 and scores are the staged-probe scratch: the widened query and
+	// its per-entry cosine scores, grown once to the high-water shape.
+	vec64  []float64
+	scores []float32
 }
 
 // NewLookup returns a lookup context. It panics on invalid configuration:
@@ -243,12 +302,35 @@ func (layer *Layer) maxClass() int {
 }
 
 // Probe runs the Eq. 1 / Eq. 2 update for one activated layer against the
-// sample's semantic vector at that layer. Steady-state calls are
-// allocation-free.
+// sample's semantic vector at that layer. Staged layers (every layer a
+// client receives through the allocation path) score through the widened
+// row kernel — the query is widened once and the entries' publish-time
+// mirrors and norms are reused, instead of Cosine re-deriving both norms
+// per pair; results are bitwise identical either way. Steady-state calls
+// are allocation-free.
 func (l *Lookup) Probe(layer *Layer, vec []float32) Result {
 	n := layer.Len()
 	if n == 0 {
 		return Result{LayerClass: -1}
+	}
+	if layer.staged {
+		// Staged entries are uniform (WidenRows enforces it); keep the
+		// unstaged path's failure mode for mismatched queries instead of
+		// silently scoring a truncated dot.
+		if dim := len(layer.Entries[0]); len(vec) != dim {
+			panic(fmt.Sprintf("cache: Probe query length %d != entry dim %d", len(vec), dim))
+		}
+		if cap(l.vec64) < len(vec) {
+			l.vec64 = make([]float64, len(vec))
+		}
+		if cap(l.scores) < n {
+			l.scores = make([]float32, n)
+		}
+		vec64 := l.vec64[:len(vec)]
+		sqrtVn := math.Sqrt(vecmath.WidenVec(vec, vec64))
+		scores := l.scores[:n]
+		vecmath.CosinesWidenedRows(vec64, sqrtVn, layer.Wide, layer.snorm, scores)
+		return l.probeScored(layer, scores, layer.maxCls)
 	}
 	l.grow(layer.maxClass())
 	rawBest, rawBestClass := -1e18, -1
@@ -294,17 +376,54 @@ func (l *Lookup) Accumulated() map[int]float64 {
 }
 
 // BatchProbe probes one layer for a whole batch of samples at once,
-// producing exactly the Results of per-sample Probe calls while amortizing
-// per-layer staging across the batch: the layer's entries are widened to
-// float64 and their squared norms computed once per (layer, batch) instead
-// of once per (layer, sample), and the cosine kernel runs tiled over
-// entries with a convert-free inner loop. The scratch buffers are owned by
+// producing exactly the Results of per-sample Probe calls while running
+// the scoring as one blocked multi-query kernel: the batch's queries are
+// widened once, the layer's publish-time entry staging (widened mirrors
+// and squared norms, computed at merge/publish and shared read-only) is
+// borrowed instead of re-widening the layer per (layer, batch), and
+// vecmath.CosinesBatchWidenedRows streams the entry rows through cache
+// once per query tile instead of once per sample. Unstaged layers are
+// staged into batch-owned scratch first. The scratch buffers are owned by
 // the BatchProbe and reused; it is not safe for concurrent use.
 type BatchProbe struct {
-	wide   []float64 // widened entries of the current layer
-	norm2  []float64 // their squared norms
-	vec64  []float64 // widened query of the current sample
-	scores []float32 // its per-entry cosine scores
+	wide   []float64   // fallback staging backing for unstaged layers
+	rows   [][]float64 // row views over wide (fallback) — reused
+	norm2  []float64   // fallback squared norms
+	snorm  []float64   // fallback sqrt norms
+	qback  []float64   // widened-query backing, all samples of the batch
+	qrows  [][]float64 // row views over qback
+	qsnorm []float64   // the queries' sqrt norms
+	scores []float32   // batch × entries score matrix, stride = entries
+}
+
+// stage returns the layer's entry staging, borrowing the publish-time
+// mirrors when present and otherwise widening into batch-owned scratch.
+func (bp *BatchProbe) stage(layer *Layer, n, dim int) (rows [][]float64, snorm []float64) {
+	if layer.staged {
+		return layer.Wide, layer.snorm
+	}
+	if cap(bp.wide) < n*dim {
+		bp.wide = make([]float64, n*dim)
+	}
+	// norm2/snorm scale with n alone, which can outgrow a previous
+	// layer's count even while n*dim still fits the wide backing.
+	if cap(bp.norm2) < n {
+		bp.norm2 = make([]float64, n)
+		bp.snorm = make([]float64, n)
+	}
+	wide := bp.wide[:n*dim]
+	norm2 := bp.norm2[:n]
+	snorm = bp.snorm[:n]
+	vecmath.Widen64(layer.Entries, dim, wide, norm2)
+	vecmath.SqrtNorms(norm2, snorm)
+	if cap(bp.rows) < n {
+		bp.rows = make([][]float64, n)
+	}
+	rows = bp.rows[:n]
+	for i := range rows {
+		rows[i] = wide[i*dim : (i+1)*dim]
+	}
+	return rows, snorm
 }
 
 // Probe probes layer for every sample i, folding scores into lks[i] (the
@@ -322,23 +441,38 @@ func (bp *BatchProbe) Probe(layer *Layer, vecs [][]float32, lks []*Lookup, out [
 		}
 		return
 	}
+	q := len(vecs)
+	if q == 0 {
+		return
+	}
 	dim := len(layer.Entries[0])
-	if cap(bp.wide) < n*dim {
-		bp.wide = make([]float64, n*dim)
-		bp.norm2 = make([]float64, n)
-		bp.scores = make([]float32, n)
+	rows, snorm := bp.stage(layer, n, dim)
+	if cap(bp.qback) < q*dim {
+		bp.qback = make([]float64, q*dim)
+		bp.qrows = make([][]float64, q)
+		bp.qsnorm = make([]float64, q)
 	}
-	if cap(bp.vec64) < dim {
-		bp.vec64 = make([]float64, dim)
+	if cap(bp.qrows) < q {
+		bp.qrows = make([][]float64, q)
+		bp.qsnorm = make([]float64, q)
 	}
-	wide := bp.wide[:n*dim]
-	norm2 := bp.norm2[:n]
-	scores := bp.scores[:n]
-	vecmath.Widen64(layer.Entries, dim, wide, norm2)
-	maxClass := layer.maxClass()
+	qrows := bp.qrows[:q]
+	qsnorm := bp.qsnorm[:q]
 	for i, vec := range vecs {
-		vn := vecmath.WidenVec(vec, bp.vec64)
-		vecmath.CosinesWidened(bp.vec64[:dim], vn, wide, dim, n, norm2, scores)
-		out[i] = lks[i].probeScored(layer, scores, maxClass)
+		if len(vec) != dim {
+			panic(fmt.Sprintf("cache: BatchProbe query %d length %d != entry dim %d", i, len(vec), dim))
+		}
+		row := bp.qback[i*dim : (i+1)*dim]
+		qsnorm[i] = math.Sqrt(vecmath.WidenVec(vec, row))
+		qrows[i] = row
+	}
+	if cap(bp.scores) < q*n {
+		bp.scores = make([]float32, q*n)
+	}
+	scores := bp.scores[:q*n]
+	vecmath.CosinesBatchWidenedRows(qrows, qsnorm, rows, snorm, n, scores)
+	maxClass := layer.MaxClass()
+	for i := range vecs {
+		out[i] = lks[i].probeScored(layer, scores[i*n:(i+1)*n], maxClass)
 	}
 }

@@ -162,29 +162,99 @@ type Server struct {
 	peerMerges atomic.Int64
 }
 
+// ServerInit is the shared-dataset construction behind a server: the
+// initial global cache table (per-class semantic centers at every layer)
+// and the cumulative layer-benefit profile R estimated over it. Both are
+// deterministic functions of (space, config), and building them dominates
+// server construction, so deployments that stand up several identically
+// configured servers — a federation cluster's nodes (which share the
+// paper's global shared dataset by design), or experiment arms run at the
+// same seed — build one ServerInit and hand it to every NewServerFrom
+// call instead of repeating the work. The init is immutable once built and
+// safe to share: every server clones the table into its own mutable
+// sharded state.
+type ServerInit struct {
+	table   *gtable.Table
+	profile []float64
+	// seed and samples pin the build inputs, and the dataset/architecture
+	// identity pins the semantic space, so NewServerFrom can reject a
+	// mismatch instead of silently seeding a server from the wrong shared
+	// dataset (spaces are deterministic in their specs, so spec identity —
+	// not pointer identity — is the right equality; experiment arms
+	// rebuild equal spaces per arm).
+	seed           uint64
+	samplesPer     int
+	profileSamples int
+	alpha, theta   float64
+	dsName         string
+	dsSeed         uint64
+	archName       string
+}
+
+// BuildServerInit materializes the shared-dataset construction for the
+// given configuration.
+func BuildServerInit(space *semantics.Space, cfg ServerConfig) *ServerInit {
+	cfg = cfg.withDefaults()
+	table := InitialTable(space, cfg.InitSamplesPerClass, cfg.Seed)
+	profile := CumulativeHitProfile(space, table,
+		cache.Config{Alpha: cfg.Alpha, Theta: cfg.Theta},
+		cfg.ProfileSamples, cfg.Seed)
+	return &ServerInit{
+		table: table, profile: profile,
+		seed: cfg.Seed, samplesPer: cfg.InitSamplesPerClass,
+		profileSamples: cfg.ProfileSamples,
+		alpha:          cfg.Alpha, theta: cfg.Theta,
+		dsName: space.DS.Name, dsSeed: space.DS.Seed,
+		archName: space.Arch.Name,
+	}
+}
+
+// matches reports whether the init was built for the given resolved
+// configuration.
+func (init *ServerInit) matches(cfg ServerConfig) bool {
+	return init.seed == cfg.Seed &&
+		init.samplesPer == cfg.InitSamplesPerClass &&
+		init.profileSamples == cfg.ProfileSamples &&
+		init.alpha == cfg.Alpha && init.theta == cfg.Theta
+}
+
 // NewServer builds a server: it materializes the initial global cache from
 // a simulated shared dataset (per-class semantic centers at every layer)
 // and profiles the per-layer cumulative hit ratio R on held-out shared
 // samples.
 func NewServer(space *semantics.Space, cfg ServerConfig) *Server {
-	cfg = cfg.withDefaults()
-	s := &Server{cfg: cfg, space: space, sessions: make(map[uint64]*ServerSession)}
-	s.initTable()
-	s.profileLayers()
-	return s
+	return NewServerFrom(space, cfg, BuildServerInit(space, cfg))
 }
 
-// initTable seeds the global table with per-(class, layer) semantic
-// centers computed from InitSamplesPerClass unbiased shared samples, and
-// the frequency vector Φ with the shared counts.
-func (s *Server) initTable() {
-	ds := s.space.DS
-	init := InitialTable(s.space, s.cfg.InitSamplesPerClass, s.cfg.Seed)
-	s.table = gtable.ShardedFromTable(init, float64(s.cfg.InitSamplesPerClass))
+// NewServerFrom builds a server from a previously built (and possibly
+// shared) ServerInit. It panics when the init was built for a different
+// configuration or model shape: sharing construction must never change
+// what the server computes. Results are bitwise identical to NewServer
+// with the same configuration.
+func NewServerFrom(space *semantics.Space, cfg ServerConfig, init *ServerInit) *Server {
+	cfg = cfg.withDefaults()
+	if !init.matches(cfg) {
+		panic(fmt.Sprintf("core: ServerInit built for seed=%d/init=%d/profile=%d α=%v Θ=%v, server wants seed=%d/init=%d/profile=%d α=%v Θ=%v",
+			init.seed, init.samplesPer, init.profileSamples, init.alpha, init.theta,
+			cfg.Seed, cfg.InitSamplesPerClass, cfg.ProfileSamples, cfg.Alpha, cfg.Theta))
+	}
+	if init.table.Classes() != space.DS.NumClasses || init.table.Layers() != space.Arch.NumLayers {
+		panic(fmt.Sprintf("core: ServerInit shape %d×%d, space is %d×%d",
+			init.table.Classes(), init.table.Layers(), space.DS.NumClasses, space.Arch.NumLayers))
+	}
+	if init.dsName != space.DS.Name || init.dsSeed != space.DS.Seed || init.archName != space.Arch.Name {
+		panic(fmt.Sprintf("core: ServerInit built over %s(seed %d)×%s, space is %s(seed %d)×%s",
+			init.dsName, init.dsSeed, init.archName, space.DS.Name, space.DS.Seed, space.Arch.Name))
+	}
+	s := &Server{cfg: cfg, space: space, sessions: make(map[uint64]*ServerSession)}
+	ds := space.DS
+	s.table = gtable.ShardedFromTable(init.table, float64(cfg.InitSamplesPerClass))
 	s.freq = gtable.NewFrequencies(ds.NumClasses)
 	for c := 0; c < ds.NumClasses; c++ {
-		s.freq.Add(c, float64(s.cfg.InitSamplesPerClass))
+		s.freq.Add(c, float64(cfg.InitSamplesPerClass))
 	}
+	s.profileLayers(init)
+	return s
 }
 
 // InitialTable builds the shared-dataset cache table: per-(class, layer)
@@ -273,6 +343,9 @@ func CumulativeHitProfile(space *semantics.Space, table *gtable.Table, lookupCfg
 	for j := 0; j < L; j++ {
 		cls, entries := table.ExtractLayer(j, allClasses)
 		layers[j] = cache.Layer{Site: j, Classes: cls, Entries: entries}
+		// Stage once up front: the workers below share the layers
+		// read-only and probe each of them `samples` times.
+		layers[j].Stage()
 	}
 	// Sample classes are drawn sequentially (the draw order is part of the
 	// deterministic contract); the per-sample probes are then independent,
@@ -334,18 +407,17 @@ func CumulativeHitProfile(space *semantics.Space, table *gtable.Table, lookupCfg
 	return profile
 }
 
-// profileLayers estimates R on the server's table and fills Υ with the
+// profileLayers adopts the init's R estimate (computed over the same
+// initial table the server was just seeded from) and fills Υ with the
 // compute each layer saves on a hit.
-func (s *Server) profileLayers() {
+func (s *Server) profileLayers(init *ServerInit) {
 	arch := s.space.Arch
 	L := arch.NumLayers
 	s.savedMs = make([]float64, L)
 	for j := 0; j < L; j++ {
 		s.savedMs[j] = arch.RemainingLatencyMs(j)
 	}
-	s.profile = CumulativeHitProfile(s.space, s.table.Snapshot(),
-		cache.Config{Alpha: s.cfg.Alpha, Theta: s.cfg.Theta},
-		s.cfg.ProfileSamples, s.cfg.Seed)
+	s.profile = append([]float64(nil), init.profile...)
 }
 
 // registerInfo builds the registration payload.
@@ -382,9 +454,11 @@ func (s *Server) Open(ctx context.Context, clientID int) (Session, error) {
 // version backing its entry. vec is a borrowed reference to the live
 // (immutable-once-published) global-table entry.
 type targetCell struct {
-	ref CellRef
-	vec []float32
-	ver uint64
+	ref   CellRef
+	vec   []float32
+	ver   uint64
+	wide  []float64 // publish-time staging of vec (borrowed, immutable)
+	norm2 float64
 }
 
 // allocScratch is the session-owned working memory of the allocation hot
@@ -397,6 +471,8 @@ type allocScratch struct {
 	cls     []int
 	entries [][]float32
 	vers    []uint64
+	wide    [][]float64
+	norm2   []float64
 	cells   []targetCell
 	sites   []int
 }
@@ -459,15 +535,18 @@ func (s *Server) computeAllocation(clientID int, status StatusReport, sc *allocS
 	sc.cells = sc.cells[:0]
 	sc.sites = sc.sites[:0]
 	for _, site := range res.Layers {
-		sc.cls, sc.entries, sc.vers = s.table.ExtractLayerVersionedInto(site, res.Classes, sc.cls[:0], sc.entries[:0], sc.vers[:0])
+		sc.cls, sc.entries, sc.vers, sc.wide, sc.norm2 = s.table.ExtractLayerStagedInto(
+			site, res.Classes, sc.cls[:0], sc.entries[:0], sc.vers[:0], sc.wide[:0], sc.norm2[:0])
 		if len(sc.cls) > 0 {
 			sc.sites = append(sc.sites, site)
 		}
 		for i := range sc.cls {
 			sc.cells = append(sc.cells, targetCell{
-				ref: CellRef{Site: site, Class: sc.cls[i]},
-				vec: sc.entries[i],
-				ver: sc.vers[i],
+				ref:   CellRef{Site: site, Class: sc.cls[i]},
+				vec:   sc.entries[i],
+				ver:   sc.vers[i],
+				wide:  sc.wide[i],
+				norm2: sc.norm2[i],
 			})
 		}
 	}
@@ -744,7 +823,10 @@ func (ss *ServerSession) Allocate(ctx context.Context, status StatusReport) (Del
 		ss.ver[idx] = c.ver
 		ss.refs = append(ss.refs, int32(idx))
 		if !unchanged {
-			buf.cells = append(buf.cells, DeltaCell{Site: c.ref.Site, Class: c.ref.Class, Vec: c.vec})
+			buf.cells = append(buf.cells, DeltaCell{
+				Site: c.ref.Site, Class: c.ref.Class,
+				Vec: c.vec, Wide: c.wide, Norm2: c.norm2,
+			})
 		}
 	}
 	d.Cells = buf.cells

@@ -263,3 +263,119 @@ func TestServerAllocationUsesClientHitRatio(t *testing.T) {
 		t.Fatalf("allocation ignored client hit profile: %+v", alloc.Layers)
 	}
 }
+
+// TestNewServerFromSharedInit pins the construction-sharing contract:
+// servers built from one shared ServerInit must be bitwise identical to
+// independently constructed ones (same table entries, same profile), and
+// a mismatched configuration must be rejected loudly.
+func TestNewServerFromSharedInit(t *testing.T) {
+	space := smallSpace()
+	cfg := ServerConfig{Theta: 0.035, Seed: 7, ProfileSamples: 200, InitSamplesPerClass: 16}
+	init := BuildServerInit(space, cfg)
+	a := NewServerFrom(space, cfg, init)
+	b := NewServerFrom(space, cfg, init)
+	c := NewServer(space, cfg)
+
+	pa, pb, pc := a.Profile(), b.Profile(), c.Profile()
+	for j := range pa {
+		if pa[j] != pb[j] || pa[j] != pc[j] {
+			t.Fatalf("profile layer %d diverges: shared %v/%v vs independent %v", j, pa[j], pb[j], pc[j])
+		}
+	}
+	ta, tc := a.Table(), c.Table()
+	for cl := 0; cl < ta.Classes(); cl++ {
+		for j := 0; j < ta.Layers(); j++ {
+			va, vc := ta.Get(cl, j), tc.Get(cl, j)
+			if (va == nil) != (vc == nil) {
+				t.Fatalf("cell (%d,%d) population diverges", cl, j)
+			}
+			for d := range va {
+				if va[d] != vc[d] {
+					t.Fatalf("cell (%d,%d)[%d]: shared %v != independent %v", cl, j, d, va[d], vc[d])
+				}
+			}
+		}
+	}
+
+	defer func() {
+		if recover() == nil {
+			t.Fatal("NewServerFrom accepted an init built for a different seed")
+		}
+	}()
+	NewServerFrom(space, ServerConfig{Theta: 0.02, Seed: 8}, init)
+}
+
+// TestAllocationCarriesPublishStaging checks the staging flow of the
+// tentpole end to end in process: delta cells carry the global table's
+// publish-time mirrors, the applied view shares them, and the
+// materialized layers arrive pre-staged with mirrors that match their
+// entries exactly.
+func TestAllocationCarriesPublishStaging(t *testing.T) {
+	srv := smallServer(t)
+	sess := testSession(t, srv, 0)
+	d, err := sess.Allocate(context.Background(), neutralStatus(0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(d.Cells) == 0 {
+		t.Fatal("first allocation delivered no cells")
+	}
+	for _, c := range d.Cells {
+		if len(c.Wide) != len(c.Vec) {
+			t.Fatalf("cell (%d,%d): in-process delta missing staging (%d wide vs %d vec)", c.Site, c.Class, len(c.Wide), len(c.Vec))
+		}
+		if c.Norm2 != vecmath.SquaredNorm(c.Vec) {
+			t.Fatalf("cell (%d,%d): staged norm %v != SquaredNorm %v", c.Site, c.Class, c.Norm2, vecmath.SquaredNorm(c.Vec))
+		}
+	}
+	view := NewAllocView()
+	if err := view.Apply(d); err != nil {
+		t.Fatal(err)
+	}
+	for _, layer := range view.Layers() {
+		if len(layer.Wide) != len(layer.Entries) || len(layer.Norm2) != len(layer.Entries) {
+			t.Fatalf("site %d: materialized layer lost staging", layer.Site)
+		}
+		for i, e := range layer.Entries {
+			if layer.Norm2[i] != vecmath.SquaredNorm(e) {
+				t.Fatalf("site %d entry %d: norm %v != SquaredNorm %v", layer.Site, i, layer.Norm2[i], vecmath.SquaredNorm(e))
+			}
+			for k, x := range e {
+				if layer.Wide[i][k] != float64(x) {
+					t.Fatalf("site %d entry %d[%d]: mirror %v != widened %v", layer.Site, i, k, layer.Wide[i][k], float64(x))
+				}
+			}
+		}
+	}
+}
+
+// TestWireDeltaRestagesOnApply checks the wire-side half of the staging
+// contract: a delta whose cells carry no mirrors (what the protocol
+// decoder produces) is restaged by AllocView.Apply, with a view-owned
+// copy of the vector.
+func TestWireDeltaRestagesOnApply(t *testing.T) {
+	vec := []float32{0.6, 0.8}
+	d := Delta{
+		Version: 1, Full: true,
+		Sites: []int{2},
+		Cells: []DeltaCell{{Site: 2, Class: 1, Vec: vec}},
+	}
+	view := NewAllocView()
+	if err := view.Apply(d); err != nil {
+		t.Fatal(err)
+	}
+	layers := view.Layers()
+	if len(layers) != 1 || len(layers[0].Entries) != 1 {
+		t.Fatalf("unexpected view shape: %+v", layers)
+	}
+	if &layers[0].Entries[0][0] == &vec[0] {
+		t.Fatal("wire-path apply must copy the decoder-owned vector")
+	}
+	if got, want := layers[0].Norm2[0], vecmath.SquaredNorm(vec); got != want {
+		t.Fatalf("restaged norm %v != %v", got, want)
+	}
+	vec[0] = 99 // decoder reuses its arena; the view must be unaffected
+	if layers[0].Entries[0][0] != 0.6 || layers[0].Wide[0][0] != float64(float32(0.6)) {
+		t.Fatal("view cell aliases the decoder buffer")
+	}
+}

@@ -16,6 +16,7 @@ import (
 	"sort"
 
 	"coca/internal/cache"
+	"coca/internal/vecmath"
 )
 
 // Coordinator is the server-side interface clients depend on; it is
@@ -50,9 +51,17 @@ type CellRef struct {
 }
 
 // DeltaCell is one new or changed cache cell with its entry vector.
+// Wide and Norm2 are the entry's publish-time probe staging (widened
+// float64 mirror and squared norm, computed once when the global-table
+// cell was merged/published). In-process sessions fill them — the mirrors
+// are immutable-once-published table memory, shared read-only — while
+// wire transports ship only Vec and the receiving view restages on apply
+// (once per changed cell, never per round).
 type DeltaCell struct {
 	Site, Class int
 	Vec         []float32
+	Wide        []float64
+	Norm2       float64
 }
 
 // Delta is a versioned allocation update. Applying it to the allocation
@@ -89,12 +98,22 @@ type AllocView struct {
 	version uint64
 	classes []int
 	sites   []int
-	cells   map[CellRef][]float32
+	cells   map[CellRef]viewCell
+}
+
+// viewCell is one materialized cell: the entry vector plus its probe
+// staging (see DeltaCell). For in-process deltas all three borrow the
+// immutable published global-table memory; for wire deltas vec is a
+// view-owned copy and the staging is computed at apply time.
+type viewCell struct {
+	vec   []float32
+	wide  []float64
+	norm2 float64
 }
 
 // NewAllocView returns an empty view (version 0: nothing allocated yet).
 func NewAllocView() *AllocView {
-	return &AllocView{cells: make(map[CellRef][]float32)}
+	return &AllocView{cells: make(map[CellRef]viewCell)}
 }
 
 // Version returns the version of the currently held allocation.
@@ -129,7 +148,20 @@ func (v *AllocView) Apply(d Delta) error {
 		if len(c.Vec) == 0 {
 			return fmt.Errorf("core: delta cell (%d,%d) has empty vector", c.Site, c.Class)
 		}
-		v.cells[CellRef{Site: c.Site, Class: c.Class}] = append([]float32(nil), c.Vec...)
+		vc := viewCell{vec: c.Vec, wide: c.Wide, norm2: c.Norm2}
+		if len(c.Wide) == len(c.Vec) {
+			// In-process delta: Vec and Wide are immutable published
+			// global-table memory (merges replace, never mutate, entry
+			// slices), so the view shares them instead of copying.
+		} else {
+			// Wire delta: the decoder reuses its arena between calls, so
+			// copy the vector, and publish its staging here — once per
+			// changed cell, reused by every probe until the cell changes
+			// again.
+			vc.vec = append([]float32(nil), c.Vec...)
+			vc.wide, vc.norm2 = vecmath.WidenRow(vc.vec)
+		}
+		v.cells[CellRef{Site: c.Site, Class: c.Class}] = vc
 	}
 	// Drop cells at sites no longer activated (shape shrink without
 	// explicit evictions only happens on Full deltas, but keep the view
@@ -166,10 +198,15 @@ func (v *AllocView) Layers() []cache.Layer {
 		cls := bySite[s]
 		sort.Ints(cls)
 		entries := make([][]float32, len(cls))
+		wide := make([][]float64, len(cls))
+		norm2 := make([]float64, len(cls))
 		for i, c := range cls {
-			entries[i] = v.cells[CellRef{Site: s, Class: c}]
+			vc := v.cells[CellRef{Site: s, Class: c}]
+			entries[i] = vc.vec
+			wide[i] = vc.wide
+			norm2[i] = vc.norm2
 		}
-		out = append(out, cache.Layer{Site: s, Classes: cls, Entries: entries})
+		out = append(out, cache.Layer{Site: s, Classes: cls, Entries: entries, Wide: wide, Norm2: norm2})
 	}
 	return out
 }

@@ -41,12 +41,13 @@ func fedWorkload(ds *dataset.Spec, clients int, seed uint64) stream.Config {
 
 // runFederationArm builds and runs one arm, returning the fleet summary,
 // the minimum per-server hit ratio and the sync statistics.
-func runFederationArm(opts Options, arm fedArm, clients, rounds, frames, budget int, batch int) (metrics.Summary, float64, federation.SyncStats, error) {
+func runFederationArm(opts Options, arm fedArm, clients, rounds, frames, budget int, batch int, init *core.ServerInit) (metrics.Summary, float64, federation.SyncStats, error) {
 	ds := dataset.UCF101().Subset(30)
 	arch := model.ResNet101()
 	space := newSpace(ds, arch)
 	theta := thetaFor(arch, true)
 	cl, err := federation.NewCluster(space, federation.ClusterConfig{
+		ServerInit: init,
 		NumServers: arm.servers,
 		NumClients: clients,
 		Topology:   arm.topo,
@@ -92,6 +93,18 @@ func FederationExp(opts Options) (*Result, error) {
 	)
 	rounds := opts.rounds(8)
 	frames := opts.frames(200)
+	var fedInit *core.ServerInit
+
+	// Every arm runs the same server configuration at the same seed: build
+	// the shared-dataset construction once and share it across arms (and
+	// across each arm's servers) — bitwise identical to per-server builds.
+	{
+		ds := dataset.UCF101().Subset(30)
+		arch := model.ResNet101()
+		initSpace := newSpace(ds, arch)
+		theta := thetaFor(arch, true)
+		fedInit = core.BuildServerInit(initSpace, core.ServerConfig{Theta: theta, Seed: opts.Seed, PeerInertia: 4})
+	}
 
 	out := metrics.NewTable("Federation — cross-server hit amplification under drifted non-IID fleets (ResNet101, UCF101-30)",
 		"Arm", "Lat.(ms)", "p50(ms)", "p95(ms)", "p99(ms)", "Acc.(%)", "Hit(%)", "MinSrvHit(%)", "Sync KiB/srv/round")
@@ -104,7 +117,7 @@ func FederationExp(opts Options) (*Result, error) {
 	}
 	var oracleHit, oracleAcc, fedHit, fedAcc, noSyncAcc, fedMinHit, noSyncMinHit float64
 	for _, arm := range arms {
-		sum, minHit, sync, err := runFederationArm(opts, arm, clients, rounds, frames, budget, opts.BatchSize)
+		sum, minHit, sync, err := runFederationArm(opts, arm, clients, rounds, frames, budget, opts.BatchSize, fedInit)
 		if err != nil {
 			return nil, fmt.Errorf("federation arm %q: %w", arm.name, err)
 		}
@@ -135,7 +148,7 @@ func FederationExp(opts Options) (*Result, error) {
 	sweepRounds := opts.rounds(4)
 	for _, n := range []int{2, 3, 4} {
 		arm := fedArm{servers: n, syncEvery: 1, topo: federation.Mesh}
-		_, _, sync, err := runFederationArm(opts, arm, clients, sweepRounds, frames, budget, opts.BatchSize)
+		_, _, sync, err := runFederationArm(opts, arm, clients, sweepRounds, frames, budget, opts.BatchSize, fedInit)
 		if err != nil {
 			return nil, fmt.Errorf("federation sweep n=%d: %w", n, err)
 		}

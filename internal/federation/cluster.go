@@ -39,6 +39,14 @@ type ClusterConfig struct {
 	// paper's shared global dataset — so their initial tables agree and
 	// the first sync ships only client-driven changes.
 	Server core.ServerConfig
+	// ServerInit optionally supplies a pre-built shared-dataset
+	// construction (core.BuildServerInit) for the Server configuration.
+	// When nil, NewCluster builds one itself; either way the cluster's
+	// servers share a single build instead of each repeating the
+	// construction — they are configured identically by design, so the
+	// result is bitwise the same. Callers running several clusters at one
+	// seed (experiment arms, A/B baselines) pass the same init to all.
+	ServerInit *core.ServerInit
 	// Stream describes the fleet-wide workload; its NumClients must match
 	// NumClients or be zero (it is then filled in).
 	Stream stream.Config
@@ -107,8 +115,12 @@ func NewCluster(space *semantics.Space, cfg ClusterConfig) (*Cluster, error) {
 	if frames == 0 {
 		frames = core.DefaultRoundFrames
 	}
+	init := cfg.ServerInit
+	if init == nil {
+		init = core.BuildServerInit(space, cfg.Server)
+	}
 	for s := 0; s < cfg.NumServers; s++ {
-		srv := core.NewServer(space, cfg.Server)
+		srv := core.NewServerFrom(space, cfg.Server, init)
 		node := NewNode(srv, NodeConfig{ID: s, Relay: topo.Forwarding(), RemoteFreqWeight: cfg.RemoteFreqWeight})
 		c.Nodes = append(c.Nodes, node)
 
@@ -152,10 +164,27 @@ func (c *Cluster) Topology() *Topology { return c.topo }
 // round (their fleets are disjoint and each runner is itself concurrent
 // across its clients); at every SyncEvery-th round barrier the nodes
 // exchange deltas in deterministic order, so a fixed seed reproduces
-// identical metrics run to run. It returns per-server and fleet-combined
-// metrics.
+// identical metrics run to run. On sync rounds each node's peer-delta
+// collection overlaps the round barrier: the node collects (a read of its
+// own post-round state) the moment its own clients finish, while other
+// servers are still running — only the two-phase apply waits for the full
+// barrier, so the sync stays a pure function of every node's pre-sync
+// state (see SyncPlan). It returns per-server and fleet-combined metrics.
 func (c *Cluster) Run() (perServer []*metrics.Accumulator, combined *metrics.Accumulator, err error) {
+	defer func() {
+		for _, r := range c.runners {
+			r.Close()
+		}
+	}()
 	for round := 0; round < c.cfg.Rounds; round++ {
+		var plan *SyncPlan
+		if c.cfg.SyncEvery > 0 && (round+1)%c.cfg.SyncEvery == 0 {
+			var perr error
+			plan, perr = PrepareSync(c.Nodes, c.topo)
+			if perr != nil {
+				return nil, nil, perr
+			}
+		}
 		errs := make([]error, len(c.runners))
 		var wg sync.WaitGroup
 		for s := range c.runners {
@@ -163,6 +192,12 @@ func (c *Cluster) Run() (perServer []*metrics.Accumulator, combined *metrics.Acc
 			go func(s int) {
 				defer wg.Done()
 				errs[s] = c.runners[s].RunRound(round)
+				if errs[s] == nil && plan != nil {
+					// This node's round is complete (uploads applied at its
+					// own barrier): collect its outgoing deltas now, while
+					// other servers may still be mid-round.
+					errs[s] = plan.Collect(s)
+				}
 			}(s)
 		}
 		wg.Wait()
@@ -171,8 +206,8 @@ func (c *Cluster) Run() (perServer []*metrics.Accumulator, combined *metrics.Acc
 				return nil, nil, fmt.Errorf("federation: server %d: %w", s, rerr)
 			}
 		}
-		if c.cfg.SyncEvery > 0 && (round+1)%c.cfg.SyncEvery == 0 {
-			if err := SyncNodes(c.Nodes, c.topo); err != nil {
+		if plan != nil {
+			if err := plan.Apply(); err != nil {
 				return nil, nil, err
 			}
 		}

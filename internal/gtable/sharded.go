@@ -36,6 +36,12 @@ type shardRow struct {
 	vecs    [][]float32 // [layer] -> unit vector or nil
 	vers    []uint64    // [layer] -> write version (0 = never written)
 	support []float64   // [layer] -> evidence count Φ (capped)
+	// wide and norm2 are each entry's probe staging — the widened float64
+	// mirror and squared norm — computed once when the entry is published
+	// (entries are immutable once published, so the staging is too) and
+	// borrowed read-only by every extraction, session, client and round.
+	wide  [][]float64 // [layer] -> widened mirror of vecs[layer] or nil
+	norm2 []float64   // [layer] -> squared norm of vecs[layer]
 	// evtotal is the uncapped, monotone evidence accumulated by the cell
 	// over its lifetime. Where support is the capped sliding-window weight
 	// Eq. 4 merges against, evtotal is the federation tier's ledger: the
@@ -58,6 +64,8 @@ func NewSharded(classes, layers, dim int) *Sharded {
 		s.rows[i].vers = make([]uint64, layers)
 		s.rows[i].support = make([]float64, layers)
 		s.rows[i].evtotal = make([]float64, layers)
+		s.rows[i].wide = make([][]float64, layers)
+		s.rows[i].norm2 = make([]float64, layers)
 	}
 	return s
 }
@@ -71,7 +79,7 @@ func ShardedFromTable(t *Table, initialSupport float64) *Sharded {
 		row := &s.rows[c]
 		for j := 0; j < t.Layers(); j++ {
 			if v := t.Get(c, j); v != nil {
-				row.vecs[j] = vecmath.Clone(v)
+				row.publish(j, vecmath.Clone(v))
 				row.vers[j] = 1
 				row.support[j] = initialSupport
 				row.evtotal[j] = initialSupport
@@ -89,6 +97,15 @@ func (s *Sharded) Layers() int { return s.layers }
 
 // Dim returns the entry dimensionality.
 func (s *Sharded) Dim() int { return s.dim }
+
+// publish stores v as the cell's entry together with its probe staging
+// (widened mirror + squared norm), computed once here so every later
+// probe borrows it instead of re-widening. Callers hold the row lock and
+// manage version/support bookkeeping themselves.
+func (r *shardRow) publish(layer int, v []float32) {
+	r.vecs[layer] = v
+	r.wide[layer], r.norm2[layer] = vecmath.WidenRow(v)
+}
 
 func (s *Sharded) check(class, layer int) error {
 	if class < 0 || class >= s.classes || layer < 0 || layer >= s.layers {
@@ -151,9 +168,9 @@ func (s *Sharded) Merge(class, layer int, update []float32, gamma, localFreq, su
 		if vecmath.Normalize(v) == 0 {
 			return fmt.Errorf("gtable: Merge zero vector at (%d,%d)", class, layer)
 		}
-		row.vecs[layer] = v
+		row.publish(layer, v)
 	} else if merged := mergeEntry(old, update, gamma, row.support[layer], localFreq); merged != nil {
-		row.vecs[layer] = merged
+		row.publish(layer, merged)
 		// Perfect cancellation (nil) keeps the previous entry, as in
 		// Table.Merge; it still counts as evidence below.
 	}
@@ -215,9 +232,9 @@ func (s *Sharded) MergePeer(class, layer int, update []float32, evidence, sinceE
 		if vecmath.Normalize(v) == 0 {
 			return 0, 0, fmt.Errorf("gtable: MergePeer zero vector at (%d,%d)", class, layer)
 		}
-		row.vecs[layer] = v
+		row.publish(layer, v)
 	} else if merged := mergeEntry(old, update, 1, localRecent+inertia, evidence); merged != nil {
-		row.vecs[layer] = merged
+		row.publish(layer, merged)
 	}
 	row.support[layer] += evidence
 	if supportCap > 0 && row.support[layer] > supportCap {
@@ -372,7 +389,7 @@ func (s *Sharded) Set(class, layer int, vec []float32, support float64) error {
 	row := &s.rows[class]
 	row.mu.Lock()
 	defer row.mu.Unlock()
-	row.vecs[layer] = v
+	row.publish(layer, v)
 	row.support[layer] = support
 	row.evtotal[layer] += support // the ledger stays monotone across re-seeds
 	row.vers[layer]++
@@ -404,6 +421,35 @@ func (s *Sharded) ExtractLayerVersionedInto(layer int, classes []int, cls []int,
 		}
 	}
 	return cls, entries, vers
+}
+
+// ExtractLayerStagedInto is ExtractLayerVersionedInto extended with each
+// entry's publish-time probe staging: wide[i] and norm2[i] are the widened
+// mirror and squared norm of entries[i], borrowed like the entries
+// themselves (immutable once published, computed exactly once at
+// merge/publish). Passing nil wide/norm2 scratch grows fresh slices; hot
+// paths pass reused scratch and allocate nothing at steady state.
+func (s *Sharded) ExtractLayerStagedInto(layer int, classes []int, cls []int, entries [][]float32, vers []uint64, wide [][]float64, norm2 []float64) ([]int, [][]float32, []uint64, [][]float64, []float64) {
+	for _, c := range classes {
+		if err := s.check(c, layer); err != nil {
+			panic(err)
+		}
+		row := &s.rows[c]
+		row.mu.RLock()
+		v := row.vecs[layer]
+		ver := row.vers[layer]
+		w := row.wide[layer]
+		n2 := row.norm2[layer]
+		row.mu.RUnlock()
+		if v != nil {
+			cls = append(cls, c)
+			entries = append(entries, v)
+			vers = append(vers, ver)
+			wide = append(wide, w)
+			norm2 = append(norm2, n2)
+		}
+	}
+	return cls, entries, vers, wide, norm2
 }
 
 // ExtractLayerVersioned returns copies of the populated entries of the

@@ -149,6 +149,21 @@ func (d BenchDelta) AllocRegression(tolerance float64) bool {
 	return d.NewAllocs > d.OldAllocs*(1+tolerance)+1
 }
 
+// TimeRegression reports whether this delta is a wall-clock regression:
+// the benchmark existed in the old report and its ns/op grew beyond
+// tolerance (a fraction, e.g. 0.5 for 50%) plus an absolute slack in
+// nanoseconds. The slack term keeps micro-benchmarks (whose ns/op jitters
+// by scheduling noise that is a large *fraction* but a tiny *amount*)
+// from tripping the gate, exactly like AllocRegression's one-allocation
+// slack: with tolerance 0.5 and 100µs slack, 40µs → 55µs passes
+// (+15µs < 60µs+100µs... trivially) while 1s → 1.7s fails.
+func (d BenchDelta) TimeRegression(tolerance, slackNs float64) bool {
+	if !d.Known || d.OldNs <= 0 {
+		return false
+	}
+	return d.NewNs > d.OldNs*(1+tolerance)+slackNs
+}
+
 // Delta compares two reports benchmark by benchmark, returning movements
 // for every benchmark present in the new report.
 func Delta(old, new *Report) []BenchDelta {

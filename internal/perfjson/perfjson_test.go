@@ -130,3 +130,28 @@ func TestDeltaAllocRegression(t *testing.T) {
 		t.Error("0 -> 1 allocs flagged as regression; absolute slack must absorb it")
 	}
 }
+
+func TestDeltaTimeRegression(t *testing.T) {
+	cases := []struct {
+		name   string
+		d      BenchDelta
+		expect bool
+	}{
+		// 1s → 1.8s is past 75% — a real wall-clock regression.
+		{"algorithmic regression", BenchDelta{Known: true, OldNs: 1e9, NewNs: 1.8e9}, true},
+		// 1s → 1.5s sits inside the tolerance.
+		{"within tolerance", BenchDelta{Known: true, OldNs: 1e9, NewNs: 1.5e9}, false},
+		// 40µs → 150µs is >75% but within the absolute slack: micro-bench
+		// jitter, not a regression.
+		{"micro jitter absorbed by slack", BenchDelta{Known: true, OldNs: 40e3, NewNs: 150e3}, false},
+		// A new benchmark has nothing to regress against.
+		{"unknown baseline", BenchDelta{Known: false, OldNs: 0, NewNs: 5e9}, false},
+		// Improvements never trip the gate.
+		{"speedup", BenchDelta{Known: true, OldNs: 2e9, NewNs: 1e9}, false},
+	}
+	for _, c := range cases {
+		if got := c.d.TimeRegression(0.75, 250e3); got != c.expect {
+			t.Errorf("%s: TimeRegression = %v, want %v", c.name, got, c.expect)
+		}
+	}
+}

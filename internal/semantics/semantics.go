@@ -144,6 +144,11 @@ type Space struct {
 	// errThreshold is the difficulty above which samples blend toward a
 	// confusable class strongly enough that the full model errs.
 	errThreshold float64
+	// finalsWide is the publish-time staging of the final-layer prototypes
+	// (their widened float64 mirrors): the space is immutable after
+	// construction, so the prediction head's nearest-prototype scan reuses
+	// one conversion for every sample instead of converting per logits row.
+	finalsWide [][]float64
 }
 
 // NewSpace builds the prototype space. It panics if either spec is invalid:
@@ -207,6 +212,7 @@ func NewSpace(ds *dataset.Spec, arch *model.Arch) *Space {
 		}
 	}
 	s.errThreshold = calibrateErrThreshold(ds)
+	s.finalsWide, _ = vecmath.WidenRows(s.protos[arch.NumLayers])
 	return s
 }
 
@@ -248,6 +254,7 @@ type Scratch struct {
 	noise  []float32
 	drift  []float32
 	vec    []float32 // PredictScratch's final-feature vector
+	vec64  []float64 // its widened mirror for the staged logits kernel
 	logits []float32
 	probs  []float32
 }
@@ -534,13 +541,17 @@ func (s *Space) Predict(smp dataset.Sample, env *Env) Prediction {
 func (s *Space) PredictScratch(sc *Scratch, smp dataset.Sample, env *Env) Prediction {
 	if sc.vec == nil {
 		sc.vec = make([]float32, model.Dim)
+		sc.vec64 = make([]float64, model.Dim)
 		sc.logits = make([]float32, s.DS.NumClasses)
 		sc.probs = make([]float32, s.DS.NumClasses)
 	}
 	s.SampleVectorInto(sc.vec, smp, s.FinalLayer(), env, sc)
-	finals := s.protos[s.FinalLayer()]
 	temp := float32(softmaxTemp * (1 + 3*smp.Difficulty))
-	vecmath.Dots(sc.vec, finals, sc.logits)
+	// The staged-row dot kernel against the space's widened final
+	// prototypes is bitwise identical to Dots over the float32 rows
+	// (widening is exact; chains accumulate in index order).
+	vecmath.WidenVec(sc.vec, sc.vec64)
+	vecmath.DotsWidenedRows(sc.vec64, s.finalsWide, sc.logits)
 	for c := range sc.logits {
 		sc.logits[c] /= temp
 	}

@@ -1,6 +1,7 @@
 package vecmath
 
 import (
+	"math"
 	"math/rand/v2"
 	"testing"
 )
@@ -99,5 +100,124 @@ func TestKernelsZeroAlloc(t *testing.T) {
 		Dots(vec, entries, out)
 	}); n != 0 {
 		t.Errorf("batch kernels allocate %v/op, want 0", n)
+	}
+}
+
+// TestStagedRowCosineBitwise locks the publish-time staging contract: the
+// row-based staged kernel (WidenRows + CosinesWidenedRows) must reproduce
+// scalar Cosine bit for bit across awkward shapes — dimensions around the
+// tile widths (including 1 and non-multiples of the tile), entry counts
+// exercising every tail-loop combination.
+func TestStagedRowCosineBitwise(t *testing.T) {
+	r := rand.New(rand.NewPCG(7, 11))
+	for _, dim := range []int{1, 2, 3, 5, 16, 31, 64, 127, 128, 130} {
+		for _, n := range []int{1, 2, 3, 4, 5, 7, 8, 13} {
+			entries := kernelVectors(r, n, dim)
+			vec := kernelVectors(r, 1, dim)[0]
+			rows, norm2 := WidenRows(entries)
+			for i, e := range entries {
+				if norm2[i] != SquaredNorm(e) {
+					t.Fatalf("dim=%d n=%d entry %d: staged norm %v != SquaredNorm %v", dim, n, i, norm2[i], SquaredNorm(e))
+				}
+			}
+			vec64 := make([]float64, dim)
+			vn := WidenVec(vec, vec64)
+			snorm := make([]float64, n)
+			SqrtNorms(norm2, snorm)
+			out := make([]float32, n)
+			CosinesWidenedRows(vec64, math.Sqrt(vn), rows, snorm, out)
+			for i, e := range entries {
+				if want := Cosine(vec, e); want != out[i] {
+					t.Fatalf("dim=%d n=%d entry %d: Cosine %v != CosinesWidenedRows %v", dim, n, i, want, out[i])
+				}
+			}
+		}
+	}
+}
+
+// TestBlockedBatchCosineBitwise property-tests the blocked multi-query
+// kernel against scalar Cosine across awkward shapes: dimensions 1..130
+// around the accumulation tiles, batch sizes 1..33 (odd-query tails) and
+// entry counts exercising the 2×2 tile's entry tail. Blocking may only
+// run across independent (query, entry) chains — every output must equal
+// Cosine bit for bit.
+func TestBlockedBatchCosineBitwise(t *testing.T) {
+	r := rand.New(rand.NewPCG(8, 12))
+	dims := []int{1, 2, 3, 7, 31, 64, 127, 128, 130}
+	batches := []int{1, 2, 3, 4, 5, 8, 9, 16, 31, 32, 33}
+	for _, dim := range dims {
+		for _, q := range batches {
+			n := 1 + (q+dim)%9 // vary entry counts across cases, incl. odd
+			entries := kernelVectors(r, n, dim)
+			rows, norm2 := WidenRows(entries)
+			snorm := make([]float64, n)
+			SqrtNorms(norm2, snorm)
+			queries := kernelVectors(r, q, dim)
+			qrows := make([][]float64, q)
+			qsnorm := make([]float64, q)
+			for i, v := range queries {
+				qrows[i] = make([]float64, dim)
+				qsnorm[i] = math.Sqrt(WidenVec(v, qrows[i]))
+			}
+			stride := n + (q % 3) // exercise stride > n too
+			out := make([]float32, q*stride)
+			CosinesBatchWidenedRows(qrows, qsnorm, rows, snorm, stride, out)
+			for qi, v := range queries {
+				for i, e := range entries {
+					if want := Cosine(v, e); want != out[qi*stride+i] {
+						t.Fatalf("dim=%d q=%d n=%d query %d entry %d: Cosine %v != blocked %v",
+							dim, q, n, qi, i, want, out[qi*stride+i])
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestDotsWidenedRowsBitwise checks the staged dot kernel (the prediction
+// head's logits scan) against Dot.
+func TestDotsWidenedRowsBitwise(t *testing.T) {
+	r := rand.New(rand.NewPCG(9, 13))
+	for _, n := range []int{1, 3, 4, 5, 11} {
+		for _, dim := range []int{1, 5, 96, 130} {
+			entries := kernelVectors(r, n, dim)
+			vec := kernelVectors(r, 1, dim)[0]
+			rows, _ := WidenRows(entries)
+			vec64 := make([]float64, dim)
+			WidenVec(vec, vec64)
+			out := make([]float32, n)
+			DotsWidenedRows(vec64, rows, out)
+			for i, e := range entries {
+				if want := Dot(vec, e); want != out[i] {
+					t.Fatalf("n=%d dim=%d entry %d: Dot %v != DotsWidenedRows %v", n, dim, i, want, out[i])
+				}
+			}
+		}
+	}
+}
+
+// TestStagedKernelsZeroAlloc asserts the staged-row kernels never
+// allocate: the staging is computed at publish time, so the per-probe and
+// per-batch paths must stay off the heap entirely.
+func TestStagedKernelsZeroAlloc(t *testing.T) {
+	r := rand.New(rand.NewPCG(10, 14))
+	entries := kernelVectors(r, 12, 64)
+	rows, norm2 := WidenRows(entries)
+	snorm := make([]float64, len(entries))
+	queries := kernelVectors(r, 6, 64)
+	qrows := make([][]float64, len(queries))
+	qsnorm := make([]float64, len(queries))
+	for i, v := range queries {
+		qrows[i] = make([]float64, 64)
+		qsnorm[i] = math.Sqrt(WidenVec(v, qrows[i]))
+	}
+	out := make([]float32, len(queries)*len(entries))
+	if n := testing.AllocsPerRun(200, func() {
+		SqrtNorms(norm2, snorm)
+		CosinesWidenedRows(qrows[0], qsnorm[0], rows, snorm, out)
+		CosinesBatchWidenedRows(qrows, qsnorm, rows, snorm, len(entries), out)
+		DotsWidenedRows(qrows[0], rows, out)
+	}); n != 0 {
+		t.Errorf("staged kernels allocate %v/op, want 0", n)
 	}
 }

@@ -128,6 +128,26 @@ func cosineFromParts(dot, na, nb float64) float32 {
 	return float32(c)
 }
 
+// cosineFromSqrts finishes one cosine from its accumulated dot and the
+// two PRE-COMPUTED square-root norms, with exactly Cosine's arithmetic:
+// Cosine computes dot/(Sqrt(na)*Sqrt(nb)), so caching each operand's
+// Sqrt — per entry at publish time, per query once per probe — replaces
+// two Sqrts per (query, entry) pair with the same multiply and divide on
+// the same values, bitwise unchanged. A zero sqrt-norm marks a zero
+// vector (Sqrt of a non-negative squared norm is zero iff the norm is).
+func cosineFromSqrts(dot, sa, sb float64) float32 {
+	if sa == 0 || sb == 0 {
+		return 0
+	}
+	c := dot / (sa * sb)
+	if c > 1 {
+		c = 1
+	} else if c < -1 {
+		c = -1
+	}
+	return float32(c)
+}
+
 // Widen64 flattens entries into dst as float64 (row i at dst[i*dim:]) and
 // fills norm2[i] with SquaredNorm(entries[i]), in one pass. dst must hold
 // len(entries)*dim values; every entry must be dim long. The widened copy
@@ -214,6 +234,213 @@ func CosinesWidened(vec64 []float64, vecNorm2 float64, wide []float64, dim, n in
 		}
 		out[i] = cosineFromParts(dot, vecNorm2, norm2[i])
 	}
+}
+
+// dots4r accumulates four dot chains of the widened query against four
+// widened entry rows held as independent slices (the row-based staging the
+// publish-time layer mirrors use), each chain in index order.
+func dots4r(vec, e0, e1, e2, e3 []float64) (d0, d1, d2, d3 float64) {
+	e0 = e0[:len(vec)]
+	e1 = e1[:len(vec)]
+	e2 = e2[:len(vec)]
+	e3 = e3[:len(vec)]
+	for k, xv := range vec {
+		d0 += xv * e0[k]
+		d1 += xv * e1[k]
+		d2 += xv * e2[k]
+		d3 += xv * e3[k]
+	}
+	return
+}
+
+// CosinesWidenedRows fills out[i] with Cosine(vec, entries[i]) where
+// rows[i] is the widened (float64) mirror of entry i and snorm[i] the
+// SQUARE ROOT of its squared norm — the publish-time staging carried by
+// cache layers. vec64 is the widened query and sqrtVecNorm =
+// math.Sqrt(SquaredNorm(vec)), computed once per probe. Rows are tiled
+// four at a time with a convert-free inner loop; every per-pair chain
+// accumulates in index order and the cosine is finished from the same
+// Sqrt values Cosine would compute, so results are bitwise identical to
+// Cosine while the two per-pair Sqrts collapse into staging.
+// Allocation-free.
+func CosinesWidenedRows(vec64 []float64, sqrtVecNorm float64, rows [][]float64, snorm []float64, out []float32) {
+	n := len(rows)
+	if len(snorm) < n || len(out) < n {
+		panic(fmt.Sprintf("vecmath: CosinesWidenedRows snorm/out length %d/%d < %d", len(snorm), len(out), n))
+	}
+	i := 0
+	for ; i+4 <= n; i += 4 {
+		d0, d1, d2, d3 := dots4r(vec64, rows[i], rows[i+1], rows[i+2], rows[i+3])
+		out[i] = cosineFromSqrts(d0, sqrtVecNorm, snorm[i])
+		out[i+1] = cosineFromSqrts(d1, sqrtVecNorm, snorm[i+1])
+		out[i+2] = cosineFromSqrts(d2, sqrtVecNorm, snorm[i+2])
+		out[i+3] = cosineFromSqrts(d3, sqrtVecNorm, snorm[i+3])
+	}
+	for ; i < n; i++ {
+		row := rows[i][:len(vec64)]
+		var dot float64
+		for k, xv := range vec64 {
+			dot += xv * row[k]
+		}
+		out[i] = cosineFromSqrts(dot, sqrtVecNorm, snorm[i])
+	}
+}
+
+// dots2x2 accumulates the four dot chains of two widened queries against
+// two widened entry rows in one streaming pass: the rows are loaded once
+// and feed both queries' chains, which is what lets the blocked batch
+// kernel stream the entry set through cache once per query tile instead of
+// once per query. Each of the four chains accumulates in index order. The
+// 2×2 micro-tile is deliberate: it keeps the working set (4 accumulators +
+// 2 query + 2 entry lanes) inside the baseline SSE2 register file — a 2×4
+// tile spills and measures ~20% slower on the reference Xeon.
+func dots2x2(qa, qb, e0, e1 []float64) (a0, a1, b0, b1 float64) {
+	qb = qb[:len(qa)]
+	e0 = e0[:len(qa)]
+	e1 = e1[:len(qa)]
+	for k, av := range qa {
+		bv := qb[k]
+		x0, x1 := e0[k], e1[k]
+		a0 += av * x0
+		a1 += av * x1
+		b0 += bv * x0
+		b1 += bv * x1
+	}
+	return
+}
+
+// CosinesBatchWidenedRows fills out[q*stride+i] with Cosine(query q,
+// entry i) for every query in qs against every staged entry row — the
+// blocked multi-query scoring kernel of the batched probe path. qs[q] is
+// the widened query with sqrt-norm qSNorm[q]; rows/snorm are the
+// entries' publish-time staging (snorm holds SQUARE-ROOT norms, like
+// CosinesWidenedRows). The kernel is register-blocked 2 queries × 2
+// entries: each entry tile is loaded once and feeds both queries'
+// chains, so the entry matrix streams through cache once per query pair
+// instead of once per query. Every (query, entry) chain still accumulates
+// in index order, so each output is bitwise identical to Cosine — blocking
+// only reorders independent chains, never the additions inside one.
+// stride must be at least len(rows). Allocation-free.
+func CosinesBatchWidenedRows(qs [][]float64, qSNorm []float64, rows [][]float64, snorm []float64, stride int, out []float32) {
+	n := len(rows)
+	if len(qSNorm) < len(qs) || len(snorm) < n {
+		panic(fmt.Sprintf("vecmath: CosinesBatchWidenedRows qSNorm/snorm length %d/%d < %d/%d",
+			len(qSNorm), len(snorm), len(qs), n))
+	}
+	if stride < n || len(out) < len(qs)*stride {
+		panic(fmt.Sprintf("vecmath: CosinesBatchWidenedRows stride/out %d/%d too small for %d×%d",
+			stride, len(out), len(qs), n))
+	}
+	q := 0
+	for ; q+2 <= len(qs); q += 2 {
+		qa, qb := qs[q], qs[q+1]
+		sa, sb := qSNorm[q], qSNorm[q+1]
+		oa := out[q*stride:]
+		ob := out[(q+1)*stride:]
+		i := 0
+		for ; i+2 <= n; i += 2 {
+			a0, a1, b0, b1 := dots2x2(qa, qb, rows[i], rows[i+1])
+			oa[i] = cosineFromSqrts(a0, sa, snorm[i])
+			oa[i+1] = cosineFromSqrts(a1, sa, snorm[i+1])
+			ob[i] = cosineFromSqrts(b0, sb, snorm[i])
+			ob[i+1] = cosineFromSqrts(b1, sb, snorm[i+1])
+		}
+		for ; i < n; i++ {
+			row := rows[i]
+			ra := row[:len(qa)]
+			var da float64
+			for k, xv := range qa {
+				da += xv * ra[k]
+			}
+			rb := row[:len(qb)]
+			var db float64
+			for k, xv := range qb {
+				db += xv * rb[k]
+			}
+			oa[i] = cosineFromSqrts(da, sa, snorm[i])
+			ob[i] = cosineFromSqrts(db, sb, snorm[i])
+		}
+	}
+	if q < len(qs) {
+		CosinesWidenedRows(qs[q], qSNorm[q], rows, snorm, out[q*stride:])
+	}
+}
+
+// SqrtNorms fills snorm[i] with math.Sqrt(norm2[i]) — the second half of
+// the publish-time cosine staging (see cosineFromSqrts). Allocation-free.
+func SqrtNorms(norm2, snorm []float64) {
+	if len(snorm) < len(norm2) {
+		panic(fmt.Sprintf("vecmath: SqrtNorms snorm length %d < %d", len(snorm), len(norm2)))
+	}
+	for i, n2 := range norm2 {
+		snorm[i] = math.Sqrt(n2)
+	}
+}
+
+// DotsWidenedRows fills out[i] with Dot(vec, entries[i]) where rows[i] is
+// the widened mirror of entry i and vec64 the widened query. Widening is
+// exact and each chain accumulates in index order, so results are bitwise
+// identical to Dot. Used by the prediction head against the space's staged
+// final-layer prototypes. Allocation-free.
+func DotsWidenedRows(vec64 []float64, rows [][]float64, out []float32) {
+	if len(out) < len(rows) {
+		panic(fmt.Sprintf("vecmath: DotsWidenedRows out length %d < %d", len(out), len(rows)))
+	}
+	i := 0
+	for ; i+4 <= len(rows); i += 4 {
+		d0, d1, d2, d3 := dots4r(vec64, rows[i], rows[i+1], rows[i+2], rows[i+3])
+		out[i], out[i+1], out[i+2], out[i+3] = float32(d0), float32(d1), float32(d2), float32(d3)
+	}
+	for ; i < len(rows); i++ {
+		row := rows[i][:len(vec64)]
+		var d float64
+		for k, xv := range vec64 {
+			d += xv * row[k]
+		}
+		out[i] = float32(d)
+	}
+}
+
+// WidenRows returns freshly allocated widened mirrors and squared norms of
+// the given entries — the publish-time staging constructor. Each row is an
+// independent slice over one backing array.
+func WidenRows(entries [][]float32) (rows [][]float64, norm2 []float64) {
+	if len(entries) == 0 {
+		return nil, nil
+	}
+	dim := len(entries[0])
+	back := make([]float64, len(entries)*dim)
+	rows = make([][]float64, len(entries))
+	norm2 = make([]float64, len(entries))
+	for i, e := range entries {
+		if len(e) != dim {
+			panic(fmt.Sprintf("vecmath: WidenRows entry %d length %d != %d", i, len(e), dim))
+		}
+		row := back[i*dim : (i+1)*dim : (i+1)*dim]
+		var s float64
+		for k, x := range e {
+			xv := float64(x)
+			row[k] = xv
+			s += xv * xv
+		}
+		rows[i] = row
+		norm2[i] = s
+	}
+	return rows, norm2
+}
+
+// WidenRow returns a freshly allocated widened mirror of one entry and its
+// squared norm — the single-cell form of WidenRows, used when a table cell
+// is published.
+func WidenRow(v []float32) ([]float64, float64) {
+	row := make([]float64, len(v))
+	var s float64
+	for k, x := range v {
+		xv := float64(x)
+		row[k] = xv
+		s += xv * xv
+	}
+	return row, s
 }
 
 // Dots fills out[i] with Dot(vec, entries[i]), tiled four entries at a time;
