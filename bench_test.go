@@ -94,6 +94,13 @@ func BenchmarkEngineRound(b *testing.B) {
 // merges and view bookkeeping.
 func BenchmarkFederationSyncRound(b *testing.B) { benchsuite.FederationSync(b) }
 
+// BenchmarkRoutingAdmission measures one front-door admission decision —
+// token bucket, breaker gate, sticky placement — over a warm client
+// population. Steady state is allocation-free (pinned by the benchsuite
+// allocs test). The body lives in internal/benchsuite so cmd/coca-bench
+// emits the same numbers into BENCH_<date>.json.
+func BenchmarkRoutingAdmission(b *testing.B) { benchsuite.RoutingAdmission(b) }
+
 // BenchmarkHeadline reproduces the paper's headline claim per iteration
 // (CoCa on the reference workload) and reports the virtual latency
 // reduction and accuracy as benchmark metrics. The body lives in

@@ -1,25 +1,35 @@
 // Command coca-client runs a CoCa edge client over TCP: it connects to a
-// coca-server, opens a coordination session (wire protocol v2: allocation
-// deltas instead of full cache tables), and drives a synthetic sample
-// stream through cached inference for the requested number of rounds,
-// printing the latency/accuracy summary.
+// coca-server (or a coca-router front door), opens a coordination session
+// (wire protocol v2: allocation deltas instead of full cache tables), and
+// drives a synthetic sample stream through cached inference for the
+// requested number of rounds, printing the latency/accuracy summary.
 //
 // The model, dataset and class-count flags must match the server's, and
 // -clients must name the fleet size so every client carves the same
 // workload partition: client -id K of -clients N always streams partition
 // K of N, regardless of which process it runs in.
 //
+// Dials retry with exponential backoff (-dial-retries/-dial-backoff), and
+// redirects are followed transparently: a routing front door answers the
+// session open with its placement decision, and a mid-stream redirect —
+// the routing tier migrating this session during a brown-out — makes the
+// client re-open on the named server and resume, recovering its exact
+// allocation through the delta protocol's full-table resync.
+//
 // Usage:
 //
 //	coca-client -addr localhost:7070 -model ResNet101 -dataset UCF101 \
 //	    -classes 50 -id 0 -clients 4 -rounds 5 -budget 300
+//	coca-client -addr localhost:7069 -dial-retries 5 -dial-backoff 200ms
 package main
 
 import (
 	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"log"
+	"time"
 
 	"coca/internal/core"
 	"coca/internal/dataset"
@@ -31,9 +41,55 @@ import (
 	"coca/internal/transport"
 )
 
+// maxRedirectHops bounds how many chained redirects one open or
+// migration follows (guards against routing loops).
+const maxRedirectHops = 4
+
+// dialer dials with retry-and-backoff and builds session coordinators.
+type dialer struct {
+	retries int
+	backoff time.Duration
+	classes int
+	layers  int
+}
+
+// dial connects to addr, retrying transient failures with exponential
+// backoff.
+func (d *dialer) dial(ctx context.Context, addr string) (transport.Conn, error) {
+	backoff := d.backoff
+	var err error
+	for attempt := 0; ; attempt++ {
+		var conn transport.Conn
+		conn, err = transport.DialContext(ctx, addr)
+		if err == nil {
+			return conn, nil
+		}
+		if attempt >= d.retries || ctx.Err() != nil {
+			break
+		}
+		log.Printf("dial %s: %v (retrying in %s)", addr, err, backoff)
+		select {
+		case <-time.After(backoff):
+		case <-ctx.Done():
+			return nil, ctx.Err()
+		}
+		backoff *= 2
+	}
+	return nil, fmt.Errorf("dial %s (after %d attempts): %w", addr, d.retries+1, err)
+}
+
+// session dials addr and wraps the connection in a session coordinator.
+func (d *dialer) session(ctx context.Context, addr string) (*protocol.SessionClient, error) {
+	conn, err := d.dial(ctx, addr)
+	if err != nil {
+		return nil, err
+	}
+	return protocol.NewSessionClient(conn, d.classes, d.layers), nil
+}
+
 func main() {
 	var (
-		addr    = flag.String("addr", "localhost:7070", "server address")
+		addr    = flag.String("addr", "localhost:7070", "server (or router front door) address")
 		modelN  = flag.String("model", "ResNet101", "model preset")
 		dataN   = flag.String("dataset", "UCF101", "dataset preset")
 		classes = flag.Int("classes", 0, "dataset subset size (0 = all)")
@@ -45,6 +101,8 @@ func main() {
 		frames  = flag.Int("frames", core.DefaultRoundFrames, "frames per round F")
 		bias    = flag.Float64("bias", 0.05, "client feature-bias weight")
 		seed    = flag.Uint64("seed", 7, "workload seed (must match across the fleet)")
+		retries = flag.Int("dial-retries", 3, "extra connection attempts after a failed dial")
+		backoff = flag.Duration("dial-backoff", 100*time.Millisecond, "wait before the first dial retry (doubles per attempt)")
 	)
 	flag.Parse()
 
@@ -66,21 +124,69 @@ func main() {
 	space := semantics.NewSpace(ds, arch)
 
 	ctx := context.Background()
-	conn, err := transport.DialContext(ctx, *addr)
+	d := &dialer{retries: *retries, backoff: *backoff, classes: ds.NumClasses, layers: arch.NumLayers}
+
+	// Initial open, following front-door placement redirects.
+	coord, err := d.session(ctx, *addr)
 	if err != nil {
 		log.Fatal(err)
 	}
-	coord := protocol.NewSessionClient(conn, ds.NumClasses, arch.NumLayers)
-	defer coord.Close()
-
-	client, err := core.NewClient(ctx, space, coord, core.ClientConfig{
+	var client *core.Client
+	cfg := core.ClientConfig{
 		ID: *id, Theta: *theta, Budget: *budget, RoundFrames: *frames,
 		EnvBiasWeight: *bias, EnvSeed: uint64(*id) + 1,
-	})
-	if err != nil {
-		log.Fatal(err)
 	}
+	for hop := 0; ; hop++ {
+		client, err = core.NewClient(ctx, space, coord, cfg)
+		if err == nil {
+			break
+		}
+		_ = coord.Close()
+		var re *core.RedirectError
+		if !errors.As(err, &re) || hop >= maxRedirectHops {
+			log.Fatal(err)
+		}
+		log.Printf("redirected to %s (%s)", re.Addr, re.Reason)
+		if coord, err = d.session(ctx, re.Addr); err != nil {
+			log.Fatal(err)
+		}
+	}
+	defer coord.Close()
 	defer client.Close()
+
+	// migrate re-opens the session on the redirect target and retires the
+	// old connection; the next allocation resyncs the full table.
+	migrate := func(target string) {
+		for hop := 0; ; hop++ {
+			next, err := d.session(ctx, target)
+			if err != nil {
+				log.Fatal(err)
+			}
+			err = client.Reconnect(next)
+			if err == nil {
+				_ = coord.Close()
+				coord = next
+				return
+			}
+			_ = next.Close()
+			var re *core.RedirectError
+			if !errors.As(err, &re) || hop >= maxRedirectHops {
+				log.Fatal(err)
+			}
+			target = re.Addr
+		}
+	}
+	// withMigration retries op once after following a redirect error.
+	withMigration := func(op func() error) error {
+		err := op()
+		var re *core.RedirectError
+		if !errors.As(err, &re) {
+			return err
+		}
+		log.Printf("session migrating to %s (%s)", re.Addr, re.Reason)
+		migrate(re.Addr)
+		return op()
+	}
 
 	// The fleet-wide partition: every process builds the same N-client
 	// partition and takes its own slice, so streams are disjoint and
@@ -96,7 +202,7 @@ func main() {
 
 	var acc metrics.Accumulator
 	for round := 0; round < *rounds; round++ {
-		if err := client.BeginRound(); err != nil {
+		if err := withMigration(client.BeginRound); err != nil {
 			log.Fatalf("round %d begin: %v", round, err)
 		}
 		for f := 0; f < *frames; f++ {
@@ -107,7 +213,7 @@ func main() {
 				Correct: res.Pred == smp.Class, Hit: res.Hit, HitLayer: res.HitLayer,
 			})
 		}
-		if err := client.EndRound(); err != nil {
+		if err := withMigration(client.EndRound); err != nil {
 			log.Fatalf("round %d end: %v", round, err)
 		}
 		s := acc.Summary()

@@ -1,0 +1,152 @@
+// Command coca-router runs the routing front door for a fleet of
+// coca-server processes: a wire-facing control plane that owns
+// client→server placement. Clients dial the router first; every session
+// open is admitted (per-client rate limit, per-backend circuit breaker),
+// placed on a backend via consistent-hash shuffle-shard placement, and
+// answered with a redirect naming that backend's address — the client
+// then dials its edge server directly, so no inference or coordination
+// traffic ever proxies through the router.
+//
+// A background health-check loop probes every backend each -hc-interval
+// (a dial-and-close); repeated failures open that backend's breaker,
+// steering new clients to the other members of their shuffle shards, and
+// recovery closes it again through the breaker's half-open probes.
+//
+// The semantic placement policy needs per-client class profiles, which
+// never reach a redirect-only front door, so -route semantic degrades to
+// hash placement here (see internal/routing.FrontDoor); use the
+// in-process routed deployment for semantic steering.
+//
+// Usage:
+//
+//	coca-router -listen :7069 -servers 127.0.0.1:7070,127.0.0.1:7071,127.0.0.1:7072
+//	coca-router -listen :7069 -servers host1:7070,host2:7070 -shard 2 -rate 100
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"os/signal"
+	"strings"
+	"sync"
+	"syscall"
+	"time"
+
+	"coca/internal/protocol"
+	"coca/internal/routing"
+	"coca/internal/transport"
+)
+
+func main() {
+	var (
+		listen  = flag.String("listen", ":7069", "listen address")
+		servers = flag.String("servers", "", "comma-separated backend coca-server addresses (host:port,...)")
+		route   = flag.String("route", "hash", "placement policy (static, hash, semantic, random; semantic degrades to hash at a front door)")
+		shard   = flag.Int("shard", 0, "shuffle-shard size per client (0 = min(3, servers))")
+		vnodes  = flag.Int("vnodes", 0, "virtual nodes per server on the hash ring (0 = default)")
+		seed    = flag.Uint64("seed", 1, "placement hash seed (must match across router replicas)")
+		hcInt   = flag.Duration("hc-interval", 2*time.Second, "backend health-check cadence (0 disables probing)")
+		hcTime  = flag.Duration("hc-timeout", time.Second, "per-probe dial timeout")
+		rate    = flag.Float64("rate", 0, "per-client admission rate limit in opens/sec (0 = unlimited)")
+	)
+	flag.Parse()
+
+	var addrs []string
+	for _, a := range strings.Split(*servers, ",") {
+		if a = strings.TrimSpace(a); a != "" {
+			addrs = append(addrs, a)
+		}
+	}
+	if len(addrs) == 0 {
+		log.Fatal("coca-router: -servers must list at least one backend address")
+	}
+	policy, err := routing.ParsePolicy(*route)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fd := routing.NewFrontDoor(addrs, routing.Config{
+		Policy:    policy,
+		ShardSize: *shard,
+		VNodes:    *vnodes,
+		Seed:      *seed,
+		Rate:      routing.RateConfig{PerSec: *rate},
+	})
+
+	l, err := transport.Listen(*listen)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Fprintf(os.Stderr, "coca-router: %s placement over %d backend(s), listening on %s\n",
+		policy, len(addrs), l.Addr())
+
+	sigCtx, stop := signal.NotifyContext(context.Background(), syscall.SIGINT, syscall.SIGTERM)
+	defer stop()
+	connCtx, cancelConns := context.WithCancel(context.Background())
+	defer cancelConns()
+
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for {
+			conn, err := l.Accept()
+			if err != nil {
+				return // listener closed
+			}
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				// Every open on this coordinator answers with a redirect
+				// frame; the connection then ends (clients dial onward).
+				if err := protocol.ServeConn(connCtx, conn, fd); err != nil {
+					log.Printf("session: %v", err)
+				}
+				_ = conn.Close()
+			}()
+		}
+	}()
+
+	if *hcInt > 0 {
+		probe := func(addr string) error {
+			ctx, cancel := context.WithTimeout(connCtx, *hcTime)
+			defer cancel()
+			conn, err := transport.DialContext(ctx, addr)
+			if err != nil {
+				return err
+			}
+			return conn.Close()
+		}
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			ticker := time.NewTicker(*hcInt)
+			defer ticker.Stop()
+			for {
+				select {
+				case <-sigCtx.Done():
+					return
+				case <-ticker.C:
+					fd.HealthCheck(probe)
+					for s := range addrs {
+						if st := fd.BreakerState(s); st != routing.BreakerClosed {
+							log.Printf("health: backend %d (%s) breaker %s", s, addrs[s], st)
+						}
+					}
+				}
+			}
+		}()
+	}
+
+	<-sigCtx.Done()
+	_ = l.Close()
+	cancelConns()
+	wg.Wait()
+	st := fd.Stats()
+	fmt.Fprintln(os.Stderr, "coca-router: shut down cleanly; final stats:")
+	fmt.Fprintf(os.Stderr, "  opens placed     %d\n", st.Opens)
+	fmt.Fprintf(os.Stderr, "  breaker denials  %d\n", st.BreakerDenials)
+	fmt.Fprintf(os.Stderr, "  rate limited     %d\n", st.RateLimited)
+}

@@ -38,7 +38,10 @@ import (
 
 	"coca/internal/core"
 	"coca/internal/dataset"
+	"coca/internal/federation"
+	"coca/internal/metrics"
 	"coca/internal/model"
+	"coca/internal/routing"
 	"coca/internal/semantics"
 	"coca/internal/stream"
 	"coca/internal/xrand"
@@ -117,8 +120,42 @@ type Options struct {
 	// Peers is non-empty).
 	PeerSyncInterval time.Duration
 
+	// DialRetries is how many extra connection attempts Dial (and the
+	// redirect-following reconnects inside Client.Run) make after a
+	// failed dial, backing off between attempts (default 3; negative
+	// disables retries).
+	DialRetries int
+	// DialBackoff is the wait before the first retry, doubling per
+	// attempt (default 100ms).
+	DialBackoff time.Duration
+
+	// Routing, when non-nil, deploys the fleet behind the routing tier:
+	// several in-process edge servers fronted by a control-plane router
+	// that owns client→server placement (consistent-hash shuffle shards),
+	// admission (per-server circuit breakers) and live migration. The
+	// single-server fields above still shape each server and the workload.
+	Routing *RoutingOptions
+
 	// Seed roots all randomness (default 1).
 	Seed uint64
+}
+
+// RoutingOptions configures the routed multi-server deployment.
+type RoutingOptions struct {
+	// Servers is the edge-server count (default 4).
+	Servers int
+	// Policy is the placement policy: "hash" (default), "semantic",
+	// "static" or "random".
+	Policy string
+	// ShardSize bounds each client's shuffle shard (default
+	// min(3, Servers)).
+	ShardSize int
+	// SyncEvery runs a federation peer-sync round after every N-th round
+	// barrier (0 disables peer sync).
+	SyncEvery int
+	// RebalanceEvery runs a semantic rebalance pass after every N-th
+	// round barrier (0 disables; only meaningful under "semantic").
+	RebalanceEvery int
 }
 
 func (o Options) withDefaults() Options {
@@ -157,6 +194,15 @@ func (o Options) withDefaults() Options {
 	}
 	if len(o.Peers) > 0 && o.PeerSyncInterval == 0 {
 		o.PeerSyncInterval = 5 * time.Second
+	}
+	if o.DialRetries == 0 {
+		o.DialRetries = 3
+	}
+	if o.DialRetries < 0 {
+		o.DialRetries = 0
+	}
+	if o.DialBackoff == 0 {
+		o.DialBackoff = 100 * time.Millisecond
 	}
 	return o
 }
@@ -205,11 +251,13 @@ func (o Options) theta(arch *model.Arch) float64 {
 	}
 }
 
-// System is an in-process CoCa deployment: one edge server plus a fleet of
-// clients over a shared synthetic workload.
+// System is an in-process CoCa deployment: one edge server plus a fleet
+// of clients over a shared synthetic workload — or, with
+// Options.Routing, several servers behind the routing tier.
 type System struct {
 	opts    Options
 	cluster *core.Cluster
+	routed  *federation.RoutedCluster
 }
 
 // NewSystem builds a deployment.
@@ -220,21 +268,48 @@ func NewSystem(opts Options) (*System, error) {
 		return nil, err
 	}
 	theta := opts.theta(space.Arch)
+	ccfg := core.ClientConfig{
+		Theta:         theta,
+		Budget:        opts.Budget,
+		RoundFrames:   opts.RoundFrames,
+		GammaCollect:  opts.GammaCollect,
+		DeltaCollect:  opts.DeltaCollect,
+		EnvBiasWeight: opts.ClientBias,
+		DriftWeight:   opts.DriftWeight,
+		DriftPerRound: opts.DriftPerRound,
+	}
+	if r := opts.Routing; r != nil {
+		servers := r.Servers
+		if servers == 0 {
+			servers = 4
+		}
+		policy, err := routing.ParsePolicy(r.Policy)
+		if err != nil {
+			return nil, err
+		}
+		routed, err := federation.NewRoutedCluster(space, federation.RoutedConfig{
+			NumServers:     servers,
+			NumClients:     opts.NumClients,
+			Routing:        routing.Config{Policy: policy, ShardSize: r.ShardSize, Seed: opts.Seed},
+			SyncEvery:      r.SyncEvery,
+			RebalanceEvery: r.RebalanceEvery,
+			Client:         ccfg,
+			Server:         core.ServerConfig{Theta: theta, Seed: opts.Seed},
+			Stream:         scfg,
+			Rounds:         opts.Rounds, SkipRounds: opts.WarmupRounds,
+			BatchSize: opts.BatchSize,
+		})
+		if err != nil {
+			return nil, err
+		}
+		return &System{opts: opts, routed: routed}, nil
+	}
 	cluster, err := core.NewCluster(space, core.ClusterConfig{
 		NumClients: opts.NumClients,
-		Client: core.ClientConfig{
-			Theta:         theta,
-			Budget:        opts.Budget,
-			RoundFrames:   opts.RoundFrames,
-			GammaCollect:  opts.GammaCollect,
-			DeltaCollect:  opts.DeltaCollect,
-			EnvBiasWeight: opts.ClientBias,
-			DriftWeight:   opts.DriftWeight,
-			DriftPerRound: opts.DriftPerRound,
-		},
-		Server: core.ServerConfig{Theta: theta, Seed: opts.Seed},
-		Stream: scfg,
-		Rounds: opts.Rounds, SkipRounds: opts.WarmupRounds,
+		Client:     ccfg,
+		Server:     core.ServerConfig{Theta: theta, Seed: opts.Seed},
+		Stream:     scfg,
+		Rounds:     opts.Rounds, SkipRounds: opts.WarmupRounds,
 		BatchSize: opts.BatchSize,
 	})
 	if err != nil {
@@ -255,6 +330,18 @@ type Report struct {
 	Accuracy, HitRatio, HitAccuracy float64
 	// PerClient holds each client's average latency and accuracy.
 	PerClient []ClientReport
+	// Routing summarizes control-plane activity (nil for single-server
+	// deployments).
+	Routing *RoutingReport
+}
+
+// RoutingReport is the control-plane slice of a routed run.
+type RoutingReport struct {
+	// Servers is the edge-server count behind the router.
+	Servers int
+	// Migrations counts live client moves (breaker trips, failovers and
+	// committed rebalances); Rebalanced counts the semantic subset.
+	Migrations, Rebalanced int
 }
 
 // ClientReport is one client's slice of the run.
@@ -283,7 +370,21 @@ func (r Report) String() string {
 
 // Run executes the configured rounds and reports combined metrics.
 func (s *System) Run() (Report, error) {
-	per, combined, err := s.cluster.Run()
+	var (
+		per      []*metrics.Accumulator
+		combined *metrics.Accumulator
+		space    *semantics.Space
+		err      error
+	)
+	if s.routed != nil {
+		combined, err = s.routed.Run()
+		per = s.routed.PerClient()
+		space = s.routed.Space
+		defer s.routed.Close()
+	} else {
+		per, combined, err = s.cluster.Run()
+		space = s.cluster.Space
+	}
 	if err != nil {
 		return Report{}, err
 	}
@@ -292,10 +393,18 @@ func (s *System) Run() (Report, error) {
 		Frames:            sum.Frames,
 		AvgLatencyMs:      sum.AvgLatencyMs,
 		P95LatencyMs:      sum.P95LatencyMs,
-		EdgeOnlyLatencyMs: s.cluster.Space.Arch.TotalLatencyMs(),
+		EdgeOnlyLatencyMs: space.Arch.TotalLatencyMs(),
 		Accuracy:          sum.Accuracy,
 		HitRatio:          sum.HitRatio,
 		HitAccuracy:       sum.HitAccuracy,
+	}
+	if s.routed != nil {
+		st := s.routed.Router.Stats()
+		rep.Routing = &RoutingReport{
+			Servers:    s.routed.Router.NumServers(),
+			Migrations: st.Migrations,
+			Rebalanced: st.Rebalanced,
+		}
 	}
 	for k, acc := range per {
 		cs := acc.Summary()

@@ -97,3 +97,38 @@ func TestThetaDefaultPerModel(t *testing.T) {
 		}
 	}
 }
+
+func TestNewSystemRouted(t *testing.T) {
+	sys, err := NewSystem(Options{
+		Model: "VGG16_BN", Dataset: "ESC-50", Classes: 12,
+		NumClients: 8, RoundFrames: 40, Rounds: 3, Budget: 40,
+		NonIIDLevel: 4,
+		Routing:     &RoutingOptions{Servers: 4, Policy: "semantic", RebalanceEvery: 1},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := sys.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Frames != 8*3*40 {
+		t.Fatalf("frames = %d, want %d", rep.Frames, 8*3*40)
+	}
+	if rep.Routing == nil || rep.Routing.Servers != 4 {
+		t.Fatalf("routing report: %+v", rep.Routing)
+	}
+	if len(rep.PerClient) != 8 {
+		t.Fatalf("per-client reports = %d", len(rep.PerClient))
+	}
+	if rep.HitRatio <= 0 {
+		t.Fatalf("degenerate routed run: %+v", rep)
+	}
+}
+
+func TestNewSystemRoutedBadPolicy(t *testing.T) {
+	_, err := NewSystem(Options{Routing: &RoutingOptions{Policy: "nearest"}})
+	if err == nil || !strings.Contains(err.Error(), "unknown policy") {
+		t.Fatalf("bad policy error: %v", err)
+	}
+}

@@ -18,6 +18,7 @@ import (
 	"coca/internal/federation"
 	"coca/internal/metrics"
 	"coca/internal/model"
+	"coca/internal/routing"
 	"coca/internal/semantics"
 	"coca/internal/stream"
 	"coca/internal/xrand"
@@ -292,6 +293,53 @@ func EngineRound(b *testing.B, clients int) {
 			b.Fatal(err)
 		}
 		round++
+	}
+	b.StopTimer()
+	// Pool width explains the wall time on a given machine: with W <
+	// clients the shards serialize, so e.g. clients=4 on a single-core
+	// runner costs ~4× clients=1 by construction, not by regression (see
+	// the engine-round notes in EXPERIMENTS.md).
+	b.ReportMetric(float64(runner.Workers()), "workers")
+}
+
+// RoutingAdmissionClients is the warmed client population of the
+// routing-admission benchmark.
+const RoutingAdmissionClients = 256
+
+// NewAdmissionRouter builds the router the routing-admission benchmark
+// (and its allocs regression test) measures: 8 targets, shuffle shards
+// of 3, per-client rate limiting enabled, with every client's state
+// already materialized so the timed loop sees only steady-state
+// admissions. Admit never dereferences the backends, so nil
+// coordinators suffice.
+func NewAdmissionRouter() *routing.Router {
+	r := routing.NewRouter(make([]core.Coordinator, 8), routing.Config{
+		Policy:    routing.PolicyHash,
+		ShardSize: 3,
+		Seed:      1,
+		Rate:      routing.RateConfig{PerSec: 1 << 20},
+	})
+	for id := 0; id < RoutingAdmissionClients; id++ {
+		if _, err := r.Admit(id); err != nil {
+			panic(err)
+		}
+	}
+	return r
+}
+
+// RoutingAdmission measures the control-plane cost every request pays at
+// the front door: one Admit per op — token-bucket check, breaker gate
+// and sticky placement lookup — over a warm 256-client population on an
+// 8-target ring. The steady state is allocation-free (pinned by the
+// benchsuite allocs test), so ns/op is the pure decision cost.
+func RoutingAdmission(b *testing.B) {
+	r := NewAdmissionRouter()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for n := 0; n < b.N; n++ {
+		if _, err := r.Admit(n % RoutingAdmissionClients); err != nil {
+			b.Fatal(err)
+		}
 	}
 }
 

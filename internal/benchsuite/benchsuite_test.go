@@ -1,0 +1,20 @@
+package benchsuite
+
+import "testing"
+
+// TestRoutingAdmissionAllocs pins the routing-admission steady state at
+// zero allocations per admitted request — the ISSUE's 0 allocs/op
+// target, enforced here rather than left to the bench gate's +1 slack.
+func TestRoutingAdmissionAllocs(t *testing.T) {
+	r := NewAdmissionRouter()
+	id := 0
+	allocs := testing.AllocsPerRun(200, func() {
+		if _, err := r.Admit(id); err != nil {
+			t.Fatal(err)
+		}
+		id = (id + 1) % RoutingAdmissionClients
+	})
+	if allocs != 0 {
+		t.Fatalf("admission steady state allocates %.1f per request, want 0", allocs)
+	}
+}

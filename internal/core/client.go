@@ -210,6 +210,31 @@ func (c *Client) View() *AllocView { return c.view }
 // Close releases the client's coordination session.
 func (c *Client) Close() error { return c.sess.Close() }
 
+// Reconnect re-opens the client's coordination session against coord —
+// typically a different server, after a redirect or failure — and
+// retires the old session. Every piece of client state (τ, the update
+// table, hit-ratio estimates, the allocation view) survives the swap;
+// the fresh server session holds no allocation record, so the next
+// BeginRound receives a Full delta and the view resynchronizes in one
+// round (version-0 resync). The model shape must match the original
+// registration.
+func (c *Client) Reconnect(coord Coordinator) error {
+	sess, err := coord.Open(c.ctx, c.cfg.ID)
+	if err != nil {
+		return fmt.Errorf("core: client %d reconnect: %w", c.cfg.ID, err)
+	}
+	info := sess.Info()
+	if info.NumClasses != c.space.DS.NumClasses || info.NumLayers != c.space.Arch.NumLayers {
+		_ = sess.Close()
+		return fmt.Errorf("core: client %d reconnect model/dataset mismatch (%d×%d vs %d×%d)",
+			c.cfg.ID, c.space.DS.NumClasses, c.space.Arch.NumLayers, info.NumClasses, info.NumLayers)
+	}
+	// Best-effort: the old session (or its server) may already be gone.
+	_ = c.sess.Close()
+	c.sess = sess
+	return nil
+}
+
 // allocate requests a delta for the given status, folds it into the view
 // and returns the materialized allocation.
 func (c *Client) allocate(status StatusReport) (Allocation, error) {

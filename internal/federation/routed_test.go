@@ -1,0 +1,108 @@
+package federation
+
+import (
+	"testing"
+
+	"coca/internal/core"
+	"coca/internal/dataset"
+	"coca/internal/model"
+	"coca/internal/routing"
+	"coca/internal/semantics"
+	"coca/internal/stream"
+)
+
+func routedConfig(policy routing.Policy) RoutedConfig {
+	ds := dataset.ESC50().Subset(12)
+	return RoutedConfig{
+		NumServers: 4,
+		NumClients: 8,
+		Routing:    routing.Config{Policy: policy, ShardSize: 3, Seed: 11},
+		Topology:   Mesh,
+		SyncEvery:  2,
+		Client:     core.ClientConfig{Theta: 0.035, Budget: 40, RoundFrames: 30},
+		Server:     core.ServerConfig{Theta: 0.035, Seed: 3, ProfileSamples: 200, InitSamplesPerClass: 16},
+		Stream: stream.Config{
+			Dataset:         ds,
+			SceneMeanFrames: 15,
+			WorkingSetSize:  6,
+			WorkingSetChurn: 0.1,
+			NonIIDLevel:     4,
+			Seed:            9,
+		},
+		Rounds: 6,
+	}
+}
+
+// TestRoutingSmoke drives routed clusters — one per placement policy —
+// over a 4-node in-memory fleet: the CI routing smoke alongside the
+// forced-migration TCP run at the repo root.
+func TestRoutingSmoke(t *testing.T) {
+	space := semantics.NewSpace(dataset.ESC50().Subset(12), model.VGG16BN())
+	for _, policy := range []routing.Policy{routing.PolicyHash, routing.PolicySemantic} {
+		cfg := routedConfig(policy)
+		cfg.ServerInit = core.BuildServerInit(space, cfg.Server)
+		if policy == routing.PolicySemantic {
+			cfg.RebalanceEvery = 2
+		}
+		cluster, err := NewRoutedCluster(space, cfg)
+		if err != nil {
+			t.Fatalf("%s: %v", policy, err)
+		}
+		combined, err := cluster.Run()
+		if err != nil {
+			t.Fatalf("%s: %v", policy, err)
+		}
+		sum := combined.Summary()
+		if sum.Frames != cfg.NumClients*cfg.Rounds*cfg.Client.RoundFrames {
+			t.Errorf("%s: %d frames, want %d", policy, sum.Frames, cfg.NumClients*cfg.Rounds*cfg.Client.RoundFrames)
+		}
+		if sum.HitRatio <= 0 {
+			t.Errorf("%s: fleet hit ratio %.3f, want > 0", policy, sum.HitRatio)
+		}
+		// Placement: every client is on a live server inside its shard.
+		for id := 0; id < cfg.NumClients; id++ {
+			s := cluster.Router.Lookup(id)
+			if s < 0 || s >= cfg.NumServers {
+				t.Errorf("%s: client %d on server %d", policy, id, s)
+			}
+		}
+		if st := cluster.Router.Stats(); st.Opens < cfg.NumClients {
+			t.Errorf("%s: %d opens for %d clients", policy, st.Opens, cfg.NumClients)
+		}
+		cluster.Close()
+	}
+}
+
+// TestRoutedClusterBrownOutRecovers trips one server's breaker mid-run
+// and requires the fleet to finish with every client off that server.
+func TestRoutedClusterBrownOutRecovers(t *testing.T) {
+	space := semantics.NewSpace(dataset.ESC50().Subset(12), model.VGG16BN())
+	cfg := routedConfig(routing.PolicyHash)
+	var cluster *RoutedCluster
+	cfg.OnRound = func(round int) {
+		if round == 2 {
+			cluster.Router.TripBreaker(0)
+		}
+	}
+	var err error
+	cluster, err = NewRoutedCluster(space, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cluster.Close()
+	combined, err := cluster.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if combined.Summary().Frames == 0 {
+		t.Fatal("no frames recorded")
+	}
+	for id := 0; id < cfg.NumClients; id++ {
+		if cluster.Router.Lookup(id) == 0 {
+			t.Errorf("client %d still on browned-out server 0", id)
+		}
+	}
+	if st := cluster.Router.Stats(); st.Migrations == 0 {
+		t.Error("brown-out caused no migrations")
+	}
+}

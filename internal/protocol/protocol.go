@@ -50,6 +50,11 @@ const (
 	TypePeerHello
 	TypePeerDelta
 	TypePeerAck
+	// TypeRedirect (v2-only) tells the client to re-open its session
+	// against another server — the wire form of core.RedirectError,
+	// emitted by routing front doors at placement time and by servers
+	// migrating a live session.
+	TypeRedirect
 )
 
 // Message is a decoded protocol message; exactly one payload field is set,
@@ -77,7 +82,16 @@ type Message struct {
 	PeerHello  *PeerHello
 	PeerDelta  *PeerDelta
 	PeerAck    *PeerAck
+	Redirect   *Redirect
 	Error      string
+}
+
+// Redirect is the TypeRedirect payload: where to re-open and why.
+type Redirect struct {
+	// Addr is the server to dial instead.
+	Addr string
+	// Reason is a short diagnostic ("placement", "breaker-open", ...).
+	Reason string
 }
 
 // Hello is the registration request.
@@ -348,6 +362,7 @@ type Decoder struct {
 	peerHello PeerHello
 	peerDelta PeerDelta
 	peerAck   PeerAck
+	redirect  Redirect
 }
 
 // Decode parses a frame of either wire version into the decoder's scratch.
@@ -431,6 +446,14 @@ func (r *reader) newPeerAck() *PeerAck {
 		return &r.dec.peerAck
 	}
 	return &PeerAck{}
+}
+
+func (r *reader) newRedirect() *Redirect {
+	if r.dec != nil {
+		r.dec.redirect = Redirect{}
+		return &r.dec.redirect
+	}
+	return &Redirect{}
 }
 
 func (r *reader) deltaCellBuf() []core.DeltaCell {
@@ -639,6 +662,12 @@ func encodeV2(w *writer, m *Message) error {
 		w.u8(m.Proto)
 		w.i32(m.PeerAck.NodeID)
 		w.i32(m.PeerAck.Applied)
+	case TypeRedirect:
+		if m.Redirect == nil {
+			return fmt.Errorf("protocol: redirect payload missing")
+		}
+		w.str(m.Redirect.Addr)
+		w.str(m.Redirect.Reason)
 	case TypeAck, TypeBye:
 		// no payload
 	case TypeError:
@@ -833,6 +862,11 @@ func decodeV2(r *reader) (*Message, error) {
 		pa := r.newPeerAck()
 		pa.NodeID, pa.Applied = r.i32(), r.i32()
 		m.PeerAck = pa
+	case TypeRedirect:
+		rd := r.newRedirect()
+		rd.Addr = r.str()
+		rd.Reason = r.str()
+		m.Redirect = rd
 	case TypeAck, TypeBye:
 		// no payload
 	case TypeError:

@@ -94,6 +94,8 @@ func sampleMessagesV2() []*Message {
 			},
 		}},
 		{Version: V2, Type: TypePeerAck, Proto: V2, PeerAck: &PeerAck{NodeID: 1, Applied: 2}},
+		{Version: V2, Type: TypeRedirect, ClientID: 2, SessionID: 12,
+			Redirect: &Redirect{Addr: "10.0.0.9:7000", Reason: "breaker-open"}},
 	}
 }
 
@@ -163,6 +165,10 @@ func TestEncodeRejectsCrossVersionTypes(t *testing.T) {
 	}
 	if _, err := Encode(&Message{Version: V1, Type: TypePeerAck, PeerAck: &PeerAck{}}); err == nil {
 		t.Error("v1 peer ack accepted")
+	}
+	// Redirects do not exist in v1 (legacy clients get a plain error).
+	if _, err := Encode(&Message{Version: V1, Type: TypeRedirect, Redirect: &Redirect{}}); err == nil {
+		t.Error("v1 redirect accepted")
 	}
 }
 

@@ -70,6 +70,11 @@ func (c *SessionClient) roundTrip(ctx context.Context, req *Message, consume fun
 	if m.Type == TypeError {
 		return fmt.Errorf("protocol: server error: %s", m.Error)
 	}
+	if m.Type == TypeRedirect && m.Redirect != nil {
+		// Decoded strings are fresh allocations, not decoder scratch, so
+		// the error may outlive this round trip.
+		return &core.RedirectError{Addr: m.Redirect.Addr, Reason: m.Redirect.Reason}
+	}
 	return consume(m)
 }
 
@@ -459,6 +464,19 @@ func errorReply(version byte, clientID int32, sessionID uint64, format string, a
 		Error: fmt.Sprintf(format, args...)}
 }
 
+// failureReply maps a coordinator error to its wire form: a
+// core.RedirectError becomes a TypeRedirect frame for v2 peers (v1 has
+// no redirect concept, so legacy clients see a plain error), everything
+// else a TypeError.
+func failureReply(version byte, clientID int32, sessionID uint64, err error) *Message {
+	var re *core.RedirectError
+	if version == V2 && errors.As(err, &re) {
+		return &Message{Version: version, Type: TypeRedirect, ClientID: clientID, SessionID: sessionID,
+			Redirect: &Redirect{Addr: re.Addr, Reason: re.Reason}}
+	}
+	return errorReply(version, clientID, sessionID, "%v", err)
+}
+
 // open validates the hello shape against a fresh session's registration
 // info, closing the session and reporting the mismatch if they disagree.
 func (cs *connState) open(ctx context.Context, clientID int32, hello *Hello) (core.Session, core.RegisterInfo, error) {
@@ -485,7 +503,7 @@ func (cs *connState) handleV2(ctx context.Context, m *Message, frameLen int) *Me
 		}
 		sess, info, err := cs.open(ctx, m.ClientID, m.Hello)
 		if err != nil {
-			return errorReply(V2, m.ClientID, 0, "%v", err)
+			return failureReply(V2, m.ClientID, 0, err)
 		}
 		id := sessionID(sess)
 		cs.v2[id] = sess
@@ -497,7 +515,7 @@ func (cs *connState) handleV2(ctx context.Context, m *Message, frameLen int) *Me
 		}
 		delta, err := sess.Allocate(ctx, *m.Status)
 		if err != nil {
-			return errorReply(V2, m.ClientID, m.SessionID, "%v", err)
+			return failureReply(V2, m.ClientID, m.SessionID, err)
 		}
 		return &Message{Type: TypeDelta, ClientID: m.ClientID, SessionID: m.SessionID, Delta: &delta}
 	case TypeUpdate:
@@ -506,7 +524,7 @@ func (cs *connState) handleV2(ctx context.Context, m *Message, frameLen int) *Me
 			return errorReply(V2, m.ClientID, m.SessionID, "unknown session %d", m.SessionID)
 		}
 		if err := sess.Upload(ctx, *m.Update); err != nil {
-			return errorReply(V2, m.ClientID, m.SessionID, "%v", err)
+			return failureReply(V2, m.ClientID, m.SessionID, err)
 		}
 		return &Message{Type: TypeAck, ClientID: m.ClientID, SessionID: m.SessionID}
 	case TypeBye:

@@ -1,0 +1,210 @@
+package routing
+
+import (
+	"sync"
+	"time"
+)
+
+// BreakerState is a circuit breaker's current phase.
+type BreakerState int32
+
+const (
+	// BreakerClosed: traffic flows, outcomes are recorded.
+	BreakerClosed BreakerState = iota
+	// BreakerOpen: traffic is rejected until the open window elapses.
+	BreakerOpen
+	// BreakerHalfOpen: a bounded number of probe requests flow; one
+	// failure re-opens, enough successes close.
+	BreakerHalfOpen
+)
+
+// String implements fmt.Stringer.
+func (s BreakerState) String() string {
+	switch s {
+	case BreakerClosed:
+		return "closed"
+	case BreakerOpen:
+		return "open"
+	case BreakerHalfOpen:
+		return "half-open"
+	}
+	return "unknown"
+}
+
+// BreakerConfig parametrizes a Breaker.
+type BreakerConfig struct {
+	// Window is the sliding outcome window length (default 20).
+	Window int
+	// FailureRate opens the breaker when failures/window ≥ rate and at
+	// least MinSamples outcomes are recorded (default 0.5).
+	FailureRate float64
+	// MinSamples gates rate evaluation so one early failure cannot open
+	// a cold breaker (default 5).
+	MinSamples int
+	// OpenFor is how long an open breaker rejects before probing
+	// (default 2s).
+	OpenFor time.Duration
+	// HalfOpenProbes is how many consecutive probe successes close a
+	// half-open breaker (default 3). Any probe failure re-opens.
+	HalfOpenProbes int
+	// Now is the clock (test hook; defaults to time.Now).
+	Now func() time.Time
+}
+
+func (c BreakerConfig) withDefaults() BreakerConfig {
+	if c.Window == 0 {
+		c.Window = 20
+	}
+	if c.FailureRate == 0 {
+		c.FailureRate = 0.5
+	}
+	if c.MinSamples == 0 {
+		c.MinSamples = 5
+	}
+	if c.OpenFor == 0 {
+		c.OpenFor = 2 * time.Second
+	}
+	if c.HalfOpenProbes == 0 {
+		c.HalfOpenProbes = 3
+	}
+	if c.Now == nil {
+		c.Now = time.Now
+	}
+	return c
+}
+
+// Breaker is a per-server circuit breaker: closed → open on failure
+// rate over a sliding window, open → half-open after a cool-down,
+// half-open → closed after consecutive probe successes (or back to open
+// on any probe failure). All methods are safe for concurrent use and
+// allocation-free.
+type Breaker struct {
+	cfg BreakerConfig
+
+	mu       sync.Mutex
+	state    BreakerState
+	outcomes []bool // ring buffer of recent outcomes (true = success)
+	next     int    // next write position in outcomes
+	filled   int    // outcomes recorded, saturating at len(outcomes)
+	failures int    // failures currently in the window
+	openedAt time.Time
+	probes   int // consecutive half-open successes
+	forced   bool
+	trips    int
+}
+
+// NewBreaker builds a breaker in the closed state.
+func NewBreaker(cfg BreakerConfig) *Breaker {
+	cfg = cfg.withDefaults()
+	return &Breaker{cfg: cfg, outcomes: make([]bool, cfg.Window)}
+}
+
+// Allow reports whether a request may proceed right now. An open
+// breaker transitions to half-open once OpenFor has elapsed (unless it
+// was force-tripped); a half-open breaker admits probe traffic.
+func (b *Breaker) Allow() bool {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	switch b.state {
+	case BreakerClosed:
+		return true
+	case BreakerOpen:
+		if !b.forced && b.cfg.Now().Sub(b.openedAt) >= b.cfg.OpenFor {
+			b.state = BreakerHalfOpen
+			b.probes = 0
+			return true
+		}
+		return false
+	default: // half-open
+		return true
+	}
+}
+
+// Record feeds one request outcome back into the breaker.
+func (b *Breaker) Record(ok bool) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	switch b.state {
+	case BreakerHalfOpen:
+		if !ok {
+			b.open(true)
+			return
+		}
+		b.probes++
+		if b.probes >= b.cfg.HalfOpenProbes {
+			b.reset()
+		}
+	case BreakerClosed:
+		b.record(ok)
+		if b.filled >= b.cfg.MinSamples &&
+			float64(b.failures) >= b.cfg.FailureRate*float64(b.filled) {
+			b.open(true)
+		}
+	default: // open: a straggling in-flight outcome; ignore
+	}
+}
+
+// Trip forces the breaker open until Reset (or Record after Reset):
+// Allow rejects unconditionally, with no half-open probing. Used for
+// administrative drain and brown-out simulation.
+func (b *Breaker) Trip() {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.forced = true
+	b.open(b.state != BreakerOpen)
+}
+
+// Reset returns the breaker to closed with an empty window.
+func (b *Breaker) Reset() {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.forced = false
+	b.reset()
+}
+
+// State returns the current state (open breakers past their cool-down
+// still report open until the next Allow probes them).
+func (b *Breaker) State() BreakerState {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.state
+}
+
+// Trips returns how many times the breaker has opened.
+func (b *Breaker) Trips() int {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.trips
+}
+
+// open transitions to the open state. countTrip distinguishes a fresh
+// trip from re-affirming an already-open breaker.
+func (b *Breaker) open(countTrip bool) {
+	b.state = BreakerOpen
+	b.openedAt = b.cfg.Now()
+	if countTrip {
+		b.trips++
+	}
+}
+
+// reset clears the window and closes the breaker.
+func (b *Breaker) reset() {
+	b.state = BreakerClosed
+	b.next, b.filled, b.failures, b.probes = 0, 0, 0, 0
+}
+
+// record pushes one outcome into the sliding window.
+func (b *Breaker) record(ok bool) {
+	if b.filled == len(b.outcomes) {
+		if !b.outcomes[b.next] {
+			b.failures--
+		}
+	} else {
+		b.filled++
+	}
+	b.outcomes[b.next] = ok
+	if !ok {
+		b.failures++
+	}
+	b.next = (b.next + 1) % len(b.outcomes)
+}

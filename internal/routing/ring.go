@@ -1,0 +1,116 @@
+package routing
+
+import (
+	"sort"
+
+	"coca/internal/xrand"
+)
+
+// ringPoint is one virtual node on the consistent-hash ring.
+type ringPoint struct {
+	hash   uint64
+	server int
+}
+
+// Ring is a consistent-hash ring over server indices. Each server owns
+// VNodes points at pseudo-random positions; a client hashes to a point
+// on the circle and walks clockwise until it meets an acceptable
+// server. Lookups are allocation-free (binary search + index walk), so
+// the admission hot path can consult the ring per request.
+type Ring struct {
+	points []ringPoint
+	seed   uint64
+}
+
+// NewRing builds a ring over servers 0..servers-1 with vnodes points
+// each, rooted at seed. The same (servers, vnodes, seed) triple always
+// yields the identical ring.
+func NewRing(servers, vnodes int, seed uint64) *Ring {
+	if servers <= 0 {
+		servers = 1
+	}
+	if vnodes <= 0 {
+		vnodes = 1
+	}
+	r := &Ring{points: make([]ringPoint, 0, servers*vnodes), seed: seed}
+	for s := 0; s < servers; s++ {
+		base := xrand.HashSeed(seed, 0x72696e67, uint64(s)) // "ring"
+		for v := 0; v < vnodes; v++ {
+			base = xrand.SplitMix64(base)
+			r.points = append(r.points, ringPoint{hash: base, server: s})
+		}
+	}
+	sort.Slice(r.points, func(i, j int) bool {
+		a, b := r.points[i], r.points[j]
+		if a.hash != b.hash {
+			return a.hash < b.hash
+		}
+		return a.server < b.server
+	})
+	return r
+}
+
+// hashClient maps a client id onto the ring circle.
+func (r *Ring) hashClient(clientID int) uint64 {
+	return xrand.HashSeed(r.seed, 0x636c69656e74, uint64(clientID)) // "client"
+}
+
+// first returns the index of the first ring point at or after h,
+// wrapping at the top of the circle.
+func (r *Ring) first(h uint64) int {
+	i := sort.Search(len(r.points), func(i int) bool { return r.points[i].hash >= h })
+	if i == len(r.points) {
+		return 0
+	}
+	return i
+}
+
+// Walk calls accept with successive distinct servers clockwise from the
+// client's ring position and returns the first accepted server. It
+// visits each server at most once; -1 means accept rejected every
+// server. Walk allocates nothing: the visited-set is a bitmask (rings
+// are fleet-sized, ≤64 servers by construction elsewhere; larger fleets
+// degrade to revisits being filtered by accept's idempotence).
+func (r *Ring) Walk(clientID int, accept func(server int) bool) int {
+	start := r.first(r.hashClient(clientID))
+	var visited uint64
+	for i := 0; i < len(r.points); i++ {
+		p := r.points[(start+i)%len(r.points)]
+		if p.server < 64 {
+			bit := uint64(1) << uint(p.server)
+			if visited&bit != 0 {
+				continue
+			}
+			visited |= bit
+		}
+		if accept(p.server) {
+			return p.server
+		}
+	}
+	return -1
+}
+
+// ShuffleShard deterministically selects a size-bounded subset of
+// servers for a client: a partial Fisher–Yates shuffle of 0..servers-1
+// seeded by mix(seed, clientID), taking the first shardSize entries.
+// Two clients share a full shard only if their seeded shuffles agree on
+// every pick, so the number of clients blast-radiused by any one server
+// is bounded by shardSize/servers of the fleet in expectation.
+func ShuffleShard(clientID, servers, shardSize int, seed uint64) []int {
+	if shardSize <= 0 || shardSize > servers {
+		shardSize = servers
+	}
+	perm := make([]int, servers)
+	for i := range perm {
+		perm[i] = i
+	}
+	state := xrand.HashSeed(seed, 0x7368617264, uint64(clientID)) // "shard"
+	for i := 0; i < shardSize; i++ {
+		state = xrand.SplitMix64(state)
+		j := i + int(state%uint64(servers-i))
+		perm[i], perm[j] = perm[j], perm[i]
+	}
+	shard := perm[:shardSize:shardSize]
+	sort.Ints(shard)
+	return shard
+}

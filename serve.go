@@ -8,6 +8,7 @@ package coca
 
 import (
 	"context"
+	"errors"
 	"fmt"
 	"sync"
 	"time"
@@ -154,12 +155,51 @@ type Client struct {
 	conn   *protocol.SessionClient
 	client *core.Client
 	gen    *stream.Generator
+
+	// addr is the server currently holding the session (moves on
+	// redirects); migrations counts the redirects followed.
+	addr       string
+	migrations int
+}
+
+// maxRedirectHops bounds how many redirects a single open or migration
+// follows before giving up (guards against routing loops).
+const maxRedirectHops = 4
+
+// dialRetry dials addr with the options' retry schedule: DialRetries
+// extra attempts after a failure, backing off DialBackoff, 2×, 4×, …
+// between attempts. ctx cancellation cuts both the dial and the wait.
+func dialRetry(ctx context.Context, addr string, opts Options) (transport.Conn, error) {
+	backoff := opts.DialBackoff
+	var err error
+	for attempt := 0; ; attempt++ {
+		var conn transport.Conn
+		conn, err = transport.DialContext(ctx, addr)
+		if err == nil {
+			return conn, nil
+		}
+		if attempt >= opts.DialRetries || ctx.Err() != nil {
+			break
+		}
+		select {
+		case <-time.After(backoff):
+		case <-ctx.Done():
+			return nil, ctx.Err()
+		}
+		backoff *= 2
+	}
+	return nil, fmt.Errorf("coca: dial %s (after %d attempts): %w", addr, opts.DialRetries+1, err)
 }
 
 // Dial connects to a CoCa server at addr and registers client clientID of
 // the opts.NumClients-wide fleet. The model/dataset options must match
 // the server's; the workload options carve this client's partition — the
 // same opts on every fleet member yield disjoint, consistent streams.
+//
+// Failed dials retry per opts.DialRetries/DialBackoff, and a redirect
+// answer — a routing front door assigning this client its edge server —
+// is followed transparently (bounded hops), so the returned client's
+// session lives on the assigned server.
 func Dial(ctx context.Context, addr string, clientID int, opts Options) (*Client, error) {
 	opts = opts.withDefaults()
 	if clientID < 0 || clientID >= opts.NumClients {
@@ -173,12 +213,7 @@ func Dial(ctx context.Context, addr string, clientID int, opts Options) (*Client
 	if err != nil {
 		return nil, err
 	}
-	conn, err := transport.DialContext(ctx, addr)
-	if err != nil {
-		return nil, err
-	}
-	coord := protocol.NewSessionClient(conn, space.DS.NumClasses, space.Arch.NumLayers)
-	cl, err := core.NewClient(ctx, space, coord, core.ClientConfig{
+	ccfg := core.ClientConfig{
 		ID:            clientID,
 		Theta:         opts.theta(space.Arch),
 		Budget:        opts.Budget,
@@ -188,16 +223,81 @@ func Dial(ctx context.Context, addr string, clientID int, opts Options) (*Client
 		EnvBiasWeight: opts.ClientBias,
 		DriftWeight:   opts.DriftWeight,
 		DriftPerRound: opts.DriftPerRound,
-	})
-	if err != nil {
-		_ = coord.Close()
-		return nil, err
 	}
-	return &Client{opts: opts, id: clientID, space: space, conn: coord, client: cl, gen: part.Client(clientID)}, nil
+	for hop := 0; ; hop++ {
+		conn, err := dialRetry(ctx, addr, opts)
+		if err != nil {
+			return nil, err
+		}
+		coord := protocol.NewSessionClient(conn, space.DS.NumClasses, space.Arch.NumLayers)
+		cl, err := core.NewClient(ctx, space, coord, ccfg)
+		if err == nil {
+			return &Client{opts: opts, id: clientID, space: space, conn: coord, client: cl, gen: part.Client(clientID), addr: addr}, nil
+		}
+		_ = coord.Close()
+		var re *core.RedirectError
+		if !errors.As(err, &re) {
+			return nil, err
+		}
+		if hop >= maxRedirectHops {
+			return nil, fmt.Errorf("coca: client %d: redirect chain exceeds %d hops (last to %s): %w", clientID, maxRedirectHops, re.Addr, err)
+		}
+		addr = re.Addr
+	}
+}
+
+// migrate follows a mid-stream redirect: it dials the target (with the
+// dial retry schedule), re-opens the session there — the fresh session's
+// version-0 state makes the server answer the next allocation with a
+// full table, so the client recovers its exact allocation — and retires
+// the old connection. Chained redirects are followed up to
+// maxRedirectHops.
+func (c *Client) migrate(ctx context.Context, addr string) error {
+	for hop := 0; ; hop++ {
+		conn, err := dialRetry(ctx, addr, c.opts)
+		if err != nil {
+			return err
+		}
+		coord := protocol.NewSessionClient(conn, c.space.DS.NumClasses, c.space.Arch.NumLayers)
+		err = c.client.Reconnect(coord)
+		if err == nil {
+			_ = c.conn.Close()
+			c.conn = coord
+			c.addr = addr
+			c.migrations++
+			return nil
+		}
+		_ = coord.Close()
+		var re *core.RedirectError
+		if !errors.As(err, &re) {
+			return err
+		}
+		if hop >= maxRedirectHops {
+			return fmt.Errorf("coca: client %d: redirect chain exceeds %d hops (last to %s): %w", c.id, maxRedirectHops, re.Addr, err)
+		}
+		addr = re.Addr
+	}
+}
+
+// followRedirect migrates and retries op once when err carries a
+// redirect; otherwise it returns err unchanged.
+func (c *Client) followRedirect(ctx context.Context, err error, op func() error) error {
+	var re *core.RedirectError
+	if !errors.As(err, &re) {
+		return err
+	}
+	if merr := c.migrate(ctx, re.Addr); merr != nil {
+		return fmt.Errorf("coca: client %d migrate (%s): %w", c.id, re.Reason, merr)
+	}
+	return op()
 }
 
 // Run drives the client for the given number of rounds (opts.Rounds when
 // 0) and reports its metrics. ctx is checked at round boundaries.
+// Redirects from the server — a routing tier migrating this session to
+// another edge server — are followed live: the client re-opens on the
+// target and resumes, recovering its allocation through the delta
+// protocol's full-table resync.
 func (c *Client) Run(ctx context.Context, rounds int) (Report, error) {
 	if rounds <= 0 {
 		rounds = c.opts.Rounds
@@ -208,7 +308,10 @@ func (c *Client) Run(ctx context.Context, rounds int) (Report, error) {
 			return Report{}, err
 		}
 		if err := c.client.BeginRound(); err != nil {
-			return Report{}, fmt.Errorf("coca: round %d begin: %w", round, err)
+			err = c.followRedirect(ctx, err, c.client.BeginRound)
+			if err != nil {
+				return Report{}, fmt.Errorf("coca: round %d begin: %w", round, err)
+			}
 		}
 		for f := 0; f < c.opts.RoundFrames; f++ {
 			smp := c.gen.Next()
@@ -221,7 +324,10 @@ func (c *Client) Run(ctx context.Context, rounds int) (Report, error) {
 			}
 		}
 		if err := c.client.EndRound(); err != nil {
-			return Report{}, fmt.Errorf("coca: round %d end: %w", round, err)
+			err = c.followRedirect(ctx, err, c.client.EndRound)
+			if err != nil {
+				return Report{}, fmt.Errorf("coca: round %d end: %w", round, err)
+			}
 		}
 	}
 	sum := acc.Summary()
@@ -243,6 +349,13 @@ func (c *Client) Run(ctx context.Context, rounds int) (Report, error) {
 // ViewVersion returns the version of the allocation the client holds
 // (grows by one per round; diagnostic for the delta protocol).
 func (c *Client) ViewVersion() uint64 { return c.client.View().Version() }
+
+// Addr returns the address of the server currently holding the session
+// (the dialed address until a redirect moves it).
+func (c *Client) Addr() string { return c.addr }
+
+// Migrations counts the redirects this client has followed mid-stream.
+func (c *Client) Migrations() int { return c.migrations }
 
 // Close ends the coordination session and the connection.
 func (c *Client) Close() error {
