@@ -94,6 +94,12 @@ func BenchmarkEngineRound(b *testing.B) {
 // merges and view bookkeeping.
 func BenchmarkFederationSyncRound(b *testing.B) { benchsuite.FederationSync(b) }
 
+// BenchmarkGossipSyncRound measures one epidemic sync round of a warm
+// 16-node gossip fleet (fanout k=3) and reports gossip-vs-mesh
+// bytes-per-node metrics — the scalability claim behind the gossip
+// topology, pinned into the committed BENCH history.
+func BenchmarkGossipSyncRound(b *testing.B) { benchsuite.GossipSync(b) }
+
 // BenchmarkRoutingAdmission measures one front-door admission decision —
 // token bucket, breaker gate, sticky placement — over a warm client
 // population. Steady state is allocation-free (pinned by the benchsuite

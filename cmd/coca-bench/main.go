@@ -178,6 +178,7 @@ func suite() []namedBench {
 		{"headline", benchsuite.Headline},
 		{"federation", benchsuite.Federation},
 		{"federation-sync-round", benchsuite.FederationSync},
+		{"gossip-sync-round", benchsuite.GossipSync},
 		{"routing-admission", benchsuite.RoutingAdmission},
 	}
 	for _, clients := range []int{1, 16} {

@@ -11,15 +11,28 @@
 // same -model/-dataset/-classes/-seed (the shared dataset aligning their
 // initial tables) and a distinct -node-id.
 //
-// On SIGINT/SIGTERM the server shuts down gracefully: it stops accepting
-// new connections, lets in-flight sessions drain for -drain, then closes
-// the remaining connections, prints its final counters (allocations,
-// merges, sessions, peer-sync traffic) and exits.
+// The fleet is elastic: with -join, a server started mid-run announces
+// itself to the listed peers and bootstraps its table from a snapshot
+// (everything the fleet learned since construction, shipped as one batch)
+// instead of replaying sync history, and established members learn the
+// joiner's address and push back without reconfiguration. A per-peer
+// failure detector (-suspect-after / -dead-after consecutive failures)
+// keeps sync from stalling on crashed peers; -gossip N switches each sync
+// round to an epidemic push toward N sampled peers instead of all of
+// them.
+//
+// On SIGINT/SIGTERM the server shuts down gracefully: it announces a
+// clean leave to live peers (so they mark it left immediately rather than
+// waiting out the suspect timeout), stops accepting new connections, lets
+// in-flight sessions drain for -drain, then closes the remaining
+// connections, prints its final counters (allocations, merges, sessions,
+// peer-sync traffic with a per-peer breakdown) and exits.
 //
 // Usage:
 //
 //	coca-server -addr :7070 -model ResNet101 -dataset UCF101 -classes 50 -theta 0.012
 //	coca-server -addr :7071 -node-id 1 -peers 127.0.0.1:7070,127.0.0.1:7072 -sync 5s
+//	coca-server -addr :7072 -node-id 2 -peers 127.0.0.1:7070 -join -sync 5s
 //	coca-server -addr :7070 -pprof localhost:6060
 package main
 
@@ -60,6 +73,10 @@ func main() {
 		nodeID  = flag.Int("node-id", 0, "this server's federation id (distinct per fleet member)")
 		relay   = flag.Bool("relay", false, "relay received peer evidence onward (set on star hubs / ring members; leave off in a full mesh)")
 		syncInt = flag.Duration("sync", 5*time.Second, "federation peer-sync cadence (with -peers)")
+		join    = flag.Bool("join", false, "announce this server to the fleet and bootstrap from a peer snapshot (elastic join; with -peers)")
+		gossip  = flag.Int("gossip", 0, "gossip fanout: push each sync round to N sampled peers instead of all (0 = all)")
+		suspect = flag.Int("suspect-after", 0, "consecutive sync failures before a peer is suspect (0 = default 2)")
+		dead    = flag.Int("dead-after", 0, "consecutive sync failures before a peer is dead and skipped (0 = default 5)")
 		pprofA  = flag.String("pprof", "", "expose net/http/pprof on this address (e.g. localhost:6060; empty = off)")
 	)
 	flag.Parse()
@@ -90,7 +107,10 @@ func main() {
 	fmt.Fprintf(os.Stderr, "coca-server: building %s × %s universe...\n", arch.Name, ds.Name)
 	space := semantics.NewSpace(ds, arch)
 	srv := core.NewServer(space, core.ServerConfig{Theta: *theta, Gamma: *gamma, Seed: *seed})
-	node := federation.NewNode(srv, federation.NodeConfig{ID: *nodeID, Relay: *relay})
+	node := federation.NewNode(srv, federation.NodeConfig{
+		ID: *nodeID, Relay: *relay,
+		Membership: federation.MembershipConfig{SuspectAfter: *suspect, DeadAfter: *dead},
+	})
 
 	var peerAddrs []string
 	for _, a := range strings.Split(*peersF, ",") {
@@ -144,21 +164,37 @@ func main() {
 		}
 	}()
 
-	// The peer-sync loop runs on its own context, canceled as soon as the
-	// signal lands so the drain window is spent on sessions, not gossip.
+	// The peer-sync loop runs on its own context, canceled right after the
+	// clean-leave announcement so the drain window is spent on sessions,
+	// not gossip.
 	var peerWg sync.WaitGroup
-	if len(peerAddrs) > 0 {
-		peers := federation.NewPeerSet(node, peerAddrs)
+	var peers *federation.PeerSet
+	peerCtx, cancelPeers := context.WithCancel(context.Background())
+	defer cancelPeers()
+	if len(peerAddrs) > 0 || *join {
+		peers = federation.NewPeerSetWith(node, peerAddrs, federation.PeerSetConfig{
+			Join:     *join,
+			SelfAddr: l.Addr(),
+			Fanout:   *gossip,
+			Seed:     *seed,
+		})
 		peerWg.Add(1)
 		go func() {
 			defer peerWg.Done()
-			peers.Run(sigCtx, *syncInt, func(err error) { log.Printf("peer sync: %v", err) })
+			peers.Run(peerCtx, *syncInt, func(err error) { log.Printf("peer sync: %v", err) })
 		}()
 	}
 
 	<-sigCtx.Done()
 	fmt.Fprintf(os.Stderr, "coca-server: shutting down: draining %d open session(s) for up to %s...\n",
 		srv.Sessions(), *drain)
+	if peers != nil {
+		// Announce the departure while the links are still up: surviving
+		// peers mark this node left immediately instead of waiting out the
+		// suspect timeout.
+		peers.AnnounceLeave()
+	}
+	cancelPeers()
 	peerWg.Wait()
 	_ = l.Close() // stop accepting
 
@@ -190,4 +226,15 @@ func printFinalStats(srv *core.Server, node *federation.Node) {
 	if sync.Errors > 0 {
 		fmt.Fprintf(os.Stderr, "  peer sync errors %d (last: %s)\n", sync.Errors, sync.LastError)
 	}
+	for _, p := range sync.Peers {
+		fmt.Fprintf(os.Stderr, "  peer %-4d %-7s addr=%s syncs=%d last-epoch=%d sent=%d resent=%d recv=%d joins=%d\n",
+			p.ID, p.State, orDash(p.Addr), p.Syncs, p.LastSyncEpoch, p.CellsSent, p.CellsResent, p.CellsRecv, p.Joins)
+	}
+}
+
+func orDash(s string) string {
+	if s == "" {
+		return "-"
+	}
+	return s
 }

@@ -95,29 +95,30 @@ type Options struct {
 	// DriftWeight and DriftPerRound enable gradual semantic drift.
 	DriftWeight, DriftPerRound float64
 
-	// Peers lists the addresses of federated peer edge servers. When
-	// non-empty, a served endpoint (Serve) gossips global-cache cell
-	// deltas to them every PeerSyncInterval, so classes cached by another
-	// server's clients accelerate this server's clients too. Every fleet
-	// member must use the same model/dataset options and Seed (the shared
-	// dataset that aligns their initial tables) and a distinct NodeID —
-	// a peer offering this server's own id is rejected. Sync failures
-	// (unreachable peers, id or model mismatches) are recorded in
-	// Server.SyncStats (Errors / LastError); check it when a fleet shows
-	// no federation benefit.
+	// Federation, when non-nil, joins a served endpoint (Serve) to a
+	// fleet of federated peer edge servers — see FederationOptions. It is
+	// the grouped replacement for the deprecated flat fields below; both
+	// surfaces set at once is a configuration error.
+	Federation *FederationOptions
+
+	// Peers lists the addresses of federated peer edge servers.
+	//
+	// Deprecated: set Federation.Peers instead. Kept as an alias so
+	// existing callers keep working; it is folded into Federation (and
+	// conflicts with an explicit Federation).
 	Peers []string
-	// NodeID is this server's federation id (peer merges apply in id
-	// order; give every server a distinct id).
+	// NodeID is this server's federation id.
+	//
+	// Deprecated: set Federation.NodeID instead.
 	NodeID int
 	// PeerRelay marks this server as a relay hop for non-full-mesh peer
-	// graphs (star hubs, ring members): evidence received from one peer
-	// then stays pending toward the others and forwards onward. Leave it
-	// false when every fleet member lists every other in Peers (a full
-	// mesh) — non-relaying servers treat received evidence as delivered
-	// everywhere, which is what stops a mesh from re-circulating it.
+	// graphs.
+	//
+	// Deprecated: set Federation.Relay instead.
 	PeerRelay bool
-	// PeerSyncInterval is the wire peer-sync cadence (default 5s when
-	// Peers is non-empty).
+	// PeerSyncInterval is the wire peer-sync cadence.
+	//
+	// Deprecated: set Federation.SyncInterval instead.
 	PeerSyncInterval time.Duration
 
 	// DialRetries is how many extra connection attempts Dial (and the
@@ -140,6 +141,55 @@ type Options struct {
 	Seed uint64
 }
 
+// FederationOptions configures a served endpoint's federation tier,
+// mirroring the RoutingOptions pattern: one nested struct instead of
+// loose flat knobs. When attached to Options.Federation, the server
+// gossips global-cache cell deltas to its peers every SyncInterval, so
+// classes cached by another server's clients accelerate this server's
+// clients too.
+//
+// Every fleet member must use the same model/dataset options and Seed
+// (the shared dataset that aligns their initial tables) and a distinct
+// NodeID — a peer offering this server's own id is rejected. Sync
+// failures (unreachable peers, id or model mismatches) are recorded in
+// Server.SyncStats (Errors / LastError, and the per-peer Peers
+// breakdown); check it when a fleet shows no federation benefit.
+type FederationOptions struct {
+	// Peers lists the addresses of federated peer edge servers. With
+	// Join set the list only needs to reach the fleet — further member
+	// addresses are learned from join announcements.
+	Peers []string
+	// NodeID is this server's federation id (peer merges apply in id
+	// order; give every server a distinct id).
+	NodeID int
+	// Relay marks this server as a relay hop for non-full-mesh peer
+	// graphs (star hubs, ring members): evidence received from one peer
+	// then stays pending toward the others and forwards onward. Leave it
+	// false when every fleet member lists every other in Peers (a full
+	// mesh) — non-relaying servers treat received evidence as delivered
+	// everywhere, which is what stops a mesh from re-circulating it.
+	Relay bool
+	// SyncInterval is the wire peer-sync cadence (default 5s).
+	SyncInterval time.Duration
+	// Join announces this server to the fleet on its first sync and
+	// bootstraps its table from a peer snapshot — everything the fleet
+	// learned since construction, shipped as one batch — so a server
+	// started mid-run converges without replaying sync history. The
+	// server's own address is announced too, and established members
+	// start pushing to it without reconfiguration.
+	Join bool
+	// Gossip, when positive, switches peer sync to epidemic mode: each
+	// round pushes to a seeded sample of this many peers instead of all
+	// of them, keeping per-node sync cost O(fanout) as the fleet grows.
+	Gossip int
+	// SuspectAfter and DeadAfter tune the per-peer failure detector:
+	// that many consecutive sync failures mark a peer suspect / dead
+	// (defaults 2 / 5). Dead peers are skipped by sync and re-probed
+	// every few rounds; an announced clean leave (Shutdown) marks the
+	// leaver immediately.
+	SuspectAfter, DeadAfter int
+}
+
 // RoutingOptions configures the routed multi-server deployment.
 type RoutingOptions struct {
 	// Servers is the edge-server count (default 4).
@@ -158,7 +208,7 @@ type RoutingOptions struct {
 	RebalanceEvery int
 }
 
-func (o Options) withDefaults() Options {
+func (o Options) withDefaults() (Options, error) {
 	if o.Model == "" {
 		o.Model = "ResNet101"
 	}
@@ -192,8 +242,30 @@ func (o Options) withDefaults() Options {
 	if o.Seed == 0 {
 		o.Seed = 1
 	}
-	if len(o.Peers) > 0 && o.PeerSyncInterval == 0 {
-		o.PeerSyncInterval = 5 * time.Second
+	flat := len(o.Peers) > 0 || o.NodeID != 0 || o.PeerRelay || o.PeerSyncInterval != 0
+	if o.Federation != nil && flat {
+		return o, fmt.Errorf("coca: both Options.Federation and the deprecated flat federation fields (Peers/NodeID/PeerRelay/PeerSyncInterval) are set — configure the federation tier through Options.Federation only")
+	}
+	if o.Federation == nil && flat {
+		o.Federation = &FederationOptions{
+			Peers:        o.Peers,
+			NodeID:       o.NodeID,
+			Relay:        o.PeerRelay,
+			SyncInterval: o.PeerSyncInterval,
+		}
+	}
+	if o.Federation != nil {
+		f := *o.Federation // defaults must not mutate the caller's struct
+		if f.SyncInterval == 0 {
+			f.SyncInterval = 5 * time.Second
+		}
+		o.Federation = &f
+		// Keep the deprecated aliases coherent for anyone still reading
+		// them off the resolved options.
+		o.Peers = f.Peers
+		o.NodeID = f.NodeID
+		o.PeerRelay = f.Relay
+		o.PeerSyncInterval = f.SyncInterval
 	}
 	if o.DialRetries == 0 {
 		o.DialRetries = 3
@@ -204,7 +276,7 @@ func (o Options) withDefaults() Options {
 	if o.DialBackoff == 0 {
 		o.DialBackoff = 100 * time.Millisecond
 	}
-	return o
+	return o, nil
 }
 
 // resolve builds the simulation universe behind the options.
@@ -262,7 +334,10 @@ type System struct {
 
 // NewSystem builds a deployment.
 func NewSystem(opts Options) (*System, error) {
-	opts = opts.withDefaults()
+	opts, err := opts.withDefaults()
+	if err != nil {
+		return nil, err
+	}
 	space, scfg, err := opts.resolve()
 	if err != nil {
 		return nil, err

@@ -87,7 +87,10 @@ func TestThetaDefaultPerModel(t *testing.T) {
 		{"VGG16_BN", 0.035},
 		{"AST", 0.022},
 	} {
-		o := Options{Model: tc.model}.withDefaults()
+		o, err := Options{Model: tc.model}.withDefaults()
+		if err != nil {
+			t.Fatal(err)
+		}
 		space, _, err := o.resolve()
 		if err != nil {
 			t.Fatal(err)

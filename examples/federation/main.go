@@ -1,11 +1,12 @@
 // Federated edge fleet via the public serving API: three coca.Serve
-// servers on loopback, each listing the other two in Options.Peers, form
-// a full-mesh federation — every server gossips global-cache cell deltas
-// (and class-frequency increments) to its peers on the sync cadence, so a
-// class cached by one server's clients accelerates every other server's
-// clients. Twelve coca.Dial clients split 4/4/4 across the servers and
-// run their rounds concurrently; the fleet-wide workload partition is the
-// same one a single-server deployment would use, carved by client id.
+// servers on loopback, each listing the other two in
+// Options.Federation.Peers, form a full-mesh federation — every server
+// gossips global-cache cell deltas (and class-frequency increments) to
+// its peers on the sync cadence, so a class cached by one server's
+// clients accelerates every other server's clients. Twelve coca.Dial
+// clients split 4/4/4 across the servers and run their rounds
+// concurrently; the fleet-wide workload partition is the same one a
+// single-server deployment would use, carved by client id.
 package main
 
 import (
@@ -45,13 +46,13 @@ func main() {
 	const (
 		servers          = 3
 		clientsPerServer = 4
+		syncInterval     = 50 * time.Millisecond
 	)
 	opts := coca.Options{
 		Model: "ResNet50", Dataset: "UCF101", Classes: 20,
 		NumClients: servers * clientsPerServer,
 		Rounds:     8, RoundFrames: 100, Budget: 80, Seed: 2,
-		NonIIDLevel:      4,
-		PeerSyncInterval: 50 * time.Millisecond,
+		NonIIDLevel: 4,
 	}
 
 	addrs, err := freeAddrs(servers)
@@ -61,18 +62,19 @@ func main() {
 	srvs := make([]*coca.Server, servers)
 	for i := 0; i < servers; i++ {
 		o := opts
-		o.NodeID = i
+		fed := &coca.FederationOptions{NodeID: i, SyncInterval: syncInterval}
 		for j, a := range addrs {
 			if j != i {
-				o.Peers = append(o.Peers, a)
+				fed.Peers = append(fed.Peers, a)
 			}
 		}
+		o.Federation = fed
 		srv, err := coca.Serve(ctx, addrs[i], o)
 		if err != nil {
 			log.Fatal(err)
 		}
 		srvs[i] = srv
-		fmt.Printf("federation: server %d serving on %s, syncing with %v\n", i, srv.Addr(), o.Peers)
+		fmt.Printf("federation: server %d serving on %s, syncing with %v\n", i, srv.Addr(), fed.Peers)
 	}
 
 	// Dial the fleet: client k attaches to server k/clientsPerServer.
@@ -104,7 +106,7 @@ func main() {
 	wg.Wait()
 	// Give every server a couple of sync ticks past the last upload so
 	// the final round's deltas travel before the stats print.
-	time.Sleep(3 * opts.PeerSyncInterval)
+	time.Sleep(3 * syncInterval)
 
 	var msAfter runtime.MemStats
 	runtime.ReadMemStats(&msAfter)
@@ -116,6 +118,10 @@ func main() {
 			i, allocs, merges, srv.PeerMerges(), sessions, sync.Syncs,
 			sync.CellsSent, float64(sync.BytesSent)/1024,
 			sync.CellsRecv, float64(sync.BytesRecv)/1024)
+		for _, p := range sync.Peers {
+			fmt.Printf("  peer %d: %s, %d syncs, sent %d cells (resent %d), recv %d\n",
+				p.ID, p.State, p.Syncs, p.CellsSent, p.CellsResent, p.CellsRecv)
+		}
 	}
 
 	inferences := uint64(opts.NumClients) * uint64(opts.Rounds) * uint64(opts.RoundFrames)

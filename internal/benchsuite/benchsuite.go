@@ -519,3 +519,109 @@ func FederationSync(b *testing.B) {
 		b.ReportMetric(float64(after.BytesSent-before.BytesSent)/float64(rounds), "sync-bytes-per-round")
 	}
 }
+
+// GossipSync measures one epidemic sync round of a warm 16-node gossip
+// fleet (fanout k=3): per iteration every node absorbs a scripted upload
+// and the fleet pushes to its sampled peers. gossip-bytes-per-node-round
+// is the timed fleet's encoded traffic; after the timer an identical
+// fleet runs the same rounds over a full mesh, and mesh-bytes-per-node-
+// round / gossip-mesh-byte-ratio pin the scalability claim — gossip's
+// per-node cost is O(k), the mesh's O(n) — into the committed BENCH
+// history.
+func GossipSync(b *testing.B) {
+	const (
+		servers = 16
+		fanout  = 3
+	)
+	ds := dataset.ESC50().Subset(10)
+	space := semantics.NewSpace(ds, model.VGG16BN())
+	cfg := core.ServerConfig{Theta: 0.035, Seed: 1, PeerInertia: 4}
+	init := core.BuildServerInit(space, cfg)
+	ctx := context.Background()
+
+	// buildFleet wires a fleet and its scripted per-node uploads; both
+	// topologies get the same update stream, so the byte comparison is
+	// apples to apples.
+	buildFleet := func(topo *federation.Topology) ([]*federation.Node, []core.Session, []core.UpdateReport) {
+		nodes := make([]*federation.Node, servers)
+		sessions := make([]core.Session, servers)
+		updates := make([]core.UpdateReport, servers)
+		r := xrand.New(29)
+		for i := range nodes {
+			nodes[i] = federation.NewNode(core.NewServerFrom(space, cfg, init),
+				federation.NodeConfig{ID: i, Relay: topo.Forwarding()})
+			sess, err := nodes[i].Open(ctx, 100+i)
+			if err != nil {
+				b.Fatal(err)
+			}
+			sessions[i] = sess
+			upd := core.UpdateReport{Freq: make([]float64, ds.NumClasses)}
+			for k := 0; k < 4; k++ {
+				upd.Freq[r.IntN(ds.NumClasses)] += float64(1 + r.IntN(4))
+				upd.Cells = append(upd.Cells, core.UpdateCell{
+					Class: r.IntN(ds.NumClasses),
+					Layer: r.IntN(space.Arch.NumLayers),
+					Count: 1 + r.IntN(3),
+					Vec:   xrand.NormalVector(r, model.Dim),
+				})
+			}
+			updates[i] = upd
+		}
+		return nodes, sessions, updates
+	}
+	round := func(nodes []*federation.Node, sessions []core.Session, updates []core.UpdateReport, topo *federation.Topology) {
+		for i, sess := range sessions {
+			if err := sess.Upload(ctx, updates[i]); err != nil {
+				b.Fatal(err)
+			}
+		}
+		if err := federation.SyncNodes(nodes, topo); err != nil {
+			b.Fatal(err)
+		}
+	}
+	fleetBytes := func(nodes []*federation.Node) int64 {
+		var total int64
+		for _, n := range nodes {
+			total += n.Stats().BytesSent
+		}
+		return total
+	}
+
+	gossipTopo, err := federation.NewGossipTopology(servers, fanout, 5)
+	if err != nil {
+		b.Fatal(err)
+	}
+	nodes, sessions, updates := buildFleet(gossipTopo)
+	for i := 0; i < 3; i++ {
+		round(nodes, sessions, updates, gossipTopo) // warm views, scratch, pools
+	}
+	warmRounds := 3
+	before := fleetBytes(nodes)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for n := 0; n < b.N; n++ {
+		round(nodes, sessions, updates, gossipTopo)
+	}
+	b.StopTimer()
+	gossipPerNode := float64(fleetBytes(nodes)-before) / float64(servers) / float64(b.N)
+	b.ReportMetric(gossipPerNode, "gossip-bytes-per-node-round")
+
+	// Untimed mesh control: same fleet, same uploads, same total rounds.
+	meshTopo, err := federation.NewTopology(federation.Mesh, servers)
+	if err != nil {
+		b.Fatal(err)
+	}
+	mNodes, mSessions, mUpdates := buildFleet(meshTopo)
+	for i := 0; i < warmRounds; i++ {
+		round(mNodes, mSessions, mUpdates, meshTopo)
+	}
+	mBefore := fleetBytes(mNodes)
+	for n := 0; n < b.N; n++ {
+		round(mNodes, mSessions, mUpdates, meshTopo)
+	}
+	meshPerNode := float64(fleetBytes(mNodes)-mBefore) / float64(servers) / float64(b.N)
+	b.ReportMetric(meshPerNode, "mesh-bytes-per-node-round")
+	if meshPerNode > 0 {
+		b.ReportMetric(gossipPerNode/meshPerNode, "gossip-mesh-byte-ratio")
+	}
+}

@@ -28,6 +28,18 @@ type ClusterConfig struct {
 	// SyncEvery runs a federation sync round after every SyncEvery-th
 	// round barrier; 0 disables peer sync (the partitioned baseline).
 	SyncEvery int
+	// Fanout is the gossip push fanout (Topology Gossip only; ≤ 0 =
+	// DefaultGossipFanout). GossipSeed drives the per-round peer
+	// sampling.
+	Fanout     int
+	GossipSeed uint64
+	// Membership tunes every node's failure detector (zero = defaults).
+	Membership MembershipConfig
+	// SyncFault, when set, is consulted for every sync exchange: a true
+	// return fails the from→to link on that round — the chaos hook the
+	// partition/heal property tests drive. Faulted deltas stay pending
+	// and are resent once the predicate relents (see SyncPlan.SetFault).
+	SyncFault func(round, from, to int) bool
 	// RemoteFreqWeight is the NodeConfig.RemoteFreqWeight applied to
 	// every node (0 = default discount, negative = no frequency sync).
 	RemoteFreqWeight float64
@@ -88,7 +100,13 @@ func NewCluster(space *semantics.Space, cfg ClusterConfig) (*Cluster, error) {
 	if cfg.Topology == "" {
 		cfg.Topology = Mesh
 	}
-	topo, err := NewTopology(cfg.Topology, cfg.NumServers)
+	var topo *Topology
+	var err error
+	if cfg.Topology == Gossip {
+		topo, err = NewGossipTopology(cfg.NumServers, cfg.Fanout, cfg.GossipSeed)
+	} else {
+		topo, err = NewTopology(cfg.Topology, cfg.NumServers)
+	}
 	if err != nil {
 		return nil, err
 	}
@@ -121,7 +139,7 @@ func NewCluster(space *semantics.Space, cfg ClusterConfig) (*Cluster, error) {
 	}
 	for s := 0; s < cfg.NumServers; s++ {
 		srv := core.NewServerFrom(space, cfg.Server, init)
-		node := NewNode(srv, NodeConfig{ID: s, Relay: topo.Forwarding(), RemoteFreqWeight: cfg.RemoteFreqWeight})
+		node := NewNode(srv, NodeConfig{ID: s, Relay: topo.Forwarding(), RemoteFreqWeight: cfg.RemoteFreqWeight, Membership: cfg.Membership})
 		c.Nodes = append(c.Nodes, node)
 
 		clients := make([]*core.Client, 0, len(assignment[s]))
@@ -183,6 +201,10 @@ func (c *Cluster) Run() (perServer []*metrics.Accumulator, combined *metrics.Acc
 			plan, perr = PrepareSync(c.Nodes, c.topo)
 			if perr != nil {
 				return nil, nil, perr
+			}
+			if c.cfg.SyncFault != nil {
+				r := round
+				plan.SetFault(func(from, to int) bool { return c.cfg.SyncFault(r, from, to) })
 			}
 		}
 		errs := make([]error, len(c.runners))

@@ -313,7 +313,7 @@ func TestClusterDeterminism(t *testing.T) {
 	if !reflect.DeepEqual(m1, m2) {
 		t.Fatalf("metrics differ across identical runs:\n%v\n%v", m1, m2)
 	}
-	if s1 != s2 {
+	if !reflect.DeepEqual(s1, s2) {
 		t.Fatalf("sync stats differ across identical runs:\n%+v\n%+v", s1, s2)
 	}
 }
@@ -330,7 +330,7 @@ func TestSyncDisabledIsPartitioned(t *testing.T) {
 	if _, _, err := cl.Run(); err != nil {
 		t.Fatal(err)
 	}
-	if stats := cl.SyncStats(); stats != (SyncStats{}) {
+	if stats := cl.SyncStats(); !reflect.DeepEqual(stats, SyncStats{}) {
 		t.Fatalf("partitioned run produced sync traffic: %+v", stats)
 	}
 	for i, n := range cl.Nodes {

@@ -1,0 +1,380 @@
+package federation
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+)
+
+// PeerState is a fleet member's health as seen from one node. States move
+// Alive → Suspect → Dead on consecutive sync failures, snap back to Alive
+// on any successful exchange or inbound contact, and jump to Left on a
+// clean leave announcement.
+type PeerState int
+
+const (
+	// PeerAlive peers sync normally.
+	PeerAlive PeerState = iota
+	// PeerSuspect peers have failed a few consecutive syncs; they are
+	// still attempted every round (the failure may be transient).
+	PeerSuspect
+	// PeerDead peers have failed enough consecutive syncs to be skipped;
+	// they are re-probed every few rounds so recovery is noticed.
+	PeerDead
+	// PeerLeft peers announced a clean departure; like dead peers they
+	// are skipped but occasionally probed, so a rejoin at the same
+	// address is noticed.
+	PeerLeft
+)
+
+// String names the state for stats dumps.
+func (s PeerState) String() string {
+	switch s {
+	case PeerAlive:
+		return "alive"
+	case PeerSuspect:
+		return "suspect"
+	case PeerDead:
+		return "dead"
+	case PeerLeft:
+		return "left"
+	}
+	return fmt.Sprintf("PeerState(%d)", int(s))
+}
+
+// PeerStats is the per-peer slice of SyncStats: health plus the traffic
+// this node exchanged with that one peer.
+type PeerStats struct {
+	// ID is the peer's federation id (negative while provisional — the
+	// peer was configured by address and has not completed a handshake).
+	ID int
+	// Addr is the peer's dial address when known ("" for in-process
+	// peers and inbound-only wire peers).
+	Addr string
+	// State is the peer's current health.
+	State PeerState
+	// ConsecFailures counts sync failures since the last success — the
+	// suspect/dead escalation counter.
+	ConsecFailures int
+	// Syncs counts successful exchanges with this peer; LastSyncEpoch is
+	// the local epoch of the most recent one (the peer's staleness bound:
+	// everything this node learned before that epoch has been offered).
+	Syncs         int
+	LastSyncEpoch uint64
+	// CellsSent / BytesSent / CellsRecv split the node totals per peer.
+	// CellsResent counts cells that were collected more than once because
+	// an exchange faulted before commit — the at-least-once resend cost.
+	CellsSent, CellsResent int
+	BytesSent              int64
+	CellsRecv              int
+	// Joins counts snapshot bootstraps served to this peer.
+	Joins int
+}
+
+// MembershipConfig tunes the failure detector.
+type MembershipConfig struct {
+	// SuspectAfter is the consecutive-failure count that marks a peer
+	// suspect (default 2).
+	SuspectAfter int
+	// DeadAfter is the consecutive-failure count that marks a peer dead
+	// (default 5). Dead peers are skipped by sync.
+	DeadAfter int
+	// DeadRetryEvery is how many rounds apart dead (or cleanly left)
+	// peers are re-probed (default 4) — the bounded-staleness knob: a
+	// recovered peer is rediscovered within this many rounds.
+	DeadRetryEvery int
+}
+
+func (c MembershipConfig) withDefaults() MembershipConfig {
+	if c.SuspectAfter <= 0 {
+		c.SuspectAfter = 2
+	}
+	if c.DeadAfter <= 0 {
+		c.DeadAfter = 5
+	}
+	if c.DeadAfter < c.SuspectAfter {
+		c.DeadAfter = c.SuspectAfter
+	}
+	if c.DeadRetryEvery <= 0 {
+		c.DeadRetryEvery = 4
+	}
+	return c
+}
+
+// peerHealth is one peer's mutable membership record.
+type peerHealth struct {
+	stats PeerStats
+}
+
+// Membership is one node's live view of the fleet: who the peers are,
+// whether they are reachable, and how much has been exchanged with each.
+// It unifies the previously separate wirings — in-process fleets
+// (Cluster/SyncPlan), wire fleets (PeerSet), and anything driving Node
+// directly — behind one lifecycle: AddPeer/RemovePeer for explicit
+// membership changes, NoteSuccess/NoteFailure/NoteContact/NoteLeave for
+// health transitions, Skip for the sync-time decision.
+//
+// Membership is open-world by default: peers it has never been told about
+// are treated as alive (Skip returns false), so static fleets that never
+// register peers behave exactly as before the failure detector existed.
+type Membership struct {
+	mu       sync.Mutex
+	cfg      MembershipConfig
+	peers    map[int]*peerHealth
+	nextProv int
+}
+
+// NewMembership builds a membership table with the given detector config
+// (zero value = defaults).
+func NewMembership(cfg MembershipConfig) *Membership {
+	return &Membership{cfg: cfg.withDefaults(), peers: make(map[int]*peerHealth)}
+}
+
+// Config returns the resolved detector thresholds.
+func (m *Membership) Config() MembershipConfig { return m.cfg }
+
+// peer returns (creating if needed) a peer's record. Callers hold m.mu.
+func (m *Membership) peer(id int) *peerHealth {
+	p, ok := m.peers[id]
+	if !ok {
+		p = &peerHealth{stats: PeerStats{ID: id}}
+		m.peers[id] = p
+	}
+	return p
+}
+
+// AddPeer registers a peer as a fleet member (idempotent). A re-added
+// peer that was dead or left is given a fresh alive state.
+func (m *Membership) AddPeer(id int) {
+	m.mu.Lock()
+	p := m.peer(id)
+	p.stats.State = PeerAlive
+	p.stats.ConsecFailures = 0
+	m.mu.Unlock()
+}
+
+// AddProvisional registers a peer known only by address (not yet
+// handshaken) under a fresh provisional id (negative), and returns that
+// id. Identify merges the record into the real id once known.
+func (m *Membership) AddProvisional(addr string) int {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.nextProv--
+	id := m.nextProv
+	p := m.peer(id)
+	p.stats.Addr = addr
+	return id
+}
+
+// Identify merges a provisional record into the peer's real federation id
+// (learned from the handshake ack). The provisional record's health and
+// traffic counts carry over; an existing record under the real id wins on
+// address only if the provisional one had none.
+func (m *Membership) Identify(prov, real int) {
+	if prov == real {
+		return
+	}
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	pp, ok := m.peers[prov]
+	if !ok {
+		m.peer(real)
+		return
+	}
+	delete(m.peers, prov)
+	if rp, exists := m.peers[real]; exists {
+		// Keep the established record; carry the dial address over.
+		if rp.stats.Addr == "" {
+			rp.stats.Addr = pp.stats.Addr
+		}
+		return
+	}
+	pp.stats.ID = real
+	m.peers[real] = pp
+}
+
+// RemovePeer drops a peer from the table entirely.
+func (m *Membership) RemovePeer(id int) {
+	m.mu.Lock()
+	delete(m.peers, id)
+	m.mu.Unlock()
+}
+
+// SetAddr records (or updates) a peer's dial address — learned from a
+// PeerJoin announcement or static configuration.
+func (m *Membership) SetAddr(id int, addr string) {
+	if addr == "" {
+		return
+	}
+	m.mu.Lock()
+	m.peer(id).stats.Addr = addr
+	m.mu.Unlock()
+}
+
+// Addr returns the peer's known dial address ("" when unknown).
+func (m *Membership) Addr(id int) string {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if p, ok := m.peers[id]; ok {
+		return p.stats.Addr
+	}
+	return ""
+}
+
+// State returns a peer's health (unknown peers read as alive — the
+// open-world default).
+func (m *Membership) State(id int) PeerState {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if p, ok := m.peers[id]; ok {
+		return p.stats.State
+	}
+	return PeerAlive
+}
+
+// Alive reports whether the peer is currently considered reachable
+// (alive or suspect — suspect peers are still attempted).
+func (m *Membership) Alive(id int) bool {
+	s := m.State(id)
+	return s == PeerAlive || s == PeerSuspect
+}
+
+// Skip reports whether sync should skip this peer at the given round
+// counter: dead and left peers are skipped except on the periodic
+// re-probe round. Unknown, alive and suspect peers are never skipped.
+func (m *Membership) Skip(id int, tick uint64) bool {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	p, ok := m.peers[id]
+	if !ok {
+		return false
+	}
+	switch p.stats.State {
+	case PeerDead, PeerLeft:
+		return tick%uint64(m.cfg.DeadRetryEvery) != 0
+	}
+	return false
+}
+
+// NoteSuccess records a completed exchange with the peer at the given
+// local epoch: health snaps back to alive, whatever it was.
+func (m *Membership) NoteSuccess(id int, epoch uint64) {
+	m.mu.Lock()
+	p := m.peer(id)
+	p.stats.State = PeerAlive
+	p.stats.ConsecFailures = 0
+	p.stats.Syncs++
+	p.stats.LastSyncEpoch = epoch
+	m.mu.Unlock()
+}
+
+// NoteFailure records a failed exchange and escalates alive → suspect →
+// dead along the configured thresholds. It returns the resulting state.
+func (m *Membership) NoteFailure(id int) PeerState {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	p := m.peer(id)
+	if p.stats.State == PeerLeft {
+		return PeerLeft // an announced departure outranks probe failures
+	}
+	p.stats.ConsecFailures++
+	switch {
+	case p.stats.ConsecFailures >= m.cfg.DeadAfter:
+		p.stats.State = PeerDead
+	case p.stats.ConsecFailures >= m.cfg.SuspectAfter:
+		p.stats.State = PeerSuspect
+	}
+	return p.stats.State
+}
+
+// NoteLeave records a clean departure: the peer is marked left
+// immediately, skipping the suspect timeout entirely.
+func (m *Membership) NoteLeave(id int) {
+	m.mu.Lock()
+	p := m.peer(id)
+	p.stats.State = PeerLeft
+	p.stats.ConsecFailures = 0
+	m.mu.Unlock()
+}
+
+// NoteContact records inbound traffic from the peer (a delta, hello or
+// join arrived): whatever this node thought, the peer is demonstrably
+// alive.
+func (m *Membership) NoteContact(id int) {
+	m.mu.Lock()
+	p := m.peer(id)
+	p.stats.State = PeerAlive
+	p.stats.ConsecFailures = 0
+	m.mu.Unlock()
+}
+
+// noteSent credits outbound traffic; resent counts cells re-collected
+// after a faulted exchange.
+func (m *Membership) noteSent(id, cells, resent int, bytes int64) {
+	m.mu.Lock()
+	p := m.peer(id)
+	p.stats.CellsSent += cells
+	p.stats.CellsResent += resent
+	p.stats.BytesSent += bytes
+	m.mu.Unlock()
+}
+
+// noteRecv credits inbound merged cells.
+func (m *Membership) noteRecv(id, cells int) {
+	m.mu.Lock()
+	m.peer(id).stats.CellsRecv += cells
+	m.mu.Unlock()
+}
+
+// noteJoin counts a snapshot bootstrap served to the peer.
+func (m *Membership) noteJoin(id int) {
+	m.mu.Lock()
+	m.peer(id).stats.Joins++
+	m.mu.Unlock()
+}
+
+// Stats returns a snapshot of every known peer, ascending by id.
+func (m *Membership) Stats() []PeerStats {
+	m.mu.Lock()
+	out := make([]PeerStats, 0, len(m.peers))
+	for _, p := range m.peers {
+		out = append(out, p.stats)
+	}
+	m.mu.Unlock()
+	sort.Slice(out, func(i, j int) bool { return out[i].ID < out[j].ID })
+	return out
+}
+
+// IDForAddr finds the identified (non-provisional) peer currently known
+// at the given dial address. Wire fleets use it to charge sync failures
+// against a learned address — one announced via PeerJoin — to the real
+// peer record instead of minting a provisional one, so the failure
+// detector escalates the peer that actually went away.
+func (m *Membership) IDForAddr(addr string) (int, bool) {
+	if addr == "" {
+		return 0, false
+	}
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	for id, p := range m.peers {
+		if id >= 0 && p.stats.Addr == addr {
+			return id, true
+		}
+	}
+	return 0, false
+}
+
+// KnownAddrs returns the dial addresses of identified (non-provisional)
+// peers that have one — the dynamic sync targets a wire fleet learned
+// from join announcements, keyed by peer id.
+func (m *Membership) KnownAddrs() map[int]string {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	out := make(map[int]string)
+	for id, p := range m.peers {
+		if id >= 0 && p.stats.Addr != "" {
+			out[id] = p.stats.Addr
+		}
+	}
+	return out
+}

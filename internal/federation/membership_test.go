@@ -1,0 +1,189 @@
+package federation
+
+import (
+	"reflect"
+	"testing"
+)
+
+// TestMembershipEscalation walks the failure detector through its state
+// machine: consecutive failures escalate alive → suspect → dead along the
+// configured thresholds, and any success or inbound contact snaps the
+// peer back to alive with the counter reset.
+func TestMembershipEscalation(t *testing.T) {
+	m := NewMembership(MembershipConfig{SuspectAfter: 2, DeadAfter: 4, DeadRetryEvery: 3})
+	m.AddPeer(7)
+	if got := m.State(7); got != PeerAlive {
+		t.Fatalf("fresh peer state %v, want alive", got)
+	}
+
+	if got := m.NoteFailure(7); got != PeerAlive {
+		t.Fatalf("after 1 failure: %v, want alive", got)
+	}
+	if got := m.NoteFailure(7); got != PeerSuspect {
+		t.Fatalf("after 2 failures: %v, want suspect", got)
+	}
+	// Suspect peers are still attempted: never skipped.
+	for tick := uint64(0); tick < 6; tick++ {
+		if m.Skip(7, tick) {
+			t.Fatalf("suspect peer skipped at tick %d", tick)
+		}
+	}
+	m.NoteFailure(7)
+	if got := m.NoteFailure(7); got != PeerDead {
+		t.Fatalf("after 4 failures: %v, want dead", got)
+	}
+	// Dead peers are skipped except on the re-probe cadence.
+	for tick := uint64(0); tick < 9; tick++ {
+		want := tick%3 != 0
+		if got := m.Skip(7, tick); got != want {
+			t.Fatalf("dead peer Skip(tick %d) = %v, want %v", tick, got, want)
+		}
+	}
+
+	// A success revives, whatever the state was.
+	m.NoteSuccess(7, 42)
+	if got := m.State(7); got != PeerAlive {
+		t.Fatalf("after success: %v, want alive", got)
+	}
+	st := m.Stats()
+	if len(st) != 1 || st[0].Syncs != 1 || st[0].LastSyncEpoch != 42 || st[0].ConsecFailures != 0 {
+		t.Fatalf("stats after success: %+v", st)
+	}
+
+	// Inbound contact revives too (the peer demonstrably exists).
+	m.NoteFailure(7)
+	m.NoteFailure(7)
+	m.NoteFailure(7)
+	m.NoteFailure(7)
+	if got := m.State(7); got != PeerDead {
+		t.Fatalf("re-escalation: %v, want dead", got)
+	}
+	m.NoteContact(7)
+	if got := m.State(7); got != PeerAlive {
+		t.Fatalf("after inbound contact: %v, want alive", got)
+	}
+}
+
+// TestMembershipLeaveOutranksFailure checks the clean-leave path: a left
+// peer is skipped immediately (no suspect timeout), probe failures cannot
+// demote it further, and a re-add (the rejoin path) makes it alive again.
+func TestMembershipLeaveOutranksFailure(t *testing.T) {
+	m := NewMembership(MembershipConfig{})
+	m.AddPeer(3)
+	m.NoteLeave(3)
+	if got := m.State(3); got != PeerLeft {
+		t.Fatalf("after leave: %v, want left", got)
+	}
+	if !m.Skip(3, 1) {
+		t.Fatal("left peer not skipped")
+	}
+	if got := m.NoteFailure(3); got != PeerLeft {
+		t.Fatalf("failure demoted a left peer to %v", got)
+	}
+	if st := m.Stats(); st[0].ConsecFailures != 0 {
+		t.Fatalf("left peer accumulated failures: %+v", st[0])
+	}
+	// Re-probe rounds still happen, so a rejoin at the same address is
+	// noticed.
+	if m.Skip(3, uint64(m.Config().DeadRetryEvery)) {
+		t.Fatal("left peer skipped on its re-probe round")
+	}
+	m.AddPeer(3)
+	if got := m.State(3); got != PeerAlive {
+		t.Fatalf("re-added peer state %v, want alive", got)
+	}
+}
+
+// TestMembershipOpenWorld checks the compatibility default: peers the
+// table was never told about read as alive and are never skipped, so
+// static fleets that never register members behave as before the failure
+// detector existed.
+func TestMembershipOpenWorld(t *testing.T) {
+	m := NewMembership(MembershipConfig{})
+	if got := m.State(99); got != PeerAlive {
+		t.Fatalf("unknown peer state %v, want alive", got)
+	}
+	if !m.Alive(99) {
+		t.Fatal("unknown peer not alive")
+	}
+	if m.Skip(99, 5) {
+		t.Fatal("unknown peer skipped")
+	}
+	if len(m.Stats()) != 0 {
+		t.Fatal("read-only queries materialized peer records")
+	}
+}
+
+// TestMembershipIdentify covers the provisional-id lifecycle a wire fleet
+// uses: an address-only peer gets a negative id, traffic recorded against
+// it carries over when the handshake reveals the real id, and an already
+// established real record wins the merge.
+func TestMembershipIdentify(t *testing.T) {
+	m := NewMembership(MembershipConfig{})
+	prov := m.AddProvisional("10.0.0.2:7071")
+	if prov >= 0 {
+		t.Fatalf("provisional id %d, want negative", prov)
+	}
+	prov2 := m.AddProvisional("10.0.0.3:7071")
+	if prov2 == prov {
+		t.Fatal("provisional ids collide")
+	}
+	if addrs := m.KnownAddrs(); len(addrs) != 0 {
+		t.Fatalf("provisional peers leaked into KnownAddrs: %v", addrs)
+	}
+
+	m.NoteFailure(prov)
+	m.noteSent(prov, 3, 0, 100)
+	m.Identify(prov, 4)
+	st := m.Stats()
+	ids := make([]int, len(st))
+	for i, p := range st {
+		ids[i] = p.ID
+	}
+	if !reflect.DeepEqual(ids, []int{prov2, 4}) {
+		t.Fatalf("post-identify ids %v, want [%d 4]", ids, prov2)
+	}
+	var p4 PeerStats
+	for _, p := range st {
+		if p.ID == 4 {
+			p4 = p
+		}
+	}
+	if p4.CellsSent != 3 || p4.BytesSent != 100 || p4.ConsecFailures != 1 || p4.Addr != "10.0.0.2:7071" {
+		t.Fatalf("provisional record did not carry over: %+v", p4)
+	}
+	if addrs := m.KnownAddrs(); !reflect.DeepEqual(addrs, map[int]string{4: "10.0.0.2:7071"}) {
+		t.Fatalf("KnownAddrs %v, want only peer 4", addrs)
+	}
+	if id, ok := m.IDForAddr("10.0.0.2:7071"); !ok || id != 4 {
+		t.Fatalf("IDForAddr = %d, %v, want 4, true", id, ok)
+	}
+	if _, ok := m.IDForAddr("10.0.0.3:7071"); ok {
+		t.Fatal("IDForAddr matched a provisional record")
+	}
+	if _, ok := m.IDForAddr(""); ok {
+		t.Fatal("IDForAddr matched the empty address")
+	}
+
+	// Identifying another provisional onto an existing real id keeps the
+	// established record (and only inherits an address it lacked).
+	m.Identify(prov2, 4)
+	st = m.Stats()
+	if len(st) != 1 || st[0].ID != 4 || st[0].CellsSent != 3 || st[0].Addr != "10.0.0.2:7071" {
+		t.Fatalf("established record lost in merge: %+v", st)
+	}
+}
+
+// TestMembershipConfigDefaults pins the resolved thresholds.
+func TestMembershipConfigDefaults(t *testing.T) {
+	got := NewMembership(MembershipConfig{}).Config()
+	want := MembershipConfig{SuspectAfter: 2, DeadAfter: 5, DeadRetryEvery: 4}
+	if got != want {
+		t.Fatalf("defaults %+v, want %+v", got, want)
+	}
+	// DeadAfter can never undercut SuspectAfter: dead implies suspect.
+	got = NewMembership(MembershipConfig{SuspectAfter: 6, DeadAfter: 2}).Config()
+	if got.DeadAfter != 6 {
+		t.Fatalf("DeadAfter %d not clamped up to SuspectAfter", got.DeadAfter)
+	}
+}

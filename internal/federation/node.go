@@ -24,9 +24,15 @@ type SyncStats struct {
 	// most recent one (empty when every sync succeeded).
 	Errors    int
 	LastError string
+	// Peers is the per-peer breakdown (health state, last sync epoch,
+	// resend count, split traffic), ascending by peer id. Populated on
+	// per-node snapshots; fleet-wide aggregation drops it (per-peer rows
+	// from different nodes do not add).
+	Peers []PeerStats
 }
 
-// add folds another stat set in (fleet-wide aggregation).
+// add folds another stat set in (fleet-wide aggregation; per-peer rows
+// are intentionally not aggregated).
 func (s *SyncStats) add(o SyncStats) {
 	s.Syncs += o.Syncs
 	s.CellsSent += o.CellsSent
@@ -68,6 +74,9 @@ type NodeConfig struct {
 	// letting remote popularity dominate local allocation. 0 defaults to
 	// DefaultRemoteFreqWeight; negative disables frequency sync.
 	RemoteFreqWeight float64
+	// Membership tunes the per-peer failure detector (zero value =
+	// defaults; see MembershipConfig).
+	Membership MembershipConfig
 }
 
 // remoteFreqWeight resolves the configured discount.
@@ -129,12 +138,21 @@ type Node struct {
 	sweep       []gtable.Cell
 	freqScratch []float64
 	deltas      map[int]*peerScratch
+
+	// members tracks fleet membership and per-peer health/traffic. It has
+	// its own lock; the only nesting is n.mu → members.mu, never the
+	// reverse.
+	members *Membership
 }
 
 // peerScratch backs one peer's in-flight Delta.
 type peerScratch struct {
 	cells         []protocol.PeerCell
 	freq, freqRaw []float64
+	// pending marks a collected-but-uncommitted delta: the exchange
+	// faulted (or has not happened yet), so the next CollectDelta for the
+	// same peer re-collects the content — counted as resends.
+	pending bool
 }
 
 // NewNode wraps a server as a federation node.
@@ -146,6 +164,7 @@ func NewNode(srv *core.Server, cfg NodeConfig) *Node {
 		views:     make(map[int][]float64),
 		freqViews: make(map[int][]float64),
 		deltas:    make(map[int]*peerScratch),
+		members:   NewMembership(cfg.Membership),
 	}
 	n.initial = make([]float64, classes*layers)
 	srv.ForEachCell(func(class, layer int, _ []float32, _ uint64, _, evTotal float64) {
@@ -161,17 +180,24 @@ func (n *Node) ID() int { return n.cfg.ID }
 // Server returns the wrapped edge server.
 func (n *Node) Server() *core.Server { return n.srv }
 
+// Members returns the node's membership table (peer health, addresses,
+// per-peer traffic).
+func (n *Node) Members() *Membership { return n.members }
+
 // Open implements core.Coordinator by delegation: clients of a federated
 // node coordinate with its local server as usual.
 func (n *Node) Open(ctx context.Context, clientID int) (core.Session, error) {
 	return n.srv.Open(ctx, clientID)
 }
 
-// Stats returns a snapshot of the node's sync counters.
+// Stats returns a snapshot of the node's sync counters, including the
+// per-peer breakdown.
 func (n *Node) Stats() SyncStats {
 	n.mu.Lock()
-	defer n.mu.Unlock()
-	return n.stats
+	s := n.stats
+	n.mu.Unlock()
+	s.Peers = n.members.Stats()
+	return s
 }
 
 // view returns (creating if needed) the evidence view for a peer.
@@ -240,6 +266,14 @@ func (n *Node) CollectDelta(peerID int) Delta {
 	defer n.mu.Unlock()
 	view := n.view(peerID)
 	ps := n.delta(peerID)
+	// A still-pending scratch means the previous exchange with this peer
+	// faulted before commit: the view did not move, so everything below
+	// re-collects that content — the at-least-once resend, counted
+	// per-peer so chaos runs can see the retry cost.
+	resent := 0
+	if ps.pending {
+		resent = len(ps.cells)
+	}
 	ps.cells = ps.cells[:0]
 	n.sweep = n.srv.AppendCells(n.sweep[:0])
 	for i := range n.sweep {
@@ -291,6 +325,10 @@ func (n *Node) CollectDelta(peerID int) Delta {
 			d.freqRaw = ps.freqRaw
 		}
 	}
+	ps.pending = !d.Empty()
+	if resent > 0 {
+		n.members.noteSent(peerID, 0, resent, 0)
+	}
 	return d
 }
 
@@ -300,7 +338,6 @@ func (n *Node) CollectDelta(peerID int) Delta {
 // between collection and delivery.
 func (n *Node) CommitDelta(peerID int, d Delta, wireBytes int) {
 	n.mu.Lock()
-	defer n.mu.Unlock()
 	view := n.view(peerID)
 	for _, c := range d.Cells {
 		view[c.Class*n.layers+c.Layer] += c.Evidence
@@ -311,8 +348,15 @@ func (n *Node) CommitDelta(peerID int, d Delta, wireBytes int) {
 			fview[i] += f
 		}
 	}
+	if ps, ok := n.deltas[peerID]; ok {
+		ps.pending = false
+	}
 	n.stats.CellsSent += len(d.Cells)
 	n.stats.BytesSent += int64(wireBytes)
+	epoch := n.epoch
+	n.mu.Unlock()
+	n.members.noteSent(peerID, len(d.Cells), 0, int64(wireBytes))
+	n.members.NoteSuccess(peerID, epoch)
 }
 
 // HandlePeerHello implements protocol.PeerHandler: it checks model
@@ -327,7 +371,104 @@ func (n *Node) HandlePeerHello(nodeID, numClasses, numLayers int) (int, error) {
 		return 0, fmt.Errorf("federation: peer %d model mismatch: peer %d×%d, local %d×%d",
 			nodeID, numClasses, numLayers, classes, layers)
 	}
+	n.members.NoteContact(nodeID)
 	return n.cfg.ID, nil
+}
+
+// HandlePeerJoin implements protocol.PeerHandler: a peer announced it is
+// (re)joining the fleet. The joiner is fresh — whatever this node thought
+// it possessed, it now holds only the shared initial table state — so the
+// peer's views reset, and when the joiner asked for a bootstrap snapshot
+// the reply carries everything this node's ledgers grew since
+// construction as ONE delta batch (the same fresh-view collection a first
+// sync would produce, NOT a replay of per-round history). The snapshot is
+// committed as delivered on the spot: if the reply is lost the joiner
+// retries the join, which resets the views again, so nothing is stranded.
+//
+// Federated servers are built from the same shared dataset (same
+// ServerConfig.Seed), which is what makes the initial state common
+// knowledge and the snapshot a pure diff — the join cost scales with how
+// much the fleet LEARNED, not how long it ran.
+func (n *Node) HandlePeerJoin(j *protocol.PeerJoin) (*protocol.PeerSnapshot, error) {
+	from := int(j.NodeID)
+	if from == n.cfg.ID {
+		return nil, fmt.Errorf("federation: joining peer offers node id %d, which is this node's own id", from)
+	}
+	classes, layers := n.srv.Shape()
+	if int(j.NumClasses) != classes || int(j.NumLayers) != layers {
+		return nil, fmt.Errorf("federation: joining peer %d model mismatch: peer %d×%d, local %d×%d",
+			from, j.NumClasses, j.NumLayers, classes, layers)
+	}
+	snap := &protocol.PeerSnapshot{NodeID: int32(n.cfg.ID)}
+	n.mu.Lock()
+	delete(n.views, from)
+	delete(n.freqViews, from)
+	if ps, ok := n.deltas[from]; ok {
+		ps.pending = false
+	}
+	snap.Epoch = n.epoch
+	if j.WantSnapshot {
+		// Collect into fresh allocations, not the peer's scratch: the
+		// snapshot outlives this call (it is encoded as the reply after
+		// the handler returns) and must not be clobbered by a concurrent
+		// sync collecting for the same peer.
+		view := n.view(from)
+		n.sweep = n.srv.AppendCells(n.sweep[:0])
+		for i := range n.sweep {
+			c := &n.sweep[i]
+			k := c.Class*n.layers + c.Layer
+			if ev := c.EvTotal - view[k]; ev > 0 {
+				snap.Cells = append(snap.Cells, protocol.PeerCell{Class: c.Class, Layer: c.Layer, Evidence: ev, Vec: c.Vec})
+				view[k] += ev
+			}
+		}
+		w := n.cfg.remoteFreqWeight()
+		if w > 0 {
+			n.freqScratch = n.srv.GlobalFreqInto(n.freqScratch)
+			fview := n.freqView(from)
+			for i, f := range n.freqScratch {
+				if f > fview[i] {
+					if snap.Freq == nil {
+						snap.Freq = make([]float64, len(n.freqScratch))
+					}
+					snap.Freq[i] = w * (f - fview[i])
+					fview[i] = f
+				}
+			}
+		}
+		n.stats.CellsSent += len(snap.Cells)
+	}
+	n.mu.Unlock()
+	n.members.AddPeer(from)
+	n.members.SetAddr(from, j.Addr)
+	if j.WantSnapshot {
+		n.members.noteJoin(from)
+		n.members.noteSent(from, len(snap.Cells), 0, 0)
+	}
+	return snap, nil
+}
+
+// HandlePeerLeave implements protocol.PeerHandler: the peer announced a
+// clean departure, so it is marked left immediately — no suspect timeout
+// to wait out.
+func (n *Node) HandlePeerLeave(nodeID int) {
+	n.members.NoteLeave(nodeID)
+}
+
+// ApplySnapshot folds a bootstrap snapshot received from a peer into the
+// local table — a snapshot is semantically one big peer delta, so all the
+// crediting rules (relay vs possessed-by-all, Φ discounting already
+// applied by the sender) reuse HandlePeerDelta. wireBytes is the received
+// frame size (the joiner's bootstrap traffic).
+func (n *Node) ApplySnapshot(snap *protocol.PeerSnapshot, wireBytes int) (int, error) {
+	applied, err := n.HandlePeerDelta(&protocol.PeerDelta{
+		NodeID: snap.NodeID,
+		Epoch:  snap.Epoch,
+		Cells:  snap.Cells,
+		Freq:   snap.Freq,
+	})
+	n.NotePeerRecvBytes(wireBytes)
+	return applied, err
 }
 
 // HandlePeerDelta implements protocol.PeerHandler: it merges a peer's
@@ -401,6 +542,8 @@ func (n *Node) HandlePeerDelta(d *protocol.PeerDelta) (int, error) {
 		}
 	}
 	n.stats.CellsRecv += applied
+	n.members.NoteContact(from)
+	n.members.noteRecv(from, applied)
 	return applied, nil
 }
 
@@ -430,7 +573,15 @@ func (n *Node) NotePeerRecvBytes(b int) {
 // exactly how evidence crosses the hub or travels the ring. Wire fleets
 // skip it too: their syncs are not barriered, and collapsing views
 // mid-flight could mark locally-pending evidence as delivered.
-func (n *Node) EndSync(fastForward bool) {
+func (n *Node) EndSync(fastForward bool) { n.EndSyncExcept(fastForward, nil) }
+
+// EndSyncExcept is EndSync with a fault exclusion set: views of peers in
+// `faulted` are NOT fast-forwarded. A faulted exchange delivered nothing,
+// so collapsing that peer's view to the current ledger would mark
+// undelivered evidence as possessed — losing it forever. Keeping the view
+// where it was makes the next collect resend exactly the uncommitted
+// content (the bounded-staleness recovery path).
+func (n *Node) EndSyncExcept(fastForward bool, faulted map[int]bool) {
 	n.mu.Lock()
 	defer n.mu.Unlock()
 	n.epoch++
@@ -442,12 +593,18 @@ func (n *Node) EndSync(fastForward bool) {
 	for i := range n.sweep {
 		c := &n.sweep[i]
 		k := c.Class*n.layers + c.Layer
-		for _, view := range n.views {
+		for id, view := range n.views {
+			if faulted[id] {
+				continue
+			}
 			view[k] = c.EvTotal
 		}
 	}
 	n.freqScratch = n.srv.GlobalFreqInto(n.freqScratch)
-	for _, fview := range n.freqViews {
+	for id, fview := range n.freqViews {
+		if faulted[id] {
+			continue
+		}
 		copy(fview, n.freqScratch)
 	}
 }

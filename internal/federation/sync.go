@@ -43,7 +43,17 @@ type SyncPlan struct {
 	byID      map[int]*Node
 	exchanges [][]exchange // per node position: its outgoing exchanges
 	collected []bool
+	fault     func(from, to int) bool
 }
+
+// SetFault installs a fault predicate consulted at Apply time for every
+// collected exchange: a true return fails that link this round — the
+// delta is NOT applied, NOT committed (the sender's scratch stays pending,
+// so the next collect resends it), the sender's failure detector records
+// the miss, and mesh fast-forward excludes the faulted peer's view. This
+// is the chaos hook: faults land AFTER collection, exercising the exact
+// collected-then-lost resend path a broken wire produces.
+func (p *SyncPlan) SetFault(f func(from, to int) bool) { p.fault = f }
 
 // PrepareSync validates the fleet against the topology and returns a plan
 // for one sync round.
@@ -101,9 +111,15 @@ func (p *SyncPlan) Collect(i int) error {
 	defer syncFrameBuf.Put(buf)
 	msg := protocol.Message{Type: protocol.TypePeerDelta, PeerDelta: &protocol.PeerDelta{}}
 	// Topology indices are positions in the ordered node slice, so node
-	// ids and topology nodes line up.
-	for _, pp := range p.topo.Peers(i) {
+	// ids and topology nodes line up. The round coordinate (the node's
+	// epoch) drives gossip peer sampling and the dead-peer re-probe
+	// schedule.
+	round := n.Epoch()
+	for _, pp := range p.topo.PeersAt(i, round) {
 		peer := p.nodes[pp]
+		if n.members.Skip(peer.ID(), round) {
+			continue // dead or left, and this is not a re-probe round
+		}
 		d := n.CollectDelta(peer.ID())
 		if d.Empty() {
 			continue
@@ -137,28 +153,45 @@ func (p *SyncPlan) Apply() error {
 			return fmt.Errorf("federation: node position %d has not collected its deltas", i)
 		}
 	}
+	// faultedOut[sender id] = receivers whose exchange the fault predicate
+	// failed this round; those links stay uncommitted and are excluded
+	// from the sender's fast-forward.
+	var faultedOut map[int]map[int]bool
 	for _, n := range p.nodes {
 		for _, exs := range p.exchanges {
 			for _, ex := range exs {
 				if ex.to != n.ID() {
 					continue
 				}
+				sender := p.byID[ex.from]
+				if p.fault != nil && p.fault(ex.from, ex.to) {
+					sender.members.NoteFailure(ex.to)
+					sender.noteSyncError(fmt.Errorf("federation: injected fault on link %d→%d", ex.from, ex.to))
+					if faultedOut == nil {
+						faultedOut = make(map[int]map[int]bool)
+					}
+					if faultedOut[ex.from] == nil {
+						faultedOut[ex.from] = make(map[int]bool)
+					}
+					faultedOut[ex.from][ex.to] = true
+					continue
+				}
 				if _, err := n.HandlePeerDelta(&protocol.PeerDelta{
 					NodeID: int32(ex.from),
-					Epoch:  p.byID[ex.from].Epoch(),
+					Epoch:  sender.Epoch(),
 					Cells:  ex.delta.Cells,
 					Freq:   ex.delta.Freq,
 				}); err != nil {
 					return fmt.Errorf("federation: apply delta %d→%d: %w", ex.from, ex.to, err)
 				}
 				n.NotePeerRecvBytes(ex.bytes)
-				p.byID[ex.from].CommitDelta(ex.to, ex.delta, ex.bytes)
+				sender.CommitDelta(ex.to, ex.delta, ex.bytes)
 			}
 		}
 	}
 	fastForward := !p.topo.Forwarding()
 	for _, n := range p.nodes {
-		n.EndSync(fastForward)
+		n.EndSyncExcept(fastForward, faultedOut[n.ID()])
 	}
 	return nil
 }

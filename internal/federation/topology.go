@@ -12,6 +12,8 @@ package federation
 import (
 	"fmt"
 	"sort"
+
+	"coca/internal/xrand"
 )
 
 // Kind names a federation topology.
@@ -28,21 +30,37 @@ const (
 	// Ring connects node i to its neighbours (i±1 mod n); changes relay
 	// hop by hop around the ring.
 	Ring Kind = "ring"
+	// Gossip replaces the static graph with epidemic peer sampling: each
+	// round, every node pushes to fanout-k peers drawn from a seeded
+	// per-round shuffle. Per-node sync cost is O(k) instead of the
+	// mesh's O(n), and evidence still reaches everyone in O(log n)
+	// expected rounds — the standard push-epidemic bound — so gossip is
+	// the mode that scales the fleet. Nodes relay (a sampled link is the
+	// only path evidence has that round).
+	Gossip Kind = "gossip"
 )
 
 // ParseKind validates a topology name.
 func ParseKind(s string) (Kind, error) {
 	switch Kind(s) {
-	case Mesh, Star, Ring:
+	case Mesh, Star, Ring, Gossip:
 		return Kind(s), nil
 	}
-	return "", fmt.Errorf("federation: unknown topology %q (want mesh, star or ring)", s)
+	return "", fmt.Errorf("federation: unknown topology %q (want mesh, star, ring or gossip)", s)
 }
 
-// Topology is a static peer graph over nodes 0..n-1.
+// DefaultGossipFanout is the number of peers each node pushes to per
+// gossip round when none is configured.
+const DefaultGossipFanout = 3
+
+// Topology is a peer graph over nodes 0..n-1 — static for mesh, star and
+// ring; per-round sampled for gossip.
 type Topology struct {
 	kind  Kind
 	peers [][]int
+	// fanout and seed drive gossip peer sampling (unused otherwise).
+	fanout int
+	seed   uint64
 }
 
 // NewTopology builds the peer graph of the given kind over n nodes.
@@ -74,6 +92,9 @@ func NewTopology(kind Kind, n int) (*Topology, error) {
 				add(a, (a+1)%n)
 			}
 		}
+	case Gossip:
+		t.fanout = DefaultGossipFanout
+		// peers stays empty: gossip links are sampled per round (PeersAt).
 	default:
 		return nil, fmt.Errorf("federation: unknown topology kind %q", kind)
 	}
@@ -90,11 +111,77 @@ func (t *Topology) Kind() Kind { return t.kind }
 func (t *Topology) NumNodes() int { return len(t.peers) }
 
 // Peers returns node i's neighbours, ascending (shared slice; do not
-// mutate).
+// mutate). For gossip topologies the static graph is empty — use PeersAt.
 func (t *Topology) Peers(i int) []int { return t.peers[i] }
 
+// PeersAt returns node i's sync targets for the given round: the static
+// neighbour list for graph topologies, or a seeded per-round sample of
+// Fanout distinct peers for gossip. Gossip samples are deterministic in
+// (seed, round, i) — every driver (in-process plan, wire fleet, test)
+// derives the same links from the same coordinates — and returned
+// ascending in a fresh slice.
+func (t *Topology) PeersAt(i int, round uint64) []int {
+	if t.kind != Gossip {
+		return t.peers[i]
+	}
+	n := len(t.peers)
+	k := t.fanout
+	if k > n-1 {
+		k = n - 1
+	}
+	if k <= 0 {
+		return nil
+	}
+	rng := xrand.New(t.seed, round, uint64(i))
+	out := make([]int, 0, k)
+	for len(out) < k {
+		// Rejection sampling: k ≪ n in any fleet worth gossiping over, so
+		// re-draws are rare and no n-sized candidate array is needed.
+		p := rng.IntN(n)
+		if p == i {
+			continue
+		}
+		dup := false
+		for _, q := range out {
+			if q == p {
+				dup = true
+				break
+			}
+		}
+		if !dup {
+			out = append(out, p)
+		}
+	}
+	sort.Ints(out)
+	return out
+}
+
+// Fanout returns the gossip fanout (0 for graph topologies).
+func (t *Topology) Fanout() int {
+	if t.kind != Gossip {
+		return 0
+	}
+	return t.fanout
+}
+
+// NewGossipTopology builds a gossip topology over n nodes pushing to
+// fanout peers per round (≤ 0 = DefaultGossipFanout; clamped to n-1),
+// sampled deterministically from seed.
+func NewGossipTopology(n, fanout int, seed uint64) (*Topology, error) {
+	if n < 1 {
+		return nil, fmt.Errorf("federation: topology over %d nodes", n)
+	}
+	if fanout <= 0 {
+		fanout = DefaultGossipFanout
+	}
+	if fanout > n-1 {
+		fanout = n - 1
+	}
+	return &Topology{kind: Gossip, peers: make([][]int, n), fanout: fanout, seed: seed}, nil
+}
+
 // Forwarding reports whether nodes must relay peer-learned changes onward
-// — true for multi-hop topologies (star, ring), false for a full mesh
-// where every pair exchanges directly and relaying would only re-broadcast
-// already-delivered cells.
+// — true for multi-hop topologies (star, ring, gossip), false for a full
+// mesh where every pair exchanges directly and relaying would only
+// re-broadcast already-delivered cells.
 func (t *Topology) Forwarding() bool { return t.kind != Mesh }

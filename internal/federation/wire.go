@@ -3,39 +3,150 @@ package federation
 import (
 	"context"
 	"fmt"
+	"sort"
 	"sync"
 	"time"
 
 	"coca/internal/protocol"
 	"coca/internal/transport"
+	"coca/internal/xrand"
 )
 
-// PeerSet manages a node's outbound wire links to a static peer address
-// list: it dials and handshakes lazily, retries failed peers on the next
-// sync, and ships each reachable peer the node's current delta. It is the
-// networked counterpart of SyncNodes — real fleets run one PeerSet per
-// server, on a time cadence rather than a round barrier, so cross-server
-// determinism is (deliberately) not promised there.
+// PeerSetConfig tunes a wire fleet's link set beyond the static address
+// list. The zero value reproduces the classic behavior: dial the
+// configured peers, push deltas, no join handshake, no fanout cap.
+type PeerSetConfig struct {
+	// Dial overrides the connection factory (default
+	// transport.DialContext). Chaos tests inject fault-wrapped
+	// connections here; production leaves it nil.
+	Dial func(ctx context.Context, addr string) (transport.Conn, error)
+	// Join makes the first sync announce this node to the fleet: the
+	// first reachable peer serves a bootstrap snapshot (everything its
+	// ledgers grew since construction, as one batch — not a replay of
+	// history), the rest get an announce-only join so they reset their
+	// view of this node and start syncing back. Until a join lands, the
+	// node keeps retrying on every sync tick.
+	Join bool
+	// SelfAddr is this node's own listen address, carried in the join
+	// announcement so established members learn where to push — the
+	// other half of elasticity: the fleet reconfigures itself around the
+	// joiner without anyone editing peer lists.
+	SelfAddr string
+	// Fanout, when positive, caps each sync round to a seeded sample of
+	// that many targets (wire gossip): per-node sync cost stays O(k)
+	// while the fleet grows.
+	Fanout int
+	// Seed drives the fanout sampling.
+	Seed uint64
+}
+
+// PeerSet manages a node's outbound wire links: the static peer address
+// list it was configured with, plus any addresses learned from join
+// announcements. It dials and handshakes lazily, retries failed peers on
+// the next sync, skips peers the failure detector has declared dead
+// (except on re-probe rounds), and ships each reachable peer the node's
+// current delta. It is the networked counterpart of SyncNodes — real
+// fleets run one PeerSet per server, on a time cadence rather than a
+// round barrier, so cross-server determinism is (deliberately) not
+// promised there.
 type PeerSet struct {
 	node  *Node
 	addrs []string
+	cfg   PeerSetConfig
 
 	mu sync.Mutex
 	// conns holds handshaken links; pending holds connections still in
 	// the dial/handshake window, so Close can cut a stuck handshake too.
 	conns   map[string]*protocol.PeerClient
 	pending map[string]transport.Conn
-	closed  bool
+	// ids maps a peer address to its membership id — provisional
+	// (negative) until the handshake reveals the real federation id.
+	ids       map[string]int
+	joined    bool
+	joinBytes int
+	closed    bool
 }
 
-// NewPeerSet builds the link set; no connection is attempted until the
-// first sync.
+// NewPeerSet builds the classic static link set; no connection is
+// attempted until the first sync.
 func NewPeerSet(node *Node, addrs []string) *PeerSet {
+	return NewPeerSetWith(node, addrs, PeerSetConfig{})
+}
+
+// NewPeerSetWith builds a link set with join/gossip/chaos configuration.
+func NewPeerSetWith(node *Node, addrs []string, cfg PeerSetConfig) *PeerSet {
 	return &PeerSet{
-		node: node, addrs: addrs,
+		node: node, addrs: addrs, cfg: cfg,
 		conns:   make(map[string]*protocol.PeerClient),
 		pending: make(map[string]transport.Conn),
+		ids:     make(map[string]int),
 	}
+}
+
+// dial resolves the connection factory.
+func (p *PeerSet) dial(ctx context.Context, addr string) (transport.Conn, error) {
+	if p.cfg.Dial != nil {
+		return p.cfg.Dial(ctx, addr)
+	}
+	return transport.DialContext(ctx, addr)
+}
+
+// idFor returns the membership id tracking addr, registering a
+// provisional one for never-handshaken addresses.
+func (p *PeerSet) idFor(addr string) int {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if id, ok := p.ids[addr]; ok {
+		return id
+	}
+	// An address learned from a join announcement already belongs to a
+	// real peer record — charge health events there, not to a fresh
+	// provisional identity.
+	id, ok := p.node.members.IDForAddr(addr)
+	if !ok {
+		id = p.node.members.AddProvisional(addr)
+	}
+	p.ids[addr] = id
+	return id
+}
+
+// identify merges addr's provisional membership record into the real
+// federation id the handshake revealed.
+func (p *PeerSet) identify(addr string, realID int) {
+	p.mu.Lock()
+	prov, ok := p.ids[addr]
+	p.ids[addr] = realID
+	p.mu.Unlock()
+	if ok && prov != realID {
+		p.node.members.Identify(prov, realID)
+	}
+	p.node.members.SetAddr(realID, addr)
+	p.node.members.NoteContact(realID)
+}
+
+// park registers an in-flight connection so Close can cut a stuck
+// dial/handshake; it reports false when the set is already closed.
+func (p *PeerSet) park(addr string, conn transport.Conn) bool {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if p.closed {
+		return false
+	}
+	p.pending[addr] = conn
+	return true
+}
+
+// keep promotes a handshaken link into the live set; it reports false
+// (and the caller must close the link) when the set is already closed.
+func (p *PeerSet) keep(addr string, pc *protocol.PeerClient) bool {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	delete(p.pending, addr)
+	if p.closed {
+		return false
+	}
+	p.conns[addr] = pc
+	return true
 }
 
 // link returns an established handshaken link to addr, dialing if needed.
@@ -54,34 +165,29 @@ func (p *PeerSet) link(ctx context.Context, addr string) (*protocol.PeerClient, 
 	}
 	p.mu.Unlock()
 
-	conn, err := transport.DialContext(ctx, addr)
+	conn, err := p.dial(ctx, addr)
 	if err != nil {
 		return nil, err
 	}
-	p.mu.Lock()
-	if p.closed {
-		p.mu.Unlock()
+	if !p.park(addr, conn) {
 		_ = conn.Close()
 		return nil, fmt.Errorf("peer set closed")
 	}
-	p.pending[addr] = conn
-	p.mu.Unlock()
 
 	classes, layers := p.node.Server().Shape()
 	pc, err := protocol.DialPeer(conn, p.node.ID(), classes, layers)
-
-	p.mu.Lock()
-	defer p.mu.Unlock()
-	delete(p.pending, addr)
 	if err != nil {
+		p.mu.Lock()
+		delete(p.pending, addr)
+		p.mu.Unlock()
 		_ = conn.Close()
 		return nil, err
 	}
-	if p.closed {
+	if !p.keep(addr, pc) {
 		_ = pc.Close()
 		return nil, fmt.Errorf("peer set closed")
 	}
-	p.conns[addr] = pc
+	p.identify(addr, pc.PeerID())
 	return pc, nil
 }
 
@@ -95,22 +201,157 @@ func (p *PeerSet) drop(addr string) {
 	}
 }
 
-// SyncOnce pushes the node's delta to every reachable peer and closes the
-// sync round. Unreachable or failing peers are skipped (and re-dialed
-// next time); their cells stay pending because deltas commit only on a
-// successful exchange. Delivery is therefore at-least-once: if the ack
-// is lost after the peer applied the delta, the next sync re-sends the
-// same evidence and the peer counts it twice — a bounded, one-delta
-// inflation accepted in exchange for never losing contributions (the
-// receiver skips malformed cells rather than failing the exchange, so a
-// persistently bad cell cannot force the whole delta to retry forever).
+// targets returns this round's sync targets: the static address list
+// plus every address learned from join announcements, minus self —
+// sorted for determinism, then (in gossip mode) cut to a seeded sample
+// of Fanout.
+func (p *PeerSet) targets(round uint64) []string {
+	set := make(map[string]bool, len(p.addrs))
+	for _, a := range p.addrs {
+		if a != "" && a != p.cfg.SelfAddr {
+			set[a] = true
+		}
+	}
+	for _, a := range p.node.members.KnownAddrs() {
+		if a != "" && a != p.cfg.SelfAddr {
+			set[a] = true
+		}
+	}
+	out := make([]string, 0, len(set))
+	for a := range set {
+		out = append(out, a)
+	}
+	sort.Strings(out)
+	if p.cfg.Fanout > 0 && len(out) > p.cfg.Fanout {
+		rng := xrand.New(p.cfg.Seed, round, uint64(p.node.ID()))
+		rng.Shuffle(len(out), func(i, j int) { out[i], out[j] = out[j], out[i] })
+		out = out[:p.cfg.Fanout]
+		sort.Strings(out)
+	}
+	return out
+}
+
+// join announces this node to the fleet: a snapshot-bootstrap join to the
+// first reachable peer, announce-only joins to the rest. Returns the
+// first error; the set counts as joined once ANY peer acknowledged (the
+// rest learn our address through future joins/syncs or keep failing until
+// reachable).
+func (p *PeerSet) join(ctx context.Context) error {
+	classes, layers := p.node.Server().Shape()
+	wantSnapshot := true
+	var firstErr error
+	joinedAny := false
+	for _, addr := range p.targets(p.node.Epoch()) {
+		p.mu.Lock()
+		_, connected := p.conns[addr]
+		p.mu.Unlock()
+		if connected {
+			joinedAny = true // an established link implies a completed handshake
+			continue
+		}
+		conn, err := p.dial(ctx, addr)
+		if err == nil && !p.park(addr, conn) {
+			_ = conn.Close()
+			err = fmt.Errorf("peer set closed")
+		}
+		if err != nil {
+			p.node.members.NoteFailure(p.idFor(addr))
+			if firstErr == nil {
+				firstErr = fmt.Errorf("federation: join %s: %w", addr, err)
+			}
+			continue
+		}
+		pc, snap, snapBytes, err := protocol.JoinPeer(conn, p.node.ID(), classes, layers, p.cfg.SelfAddr, wantSnapshot)
+		if err != nil {
+			p.mu.Lock()
+			delete(p.pending, addr)
+			p.mu.Unlock()
+			_ = conn.Close()
+			p.node.members.NoteFailure(p.idFor(addr))
+			if firstErr == nil {
+				firstErr = fmt.Errorf("federation: join %s: %w", addr, err)
+			}
+			continue
+		}
+		// Apply the snapshot before anything else travels this link: it
+		// lives in the link's decoder scratch until the next round trip.
+		if wantSnapshot && len(snap.Cells)+len(snap.Freq) > 0 {
+			if _, aerr := p.node.ApplySnapshot(snap, snapBytes); aerr != nil {
+				p.node.noteSyncError(aerr)
+			}
+		}
+		if wantSnapshot {
+			p.mu.Lock()
+			p.joinBytes += snapBytes
+			p.mu.Unlock()
+			wantSnapshot = false
+		}
+		if !p.keep(addr, pc) {
+			_ = pc.Close()
+			return fmt.Errorf("peer set closed")
+		}
+		p.identify(addr, pc.PeerID())
+		joinedAny = true
+	}
+	if joinedAny {
+		p.mu.Lock()
+		p.joined = true
+		p.mu.Unlock()
+	}
+	return firstErr
+}
+
+// JoinBytes reports the snapshot bytes received while bootstrapping — the
+// joiner's catch-up cost (compare against what replaying the fleet's
+// whole sync history would have shipped).
+func (p *PeerSet) JoinBytes() int {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.joinBytes
+}
+
+// Joined reports whether a join announcement has been acknowledged by at
+// least one peer (always false when Join is not configured).
+func (p *PeerSet) Joined() bool {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.joined
+}
+
+// SyncOnce pushes the node's delta to every target peer due this round
+// and closes the sync round. Unreachable or failing peers are skipped
+// (and re-dialed next time); their cells stay pending because deltas
+// commit only on a successful exchange. Delivery is therefore
+// at-least-once: if the ack is lost after the peer applied the delta, the
+// next sync re-sends the same evidence and the peer counts it twice — a
+// bounded, one-delta inflation accepted in exchange for never losing
+// contributions (the receiver skips malformed cells rather than failing
+// the exchange, so a persistently bad cell cannot force the whole delta
+// to retry forever). Each failure feeds the peer's failure detector;
+// dead peers are skipped until their re-probe round comes up.
 // It returns how many peers were synced and the first error observed
 // (nil when every peer synced); errors are also recorded in the node's
 // SyncStats.
 func (p *PeerSet) SyncOnce(ctx context.Context) (synced int, err error) {
-	for _, addr := range p.addrs {
+	p.mu.Lock()
+	needJoin := p.cfg.Join && !p.joined
+	p.mu.Unlock()
+	if needJoin {
+		if jerr := p.join(ctx); jerr != nil {
+			p.node.noteSyncError(jerr)
+			if err == nil {
+				err = jerr
+			}
+		}
+	}
+	round := p.node.Epoch()
+	for _, addr := range p.targets(round) {
+		if p.node.members.Skip(p.idFor(addr), round) {
+			continue // dead or left; re-probed every few rounds
+		}
 		pc, derr := p.link(ctx, addr)
 		if derr != nil {
+			p.node.members.NoteFailure(p.idFor(addr))
 			derr = fmt.Errorf("federation: peer %s: %w", addr, derr)
 			p.node.noteSyncError(derr)
 			if err == nil {
@@ -126,6 +367,7 @@ func (p *PeerSet) SyncOnce(ctx context.Context) (synced int, err error) {
 		_, wireBytes, serr := pc.SendDelta(p.node.Epoch(), d.Cells, d.Freq)
 		if serr != nil {
 			p.drop(addr)
+			p.node.members.NoteFailure(pc.PeerID())
 			serr = fmt.Errorf("federation: peer %s: %w", addr, serr)
 			p.node.noteSyncError(serr)
 			if err == nil {
@@ -141,6 +383,22 @@ func (p *PeerSet) SyncOnce(ctx context.Context) (synced int, err error) {
 	// landed mid-sync.
 	p.node.EndSync(false)
 	return synced, err
+}
+
+// AnnounceLeave sends a clean-leave to every live link (best effort — a
+// peer that cannot be reached will find out through its failure detector
+// instead). Surviving peers mark this node left immediately, skipping the
+// suspect timeout.
+func (p *PeerSet) AnnounceLeave() {
+	p.mu.Lock()
+	pcs := make([]*protocol.PeerClient, 0, len(p.conns))
+	for _, pc := range p.conns {
+		pcs = append(pcs, pc)
+	}
+	p.mu.Unlock()
+	for _, pc := range pcs {
+		_ = pc.Leave()
+	}
 }
 
 // Run pushes deltas on the given cadence until ctx is done, then closes

@@ -55,6 +55,20 @@ const (
 	// emitted by routing front doors at placement time and by servers
 	// migrating a live session.
 	TypeRedirect
+	// TypePeerJoin (v2-only) asks an established fleet member to admit a
+	// joining node: it registers the joiner's id and address for future
+	// syncs and — when the joiner asks for one — answers with a bootstrap
+	// snapshot instead of the plain PeerAck a PeerHello gets.
+	TypePeerJoin
+	// TypePeerSnapshot (v2-only) answers PeerJoin: the responder's table
+	// growth since the shared dataset construction, folded into one
+	// delta-shaped batch so the joiner catches up without replaying the
+	// per-round delta history (the evidence ledger).
+	TypePeerSnapshot
+	// TypePeerLeave (v2-only) announces a clean departure: the receiver
+	// marks the sender dead immediately instead of waiting out the
+	// suspect timeout.
+	TypePeerLeave
 )
 
 // Message is a decoded protocol message; exactly one payload field is set,
@@ -73,17 +87,20 @@ type Message struct {
 	// HelloAck.
 	Proto byte
 
-	Hello      *Hello
-	HelloAck   *core.RegisterInfo
-	Status     *core.StatusReport
-	Allocation *core.Allocation
-	Delta      *core.Delta
-	Update     *core.UpdateReport
-	PeerHello  *PeerHello
-	PeerDelta  *PeerDelta
-	PeerAck    *PeerAck
-	Redirect   *Redirect
-	Error      string
+	Hello        *Hello
+	HelloAck     *core.RegisterInfo
+	Status       *core.StatusReport
+	Allocation   *core.Allocation
+	Delta        *core.Delta
+	Update       *core.UpdateReport
+	PeerHello    *PeerHello
+	PeerDelta    *PeerDelta
+	PeerAck      *PeerAck
+	PeerJoin     *PeerJoin
+	PeerSnapshot *PeerSnapshot
+	PeerLeave    *PeerLeave
+	Redirect     *Redirect
+	Error        string
 }
 
 // Redirect is the TypeRedirect payload: where to re-open and why.
@@ -147,6 +164,54 @@ type PeerAck struct {
 	NodeID int32
 	// Applied is the number of delta cells merged (0 for hello acks).
 	Applied int32
+}
+
+// PeerJoin asks an established fleet member to admit a joining node. It
+// subsumes PeerHello (same model-agreement check, and the connection is
+// handshaken afterwards) and additionally registers the joiner's sync
+// address with the responder's membership, so the responder starts
+// pushing deltas to the joiner without static reconfiguration.
+type PeerJoin struct {
+	// NodeID is the joining node's federation id.
+	NodeID int32
+	// NumClasses and NumLayers let the peer verify model agreement.
+	NumClasses, NumLayers int32
+	// Addr is the joiner's own listen address, registered with the
+	// responder's membership for future outbound syncs ("" when the
+	// joiner does not accept inbound syncs).
+	Addr string
+	// WantSnapshot asks for a bootstrap snapshot in the reply. A joiner
+	// requests one from its first seed and announces itself (false) to
+	// the rest — every member should learn the joiner's address, but only
+	// one snapshot is needed.
+	WantSnapshot bool
+}
+
+// PeerSnapshot answers PeerJoin: the responder's table growth since the
+// fleet's shared dataset construction, delta-shaped (cells carry the
+// summed evidence growth, Freq the summed Φ increments). Because
+// federated servers are built from the same shared dataset seed, the
+// joiner's freshly-constructed table equals the snapshot's implicit base,
+// so applying the snapshot is one commutative merge batch — bytes shipped
+// are one pass over the populated cells, not the per-round delta history.
+// Cells and Freq are empty when the joiner declined the snapshot.
+type PeerSnapshot struct {
+	// NodeID is the responding node's federation id.
+	NodeID int32
+	// Epoch is the responder's completed sync-round count at snapshot time.
+	Epoch uint64
+	Cells []PeerCell
+	// Freq is the responder's per-class Φ growth since construction,
+	// discounted like a regular delta (empty when nothing moved).
+	Freq []float64
+}
+
+// PeerLeave announces a clean departure from the fleet; the receiver
+// marks the sender departed immediately (no suspect timeout) and stops
+// syncing to it until it rejoins.
+type PeerLeave struct {
+	// NodeID is the departing node's federation id.
+	NodeID int32
 }
 
 // ---- encoding primitives ----
@@ -362,6 +427,9 @@ type Decoder struct {
 	peerHello PeerHello
 	peerDelta PeerDelta
 	peerAck   PeerAck
+	peerJoin  PeerJoin
+	peerSnap  PeerSnapshot
+	peerLeave PeerLeave
 	redirect  Redirect
 }
 
@@ -446,6 +514,30 @@ func (r *reader) newPeerAck() *PeerAck {
 		return &r.dec.peerAck
 	}
 	return &PeerAck{}
+}
+
+func (r *reader) newPeerJoin() *PeerJoin {
+	if r.dec != nil {
+		r.dec.peerJoin = PeerJoin{}
+		return &r.dec.peerJoin
+	}
+	return &PeerJoin{}
+}
+
+func (r *reader) newPeerSnapshot() *PeerSnapshot {
+	if r.dec != nil {
+		r.dec.peerSnap = PeerSnapshot{}
+		return &r.dec.peerSnap
+	}
+	return &PeerSnapshot{}
+}
+
+func (r *reader) newPeerLeave() *PeerLeave {
+	if r.dec != nil {
+		r.dec.peerLeave = PeerLeave{}
+		return &r.dec.peerLeave
+	}
+	return &PeerLeave{}
 }
 
 func (r *reader) newRedirect() *Redirect {
@@ -647,14 +739,37 @@ func encodeV2(w *writer, m *Message) error {
 		d := m.PeerDelta
 		w.i32(d.NodeID)
 		w.u64(d.Epoch)
-		w.u32(uint32(len(d.Cells)))
-		for _, c := range d.Cells {
-			w.i32(int32(c.Class))
-			w.i32(int32(c.Layer))
-			w.f64(c.Evidence)
-			w.f32s(c.Vec)
-		}
+		encodePeerCells(w, d.Cells)
 		w.f64s(d.Freq)
+	case TypePeerJoin:
+		if m.PeerJoin == nil {
+			return fmt.Errorf("protocol: peer-join payload missing")
+		}
+		w.u8(m.Proto)
+		w.i32(m.PeerJoin.NodeID)
+		w.i32(m.PeerJoin.NumClasses)
+		w.i32(m.PeerJoin.NumLayers)
+		w.str(m.PeerJoin.Addr)
+		if m.PeerJoin.WantSnapshot {
+			w.u8(1)
+		} else {
+			w.u8(0)
+		}
+	case TypePeerSnapshot:
+		if m.PeerSnapshot == nil {
+			return fmt.Errorf("protocol: peer-snapshot payload missing")
+		}
+		s := m.PeerSnapshot
+		w.u8(m.Proto)
+		w.i32(s.NodeID)
+		w.u64(s.Epoch)
+		encodePeerCells(w, s.Cells)
+		w.f64s(s.Freq)
+	case TypePeerLeave:
+		if m.PeerLeave == nil {
+			return fmt.Errorf("protocol: peer-leave payload missing")
+		}
+		w.i32(m.PeerLeave.NodeID)
 	case TypePeerAck:
 		if m.PeerAck == nil {
 			return fmt.Errorf("protocol: peer-ack payload missing")
@@ -676,6 +791,37 @@ func encodeV2(w *writer, m *Message) error {
 		return fmt.Errorf("protocol: message type %d not in version 2", m.Type)
 	}
 	return nil
+}
+
+// encodePeerCells writes a peer-cell batch (shared by PeerDelta and
+// PeerSnapshot — a snapshot is delta-shaped on the wire).
+func encodePeerCells(w *writer, cells []PeerCell) {
+	w.u32(uint32(len(cells)))
+	for _, c := range cells {
+		w.i32(int32(c.Class))
+		w.i32(int32(c.Layer))
+		w.f64(c.Evidence)
+		w.f32s(c.Vec)
+	}
+}
+
+// decodePeerCells reads a peer-cell batch into decoder scratch when
+// available.
+func decodePeerCells(r *reader) []PeerCell {
+	nCells := r.length(20)
+	cells := r.peerCellBuf()
+	for i := 0; i < nCells && r.err == nil; i++ {
+		c := PeerCell{Class: int(r.i32()), Layer: int(r.i32()), Evidence: r.f64()}
+		c.Vec = r.f32s()
+		cells = append(cells, c)
+	}
+	if r.dec != nil {
+		r.dec.pcells = cells[:0]
+	}
+	if nCells == 0 {
+		return nil
+	}
+	return cells
 }
 
 func encodeUpdate(w *writer, up *core.UpdateReport) {
@@ -840,23 +986,31 @@ func decodeV2(r *reader) (*Message, error) {
 	case TypePeerDelta:
 		d := r.newPeerDelta()
 		d.NodeID, d.Epoch = r.i32(), r.u64()
-		nCells := r.length(20)
-		cells := r.peerCellBuf()
-		for i := 0; i < nCells && r.err == nil; i++ {
-			c := PeerCell{Class: int(r.i32()), Layer: int(r.i32()), Evidence: r.f64()}
-			c.Vec = r.f32s()
-			cells = append(cells, c)
-		}
-		if nCells > 0 {
-			d.Cells = cells
-		}
-		if r.dec != nil {
-			r.dec.pcells = cells[:0]
-		}
+		d.Cells = decodePeerCells(r)
 		if f := r.f64s(); len(f) > 0 {
 			d.Freq = f
 		}
 		m.PeerDelta = d
+	case TypePeerJoin:
+		m.Proto = r.u8()
+		pj := r.newPeerJoin()
+		pj.NodeID, pj.NumClasses, pj.NumLayers = r.i32(), r.i32(), r.i32()
+		pj.Addr = r.str()
+		pj.WantSnapshot = r.u8() == 1
+		m.PeerJoin = pj
+	case TypePeerSnapshot:
+		m.Proto = r.u8()
+		ps := r.newPeerSnapshot()
+		ps.NodeID, ps.Epoch = r.i32(), r.u64()
+		ps.Cells = decodePeerCells(r)
+		if f := r.f64s(); len(f) > 0 {
+			ps.Freq = f
+		}
+		m.PeerSnapshot = ps
+	case TypePeerLeave:
+		pl := r.newPeerLeave()
+		pl.NodeID = r.i32()
+		m.PeerLeave = pl
 	case TypePeerAck:
 		m.Proto = r.u8()
 		pa := r.newPeerAck()

@@ -96,6 +96,21 @@ func sampleMessagesV2() []*Message {
 		{Version: V2, Type: TypePeerAck, Proto: V2, PeerAck: &PeerAck{NodeID: 1, Applied: 2}},
 		{Version: V2, Type: TypeRedirect, ClientID: 2, SessionID: 12,
 			Redirect: &Redirect{Addr: "10.0.0.9:7000", Reason: "breaker-open"}},
+		{Version: V2, Type: TypePeerJoin, Proto: V2, PeerJoin: &PeerJoin{
+			NodeID: 5, NumClasses: 50, NumLayers: 34,
+			Addr: "10.0.0.7:7071", WantSnapshot: true}},
+		{Version: V2, Type: TypePeerJoin, Proto: V2, PeerJoin: &PeerJoin{
+			NodeID: 6, NumClasses: 50, NumLayers: 34}},
+		{Version: V2, Type: TypePeerSnapshot, Proto: V2, PeerSnapshot: &PeerSnapshot{
+			NodeID: 1, Epoch: 17,
+			Cells: []PeerCell{
+				{Class: 4, Layer: 2, Evidence: 64, Vec: []float32{1, 0}},
+				{Class: 9, Layer: 8, Evidence: 160, Vec: []float32{0.7, 0.1}},
+			},
+			Freq: []float64{0.5, 0, 2}}},
+		{Version: V2, Type: TypePeerSnapshot, Proto: V2,
+			PeerSnapshot: &PeerSnapshot{NodeID: 1, Epoch: 3}},
+		{Version: V2, Type: TypePeerLeave, PeerLeave: &PeerLeave{NodeID: 5}},
 	}
 }
 

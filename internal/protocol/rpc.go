@@ -259,9 +259,9 @@ func (s *wireSession) Close() error {
 var _ core.Session = (*wireSession)(nil)
 
 // PeerHandler is implemented by coordinators that also participate in the
-// federation tier (federation.Node): ServeConn routes TypePeerHello and
-// TypePeerDelta frames to it. Coordinators without PeerHandler reject peer
-// frames with an error reply.
+// federation tier (federation.Node): ServeConn routes TypePeerHello,
+// TypePeerDelta, TypePeerJoin and TypePeerLeave frames to it. Coordinators
+// without PeerHandler reject peer frames with an error reply.
 type PeerHandler interface {
 	// HandlePeerHello validates a peer link request and returns the local
 	// node's federation id.
@@ -269,6 +269,15 @@ type PeerHandler interface {
 	// HandlePeerDelta merges a peer's delta (changed cells and frequency
 	// increments) and returns how many cells were applied.
 	HandlePeerDelta(d *PeerDelta) (applied int, err error)
+	// HandlePeerJoin admits a joining node: it validates like a hello,
+	// registers the joiner (and its sync address) with the local
+	// membership, and returns the bootstrap snapshot when one was asked
+	// for (an empty snapshot otherwise). The snapshot must remain valid
+	// through the reply encode — implementations return caller-owned
+	// slices, not reusable scratch.
+	HandlePeerJoin(j *PeerJoin) (snap *PeerSnapshot, err error)
+	// HandlePeerLeave records a peer's clean departure.
+	HandlePeerLeave(nodeID int)
 }
 
 // PeerClient is the dialing side of a federation peer link: it performs
@@ -313,6 +322,74 @@ func DialPeer(conn transport.Conn, localID, numClasses, numLayers int) (*PeerCli
 	}
 	pc.peerID = int(m.PeerAck.NodeID)
 	return pc, nil
+}
+
+// JoinPeer performs the PeerJoin handshake for node localID over an
+// established connection: like DialPeer, but the reply is the peer's
+// bootstrap snapshot (when wantSnapshot is set) and the joiner's own
+// listen address travels with the request so the peer starts syncing back.
+// The returned link is handshaken — deltas may be sent on it. The
+// snapshot lives in the link's decoder scratch and is valid only until
+// the next round trip on this link: apply it before syncing. snapBytes is
+// the received snapshot frame size (the joiner's bootstrap traffic).
+func JoinPeer(conn transport.Conn, localID, numClasses, numLayers int, addr string, wantSnapshot bool) (pc *PeerClient, snap *PeerSnapshot, snapBytes int, err error) {
+	pc = &PeerClient{conn: conn, localID: localID}
+	pc.mu.Lock()
+	defer pc.mu.Unlock()
+	frame, err := AppendEncode(pc.enc[:0], &Message{
+		Type:  TypePeerJoin,
+		Proto: Version,
+		PeerJoin: &PeerJoin{
+			NodeID:       int32(localID),
+			NumClasses:   int32(numClasses),
+			NumLayers:    int32(numLayers),
+			Addr:         addr,
+			WantSnapshot: wantSnapshot,
+		},
+	})
+	if err != nil {
+		return nil, nil, 0, err
+	}
+	pc.enc = frame[:0]
+	if err := pc.conn.Send(frame); err != nil {
+		return nil, nil, 0, err
+	}
+	resp, err := pc.conn.Recv()
+	if err != nil {
+		return nil, nil, 0, err
+	}
+	m, err := pc.dec.Decode(resp)
+	if err != nil {
+		return nil, nil, 0, err
+	}
+	if m.Type == TypeError {
+		return nil, nil, 0, fmt.Errorf("protocol: peer error: %s", m.Error)
+	}
+	if m.Type != TypePeerSnapshot || m.PeerSnapshot == nil {
+		return nil, nil, 0, fmt.Errorf("protocol: unexpected reply type %d to peer join", m.Type)
+	}
+	if m.Proto != Version {
+		return nil, nil, 0, fmt.Errorf("protocol: peer negotiated unsupported version %d", m.Proto)
+	}
+	pc.peerID = int(m.PeerSnapshot.NodeID)
+	return pc, m.PeerSnapshot, len(resp), nil
+}
+
+// Leave announces a clean departure to the peer (best-effort: callers
+// typically ignore the error — the connection may already be gone, which
+// the peer's failure detector handles anyway).
+func (pc *PeerClient) Leave() error {
+	m, err := pc.roundTrip(&Message{
+		Type:      TypePeerLeave,
+		PeerLeave: &PeerLeave{NodeID: int32(pc.localID)},
+	})
+	if err != nil {
+		return err
+	}
+	if m.Type != TypePeerAck {
+		return fmt.Errorf("protocol: unexpected reply type %d to peer leave", m.Type)
+	}
+	return nil
 }
 
 // PeerID returns the remote node's federation id (from the handshake ack).
@@ -565,6 +642,29 @@ func (cs *connState) handleV2(ctx context.Context, m *Message, frameLen int) *Me
 			br.NotePeerRecvBytes(frameLen)
 		}
 		return &Message{Type: TypePeerAck, Proto: V2, PeerAck: &PeerAck{Applied: int32(applied)}}
+	case TypePeerJoin:
+		ph, ok := cs.coord.(PeerHandler)
+		if !ok {
+			return errorReply(V2, m.ClientID, 0, "peer sync not supported by this endpoint")
+		}
+		if m.Proto < V2 {
+			return errorReply(V2, m.ClientID, 0, "peer offered protocol %d; federation requires %d", m.Proto, V2)
+		}
+		snap, err := ph.HandlePeerJoin(m.PeerJoin)
+		if err != nil {
+			return errorReply(V2, m.ClientID, 0, "%v", err)
+		}
+		// A join doubles as the handshake: the joiner may push deltas on
+		// this connection next.
+		cs.peerHello = true
+		return &Message{Type: TypePeerSnapshot, Proto: V2, PeerSnapshot: snap}
+	case TypePeerLeave:
+		ph, ok := cs.coord.(PeerHandler)
+		if !ok {
+			return errorReply(V2, m.ClientID, 0, "peer sync not supported by this endpoint")
+		}
+		ph.HandlePeerLeave(int(m.PeerLeave.NodeID))
+		return &Message{Type: TypePeerAck, Proto: V2, PeerAck: &PeerAck{}}
 	default:
 		return errorReply(V2, m.ClientID, m.SessionID, "unexpected request type %d", m.Type)
 	}

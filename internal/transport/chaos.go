@@ -1,0 +1,251 @@
+package transport
+
+import (
+	"context"
+	"fmt"
+	"hash/fnv"
+	"math/rand/v2"
+	"sync"
+	"time"
+
+	"coca/internal/xrand"
+)
+
+// FaultConfig sets per-round-trip fault probabilities for a ChaosNet.
+// The zero value injects nothing.
+//
+// The faults model what a lossy wire does to a strict request/response
+// protocol (one frame out, one frame back, per connection):
+//
+//   - Drop: the request frame vanishes in flight — the receiver never saw
+//     it, the sender's next Recv fails, and the connection is broken
+//     (redial required). The sender keeps its collected delta pending and
+//     resends it after reconnecting.
+//   - Dup: the request is DELIVERED and processed, but the reply is lost.
+//     From the sender's side this is indistinguishable from Drop — it
+//     errors, keeps the delta pending, and retries — so the receiver ends
+//     up applying the same delta twice. This is the honest way to inject
+//     duplication into a request/response protocol; fabricating extra
+//     frames would only desynchronize the framing, which real links
+//     cannot do to TCP.
+//   - Delay: the request is held up to MaxDelay before delivery.
+//
+// Partitions are managed separately on the ChaosNet (Partition/Heal):
+// a partitioned link fails every operation, including dials, until healed.
+type FaultConfig struct {
+	// Drop is the probability a request frame is lost in flight.
+	Drop float64
+	// Dup is the probability a delivered request's reply is lost,
+	// provoking an at-least-once duplicate apply on retry.
+	Dup float64
+	// Delay is the probability a request is delayed; MaxDelay bounds the
+	// injected latency (default 2ms when Delay > 0).
+	Delay    float64
+	MaxDelay time.Duration
+}
+
+// ChaosNet wraps connections in seeded-deterministic fault injection —
+// the chaos-mesh discipline scaled down to a library: the same seed, the
+// same dial sequence and the same traffic produce the same faults, so a
+// failing property test replays exactly.
+type ChaosNet struct {
+	seed uint64
+
+	mu          sync.Mutex
+	cfg         FaultConfig
+	partitioned map[[2]string]bool
+	dialSeq     map[[2]string]uint64
+}
+
+// NewChaosNet builds a fault injector. All randomness derives from seed.
+func NewChaosNet(seed uint64, cfg FaultConfig) *ChaosNet {
+	return &ChaosNet{
+		seed:        seed,
+		cfg:         cfg,
+		partitioned: make(map[[2]string]bool),
+		dialSeq:     make(map[[2]string]uint64),
+	}
+}
+
+// SetFaults swaps the fault probabilities (SetFaults(FaultConfig{}) heals
+// probabilistic faults; partitions are lifted with Heal/HealAll).
+func (n *ChaosNet) SetFaults(cfg FaultConfig) {
+	n.mu.Lock()
+	n.cfg = cfg
+	n.mu.Unlock()
+}
+
+func (n *ChaosNet) faults() FaultConfig {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	return n.cfg
+}
+
+func pairKey(a, b string) [2]string {
+	if a > b {
+		a, b = b, a
+	}
+	return [2]string{a, b}
+}
+
+// Partition severs the link between endpoints a and b (both directions):
+// in-flight operations fail and dials are refused until Heal.
+func (n *ChaosNet) Partition(a, b string) {
+	n.mu.Lock()
+	n.partitioned[pairKey(a, b)] = true
+	n.mu.Unlock()
+}
+
+// Heal lifts the partition between a and b.
+func (n *ChaosNet) Heal(a, b string) {
+	n.mu.Lock()
+	delete(n.partitioned, pairKey(a, b))
+	n.mu.Unlock()
+}
+
+// HealAll lifts every partition.
+func (n *ChaosNet) HealAll() {
+	n.mu.Lock()
+	n.partitioned = make(map[[2]string]bool)
+	n.mu.Unlock()
+}
+
+// Partitioned reports whether the a↔b link is currently severed.
+func (n *ChaosNet) Partitioned(a, b string) bool {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	return n.partitioned[pairKey(a, b)]
+}
+
+func hashEndpoint(s string) uint64 {
+	h := fnv.New64a()
+	h.Write([]byte(s))
+	return h.Sum64()
+}
+
+// Wrap decorates a connection from→to with fault injection. Each wrap of
+// the same link advances a per-link dial sequence, so reconnections get
+// fresh — but still deterministic — fault streams.
+func (n *ChaosNet) Wrap(conn Conn, from, to string) Conn {
+	key := pairKey(from, to)
+	n.mu.Lock()
+	seq := n.dialSeq[key]
+	n.dialSeq[key]++
+	n.mu.Unlock()
+	return &chaosConn{
+		net:   n,
+		inner: conn,
+		from:  from,
+		to:    to,
+		rng:   xrand.New(n.seed, hashEndpoint(from), hashEndpoint(to), seq),
+	}
+}
+
+// Dial returns a DialContext-shaped dialer that refuses partitioned links
+// and wraps every established connection in fault injection — a drop-in
+// for transport.DialContext on the chaos side of a test.
+func (n *ChaosNet) Dial(from string) func(ctx context.Context, addr string) (Conn, error) {
+	return func(ctx context.Context, addr string) (Conn, error) {
+		if n.Partitioned(from, addr) {
+			return nil, fmt.Errorf("transport: chaos: %s→%s partitioned", from, addr)
+		}
+		conn, err := DialContext(ctx, addr)
+		if err != nil {
+			return nil, err
+		}
+		return n.Wrap(conn, from, addr), nil
+	}
+}
+
+// chaosConn injects the drawn faults into one connection. A fault breaks
+// the connection (like a torn TCP stream): every later operation fails
+// until the owner redials, which is exactly how PeerSet treats errors.
+type chaosConn struct {
+	net      *ChaosNet
+	inner    Conn
+	from, to string
+
+	mu     sync.Mutex
+	rng    *rand.Rand
+	broken bool
+	// lostRecv fails the next Recv without touching the inner connection
+	// (the request never arrived, so no reply is coming). dupRecv reads
+	// and discards the inner reply first (the request WAS processed;
+	// consuming the reply keeps the inner framing aligned), then fails.
+	lostRecv, dupRecv bool
+}
+
+func (c *chaosConn) fail(op string) error {
+	return fmt.Errorf("transport: chaos: %s→%s %s on broken link", c.from, c.to, op)
+}
+
+func (c *chaosConn) Send(frame []byte) error {
+	c.mu.Lock()
+	if c.broken {
+		c.mu.Unlock()
+		return c.fail("send")
+	}
+	if c.net.Partitioned(c.from, c.to) {
+		c.broken = true
+		c.mu.Unlock()
+		return fmt.Errorf("transport: chaos: %s→%s partitioned", c.from, c.to)
+	}
+	cfg := c.net.faults()
+	drop, dup := false, false
+	var delay time.Duration
+	if cfg.Drop > 0 && c.rng.Float64() < cfg.Drop {
+		drop = true
+	} else if cfg.Dup > 0 && c.rng.Float64() < cfg.Dup {
+		dup = true
+	}
+	if cfg.Delay > 0 && c.rng.Float64() < cfg.Delay {
+		max := cfg.MaxDelay
+		if max <= 0 {
+			max = 2 * time.Millisecond
+		}
+		delay = time.Duration(c.rng.Int64N(int64(max)) + 1)
+	}
+	if drop {
+		c.lostRecv = true
+		c.mu.Unlock()
+		return nil // the frame silently vanishes; the reply never comes
+	}
+	if dup {
+		c.dupRecv = true
+	}
+	c.mu.Unlock()
+	if delay > 0 {
+		time.Sleep(delay)
+	}
+	return c.inner.Send(frame)
+}
+
+func (c *chaosConn) Recv() ([]byte, error) {
+	c.mu.Lock()
+	if c.broken {
+		c.mu.Unlock()
+		return nil, c.fail("recv")
+	}
+	if c.lostRecv {
+		c.lostRecv = false
+		c.broken = true
+		c.mu.Unlock()
+		return nil, fmt.Errorf("transport: chaos: %s→%s request dropped", c.from, c.to)
+	}
+	dup := c.dupRecv
+	c.dupRecv = false
+	c.mu.Unlock()
+	frame, err := c.inner.Recv()
+	if err != nil {
+		return nil, err
+	}
+	if dup {
+		c.mu.Lock()
+		c.broken = true
+		c.mu.Unlock()
+		return nil, fmt.Errorf("transport: chaos: %s→%s reply lost", c.to, c.from)
+	}
+	return frame, nil
+}
+
+func (c *chaosConn) Close() error { return c.inner.Close() }

@@ -2,8 +2,8 @@
 // cmd/coca-client's machinery. Serve starts a session-serving CoCa edge
 // server over TCP; Dial connects a client to it. Both speak wire
 // protocol v2 (delta allocations); the served endpoint also accepts
-// legacy v1 clients, and — with Options.Peers set — federates with peer
-// edge servers by gossiping global-cache cell deltas.
+// legacy v1 clients, and — with Options.Federation set — federates with
+// peer edge servers by gossiping global-cache cell deltas.
 package coca
 
 import (
@@ -23,12 +23,13 @@ import (
 )
 
 // Server is a running network CoCa deployment: the edge server plus its
-// TCP listener, connection handlers and (when Options.Peers is set) its
-// federation sync loop.
+// TCP listener, connection handlers and (when Options.Federation or the
+// deprecated Options.Peers is set) its federation sync loop.
 type Server struct {
-	core *core.Server
-	node *federation.Node
-	lis  *transport.Listener
+	core  *core.Server
+	node  *federation.Node
+	lis   *transport.Listener
+	peers *federation.PeerSet
 
 	cancelConns context.CancelFunc
 	cancelPeers context.CancelFunc
@@ -44,13 +45,28 @@ type Server struct {
 // to Shutdown with no drain window. Serve returns once the listener is
 // accepting.
 func Serve(ctx context.Context, addr string, opts Options) (*Server, error) {
-	opts = opts.withDefaults()
+	opts, err := opts.withDefaults()
+	if err != nil {
+		return nil, err
+	}
 	space, _, err := opts.resolve()
 	if err != nil {
 		return nil, err
 	}
+	fed := opts.Federation
 	srv := core.NewServer(space, core.ServerConfig{Theta: opts.theta(space.Arch), Seed: opts.Seed})
-	node := federation.NewNode(srv, federation.NodeConfig{ID: opts.NodeID, Relay: opts.PeerRelay})
+	ncfg := federation.NodeConfig{}
+	if fed != nil {
+		ncfg = federation.NodeConfig{
+			ID:    fed.NodeID,
+			Relay: fed.Relay,
+			Membership: federation.MembershipConfig{
+				SuspectAfter: fed.SuspectAfter,
+				DeadAfter:    fed.DeadAfter,
+			},
+		}
+	}
+	node := federation.NewNode(srv, ncfg)
 	lis, err := transport.Listen(addr)
 	if err != nil {
 		return nil, err
@@ -74,17 +90,22 @@ func Serve(ctx context.Context, addr string, opts Options) (*Server, error) {
 			}()
 		}
 	}()
-	if len(opts.Peers) > 0 {
+	if fed != nil && (len(fed.Peers) > 0 || fed.Join) {
 		// The sync loop stops as soon as shutdown begins (its own context,
 		// canceled before the connection drain), so draining sessions
 		// never wait on a peer cadence.
 		peerCtx, cancelPeers := context.WithCancel(context.Background())
 		s.cancelPeers = cancelPeers
-		peers := federation.NewPeerSet(node, opts.Peers)
+		s.peers = federation.NewPeerSetWith(node, fed.Peers, federation.PeerSetConfig{
+			Join:     fed.Join,
+			SelfAddr: lis.Addr(),
+			Fanout:   fed.Gossip,
+			Seed:     opts.Seed,
+		})
 		s.wg.Add(1)
 		go func() {
 			defer s.wg.Done()
-			peers.Run(peerCtx, opts.PeerSyncInterval, nil)
+			s.peers.Run(peerCtx, fed.SyncInterval, nil)
 		}()
 	}
 	if ctx.Done() != nil {
@@ -114,8 +135,13 @@ func (s *Server) Stats() (allocs, merges, sessions int) {
 func (s *Server) PeerMerges() int { return s.core.PeerMerges() }
 
 // SyncStats reports the federation sync counters (zero when the server
-// has no peers and no peer has dialed it).
+// has no peers and no peer has dialed it), including the per-peer
+// breakdown in SyncStats.Peers.
 func (s *Server) SyncStats() federation.SyncStats { return s.node.Stats() }
+
+// PeerStats reports the per-peer membership breakdown alone: each known
+// peer's health state, last sync epoch, resend count and split traffic.
+func (s *Server) PeerStats() []federation.PeerStats { return s.node.Members().Stats() }
 
 // Shutdown stops accepting connections, waits for in-flight sessions to
 // drain until ctx is done, then force-closes the remainder. It is safe
@@ -130,6 +156,12 @@ func (s *Server) Shutdown(ctx context.Context) error {
 	s.closed = true
 	s.mu.Unlock()
 
+	if s.peers != nil {
+		// Announce the departure while the links are still up: surviving
+		// peers mark this node left immediately instead of waiting out
+		// the suspect timeout.
+		s.peers.AnnounceLeave()
+	}
 	if s.cancelPeers != nil {
 		s.cancelPeers()
 	}
@@ -201,7 +233,10 @@ func dialRetry(ctx context.Context, addr string, opts Options) (transport.Conn, 
 // is followed transparently (bounded hops), so the returned client's
 // session lives on the assigned server.
 func Dial(ctx context.Context, addr string, clientID int, opts Options) (*Client, error) {
-	opts = opts.withDefaults()
+	opts, err := opts.withDefaults()
+	if err != nil {
+		return nil, err
+	}
 	if clientID < 0 || clientID >= opts.NumClients {
 		return nil, fmt.Errorf("coca: client id %d outside fleet of %d", clientID, opts.NumClients)
 	}
@@ -371,7 +406,10 @@ func ServeAndDial(ctx context.Context, opts Options) (*Server, []*Client, error)
 	if err != nil {
 		return nil, nil, err
 	}
-	opts = opts.withDefaults()
+	opts, err = opts.withDefaults()
+	if err != nil {
+		return nil, nil, err
+	}
 	clients := make([]*Client, 0, opts.NumClients)
 	for id := 0; id < opts.NumClients; id++ {
 		cl, err := Dial(ctx, srv.Addr(), id, opts)

@@ -81,7 +81,10 @@ func TestForcedMigrationTCP(t *testing.T) {
 		NumClients: 1, Rounds: rounds, Budget: 40, RoundFrames: 40,
 		Seed: 3, DialBackoff: 10 * time.Millisecond,
 	}
-	o := opts.withDefaults()
+	o, err := opts.withDefaults()
+	if err != nil {
+		t.Fatal(err)
+	}
 	space, _, err := o.resolve()
 	if err != nil {
 		t.Fatal(err)
