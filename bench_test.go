@@ -107,6 +107,13 @@ func BenchmarkGossipSyncRound(b *testing.B) { benchsuite.GossipSync(b) }
 // emits the same numbers into BENCH_<date>.json.
 func BenchmarkRoutingAdmission(b *testing.B) { benchsuite.RoutingAdmission(b) }
 
+// BenchmarkTelemetryRecord measures the per-op cost of the telemetry
+// tier's record path (counter, labeled counter, gauge, histogram — one
+// of each per iteration). Steady state is allocation-free (pinned by the
+// benchsuite allocs test). The body lives in internal/benchsuite so
+// cmd/coca-bench emits the same numbers into BENCH_<date>.json.
+func BenchmarkTelemetryRecord(b *testing.B) { benchsuite.TelemetryRecord(b) }
+
 // BenchmarkHeadline reproduces the paper's headline claim per iteration
 // (CoCa on the reference workload) and reports the virtual latency
 // reduction and accuracy as benchmark metrics. The body lives in

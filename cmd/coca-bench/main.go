@@ -180,6 +180,7 @@ func suite() []namedBench {
 		{"federation-sync-round", benchsuite.FederationSync},
 		{"gossip-sync-round", benchsuite.GossipSync},
 		{"routing-admission", benchsuite.RoutingAdmission},
+		{"telemetry-record", benchsuite.TelemetryRecord},
 	}
 	for _, clients := range []int{1, 16} {
 		out = append(out,

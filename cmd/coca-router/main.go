@@ -17,17 +17,29 @@
 // hash placement here (see internal/routing.FrontDoor); use the
 // in-process routed deployment for semantic steering.
 //
+// Live observability: -pprof exposes net/http/pprof and a JSON /stats
+// page (admissions, rejections by cause, redirects, per-backend breaker
+// state and trip counts); -metrics serves the process-wide telemetry
+// registry in Prometheus text format at /metrics — when both name the
+// same address one listener serves everything. -trace appends
+// timestamped JSON-lines control-plane events (migrations, breaker
+// transitions) to a file.
+//
 // Usage:
 //
 //	coca-router -listen :7069 -servers 127.0.0.1:7070,127.0.0.1:7071,127.0.0.1:7072
 //	coca-router -listen :7069 -servers host1:7070,host2:7070 -shard 2 -rate 100
+//	coca-router -listen :7069 -servers host1:7070 -pprof localhost:6061 -metrics localhost:6061
 package main
 
 import (
 	"context"
+	"encoding/json"
 	"flag"
 	"fmt"
 	"log"
+	"net/http"
+	_ "net/http/pprof"
 	"os"
 	"os/signal"
 	"strings"
@@ -37,6 +49,7 @@ import (
 
 	"coca/internal/protocol"
 	"coca/internal/routing"
+	"coca/internal/telemetry"
 	"coca/internal/transport"
 )
 
@@ -51,6 +64,10 @@ func main() {
 		hcInt   = flag.Duration("hc-interval", 2*time.Second, "backend health-check cadence (0 disables probing)")
 		hcTime  = flag.Duration("hc-timeout", time.Second, "per-probe dial timeout")
 		rate    = flag.Float64("rate", 0, "per-client admission rate limit in opens/sec (0 = unlimited)")
+
+		pprofA   = flag.String("pprof", "", "expose net/http/pprof and JSON /stats on this address (e.g. localhost:6061; empty = off)")
+		metricsA = flag.String("metrics", "", "expose Prometheus /metrics on this address (may equal -pprof to share one listener; empty = off)")
+		traceF   = flag.String("trace", "", "append JSON-lines telemetry events (migrations, breaker transitions) to this file (empty = off)")
 	)
 	flag.Parse()
 
@@ -74,6 +91,83 @@ func main() {
 		Seed:      *seed,
 		Rate:      routing.RateConfig{PerSec: *rate},
 	})
+
+	// statsHandler renders the control-plane counters the front door had
+	// no runtime window into before: admission outcomes plus per-backend
+	// breaker state, as JSON for curl/scripts (Prometheus series live on
+	// /metrics).
+	statsHandler := http.HandlerFunc(func(w http.ResponseWriter, _ *http.Request) {
+		type backend struct {
+			ID      int    `json:"id"`
+			Addr    string `json:"addr"`
+			Breaker string `json:"breaker"`
+			Trips   int    `json:"trips"`
+		}
+		st := fd.Stats()
+		out := struct {
+			Admitted       int       `json:"admitted"`
+			Redirects      int       `json:"redirects"`
+			RateLimited    int       `json:"rate_limited"`
+			BreakerDenials int       `json:"breaker_denials"`
+			Migrations     int       `json:"migrations"`
+			Backends       []backend `json:"backends"`
+		}{
+			Admitted:       st.Opens,
+			Redirects:      st.Opens, // a front-door open always answers with a redirect
+			RateLimited:    st.RateLimited,
+			BreakerDenials: st.BreakerDenials,
+			Migrations:     st.Migrations,
+		}
+		for s, addr := range addrs {
+			out.Backends = append(out.Backends, backend{
+				ID: s, Addr: addr,
+				Breaker: fd.BreakerState(s).String(),
+				Trips:   fd.BreakerTrips(s),
+			})
+		}
+		w.Header().Set("Content-Type", "application/json")
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		_ = enc.Encode(out)
+	})
+	if *pprofA != "" {
+		// pprof registers on the default mux at import time; /stats (and
+		// /metrics when sharing the address) join it there so one
+		// listener serves all diagnostics.
+		http.Handle("/stats", statsHandler)
+		if *metricsA == *pprofA {
+			http.Handle("/metrics", telemetry.Handler())
+		}
+		go func() {
+			fmt.Fprintf(os.Stderr, "coca-router: pprof on http://%s/debug/pprof/, stats on http://%s/stats\n", *pprofA, *pprofA)
+			if err := http.ListenAndServe(*pprofA, nil); err != nil {
+				log.Printf("pprof: %v", err)
+			}
+		}()
+	}
+	if *metricsA != "" && *metricsA != *pprofA {
+		mux := http.NewServeMux()
+		mux.Handle("/metrics", telemetry.Handler())
+		mux.Handle("/stats", statsHandler)
+		go func() {
+			fmt.Fprintf(os.Stderr, "coca-router: metrics on http://%s/metrics\n", *metricsA)
+			if err := http.ListenAndServe(*metricsA, mux); err != nil {
+				log.Printf("metrics: %v", err)
+			}
+		}()
+	}
+	if *traceF != "" {
+		f, err := os.OpenFile(*traceF, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+		if err != nil {
+			log.Fatal(err)
+		}
+		telemetry.SetTracer(telemetry.NewTracer(f))
+		defer func() {
+			telemetry.SetTracer(nil)
+			_ = f.Close()
+		}()
+		fmt.Fprintf(os.Stderr, "coca-router: tracing events to %s\n", *traceF)
+	}
 
 	l, err := transport.Listen(*listen)
 	if err != nil {
@@ -145,8 +239,11 @@ func main() {
 	cancelConns()
 	wg.Wait()
 	st := fd.Stats()
+	snap := telemetry.Snapshot()
 	fmt.Fprintln(os.Stderr, "coca-router: shut down cleanly; final stats:")
 	fmt.Fprintf(os.Stderr, "  opens placed     %d\n", st.Opens)
 	fmt.Fprintf(os.Stderr, "  breaker denials  %d\n", st.BreakerDenials)
 	fmt.Fprintf(os.Stderr, "  rate limited     %d\n", st.RateLimited)
+	fmt.Fprintf(os.Stderr, "  redirects issued %d\n", int64(snap.Value("coca_routing_redirects_total")))
+	fmt.Fprintf(os.Stderr, "  breaker trips    %d\n", int64(snap.Value("coca_routing_breaker_trips_total")))
 }

@@ -28,12 +28,22 @@
 // connections, prints its final counters (allocations, merges, sessions,
 // peer-sync traffic with a per-peer breakdown) and exits.
 //
+// Live observability: -metrics serves the process-wide telemetry registry
+// (per-tier counters, gauges and histograms — cache hits, sync bytes,
+// membership states, session/allocation counts) in Prometheus text format
+// at /metrics; when -metrics and -pprof name the same address one listener
+// serves both. -trace appends timestamped JSON-lines lifecycle events
+// (session open/close, peer sync exchanges, membership transitions) to a
+// file. The graceful-shutdown stats dump reads the same telemetry
+// snapshot the /metrics page is rendered from, so the two can never
+// disagree.
+//
 // Usage:
 //
 //	coca-server -addr :7070 -model ResNet101 -dataset UCF101 -classes 50 -theta 0.012
 //	coca-server -addr :7071 -node-id 1 -peers 127.0.0.1:7070,127.0.0.1:7072 -sync 5s
 //	coca-server -addr :7072 -node-id 2 -peers 127.0.0.1:7070 -join -sync 5s
-//	coca-server -addr :7070 -pprof localhost:6060
+//	coca-server -addr :7070 -pprof localhost:6060 -metrics localhost:6060 -trace events.jsonl
 package main
 
 import (
@@ -56,31 +66,40 @@ import (
 	"coca/internal/model"
 	"coca/internal/protocol"
 	"coca/internal/semantics"
+	"coca/internal/telemetry"
 	"coca/internal/transport"
 )
 
 func main() {
 	var (
-		addr    = flag.String("addr", ":7070", "listen address")
-		modelN  = flag.String("model", "ResNet101", "model preset (VGG16_BN, ResNet50, ResNet101, ResNet152, AST)")
-		dataN   = flag.String("dataset", "UCF101", "dataset preset (ImageNet-100, UCF101, ESC-50)")
-		classes = flag.Int("classes", 0, "restrict the dataset to its first N classes (0 = all)")
-		theta   = flag.Float64("theta", 0.012, "hit threshold Θ used for layer profiling")
-		gamma   = flag.Float64("gamma", 0.99, "global merge decay γ (Eq. 4)")
-		seed    = flag.Uint64("seed", 1, "shared-dataset seed")
-		drain   = flag.Duration("drain", 10*time.Second, "graceful-shutdown drain window for in-flight sessions")
-		peersF  = flag.String("peers", "", "comma-separated federated peer server addresses (host:port,...)")
-		nodeID  = flag.Int("node-id", 0, "this server's federation id (distinct per fleet member)")
-		relay   = flag.Bool("relay", false, "relay received peer evidence onward (set on star hubs / ring members; leave off in a full mesh)")
-		syncInt = flag.Duration("sync", 5*time.Second, "federation peer-sync cadence (with -peers)")
-		join    = flag.Bool("join", false, "announce this server to the fleet and bootstrap from a peer snapshot (elastic join; with -peers)")
-		gossip  = flag.Int("gossip", 0, "gossip fanout: push each sync round to N sampled peers instead of all (0 = all)")
-		suspect = flag.Int("suspect-after", 0, "consecutive sync failures before a peer is suspect (0 = default 2)")
-		dead    = flag.Int("dead-after", 0, "consecutive sync failures before a peer is dead and skipped (0 = default 5)")
-		pprofA  = flag.String("pprof", "", "expose net/http/pprof on this address (e.g. localhost:6060; empty = off)")
+		addr     = flag.String("addr", ":7070", "listen address")
+		modelN   = flag.String("model", "ResNet101", "model preset (VGG16_BN, ResNet50, ResNet101, ResNet152, AST)")
+		dataN    = flag.String("dataset", "UCF101", "dataset preset (ImageNet-100, UCF101, ESC-50)")
+		classes  = flag.Int("classes", 0, "restrict the dataset to its first N classes (0 = all)")
+		theta    = flag.Float64("theta", 0.012, "hit threshold Θ used for layer profiling")
+		gamma    = flag.Float64("gamma", 0.99, "global merge decay γ (Eq. 4)")
+		seed     = flag.Uint64("seed", 1, "shared-dataset seed")
+		drain    = flag.Duration("drain", 10*time.Second, "graceful-shutdown drain window for in-flight sessions")
+		peersF   = flag.String("peers", "", "comma-separated federated peer server addresses (host:port,...)")
+		nodeID   = flag.Int("node-id", 0, "this server's federation id (distinct per fleet member)")
+		relay    = flag.Bool("relay", false, "relay received peer evidence onward (set on star hubs / ring members; leave off in a full mesh)")
+		syncInt  = flag.Duration("sync", 5*time.Second, "federation peer-sync cadence (with -peers)")
+		join     = flag.Bool("join", false, "announce this server to the fleet and bootstrap from a peer snapshot (elastic join; with -peers)")
+		gossip   = flag.Int("gossip", 0, "gossip fanout: push each sync round to N sampled peers instead of all (0 = all)")
+		suspect  = flag.Int("suspect-after", 0, "consecutive sync failures before a peer is suspect (0 = default 2)")
+		dead     = flag.Int("dead-after", 0, "consecutive sync failures before a peer is dead and skipped (0 = default 5)")
+		pprofA   = flag.String("pprof", "", "expose net/http/pprof on this address (e.g. localhost:6060; empty = off)")
+		metricsA = flag.String("metrics", "", "expose Prometheus /metrics on this address (may equal -pprof to share one listener; empty = off)")
+		traceF   = flag.String("trace", "", "append JSON-lines telemetry events (sessions, syncs, membership) to this file (empty = off)")
 	)
 	flag.Parse()
 
+	if *metricsA != "" && *metricsA == *pprofA {
+		// Shared diagnostics listener: pprof registers on the default
+		// mux at import time, so /metrics joins it there and the single
+		// server below serves both.
+		http.Handle("/metrics", telemetry.Handler())
+	}
 	if *pprofA != "" {
 		// Diagnostics only: profiles of the serving hot path are taken
 		// live (go tool pprof http://<addr>/debug/pprof/profile) without
@@ -91,6 +110,28 @@ func main() {
 				log.Printf("pprof: %v", err)
 			}
 		}()
+	}
+	if *metricsA != "" && *metricsA != *pprofA {
+		mux := http.NewServeMux()
+		mux.Handle("/metrics", telemetry.Handler())
+		go func() {
+			fmt.Fprintf(os.Stderr, "coca-server: metrics on http://%s/metrics\n", *metricsA)
+			if err := http.ListenAndServe(*metricsA, mux); err != nil {
+				log.Printf("metrics: %v", err)
+			}
+		}()
+	}
+	if *traceF != "" {
+		f, err := os.OpenFile(*traceF, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+		if err != nil {
+			log.Fatal(err)
+		}
+		telemetry.SetTracer(telemetry.NewTracer(f))
+		defer func() {
+			telemetry.SetTracer(nil)
+			_ = f.Close()
+		}()
+		fmt.Fprintf(os.Stderr, "coca-server: tracing events to %s\n", *traceF)
 	}
 
 	arch, err := model.ByName(*modelN)
@@ -207,22 +248,29 @@ func main() {
 		cancelConns()
 		<-drained
 	}
-	printFinalStats(srv, node)
+	printFinalStats(node)
 }
 
 // printFinalStats renders the server's counters on graceful shutdown —
-// the numbers a multi-server run is debugged from.
-func printFinalStats(srv *core.Server, node *federation.Node) {
-	allocs, merges := srv.Stats()
+// the numbers a multi-server run is debugged from. The counters come
+// from the same telemetry snapshot the live /metrics page renders, so
+// the shutdown report and a final scrape can never disagree; only the
+// per-peer breakdown and last-error detail (not exposed as series) read
+// from the node directly.
+func printFinalStats(node *federation.Node) {
+	snap := telemetry.Snapshot()
+	count := func(name string) int64 { return int64(snap.Value(name)) }
 	sync := node.Stats()
 	fmt.Fprintln(os.Stderr, "coca-server: shut down cleanly; final stats:")
-	fmt.Fprintf(os.Stderr, "  allocations      %d\n", allocs)
-	fmt.Fprintf(os.Stderr, "  merges           %d\n", merges)
-	fmt.Fprintf(os.Stderr, "  peer merges      %d\n", srv.PeerMerges())
-	fmt.Fprintf(os.Stderr, "  open sessions    %d\n", srv.Sessions())
-	fmt.Fprintf(os.Stderr, "  peer syncs       %d\n", sync.Syncs)
-	fmt.Fprintf(os.Stderr, "  peer cells sent  %d (%.1f KiB)\n", sync.CellsSent, float64(sync.BytesSent)/1024)
-	fmt.Fprintf(os.Stderr, "  peer cells recv  %d (%.1f KiB)\n", sync.CellsRecv, float64(sync.BytesRecv)/1024)
+	fmt.Fprintf(os.Stderr, "  allocations      %d\n", count("coca_core_allocations_total"))
+	fmt.Fprintf(os.Stderr, "  merges           %d\n", count("coca_core_upload_merges_total"))
+	fmt.Fprintf(os.Stderr, "  peer merges      %d\n", count("coca_core_peer_merges_total"))
+	fmt.Fprintf(os.Stderr, "  open sessions    %d\n", count("coca_core_sessions_open"))
+	fmt.Fprintf(os.Stderr, "  peer syncs       %d\n", count("coca_federation_syncs_total"))
+	fmt.Fprintf(os.Stderr, "  peer cells sent  %d (%.1f KiB)\n",
+		count("coca_federation_cells_sent_total"), snap.Value("coca_federation_sync_bytes_sent_total")/1024)
+	fmt.Fprintf(os.Stderr, "  peer cells recv  %d (%.1f KiB)\n",
+		count("coca_federation_cells_recv_total"), snap.Value("coca_federation_sync_bytes_recv_total")/1024)
 	if sync.Errors > 0 {
 		fmt.Fprintf(os.Stderr, "  peer sync errors %d (last: %s)\n", sync.Errors, sync.LastError)
 	}

@@ -18,3 +18,18 @@ func TestRoutingAdmissionAllocs(t *testing.T) {
 		t.Fatalf("admission steady state allocates %.1f per request, want 0", allocs)
 	}
 }
+
+// TestTelemetryRecordAllocs pins the telemetry record path at zero
+// allocations per op — the tentpole's contract: instrumented hot paths
+// must pay only atomic updates, never an allocation.
+func TestTelemetryRecordAllocs(t *testing.T) {
+	f := NewTelemetryFixture()
+	n := 0
+	allocs := testing.AllocsPerRun(200, func() {
+		f.Record(n)
+		n++
+	})
+	if allocs != 0 {
+		t.Fatalf("telemetry record path allocates %.1f per op, want 0", allocs)
+	}
+}

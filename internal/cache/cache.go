@@ -22,8 +22,20 @@ import (
 	"math"
 	"sort"
 
+	"coca/internal/telemetry"
 	"coca/internal/vecmath"
 )
+
+// recordProbe feeds the live per-site hit/miss series. One atomic add per
+// probe against a preallocated slot — the probe paths stay 0 allocs/op.
+// Empty layers short-circuit before scoring and are not counted.
+func recordProbe(site int, hit bool) {
+	if hit {
+		telemetry.CacheProbeHits.Inc(site)
+	} else {
+		telemetry.CacheProbeMisses.Inc(site)
+	}
+}
 
 // DefaultAlpha is the paper's default cross-layer decay coefficient.
 const DefaultAlpha = 0.5
@@ -341,7 +353,9 @@ func (l *Lookup) Probe(layer *Layer, vec []float32) Result {
 		}
 		l.fold(class, c)
 	}
-	return l.finish(n, rawBestClass)
+	res := l.finish(n, rawBestClass)
+	recordProbe(layer.Site, res.Hit)
+	return res
 }
 
 // probeScored folds one layer's precomputed per-entry cosine scores —
@@ -362,7 +376,9 @@ func (l *Lookup) probeScored(layer *Layer, scores []float32, maxClass int) Resul
 		}
 		l.fold(class, c)
 	}
-	return l.finish(n, rawBestClass)
+	res := l.finish(n, rawBestClass)
+	recordProbe(layer.Site, res.Hit)
+	return res
 }
 
 // Accumulated returns a copy of the current per-class accumulated scores

@@ -17,6 +17,7 @@ import (
 	"coca/internal/gtable"
 	"coca/internal/model"
 	"coca/internal/semantics"
+	"coca/internal/telemetry"
 	"coca/internal/xrand"
 )
 
@@ -447,6 +448,13 @@ func (s *Server) Open(ctx context.Context, clientID int) (Session, error) {
 	sess.id = s.nextSess
 	s.sessions[sess.id] = sess
 	s.sessMu.Unlock()
+	telemetry.CoreSessionOpens.Inc()
+	telemetry.CoreSessionsOpen.Inc()
+	if tr := telemetry.Trace(); tr != nil {
+		tr.Emit("session_open",
+			telemetry.Int64("session", int64(sess.id)),
+			telemetry.Int("client", clientID))
+	}
 	return sess, nil
 }
 
@@ -532,6 +540,7 @@ func (s *Server) computeAllocation(clientID int, status StatusReport, sc *allocS
 		return nil, nil, nil, err
 	}
 	s.allocs.Add(1)
+	telemetry.CoreAllocations.Inc()
 	sc.cells = sc.cells[:0]
 	sc.sites = sc.sites[:0]
 	for _, site := range res.Layers {
@@ -580,6 +589,7 @@ func (s *Server) upload(clientID int, upd UpdateReport) error {
 				return fmt.Errorf("core: client %d merge (%d,%d): %w", clientID, cell.Class, cell.Layer, err)
 			}
 			s.merges.Add(1)
+			telemetry.CoreUploadMerges.Inc()
 		}
 	}
 	s.freqMu.Lock()
@@ -595,6 +605,11 @@ func (s *Server) dropSession(id uint64) {
 	s.sessMu.Lock()
 	delete(s.sessions, id)
 	s.sessMu.Unlock()
+	telemetry.CoreSessionCloses.Inc()
+	telemetry.CoreSessionsOpen.Dec()
+	if tr := telemetry.Trace(); tr != nil {
+		tr.Emit("session_close", telemetry.Int64("session", int64(id)))
+	}
 }
 
 // Table returns a snapshot of the global cache table (diagnostics and the
@@ -679,6 +694,7 @@ func (s *Server) MergePeerCell(class, layer int, vec []float32, evidence, sinceE
 		return 0, 0, fmt.Errorf("core: peer merge (%d,%d): %w", class, layer, err)
 	}
 	s.peerMerges.Add(1)
+	telemetry.CorePeerMerges.Inc()
 	return ver, evTotal, nil
 }
 
@@ -845,6 +861,8 @@ func (ss *ServerSession) Allocate(ctx context.Context, status StatusReport) (Del
 	}
 	ss.version++
 	d.Version = ss.version
+	telemetry.CoreDeltaCells.Add(uint64(len(d.Cells)))
+	telemetry.CoreDeltaEvictions.Add(uint64(len(d.Evict)))
 	return d, nil
 }
 

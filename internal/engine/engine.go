@@ -7,10 +7,12 @@ package engine
 import (
 	"fmt"
 	"runtime"
+	"time"
 
 	"coca/internal/dataset"
 	"coca/internal/metrics"
 	"coca/internal/stream"
+	"coca/internal/telemetry"
 )
 
 // Result is the outcome of one inference.
@@ -202,10 +204,28 @@ func (r *Runner) clientBuf(k int) []dataset.Sample {
 // are recorded when round >= cfg.SkipRounds.
 func (r *Runner) RunRound(round int) error {
 	record := round >= r.cfg.SkipRounds
-	if r.cfg.Concurrent {
-		return r.runRoundConcurrent(round, record)
+	if tr := telemetry.Trace(); tr != nil {
+		tr.Emit("round_begin",
+			telemetry.Int("round", round),
+			telemetry.Int("clients", len(r.engines)),
+			telemetry.Bool("recorded", record))
 	}
-	return runRoundSequential(r.engines, r.gens, r.perClient, r.cfg, round, record, r.clientBuf)
+	start := time.Now()
+	var err error
+	if r.cfg.Concurrent {
+		err = r.runRoundConcurrent(round, record)
+	} else {
+		err = runRoundSequential(r.engines, r.gens, r.perClient, r.cfg, round, record, r.clientBuf)
+	}
+	elapsed := time.Since(start).Seconds()
+	telemetry.EngineRoundSeconds.Observe(elapsed)
+	if tr := telemetry.Trace(); tr != nil {
+		tr.Emit("round_end",
+			telemetry.Int("round", round),
+			telemetry.F64("seconds", elapsed),
+			telemetry.Bool("ok", err == nil))
+	}
+	return err
 }
 
 // PerClient returns the per-client accumulators (live; they keep filling

@@ -4,6 +4,8 @@ import (
 	"fmt"
 	"sort"
 	"sync"
+
+	"coca/internal/telemetry"
 )
 
 // PeerState is a fleet member's health as seen from one node. States move
@@ -139,8 +141,38 @@ func (m *Membership) peer(id int) *peerHealth {
 	if !ok {
 		p = &peerHealth{stats: PeerStats{ID: id}}
 		m.peers[id] = p
+		// Fresh records are born alive (the open-world default); the
+		// membership gauge tracks every record this node holds.
+		telemetry.FedMembers.Inc(int(PeerAlive))
 	}
 	return p
+}
+
+// setState moves a peer's health state, keeping the live per-state
+// membership gauge in step and emitting a member_state trace event on
+// real transitions. Caller holds m.mu.
+func (m *Membership) setState(p *peerHealth, to PeerState) {
+	from := p.stats.State
+	if from == to {
+		return
+	}
+	p.stats.State = to
+	telemetry.FedMembers.Move(int(from), int(to))
+	if tr := telemetry.Trace(); tr != nil {
+		tr.Emit("member_state",
+			telemetry.Int("peer", p.stats.ID),
+			telemetry.Str("from", from.String()),
+			telemetry.Str("to", to.String()))
+	}
+}
+
+// dropRecord forgets one membership record, releasing its gauge slot.
+// Caller holds m.mu.
+func (m *Membership) dropRecord(id int) {
+	if p, ok := m.peers[id]; ok {
+		telemetry.FedMembers.Dec(int(p.stats.State))
+		delete(m.peers, id)
+	}
 }
 
 // AddPeer registers a peer as a fleet member (idempotent). A re-added
@@ -148,7 +180,7 @@ func (m *Membership) peer(id int) *peerHealth {
 func (m *Membership) AddPeer(id int) {
 	m.mu.Lock()
 	p := m.peer(id)
-	p.stats.State = PeerAlive
+	m.setState(p, PeerAlive)
 	p.stats.ConsecFailures = 0
 	m.mu.Unlock()
 }
@@ -181,14 +213,16 @@ func (m *Membership) Identify(prov, real int) {
 		m.peer(real)
 		return
 	}
-	delete(m.peers, prov)
 	if rp, exists := m.peers[real]; exists {
-		// Keep the established record; carry the dial address over.
+		// Keep the established record; carry the dial address over. The
+		// provisional record is merged away, so its gauge slot retires.
+		m.dropRecord(prov)
 		if rp.stats.Addr == "" {
 			rp.stats.Addr = pp.stats.Addr
 		}
 		return
 	}
+	delete(m.peers, prov)
 	pp.stats.ID = real
 	m.peers[real] = pp
 }
@@ -196,7 +230,7 @@ func (m *Membership) Identify(prov, real int) {
 // RemovePeer drops a peer from the table entirely.
 func (m *Membership) RemovePeer(id int) {
 	m.mu.Lock()
-	delete(m.peers, id)
+	m.dropRecord(id)
 	m.mu.Unlock()
 }
 
@@ -261,7 +295,7 @@ func (m *Membership) Skip(id int, tick uint64) bool {
 func (m *Membership) NoteSuccess(id int, epoch uint64) {
 	m.mu.Lock()
 	p := m.peer(id)
-	p.stats.State = PeerAlive
+	m.setState(p, PeerAlive)
 	p.stats.ConsecFailures = 0
 	p.stats.Syncs++
 	p.stats.LastSyncEpoch = epoch
@@ -280,9 +314,9 @@ func (m *Membership) NoteFailure(id int) PeerState {
 	p.stats.ConsecFailures++
 	switch {
 	case p.stats.ConsecFailures >= m.cfg.DeadAfter:
-		p.stats.State = PeerDead
+		m.setState(p, PeerDead)
 	case p.stats.ConsecFailures >= m.cfg.SuspectAfter:
-		p.stats.State = PeerSuspect
+		m.setState(p, PeerSuspect)
 	}
 	return p.stats.State
 }
@@ -292,7 +326,7 @@ func (m *Membership) NoteFailure(id int) PeerState {
 func (m *Membership) NoteLeave(id int) {
 	m.mu.Lock()
 	p := m.peer(id)
-	p.stats.State = PeerLeft
+	m.setState(p, PeerLeft)
 	p.stats.ConsecFailures = 0
 	m.mu.Unlock()
 }
@@ -303,7 +337,7 @@ func (m *Membership) NoteLeave(id int) {
 func (m *Membership) NoteContact(id int) {
 	m.mu.Lock()
 	p := m.peer(id)
-	p.stats.State = PeerAlive
+	m.setState(p, PeerAlive)
 	p.stats.ConsecFailures = 0
 	m.mu.Unlock()
 }

@@ -8,6 +8,7 @@ import (
 	"coca/internal/core"
 	"coca/internal/gtable"
 	"coca/internal/protocol"
+	"coca/internal/telemetry"
 )
 
 // SyncStats counts a node's federation-tier traffic.
@@ -355,6 +356,9 @@ func (n *Node) CommitDelta(peerID int, d Delta, wireBytes int) {
 	n.stats.BytesSent += int64(wireBytes)
 	epoch := n.epoch
 	n.mu.Unlock()
+	telemetry.FedCellsSent.Add(uint64(len(d.Cells)))
+	telemetry.FedBytesSent.Add(uint64(wireBytes))
+	telemetry.FedExchangeBytes.Observe(float64(wireBytes))
 	n.members.noteSent(peerID, len(d.Cells), 0, int64(wireBytes))
 	n.members.NoteSuccess(peerID, epoch)
 }
@@ -444,6 +448,14 @@ func (n *Node) HandlePeerJoin(j *protocol.PeerJoin) (*protocol.PeerSnapshot, err
 	if j.WantSnapshot {
 		n.members.noteJoin(from)
 		n.members.noteSent(from, len(snap.Cells), 0, 0)
+		telemetry.FedSnapshotJoins.Inc()
+		telemetry.FedCellsSent.Add(uint64(len(snap.Cells)))
+		if tr := telemetry.Trace(); tr != nil {
+			tr.Emit("snapshot_join",
+				telemetry.Int("peer", from),
+				telemetry.Str("addr", j.Addr),
+				telemetry.Int("cells", len(snap.Cells)))
+		}
 	}
 	return snap, nil
 }
@@ -542,6 +554,7 @@ func (n *Node) HandlePeerDelta(d *protocol.PeerDelta) (int, error) {
 		}
 	}
 	n.stats.CellsRecv += applied
+	telemetry.FedCellsRecv.Add(uint64(applied))
 	n.members.NoteContact(from)
 	n.members.noteRecv(from, applied)
 	return applied, nil
@@ -554,6 +567,7 @@ func (n *Node) noteSyncError(err error) {
 	n.stats.Errors++
 	n.stats.LastError = err.Error()
 	n.mu.Unlock()
+	telemetry.FedSyncErrors.Inc()
 }
 
 // NotePeerRecvBytes counts inbound sync traffic (called by the serving
@@ -563,6 +577,7 @@ func (n *Node) NotePeerRecvBytes(b int) {
 	n.mu.Lock()
 	n.stats.BytesRecv += int64(b)
 	n.mu.Unlock()
+	telemetry.FedBytesRecv.Add(uint64(b))
 }
 
 // EndSync closes one sync round: the epoch advances and, when
@@ -586,6 +601,7 @@ func (n *Node) EndSyncExcept(fastForward bool, faulted map[int]bool) {
 	defer n.mu.Unlock()
 	n.epoch++
 	n.stats.Syncs++
+	telemetry.FedSyncs.Inc()
 	if !fastForward || len(n.views) == 0 {
 		return
 	}

@@ -5,6 +5,7 @@ import (
 	"sync"
 
 	"coca/internal/protocol"
+	"coca/internal/telemetry"
 )
 
 // syncFrameBuf recycles the frame buffers sync collection encodes deltas
@@ -136,6 +137,9 @@ func (p *SyncPlan) Collect(i int) error {
 		}
 		*buf = frame[:0]
 		p.exchanges[i] = append(p.exchanges[i], exchange{from: n.ID(), to: peer.ID(), delta: d, bytes: len(frame)})
+		if p.topo.Kind() == Gossip {
+			telemetry.FedGossipSends.Inc()
+		}
 	}
 	p.collected[i] = true
 	return nil

@@ -8,9 +8,32 @@ import (
 	"time"
 
 	"coca/internal/protocol"
+	"coca/internal/telemetry"
 	"coca/internal/transport"
 	"coca/internal/xrand"
 )
+
+// traceExchange emits one peer_sync trace event for a wire exchange
+// attempt (per-peer bytes, duration and outcome). No-op when tracing is
+// off.
+func (p *PeerSet) traceExchange(start time.Time, peer int, addr string, cells, bytes int, err error) {
+	tr := telemetry.Trace()
+	if tr == nil {
+		return
+	}
+	fields := []telemetry.Field{
+		telemetry.Int("peer", peer),
+		telemetry.Str("addr", addr),
+		telemetry.Int("cells", cells),
+		telemetry.Int("bytes", bytes),
+		telemetry.F64("seconds", time.Since(start).Seconds()),
+		telemetry.Bool("ok", err == nil),
+	}
+	if err != nil {
+		fields = append(fields, telemetry.Str("error", err.Error()))
+	}
+	tr.Emit("peer_sync", fields...)
+}
 
 // PeerSetConfig tunes a wire fleet's link set beyond the static address
 // list. The zero value reproduces the classic behavior: dial the
@@ -349,11 +372,13 @@ func (p *PeerSet) SyncOnce(ctx context.Context) (synced int, err error) {
 		if p.node.members.Skip(p.idFor(addr), round) {
 			continue // dead or left; re-probed every few rounds
 		}
+		start := time.Now()
 		pc, derr := p.link(ctx, addr)
 		if derr != nil {
 			p.node.members.NoteFailure(p.idFor(addr))
 			derr = fmt.Errorf("federation: peer %s: %w", addr, derr)
 			p.node.noteSyncError(derr)
+			p.traceExchange(start, p.idFor(addr), addr, 0, 0, derr)
 			if err == nil {
 				err = derr
 			}
@@ -370,12 +395,17 @@ func (p *PeerSet) SyncOnce(ctx context.Context) (synced int, err error) {
 			p.node.members.NoteFailure(pc.PeerID())
 			serr = fmt.Errorf("federation: peer %s: %w", addr, serr)
 			p.node.noteSyncError(serr)
+			p.traceExchange(start, pc.PeerID(), addr, len(d.Cells), 0, serr)
 			if err == nil {
 				err = serr
 			}
 			continue
 		}
 		p.node.CommitDelta(pc.PeerID(), d, wireBytes)
+		if p.cfg.Fanout > 0 {
+			telemetry.FedGossipSends.Inc()
+		}
+		p.traceExchange(start, pc.PeerID(), addr, len(d.Cells), wireBytes, nil)
 		synced++
 	}
 	// Wire fleets keep per-peer views live (no fast-forward): syncs are

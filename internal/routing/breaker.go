@@ -3,6 +3,8 @@ package routing
 import (
 	"sync"
 	"time"
+
+	"coca/internal/telemetry"
 )
 
 // BreakerState is a circuit breaker's current phase.
@@ -79,7 +81,8 @@ func (c BreakerConfig) withDefaults() BreakerConfig {
 // on any probe failure). All methods are safe for concurrent use and
 // allocation-free.
 type Breaker struct {
-	cfg BreakerConfig
+	cfg  BreakerConfig
+	name string
 
 	mu       sync.Mutex
 	state    BreakerState
@@ -96,7 +99,35 @@ type Breaker struct {
 // NewBreaker builds a breaker in the closed state.
 func NewBreaker(cfg BreakerConfig) *Breaker {
 	cfg = cfg.withDefaults()
+	telemetry.RoutingBreakers.Inc(int(BreakerClosed))
 	return &Breaker{cfg: cfg, outcomes: make([]bool, cfg.Window)}
+}
+
+// SetName labels the breaker in trace events (e.g. its backend address).
+// Call before the breaker sees traffic; unnamed breakers trace as "".
+func (b *Breaker) SetName(name string) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.name = name
+}
+
+// transition moves the state machine, keeping the live per-state breaker
+// gauge in step and emitting a breaker trace event. Caller holds b.mu.
+// Steady-state Allow/Record calls never transition, so the hot paths
+// stay allocation-free.
+func (b *Breaker) transition(to BreakerState) {
+	from := b.state
+	if from == to {
+		return
+	}
+	b.state = to
+	telemetry.RoutingBreakers.Move(int(from), int(to))
+	if tr := telemetry.Trace(); tr != nil {
+		tr.Emit("breaker",
+			telemetry.Str("name", b.name),
+			telemetry.Str("from", from.String()),
+			telemetry.Str("to", to.String()))
+	}
 }
 
 // Allow reports whether a request may proceed right now. An open
@@ -110,7 +141,7 @@ func (b *Breaker) Allow() bool {
 		return true
 	case BreakerOpen:
 		if !b.forced && b.cfg.Now().Sub(b.openedAt) >= b.cfg.OpenFor {
-			b.state = BreakerHalfOpen
+			b.transition(BreakerHalfOpen)
 			b.probes = 0
 			return true
 		}
@@ -180,16 +211,17 @@ func (b *Breaker) Trips() int {
 // open transitions to the open state. countTrip distinguishes a fresh
 // trip from re-affirming an already-open breaker.
 func (b *Breaker) open(countTrip bool) {
-	b.state = BreakerOpen
+	b.transition(BreakerOpen)
 	b.openedAt = b.cfg.Now()
 	if countTrip {
 		b.trips++
+		telemetry.RoutingBreakerTrips.Inc()
 	}
 }
 
 // reset clears the window and closes the breaker.
 func (b *Breaker) reset() {
-	b.state = BreakerClosed
+	b.transition(BreakerClosed)
 	b.next, b.filled, b.failures, b.probes = 0, 0, 0, 0
 }
 

@@ -4,6 +4,7 @@ import (
 	"context"
 
 	"coca/internal/core"
+	"coca/internal/telemetry"
 )
 
 // FrontDoor is the wire-facing control plane: a router over backend
@@ -27,7 +28,11 @@ type FrontDoor struct {
 // NewFrontDoor builds a front door over the backend addresses.
 func NewFrontDoor(addrs []string, cfg Config) *FrontDoor {
 	// The routers' targets are never dereferenced — admission only.
-	return &FrontDoor{r: NewRouter(make([]core.Coordinator, len(addrs)), cfg), addrs: addrs}
+	f := &FrontDoor{r: NewRouter(make([]core.Coordinator, len(addrs)), cfg), addrs: addrs}
+	for s, addr := range addrs {
+		f.r.Breaker(s).SetName(addr)
+	}
+	return f
 }
 
 // Addrs returns the backend address list (index = server id).
@@ -43,6 +48,10 @@ func (f *FrontDoor) ResetBreaker(s int) { f.r.ResetBreaker(s) }
 // BreakerState reports backend s's breaker state.
 func (f *FrontDoor) BreakerState(s int) BreakerState { return f.r.Breaker(s).State() }
 
+// BreakerTrips returns backend s's cumulative breaker trip count (for
+// the router's stats endpoint).
+func (f *FrontDoor) BreakerTrips(s int) int { return f.r.Breaker(s).Trips() }
+
 // Open implements core.Coordinator by always redirecting: the client
 // is admitted (rate limit + breakers), placed, and handed the backend
 // address to dial.
@@ -54,6 +63,7 @@ func (f *FrontDoor) Open(_ context.Context, clientID int) (core.Session, error) 
 	f.r.mu.Lock()
 	f.r.stats.Opens++
 	f.r.mu.Unlock()
+	telemetry.RoutingRedirects.Inc()
 	return nil, &core.RedirectError{Addr: f.addrs[s], Reason: "placement"}
 }
 

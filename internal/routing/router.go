@@ -5,9 +5,11 @@ import (
 	"errors"
 	"math"
 	"sort"
+	"strconv"
 	"sync"
 
 	"coca/internal/core"
+	"coca/internal/telemetry"
 	"coca/internal/vecmath"
 	"coca/internal/xrand"
 )
@@ -68,6 +70,7 @@ func NewRouter(targets []core.Coordinator, cfg Config) *Router {
 	}
 	for i := range r.breakers {
 		r.breakers[i] = NewBreaker(cfg.Breaker)
+		r.breakers[i].SetName("server-" + strconv.Itoa(i))
 	}
 	return r
 }
@@ -151,19 +154,23 @@ func (r *Router) admitLocked(clientID int) (int, error) {
 	st := r.client(clientID)
 	if r.cfg.Rate.enabled() && !st.bkt.take(r.cfg.Rate, r.cfg.Now()) {
 		r.stats.RateLimited++
+		telemetry.RoutingRejections.Inc(telemetry.RejectRateLimited)
 		return -1, ErrRateLimited
 	}
 	if st.server >= 0 {
 		if r.breakers[st.server].Allow() {
+			telemetry.RoutingAdmissions.Inc()
 			return st.server, nil
 		}
 		r.stats.BreakerDenials++
 	}
 	s := r.place(clientID, st, -1)
 	if s < 0 {
+		telemetry.RoutingRejections.Inc(telemetry.RejectNoHealthy)
 		return -1, ErrNoHealthyServer
 	}
 	st.server = s
+	telemetry.RoutingAdmissions.Inc()
 	return s, nil
 }
 
@@ -270,13 +277,23 @@ func (r *Router) failover(clientID, cur int) (tgt int, ok bool) {
 func (r *Router) noteMigration(clientID, tgt int, reason string) {
 	r.mu.Lock()
 	defer r.mu.Unlock()
+	from := -1
 	if st, ok := r.clients[clientID]; ok {
+		from = st.server
 		st.server = tgt
 		st.pending = -1
 	}
 	r.stats.Migrations++
 	if reason == "rebalance" {
 		r.stats.Rebalanced++
+	}
+	telemetry.RoutingMigrations.Inc()
+	if tr := telemetry.Trace(); tr != nil {
+		tr.Emit("migration",
+			telemetry.Int("client", clientID),
+			telemetry.Int("from", from),
+			telemetry.Int("to", tgt),
+			telemetry.Str("reason", reason))
 	}
 }
 

@@ -1,0 +1,92 @@
+package telemetry
+
+import (
+	"io"
+	"math"
+	"net/http"
+	"strconv"
+)
+
+// WriteText renders the registry in the Prometheus text exposition format
+// (version 0.0.4): instruments sorted by name, each with # HELP and
+// # TYPE header lines followed by its samples. Rendering allocates; it
+// runs only at scrape/shutdown time, never on a record path.
+func (r *Registry) WriteText(w io.Writer) error {
+	var buf []byte
+	var scratch Samples
+	for _, inst := range r.sorted() {
+		name, help, kind := inst.describe()
+		buf = buf[:0]
+		buf = append(buf, "# HELP "...)
+		buf = append(buf, name...)
+		buf = append(buf, ' ')
+		buf = append(buf, help...)
+		buf = append(buf, "\n# TYPE "...)
+		buf = append(buf, name...)
+		buf = append(buf, ' ')
+		buf = append(buf, kind...)
+		buf = append(buf, '\n')
+		scratch = inst.collect(scratch[:0])
+		for _, s := range scratch {
+			buf = append(buf, s.Name...)
+			if s.Label != "" {
+				buf = append(buf, '{')
+				buf = append(buf, s.Label...)
+				buf = append(buf, '}')
+			}
+			buf = append(buf, ' ')
+			buf = appendValue(buf, s.Value)
+			buf = append(buf, '\n')
+		}
+		if _, err := w.Write(buf); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Handler serves the registry as a Prometheus /metrics page.
+func (r *Registry) Handler() http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		_ = r.WriteText(w)
+	})
+}
+
+// Handler serves the default registry.
+func Handler() http.Handler { return std.Handler() }
+
+// appendValue renders integral values (the common case: counters, gauges,
+// bucket counts) as plain integers so the page greps/compares cleanly,
+// and everything else in shortest-float form.
+func appendValue(dst []byte, v float64) []byte {
+	if v == math.Trunc(v) && math.Abs(v) < 1e15 {
+		return strconv.AppendInt(dst, int64(v), 10)
+	}
+	return strconv.AppendFloat(dst, v, 'g', -1, 64)
+}
+
+// formatFloat renders a histogram bucket bound for its le label.
+func formatFloat(v float64) string {
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}
+
+// itoa is a tiny strconv.Itoa alias kept separate so collect paths read
+// clearly.
+func itoa(i int) string { return strconv.Itoa(i) }
+
+// Standard bucket ladders. Fixed at registration (see Histogram): the
+// record path must not size, split or hash buckets, so the ladders are
+// deliberately wide rather than adaptive.
+var (
+	// LatencySecondsBuckets spans 0.5ms..10s — engine rounds at bench
+	// scale land mid-ladder, full-scale and raced runs at the top.
+	LatencySecondsBuckets = []float64{
+		0.0005, 0.001, 0.0025, 0.005, 0.01, 0.025, 0.05, 0.1, 0.25, 0.5, 1, 2.5, 5, 10,
+	}
+	// BytesBuckets spans 256B..16MiB — a peer delta exchange ranges from
+	// a heartbeat-sized frame to a full snapshot bootstrap.
+	BytesBuckets = []float64{
+		256, 1024, 4096, 16384, 65536, 262144, 1048576, 4194304, 16777216,
+	}
+)

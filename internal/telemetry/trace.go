@@ -1,0 +1,165 @@
+package telemetry
+
+import (
+	"io"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Tracer appends structured lifecycle events as JSON lines to a sink.
+// One event per line, every event carrying a "ts" timestamp and an
+// "event" type plus typed fields; the schema per event type is documented
+// in DESIGN.md (Observability tier). Emits are serialized by a mutex and
+// reuse one encode buffer, so a tracer costs one write syscall per event
+// and steady-state zero encoder garbage.
+//
+// Tracing is optional and process-global: call SetTracer to install one
+// (the -trace flag on coca-server/coca-router does this). Instrumented
+// call sites guard with Trace() == nil, so a disabled tracer costs a
+// single atomic pointer load.
+type Tracer struct {
+	mu  sync.Mutex
+	w   io.Writer
+	buf []byte
+	now func() time.Time
+}
+
+// NewTracer returns a tracer writing JSON lines to w. The caller retains
+// ownership of w (close files after SetTracer(nil)).
+func NewTracer(w io.Writer) *Tracer {
+	return &Tracer{w: w, now: time.Now}
+}
+
+// SetClock overrides the timestamp source — tests pin it for golden
+// output. Not safe to call concurrently with Emit.
+func (t *Tracer) SetClock(now func() time.Time) { t.now = now }
+
+// Field is one typed key/value of a trace event. Constructing fields does
+// not allocate; the variadic slice in Emit is the only per-event cost.
+type Field struct {
+	key  string
+	str  string
+	num  int64
+	f    float64
+	kind uint8
+}
+
+const (
+	fieldStr = iota
+	fieldInt
+	fieldFloat
+	fieldBool
+)
+
+// Str returns a string field.
+func Str(key, v string) Field { return Field{key: key, str: v, kind: fieldStr} }
+
+// Int returns an integer field.
+func Int(key string, v int) Field { return Field{key: key, num: int64(v), kind: fieldInt} }
+
+// Int64 returns an integer field.
+func Int64(key string, v int64) Field { return Field{key: key, num: v, kind: fieldInt} }
+
+// F64 returns a float field.
+func F64(key string, v float64) Field { return Field{key: key, f: v, kind: fieldFloat} }
+
+// Bool returns a boolean field.
+func Bool(key string, v bool) Field {
+	var n int64
+	if v {
+		n = 1
+	}
+	return Field{key: key, num: n, kind: fieldBool}
+}
+
+// Emit writes one event line: {"ts":"...","event":"<event>",...fields}.
+func (t *Tracer) Emit(event string, fields ...Field) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	b := t.buf[:0]
+	b = append(b, `{"ts":"`...)
+	b = t.now().UTC().AppendFormat(b, time.RFC3339Nano)
+	b = append(b, `","event":`...)
+	b = appendJSONString(b, event)
+	for _, f := range fields {
+		b = append(b, ',')
+		b = appendJSONString(b, f.key)
+		b = append(b, ':')
+		switch f.kind {
+		case fieldStr:
+			b = appendJSONString(b, f.str)
+		case fieldInt:
+			b = appendInt(b, f.num)
+		case fieldFloat:
+			b = appendValue(b, f.f)
+		case fieldBool:
+			if f.num != 0 {
+				b = append(b, "true"...)
+			} else {
+				b = append(b, "false"...)
+			}
+		}
+	}
+	b = append(b, '}', '\n')
+	t.buf = b
+	_, _ = t.w.Write(b)
+}
+
+func appendInt(dst []byte, v int64) []byte {
+	if v < 0 {
+		dst = append(dst, '-')
+		v = -v
+	}
+	var tmp [20]byte
+	i := len(tmp)
+	for {
+		i--
+		tmp[i] = byte('0' + v%10)
+		v /= 10
+		if v == 0 {
+			break
+		}
+	}
+	return append(dst, tmp[i:]...)
+}
+
+// appendJSONString writes a double-quoted, escaped JSON string. Event
+// names and keys are fixed identifiers; values (peer addresses, error
+// strings, reasons) may carry quotes, backslashes or control bytes.
+func appendJSONString(dst []byte, s string) []byte {
+	dst = append(dst, '"')
+	for i := 0; i < len(s); i++ {
+		c := s[i]
+		switch {
+		case c == '"' || c == '\\':
+			dst = append(dst, '\\', c)
+		case c == '\n':
+			dst = append(dst, '\\', 'n')
+		case c == '\t':
+			dst = append(dst, '\\', 't')
+		case c == '\r':
+			dst = append(dst, '\\', 'r')
+		case c < 0x20:
+			const hex = "0123456789abcdef"
+			dst = append(dst, '\\', 'u', '0', '0', hex[c>>4], hex[c&0xf])
+		default:
+			dst = append(dst, c)
+		}
+	}
+	return append(dst, '"')
+}
+
+// active is the installed process-wide tracer (nil when tracing is off).
+var active atomic.Pointer[Tracer]
+
+// SetTracer installs (or, with nil, removes) the process-wide tracer.
+func SetTracer(t *Tracer) { active.Store(t) }
+
+// Trace returns the installed tracer, or nil when tracing is off. Call
+// sites guard emits with it:
+//
+//	if tr := telemetry.Trace(); tr != nil {
+//		tr.Emit("round_end", telemetry.Int("round", n), ...)
+//	}
+func Trace() *Tracer { return active.Load() }
