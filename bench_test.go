@@ -107,6 +107,11 @@ func BenchmarkGossipSyncRound(b *testing.B) { benchsuite.GossipSync(b) }
 // emits the same numbers into BENCH_<date>.json.
 func BenchmarkRoutingAdmission(b *testing.B) { benchsuite.RoutingAdmission(b) }
 
+// BenchmarkRoutingAdmissionShed measures the same decision with the
+// overload tier's queue-depth shed check active on a sheddable-class
+// request — the degraded-mode path, pinned at 0 allocs/op.
+func BenchmarkRoutingAdmissionShed(b *testing.B) { benchsuite.RoutingAdmissionShed(b) }
+
 // BenchmarkTelemetryRecord measures the per-op cost of the telemetry
 // tier's record path (counter, labeled counter, gauge, histogram — one
 // of each per iteration). Steady state is allocation-free (pinned by the

@@ -180,6 +180,7 @@ func suite() []namedBench {
 		{"federation-sync-round", benchsuite.FederationSync},
 		{"gossip-sync-round", benchsuite.GossipSync},
 		{"routing-admission", benchsuite.RoutingAdmission},
+		{"routing-admission-shed", benchsuite.RoutingAdmissionShed},
 		{"telemetry-record", benchsuite.TelemetryRecord},
 	}
 	for _, clients := range []int{1, 16} {

@@ -1,16 +1,27 @@
 // Command coca-client runs a CoCa edge client over TCP: it connects to a
 // coca-server (or a coca-router front door), opens a coordination session
-// (wire protocol v2: allocation deltas instead of full cache tables), and
-// drives a synthetic sample stream through cached inference for the
-// requested number of rounds, printing the latency/accuracy summary.
+// (wire protocol v3: allocation deltas with per-request deadline
+// propagation, negotiated down against older servers), and drives a
+// synthetic sample stream through cached inference for the requested
+// number of rounds, printing the latency/accuracy summary.
 //
 // The model, dataset and class-count flags must match the server's, and
 // -clients must name the fleet size so every client carves the same
 // workload partition: client -id K of -clients N always streams partition
 // K of N, regardless of which process it runs in.
 //
-// Dials retry with exponential backoff (-dial-retries/-dial-backoff), and
-// redirects are followed transparently: a routing front door answers the
+// Dials retry with seeded-jitter exponential backoff
+// (-dial-retries/-dial-backoff; the jitter de-correlates fleet members
+// recovering from a shared brown-out) under a leaky-bucket retry budget
+// (-retry-budget; retries past the budget fail fast instead of piling
+// onto an overloaded server). -request-timeout puts a deadline on each
+// coordination request, carried in the wire frames so the server drops
+// expired work instead of serving it late; -max-stale-rounds arms the
+// serve-stale shield: when the server brown-outs mid-run, the client
+// keeps serving inference from its last-synced allocation for up to
+// that many rounds instead of failing the run.
+//
+// Redirects are followed transparently: a routing front door answers the
 // session open with its placement decision, and a mid-stream redirect —
 // the routing tier migrating this session during a brown-out — makes the
 // client re-open on the named server and resume, recovering its exact
@@ -21,6 +32,7 @@
 //	coca-client -addr localhost:7070 -model ResNet101 -dataset UCF101 \
 //	    -classes 50 -id 0 -clients 4 -rounds 5 -budget 300
 //	coca-client -addr localhost:7069 -dial-retries 5 -dial-backoff 200ms
+//	coca-client -addr localhost:7070 -request-timeout 2s -max-stale-rounds 3
 package main
 
 import (
@@ -35,10 +47,12 @@ import (
 	"coca/internal/dataset"
 	"coca/internal/metrics"
 	"coca/internal/model"
+	"coca/internal/overload"
 	"coca/internal/protocol"
 	"coca/internal/semantics"
 	"coca/internal/stream"
 	"coca/internal/transport"
+	"coca/internal/xrand"
 )
 
 // maxRedirectHops bounds how many chained redirects one open or
@@ -49,14 +63,18 @@ const maxRedirectHops = 4
 type dialer struct {
 	retries int
 	backoff time.Duration
+	seed    uint64
+	budget  *overload.RetryBudget
 	classes int
 	layers  int
 }
 
-// dial connects to addr, retrying transient failures with exponential
-// backoff.
+// dial connects to addr, retrying transient failures with seeded-jitter
+// exponential backoff under the retry budget: each retry spends a
+// token, and an empty bucket fails the dial fast rather than joining a
+// retry storm.
 func (d *dialer) dial(ctx context.Context, addr string) (transport.Conn, error) {
-	backoff := d.backoff
+	d.budget.Note()
 	var err error
 	for attempt := 0; ; attempt++ {
 		var conn transport.Conn
@@ -67,13 +85,16 @@ func (d *dialer) dial(ctx context.Context, addr string) (transport.Conn, error) 
 		if attempt >= d.retries || ctx.Err() != nil {
 			break
 		}
-		log.Printf("dial %s: %v (retrying in %s)", addr, err, backoff)
+		if !d.budget.Allow() {
+			return nil, fmt.Errorf("dial %s: retry budget exhausted after attempt %d: %w", addr, attempt+1, err)
+		}
+		wait := overload.Backoff(d.backoff, attempt, d.seed)
+		log.Printf("dial %s: %v (retrying in %s)", addr, err, wait)
 		select {
-		case <-time.After(backoff):
+		case <-time.After(wait):
 		case <-ctx.Done():
 			return nil, ctx.Err()
 		}
-		backoff *= 2
 	}
 	return nil, fmt.Errorf("dial %s (after %d attempts): %w", addr, d.retries+1, err)
 }
@@ -102,7 +123,10 @@ func main() {
 		bias    = flag.Float64("bias", 0.05, "client feature-bias weight")
 		seed    = flag.Uint64("seed", 7, "workload seed (must match across the fleet)")
 		retries = flag.Int("dial-retries", 3, "extra connection attempts after a failed dial")
-		backoff = flag.Duration("dial-backoff", 100*time.Millisecond, "wait before the first dial retry (doubles per attempt)")
+		backoff = flag.Duration("dial-backoff", 100*time.Millisecond, "base dial-retry backoff (doubles per attempt, equal-jittered per client)")
+		rbudget = flag.Float64("retry-budget", 0.1, "retry-budget refill ratio: tokens earned per request, spent per retry (negative = unlimited retries)")
+		reqTO   = flag.Duration("request-timeout", 0, "per-request deadline, propagated to the server in wire frames (0 = none)")
+		stale   = flag.Int("max-stale-rounds", 0, "serve-stale shield: rounds to keep serving the last-synced allocation through a server brown-out (0 = fail fast)")
 	)
 	flag.Parse()
 
@@ -124,7 +148,16 @@ func main() {
 	space := semantics.NewSpace(ds, arch)
 
 	ctx := context.Background()
-	d := &dialer{retries: *retries, backoff: *backoff, classes: ds.NumClasses, layers: arch.NumLayers}
+	var retryBudget *overload.RetryBudget
+	if *rbudget >= 0 {
+		retryBudget = overload.NewRetryBudget(overload.RetryBudgetConfig{Ratio: *rbudget, Burst: float64(*retries)})
+	}
+	d := &dialer{
+		retries: *retries, backoff: *backoff,
+		seed:    xrand.HashSeed(*seed, 0x6a697474, uint64(*id)), // the serve-tier dial-jitter stream
+		budget:  retryBudget,
+		classes: ds.NumClasses, layers: arch.NumLayers,
+	}
 
 	// Initial open, following front-door placement redirects.
 	coord, err := d.session(ctx, *addr)
@@ -135,6 +168,7 @@ func main() {
 	cfg := core.ClientConfig{
 		ID: *id, Theta: *theta, Budget: *budget, RoundFrames: *frames,
 		EnvBiasWeight: *bias, EnvSeed: uint64(*id) + 1,
+		RequestTimeout: *reqTO, MaxStaleRounds: *stale,
 	}
 	for hop := 0; ; hop++ {
 		client, err = core.NewClient(ctx, space, coord, cfg)

@@ -12,6 +12,15 @@
 // steering new clients to the other members of their shuffle shards, and
 // recovery closes it again through the breaker's half-open probes.
 //
+// The overload tier's queue-depth load shedding (internal/overload,
+// routing.Config.Shed) needs a live view of per-backend queue depth,
+// which a redirect-only front door does not have — clients talk to their
+// edge server directly after placement. Depth-driven shedding therefore
+// runs in the in-process routed deployment (Options.Routing), where the
+// router holds the backend servers themselves; this front door degrades
+// under overload through its rate limit and breakers, and reports any
+// shed decisions in /stats for symmetry.
+//
 // The semantic placement policy needs per-client class profiles, which
 // never reach a redirect-only front door, so -route semantic degrades to
 // hash placement here (see internal/routing.FrontDoor); use the
@@ -109,6 +118,7 @@ func main() {
 			Redirects      int       `json:"redirects"`
 			RateLimited    int       `json:"rate_limited"`
 			BreakerDenials int       `json:"breaker_denials"`
+			Shed           int       `json:"shed"`
 			Migrations     int       `json:"migrations"`
 			Backends       []backend `json:"backends"`
 		}{
@@ -116,6 +126,7 @@ func main() {
 			Redirects:      st.Opens, // a front-door open always answers with a redirect
 			RateLimited:    st.RateLimited,
 			BreakerDenials: st.BreakerDenials,
+			Shed:           st.Shed,
 			Migrations:     st.Migrations,
 		}
 		for s, addr := range addrs {
@@ -244,6 +255,7 @@ func main() {
 	fmt.Fprintf(os.Stderr, "  opens placed     %d\n", st.Opens)
 	fmt.Fprintf(os.Stderr, "  breaker denials  %d\n", st.BreakerDenials)
 	fmt.Fprintf(os.Stderr, "  rate limited     %d\n", st.RateLimited)
+	fmt.Fprintf(os.Stderr, "  shed             %d\n", st.Shed)
 	fmt.Fprintf(os.Stderr, "  redirects issued %d\n", int64(snap.Value("coca_routing_redirects_total")))
 	fmt.Fprintf(os.Stderr, "  breaker trips    %d\n", int64(snap.Value("coca_routing_breaker_trips_total")))
 }

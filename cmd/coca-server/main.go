@@ -1,8 +1,9 @@
 // Command coca-server runs a CoCa edge server over TCP: it builds the
 // simulated model/dataset universe, initializes the global cache table from
 // the shared dataset, and serves session, cache-allocation and
-// global-update requests from coca-client processes (wire protocol v2,
-// with v1 clients still accepted).
+// global-update requests from coca-client processes (wire protocol v3
+// with per-request deadline propagation, negotiated down for v2 and v1
+// clients).
 //
 // With -peers, the server joins a federation: it gossips global-cache
 // cell deltas to the listed peer servers every -sync interval and merges
@@ -24,9 +25,12 @@
 // On SIGINT/SIGTERM the server shuts down gracefully: it announces a
 // clean leave to live peers (so they mark it left immediately rather than
 // waiting out the suspect timeout), stops accepting new connections, lets
-// in-flight sessions drain for -drain, then closes the remaining
-// connections, prints its final counters (allocations, merges, sessions,
-// peer-sync traffic with a per-peer breakdown) and exits.
+// in-flight sessions drain for up to -drain-timeout, then closes the
+// remaining connections, prints its final counters (allocations, merges,
+// sessions, peer-sync traffic with a per-peer breakdown) and exits.
+// Sessions that finish inside the window count as drained, the
+// force-closed remainder as aborted (coca_overload_drain_sessions_total
+// in /metrics).
 //
 // Live observability: -metrics serves the process-wide telemetry registry
 // (per-tier counters, gauges and histograms — cache hits, sync bytes,
@@ -79,7 +83,8 @@ func main() {
 		theta    = flag.Float64("theta", 0.012, "hit threshold Θ used for layer profiling")
 		gamma    = flag.Float64("gamma", 0.99, "global merge decay γ (Eq. 4)")
 		seed     = flag.Uint64("seed", 1, "shared-dataset seed")
-		drain    = flag.Duration("drain", 10*time.Second, "graceful-shutdown drain window for in-flight sessions")
+		drainTO  = flag.Duration("drain-timeout", 5*time.Second, "graceful-shutdown bound: in-flight sessions get this long to drain before being force-closed")
+		drainOld = flag.Duration("drain", 0, "deprecated alias for -drain-timeout")
 		peersF   = flag.String("peers", "", "comma-separated federated peer server addresses (host:port,...)")
 		nodeID   = flag.Int("node-id", 0, "this server's federation id (distinct per fleet member)")
 		relay    = flag.Bool("relay", false, "relay received peer evidence onward (set on star hubs / ring members; leave off in a full mesh)")
@@ -93,6 +98,15 @@ func main() {
 		traceF   = flag.String("trace", "", "append JSON-lines telemetry events (sessions, syncs, membership) to this file (empty = off)")
 	)
 	flag.Parse()
+	drain := *drainTO
+	flag.Visit(func(f *flag.Flag) {
+		if f.Name == "drain" && *drainOld > 0 {
+			drain = *drainOld // deprecated alias; -drain-timeout wins when both are set
+		}
+		if f.Name == "drain-timeout" {
+			drain = *drainTO
+		}
+	})
 
 	if *metricsA != "" && *metricsA == *pprofA {
 		// Shared diagnostics listener: pprof registers on the default
@@ -227,8 +241,9 @@ func main() {
 	}
 
 	<-sigCtx.Done()
+	atShutdown := srv.Sessions()
 	fmt.Fprintf(os.Stderr, "coca-server: shutting down: draining %d open session(s) for up to %s...\n",
-		srv.Sessions(), *drain)
+		atShutdown, drain)
 	if peers != nil {
 		// Announce the departure while the links are still up: surviving
 		// peers mark this node left immediately instead of waiting out the
@@ -243,8 +258,16 @@ func main() {
 	go func() { wg.Wait(); close(drained) }()
 	select {
 	case <-drained:
-	case <-time.After(*drain):
-		fmt.Fprintln(os.Stderr, "coca-server: drain window elapsed; closing remaining connections")
+		telemetry.OverloadDrains.Add(telemetry.DrainDrained, uint64(atShutdown))
+	case <-time.After(drain):
+		// Sessions that beat the deadline drained; the stragglers are
+		// force-closed and counted aborted — the bounded-drain contract.
+		aborted := srv.Sessions()
+		telemetry.OverloadDrains.Add(telemetry.DrainAborted, uint64(aborted))
+		if n := atShutdown - aborted; n > 0 {
+			telemetry.OverloadDrains.Add(telemetry.DrainDrained, uint64(n))
+		}
+		fmt.Fprintf(os.Stderr, "coca-server: drain deadline elapsed; closing %d remaining connection(s)\n", aborted)
 		cancelConns()
 		<-drained
 	}
@@ -271,6 +294,9 @@ func printFinalStats(node *federation.Node) {
 		count("coca_federation_cells_sent_total"), snap.Value("coca_federation_sync_bytes_sent_total")/1024)
 	fmt.Fprintf(os.Stderr, "  peer cells recv  %d (%.1f KiB)\n",
 		count("coca_federation_cells_recv_total"), snap.Value("coca_federation_sync_bytes_recv_total")/1024)
+	if d, a := telemetry.OverloadDrains.Load(telemetry.DrainDrained), telemetry.OverloadDrains.Load(telemetry.DrainAborted); d+a > 0 {
+		fmt.Fprintf(os.Stderr, "  drain            %d drained, %d aborted\n", d, a)
+	}
 	if sync.Errors > 0 {
 		fmt.Fprintf(os.Stderr, "  peer sync errors %d (last: %s)\n", sync.Errors, sync.LastError)
 	}

@@ -126,9 +126,33 @@ type Options struct {
 	// failed dial, backing off between attempts (default 3; negative
 	// disables retries).
 	DialRetries int
-	// DialBackoff is the wait before the first retry, doubling per
-	// attempt (default 100ms).
+	// DialBackoff is the exponential backoff base between dial attempts
+	// (default 100ms). The actual wait is equal-jittered into
+	// [d/2, d] of the doubling schedule by a per-client seeded stream,
+	// so a fleet sharing a brown-out does not thunder-herd the
+	// recovering server; the schedule is deterministic per (Seed,
+	// client id).
 	DialBackoff time.Duration
+	// RetryBudgetRatio tunes the per-client leaky-bucket retry budget:
+	// each dial operation earns this fraction of a retry token, each
+	// retry spends one, and the bucket holds at most DialRetries tokens
+	// (the full schedule of one cold dial). In sustained overload the
+	// fleet therefore retries at most Ratio× its dial rate instead of
+	// amplifying the overload. 0 selects the default 0.1; negative
+	// disables the budget entirely.
+	RetryBudgetRatio float64
+	// RequestTimeout bounds each per-round coordination request (the
+	// status→allocation exchange and the update upload). The deadline
+	// travels to the server inside v3 wire frames, so work that expires
+	// while queued is dropped at dequeue instead of computed for
+	// nobody. 0 sets no deadline.
+	RequestTimeout time.Duration
+	// MaxStaleRounds arms the client's serve-stale shield: when a
+	// round's allocation fails (peer sync, migration window, suspect or
+	// dead backend), the client serves up to this many consecutive
+	// rounds from its last-applied allocation view instead of failing,
+	// with the staleness counted in telemetry. 0 disables the shield.
+	MaxStaleRounds int
 
 	// Routing, when non-nil, deploys the fleet behind the routing tier:
 	// several in-process edge servers fronted by a control-plane router
@@ -344,14 +368,16 @@ func NewSystem(opts Options) (*System, error) {
 	}
 	theta := opts.theta(space.Arch)
 	ccfg := core.ClientConfig{
-		Theta:         theta,
-		Budget:        opts.Budget,
-		RoundFrames:   opts.RoundFrames,
-		GammaCollect:  opts.GammaCollect,
-		DeltaCollect:  opts.DeltaCollect,
-		EnvBiasWeight: opts.ClientBias,
-		DriftWeight:   opts.DriftWeight,
-		DriftPerRound: opts.DriftPerRound,
+		Theta:          theta,
+		Budget:         opts.Budget,
+		RoundFrames:    opts.RoundFrames,
+		GammaCollect:   opts.GammaCollect,
+		DeltaCollect:   opts.DeltaCollect,
+		EnvBiasWeight:  opts.ClientBias,
+		DriftWeight:    opts.DriftWeight,
+		DriftPerRound:  opts.DriftPerRound,
+		RequestTimeout: opts.RequestTimeout,
+		MaxStaleRounds: opts.MaxStaleRounds,
 	}
 	if r := opts.Routing; r != nil {
 		servers := r.Servers

@@ -1,0 +1,86 @@
+package coca
+
+// Seeded dial-jitter contract: the retry backoff schedule is a pure
+// function of (Options.Seed, client id, attempt). Pinning exact values
+// keeps drills and fleet simulations replayable — a change to the hash
+// tag, the jitter distribution or the PCG stream moves these numbers
+// and must be deliberate.
+
+import (
+	"testing"
+	"time"
+
+	"coca/internal/overload"
+)
+
+func TestDialBackoffSeededSchedule(t *testing.T) {
+	opts := Options{Seed: 42, DialBackoff: 20 * time.Millisecond}
+
+	want := map[int][]time.Duration{
+		0: {11420205, 32663706, 72647891, 147810120, 200904607},
+		1: {18081556, 27100012, 41805772, 148312218, 168162485},
+		7: {15299259, 22366653, 60037757, 142079528, 254372751},
+	}
+	for id, schedule := range want {
+		for attempt, w := range schedule {
+			got := dialBackoff(opts, id, attempt)
+			if got != w {
+				t.Errorf("dialBackoff(seed=42, client=%d, attempt=%d) = %v, want %v", id, attempt, got, w)
+			}
+			// Equal jitter: every wait lands in [d/2, d] of the doubling
+			// schedule, so the envelope stays exponential.
+			d := opts.DialBackoff << attempt
+			if got < d/2 || got > d {
+				t.Errorf("client %d attempt %d: %v outside jitter envelope [%v, %v]", id, attempt, got, d/2, d)
+			}
+		}
+	}
+
+	// Replays bit-for-bit...
+	for attempt := 0; attempt < 5; attempt++ {
+		if a, b := dialBackoff(opts, 0, attempt), dialBackoff(opts, 0, attempt); a != b {
+			t.Fatalf("attempt %d: schedule not deterministic: %v then %v", attempt, a, b)
+		}
+	}
+	// ...and clients de-correlate: across several attempts two fleet
+	// members cannot share the whole schedule (that lockstep is the
+	// thundering herd the jitter exists to break).
+	same := 0
+	for attempt := 0; attempt < 5; attempt++ {
+		if dialBackoff(opts, 0, attempt) == dialBackoff(opts, 1, attempt) {
+			same++
+		}
+	}
+	if same == 5 {
+		t.Error("clients 0 and 1 share the entire backoff schedule; jitter streams not per-client")
+	}
+	// A different fleet seed re-draws the whole schedule.
+	other := Options{Seed: 43, DialBackoff: 20 * time.Millisecond}
+	if dialBackoff(opts, 0, 0) == dialBackoff(other, 0, 0) &&
+		dialBackoff(opts, 0, 1) == dialBackoff(other, 0, 1) &&
+		dialBackoff(opts, 0, 2) == dialBackoff(other, 0, 2) {
+		t.Error("seeds 42 and 43 share the backoff schedule; seed not threaded into the jitter stream")
+	}
+}
+
+func TestDialRetryBudgetExhaustion(t *testing.T) {
+	// The budget is shared across a client's whole reconnect life: with
+	// Ratio 0 nothing refills, so Burst retries spend it down and the
+	// next failure is denied instead of queued behind backoff.
+	b := overload.NewRetryBudget(overload.RetryBudgetConfig{Ratio: 0, Burst: 2})
+	b.Note()
+	if !b.Allow() || !b.Allow() {
+		t.Fatal("budget denied retries within burst")
+	}
+	if b.Allow() {
+		t.Fatal("budget allowed a third retry past Burst=2 with no refill")
+	}
+	// Disabled budget (nil) always allows: the legacy retry schedule.
+	var nilBudget *overload.RetryBudget
+	nilBudget.Note()
+	for i := 0; i < 10; i++ {
+		if !nilBudget.Allow() {
+			t.Fatal("nil (disabled) budget denied a retry")
+		}
+	}
+}

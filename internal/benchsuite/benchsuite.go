@@ -11,6 +11,7 @@ import (
 	"context"
 	"runtime"
 	"testing"
+	"time"
 
 	"coca/internal/core"
 	"coca/internal/dataset"
@@ -18,6 +19,7 @@ import (
 	"coca/internal/federation"
 	"coca/internal/metrics"
 	"coca/internal/model"
+	"coca/internal/overload"
 	"coca/internal/routing"
 	"coca/internal/semantics"
 	"coca/internal/stream"
@@ -339,6 +341,60 @@ func RoutingAdmission(b *testing.B) {
 	b.ResetTimer()
 	for n := 0; n < b.N; n++ {
 		if _, err := r.Admit(n % RoutingAdmissionClients); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// shedBenchTarget is a backend stand-in that reports a constant load
+// snapshot, so the shed decision runs its full read-and-decide path
+// (load snapshot, CoDel criterion) on every admission without a real
+// server behind it. Admit never opens sessions, so Open is unreachable.
+type shedBenchTarget struct{ snap overload.Snapshot }
+
+func (t *shedBenchTarget) Open(context.Context, int) (core.Session, error) {
+	panic("benchsuite: shed bench target is admission-only")
+}
+
+func (t *shedBenchTarget) LoadSnapshot() overload.Snapshot { return t.snap }
+
+// NewAdmissionShedRouter builds the router of the routing-admission-shed
+// benchmark: the NewAdmissionRouter shape (8 targets, shuffle shards of
+// 3, rate limiting on) with queue-depth shedding enabled and every
+// backend exporting a live-but-healthy load snapshot, so each sheddable
+// admission pays the complete decision — token bucket, breaker, sticky
+// placement and the CoDel shed check — and is admitted.
+func NewAdmissionShedRouter() *routing.Router {
+	targets := make([]core.Coordinator, 8)
+	for s := range targets {
+		targets[s] = &shedBenchTarget{snap: overload.Snapshot{Depth: 4, QueueWait: time.Millisecond}}
+	}
+	r := routing.NewRouter(targets, routing.Config{
+		Policy:    routing.PolicyHash,
+		ShardSize: 3,
+		Seed:      1,
+		Rate:      routing.RateConfig{PerSec: 1 << 20},
+		Shed:      overload.ShedConfig{Target: 5 * time.Millisecond, MaxDepth: 64},
+	})
+	for id := 0; id < RoutingAdmissionClients; id++ {
+		if _, err := r.AdmitClass(id, overload.ClassSheddable); err != nil {
+			panic(err)
+		}
+	}
+	return r
+}
+
+// RoutingAdmissionShed measures the overload tier's addition to the
+// front-door decision: one sheddable-class AdmitClass per op over the
+// warm population, with the shed check consulting each backend's load
+// snapshot. The steady state is pinned at 0 allocs/op by the benchsuite
+// allocs test — degraded-mode control flow may not cost allocations.
+func RoutingAdmissionShed(b *testing.B) {
+	r := NewAdmissionShedRouter()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for n := 0; n < b.N; n++ {
+		if _, err := r.AdmitClass(n%RoutingAdmissionClients, overload.ClassSheddable); err != nil {
 			b.Fatal(err)
 		}
 	}

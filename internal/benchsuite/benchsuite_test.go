@@ -1,6 +1,10 @@
 package benchsuite
 
-import "testing"
+import (
+	"testing"
+
+	"coca/internal/overload"
+)
 
 // TestRoutingAdmissionAllocs pins the routing-admission steady state at
 // zero allocations per admitted request — the ISSUE's 0 allocs/op
@@ -16,6 +20,24 @@ func TestRoutingAdmissionAllocs(t *testing.T) {
 	})
 	if allocs != 0 {
 		t.Fatalf("admission steady state allocates %.1f per request, want 0", allocs)
+	}
+}
+
+// TestRoutingAdmissionShedAllocs pins the shed-path steady state at
+// zero allocations per admitted sheddable request — the overload tier's
+// contract: the degraded-mode decision (load snapshot + CoDel check on
+// top of token bucket, breaker and sticky placement) may not allocate.
+func TestRoutingAdmissionShedAllocs(t *testing.T) {
+	r := NewAdmissionShedRouter()
+	id := 0
+	allocs := testing.AllocsPerRun(200, func() {
+		if _, err := r.AdmitClass(id, overload.ClassSheddable); err != nil {
+			t.Fatal(err)
+		}
+		id = (id + 1) % RoutingAdmissionClients
+	})
+	if allocs != 0 {
+		t.Fatalf("shed-path steady state allocates %.1f per request, want 0", allocs)
 	}
 }
 

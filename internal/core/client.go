@@ -6,6 +6,7 @@ package core
 import (
 	"context"
 	"fmt"
+	"time"
 
 	"coca/internal/cache"
 	"coca/internal/dataset"
@@ -13,6 +14,7 @@ import (
 	"coca/internal/gtable"
 	"coca/internal/model"
 	"coca/internal/semantics"
+	"coca/internal/telemetry"
 )
 
 // Defaults from the paper.
@@ -78,6 +80,21 @@ type ClientConfig struct {
 	// predicted-label mode shows the staleness feedback loop a fully
 	// label-free deployment would face.
 	PredictedLabelStatus bool
+	// RequestTimeout bounds each coordination request (Allocate, Upload)
+	// with a context deadline layered under the lifecycle context. Wire
+	// transports propagate the deadline to the server (protocol v3), so
+	// expired work is dropped at dequeue rather than computed for
+	// nobody. 0 sets no per-request deadline.
+	RequestTimeout time.Duration
+	// MaxStaleRounds arms the serve-stale shield: when the coordinator
+	// fails a round's allocation (peer sync, migration, or a suspect/dead
+	// backend window), the client keeps serving from its last-applied
+	// allocation view for up to this many consecutive rounds instead of
+	// failing the round. View cells are immutable once published, so the
+	// stale read is race-free; the staleness is bounded by this knob and
+	// counted in telemetry. 0 disables the shield (allocation failures
+	// fail the round, the pre-shield behavior).
+	MaxStaleRounds int
 }
 
 func (c ClientConfig) withDefaults() ClientConfig {
@@ -142,6 +159,11 @@ type Client struct {
 
 	collect CollectionStats
 	rounds  int
+
+	// staleRounds counts consecutive rounds served from a stale view under
+	// the shield; servedStale totals them over the client's lifetime.
+	staleRounds int
+	servedStale int
 }
 
 // NewClient opens a session with the coordinator and builds a client
@@ -235,11 +257,22 @@ func (c *Client) Reconnect(coord Coordinator) error {
 	return nil
 }
 
+// reqCtx derives one coordination request's context: the lifecycle
+// context, bounded by RequestTimeout when configured.
+func (c *Client) reqCtx() (context.Context, context.CancelFunc) {
+	if c.cfg.RequestTimeout > 0 {
+		return context.WithTimeout(c.ctx, c.cfg.RequestTimeout)
+	}
+	return c.ctx, func() {}
+}
+
 // allocate requests a delta for the given status, folds it into the view
 // and returns the materialized allocation.
 func (c *Client) allocate(status StatusReport) (Allocation, error) {
 	status.LastVersion = c.view.Version()
-	delta, err := c.sess.Allocate(c.ctx, status)
+	ctx, cancel := c.reqCtx()
+	delta, err := c.sess.Allocate(ctx, status)
+	cancel()
 	if err != nil {
 		return Allocation{}, err
 	}
@@ -269,7 +302,13 @@ func (c *Client) BeginRound() error {
 		var err error
 		alloc, err = c.allocate(c.status())
 		if err != nil {
-			return fmt.Errorf("core: client %d allocate: %w", c.cfg.ID, err)
+			stale, ok := c.shieldAllocation(err)
+			if !ok {
+				return fmt.Errorf("core: client %d allocate: %w", c.cfg.ID, err)
+			}
+			alloc = stale
+		} else {
+			c.exitShield()
 		}
 		if c.cfg.DisableDynamicAllocation && c.frozen == nil {
 			frozen := alloc
@@ -285,6 +324,51 @@ func (c *Client) BeginRound() error {
 	c.roundFrames = 0
 	return nil
 }
+
+// shieldAllocation is the serve-stale path: when an allocation round
+// fails under an armed shield, reuse the last-applied view for one more
+// round, bounded by MaxStaleRounds. Not engaged when the client's own
+// lifecycle context is done — a shutting-down client must not mask its
+// cancellation as a degraded round.
+func (c *Client) shieldAllocation(cause error) (Allocation, bool) {
+	if c.cfg.MaxStaleRounds <= 0 || c.ctx.Err() != nil {
+		return Allocation{}, false
+	}
+	if c.view.Version() == 0 || c.staleRounds >= c.cfg.MaxStaleRounds {
+		return Allocation{}, false
+	}
+	c.staleRounds++
+	c.servedStale++
+	telemetry.OverloadServedStale.Inc()
+	if int64(c.staleRounds) > telemetry.OverloadStaleRounds.Load() {
+		telemetry.OverloadStaleRounds.Set(int64(c.staleRounds))
+	}
+	if tr := telemetry.Trace(); tr != nil {
+		tr.Emit("serve_stale",
+			telemetry.Int("client", c.cfg.ID),
+			telemetry.Int("stale_rounds", c.staleRounds),
+			telemetry.Str("cause", cause.Error()))
+	}
+	return c.view.Allocation(), true
+}
+
+// exitShield marks a successful allocation after (possibly) degraded
+// rounds: the staleness streak ends.
+func (c *Client) exitShield() {
+	if c.staleRounds == 0 {
+		return
+	}
+	c.staleRounds = 0
+	telemetry.OverloadStaleRounds.Set(0)
+}
+
+// ServedStale reports how many rounds this client served from a stale
+// view under the shield (lifetime total), and StaleRounds the current
+// consecutive streak.
+func (c *Client) ServedStale() int { return c.servedStale }
+
+// StaleRounds reports the current consecutive stale-round streak.
+func (c *Client) StaleRounds() int { return c.staleRounds }
 
 // frozenStatus reproduces a neutral status for frozen-allocation refreshes.
 func (c *Client) frozenStatus() StatusReport {
@@ -336,8 +420,19 @@ func (c *Client) EndRound() error {
 			})
 		})
 	}
-	if err := c.sess.Upload(c.ctx, report); err != nil {
-		return fmt.Errorf("core: client %d upload: %w", c.cfg.ID, err)
+	ctx, cancel := c.reqCtx()
+	err := c.sess.Upload(ctx, report)
+	cancel()
+	if err != nil {
+		if c.staleRounds == 0 || c.ctx.Err() != nil {
+			return fmt.Errorf("core: client %d upload: %w", c.cfg.ID, err)
+		}
+		// Shield spans the whole degraded round: the coordinator that
+		// could not allocate likely cannot absorb uploads either. The
+		// update table is kept (not reset) so the evidence is re-offered
+		// once the coordinator recovers.
+		c.rounds++
+		return nil
 	}
 	c.upd.Reset()
 	c.freq.Reset()

@@ -5,6 +5,7 @@ package core
 
 import (
 	"context"
+	"errors"
 	"fmt"
 	"math"
 	"runtime"
@@ -16,6 +17,7 @@ import (
 	"coca/internal/dataset"
 	"coca/internal/gtable"
 	"coca/internal/model"
+	"coca/internal/overload"
 	"coca/internal/semantics"
 	"coca/internal/telemetry"
 	"coca/internal/xrand"
@@ -161,6 +163,10 @@ type Server struct {
 	allocs     atomic.Int64
 	merges     atomic.Int64
 	peerMerges atomic.Int64
+
+	// load tracks in-flight coordination depth and queue-wait EWMA; the
+	// routing tier's shed decision reads it through LoadSnapshot.
+	load *overload.LoadTracker
 }
 
 // ServerInit is the shared-dataset construction behind a server: the
@@ -247,7 +253,11 @@ func NewServerFrom(space *semantics.Space, cfg ServerConfig, init *ServerInit) *
 		panic(fmt.Sprintf("core: ServerInit built over %s(seed %d)×%s, space is %s(seed %d)×%s",
 			init.dsName, init.dsSeed, init.archName, space.DS.Name, space.DS.Seed, space.Arch.Name))
 	}
-	s := &Server{cfg: cfg, space: space, sessions: make(map[uint64]*ServerSession)}
+	s := &Server{
+		cfg: cfg, space: space,
+		sessions: make(map[uint64]*ServerSession),
+		load:     overload.NewLoadTracker(nil),
+	}
 	ds := space.DS
 	s.table = gtable.ShardedFromTable(init.table, float64(cfg.InitSamplesPerClass))
 	s.freq = gtable.NewFrequencies(ds.NumClasses)
@@ -485,13 +495,32 @@ type allocScratch struct {
 	sites   []int
 }
 
+// stageCheck aborts multi-stage work whose context died between stages —
+// the overload tier's "stop computing for nobody" rule. A deadline-caused
+// abort is counted; plain cancellation is not an overload signal.
+func stageCheck(ctx context.Context) error {
+	err := ctx.Err()
+	if err == nil {
+		return nil
+	}
+	if errors.Is(err, context.DeadlineExceeded) {
+		telemetry.OverloadDeadlineExpired.Inc()
+	}
+	return err
+}
+
 // computeAllocation runs ACA on the client's status and extracts the
 // resulting sub-table cells from the global cache (§IV-B), into the
 // caller's scratch. It takes no global lock: ACA reads a frequency
 // snapshot, and extraction read-locks one table row at a time. The
 // returned slices (and the cell entry vectors, which are borrowed
 // immutable table entries) stay valid until the scratch's next use.
-func (s *Server) computeAllocation(clientID int, status StatusReport, sc *allocScratch) (classes, sites []int, cells []targetCell, err error) {
+//
+// The context is checked at stage boundaries (between the probe and full
+// ACA passes, and before extraction) so a request whose propagated
+// deadline expires mid-computation stops burning the shared table instead
+// of finishing work nobody will read.
+func (s *Server) computeAllocation(ctx context.Context, clientID int, status StatusReport, sc *allocScratch) (classes, sites []int, cells []targetCell, err error) {
 	if len(status.Tau) != s.space.DS.NumClasses {
 		return nil, nil, nil, fmt.Errorf("core: client %d status has %d classes, want %d",
 			clientID, len(status.Tau), s.space.DS.NumClasses)
@@ -527,6 +556,9 @@ func (s *Server) computeAllocation(clientID int, status StatusReport, sc *allocS
 		return nil, nil, nil, err
 	}
 	probeClasses := len(probe.Classes)
+	if err := stageCheck(ctx); err != nil {
+		return nil, nil, nil, err
+	}
 	res, err := RunACAScratch(ACAInput{
 		GlobalFreq:   globalFreq,
 		Tau:          status.Tau,
@@ -537,6 +569,9 @@ func (s *Server) computeAllocation(clientID int, status StatusReport, sc *allocS
 		LookupCostMs: s.space.Arch.LookupCostMs(probeClasses),
 	}, &sc.aca)
 	if err != nil {
+		return nil, nil, nil, err
+	}
+	if err := stageCheck(ctx); err != nil {
 		return nil, nil, nil, err
 	}
 	s.allocs.Add(1)
@@ -638,6 +673,11 @@ func (s *Server) Stats() (allocs, merges int) {
 // PeerMerges reports how many cells have been merged from federated peer
 // servers.
 func (s *Server) PeerMerges() int { return int(s.peerMerges.Load()) }
+
+// LoadSnapshot implements overload.LoadReporter: the server's in-flight
+// coordination depth and queue-wait EWMA, read by the routing tier's
+// queue-depth shed decision.
+func (s *Server) LoadSnapshot() overload.Snapshot { return s.load.LoadSnapshot() }
 
 // Shape returns the model agreement pair (classes × cache layers) a peer
 // or client must match.
@@ -804,15 +844,20 @@ func (ss *ServerSession) Info() RegisterInfo { return ss.info }
 // the whole call; sessions of different clients still allocate in parallel
 // against the sharded table.
 func (ss *ServerSession) Allocate(ctx context.Context, status StatusReport) (Delta, error) {
-	if err := ctx.Err(); err != nil {
+	if err := stageCheck(ctx); err != nil {
 		return Delta{}, err
 	}
+	arrived := ss.srv.load.Arrive()
+	defer ss.srv.load.Done()
 	ss.mu.Lock()
 	defer ss.mu.Unlock()
+	// Queue wait is the span from arrival to the moment processing can
+	// begin — for an in-process session, the session-lock wait.
+	ss.srv.load.Start(arrived)
 	if ss.closed {
 		return Delta{}, fmt.Errorf("core: session %d closed", ss.id)
 	}
-	classes, sites, cells, err := ss.srv.computeAllocation(ss.clientID, status, &ss.sc)
+	classes, sites, cells, err := ss.srv.computeAllocation(ctx, ss.clientID, status, &ss.sc)
 	if err != nil {
 		return Delta{}, err
 	}
@@ -868,10 +913,13 @@ func (ss *ServerSession) Allocate(ctx context.Context, status StatusReport) (Del
 
 // Upload implements Session.
 func (ss *ServerSession) Upload(ctx context.Context, upd UpdateReport) error {
-	if err := ctx.Err(); err != nil {
+	if err := stageCheck(ctx); err != nil {
 		return err
 	}
+	arrived := ss.srv.load.Arrive()
+	defer ss.srv.load.Done()
 	ss.mu.Lock()
+	ss.srv.load.Start(arrived)
 	if ss.closed {
 		ss.mu.Unlock()
 		return fmt.Errorf("core: session %d closed", ss.id)

@@ -1,0 +1,168 @@
+package core
+
+// Serve-stale shield tests: an armed client rides out coordinator
+// failures on its last-applied allocation, bounded by MaxStaleRounds,
+// and resumes (re-offering retained updates) once the coordinator heals.
+
+import (
+	"context"
+	"errors"
+	"sync/atomic"
+	"testing"
+)
+
+var errInjectedOutage = errors.New("injected coordinator outage")
+
+// outageCoord wraps a real server coordinator and fails every
+// Allocate/Upload while failing is set.
+type outageCoord struct {
+	inner   Coordinator
+	failing atomic.Bool
+}
+
+func (o *outageCoord) Open(ctx context.Context, clientID int) (Session, error) {
+	sess, err := o.inner.Open(ctx, clientID)
+	if err != nil {
+		return nil, err
+	}
+	return &outageSession{Session: sess, o: o}, nil
+}
+
+type outageSession struct {
+	Session
+	o *outageCoord
+}
+
+func (s *outageSession) Allocate(ctx context.Context, st StatusReport) (Delta, error) {
+	if s.o.failing.Load() {
+		return Delta{}, errInjectedOutage
+	}
+	return s.Session.Allocate(ctx, st)
+}
+
+func (s *outageSession) Upload(ctx context.Context, upd UpdateReport) error {
+	if s.o.failing.Load() {
+		return errInjectedOutage
+	}
+	return s.Session.Upload(ctx, upd)
+}
+
+func shieldFixture(t *testing.T, maxStale int) (*Client, *outageCoord) {
+	t.Helper()
+	space := smallSpace()
+	srv := NewServer(space, ServerConfig{Theta: 0.035, Seed: 3, ProfileSamples: 200, InitSamplesPerClass: 16})
+	coord := &outageCoord{inner: srv}
+	c, err := NewClient(context.Background(), space, coord, ClientConfig{
+		Theta: 0.035, Budget: 40, RoundFrames: 50, MaxStaleRounds: maxStale,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return c, coord
+}
+
+func TestShieldServesStaleThroughOutage(t *testing.T) {
+	c, coord := shieldFixture(t, 3)
+	gen := smallGen(t)
+	round := func() error {
+		if err := c.BeginRound(); err != nil {
+			return err
+		}
+		for f := 0; f < 50; f++ {
+			c.Infer(gen.Next())
+		}
+		return c.EndRound()
+	}
+
+	// One healthy round establishes a view to go stale on.
+	if err := round(); err != nil {
+		t.Fatal(err)
+	}
+	if c.StaleRounds() != 0 {
+		t.Fatalf("healthy round left stale streak %d", c.StaleRounds())
+	}
+
+	// Two outage rounds are absorbed by the shield.
+	coord.failing.Store(true)
+	for i := 0; i < 2; i++ {
+		if err := round(); err != nil {
+			t.Fatalf("outage round %d not shielded: %v", i+1, err)
+		}
+	}
+	if got := c.StaleRounds(); got != 2 {
+		t.Fatalf("stale streak %d after 2 outage rounds, want 2", got)
+	}
+	if got := c.ServedStale(); got != 2 {
+		t.Fatalf("lifetime stale count %d, want 2", got)
+	}
+
+	// Recovery resets the streak; the retained update evidence uploads.
+	coord.failing.Store(false)
+	if err := round(); err != nil {
+		t.Fatal(err)
+	}
+	if c.StaleRounds() != 0 {
+		t.Fatalf("stale streak %d after recovery, want 0", c.StaleRounds())
+	}
+	if c.ServedStale() != 2 {
+		t.Fatalf("lifetime stale count changed to %d on recovery", c.ServedStale())
+	}
+}
+
+func TestShieldBoundsStaleness(t *testing.T) {
+	c, coord := shieldFixture(t, 2)
+	gen := smallGen(t)
+	round := func() error {
+		if err := c.BeginRound(); err != nil {
+			return err
+		}
+		for f := 0; f < 50; f++ {
+			c.Infer(gen.Next())
+		}
+		return c.EndRound()
+	}
+	if err := round(); err != nil {
+		t.Fatal(err)
+	}
+	coord.failing.Store(true)
+	for i := 0; i < 2; i++ {
+		if err := round(); err != nil {
+			t.Fatalf("round %d inside the bound failed: %v", i+1, err)
+		}
+	}
+	// The bound is hard: round MaxStaleRounds+1 surfaces the outage.
+	if err := round(); !errors.Is(err, errInjectedOutage) {
+		t.Fatalf("round past the staleness bound returned %v, want the injected outage", err)
+	}
+}
+
+func TestShieldDisarmedFailsFast(t *testing.T) {
+	c, coord := shieldFixture(t, 0)
+	gen := smallGen(t)
+	if err := c.BeginRound(); err != nil {
+		t.Fatal(err)
+	}
+	for f := 0; f < 50; f++ {
+		c.Infer(gen.Next())
+	}
+	if err := c.EndRound(); err != nil {
+		t.Fatal(err)
+	}
+	coord.failing.Store(true)
+	if err := c.BeginRound(); !errors.Is(err, errInjectedOutage) {
+		t.Fatalf("disarmed client returned %v, want the injected outage", err)
+	}
+}
+
+func TestShieldNeverServesBeforeFirstAllocation(t *testing.T) {
+	// A client whose very first allocation fails has no view to serve
+	// stale from; the shield must not mask that.
+	c, coord := shieldFixture(t, 3)
+	coord.failing.Store(true)
+	if err := c.BeginRound(); !errors.Is(err, errInjectedOutage) {
+		t.Fatalf("first-round outage returned %v, want the injected outage", err)
+	}
+	if c.ServedStale() != 0 {
+		t.Fatalf("shield served %d stale rounds with no view", c.ServedStale())
+	}
+}

@@ -1,0 +1,396 @@
+package experiments
+
+// Failure drills for the overload-survival tier (beyond the paper):
+//
+// Arm A — flash crowd. A deterministic virtual-time queue simulation
+// drives one server (fixed service cost) at 1×/2×/4× its capacity with
+// a critical/sheddable request mix, through the same overload.Shedder
+// the routing tier embeds, with client deadlines dropped at dequeue.
+// The contrast arm runs the identical 2× schedule with the controls
+// off: the queue grows without bound and goodput (work completed within
+// its deadline) collapses, while the controlled arm sheds speculative
+// work early, drops expired work for free and keeps goodput within a
+// fraction of capacity.
+//
+// Arm B — brown-out. A real core cluster (server + fleet) has its
+// coordination plane fail injected for a window of rounds; clients run
+// with the serve-stale shield armed (MaxStaleRounds) and keep serving
+// inference from their last-synced allocation — cells are
+// immutable-once-published, so stale reads are safe — with bounded
+// staleness and a hit ratio that stays near the healthy level.
+//
+// Both arms are seed-deterministic; TestDrillsAcceptance asserts the
+// numbers this experiment narrates.
+
+import (
+	"context"
+	"fmt"
+	"sort"
+	"sync/atomic"
+	"time"
+
+	"coca/internal/core"
+	"coca/internal/dataset"
+	"coca/internal/metrics"
+	"coca/internal/model"
+	"coca/internal/overload"
+	"coca/internal/stream"
+	"coca/internal/xrand"
+)
+
+// ---- Arm A: flash-crowd queue drill ----
+
+// drillWaitAlpha mirrors the LoadTracker's queue-wait EWMA smoothing so
+// the simulated snapshot feeds the Shedder the same signal shape the
+// live serving path produces.
+const drillWaitAlpha = 0.2
+
+// flashConfig parameterizes one flash-crowd run.
+type flashConfig struct {
+	serviceTime time.Duration // per-request service cost (capacity = duration/serviceTime)
+	deadline    time.Duration // per-request client deadline
+	duration    time.Duration // simulated horizon
+	multiplier  float64       // offered load as a multiple of capacity
+	critical    float64       // fraction of offered requests that are critical class
+	shed        overload.ShedConfig
+	controls    bool // shedding + drop-expired-at-dequeue on/off
+	seed        uint64
+}
+
+// flashResult is one run's outcome.
+type flashResult struct {
+	offered  int
+	admitted int
+	shed     int
+	served   int // dequeued and serviced
+	goodput  int // serviced AND completed within deadline
+	late     int // serviced but past deadline (wasted work)
+	expired  int // dropped at dequeue (deadline already passed)
+	maxDepth int // high-water queue depth
+	p99Wait  time.Duration
+	capacity int // requests the server could serve over the horizon
+}
+
+type flashReq struct {
+	arrival  time.Duration
+	deadline time.Duration
+}
+
+// runFlashCrowd simulates a single-server admission queue in virtual
+// time: Poisson arrivals (seeded PCG — bit-identical per seed), FIFO
+// service at a fixed cost, the overload tier's Shedder consulted at
+// admission and deadlines enforced at dequeue. No wall clock is read;
+// the run is a pure function of its config.
+func runFlashCrowd(cfg flashConfig) flashResult {
+	r := xrand.New(cfg.seed, 0x64726c73) // "drls"
+	epoch := time.Unix(0, 0)
+	shed := overload.NewShedder(cfg.shed)
+	meanGap := float64(cfg.serviceTime) / cfg.multiplier
+
+	var (
+		res        flashResult
+		queue      []flashReq
+		serverFree time.Duration
+		ewma       float64
+		waits      []time.Duration
+	)
+	res.capacity = int(cfg.duration / cfg.serviceTime)
+
+	// drain services every queued request whose processing would begin
+	// before the horizon `until`, folding observed waits into the EWMA
+	// the shed decision reads.
+	drain := func(until time.Duration) {
+		for len(queue) > 0 {
+			req := queue[0]
+			start := serverFree
+			if req.arrival > start {
+				start = req.arrival
+			}
+			if start >= until {
+				return
+			}
+			queue = queue[1:]
+			wait := start - req.arrival
+			ewma += drillWaitAlpha * (float64(wait) - ewma)
+			if cfg.controls && start >= req.deadline {
+				// Expired at dequeue: dropping costs nothing — the whole
+				// point of carrying the deadline to the server.
+				res.expired++
+				serverFree = start
+				continue
+			}
+			res.served++
+			waits = append(waits, wait)
+			serverFree = start + cfg.serviceTime
+			if serverFree <= req.deadline {
+				res.goodput++
+			} else {
+				res.late++
+			}
+		}
+	}
+
+	for t := time.Duration(r.ExpFloat64() * meanGap); t < cfg.duration; t += time.Duration(r.ExpFloat64() * meanGap) {
+		drain(t)
+		res.offered++
+		class := overload.ClassSheddable
+		if r.Float64() < cfg.critical {
+			class = overload.ClassCritical
+		}
+		if cfg.controls {
+			snap := overload.Snapshot{Depth: len(queue), QueueWait: time.Duration(ewma)}
+			if !shed.Admit(epoch.Add(t), snap, class) {
+				res.shed++
+				continue
+			}
+		}
+		res.admitted++
+		queue = append(queue, flashReq{arrival: t, deadline: t + cfg.deadline})
+		if len(queue) > res.maxDepth {
+			res.maxDepth = len(queue)
+		}
+	}
+	drain(cfg.duration)
+
+	if len(waits) > 0 {
+		sort.Slice(waits, func(i, j int) bool { return waits[i] < waits[j] })
+		res.p99Wait = waits[len(waits)*99/100]
+	}
+	return res
+}
+
+// drillShedConfig is the shared shed policy of the flash-crowd arms:
+// a 5ms standing-queue target with a 20ms grace interval and a hard
+// depth backstop.
+func drillShedConfig() overload.ShedConfig {
+	return overload.ShedConfig{Target: 5 * time.Millisecond, Interval: 20 * time.Millisecond, MaxDepth: 64}
+}
+
+// flashArm builds the config for one multiplier at the experiment's
+// scale. The request mix is 20% critical (allocations/uploads) and 80%
+// sheddable (speculative probe refreshes), so even at 4× overload the
+// critical stream alone stays under capacity — the regime shedding is
+// designed for.
+func flashArm(opts Options, mult float64, controls bool) flashConfig {
+	dur := time.Duration(float64(2*time.Second) * opts.Scale)
+	if dur < 300*time.Millisecond {
+		dur = 300 * time.Millisecond
+	}
+	return flashConfig{
+		serviceTime: time.Millisecond,
+		deadline:    25 * time.Millisecond,
+		duration:    dur,
+		multiplier:  mult,
+		critical:    0.2,
+		shed:        drillShedConfig(),
+		controls:    controls,
+		seed:        opts.Seed,
+	}
+}
+
+// ---- Arm B: brown-out serve-stale drill ----
+
+// brownoutCoord injects coordination-plane failures: while failing is
+// set, every Allocate and Upload errors — the client-visible shape of a
+// server brown-out (suspect backend, stalled sync, mid-migration) —
+// without touching the transport or the server's state.
+type brownoutCoord struct {
+	inner   core.Coordinator
+	failing *atomic.Bool
+}
+
+func (b *brownoutCoord) Open(ctx context.Context, clientID int) (core.Session, error) {
+	s, err := b.inner.Open(ctx, clientID)
+	if err != nil {
+		return nil, err
+	}
+	return &brownoutSession{inner: s, failing: b.failing}, nil
+}
+
+type brownoutSession struct {
+	inner   core.Session
+	failing *atomic.Bool
+}
+
+func (s *brownoutSession) Info() core.RegisterInfo { return s.inner.Info() }
+
+func (s *brownoutSession) Allocate(ctx context.Context, status core.StatusReport) (core.Delta, error) {
+	if s.failing.Load() {
+		return core.Delta{}, fmt.Errorf("drills: injected brown-out (allocate)")
+	}
+	return s.inner.Allocate(ctx, status)
+}
+
+func (s *brownoutSession) Upload(ctx context.Context, upd core.UpdateReport) error {
+	if s.failing.Load() {
+		return fmt.Errorf("drills: injected brown-out (upload)")
+	}
+	return s.inner.Upload(ctx, upd)
+}
+
+func (s *brownoutSession) Close() error { return s.inner.Close() }
+
+// brownoutResult is Arm B's outcome.
+type brownoutResult struct {
+	rounds      int
+	brownStart  int // first failed round
+	brownLen    int // failed-round count
+	staleBound  int // configured MaxStaleRounds
+	clients     int
+	servedStale int     // fleet total of shield-served rounds
+	maxStale    int     // high-water staleness observed (rounds)
+	preHit      float64 // fleet hit ratio over warm healthy rounds
+	brownHit    float64 // fleet hit ratio over the brown-out rounds
+	postHit     float64 // fleet hit ratio after recovery
+}
+
+// runBrownout drives a real core fleet through an injected
+// coordination-plane outage with the serve-stale shield armed.
+func runBrownout(opts Options) (brownoutResult, error) {
+	const (
+		clients    = 6
+		budget     = 60
+		rounds     = 7
+		brownStart = 3
+		brownLen   = 2
+		staleBound = 3
+	)
+	res := brownoutResult{
+		rounds: rounds, brownStart: brownStart, brownLen: brownLen,
+		staleBound: staleBound, clients: clients,
+	}
+	ctx := context.Background()
+	ds := dataset.UCF101().Subset(20)
+	arch := model.ResNet50()
+	theta := thetaFor(arch, true)
+	space := newSpace(ds, arch)
+	frames := opts.frames(150)
+
+	srv := core.NewServer(space, core.ServerConfig{Theta: theta, Seed: opts.Seed})
+	failing := &atomic.Bool{}
+	coord := &brownoutCoord{inner: srv, failing: failing}
+
+	fleet := make([]*core.Client, clients)
+	for k := range fleet {
+		cl, err := core.NewClient(ctx, space, coord, core.ClientConfig{
+			ID: k, Theta: theta, Budget: budget, RoundFrames: frames,
+			EnvBiasWeight: 0.05, EnvSeed: uint64(k) + 1,
+			MaxStaleRounds: staleBound,
+		})
+		if err != nil {
+			return res, err
+		}
+		defer cl.Close()
+		fleet[k] = cl
+	}
+	part, err := stream.NewPartition(stream.Config{
+		Dataset: ds, NumClients: clients, SceneMeanFrames: 25,
+		WorkingSetSize: 15, WorkingSetChurn: 0.05, Seed: opts.Seed,
+	})
+	if err != nil {
+		return res, err
+	}
+	gens := make([]*stream.Generator, clients)
+	for k := range gens {
+		gens[k] = part.Client(k)
+	}
+
+	hitByRound := make([]float64, rounds)
+	for round := 0; round < rounds; round++ {
+		failing.Store(round >= brownStart && round < brownStart+brownLen)
+		hits, total := 0, 0
+		for k, cl := range fleet {
+			if err := cl.BeginRound(); err != nil {
+				return res, fmt.Errorf("round %d client %d begin: %w", round, k, err)
+			}
+			for f := 0; f < frames; f++ {
+				if cl.Infer(gens[k].Next()).Hit {
+					hits++
+				}
+				total++
+			}
+			if err := cl.EndRound(); err != nil {
+				return res, fmt.Errorf("round %d client %d end: %w", round, k, err)
+			}
+			if sr := cl.StaleRounds(); sr > res.maxStale {
+				res.maxStale = sr
+			}
+		}
+		hitByRound[round] = float64(hits) / float64(total)
+	}
+	failing.Store(false)
+	for _, cl := range fleet {
+		res.servedStale += cl.ServedStale()
+	}
+
+	avg := func(lo, hi int) float64 {
+		s := 0.0
+		for _, h := range hitByRound[lo:hi] {
+			s += h
+		}
+		return s / float64(hi-lo)
+	}
+	res.preHit = avg(1, brownStart) // round 0 is the cold start
+	res.brownHit = avg(brownStart, brownStart+brownLen)
+	res.postHit = avg(brownStart+brownLen, rounds)
+	return res, nil
+}
+
+// ---- the registered experiment ----
+
+// DrillsExp runs both failure drills and renders them as one table.
+func DrillsExp(opts Options) (*Result, error) {
+	opts = opts.withDefaults()
+	out := metrics.NewTable("Failure drills — flash-crowd overload and brown-out degradation (overload tier)",
+		"Arm", "Goodput(%cap)", "Shed(%off)", "Expired", "p99 wait(ms)", "MaxDepth", "Hit(%)", "Stale")
+
+	pct := func(n, d int) float64 {
+		if d == 0 {
+			return 0
+		}
+		return 100 * float64(n) / float64(d)
+	}
+	var twoX flashResult
+	for _, mult := range []float64{1, 2, 4} {
+		fr := runFlashCrowd(flashArm(opts, mult, true))
+		if mult == 2 {
+			twoX = fr
+		}
+		out.AddRow(fmt.Sprintf("flash %.0f× (shed+deadline)", mult),
+			metrics.Fmt(pct(fr.goodput, fr.capacity), 1),
+			metrics.Fmt(pct(fr.shed, fr.offered), 1),
+			fmt.Sprintf("%d", fr.expired),
+			metrics.Fmt(float64(fr.p99Wait)/1e6, 2),
+			fmt.Sprintf("%d", fr.maxDepth),
+			"", "")
+	}
+	naive := runFlashCrowd(flashArm(opts, 2, false))
+	out.AddRow("flash 2× (no controls)",
+		metrics.Fmt(pct(naive.goodput, naive.capacity), 1),
+		"0.0",
+		fmt.Sprintf("%d", naive.expired),
+		metrics.Fmt(float64(naive.p99Wait)/1e6, 2),
+		fmt.Sprintf("%d", naive.maxDepth),
+		"", "")
+
+	bo, err := runBrownout(opts)
+	if err != nil {
+		return nil, fmt.Errorf("drills brown-out: %w", err)
+	}
+	out.AddRow(fmt.Sprintf("brown-out r%d-%d (shield)", bo.brownStart, bo.brownStart+bo.brownLen-1),
+		"", "", "", "", "",
+		metrics.Pct(bo.brownHit, 2),
+		fmt.Sprintf("served=%d max=%d/%d", bo.servedStale, bo.maxStale, bo.staleBound))
+
+	out.AddNote("flash 2× with controls: goodput %.1f%% of capacity vs %.1f%% uncontrolled — shedding speculative work early and dropping expired work at dequeue prevents congestion collapse",
+		pct(twoX.goodput, twoX.capacity), pct(naive.goodput, naive.capacity))
+	out.AddNote("deadline propagation pays at dequeue: %d expired requests dropped for free in the controlled 2× arm (p99 queue wait %.2fms — the deadline is a hard ceiling on served waits; uncontrolled p99 %.1fms and growing with the horizon)",
+		twoX.expired, float64(twoX.p99Wait)/1e6, float64(naive.p99Wait)/1e6)
+	out.AddNote("shed-before-queue: controlled high-water depth %d vs %d uncontrolled — the queue never grows past the backstop because admission, not the queue, absorbs the overload",
+		twoX.maxDepth, naive.maxDepth)
+	out.AddNote("brown-out: %d/%d rounds dark, fleet served %d stale rounds (staleness ≤ %d, bound %d) at %.2f%% hit ratio vs %.2f%% healthy (%.2f%% after recovery) — cells are immutable-once-published, so the shield serves the last-synced allocation safely",
+		bo.brownLen, bo.rounds, bo.servedStale, bo.maxStale, bo.staleBound,
+		100*bo.brownHit, 100*bo.preHit, 100*bo.postHit)
+	out.AddNote("fixed seed reproduces identical rows run-to-run (virtual-time arrivals, workload and fault schedule are all deterministic)")
+	return &Result{ID: "drills", Table: out}, nil
+}

@@ -1,0 +1,104 @@
+package experiments
+
+// Acceptance drills for the overload tier (ISSUE 9): the flash-crowd
+// and brown-out arms are pure functions of their seed, so the survival
+// properties are asserted as exact-threshold tests rather than eyeballed
+// from the table.
+
+import (
+	"testing"
+)
+
+func TestDrillsFlashCrowdAcceptance(t *testing.T) {
+	opts := Options{Scale: 1, Seed: 1}
+	twoX := runFlashCrowd(flashArm(opts, 2, true))
+	naive := runFlashCrowd(flashArm(opts, 2, false))
+
+	// Under 2× overload, goodput stays within 20% of capacity: no
+	// congestion collapse.
+	if min := int(0.8 * float64(twoX.capacity)); twoX.goodput < min {
+		t.Errorf("2× controlled goodput %d below 80%% of capacity %d", twoX.goodput, twoX.capacity)
+	}
+	// The identical schedule without the controls collapses — the
+	// contrast that proves the controls, not the workload, carry the arm.
+	if naive.goodput*2 > naive.capacity {
+		t.Errorf("2× uncontrolled goodput %d did not collapse (capacity %d); the drill's overload regime is too gentle", naive.goodput, naive.capacity)
+	}
+	// Expired work is dropped at dequeue — the deadline travels and pays.
+	if twoX.expired == 0 {
+		t.Error("controlled 2× arm dropped no expired work at dequeue")
+	}
+	// Served-request p99 queue wait is bounded by the client deadline
+	// (anything that would wait longer is dropped, not served late).
+	if dl := flashArm(opts, 2, true).deadline; twoX.p99Wait > dl {
+		t.Errorf("controlled 2× p99 wait %v exceeds the %v deadline", twoX.p99Wait, dl)
+	}
+	if naive.p99Wait < 10*flashArm(opts, 2, false).deadline {
+		t.Errorf("uncontrolled p99 wait %v suspiciously low; overload regime too gentle", naive.p99Wait)
+	}
+	// Shed-before-queue: admission absorbs the overload, so the
+	// controlled queue's high-water mark stays an order of magnitude
+	// below the uncontrolled one and near the configured backstop.
+	if twoX.shed == 0 {
+		t.Error("controlled 2× arm shed nothing")
+	}
+	if twoX.maxDepth*10 > naive.maxDepth {
+		t.Errorf("controlled high-water depth %d not well below uncontrolled %d", twoX.maxDepth, naive.maxDepth)
+	}
+	if backstop := drillShedConfig().MaxDepth; twoX.maxDepth > 2*backstop {
+		t.Errorf("controlled depth %d far past the %d backstop", twoX.maxDepth, backstop)
+	}
+
+	// Determinism: the same seed replays the same run, a different seed
+	// draws a different arrival schedule.
+	again := runFlashCrowd(flashArm(opts, 2, true))
+	if again != twoX {
+		t.Errorf("same seed diverged: %+v vs %+v", again, twoX)
+	}
+	other := runFlashCrowd(flashArm(Options{Scale: 1, Seed: 2}, 2, true))
+	if other == twoX {
+		t.Error("different seed reproduced the identical run")
+	}
+}
+
+func TestDrillsBrownoutAcceptance(t *testing.T) {
+	bo, err := runBrownout(Options{Scale: 0.5, Seed: 1}.withDefaults())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The shield engaged: the fleet served stale rounds through the
+	// outage instead of failing the run.
+	if bo.servedStale == 0 {
+		t.Fatal("no stale rounds served through the brown-out")
+	}
+	// Staleness stays within the configured bound.
+	if bo.maxStale > bo.staleBound {
+		t.Errorf("observed staleness %d rounds exceeds the %d bound", bo.maxStale, bo.staleBound)
+	}
+	if bo.maxStale < bo.brownLen {
+		t.Errorf("observed staleness %d below the %d-round outage; shield not exercised end-to-end", bo.maxStale, bo.brownLen)
+	}
+	// Hit-ratio floor while degraded: the stale allocation keeps serving
+	// near the healthy level (cells are immutable-once-published).
+	if bo.brownHit < 0.8*bo.preHit {
+		t.Errorf("brown-out hit ratio %.4f below 80%% of healthy %.4f", bo.brownHit, bo.preHit)
+	}
+	if bo.preHit <= 0 {
+		t.Fatal("healthy hit ratio is zero; drill workload broken")
+	}
+}
+
+// TestDrillsDeadlineCeiling pins the invariant the p99 bound relies
+// on even at the deepest overload: a request whose wait reaches the
+// deadline is dropped at dequeue, never served, so served waits cannot
+// exceed the deadline.
+func TestDrillsDeadlineCeiling(t *testing.T) {
+	cfg := flashArm(Options{Scale: 1, Seed: 3}.withDefaults(), 4, true)
+	fr := runFlashCrowd(cfg)
+	if fr.p99Wait > cfg.deadline {
+		t.Errorf("p99 wait %v exceeds deadline %v at 4× overload", fr.p99Wait, cfg.deadline)
+	}
+	if fr.goodput == 0 || fr.shed == 0 || fr.expired == 0 {
+		t.Errorf("4× arm should exercise every control: goodput=%d shed=%d expired=%d", fr.goodput, fr.shed, fr.expired)
+	}
+}

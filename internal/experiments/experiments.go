@@ -102,6 +102,7 @@ func Registry() []Experiment {
 		{ID: "federation", Title: "Federation: multi-edge-server peer delta-sync (beyond the paper)", Shape: "federated per-server hit ratio recovers toward the single-server oracle; partitioned no-sync lags; per-server sync bytes near-flat in fleet size", Run: FederationExp},
 		{ID: "routing", Title: "Routing: placement policies, brown-out migration and recovery (beyond the paper)", Shape: "semantic placement beats hash and random on fleet hit ratio; brown-out migrations recover within a few rounds; migrated allocations bitwise-identical to uninterrupted runs", Run: RoutingExp},
 		{ID: "churn", Title: "Churn: gossip vs mesh sync bytes and elastic membership (beyond the paper)", Shape: "gossip per-node sync bytes stay near-flat while mesh grows with fleet size; a snapshot join costs a fraction of history replay; a crash never stalls the survivors", Run: ChurnExp},
+		{ID: "drills", Title: "Drills: flash-crowd overload and brown-out degradation (beyond the paper)", Shape: "under 2× overload goodput stays within 20% of capacity while the uncontrolled arm collapses; expired work is dropped at dequeue with bounded p99; a brown-out is served stale within the staleness bound at a near-healthy hit ratio", Run: DrillsExp},
 	}
 }
 

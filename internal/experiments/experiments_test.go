@@ -9,7 +9,7 @@ import (
 func TestRegistryCompleteAndUnique(t *testing.T) {
 	want := []string{"fig1a", "fig1b", "fig2", "table1", "fig5", "fig6",
 		"table2", "table3", "fig7", "fig8", "fig9", "fig10a", "fig10b",
-		"federation", "routing", "churn"}
+		"federation", "routing", "churn", "drills"}
 	reg := Registry()
 	if len(reg) != len(want) {
 		t.Fatalf("registry has %d experiments, want %d", len(reg), len(want))

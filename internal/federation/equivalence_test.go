@@ -31,9 +31,13 @@ import (
 const goldenWireHash = "1356cfb8b1b732f7157fd0715fef6a74ffd5606fc3e0c0d5e19c982bd5b28108"
 
 // recordFrame hashes one encoded frame with a length prefix, so frame
-// boundaries cannot cancel out across the stream.
+// boundaries cannot cancel out across the stream. Frames are pinned at
+// v2 framing: v3 only adds a deadline header word (zero here), and this
+// golden pins the delta CONTENT — classes, cells, ordering, eviction
+// sets — which is version-independent.
 func recordFrame(t *testing.T, h hash.Hash, m *protocol.Message) {
 	t.Helper()
+	m.Version = protocol.V2
 	frame, err := protocol.Encode(m)
 	if err != nil {
 		t.Fatalf("encode: %v", err)

@@ -7,6 +7,7 @@ import (
 
 	"coca/internal/core"
 	"coca/internal/gtable"
+	"coca/internal/overload"
 	"coca/internal/protocol"
 	"coca/internal/telemetry"
 )
@@ -190,6 +191,11 @@ func (n *Node) Members() *Membership { return n.members }
 func (n *Node) Open(ctx context.Context, clientID int) (core.Session, error) {
 	return n.srv.Open(ctx, clientID)
 }
+
+// LoadSnapshot implements overload.LoadReporter by delegation, so a
+// routing front door over federation nodes can shed on backend load
+// exactly as it does over bare servers.
+func (n *Node) LoadSnapshot() overload.Snapshot { return n.srv.LoadSnapshot() }
 
 // Stats returns a snapshot of the node's sync counters, including the
 // per-peer breakdown.

@@ -1,0 +1,186 @@
+package overload
+
+import (
+	"testing"
+	"time"
+)
+
+// fakeClock is a manually-advanced clock for deterministic tests.
+type fakeClock struct{ t time.Time }
+
+func newFakeClock() *fakeClock               { return &fakeClock{t: time.Unix(1700000000, 0)} }
+func (c *fakeClock) Now() time.Time          { return c.t }
+func (c *fakeClock) Advance(d time.Duration) { c.t = c.t.Add(d) }
+
+func TestDeadlineRoundTrip(t *testing.T) {
+	if us := DeadlineMicros(time.Time{}); us != 0 {
+		t.Fatalf("zero time encodes to %d, want 0", us)
+	}
+	if _, ok := DeadlineTime(0); ok {
+		t.Fatal("0 decodes to a deadline")
+	}
+	want := time.Date(2026, 8, 8, 12, 30, 0, 250e3, time.UTC)
+	got, ok := DeadlineTime(DeadlineMicros(want))
+	if !ok {
+		t.Fatal("round trip lost the deadline")
+	}
+	if !got.Equal(want) {
+		t.Fatalf("round trip %v, want %v", got, want)
+	}
+}
+
+func TestLoadTrackerDepthAndWait(t *testing.T) {
+	clk := newFakeClock()
+	lt := NewLoadTracker(clk.Now)
+	if snap := lt.LoadSnapshot(); snap.Depth != 0 || snap.QueueWait != 0 {
+		t.Fatalf("fresh tracker reports %+v", snap)
+	}
+	a := lt.Arrive()
+	b := lt.Arrive()
+	if snap := lt.LoadSnapshot(); snap.Depth != 2 {
+		t.Fatalf("depth %d after two arrivals, want 2", snap.Depth)
+	}
+	clk.Advance(10 * time.Millisecond)
+	lt.Start(a)
+	// EWMA after one sample of 10ms at alpha=0.2 is 2ms.
+	if got, want := lt.LoadSnapshot().QueueWait, 2*time.Millisecond; got != want {
+		t.Fatalf("queue-wait EWMA %v, want %v", got, want)
+	}
+	lt.Start(b)
+	lt.Done()
+	lt.Done()
+	if snap := lt.LoadSnapshot(); snap.Depth != 0 {
+		t.Fatalf("depth %d after completions, want 0", snap.Depth)
+	}
+	// nil tracker is a no-op everywhere.
+	var nilT *LoadTracker
+	nilT.Start(nilT.Arrive())
+	nilT.Done()
+	if snap := nilT.LoadSnapshot(); snap != (Snapshot{}) {
+		t.Fatalf("nil tracker reports %+v", snap)
+	}
+}
+
+func TestShedderCoDelCriterion(t *testing.T) {
+	clk := newFakeClock()
+	s := NewShedder(ShedConfig{Target: 5 * time.Millisecond, Interval: 50 * time.Millisecond})
+	over := Snapshot{QueueWait: 8 * time.Millisecond}
+	under := Snapshot{QueueWait: 2 * time.Millisecond}
+
+	// Critical work is never shed.
+	if !s.Admit(clk.Now(), over, ClassCritical) {
+		t.Fatal("critical work shed")
+	}
+	// First observation above target starts the interval but admits.
+	if !s.Admit(clk.Now(), over, ClassSheddable) {
+		t.Fatal("shed on first above-target observation")
+	}
+	// Still inside the interval: absorb the burst.
+	clk.Advance(20 * time.Millisecond)
+	if !s.Admit(clk.Now(), over, ClassSheddable) {
+		t.Fatal("shed before the interval elapsed")
+	}
+	// Past the interval with wait still above target: shed.
+	clk.Advance(40 * time.Millisecond)
+	if s.Admit(clk.Now(), over, ClassSheddable) {
+		t.Fatal("admitted after a standing queue persisted past the interval")
+	}
+	if !s.Shedding() {
+		t.Fatal("Shedding() false while rejecting")
+	}
+	// Wait drops below target: shedding stops immediately.
+	if !s.Admit(clk.Now(), under, ClassSheddable) {
+		t.Fatal("shed after the standing queue drained")
+	}
+	if s.Shedding() {
+		t.Fatal("Shedding() true after recovery")
+	}
+}
+
+func TestShedderDepthBackstop(t *testing.T) {
+	clk := newFakeClock()
+	s := NewShedder(ShedConfig{MaxDepth: 4})
+	if s.Admit(clk.Now(), Snapshot{Depth: 4}, ClassSheddable) != true {
+		t.Fatal("shed at depth == MaxDepth")
+	}
+	if s.Admit(clk.Now(), Snapshot{Depth: 5}, ClassSheddable) {
+		t.Fatal("admitted above MaxDepth")
+	}
+	if !s.Admit(clk.Now(), Snapshot{Depth: 5}, ClassCritical) {
+		t.Fatal("critical shed by depth backstop")
+	}
+	// Disabled shedder admits everything.
+	d := NewShedder(ShedConfig{})
+	if !d.Admit(clk.Now(), Snapshot{Depth: 1 << 20, QueueWait: time.Hour}, ClassSheddable) {
+		t.Fatal("zero-value config shed work")
+	}
+}
+
+func TestRetryBudgetLeakyBucket(t *testing.T) {
+	b := NewRetryBudget(RetryBudgetConfig{Ratio: 0.5, Burst: 2})
+	// Starts at full burst: two retries pass, the third is denied.
+	if !b.Allow() || !b.Allow() {
+		t.Fatal("burst retries denied")
+	}
+	if b.Allow() {
+		t.Fatal("retry allowed on an empty bucket")
+	}
+	// Four first attempts at ratio 0.5 earn two tokens back.
+	for i := 0; i < 4; i++ {
+		b.Note()
+	}
+	if got := b.Tokens(); got != 2 {
+		t.Fatalf("tokens %.2f after refill, want 2", got)
+	}
+	// Credits cap at Burst.
+	for i := 0; i < 10; i++ {
+		b.Note()
+	}
+	if got := b.Tokens(); got != 2 {
+		t.Fatalf("tokens %.2f, want cap at burst 2", got)
+	}
+	// nil budget always allows.
+	var nb *RetryBudget
+	nb.Note()
+	if !nb.Allow() {
+		t.Fatal("nil budget denied a retry")
+	}
+}
+
+func TestBackoffJitterDeterministicAndBounded(t *testing.T) {
+	const base = 100 * time.Millisecond
+	const seed = 42
+	var schedule []time.Duration
+	for attempt := 0; attempt < 5; attempt++ {
+		d := Backoff(base, attempt, seed)
+		lo := (base << uint(attempt)) / 2
+		hi := base << uint(attempt)
+		if d < lo || d > hi {
+			t.Fatalf("attempt %d: backoff %v outside [%v, %v]", attempt, d, lo, hi)
+		}
+		schedule = append(schedule, d)
+	}
+	// Deterministic: same seed reproduces the schedule bit for bit.
+	for attempt, want := range schedule {
+		if got := Backoff(base, attempt, seed); got != want {
+			t.Fatalf("attempt %d: %v on replay, want %v", attempt, got, want)
+		}
+	}
+	// Decorrelated: a different seed produces a different schedule.
+	same := 0
+	for attempt, d := range schedule {
+		if Backoff(base, attempt, seed+1) == d {
+			same++
+		}
+	}
+	if same == len(schedule) {
+		t.Fatal("seeds 42 and 43 produced identical schedules")
+	}
+	if Backoff(0, 3, seed) != 0 {
+		t.Fatal("zero base must yield zero delay")
+	}
+	// Deep attempts stay positive and finite (shift cap).
+	if d := Backoff(base, 80, seed); d <= 0 {
+		t.Fatalf("attempt 80: non-positive backoff %v", d)
+	}
+}

@@ -4,13 +4,19 @@
 // for session establishment, status upload / delta cache allocation, and
 // update upload.
 //
-// Two wire versions are live. Version 2 is session-oriented: Hello opens
-// a server-side session (the ack carries its id and the negotiated
-// version) and allocation replies are versioned deltas — only changed and
-// evicted cells travel. Version 1 — the original context-free
-// request/response format with fully materialized allocations — remains
-// decodable and served for old clients; each frame names its version in
-// the first byte, so one server loop speaks both.
+// Three wire versions are live. Version 3 is version 2 plus deadline
+// propagation: every session frame header carries the client's absolute
+// deadline (microseconds since the epoch, 0 = none), so servers can drop
+// expired work at dequeue instead of computing answers nobody is waiting
+// for. Version 2 is session-oriented: Hello opens a server-side session
+// (the ack carries its id and the negotiated version) and allocation
+// replies are versioned deltas — only changed and evicted cells travel.
+// Version 1 — the original context-free request/response format with
+// fully materialized allocations — remains decodable and served for old
+// clients; each frame names its version in the first byte, so one server
+// loop speaks all three. Hello negotiation picks min(client's offer,
+// server's highest), so a v3 client degrades to v2 framing against an
+// older server and vice versa.
 package protocol
 
 import (
@@ -30,8 +36,10 @@ const (
 	V1 = 1
 	// V2 is the session/delta format.
 	V2 = 2
+	// V3 is V2 plus a per-frame deadline in the session header.
+	V3 = 3
 	// Version is the highest version this build speaks.
-	Version = V2
+	Version = V3
 )
 
 // Message type tags. Tags 1–7 exist in both versions; TypeDelta and
@@ -83,9 +91,14 @@ type Message struct {
 	// frames and in v2 Hello, which opens the session).
 	SessionID uint64
 	// Proto is the negotiated protocol version: the client's highest
-	// supported version in a v2 Hello, the server's choice in a v2
+	// supported version in a v2/v3 Hello, the server's choice in the
 	// HelloAck.
 	Proto byte
+	// DeadlineMicros is the request's absolute deadline in microseconds
+	// since the Unix epoch (0 = none). It travels in every v3 session
+	// frame header and is silently dropped when encoding at v2 or v1 —
+	// deadline propagation is best-effort across old peers.
+	DeadlineMicros uint64
 
 	Hello        *Hello
 	HelloAck     *core.RegisterInfo
@@ -596,8 +609,10 @@ func AppendEncode(dst []byte, m *Message) ([]byte, error) {
 	switch m.Version {
 	case V1:
 		err = encodeV1(&w, m)
-	case 0, V2:
-		err = encodeV2(&w, m)
+	case V2, V3:
+		err = encodeSession(&w, m, m.Version)
+	case 0:
+		err = encodeSession(&w, m, Version)
 	default:
 		return dst, fmt.Errorf("protocol: cannot encode version %d", m.Version)
 	}
@@ -663,11 +678,16 @@ func encodeV1(w *writer, m *Message) error {
 	return nil
 }
 
-func encodeV2(w *writer, m *Message) error {
-	w.u8(V2)
+// encodeSession writes the session-oriented wire format shared by v2 and
+// v3; v3 adds the deadline word to the frame header.
+func encodeSession(w *writer, m *Message, version byte) error {
+	w.u8(version)
 	w.u8(m.Type)
 	w.i32(m.ClientID)
 	w.u64(m.SessionID)
+	if version >= V3 {
+		w.u64(m.DeadlineMicros)
+	}
 	switch m.Type {
 	case TypeHello:
 		if m.Hello == nil {
@@ -788,7 +808,7 @@ func encodeV2(w *writer, m *Message) error {
 	case TypeError:
 		w.str(m.Error)
 	default:
-		return fmt.Errorf("protocol: message type %d not in version 2", m.Type)
+		return fmt.Errorf("protocol: message type %d not in version %d", m.Type, version)
 	}
 	return nil
 }
@@ -850,10 +870,10 @@ func decodeFrame(r *reader) (*Message, error) {
 	switch version {
 	case V1:
 		m, err = decodeV1(r)
-	case V2:
-		m, err = decodeV2(r)
+	case V2, V3:
+		m, err = decodeSession(r, version)
 	default:
-		return nil, fmt.Errorf("protocol: version %d, want %d or %d", version, V1, V2)
+		return nil, fmt.Errorf("protocol: version %d, want %d..%d", version, V1, Version)
 	}
 	if err != nil {
 		return nil, err
@@ -922,9 +942,12 @@ func decodeV1(r *reader) (*Message, error) {
 	return m, nil
 }
 
-func decodeV2(r *reader) (*Message, error) {
+func decodeSession(r *reader, version byte) (*Message, error) {
 	m := r.message()
-	m.Version, m.Type, m.ClientID, m.SessionID = V2, r.u8(), r.i32(), r.u64()
+	m.Version, m.Type, m.ClientID, m.SessionID = version, r.u8(), r.i32(), r.u64()
+	if version >= V3 {
+		m.DeadlineMicros = r.u64()
+	}
 	switch m.Type {
 	case TypeHello:
 		h := r.newHello()
@@ -1026,7 +1049,7 @@ func decodeV2(r *reader) (*Message, error) {
 	case TypeError:
 		m.Error = r.str()
 	default:
-		return nil, fmt.Errorf("protocol: unknown v2 message type %d", m.Type)
+		return nil, fmt.Errorf("protocol: unknown v%d message type %d", version, m.Type)
 	}
 	return m, nil
 }

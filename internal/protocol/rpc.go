@@ -7,8 +7,11 @@ import (
 	"io"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"coca/internal/core"
+	"coca/internal/overload"
+	"coca/internal/telemetry"
 	"coca/internal/transport"
 )
 
@@ -23,7 +26,12 @@ type SessionClient struct {
 	// expected model shape, sent with Hello for server-side validation.
 	numClasses, numLayers int
 
-	mu sync.Mutex // serializes round trips; guards enc and dec
+	mu sync.Mutex // serializes round trips; guards enc, dec and proto
+	// proto is the wire version negotiated at Open (0 before the first
+	// handshake, meaning the build's latest). Frames after the handshake
+	// are encoded at this version, so a v2 server keeps receiving v2
+	// frames and deadlines are simply not propagated to it.
+	proto byte
 	// enc and dec are the connection's pooled codec scratch: requests are
 	// encoded into a reused buffer and replies decoded into reused arenas,
 	// so steady-state round trips allocate nothing in the codec.
@@ -78,11 +86,38 @@ func (c *SessionClient) roundTrip(ctx context.Context, req *Message, consume fun
 	return consume(m)
 }
 
+// negotiated returns the wire version agreed at Open (the build's latest
+// before any handshake).
+func (c *SessionClient) negotiated() byte {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.proto == 0 {
+		return Version
+	}
+	return c.proto
+}
+
+// deadlineMicros extracts ctx's deadline for a frame header when the
+// negotiated version carries one (v3+); 0 otherwise.
+func (c *SessionClient) deadlineMicros(ctx context.Context) uint64 {
+	if c.negotiated() < V3 {
+		return 0
+	}
+	if t, ok := ctx.Deadline(); ok {
+		return overload.DeadlineMicros(t)
+	}
+	return 0
+}
+
 // Open implements core.Coordinator: it registers the client and returns
-// its wire-backed session.
+// its wire-backed session. The Hello is framed at v2 — the lowest live
+// session format, readable by any session server — and offers the
+// build's highest version in Proto; the server answers with its choice,
+// which this connection's later frames are encoded at.
 func (c *SessionClient) Open(ctx context.Context, clientID int) (core.Session, error) {
 	var sess *wireSession
 	err := c.roundTrip(ctx, &Message{
+		Version:  V2,
 		Type:     TypeHello,
 		ClientID: int32(clientID),
 		Proto:    Version,
@@ -91,9 +126,10 @@ func (c *SessionClient) Open(ctx context.Context, clientID int) (core.Session, e
 		if m.Type != TypeHelloAck || m.HelloAck == nil {
 			return fmt.Errorf("protocol: unexpected reply type %d to hello", m.Type)
 		}
-		if m.Proto != Version {
+		if m.Proto < V2 || m.Proto > Version {
 			return fmt.Errorf("protocol: server negotiated unsupported version %d", m.Proto)
 		}
+		c.proto = m.Proto // under c.mu: roundTrip holds it through consume
 		if m.SessionID == 0 {
 			return fmt.Errorf("protocol: server did not assign a session id")
 		}
@@ -202,10 +238,12 @@ func (s *wireSession) Allocate(ctx context.Context, status core.StatusReport) (c
 	}
 	var d core.Delta
 	err := s.c.roundTrip(ctx, &Message{
-		Type:      TypeStatus,
-		ClientID:  s.clientID,
-		SessionID: s.id,
-		Status:    &status,
+		Version:        s.c.negotiated(),
+		Type:           TypeStatus,
+		ClientID:       s.clientID,
+		SessionID:      s.id,
+		DeadlineMicros: s.c.deadlineMicros(ctx),
+		Status:         &status,
 	}, func(m *Message) error {
 		if m.Type != TypeDelta || m.Delta == nil {
 			return fmt.Errorf("protocol: unexpected reply type %d to status", m.Type)
@@ -225,10 +263,12 @@ func (s *wireSession) Upload(ctx context.Context, upd core.UpdateReport) error {
 		return err
 	}
 	return s.c.roundTrip(ctx, &Message{
-		Type:      TypeUpdate,
-		ClientID:  s.clientID,
-		SessionID: s.id,
-		Update:    &upd,
+		Version:        s.c.negotiated(),
+		Type:           TypeUpdate,
+		ClientID:       s.clientID,
+		SessionID:      s.id,
+		DeadlineMicros: s.c.deadlineMicros(ctx),
+		Update:         &upd,
 	}, func(m *Message) error {
 		if m.Type != TypeAck {
 			return fmt.Errorf("protocol: unexpected reply type %d to update", m.Type)
@@ -251,7 +291,7 @@ func (s *wireSession) Close() error {
 	// Bye is best-effort: the connection may already be gone, which
 	// releases the session server-side anyway.
 	_ = s.c.roundTrip(context.Background(), &Message{
-		Type: TypeBye, ClientID: s.clientID, SessionID: s.id,
+		Version: s.c.negotiated(), Type: TypeBye, ClientID: s.clientID, SessionID: s.id,
 	}, func(*Message) error { return nil })
 	return nil
 }
@@ -303,8 +343,9 @@ type PeerClient struct {
 func DialPeer(conn transport.Conn, localID, numClasses, numLayers int) (*PeerClient, error) {
 	pc := &PeerClient{conn: conn, localID: localID}
 	m, err := pc.roundTrip(&Message{
-		Type:  TypePeerHello,
-		Proto: Version,
+		Version: V2, // the peer sync plane is v2-framed (no deadlines)
+		Type:    TypePeerHello,
+		Proto:   Version,
 		PeerHello: &PeerHello{
 			NodeID:     int32(localID),
 			NumClasses: int32(numClasses),
@@ -317,7 +358,7 @@ func DialPeer(conn transport.Conn, localID, numClasses, numLayers int) (*PeerCli
 	if m.Type != TypePeerAck || m.PeerAck == nil {
 		return nil, fmt.Errorf("protocol: unexpected reply type %d to peer hello", m.Type)
 	}
-	if m.Proto != Version {
+	if m.Proto < V2 || m.Proto > Version {
 		return nil, fmt.Errorf("protocol: peer negotiated unsupported version %d", m.Proto)
 	}
 	pc.peerID = int(m.PeerAck.NodeID)
@@ -337,8 +378,9 @@ func JoinPeer(conn transport.Conn, localID, numClasses, numLayers int, addr stri
 	pc.mu.Lock()
 	defer pc.mu.Unlock()
 	frame, err := AppendEncode(pc.enc[:0], &Message{
-		Type:  TypePeerJoin,
-		Proto: Version,
+		Version: V2, // the peer sync plane is v2-framed (no deadlines)
+		Type:    TypePeerJoin,
+		Proto:   Version,
 		PeerJoin: &PeerJoin{
 			NodeID:       int32(localID),
 			NumClasses:   int32(numClasses),
@@ -368,7 +410,7 @@ func JoinPeer(conn transport.Conn, localID, numClasses, numLayers int, addr stri
 	if m.Type != TypePeerSnapshot || m.PeerSnapshot == nil {
 		return nil, nil, 0, fmt.Errorf("protocol: unexpected reply type %d to peer join", m.Type)
 	}
-	if m.Proto != Version {
+	if m.Proto < V2 || m.Proto > Version {
 		return nil, nil, 0, fmt.Errorf("protocol: peer negotiated unsupported version %d", m.Proto)
 	}
 	pc.peerID = int(m.PeerSnapshot.NodeID)
@@ -380,6 +422,7 @@ func JoinPeer(conn transport.Conn, localID, numClasses, numLayers int, addr stri
 // the peer's failure detector handles anyway).
 func (pc *PeerClient) Leave() error {
 	m, err := pc.roundTrip(&Message{
+		Version:   V2,
 		Type:      TypePeerLeave,
 		PeerLeave: &PeerLeave{NodeID: int32(pc.localID)},
 	})
@@ -432,6 +475,7 @@ func (pc *PeerClient) roundTripSized(req *Message) (*Message, int, error) {
 // (the sync-traffic measurement the federation experiments report).
 func (pc *PeerClient) SendDelta(epoch uint64, cells []PeerCell, freq []float64) (applied, wireBytes int, err error) {
 	m, wireBytes, err := pc.roundTripSized(&Message{
+		Version:   V2,
 		Type:      TypePeerDelta,
 		PeerDelta: &PeerDelta{NodeID: int32(pc.localID), Epoch: epoch, Cells: cells, Freq: freq},
 	})
@@ -533,7 +577,7 @@ func (cs *connState) handle(ctx context.Context, frame []byte) *Message {
 	if m.Version == V1 {
 		return cs.handleV1(ctx, m)
 	}
-	return cs.handleV2(ctx, m, len(frame))
+	return cs.handleSession(ctx, m, len(frame))
 }
 
 func errorReply(version byte, clientID int32, sessionID uint64, format string, args ...any) *Message {
@@ -542,12 +586,12 @@ func errorReply(version byte, clientID int32, sessionID uint64, format string, a
 }
 
 // failureReply maps a coordinator error to its wire form: a
-// core.RedirectError becomes a TypeRedirect frame for v2 peers (v1 has
+// core.RedirectError becomes a TypeRedirect frame for v2+ peers (v1 has
 // no redirect concept, so legacy clients see a plain error), everything
 // else a TypeError.
 func failureReply(version byte, clientID int32, sessionID uint64, err error) *Message {
 	var re *core.RedirectError
-	if version == V2 && errors.As(err, &re) {
+	if version >= V2 && errors.As(err, &re) {
 		return &Message{Version: version, Type: TypeRedirect, ClientID: clientID, SessionID: sessionID,
 			Redirect: &Redirect{Addr: re.Addr, Reason: re.Reason}}
 	}
@@ -570,103 +614,147 @@ func (cs *connState) open(ctx context.Context, clientID int32, hello *Hello) (co
 	return sess, info, nil
 }
 
-// handleV2 serves the session protocol. frameLen is the received frame's
-// size, accounted as sync traffic for peer deltas.
-func (cs *connState) handleV2(ctx context.Context, m *Message, frameLen int) *Message {
+// deadlineContext applies a propagated wire deadline to ctx. expired
+// reports that the deadline had already passed at dequeue — the caller
+// must drop the work without computing it.
+func deadlineContext(ctx context.Context, micros uint64) (_ context.Context, cancel context.CancelFunc, expired bool) {
+	t, ok := overload.DeadlineTime(micros)
+	if !ok {
+		return ctx, func() {}, false
+	}
+	if !t.After(time.Now()) {
+		return ctx, func() {}, true
+	}
+	ctx, cancel = context.WithDeadline(ctx, t)
+	return ctx, cancel, false
+}
+
+// expiredReply drops a request whose deadline passed before processing
+// began — the drop-at-dequeue half of deadline propagation. The counter
+// is the overload tier's congestion-collapse sentinel: work the server
+// declined to compute because nobody was waiting for the answer anymore.
+func expiredReply(version byte, clientID int32, sessionID uint64) *Message {
+	telemetry.OverloadDeadlineExpired.Inc()
+	return errorReply(version, clientID, sessionID, "deadline expired at dequeue")
+}
+
+// handleSession serves the session protocol (wire v2 and v3). Replies
+// are framed at the version the request arrived in, so a negotiated-down
+// connection never sees frames it cannot decode. frameLen is the
+// received frame's size, accounted as sync traffic for peer deltas.
+func (cs *connState) handleSession(ctx context.Context, m *Message, frameLen int) *Message {
+	v := m.Version
 	switch m.Type {
 	case TypeHello:
 		if m.Proto < V2 {
-			return errorReply(V2, m.ClientID, 0, "client offered protocol %d; reissue the hello as a v1 frame", m.Proto)
+			return errorReply(v, m.ClientID, 0, "client offered protocol %d; reissue the hello as a v1 frame", m.Proto)
 		}
 		sess, info, err := cs.open(ctx, m.ClientID, m.Hello)
 		if err != nil {
-			return failureReply(V2, m.ClientID, 0, err)
+			return failureReply(v, m.ClientID, 0, err)
+		}
+		// Negotiate down to the client's offer when it speaks an older
+		// session version than this build.
+		proto := m.Proto
+		if proto > Version {
+			proto = Version
 		}
 		id := sessionID(sess)
 		cs.v2[id] = sess
-		return &Message{Type: TypeHelloAck, ClientID: m.ClientID, SessionID: id, Proto: V2, HelloAck: &info}
+		return &Message{Version: v, Type: TypeHelloAck, ClientID: m.ClientID, SessionID: id, Proto: proto, HelloAck: &info}
 	case TypeStatus:
 		sess, ok := cs.v2[m.SessionID]
 		if !ok {
-			return errorReply(V2, m.ClientID, m.SessionID, "unknown session %d", m.SessionID)
+			return errorReply(v, m.ClientID, m.SessionID, "unknown session %d", m.SessionID)
 		}
-		delta, err := sess.Allocate(ctx, *m.Status)
+		dctx, cancel, expired := deadlineContext(ctx, m.DeadlineMicros)
+		if expired {
+			return expiredReply(v, m.ClientID, m.SessionID)
+		}
+		delta, err := sess.Allocate(dctx, *m.Status)
+		cancel()
 		if err != nil {
-			return failureReply(V2, m.ClientID, m.SessionID, err)
+			return failureReply(v, m.ClientID, m.SessionID, err)
 		}
-		return &Message{Type: TypeDelta, ClientID: m.ClientID, SessionID: m.SessionID, Delta: &delta}
+		return &Message{Version: v, Type: TypeDelta, ClientID: m.ClientID, SessionID: m.SessionID, Delta: &delta}
 	case TypeUpdate:
 		sess, ok := cs.v2[m.SessionID]
 		if !ok {
-			return errorReply(V2, m.ClientID, m.SessionID, "unknown session %d", m.SessionID)
+			return errorReply(v, m.ClientID, m.SessionID, "unknown session %d", m.SessionID)
 		}
-		if err := sess.Upload(ctx, *m.Update); err != nil {
-			return failureReply(V2, m.ClientID, m.SessionID, err)
+		dctx, cancel, expired := deadlineContext(ctx, m.DeadlineMicros)
+		if expired {
+			return expiredReply(v, m.ClientID, m.SessionID)
 		}
-		return &Message{Type: TypeAck, ClientID: m.ClientID, SessionID: m.SessionID}
+		err := sess.Upload(dctx, *m.Update)
+		cancel()
+		if err != nil {
+			return failureReply(v, m.ClientID, m.SessionID, err)
+		}
+		return &Message{Version: v, Type: TypeAck, ClientID: m.ClientID, SessionID: m.SessionID}
 	case TypeBye:
 		sess, ok := cs.v2[m.SessionID]
 		if !ok {
-			return errorReply(V2, m.ClientID, m.SessionID, "unknown session %d", m.SessionID)
+			return errorReply(v, m.ClientID, m.SessionID, "unknown session %d", m.SessionID)
 		}
 		delete(cs.v2, m.SessionID)
 		_ = sess.Close()
-		return &Message{Type: TypeAck, ClientID: m.ClientID, SessionID: m.SessionID}
+		return &Message{Version: v, Type: TypeAck, ClientID: m.ClientID, SessionID: m.SessionID}
 	case TypePeerHello:
 		ph, ok := cs.coord.(PeerHandler)
 		if !ok {
-			return errorReply(V2, m.ClientID, 0, "peer sync not supported by this endpoint")
+			return errorReply(v, m.ClientID, 0, "peer sync not supported by this endpoint")
 		}
 		if m.Proto < V2 {
-			return errorReply(V2, m.ClientID, 0, "peer offered protocol %d; federation requires %d", m.Proto, V2)
+			return errorReply(v, m.ClientID, 0, "peer offered protocol %d; federation requires %d", m.Proto, V2)
 		}
 		localID, err := ph.HandlePeerHello(int(m.PeerHello.NodeID), int(m.PeerHello.NumClasses), int(m.PeerHello.NumLayers))
 		if err != nil {
-			return errorReply(V2, m.ClientID, 0, "%v", err)
+			return errorReply(v, m.ClientID, 0, "%v", err)
 		}
 		cs.peerHello = true
-		return &Message{Type: TypePeerAck, Proto: V2, PeerAck: &PeerAck{NodeID: int32(localID)}}
+		return &Message{Version: v, Type: TypePeerAck, Proto: V2, PeerAck: &PeerAck{NodeID: int32(localID)}}
 	case TypePeerDelta:
 		ph, ok := cs.coord.(PeerHandler)
 		if !ok {
-			return errorReply(V2, m.ClientID, 0, "peer sync not supported by this endpoint")
+			return errorReply(v, m.ClientID, 0, "peer sync not supported by this endpoint")
 		}
 		if !cs.peerHello {
-			return errorReply(V2, m.ClientID, 0, "peer delta before peer hello")
+			return errorReply(v, m.ClientID, 0, "peer delta before peer hello")
 		}
 		applied, err := ph.HandlePeerDelta(m.PeerDelta)
 		if err != nil {
-			return errorReply(V2, m.ClientID, 0, "%v", err)
+			return errorReply(v, m.ClientID, 0, "%v", err)
 		}
 		if br, ok := cs.coord.(interface{ NotePeerRecvBytes(int) }); ok {
 			br.NotePeerRecvBytes(frameLen)
 		}
-		return &Message{Type: TypePeerAck, Proto: V2, PeerAck: &PeerAck{Applied: int32(applied)}}
+		return &Message{Version: v, Type: TypePeerAck, Proto: V2, PeerAck: &PeerAck{Applied: int32(applied)}}
 	case TypePeerJoin:
 		ph, ok := cs.coord.(PeerHandler)
 		if !ok {
-			return errorReply(V2, m.ClientID, 0, "peer sync not supported by this endpoint")
+			return errorReply(v, m.ClientID, 0, "peer sync not supported by this endpoint")
 		}
 		if m.Proto < V2 {
-			return errorReply(V2, m.ClientID, 0, "peer offered protocol %d; federation requires %d", m.Proto, V2)
+			return errorReply(v, m.ClientID, 0, "peer offered protocol %d; federation requires %d", m.Proto, V2)
 		}
 		snap, err := ph.HandlePeerJoin(m.PeerJoin)
 		if err != nil {
-			return errorReply(V2, m.ClientID, 0, "%v", err)
+			return errorReply(v, m.ClientID, 0, "%v", err)
 		}
 		// A join doubles as the handshake: the joiner may push deltas on
 		// this connection next.
 		cs.peerHello = true
-		return &Message{Type: TypePeerSnapshot, Proto: V2, PeerSnapshot: snap}
+		return &Message{Version: v, Type: TypePeerSnapshot, Proto: V2, PeerSnapshot: snap}
 	case TypePeerLeave:
 		ph, ok := cs.coord.(PeerHandler)
 		if !ok {
-			return errorReply(V2, m.ClientID, 0, "peer sync not supported by this endpoint")
+			return errorReply(v, m.ClientID, 0, "peer sync not supported by this endpoint")
 		}
 		ph.HandlePeerLeave(int(m.PeerLeave.NodeID))
-		return &Message{Type: TypePeerAck, Proto: V2, PeerAck: &PeerAck{}}
+		return &Message{Version: v, Type: TypePeerAck, Proto: V2, PeerAck: &PeerAck{}}
 	default:
-		return errorReply(V2, m.ClientID, m.SessionID, "unexpected request type %d", m.Type)
+		return errorReply(v, m.ClientID, m.SessionID, "unexpected request type %d", m.Type)
 	}
 }
 

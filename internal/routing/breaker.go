@@ -47,7 +47,11 @@ type BreakerConfig struct {
 	// (default 2s).
 	OpenFor time.Duration
 	// HalfOpenProbes is how many consecutive probe successes close a
-	// half-open breaker (default 3). Any probe failure re-opens.
+	// half-open breaker (default 3). Any probe failure re-opens. It also
+	// bounds the probes in flight: a half-open breaker admits at most
+	// HalfOpenProbes requests (successes plus unresolved probes) before
+	// Allow rejects again, so concurrent callers cannot stampede a
+	// recovering server.
 	HalfOpenProbes int
 	// Now is the clock (test hook; defaults to time.Now).
 	Now func() time.Time
@@ -92,6 +96,7 @@ type Breaker struct {
 	failures int    // failures currently in the window
 	openedAt time.Time
 	probes   int // consecutive half-open successes
+	inflight int // admitted half-open probes awaiting their Record
 	forced   bool
 	trips    int
 }
@@ -132,7 +137,9 @@ func (b *Breaker) transition(to BreakerState) {
 
 // Allow reports whether a request may proceed right now. An open
 // breaker transitions to half-open once OpenFor has elapsed (unless it
-// was force-tripped); a half-open breaker admits probe traffic.
+// was force-tripped); a half-open breaker admits at most HalfOpenProbes
+// probes (counting both completed successes and probes still awaiting
+// their Record), so concurrent callers admit exactly the probe quota.
 func (b *Breaker) Allow() bool {
 	b.mu.Lock()
 	defer b.mu.Unlock()
@@ -143,10 +150,15 @@ func (b *Breaker) Allow() bool {
 		if !b.forced && b.cfg.Now().Sub(b.openedAt) >= b.cfg.OpenFor {
 			b.transition(BreakerHalfOpen)
 			b.probes = 0
+			b.inflight = 1 // this caller is the first probe
 			return true
 		}
 		return false
 	default: // half-open
+		if b.probes+b.inflight >= b.cfg.HalfOpenProbes {
+			return false
+		}
+		b.inflight++
 		return true
 	}
 }
@@ -157,6 +169,9 @@ func (b *Breaker) Record(ok bool) {
 	defer b.mu.Unlock()
 	switch b.state {
 	case BreakerHalfOpen:
+		if b.inflight > 0 {
+			b.inflight--
+		}
 		if !ok {
 			b.open(true)
 			return
@@ -213,6 +228,7 @@ func (b *Breaker) Trips() int {
 func (b *Breaker) open(countTrip bool) {
 	b.transition(BreakerOpen)
 	b.openedAt = b.cfg.Now()
+	b.inflight = 0 // straggling probes report into the open state; ignore
 	if countTrip {
 		b.trips++
 		telemetry.RoutingBreakerTrips.Inc()
@@ -222,7 +238,7 @@ func (b *Breaker) open(countTrip bool) {
 // reset clears the window and closes the breaker.
 func (b *Breaker) reset() {
 	b.transition(BreakerClosed)
-	b.next, b.filled, b.failures, b.probes = 0, 0, 0, 0
+	b.next, b.filled, b.failures, b.probes, b.inflight = 0, 0, 0, 0, 0
 }
 
 // record pushes one outcome into the sliding window.

@@ -1,0 +1,133 @@
+package routing
+
+// Half-open concurrency contract: a recovering server must see at most
+// HalfOpenProbes requests, no matter how many callers race through
+// Admit/Allow while the breaker probes. These tests run meaningfully
+// under -race (the CI drills-smoke job does).
+
+import (
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// tripOpen drives a breaker open through its failure window and advances
+// the clock to the edge of half-open.
+func tripOpen(t *testing.T, clk *fakeClock, b *Breaker) {
+	t.Helper()
+	b.Record(false)
+	b.Record(false)
+	b.Record(false)
+	b.Record(false)
+	if b.State() != BreakerOpen {
+		t.Fatalf("breaker %v after failure window, want open", b.State())
+	}
+	clk.Advance(time.Second)
+}
+
+func TestBreakerHalfOpenConcurrentProbeQuota(t *testing.T) {
+	clk := &fakeClock{t: time.Unix(0, 0)}
+	b := testBreaker(clk) // HalfOpenProbes: 2
+	tripOpen(t, clk, b)
+
+	const callers = 32
+	var admitted atomic.Int64
+	var start, done sync.WaitGroup
+	start.Add(1)
+	done.Add(callers)
+	for i := 0; i < callers; i++ {
+		go func() {
+			defer done.Done()
+			start.Wait()
+			if b.Allow() {
+				admitted.Add(1)
+			}
+		}()
+	}
+	start.Done()
+	done.Wait()
+
+	if got := admitted.Load(); got != 2 {
+		t.Fatalf("%d concurrent callers admitted %d probes, want exactly HalfOpenProbes=2", callers, got)
+	}
+	if b.State() != BreakerHalfOpen {
+		t.Fatalf("breaker %v, want half-open", b.State())
+	}
+	// Until the admitted probes resolve, nobody else gets in.
+	if b.Allow() {
+		t.Fatal("admitted past the probe quota with probes still in flight")
+	}
+	// Both probes succeed → closed, and traffic flows again.
+	b.Record(true)
+	b.Record(true)
+	if b.State() != BreakerClosed || !b.Allow() {
+		t.Fatalf("breaker %v after quota successes, want closed and allowing", b.State())
+	}
+}
+
+func TestBreakerHalfOpenProbeFailureReopensCleanly(t *testing.T) {
+	clk := &fakeClock{t: time.Unix(0, 0)}
+	b := testBreaker(clk)
+	tripOpen(t, clk, b)
+
+	// A crowd races through Allow; every admitted prober resolves its
+	// probe concurrently, and the first one resolves it as a failure.
+	const callers = 16
+	var admitted atomic.Int64
+	var start, done sync.WaitGroup
+	start.Add(1)
+	done.Add(callers)
+	for i := 0; i < callers; i++ {
+		go func() {
+			defer done.Done()
+			start.Wait()
+			if !b.Allow() {
+				return
+			}
+			if admitted.Add(1) == 1 {
+				b.Record(false)
+			} else {
+				b.Record(true)
+			}
+		}()
+	}
+	start.Done()
+	done.Wait()
+
+	// The failing probe may re-open the breaker before the second slot
+	// is ever claimed, so the quota is an upper bound here: at least the
+	// transitioning probe, never more than HalfOpenProbes.
+	if got := admitted.Load(); got < 1 || got > 2 {
+		t.Fatalf("admitted %d probes through a failing half-open window, want 1..HalfOpenProbes=2", got)
+	}
+	if b.State() != BreakerOpen {
+		t.Fatalf("breaker %v after probe failure, want open", b.State())
+	}
+	if b.Allow() {
+		t.Fatal("open breaker allowed traffic")
+	}
+	// Straggling successes from the raced probes report into the open
+	// state and are ignored; the next half-open window starts with a
+	// clean quota.
+	b.Record(true)
+	b.Record(true)
+	if b.State() != BreakerOpen {
+		t.Fatalf("straggler records moved breaker to %v, want open", b.State())
+	}
+	clk.Advance(time.Second)
+	if !b.Allow() || b.State() != BreakerHalfOpen {
+		t.Fatalf("breaker %v after second cool-down, want half-open probing", b.State())
+	}
+	if !b.Allow() {
+		t.Fatal("second probe slot unavailable: inflight leaked across re-open")
+	}
+	if b.Allow() {
+		t.Fatal("third probe admitted, want exactly HalfOpenProbes=2")
+	}
+	b.Record(true)
+	b.Record(true)
+	if b.State() != BreakerClosed {
+		t.Fatalf("breaker %v after clean probes, want closed", b.State())
+	}
+}

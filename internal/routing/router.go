@@ -9,6 +9,7 @@ import (
 	"sync"
 
 	"coca/internal/core"
+	"coca/internal/overload"
 	"coca/internal/telemetry"
 	"coca/internal/vecmath"
 	"coca/internal/xrand"
@@ -17,6 +18,12 @@ import (
 // ErrNoHealthyServer is returned by admission when every server a
 // client may be placed on is rejecting traffic.
 var ErrNoHealthyServer = errors.New("routing: no healthy server in shard")
+
+// ErrShed is returned by admission when queue-depth load shedding
+// rejects a sheddable request: the placed server's standing queue is
+// above the configured target. The caller should not retry immediately
+// (retrying shed work is exactly what turns overload into collapse).
+var ErrShed = errors.New("routing: shed by queue-depth overload control")
 
 // Router is the in-process control-plane front door: it implements
 // core.Coordinator over a set of backend coordinators (core servers,
@@ -32,6 +39,10 @@ type Router struct {
 	targets  []core.Coordinator
 	ring     *Ring
 	breakers []*Breaker
+	// loads[i] is target i's load reporter (nil when the target cannot
+	// report load); sheds[i] is its shed state, guarded by mu.
+	loads []overload.LoadReporter
+	sheds []overload.Shedder
 
 	mu      sync.Mutex
 	clients map[int]*clientState
@@ -71,6 +82,14 @@ func NewRouter(targets []core.Coordinator, cfg Config) *Router {
 	for i := range r.breakers {
 		r.breakers[i] = NewBreaker(cfg.Breaker)
 		r.breakers[i].SetName("server-" + strconv.Itoa(i))
+	}
+	r.loads = make([]overload.LoadReporter, len(targets))
+	r.sheds = make([]overload.Shedder, len(targets))
+	for i, t := range targets {
+		if lr, ok := t.(overload.LoadReporter); ok {
+			r.loads[i] = lr
+		}
+		r.sheds[i] = overload.NewShedder(cfg.Shed)
 	}
 	return r
 }
@@ -143,14 +162,26 @@ func (r *Router) client(clientID int) *clientState {
 // Admit is the admission hot path: rate-limit the client, keep its
 // sticky placement while the target's breaker admits traffic, and
 // re-place it otherwise. It returns the server index to use. Admit
-// performs no allocation once the client's record exists.
+// performs no allocation once the client's record exists. Admission
+// requests are critical-class (allocations and uploads stall a client's
+// round); speculative work goes through AdmitClass.
 func (r *Router) Admit(clientID int) (int, error) {
-	r.mu.Lock()
-	defer r.mu.Unlock()
-	return r.admitLocked(clientID)
+	return r.AdmitClass(clientID, overload.ClassCritical)
 }
 
-func (r *Router) admitLocked(clientID int) (int, error) {
+// AdmitClass is Admit with an explicit request class: sheddable requests
+// (probe refreshes, prefetches, background resyncs) are additionally
+// subject to the queue-depth shed decision of the server they would land
+// on, and rejected with ErrShed while its standing queue persists above
+// the configured target. Like Admit it performs no allocation once the
+// client's record exists.
+func (r *Router) AdmitClass(clientID int, class overload.Class) (int, error) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.admitLocked(clientID, class)
+}
+
+func (r *Router) admitLocked(clientID int, class overload.Class) (int, error) {
 	st := r.client(clientID)
 	if r.cfg.Rate.enabled() && !st.bkt.take(r.cfg.Rate, r.cfg.Now()) {
 		r.stats.RateLimited++
@@ -159,6 +190,9 @@ func (r *Router) admitLocked(clientID int) (int, error) {
 	}
 	if st.server >= 0 {
 		if r.breakers[st.server].Allow() {
+			if !r.shedAdmit(st.server, class) {
+				return -1, ErrShed
+			}
 			telemetry.RoutingAdmissions.Inc()
 			return st.server, nil
 		}
@@ -169,9 +203,28 @@ func (r *Router) admitLocked(clientID int) (int, error) {
 		telemetry.RoutingRejections.Inc(telemetry.RejectNoHealthy)
 		return -1, ErrNoHealthyServer
 	}
+	if !r.shedAdmit(s, class) {
+		return -1, ErrShed
+	}
 	st.server = s
 	telemetry.RoutingAdmissions.Inc()
 	return s, nil
+}
+
+// shedAdmit runs server s's queue-depth shed decision for a request of
+// the given class. Caller holds r.mu. Critical work, disabled shedding
+// and non-reporting targets always admit.
+func (r *Router) shedAdmit(s int, class overload.Class) bool {
+	if class == overload.ClassCritical || !r.cfg.Shed.Enabled() || r.loads[s] == nil {
+		return true
+	}
+	if r.sheds[s].Admit(r.cfg.Now(), r.loads[s].LoadSnapshot(), class) {
+		return true
+	}
+	r.stats.Shed++
+	telemetry.RoutingRejections.Inc(telemetry.RejectShed)
+	telemetry.OverloadSheds.Inc()
+	return false
 }
 
 // place picks a server for the client per policy, skipping servers
@@ -216,7 +269,7 @@ func (r *Router) place(clientID int, st *clientState, exclude int) int {
 // and wrap the session so every subsequent call is migration-aware.
 func (r *Router) Open(ctx context.Context, clientID int) (core.Session, error) {
 	r.mu.Lock()
-	s, err := r.admitLocked(clientID)
+	s, err := r.admitLocked(clientID, overload.ClassCritical)
 	if err == nil {
 		r.stats.Opens++
 	}

@@ -32,6 +32,8 @@ package routing
 import (
 	"fmt"
 	"time"
+
+	"coca/internal/overload"
 )
 
 // Policy selects how clients are placed onto servers.
@@ -84,6 +86,13 @@ type Config struct {
 	Breaker BreakerConfig
 	// Rate configures per-client token-bucket admission (zero disables).
 	Rate RateConfig
+	// Shed configures queue-depth load shedding: sheddable admissions
+	// are rejected per server once its queue-wait EWMA stays above
+	// Shed.Target for Shed.Interval (CoDel's standing-queue criterion)
+	// or its in-flight depth exceeds Shed.MaxDepth. Load is read from
+	// targets implementing overload.LoadReporter; targets that do not
+	// report load are never shed. The zero value disables shedding.
+	Shed overload.ShedConfig
 	// ProfileDecay is the semantic policy's per-observation decay on
 	// client class profiles: profile = decay·profile + freq. Values in
 	// (0,1); default 0.5 (recent rounds dominate, history breaks ties).
@@ -135,6 +144,7 @@ func (c Config) withDefaults(servers int) Config {
 	}
 	c.Breaker = c.Breaker.withDefaults()
 	c.Rate = c.Rate.withDefaults()
+	c.Shed = c.Shed.WithDefaults()
 	return c
 }
 
@@ -152,4 +162,7 @@ type Stats struct {
 	// BreakerDenials counts placement attempts that skipped a server
 	// because its breaker was not accepting traffic.
 	BreakerDenials int
+	// Shed counts sheddable admissions rejected by queue-depth load
+	// shedding.
+	Shed int
 }

@@ -50,7 +50,7 @@ var (
 
 	RoutingAdmissions = NewCounter("coca_routing_admissions_total", "front-door admissions granted")
 	RoutingRejections = NewCounterVec("coca_routing_rejections_total", "front-door rejections by cause", "cause",
-		"rate-limited", "no-healthy-server")
+		"rate-limited", "no-healthy-server", "shed")
 	RoutingRedirects    = NewCounter("coca_routing_redirects_total", "placement redirects issued by the front door")
 	RoutingMigrations   = NewCounter("coca_routing_migrations_total", "live session migrations ordered")
 	RoutingBreakerTrips = NewCounter("coca_routing_breaker_trips_total", "circuit-breaker trips into the open state")
@@ -61,10 +61,32 @@ var (
 
 	EngineRoundSeconds = NewHistogram("coca_engine_round_duration_seconds",
 		"wall-clock duration of one fleet round", LatencySecondsBuckets)
+
+	// --- overload: graceful-degradation control plane ---
+
+	OverloadDeadlineExpired = NewCounter("coca_overload_deadline_expired_total",
+		"requests dropped because their propagated deadline had already passed")
+	OverloadSheds = NewCounter("coca_overload_sheds_total",
+		"sheddable requests rejected by queue-depth load shedding")
+	OverloadServedStale = NewCounter("coca_overload_served_stale_total",
+		"client rounds served from a stale allocation view under shield mode")
+	OverloadStaleRounds = NewGauge("coca_overload_stale_rounds",
+		"highest current consecutive-stale-round count across shielded clients")
+	OverloadRetryDenials = NewCounter("coca_overload_retry_denials_total",
+		"retries suppressed by an exhausted retry budget")
+	OverloadDrains = NewCounterVec("coca_overload_drains_total",
+		"graceful-shutdown drain outcomes", "outcome", "drained", "aborted")
 )
 
 // RoutingRejections slot indices.
 const (
 	RejectRateLimited = iota
 	RejectNoHealthy
+	RejectShed
+)
+
+// OverloadDrains slot indices.
+const (
+	DrainDrained = iota
+	DrainAborted
 )

@@ -1,9 +1,10 @@
 // Network serving: the public façade over cmd/coca-server's and
 // cmd/coca-client's machinery. Serve starts a session-serving CoCa edge
 // server over TCP; Dial connects a client to it. Both speak wire
-// protocol v2 (delta allocations); the served endpoint also accepts
-// legacy v1 clients, and — with Options.Federation set — federates with
-// peer edge servers by gossiping global-cache cell deltas.
+// protocol v3 (delta allocations with deadline propagation), negotiated
+// down per connection; the served endpoint also accepts v2 and legacy
+// v1 clients, and — with Options.Federation set — federates with peer
+// edge servers by gossiping global-cache cell deltas.
 package coca
 
 import (
@@ -16,10 +17,13 @@ import (
 	"coca/internal/core"
 	"coca/internal/federation"
 	"coca/internal/metrics"
+	"coca/internal/overload"
 	"coca/internal/protocol"
 	"coca/internal/semantics"
 	"coca/internal/stream"
+	"coca/internal/telemetry"
 	"coca/internal/transport"
+	"coca/internal/xrand"
 )
 
 // Server is a running network CoCa deployment: the edge server plus its
@@ -188,6 +192,11 @@ type Client struct {
 	client *core.Client
 	gen    *stream.Generator
 
+	// budget meters reconnect retries across the client's whole life:
+	// the first dial, every migration and every redirect hop draw from
+	// the same leaky bucket (nil when Options.RetryBudgetRatio < 0).
+	budget *overload.RetryBudget
+
 	// addr is the server currently holding the session (moves on
 	// redirects); migrations counts the redirects followed.
 	addr       string
@@ -198,11 +207,41 @@ type Client struct {
 // follows before giving up (guards against routing loops).
 const maxRedirectHops = 4
 
+// dialSeed derives a client's dial-jitter stream: distinct per (Seed,
+// client id), so fleet members sharing a brown-out spread their retries
+// instead of thundering back in lockstep, yet every schedule replays
+// bit-for-bit under the same options.
+func dialSeed(opts Options, clientID int) uint64 {
+	return xrand.HashSeed(opts.Seed, 0x6a697474, uint64(clientID)) // "jitt"
+}
+
+// dialBackoff is the wait before retry number attempt (0-based): the
+// doubling DialBackoff schedule, equal-jittered into [d/2, d] by the
+// client's seeded stream.
+func dialBackoff(opts Options, clientID, attempt int) time.Duration {
+	return overload.Backoff(opts.DialBackoff, attempt, dialSeed(opts, clientID))
+}
+
+// retryBudget builds the per-client leaky-bucket retry budget behind
+// opts (nil — always allowing — when disabled).
+func retryBudget(opts Options) *overload.RetryBudget {
+	if opts.RetryBudgetRatio < 0 {
+		return nil
+	}
+	return overload.NewRetryBudget(overload.RetryBudgetConfig{
+		Ratio: opts.RetryBudgetRatio,
+		Burst: float64(opts.DialRetries),
+	})
+}
+
 // dialRetry dials addr with the options' retry schedule: DialRetries
-// extra attempts after a failure, backing off DialBackoff, 2×, 4×, …
-// between attempts. ctx cancellation cuts both the dial and the wait.
-func dialRetry(ctx context.Context, addr string, opts Options) (transport.Conn, error) {
-	backoff := opts.DialBackoff
+// extra attempts after a failure, each retry drawing one token from the
+// client's retry budget and waiting out the seeded-jitter backoff
+// schedule. ctx cancellation cuts both the dial and the wait; an
+// exhausted budget fails fast — in sustained overload, retrying is
+// exactly what turns a brown-out into congestion collapse.
+func dialRetry(ctx context.Context, addr string, clientID int, opts Options, budget *overload.RetryBudget) (transport.Conn, error) {
+	budget.Note()
 	var err error
 	for attempt := 0; ; attempt++ {
 		var conn transport.Conn
@@ -213,12 +252,15 @@ func dialRetry(ctx context.Context, addr string, opts Options) (transport.Conn, 
 		if attempt >= opts.DialRetries || ctx.Err() != nil {
 			break
 		}
+		if !budget.Allow() {
+			telemetry.OverloadRetryDenials.Inc()
+			return nil, fmt.Errorf("coca: dial %s: retry budget exhausted after attempt %d: %w", addr, attempt+1, err)
+		}
 		select {
-		case <-time.After(backoff):
+		case <-time.After(dialBackoff(opts, clientID, attempt)):
 		case <-ctx.Done():
 			return nil, ctx.Err()
 		}
-		backoff *= 2
 	}
 	return nil, fmt.Errorf("coca: dial %s (after %d attempts): %w", addr, opts.DialRetries+1, err)
 }
@@ -249,25 +291,28 @@ func Dial(ctx context.Context, addr string, clientID int, opts Options) (*Client
 		return nil, err
 	}
 	ccfg := core.ClientConfig{
-		ID:            clientID,
-		Theta:         opts.theta(space.Arch),
-		Budget:        opts.Budget,
-		RoundFrames:   opts.RoundFrames,
-		GammaCollect:  opts.GammaCollect,
-		DeltaCollect:  opts.DeltaCollect,
-		EnvBiasWeight: opts.ClientBias,
-		DriftWeight:   opts.DriftWeight,
-		DriftPerRound: opts.DriftPerRound,
+		ID:             clientID,
+		Theta:          opts.theta(space.Arch),
+		Budget:         opts.Budget,
+		RoundFrames:    opts.RoundFrames,
+		GammaCollect:   opts.GammaCollect,
+		DeltaCollect:   opts.DeltaCollect,
+		EnvBiasWeight:  opts.ClientBias,
+		DriftWeight:    opts.DriftWeight,
+		DriftPerRound:  opts.DriftPerRound,
+		RequestTimeout: opts.RequestTimeout,
+		MaxStaleRounds: opts.MaxStaleRounds,
 	}
+	budget := retryBudget(opts)
 	for hop := 0; ; hop++ {
-		conn, err := dialRetry(ctx, addr, opts)
+		conn, err := dialRetry(ctx, addr, clientID, opts, budget)
 		if err != nil {
 			return nil, err
 		}
 		coord := protocol.NewSessionClient(conn, space.DS.NumClasses, space.Arch.NumLayers)
 		cl, err := core.NewClient(ctx, space, coord, ccfg)
 		if err == nil {
-			return &Client{opts: opts, id: clientID, space: space, conn: coord, client: cl, gen: part.Client(clientID), addr: addr}, nil
+			return &Client{opts: opts, id: clientID, space: space, conn: coord, client: cl, gen: part.Client(clientID), budget: budget, addr: addr}, nil
 		}
 		_ = coord.Close()
 		var re *core.RedirectError
@@ -289,7 +334,7 @@ func Dial(ctx context.Context, addr string, clientID int, opts Options) (*Client
 // maxRedirectHops.
 func (c *Client) migrate(ctx context.Context, addr string) error {
 	for hop := 0; ; hop++ {
-		conn, err := dialRetry(ctx, addr, c.opts)
+		conn, err := dialRetry(ctx, addr, c.id, c.opts, c.budget)
 		if err != nil {
 			return err
 		}
