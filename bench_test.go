@@ -100,6 +100,11 @@ func BenchmarkFederationSyncRound(b *testing.B) { benchsuite.FederationSync(b) }
 // topology, pinned into the committed BENCH history.
 func BenchmarkGossipSyncRound(b *testing.B) { benchsuite.GossipSync(b) }
 
+// BenchmarkAntiEntropyRound measures one pull anti-entropy round between
+// a warm node pair — digest build, want negotiation and pull repair over
+// the real wire codec — and splits digest vs pull bytes per round.
+func BenchmarkAntiEntropyRound(b *testing.B) { benchsuite.AntiEntropyRound(b) }
+
 // BenchmarkRoutingAdmission measures one front-door admission decision —
 // token bucket, breaker gate, sticky placement — over a warm client
 // population. Steady state is allocation-free (pinned by the benchsuite

@@ -179,6 +179,7 @@ func suite() []namedBench {
 		{"federation", benchsuite.Federation},
 		{"federation-sync-round", benchsuite.FederationSync},
 		{"gossip-sync-round", benchsuite.GossipSync},
+		{"anti-entropy-round", benchsuite.AntiEntropyRound},
 		{"routing-admission", benchsuite.RoutingAdmission},
 		{"routing-admission-shed", benchsuite.RoutingAdmissionShed},
 		{"telemetry-record", benchsuite.TelemetryRecord},

@@ -93,6 +93,7 @@ func main() {
 		gossip   = flag.Int("gossip", 0, "gossip fanout: push each sync round to N sampled peers instead of all (0 = all)")
 		suspect  = flag.Int("suspect-after", 0, "consecutive sync failures before a peer is suspect (0 = default 2)")
 		dead     = flag.Int("dead-after", 0, "consecutive sync failures before a peer is dead and skipped (0 = default 5)")
+		antiEnt  = flag.Duration("anti-entropy", 0, "pull anti-entropy cadence: periodically reconcile ledgers with one sampled peer via digests (with -peers; 0 = off)")
 		pprofA   = flag.String("pprof", "", "expose net/http/pprof on this address (e.g. localhost:6060; empty = off)")
 		metricsA = flag.String("metrics", "", "expose Prometheus /metrics on this address (may equal -pprof to share one listener; empty = off)")
 		traceF   = flag.String("trace", "", "append JSON-lines telemetry events (sessions, syncs, membership) to this file (empty = off)")
@@ -228,10 +229,11 @@ func main() {
 	defer cancelPeers()
 	if len(peerAddrs) > 0 || *join {
 		peers = federation.NewPeerSetWith(node, peerAddrs, federation.PeerSetConfig{
-			Join:     *join,
-			SelfAddr: l.Addr(),
-			Fanout:   *gossip,
-			Seed:     *seed,
+			Join:        *join,
+			SelfAddr:    l.Addr(),
+			Fanout:      *gossip,
+			Seed:        *seed,
+			AntiEntropy: *antiEnt,
 		})
 		peerWg.Add(1)
 		go func() {

@@ -212,6 +212,15 @@ type FederationOptions struct {
 	// every few rounds; an announced clean leave (Shutdown) marks the
 	// leaver immediately.
 	SuspectAfter, DeadAfter int
+	// AntiEntropyInterval, when positive, schedules pull anti-entropy
+	// rounds on that cadence alongside the push plane: each round the
+	// server samples one peer, exchanges compact ledger digests, and
+	// pulls exactly the cells where the peer's evidence ledger outruns
+	// its own. This is the self-healing path — a server partitioned away
+	// and healed reconverges within one interval instead of waiting for
+	// push traffic to happen to touch it. Zero disables pulls
+	// (push-only, the classic behavior).
+	AntiEntropyInterval time.Duration
 }
 
 // RoutingOptions configures the routed multi-server deployment.

@@ -683,6 +683,63 @@ func GossipSync(b *testing.B) {
 	}
 }
 
+// AntiEntropyRound measures one pull anti-entropy round between a warm
+// node pair: per iteration the responder absorbs a scripted upload and
+// the initiator runs the full digest → want → pull repair cycle through
+// the real wire codec. digest-bytes-per-round and pull-bytes-per-round
+// split the negotiation cost (paid every round, converged or not) from
+// the repair payload (paid only for cells that actually moved).
+func AntiEntropyRound(b *testing.B) {
+	ds := dataset.ESC50().Subset(10)
+	space := semantics.NewSpace(ds, model.VGG16BN())
+	cfg := core.ServerConfig{Theta: 0.035, Seed: 1, PeerInertia: 4}
+	init := core.BuildServerInit(space, cfg)
+	ctx := context.Background()
+
+	responder := federation.NewNode(core.NewServerFrom(space, cfg, init), federation.NodeConfig{ID: 0})
+	initiator := federation.NewNode(core.NewServerFrom(space, cfg, init), federation.NodeConfig{ID: 1})
+	sess, err := responder.Open(ctx, 100)
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer sess.Close()
+	r := xrand.New(31)
+	upd := core.UpdateReport{Freq: make([]float64, ds.NumClasses)}
+	for k := 0; k < 4; k++ {
+		upd.Freq[r.IntN(ds.NumClasses)] += float64(1 + r.IntN(4))
+		upd.Cells = append(upd.Cells, core.UpdateCell{
+			Class: r.IntN(ds.NumClasses),
+			Layer: r.IntN(space.Arch.NumLayers),
+			Count: 1 + r.IntN(3),
+			Vec:   xrand.NormalVector(r, model.Dim),
+		})
+	}
+	round := func() {
+		if err := sess.Upload(ctx, upd); err != nil {
+			b.Fatal(err)
+		}
+		if _, err := federation.AntiEntropyExchange(initiator, responder); err != nil {
+			b.Fatal(err)
+		}
+	}
+	for i := 0; i < 3; i++ {
+		round() // warm digests, scratch and pooled frame buffers
+	}
+	before := initiator.Stats()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for n := 0; n < b.N; n++ {
+		round()
+	}
+	b.StopTimer()
+	after := initiator.Stats()
+	if rounds := after.AntiEntropyRounds - before.AntiEntropyRounds; rounds > 0 {
+		b.ReportMetric(float64(after.DigestBytes-before.DigestBytes)/float64(rounds), "digest-bytes-per-round")
+		b.ReportMetric(float64(after.PullBytes-before.PullBytes)/float64(rounds), "pull-bytes-per-round")
+		b.ReportMetric(float64(after.CellsRepaired-before.CellsRepaired)/float64(rounds), "repaired-cells-per-round")
+	}
+}
+
 // TelemetryFixture is a warm private-registry instrument set, one of each
 // kind on the record path: isolated from the default registry so repeated
 // bench runs never inflate the process-wide series.

@@ -738,6 +738,30 @@ func (s *Server) MergePeerCell(class, layer int, vec []float32, evidence, sinceE
 	return ver, evTotal, nil
 }
 
+// AdoptPeerCell replaces one cell with a dominating peer copy — the pull
+// anti-entropy repair path (see gtable.Sharded.AdoptPeer for the
+// dominance contract callers must establish). Like peer merges, adoption
+// is ignored under DisableGlobalUpdates and reported through the peer
+// merge counters; the returned version is 0 when nothing changed (frozen
+// table, or a stale copy whose ledger does not exceed the local one).
+func (s *Server) AdoptPeerCell(class, layer int, vec []float32, support, evTotal float64) (uint64, error) {
+	if s.cfg.DisableGlobalUpdates {
+		return 0, nil
+	}
+	if class < 0 || class >= s.table.Classes() || layer < 0 || layer >= s.table.Layers() {
+		return 0, fmt.Errorf("core: peer cell (%d,%d) out of range", class, layer)
+	}
+	ver, err := s.table.AdoptPeer(class, layer, vec, support, evTotal, s.cfg.SupportCap)
+	if err != nil {
+		return 0, fmt.Errorf("core: peer adopt (%d,%d): %w", class, layer, err)
+	}
+	if ver != 0 {
+		s.peerMerges.Add(1)
+		telemetry.CorePeerMerges.Inc()
+	}
+	return ver, nil
+}
+
 // AddPeerFreq folds a peer server's class-frequency increments into Φ —
 // Eq. 5 extended across the federation, which is what lets this server's
 // ACA rank classes its own clients never stream. Like client updates,

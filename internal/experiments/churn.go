@@ -67,6 +67,32 @@ func runChurnRounds(ctx context.Context, nodes []*federation.Node, topo *federat
 	return nil
 }
 
+// runChurnRoundsAE is runChurnRounds plus one pull anti-entropy
+// exchange per node per round: each node reconciles ledgers with a
+// sampled peer over the digest/pull frames — the wire fleet's
+// -anti-entropy cadence compressed into the in-process experiment.
+// Peer sampling draws from its own rng so the upload script stays
+// byte-identical to a runChurnRounds arm driven by the same rng seed.
+func runChurnRoundsAE(ctx context.Context, nodes []*federation.Node, topo *federation.Topology, rounds int, rng, aeRng *rand.Rand) error {
+	for r := 0; r < rounds; r++ {
+		for _, n := range nodes {
+			if err := churnUpload(ctx, n, rng); err != nil {
+				return err
+			}
+		}
+		if err := federation.SyncNodes(nodes, topo); err != nil {
+			return err
+		}
+		for i := range nodes {
+			peer := nodes[(i+1+aeRng.IntN(len(nodes)-1))%len(nodes)]
+			if _, err := federation.AntiEntropyExchange(nodes[i], peer); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
 // fleetBytes sums outbound sync bytes across the fleet.
 func fleetBytes(nodes []*federation.Node) int64 {
 	var total int64
@@ -74,6 +100,19 @@ func fleetBytes(nodes []*federation.Node) int64 {
 		total += n.Stats().BytesSent
 	}
 	return total
+}
+
+// fleetByteSplit sums per-channel outbound accounting across the fleet:
+// push (delta sync), digest (anti-entropy negotiation frames) and pull
+// (anti-entropy repair payloads).
+func fleetByteSplit(nodes []*federation.Node) (push, digest, pull int64) {
+	for _, n := range nodes {
+		st := n.Stats()
+		push += st.BytesSent
+		digest += st.DigestBytes
+		pull += st.PullBytes
+	}
+	return
 }
 
 // ChurnExp measures the elastic-federation tier: gossip fanout-k sync
@@ -94,8 +133,8 @@ func ChurnExp(opts Options) (*Result, error) {
 	init := core.BuildServerInit(space, cfg)
 	rounds := opts.rounds(6)
 
-	out := metrics.NewTable("Churn — gossip vs mesh sync traffic and elastic membership (VGG16BN, ESC50-10)",
-		"Arm", "Nodes", "Sync KiB/node/round", "Catch-up KiB")
+	out := metrics.NewTable("Churn — gossip vs mesh sync traffic, anti-entropy split and elastic membership (VGG16BN, ESC50-10)",
+		"Arm", "Nodes", "Push KiB/node/round", "Digest KiB", "Pull KiB", "Catch-up KiB")
 
 	// Fleet-size sweep: mesh per-node bytes grow with the fleet (every
 	// node pushes to n-1 peers); gossip pins per-node cost to fanout k.
@@ -109,6 +148,7 @@ func ChurnExp(opts Options) (*Result, error) {
 		}
 	}
 	var meshPerNode, gossipPerNode float64 // largest-size figures for the note
+	var gossipBaseBytes int64              // base-size gossip total, legacy comparison baseline
 	for _, n := range sizes {
 		for _, arm := range []string{"mesh", "gossip"} {
 			var topo *federation.Topology
@@ -126,10 +166,14 @@ func ChurnExp(opts Options) (*Result, error) {
 			if err := runChurnRounds(ctx, nodes, topo, rounds, rng); err != nil {
 				return nil, fmt.Errorf("churn %s n=%d: %w", arm, n, err)
 			}
-			perNode := float64(fleetBytes(nodes)) / float64(n) / float64(rounds) / 1024
+			total := fleetBytes(nodes)
+			perNode := float64(total) / float64(n) / float64(rounds) / 1024
 			label := arm
 			if arm == "gossip" {
 				label = fmt.Sprintf("gossip (k=%d)", federation.DefaultGossipFanout)
+				if n == sizes[0] {
+					gossipBaseBytes = total
+				}
 			}
 			out.AddRow(label, fmt.Sprintf("%d", n), metrics.Fmt(perNode, 1), "")
 			if n == sizes[len(sizes)-1] {
@@ -141,6 +185,49 @@ func ChurnExp(opts Options) (*Result, error) {
 			}
 		}
 	}
+
+	// Self-healing arms at the base fleet size. First the same gossip
+	// workload as the sweep on the pre-self-healing (legacy, untagged)
+	// wire format: origin tags cost bytes per shipped cell, but they let
+	// nodes discard echoed evidence at apply time, so echoes stop
+	// re-entering delta sweeps and tagged steady-state push traffic lands
+	// below the legacy baseline (the in-repo assertion is
+	// TestChurnGossipBytesBelowLegacy).
+	aeN := sizes[0]
+	aeTopo, err := federation.NewGossipTopology(aeN, federation.DefaultGossipFanout, opts.Seed)
+	if err != nil {
+		return nil, err
+	}
+	div := float64(aeN) * float64(rounds) * 1024
+	legacy := churnFleet(aeN, aeN, aeTopo.Forwarding(), space, cfg, init)
+	for _, n := range legacy {
+		n.SetLegacy(true)
+	}
+	if err := runChurnRounds(ctx, legacy, aeTopo, rounds, xrand.New(opts.Seed, 0xC0CA, uint64(aeN))); err != nil {
+		return nil, fmt.Errorf("churn legacy: %w", err)
+	}
+	legacyPush := fleetBytes(legacy)
+	out.AddRow("  legacy wire (untagged)", fmt.Sprintf("%d", aeN), metrics.Fmt(float64(legacyPush)/div, 1), "", "", "")
+	if gossipBaseBytes >= legacyPush {
+		out.AddNote("WARNING: tagged gossip traffic (%.1f KiB/node/round) did not undercut the legacy wire baseline (%.1f)",
+			float64(gossipBaseBytes)/div, float64(legacyPush)/div)
+	} else {
+		out.AddNote("origin-tagged gossip pushes %.1f KiB/node/round vs %.1f on the legacy wire — %.1f%% saved by discarding echoed evidence instead of re-crediting it",
+			float64(gossipBaseBytes)/div, float64(legacyPush)/div, 100*(1-float64(gossipBaseBytes)/float64(legacyPush)))
+	}
+
+	// Then pull anti-entropy layered on the tagged workload, split per
+	// channel. Push rises above the push-only arm — repaired evidence is
+	// novel to the repaired node and propagates onward — which is repair
+	// traffic doing its job, not overhead; digest KiB is the steady
+	// per-round price of the negotiation.
+	tagged := churnFleet(aeN, 0, aeTopo.Forwarding(), space, cfg, init)
+	if err := runChurnRoundsAE(ctx, tagged, aeTopo, rounds, xrand.New(opts.Seed, 0xC0CA, 0xA17E), xrand.New(opts.Seed, 0xAE, 0xA17E)); err != nil {
+		return nil, fmt.Errorf("churn anti-entropy: %w", err)
+	}
+	push, digest, pull := fleetByteSplit(tagged)
+	out.AddRow("gossip+anti-entropy", fmt.Sprintf("%d", aeN),
+		metrics.Fmt(float64(push)/div, 1), metrics.Fmt(float64(digest)/div, 1), metrics.Fmt(float64(pull)/div, 1), "")
 
 	// Membership churn on the base fleet: build history, then a node
 	// joins from one snapshot and a node crashes mid-run.
@@ -176,8 +263,8 @@ func ChurnExp(opts Options) (*Result, error) {
 	if _, err := joiner.ApplySnapshot(snap, len(frame)); err != nil {
 		return nil, fmt.Errorf("churn join apply: %w", err)
 	}
-	out.AddRow("snapshot join", fmt.Sprintf("%d+1", n0), "", metrics.Fmt(joinKiB, 1))
-	out.AddRow("  vs history replay", fmt.Sprintf("%d+1", n0), "", metrics.Fmt(historyPerNode, 1))
+	out.AddRow("snapshot join", fmt.Sprintf("%d+1", n0), "", "", "", metrics.Fmt(joinKiB, 1))
+	out.AddRow("  vs history replay", fmt.Sprintf("%d+1", n0), "", "", "", metrics.Fmt(historyPerNode, 1))
 
 	// Crash: drop a member with no leave announcement; the survivors
 	// (joiner included) keep syncing over the shrunk graph.

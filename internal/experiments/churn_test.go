@@ -1,0 +1,56 @@
+package experiments
+
+import (
+	"context"
+	"testing"
+
+	"coca/internal/core"
+	"coca/internal/dataset"
+	"coca/internal/federation"
+	"coca/internal/model"
+	"coca/internal/xrand"
+)
+
+// TestChurnGossipBytesBelowLegacy pins the self-healing tier's traffic
+// win at the churn experiment's base fleet size: an origin-tagged n=16
+// gossip fleet must spend strictly fewer push bytes than the same
+// workload on the legacy (untagged) wire format. Tags cost bytes per
+// shipped cell, but they let nodes discard echoed evidence at apply
+// time, so echoes stop re-entering delta sweeps — at fleet scale the
+// steady-state saving dominates the per-cell overhead.
+func TestChurnGossipBytesBelowLegacy(t *testing.T) {
+	ctx := context.Background()
+	ds := dataset.ESC50().Subset(10)
+	arch := model.VGG16BN()
+	space := newSpace(ds, arch)
+	cfg := core.ServerConfig{Theta: thetaFor(arch, true), Seed: 2, ProfileSamples: 120, InitSamplesPerClass: 16}
+	init := core.BuildServerInit(space, cfg)
+	const n, rounds = 16, 6
+	topo, err := federation.NewGossipTopology(n, federation.DefaultGossipFanout, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	run := func(legacy bool) int64 {
+		nodes := churnFleet(n, 0, topo.Forwarding(), space, cfg, init)
+		for _, nd := range nodes {
+			nd.SetLegacy(legacy)
+		}
+		// Identical upload script on both arms: same rng seed, and
+		// runChurnRounds draws nothing beyond the uploads.
+		if err := runChurnRounds(ctx, nodes, topo, rounds, xrand.New(2, 0xC0CA, 0xA17E)); err != nil {
+			t.Fatal(err)
+		}
+		return fleetBytes(nodes)
+	}
+
+	tagged := run(false)
+	legacy := run(true)
+	if tagged >= legacy {
+		t.Fatalf("tagged gossip bytes %d not below the legacy baseline %d (n=%d, %d rounds)",
+			tagged, legacy, n, rounds)
+	}
+	t.Logf("n=%d gossip over %d rounds: tagged %.1f KiB/node/round vs legacy %.1f (%.1f%% saved)",
+		n, rounds, float64(tagged)/float64(n*rounds)/1024, float64(legacy)/float64(n*rounds)/1024,
+		100*(1-float64(tagged)/float64(legacy)))
+}

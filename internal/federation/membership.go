@@ -5,7 +5,9 @@ import (
 	"sort"
 	"sync"
 
+	"coca/internal/protocol"
 	"coca/internal/telemetry"
+	"coca/internal/xrand"
 )
 
 // PeerState is a fleet member's health as seen from one node. States move
@@ -85,6 +87,17 @@ type MembershipConfig struct {
 	// peers are re-probed (default 4) — the bounded-staleness knob: a
 	// recovered peer is rediscovered within this many rounds.
 	DeadRetryEvery int
+	// TombstoneTTL bounds how long a membership event — death
+	// certificates included — keeps circulating: the budget counts down
+	// once per local sync round (Tick) and once per relay hop, and the
+	// event drops out of the gossip ring when it reaches zero
+	// (default 8). The peer RECORD keeps its state; only the
+	// announcement stops spreading.
+	TombstoneTTL int
+	// GossipRetransmits is how many exchanges each membership event
+	// rides before this node stops offering it (default 3) — the
+	// epidemic fanout budget.
+	GossipRetransmits int
 }
 
 func (c MembershipConfig) withDefaults() MembershipConfig {
@@ -100,8 +113,37 @@ func (c MembershipConfig) withDefaults() MembershipConfig {
 	if c.DeadRetryEvery <= 0 {
 		c.DeadRetryEvery = 4
 	}
+	if c.TombstoneTTL <= 0 {
+		c.TombstoneTTL = 8
+	}
+	if c.GossipRetransmits <= 0 {
+		c.GossipRetransmits = 3
+	}
 	return c
 }
+
+// gossipRingCap bounds the membership event ring (oldest events are
+// evicted first); gossipDrainPerExchange caps how many events one
+// exchange piggybacks, keeping the overhead on sync frames small.
+const (
+	gossipRingCap          = 64
+	gossipDrainPerExchange = 8
+)
+
+// gossipEvent is one membership state transition circulating
+// epidemically: dead/left events are death certificates (tombstones),
+// alive events are rumors that spread recovery news and learned
+// addresses.
+type gossipEvent struct {
+	id     int
+	state  PeerState
+	ttl    int
+	budget int
+	addr   string
+}
+
+// tombstone reports whether the event is a death certificate.
+func (e gossipEvent) tombstone() bool { return e.state == PeerDead || e.state == PeerLeft }
 
 // peerHealth is one peer's mutable membership record.
 type peerHealth struct {
@@ -124,6 +166,9 @@ type Membership struct {
 	cfg      MembershipConfig
 	peers    map[int]*peerHealth
 	nextProv int
+	// events is the bounded gossip ring: state transitions waiting to
+	// piggyback on outgoing exchanges.
+	events []gossipEvent
 }
 
 // NewMembership builds a membership table with the given detector config
@@ -149,9 +194,18 @@ func (m *Membership) peer(id int) *peerHealth {
 }
 
 // setState moves a peer's health state, keeping the live per-state
-// membership gauge in step and emitting a member_state trace event on
-// real transitions. Caller holds m.mu.
+// membership gauge in step, emitting a member_state trace event on real
+// transitions, and minting a gossip event (with the full configured TTL)
+// so the transition spreads epidemically. Caller holds m.mu.
 func (m *Membership) setState(p *peerHealth, to PeerState) {
+	m.setStateTTL(p, to, m.cfg.TombstoneTTL)
+}
+
+// setStateTTL is setState with an explicit gossip budget — relayed
+// certificates re-mint with the sender's TTL minus one hop, which is
+// what makes recirculation decay instead of echoing forever. A
+// non-positive ttl applies the transition without minting.
+func (m *Membership) setStateTTL(p *peerHealth, to PeerState, ttl int) {
 	from := p.stats.State
 	if from == to {
 		return
@@ -163,6 +217,29 @@ func (m *Membership) setState(p *peerHealth, to PeerState) {
 			telemetry.Int("peer", p.stats.ID),
 			telemetry.Str("from", from.String()),
 			telemetry.Str("to", to.String()))
+	}
+	if ttl > 0 {
+		m.mint(p.stats.ID, to, ttl, p.stats.Addr)
+	}
+}
+
+// mint queues one membership event for epidemic spread. Provisional
+// identities (negative ids) are local bookkeeping and never gossip.
+// Caller holds m.mu.
+func (m *Membership) mint(id int, state PeerState, ttl int, addr string) {
+	if id < 0 {
+		return
+	}
+	if len(m.events) >= gossipRingCap {
+		if m.events[0].tombstone() {
+			telemetry.FedTombstones.Dec()
+		}
+		copy(m.events, m.events[1:])
+		m.events = m.events[:len(m.events)-1]
+	}
+	m.events = append(m.events, gossipEvent{id: id, state: state, ttl: ttl, budget: m.cfg.GossipRetransmits, addr: addr})
+	if state == PeerDead || state == PeerLeft {
+		telemetry.FedTombstones.Inc()
 	}
 }
 
@@ -396,6 +473,152 @@ func (m *Membership) IDForAddr(addr string) (int, bool) {
 		}
 	}
 	return 0, false
+}
+
+// GossipEntries drains up to a handful of pending membership events into
+// wire updates to piggyback on an outgoing exchange, decrementing each
+// event's retransmit budget. When selfAddr is non-empty a self-advert
+// (alive, this node's address) rides along, which is how learned
+// addresses spread beyond join announcements. The returned slice is
+// freshly allocated — it must survive frame encoding; nil means nothing
+// to gossip.
+func (m *Membership) GossipEntries(selfID int, selfAddr string) []protocol.MemberUpdate {
+	m.mu.Lock()
+	var out []protocol.MemberUpdate
+	drained := 0
+	for i := range m.events {
+		e := &m.events[i]
+		if e.budget <= 0 {
+			continue
+		}
+		e.budget--
+		out = append(out, protocol.MemberUpdate{ID: int32(e.id), State: byte(e.state), TTL: uint32(e.ttl), Addr: e.addr})
+		if drained++; drained >= gossipDrainPerExchange {
+			break
+		}
+	}
+	m.mu.Unlock()
+	if selfAddr != "" {
+		out = append(out, protocol.MemberUpdate{ID: int32(selfID), State: byte(PeerAlive), TTL: 1, Addr: selfAddr})
+	}
+	return out
+}
+
+// ApplyGossip folds piggybacked membership updates in, under a strict
+// evidence ordering: direct contact outranks certificates, certificates
+// outrank rumors.
+//
+//   - A death certificate (dead/left) applies even over a locally-alive
+//     reading — the announcer had better evidence (a clean leave, or a
+//     confirmed detector verdict) — and is RE-MINTED with one hop less
+//     TTL, but only when it actually changed this node's view: relaying
+//     already-known certificates is what would keep them echoing around
+//     cycles forever. Fresh direct contact (NoteContact/NoteSuccess) or
+//     the periodic re-probe resurrects the peer afterward.
+//   - A rumor (alive/suspect) never overrides local state — in
+//     particular it cannot cancel a certificate — it only registers
+//     previously unknown peers and teaches missing addresses.
+//
+// Updates about this node itself are ignored (a node is the authority on
+// its own liveness; its next exchanges refute stale certificates by
+// direct contact).
+func (m *Membership) ApplyGossip(selfID int, updates []protocol.MemberUpdate) {
+	if len(updates) == 0 {
+		return
+	}
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	for _, u := range updates {
+		id := int(u.ID)
+		if id == selfID || id < 0 {
+			continue
+		}
+		switch state := PeerState(u.State); state {
+		case PeerDead, PeerLeft:
+			if u.TTL == 0 {
+				continue // expired in flight
+			}
+			p := m.peer(id)
+			if u.Addr != "" && p.stats.Addr == "" {
+				p.stats.Addr = u.Addr
+			}
+			if p.stats.State != state {
+				p.stats.ConsecFailures = 0
+				m.setStateTTL(p, state, int(u.TTL)-1)
+			}
+		case PeerAlive, PeerSuspect:
+			p := m.peer(id)
+			if u.Addr != "" && p.stats.Addr == "" {
+				p.stats.Addr = u.Addr
+			}
+		}
+	}
+}
+
+// Tick ages the gossip event ring one sync round: TTLs count down, and
+// events that expired or exhausted their retransmit budget drop out (a
+// tombstone's departure releases the circulating-tombstones gauge).
+func (m *Membership) Tick() {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if len(m.events) == 0 {
+		return
+	}
+	kept := m.events[:0]
+	for _, e := range m.events {
+		e.ttl--
+		if e.ttl <= 0 || e.budget <= 0 {
+			if e.tombstone() {
+				telemetry.FedTombstones.Dec()
+			}
+			continue
+		}
+		kept = append(kept, e)
+	}
+	m.events = kept
+}
+
+// Tombstones reports how many death certificates are currently
+// circulating in this node's gossip ring.
+func (m *Membership) Tombstones() int {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	n := 0
+	for _, e := range m.events {
+		if e.tombstone() {
+			n++
+		}
+	}
+	return n
+}
+
+// SampleAntiEntropyPeer picks this round's pull target: a seeded,
+// deterministic sample over identified peers, skipping dead and left
+// ones except on their re-probe rounds (a partitioned-away node that
+// declared the majority dead must still probe its way back in). Returns
+// false when no peer qualifies.
+func (m *Membership) SampleAntiEntropyPeer(selfID int, tick, seed uint64) (int, bool) {
+	m.mu.Lock()
+	ids := make([]int, 0, len(m.peers))
+	for id, p := range m.peers {
+		if id < 0 || id == selfID {
+			continue
+		}
+		switch p.stats.State {
+		case PeerDead, PeerLeft:
+			if tick%uint64(m.cfg.DeadRetryEvery) != 0 {
+				continue
+			}
+		}
+		ids = append(ids, id)
+	}
+	m.mu.Unlock()
+	if len(ids) == 0 {
+		return 0, false
+	}
+	sort.Ints(ids)
+	rng := xrand.New(seed, tick, uint64(selfID), 0xA17E)
+	return ids[rng.IntN(len(ids))], true
 }
 
 // KnownAddrs returns the dial addresses of identified (non-provisional)

@@ -177,7 +177,7 @@ func TestMembershipIdentify(t *testing.T) {
 // TestMembershipConfigDefaults pins the resolved thresholds.
 func TestMembershipConfigDefaults(t *testing.T) {
 	got := NewMembership(MembershipConfig{}).Config()
-	want := MembershipConfig{SuspectAfter: 2, DeadAfter: 5, DeadRetryEvery: 4}
+	want := MembershipConfig{SuspectAfter: 2, DeadAfter: 5, DeadRetryEvery: 4, TombstoneTTL: 8, GossipRetransmits: 3}
 	if got != want {
 		t.Fatalf("defaults %+v, want %+v", got, want)
 	}

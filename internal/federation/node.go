@@ -3,6 +3,7 @@ package federation
 import (
 	"context"
 	"fmt"
+	"sort"
 	"sync"
 
 	"coca/internal/core"
@@ -22,6 +23,16 @@ type SyncStats struct {
 	// (the delta encoding of internal/protocol), whether the delta
 	// actually traveled a wire or an in-process exchange.
 	BytesSent, BytesRecv int64
+	// AntiEntropyRounds counts completed pull anti-entropy exchanges this
+	// node initiated. DigestBytes and PullBytes split that traffic from
+	// the push plane: digest negotiation (request, digest and want
+	// frames) vs pull repair (response frames carrying full cell state);
+	// both are charged to the initiator, which paid for the round.
+	// CellsRepaired counts cells healed by pull (adopted or merged).
+	AntiEntropyRounds int
+	DigestBytes       int64
+	PullBytes         int64
+	CellsRepaired     int
 	// Errors counts failed wire sync attempts; LastError describes the
 	// most recent one (empty when every sync succeeded).
 	Errors    int
@@ -41,6 +52,10 @@ func (s *SyncStats) add(o SyncStats) {
 	s.CellsRecv += o.CellsRecv
 	s.BytesSent += o.BytesSent
 	s.BytesRecv += o.BytesRecv
+	s.AntiEntropyRounds += o.AntiEntropyRounds
+	s.DigestBytes += o.DigestBytes
+	s.PullBytes += o.PullBytes
+	s.CellsRepaired += o.CellsRepaired
 	s.Errors += o.Errors
 	if o.LastError != "" {
 		s.LastError = o.LastError
@@ -134,11 +149,39 @@ type Node struct {
 	epoch       uint64
 	stats       SyncStats
 
+	// Origin-height bookkeeping (the exactly-once upgrade). base is an
+	// IMMUTABLE snapshot of the evidence ledgers at construction — the
+	// common knowledge every fleet member starts from (same
+	// ServerConfig.Seed). initial cannot serve this role: mesh crediting
+	// mutates it. olog[origin][k] is the highest evidence height this
+	// node has applied from that origin — absolute, max-merged — and
+	// foreign[k] accumulates every applied foreign increment, which keeps
+	// it identically Σ_origins olog[origin][k]. The node's OWN height is
+	// derived, never stored: selfHeight(k) = evTotal[k] − base[k] −
+	// foreign[k]. Every piece of evidence is integer-valued (client
+	// counts, sums of integer heights), so all of this arithmetic is
+	// float64-EXACT: heights are bitwise-comparable across nodes and the
+	// derived self height carries no rounding dust.
+	base    []float64
+	foreign []float64
+	olog    map[int][]float64
+	// legacy disables origin tagging and tagged applies entirely,
+	// reproducing the pre-self-healing (push-only, at-least-once) wire
+	// behavior — the in-repo baseline the churn experiment compares
+	// against.
+	legacy bool
+
 	// sweep and freqScratch are reused across sync rounds; deltas holds
 	// one reusable cell/frequency buffer set per peer, since a collected
 	// delta stays live until it is committed (after the exchange).
+	// oidScratch reuses the sorted-origin-id list tagging passes walk;
+	// aeEv / aeRows are the anti-entropy digest scratch (dense evTotals
+	// and digest rows).
 	sweep       []gtable.Cell
 	freqScratch []float64
+	oidScratch  []int
+	aeEv        []float64
+	aeRows      []float64
 	deltas      map[int]*peerScratch
 
 	// members tracks fleet membership and per-peer health/traffic. It has
@@ -151,6 +194,12 @@ type Node struct {
 type peerScratch struct {
 	cells         []protocol.PeerCell
 	freq, freqRaw []float64
+	// origins is the flat arena cell Origins subslice into; selfH holds
+	// each collected cell's derived own-origin height between the sweep
+	// and the tagging pass. The arena is sized before tagging and never
+	// reallocates mid-pass, so the subslices stay valid.
+	origins []protocol.OriginHeight
+	selfH   []float64
 	// pending marks a collected-but-uncommitted delta: the exchange
 	// faulted (or has not happened yet), so the next CollectDelta for the
 	// same peer re-collects the content — counted as resends.
@@ -173,7 +222,31 @@ func NewNode(srv *core.Server, cfg NodeConfig) *Node {
 		n.initial[class*layers+layer] = evTotal
 	})
 	n.initialFreq = srv.GlobalFreq()
+	n.base = append([]float64(nil), n.initial...)
+	n.foreign = make([]float64, classes*layers)
+	n.olog = make(map[int][]float64)
 	return n
+}
+
+// SetLegacy switches the node to the pre-self-healing wire behavior: no
+// origin tags on outgoing deltas, Evidence-based (at-least-once) applies
+// on incoming ones, and V2 framing. Tests and the churn experiment use
+// it as the in-repo baseline a self-healing fleet is measured against.
+func (n *Node) SetLegacy(on bool) {
+	n.mu.Lock()
+	n.legacy = on
+	n.mu.Unlock()
+}
+
+// originHeights returns (creating if needed) the dense height slice for
+// an origin. Callers hold n.mu.
+func (n *Node) originHeights(origin int) []float64 {
+	h, ok := n.olog[origin]
+	if !ok {
+		h = make([]float64, n.classes*n.layers)
+		n.olog[origin] = h
+	}
+	return h
 }
 
 // ID returns the node's federation id.
@@ -282,19 +355,23 @@ func (n *Node) CollectDelta(peerID int) Delta {
 		resent = len(ps.cells)
 	}
 	ps.cells = ps.cells[:0]
+	ps.selfH = ps.selfH[:0]
 	n.sweep = n.srv.AppendCells(n.sweep[:0])
 	for i := range n.sweep {
 		c := &n.sweep[i]
+		k := c.Class*n.layers + c.Layer
 		// The evidence shipped is the ledger growth since the last sync
 		// with this peer: exactly the new information, never the (capped)
 		// bulk of the entry's history.
-		if ev := c.EvTotal - view[c.Class*n.layers+c.Layer]; ev > 0 {
+		if ev := c.EvTotal - view[k]; ev > 0 {
 			// Vec is the live entry; merges replace entry slices rather
 			// than mutating them, so holding the reference is a stable
 			// snapshot.
 			ps.cells = append(ps.cells, protocol.PeerCell{Class: c.Class, Layer: c.Layer, Evidence: ev, Vec: c.Vec})
+			ps.selfH = append(ps.selfH, c.EvTotal-n.base[k]-n.foreign[k])
 		}
 	}
+	n.tagOrigins(ps)
 	d := Delta{Cells: ps.cells}
 	// Φ increments since the last sync with this peer (Eq. 5 across the
 	// federation): Φ is monotone, so view differences are the increments,
@@ -337,6 +414,64 @@ func (n *Node) CollectDelta(peerID int) Delta {
 		n.members.noteSent(peerID, 0, resent, 0)
 	}
 	return d
+}
+
+// tagOrigins attaches origin tags to a collected delta's cells (caller
+// holds n.mu; ps.selfH[i] is cell i's derived own-origin height).
+//
+// Emission is asymmetric by topology role, and the asymmetry is
+// load-bearing. A non-relaying (mesh) cell tags only {self, selfHeight}:
+// mesh crediting marks received evidence possessed-by-all at apply time,
+// so a mesh cell's pending Evidence is exactly the node's own ledger
+// growth — the self tag covers it, the receiver's computed increment
+// equals Evidence bit-for-bit (integer-exact arithmetic), and behavior
+// on mesh fleets is unchanged from the untagged protocol. A relaying
+// cell (star hub, ring member, gossip) ships the FULL decomposition —
+// self height plus every olog height — because forwarded evidence is
+// where recirculation lives: an origin that receives its own tag back
+// computes a zero increment and discards the cell, which is what turns
+// the bounded-amplitude circulation of cyclic topologies into decay.
+//
+// Evidence applied through the legacy (untagged) path bumps neither olog
+// nor foreign, so it surfaces inside the derived self height and is
+// re-announced under THIS node's origin: mixed fleets keep converging,
+// degraded to the old at-least-once duplication on multi-path routes.
+func (n *Node) tagOrigins(ps *peerScratch) {
+	if n.legacy {
+		return
+	}
+	maxPer := 1
+	if n.cfg.Relay {
+		maxPer += len(n.olog)
+	}
+	need := len(ps.cells) * maxPer
+	if cap(ps.origins) < need {
+		ps.origins = make([]protocol.OriginHeight, 0, need)
+	}
+	ps.origins = ps.origins[:0]
+	var oids []int
+	if n.cfg.Relay {
+		oids = n.oidScratch[:0]
+		for id := range n.olog {
+			oids = append(oids, id)
+		}
+		sort.Ints(oids)
+		n.oidScratch = oids
+	}
+	for i := range ps.cells {
+		c := &ps.cells[i]
+		k := c.Class*n.layers + c.Layer
+		start := len(ps.origins)
+		if h := ps.selfH[i]; h > 0 {
+			ps.origins = append(ps.origins, protocol.OriginHeight{Origin: int32(n.cfg.ID), Height: h})
+		}
+		for _, oid := range oids {
+			if h := n.olog[oid][k]; h > 0 {
+				ps.origins = append(ps.origins, protocol.OriginHeight{Origin: int32(oid), Height: h})
+			}
+		}
+		c.Origins = ps.origins[start:len(ps.origins):len(ps.origins)]
+	}
 }
 
 // CommitDelta credits a successfully delivered delta to the peer's views
@@ -424,11 +559,34 @@ func (n *Node) HandlePeerJoin(j *protocol.PeerJoin) (*protocol.PeerSnapshot, err
 		// sync collecting for the same peer.
 		view := n.view(from)
 		n.sweep = n.srv.AppendCells(n.sweep[:0])
+		var oids []int
+		if !n.legacy && n.cfg.Relay {
+			for id := range n.olog {
+				oids = append(oids, id)
+			}
+			sort.Ints(oids)
+		}
 		for i := range n.sweep {
 			c := &n.sweep[i]
 			k := c.Class*n.layers + c.Layer
 			if ev := c.EvTotal - view[k]; ev > 0 {
-				snap.Cells = append(snap.Cells, protocol.PeerCell{Class: c.Class, Layer: c.Layer, Evidence: ev, Vec: c.Vec})
+				pc := protocol.PeerCell{Class: c.Class, Layer: c.Layer, Evidence: ev, Vec: c.Vec}
+				// Snapshot cells carry the same origin tags a push delta
+				// would (self-only on mesh, full decomposition on relays):
+				// without them the joiner would absorb this evidence into
+				// its OWN derived height and re-announce it under its own
+				// origin — a one-time fleet-wide double count.
+				if !n.legacy {
+					if h := c.EvTotal - n.base[k] - n.foreign[k]; h > 0 {
+						pc.Origins = append(pc.Origins, protocol.OriginHeight{Origin: int32(n.cfg.ID), Height: h})
+					}
+					for _, oid := range oids {
+						if h := n.olog[oid][k]; h > 0 {
+							pc.Origins = append(pc.Origins, protocol.OriginHeight{Origin: int32(oid), Height: h})
+						}
+					}
+				}
+				snap.Cells = append(snap.Cells, pc)
 				view[k] += ev
 			}
 		}
@@ -507,14 +665,43 @@ func (n *Node) HandlePeerDelta(d *protocol.PeerDelta) (int, error) {
 	from := int(d.NodeID)
 	view := n.view(from)
 	applied := 0
-	for _, c := range d.Cells {
+	for i := range d.Cells {
+		c := &d.Cells[i]
 		if c.Class < 0 || c.Class >= n.classes || c.Layer < 0 || c.Layer >= n.layers {
 			n.stats.Errors++
 			n.stats.LastError = fmt.Sprintf("federation: peer cell (%d,%d) outside %d×%d", c.Class, c.Layer, n.classes, n.layers)
 			continue
 		}
 		k := c.Class*n.layers + c.Layer
-		ver, _, err := n.srv.MergePeerCell(c.Class, c.Layer, c.Vec, c.Evidence, view[k])
+		// The merge weight: for an origin-tagged cell, exactly the part
+		// of each origin's announced height this node has not applied yet
+		// (max(0, announced − olog)) — a resent or relayed-around copy
+		// whose heights are all known computes zero and is discarded, the
+		// exactly-once discard that makes dup storms and cyclic echo
+		// harmless. Untagged cells (legacy senders, or this node running
+		// legacy) fall back to the at-least-once Evidence weight.
+		inc := c.Evidence
+		tagged := len(c.Origins) > 0 && !n.legacy
+		if tagged {
+			inc = 0
+			for _, oh := range c.Origins {
+				o := int(oh.Origin)
+				if o == n.cfg.ID {
+					continue // own evidence coming back: already possessed
+				}
+				if hv, ok := n.olog[o]; ok {
+					if dlt := oh.Height - hv[k]; dlt > 0 {
+						inc += dlt
+					}
+				} else if oh.Height > 0 {
+					inc += oh.Height
+				}
+			}
+			if inc <= 0 {
+				continue
+			}
+		}
+		ver, _, err := n.srv.MergePeerCell(c.Class, c.Layer, c.Vec, inc, view[k])
 		if err != nil {
 			n.stats.Errors++
 			n.stats.LastError = err.Error()
@@ -523,17 +710,29 @@ func (n *Node) HandlePeerDelta(d *protocol.PeerDelta) (int, error) {
 		if ver == 0 {
 			continue // updates disabled; the ledger did not move
 		}
+		if tagged {
+			// Commit the origin heights only now that the merge landed:
+			// a skipped cell must stay pullable/re-appliable.
+			for _, oh := range c.Origins {
+				if o := int(oh.Origin); o != n.cfg.ID {
+					if hv := n.originHeights(o); oh.Height > hv[k] {
+						hv[k] = oh.Height
+					}
+				}
+			}
+			n.foreign[k] += inc
+		}
 		applied++
 		if n.cfg.Relay {
-			view[k] += c.Evidence
+			view[k] += inc
 		} else {
 			// Non-relaying (mesh) node: the origin ships to every peer
 			// directly, so received evidence is possessed-by-all — credit
 			// every existing view and the template for future ones.
 			for _, v := range n.views {
-				v[k] += c.Evidence
+				v[k] += inc
 			}
-			n.initial[k] += c.Evidence
+			n.initial[k] += inc
 		}
 	}
 	if len(d.Freq) > 0 {
@@ -561,6 +760,9 @@ func (n *Node) HandlePeerDelta(d *protocol.PeerDelta) (int, error) {
 	}
 	n.stats.CellsRecv += applied
 	telemetry.FedCellsRecv.Add(uint64(applied))
+	if len(d.Gossip) > 0 {
+		n.members.ApplyGossip(n.cfg.ID, d.Gossip)
+	}
 	n.members.NoteContact(from)
 	n.members.noteRecv(from, applied)
 	return applied, nil
@@ -608,6 +810,7 @@ func (n *Node) EndSyncExcept(fastForward bool, faulted map[int]bool) {
 	n.epoch++
 	n.stats.Syncs++
 	telemetry.FedSyncs.Inc()
+	n.members.Tick()
 	if !fastForward || len(n.views) == 0 {
 		return
 	}
@@ -639,6 +842,7 @@ func (n *Node) Epoch() uint64 {
 }
 
 var (
-	_ core.Coordinator     = (*Node)(nil)
-	_ protocol.PeerHandler = (*Node)(nil)
+	_ core.Coordinator            = (*Node)(nil)
+	_ protocol.PeerHandler        = (*Node)(nil)
+	_ protocol.AntiEntropyHandler = (*Node)(nil)
 )

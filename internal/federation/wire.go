@@ -2,6 +2,7 @@ package federation
 
 import (
 	"context"
+	"errors"
 	"fmt"
 	"sort"
 	"sync"
@@ -61,6 +62,14 @@ type PeerSetConfig struct {
 	Fanout int
 	// Seed drives the fanout sampling.
 	Seed uint64
+	// AntiEntropy, when positive, schedules pull anti-entropy rounds on
+	// that cadence (see PeerSet.AntiEntropyOnce): each round samples one
+	// peer, compares ledger digests and pulls exactly the cells whose
+	// ledgers outrun the local ones — the repair plane that heals a
+	// partitioned-then-recovered node without waiting for push traffic
+	// to touch it. Zero disables pulls (push-only, the classic
+	// behavior).
+	AntiEntropy time.Duration
 }
 
 // PeerSet manages a node's outbound wire links: the static peer address
@@ -389,7 +398,11 @@ func (p *PeerSet) SyncOnce(ctx context.Context) (synced int, err error) {
 			synced++
 			continue
 		}
-		_, wireBytes, serr := pc.SendDelta(p.node.Epoch(), d.Cells, d.Freq)
+		// Membership gossip piggybacks on the delta: state transitions
+		// and learned addresses spread with normal sync traffic instead
+		// of waiting for join announcements.
+		gossip := p.node.members.GossipEntries(p.node.ID(), p.cfg.SelfAddr)
+		_, wireBytes, serr := pc.SendDelta(p.node.Epoch(), d.Cells, d.Freq, gossip)
 		if serr != nil {
 			p.drop(addr)
 			p.node.members.NoteFailure(pc.PeerID())
@@ -415,10 +428,90 @@ func (p *PeerSet) SyncOnce(ctx context.Context) (synced int, err error) {
 	return synced, err
 }
 
+// AntiEntropyOnce runs one pull anti-entropy round: it samples a peer
+// (seeded, skipping dead/left ones except on re-probe rounds), ships a
+// ledger digest, turns the reply into a want list, and pulls exactly the
+// cells whose ledgers outrun the local ones. Membership gossip rides
+// every frame both ways. Peers negotiated below protocol v4 are skipped
+// quietly — the fleet degrades to push-only toward them. Returns the
+// number of cells repaired.
+func (p *PeerSet) AntiEntropyOnce(ctx context.Context) (repaired int, err error) {
+	round := p.node.Epoch()
+	addrs := p.targets(round)
+	if len(addrs) == 0 {
+		return 0, nil
+	}
+	rng := xrand.New(p.cfg.Seed, round, uint64(p.node.ID()), 0xA17E)
+	rng.Shuffle(len(addrs), func(i, j int) { addrs[i], addrs[j] = addrs[j], addrs[i] })
+	addr := ""
+	for _, a := range addrs {
+		if !p.node.members.Skip(p.idFor(a), round) {
+			addr = a
+			break
+		}
+	}
+	if addr == "" {
+		return 0, nil
+	}
+	fail := func(id int, e error) (int, error) {
+		p.node.members.NoteFailure(id)
+		e = fmt.Errorf("federation: anti-entropy %s: %w", addr, e)
+		p.node.noteSyncError(e)
+		return 0, e
+	}
+	pc, derr := p.link(ctx, addr)
+	if derr != nil {
+		return fail(p.idFor(addr), derr)
+	}
+	q := p.node.BuildDigestRequest()
+	q.Gossip = p.node.members.GossipEntries(p.node.ID(), p.cfg.SelfAddr)
+	dg, reqB, respB, serr := pc.SendDigestRequest(q)
+	if serr != nil {
+		if errors.Is(serr, protocol.ErrPeerTooOld) {
+			return 0, nil // pre-v4 peer: stay push-only toward it
+		}
+		p.drop(addr)
+		return fail(pc.PeerID(), serr)
+	}
+	digestBytes := reqB + respB
+	pullBytes := 0
+	p.node.members.ApplyGossip(p.node.ID(), dg.Gossip)
+	if wants := p.node.BuildWants(dg); len(wants) > 0 {
+		q2 := &protocol.PeerDigestRequest{
+			NodeID: int32(p.node.ID()),
+			Wants:  wants,
+			Gossip: p.node.members.GossipEntries(p.node.ID(), p.cfg.SelfAddr),
+		}
+		pr, reqB2, respB2, perr := pc.SendPull(q2)
+		if perr != nil {
+			p.drop(addr)
+			return fail(pc.PeerID(), perr)
+		}
+		digestBytes += reqB2
+		pullBytes = respB2
+		if repaired, err = p.node.ApplyPull(pc.PeerID(), pr); err != nil {
+			p.node.noteSyncError(err)
+		}
+	}
+	p.node.members.NoteSuccess(pc.PeerID(), round)
+	p.node.noteAntiEntropy(digestBytes, pullBytes)
+	if tr := telemetry.Trace(); tr != nil {
+		tr.Emit("anti_entropy",
+			telemetry.Int("peer", pc.PeerID()),
+			telemetry.Str("addr", addr),
+			telemetry.Int("repaired", repaired),
+			telemetry.Int("digest_bytes", digestBytes),
+			telemetry.Int("pull_bytes", pullBytes))
+	}
+	return repaired, err
+}
+
 // AnnounceLeave sends a clean-leave to every live link (best effort — a
 // peer that cannot be reached will find out through its failure detector
 // instead). Surviving peers mark this node left immediately, skipping the
-// suspect timeout.
+// suspect timeout. Each receiver's membership mints a death certificate
+// that then spreads epidemically, so even members without a direct link
+// learn of the departure without burning a suspect window.
 func (p *PeerSet) AnnounceLeave() {
 	p.mu.Lock()
 	pcs := make([]*protocol.PeerClient, 0, len(p.conns))
@@ -453,6 +546,12 @@ func (p *PeerSet) Run(ctx context.Context, interval time.Duration, onErr func(er
 	}()
 	t := time.NewTicker(interval)
 	defer t.Stop()
+	var ae <-chan time.Time
+	if p.cfg.AntiEntropy > 0 {
+		at := time.NewTicker(p.cfg.AntiEntropy)
+		defer at.Stop()
+		ae = at.C
+	}
 	for {
 		select {
 		case <-ctx.Done():
@@ -460,6 +559,10 @@ func (p *PeerSet) Run(ctx context.Context, interval time.Duration, onErr func(er
 			return
 		case <-t.C:
 			if _, err := p.SyncOnce(ctx); err != nil && onErr != nil {
+				onErr(err)
+			}
+		case <-ae:
+			if _, err := p.AntiEntropyOnce(ctx); err != nil && onErr != nil {
 				onErr(err)
 			}
 		}

@@ -40,7 +40,7 @@ func TestWirePeerSyncOverPipe(t *testing.T) {
 	if len(d.Cells) == 0 {
 		t.Fatal("no delta collected after client upload")
 	}
-	applied, wireBytes, err := pc.SendDelta(local.Epoch(), d.Cells, d.Freq)
+	applied, wireBytes, err := pc.SendDelta(local.Epoch(), d.Cells, d.Freq, nil)
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -245,6 +245,48 @@ func (s *Sharded) MergePeer(class, layer int, update []float32, evidence, sinceE
 	return row.vers[layer], row.evtotal[layer], nil
 }
 
+// AdoptPeer replaces a cell outright with a dominating peer copy — the
+// pull anti-entropy repair path. Unlike MergePeer's recency-weighted
+// blend, adoption is reserved for the case the federation tier has
+// already proven: every origin's evidence height behind the local cell
+// is at or below the peer's, so the peer's entry is what this cell would
+// have computed had it seen the same exchanges. The vector is stored
+// verbatim (a bitwise copy of the peer's published entry, no
+// renormalization — renormalizing an already-unit vector is not bitwise
+// idempotent), and support and the evidence ledger jump to the peer's
+// absolute readings, clamped by the local support cap. Adoption never
+// rewinds: a copy whose ledger reading does not exceed the local one is
+// a stale or duplicate pull response and is ignored (returned version
+// 0), so delayed repairs cannot roll a cell back.
+func (s *Sharded) AdoptPeer(class, layer int, vec []float32, support, evTotal, supportCap float64) (uint64, error) {
+	if err := s.check(class, layer); err != nil {
+		return 0, err
+	}
+	if len(vec) != s.dim {
+		return 0, fmt.Errorf("gtable: AdoptPeer dim %d, want %d", len(vec), s.dim)
+	}
+	if evTotal <= 0 || support <= 0 {
+		return 0, fmt.Errorf("gtable: AdoptPeer readings (support %v, evTotal %v) invalid", support, evTotal)
+	}
+	if vecmath.Norm(vec) == 0 {
+		return 0, fmt.Errorf("gtable: AdoptPeer zero vector at (%d,%d)", class, layer)
+	}
+	row := &s.rows[class]
+	row.mu.Lock()
+	defer row.mu.Unlock()
+	if evTotal <= row.evtotal[layer] {
+		return 0, nil
+	}
+	row.publish(layer, vecmath.Clone(vec))
+	if supportCap > 0 && support > supportCap {
+		support = supportCap
+	}
+	row.support[layer] = support
+	row.evtotal[layer] = evTotal
+	row.vers[layer]++
+	return row.vers[layer], nil
+}
+
 // Support returns the evidence count behind (class, layer).
 func (s *Sharded) Support(class, layer int) float64 {
 	if err := s.check(class, layer); err != nil {

@@ -4,19 +4,24 @@
 // for session establishment, status upload / delta cache allocation, and
 // update upload.
 //
-// Three wire versions are live. Version 3 is version 2 plus deadline
-// propagation: every session frame header carries the client's absolute
-// deadline (microseconds since the epoch, 0 = none), so servers can drop
-// expired work at dequeue instead of computing answers nobody is waiting
-// for. Version 2 is session-oriented: Hello opens a server-side session
-// (the ack carries its id and the negotiated version) and allocation
-// replies are versioned deltas — only changed and evicted cells travel.
-// Version 1 — the original context-free request/response format with
-// fully materialized allocations — remains decodable and served for old
-// clients; each frame names its version in the first byte, so one server
-// loop speaks all three. Hello negotiation picks min(client's offer,
-// server's highest), so a v3 client degrades to v2 framing against an
-// older server and vice versa.
+// Four wire versions are live. Version 4 is the federation self-healing
+// format: peer delta cells carry per-origin evidence heights (so cyclic
+// relays deduplicate recirculated evidence instead of re-merging it),
+// peer frames piggyback epidemic membership gossip, and three new frame
+// types (PeerDigestRequest / PeerDigest / PeerPullResponse) implement
+// pull anti-entropy over compact ledger digests. Version 3 is version 2
+// plus deadline propagation: every session frame header carries the
+// client's absolute deadline (microseconds since the epoch, 0 = none),
+// so servers can drop expired work at dequeue instead of computing
+// answers nobody is waiting for. Version 2 is session-oriented: Hello
+// opens a server-side session (the ack carries its id and the negotiated
+// version) and allocation replies are versioned deltas — only changed
+// and evicted cells travel. Version 1 — the original context-free
+// request/response format with fully materialized allocations — remains
+// decodable and served for old clients; each frame names its version in
+// the first byte, so one server loop speaks all of them. Hello
+// negotiation picks min(client's offer, server's highest), so a v4 peer
+// degrades to v2/v3 framing against an older server and vice versa.
 package protocol
 
 import (
@@ -38,8 +43,11 @@ const (
 	V2 = 2
 	// V3 is V2 plus a per-frame deadline in the session header.
 	V3 = 3
+	// V4 is V3 plus federation self-healing: origin-tagged peer cells,
+	// piggybacked membership gossip and the pull anti-entropy frames.
+	V4 = 4
 	// Version is the highest version this build speaks.
-	Version = V3
+	Version = V4
 )
 
 // Message type tags. Tags 1–7 exist in both versions; TypeDelta and
@@ -77,6 +85,20 @@ const (
 	// marks the sender dead immediately instead of waiting out the
 	// suspect timeout.
 	TypePeerLeave
+	// TypePeerDigestRequest (v4-only) opens a pull anti-entropy exchange:
+	// with empty Wants it carries the requester's per-class ledger row
+	// sums and asks for a PeerDigest of the rows that disagree; with
+	// non-empty Wants it asks for a PeerPullResponse carrying the listed
+	// cells.
+	TypePeerDigestRequest
+	// TypePeerDigest (v4-only) answers a digest request: per-origin
+	// evidence heights for every cell in a row whose sum disagreed.
+	TypePeerDigest
+	// TypePeerPullResponse (v4-only) answers a want-list: the requested
+	// cells' entry vectors, absolute support/ledger readings and full
+	// origin decomposition, so the requester can repair exactly the cells
+	// where this peer's ledger is ahead.
+	TypePeerPullResponse
 )
 
 // Message is a decoded protocol message; exactly one payload field is set,
@@ -100,20 +122,23 @@ type Message struct {
 	// deadline propagation is best-effort across old peers.
 	DeadlineMicros uint64
 
-	Hello        *Hello
-	HelloAck     *core.RegisterInfo
-	Status       *core.StatusReport
-	Allocation   *core.Allocation
-	Delta        *core.Delta
-	Update       *core.UpdateReport
-	PeerHello    *PeerHello
-	PeerDelta    *PeerDelta
-	PeerAck      *PeerAck
-	PeerJoin     *PeerJoin
-	PeerSnapshot *PeerSnapshot
-	PeerLeave    *PeerLeave
-	Redirect     *Redirect
-	Error        string
+	Hello             *Hello
+	HelloAck          *core.RegisterInfo
+	Status            *core.StatusReport
+	Allocation        *core.Allocation
+	Delta             *core.Delta
+	Update            *core.UpdateReport
+	PeerHello         *PeerHello
+	PeerDelta         *PeerDelta
+	PeerAck           *PeerAck
+	PeerJoin          *PeerJoin
+	PeerSnapshot      *PeerSnapshot
+	PeerLeave         *PeerLeave
+	PeerDigestRequest *PeerDigestRequest
+	PeerDigest        *PeerDigest
+	PeerPullResponse  *PeerPullResponse
+	Redirect          *Redirect
+	Error             string
 }
 
 // Redirect is the TypeRedirect payload: where to re-open and why.
@@ -142,6 +167,20 @@ type PeerHello struct {
 	NumClasses, NumLayers int32
 }
 
+// OriginHeight names one origin node's cumulative evidence height behind
+// a cell: the total evidence that origin has contributed to the cell, as
+// far as the sender knows. Heights are absolute (not increments), so
+// receivers apply each origin's contribution at most once — max-merging
+// heights is what turns at-least-once delta delivery into exactly-once
+// evidence accounting, and what makes cyclic relay traffic decay instead
+// of recirculating at constant amplitude.
+type OriginHeight struct {
+	// Origin is the contributing node's federation id.
+	Origin int32
+	// Height is that origin's cumulative evidence for the cell.
+	Height float64
+}
+
 // PeerCell is one global-table cell traveling between federated edge
 // servers: the entry vector plus the evidence count behind it, which
 // weights the receiving server's merge (DESIGN.md evidence-weighted rule).
@@ -150,6 +189,27 @@ type PeerCell struct {
 	// Evidence is the support count behind Vec on the sending server.
 	Evidence float64
 	Vec      []float32
+	// Origins decomposes the sender's evidence ledger for this cell by
+	// contributing origin (v4 links only; empty on v2/v3 links). A v4
+	// receiver ignores Evidence and applies only the per-origin height
+	// advances it has not yet accounted for.
+	Origins []OriginHeight
+}
+
+// MemberUpdate is one epidemic membership rumor piggybacked on a peer
+// exchange: a node's state transition (possibly a TTL'd death
+// certificate) and/or a learned sync address.
+type MemberUpdate struct {
+	// ID is the subject node's federation id.
+	ID int32
+	// State is the subject's membership state (federation.PeerState
+	// numbering: alive, suspect, dead, left).
+	State byte
+	// TTL is the death certificate's remaining propagation budget in
+	// hops; 0 for plain rumors (which never resurrect a dead record).
+	TTL uint32
+	// Addr is the subject's sync address ("" when unknown).
+	Addr string
 }
 
 // PeerDelta carries what changed on the sending node since it last synced
@@ -167,6 +227,9 @@ type PeerDelta struct {
 	// Freq is the per-class Φ increments since the last sync with this
 	// peer (empty when nothing moved).
 	Freq []float64
+	// Gossip piggybacks epidemic membership rumors on the delta (v4 links
+	// only; dropped when encoding for older peers).
+	Gossip []MemberUpdate
 }
 
 // PeerAck answers PeerHello (carrying the accepting node's id and the
@@ -225,6 +288,75 @@ type PeerSnapshot struct {
 type PeerLeave struct {
 	// NodeID is the departing node's federation id.
 	NodeID int32
+}
+
+// DigestCell names one origin's evidence height at one cell — the unit
+// of the anti-entropy digest detail and of want-lists.
+type DigestCell struct {
+	Class, Layer, Origin int32
+	// Height is the named origin's cumulative evidence for the cell on
+	// the digest's sender (the requester's local reading in a want-list).
+	Height float64
+}
+
+// PeerDigestRequest opens (Wants empty) or continues (Wants set) a pull
+// anti-entropy exchange. The opening request ships per-class ledger row
+// sums — a few hundred bytes regardless of table size — so the responder
+// answers with per-origin detail only for the rows that disagree; the
+// follow-up request lists exactly the cells where the responder's
+// heights outran the requester's view.
+type PeerDigestRequest struct {
+	// NodeID is the requesting node's federation id.
+	NodeID int32
+	// Rows is the requester's per-class ledger digest: for each class,
+	// the sum over its layers of every origin's evidence height. Height
+	// arithmetic is integer-valued, so equal knowledge sums to an
+	// identical float64 on both sides.
+	Rows []float64
+	// Wants, when non-empty, turns the request into a pull: the cells
+	// (with the requester's current heights) whose content the requester
+	// asks for. Rows is empty then.
+	Wants []DigestCell
+	// Gossip piggybacks epidemic membership rumors.
+	Gossip []MemberUpdate
+}
+
+// PeerDigest answers the opening PeerDigestRequest: the responder's
+// per-origin heights for every cell of every class row whose sum
+// disagreed with the requester's digest.
+type PeerDigest struct {
+	// NodeID is the responding node's federation id.
+	NodeID int32
+	// Epoch is the responder's completed sync-round count (diagnostic).
+	Epoch uint64
+	Cells []DigestCell
+	// Gossip piggybacks epidemic membership rumors.
+	Gossip []MemberUpdate
+}
+
+// PullCell is one repaired cell in a PeerPullResponse: the responder's
+// current entry vector with its absolute support and ledger readings and
+// the full per-origin decomposition. Absolute readings (rather than
+// increments) let a requester whose cell is fully dominated adopt the
+// responder's state verbatim — bitwise reconvergence — and let every
+// other requester fold in exactly the height advances it lacks.
+type PullCell struct {
+	Class, Layer int
+	// Support and EvTotal are the responder's absolute per-cell support
+	// and evidence-ledger readings.
+	Support, EvTotal float64
+	Vec              []float32
+	Origins          []OriginHeight
+}
+
+// PeerPullResponse answers a want-list PeerDigestRequest with the
+// requested cells (those still ahead of the requester's stated heights).
+type PeerPullResponse struct {
+	// NodeID is the responding node's federation id.
+	NodeID int32
+	Cells  []PullCell
+	// Gossip piggybacks epidemic membership rumors.
+	Gossip []MemberUpdate
 }
 
 // ---- encoding primitives ----
@@ -426,24 +558,31 @@ type Decoder struct {
 	ints arena[int]
 	f64s arena[float64]
 	f32s arena[float32]
+	ohs  arena[OriginHeight]
 
 	dcells []core.DeltaCell
 	ucells []core.UpdateCell
 	pcells []PeerCell
 	evicts []core.CellRef
+	gcells []DigestCell
+	lcells []PullCell
+	mems   []MemberUpdate
 
-	hello     Hello
-	helloAck  core.RegisterInfo
-	status    core.StatusReport
-	delta     core.Delta
-	update    core.UpdateReport
-	peerHello PeerHello
-	peerDelta PeerDelta
-	peerAck   PeerAck
-	peerJoin  PeerJoin
-	peerSnap  PeerSnapshot
-	peerLeave PeerLeave
-	redirect  Redirect
+	hello      Hello
+	helloAck   core.RegisterInfo
+	status     core.StatusReport
+	delta      core.Delta
+	update     core.UpdateReport
+	peerHello  PeerHello
+	peerDelta  PeerDelta
+	peerAck    PeerAck
+	peerJoin   PeerJoin
+	peerSnap   PeerSnapshot
+	peerLeave  PeerLeave
+	peerDigReq PeerDigestRequest
+	peerDigest PeerDigest
+	peerPull   PeerPullResponse
+	redirect   Redirect
 }
 
 // Decode parses a frame of either wire version into the decoder's scratch.
@@ -452,6 +591,7 @@ func (d *Decoder) Decode(frame []byte) (*Message, error) {
 	d.ints.reset()
 	d.f64s.reset()
 	d.f32s.reset()
+	d.ohs.reset()
 	return decodeFrame(&reader{buf: frame, dec: d})
 }
 
@@ -553,6 +693,30 @@ func (r *reader) newPeerLeave() *PeerLeave {
 	return &PeerLeave{}
 }
 
+func (r *reader) newPeerDigestRequest() *PeerDigestRequest {
+	if r.dec != nil {
+		r.dec.peerDigReq = PeerDigestRequest{}
+		return &r.dec.peerDigReq
+	}
+	return &PeerDigestRequest{}
+}
+
+func (r *reader) newPeerDigest() *PeerDigest {
+	if r.dec != nil {
+		r.dec.peerDigest = PeerDigest{}
+		return &r.dec.peerDigest
+	}
+	return &PeerDigest{}
+}
+
+func (r *reader) newPeerPullResponse() *PeerPullResponse {
+	if r.dec != nil {
+		r.dec.peerPull = PeerPullResponse{}
+		return &r.dec.peerPull
+	}
+	return &PeerPullResponse{}
+}
+
 func (r *reader) newRedirect() *Redirect {
 	if r.dec != nil {
 		r.dec.redirect = Redirect{}
@@ -589,6 +753,27 @@ func (r *reader) evictBuf() []core.CellRef {
 	return nil
 }
 
+func (r *reader) digestCellBuf() []DigestCell {
+	if r.dec != nil {
+		return r.dec.gcells[:0]
+	}
+	return nil
+}
+
+func (r *reader) pullCellBuf() []PullCell {
+	if r.dec != nil {
+		return r.dec.lcells[:0]
+	}
+	return nil
+}
+
+func (r *reader) memberBuf() []MemberUpdate {
+	if r.dec != nil {
+		return r.dec.mems[:0]
+	}
+	return nil
+}
+
 // ---- message codec ----
 
 // Encode serializes a message in its Version's wire format (the latest
@@ -609,7 +794,7 @@ func AppendEncode(dst []byte, m *Message) ([]byte, error) {
 	switch m.Version {
 	case V1:
 		err = encodeV1(&w, m)
-	case V2, V3:
+	case V2, V3, V4:
 		err = encodeSession(&w, m, m.Version)
 	case 0:
 		err = encodeSession(&w, m, Version)
@@ -759,8 +944,11 @@ func encodeSession(w *writer, m *Message, version byte) error {
 		d := m.PeerDelta
 		w.i32(d.NodeID)
 		w.u64(d.Epoch)
-		encodePeerCells(w, d.Cells)
+		encodePeerCells(w, d.Cells, version)
 		w.f64s(d.Freq)
+		if version >= V4 {
+			encodeMemberUpdates(w, d.Gossip)
+		}
 	case TypePeerJoin:
 		if m.PeerJoin == nil {
 			return fmt.Errorf("protocol: peer-join payload missing")
@@ -783,13 +971,47 @@ func encodeSession(w *writer, m *Message, version byte) error {
 		w.u8(m.Proto)
 		w.i32(s.NodeID)
 		w.u64(s.Epoch)
-		encodePeerCells(w, s.Cells)
+		encodePeerCells(w, s.Cells, version)
 		w.f64s(s.Freq)
 	case TypePeerLeave:
 		if m.PeerLeave == nil {
 			return fmt.Errorf("protocol: peer-leave payload missing")
 		}
 		w.i32(m.PeerLeave.NodeID)
+	case TypePeerDigestRequest:
+		if m.PeerDigestRequest == nil {
+			return fmt.Errorf("protocol: peer-digest-request payload missing")
+		}
+		q := m.PeerDigestRequest
+		w.i32(q.NodeID)
+		w.f64s(q.Rows)
+		encodeDigestCells(w, q.Wants)
+		encodeMemberUpdates(w, q.Gossip)
+	case TypePeerDigest:
+		if m.PeerDigest == nil {
+			return fmt.Errorf("protocol: peer-digest payload missing")
+		}
+		g := m.PeerDigest
+		w.i32(g.NodeID)
+		w.u64(g.Epoch)
+		encodeDigestCells(w, g.Cells)
+		encodeMemberUpdates(w, g.Gossip)
+	case TypePeerPullResponse:
+		if m.PeerPullResponse == nil {
+			return fmt.Errorf("protocol: peer-pull-response payload missing")
+		}
+		p := m.PeerPullResponse
+		w.i32(p.NodeID)
+		w.u32(uint32(len(p.Cells)))
+		for _, c := range p.Cells {
+			w.i32(int32(c.Class))
+			w.i32(int32(c.Layer))
+			w.f64(c.Support)
+			w.f64(c.EvTotal)
+			w.f32s(c.Vec)
+			encodeOrigins(w, c.Origins)
+		}
+		encodeMemberUpdates(w, p.Gossip)
 	case TypePeerAck:
 		if m.PeerAck == nil {
 			return fmt.Errorf("protocol: peer-ack payload missing")
@@ -814,25 +1036,33 @@ func encodeSession(w *writer, m *Message, version byte) error {
 }
 
 // encodePeerCells writes a peer-cell batch (shared by PeerDelta and
-// PeerSnapshot — a snapshot is delta-shaped on the wire).
-func encodePeerCells(w *writer, cells []PeerCell) {
+// PeerSnapshot — a snapshot is delta-shaped on the wire). v4 frames
+// append each cell's origin decomposition; older framings drop it, so a
+// v2/v3 receiver sees exactly the pre-v4 byte stream.
+func encodePeerCells(w *writer, cells []PeerCell, version byte) {
 	w.u32(uint32(len(cells)))
 	for _, c := range cells {
 		w.i32(int32(c.Class))
 		w.i32(int32(c.Layer))
 		w.f64(c.Evidence)
 		w.f32s(c.Vec)
+		if version >= V4 {
+			encodeOrigins(w, c.Origins)
+		}
 	}
 }
 
 // decodePeerCells reads a peer-cell batch into decoder scratch when
 // available.
-func decodePeerCells(r *reader) []PeerCell {
+func decodePeerCells(r *reader, version byte) []PeerCell {
 	nCells := r.length(20)
 	cells := r.peerCellBuf()
 	for i := 0; i < nCells && r.err == nil; i++ {
 		c := PeerCell{Class: int(r.i32()), Layer: int(r.i32()), Evidence: r.f64()}
 		c.Vec = r.f32s()
+		if version >= V4 {
+			c.Origins = decodeOrigins(r)
+		}
 		cells = append(cells, c)
 	}
 	if r.dec != nil {
@@ -842,6 +1072,93 @@ func decodePeerCells(r *reader) []PeerCell {
 		return nil
 	}
 	return cells
+}
+
+// encodeOrigins writes one cell's origin decomposition.
+func encodeOrigins(w *writer, ohs []OriginHeight) {
+	w.u32(uint32(len(ohs)))
+	for _, oh := range ohs {
+		w.i32(oh.Origin)
+		w.f64(oh.Height)
+	}
+}
+
+// decodeOrigins reads one cell's origin decomposition from the decoder's
+// origin arena when available.
+func decodeOrigins(r *reader) []OriginHeight {
+	n := r.length(12)
+	var out []OriginHeight
+	if r.dec != nil {
+		out = r.dec.ohs.take(n)
+	} else {
+		out = make([]OriginHeight, 0, n)
+	}
+	for i := 0; i < n && r.err == nil; i++ {
+		out = append(out, OriginHeight{Origin: r.i32(), Height: r.f64()})
+	}
+	if n == 0 {
+		return nil
+	}
+	return out
+}
+
+// encodeDigestCells writes a digest-detail (or want-list) batch.
+func encodeDigestCells(w *writer, cells []DigestCell) {
+	w.u32(uint32(len(cells)))
+	for _, c := range cells {
+		w.i32(c.Class)
+		w.i32(c.Layer)
+		w.i32(c.Origin)
+		w.f64(c.Height)
+	}
+}
+
+// decodeDigestCells reads a digest-detail (or want-list) batch into
+// decoder scratch when available.
+func decodeDigestCells(r *reader) []DigestCell {
+	n := r.length(20)
+	cells := r.digestCellBuf()
+	for i := 0; i < n && r.err == nil; i++ {
+		cells = append(cells, DigestCell{Class: r.i32(), Layer: r.i32(), Origin: r.i32(), Height: r.f64()})
+	}
+	if r.dec != nil {
+		r.dec.gcells = cells[:0]
+	}
+	if n == 0 {
+		return nil
+	}
+	return cells
+}
+
+// encodeMemberUpdates writes a piggybacked membership-gossip batch.
+func encodeMemberUpdates(w *writer, mups []MemberUpdate) {
+	w.u32(uint32(len(mups)))
+	for _, mu := range mups {
+		w.i32(mu.ID)
+		w.u8(mu.State)
+		w.u32(mu.TTL)
+		w.str(mu.Addr)
+	}
+}
+
+// decodeMemberUpdates reads a piggybacked membership-gossip batch into
+// decoder scratch when available (addresses are fresh strings the caller
+// may keep).
+func decodeMemberUpdates(r *reader) []MemberUpdate {
+	n := r.length(13)
+	mups := r.memberBuf()
+	for i := 0; i < n && r.err == nil; i++ {
+		mu := MemberUpdate{ID: r.i32(), State: r.u8(), TTL: r.u32()}
+		mu.Addr = r.str()
+		mups = append(mups, mu)
+	}
+	if r.dec != nil {
+		r.dec.mems = mups[:0]
+	}
+	if n == 0 {
+		return nil
+	}
+	return mups
 }
 
 func encodeUpdate(w *writer, up *core.UpdateReport) {
@@ -870,7 +1187,7 @@ func decodeFrame(r *reader) (*Message, error) {
 	switch version {
 	case V1:
 		m, err = decodeV1(r)
-	case V2, V3:
+	case V2, V3, V4:
 		m, err = decodeSession(r, version)
 	default:
 		return nil, fmt.Errorf("protocol: version %d, want %d..%d", version, V1, Version)
@@ -1009,9 +1326,12 @@ func decodeSession(r *reader, version byte) (*Message, error) {
 	case TypePeerDelta:
 		d := r.newPeerDelta()
 		d.NodeID, d.Epoch = r.i32(), r.u64()
-		d.Cells = decodePeerCells(r)
+		d.Cells = decodePeerCells(r, version)
 		if f := r.f64s(); len(f) > 0 {
 			d.Freq = f
+		}
+		if version >= V4 {
+			d.Gossip = decodeMemberUpdates(r)
 		}
 		m.PeerDelta = d
 	case TypePeerJoin:
@@ -1025,7 +1345,7 @@ func decodeSession(r *reader, version byte) (*Message, error) {
 		m.Proto = r.u8()
 		ps := r.newPeerSnapshot()
 		ps.NodeID, ps.Epoch = r.i32(), r.u64()
-		ps.Cells = decodePeerCells(r)
+		ps.Cells = decodePeerCells(r, version)
 		if f := r.f64s(); len(f) > 0 {
 			ps.Freq = f
 		}
@@ -1034,6 +1354,38 @@ func decodeSession(r *reader, version byte) (*Message, error) {
 		pl := r.newPeerLeave()
 		pl.NodeID = r.i32()
 		m.PeerLeave = pl
+	case TypePeerDigestRequest:
+		q := r.newPeerDigestRequest()
+		q.NodeID = r.i32()
+		q.Rows = r.f64s()
+		q.Wants = decodeDigestCells(r)
+		q.Gossip = decodeMemberUpdates(r)
+		m.PeerDigestRequest = q
+	case TypePeerDigest:
+		g := r.newPeerDigest()
+		g.NodeID, g.Epoch = r.i32(), r.u64()
+		g.Cells = decodeDigestCells(r)
+		g.Gossip = decodeMemberUpdates(r)
+		m.PeerDigest = g
+	case TypePeerPullResponse:
+		p := r.newPeerPullResponse()
+		p.NodeID = r.i32()
+		nCells := r.length(36)
+		cells := r.pullCellBuf()
+		for i := 0; i < nCells && r.err == nil; i++ {
+			c := PullCell{Class: int(r.i32()), Layer: int(r.i32()), Support: r.f64(), EvTotal: r.f64()}
+			c.Vec = r.f32s()
+			c.Origins = decodeOrigins(r)
+			cells = append(cells, c)
+		}
+		if r.dec != nil {
+			r.dec.lcells = cells[:0]
+		}
+		if nCells > 0 {
+			p.Cells = cells
+		}
+		p.Gossip = decodeMemberUpdates(r)
+		m.PeerPullResponse = p
 	case TypePeerAck:
 		m.Proto = r.u8()
 		pa := r.newPeerAck()

@@ -320,6 +320,21 @@ type PeerHandler interface {
 	HandlePeerLeave(nodeID int)
 }
 
+// AntiEntropyHandler is the optional extension of PeerHandler that serves
+// the v4 pull anti-entropy frames. Replies must remain valid through the
+// reply encode (the next call on the same handler may reuse scratch).
+// Coordinators without it reject digest frames with an error reply, which
+// the requester treats like an old-version peer.
+type AntiEntropyHandler interface {
+	// HandlePeerDigestRequest compares the requester's per-class row sums
+	// against the local ledger and returns per-origin detail for the rows
+	// that disagree (applying any piggybacked gossip).
+	HandlePeerDigestRequest(q *PeerDigestRequest) (*PeerDigest, error)
+	// HandlePeerPull serves a want-list: the requested cells still ahead
+	// of the requester's stated heights.
+	HandlePeerPull(q *PeerDigestRequest) (*PeerPullResponse, error)
+}
+
 // PeerClient is the dialing side of a federation peer link: it performs
 // the PeerHello handshake over a transport connection and ships deltas.
 // Round trips are serialized on the connection.
@@ -329,12 +344,28 @@ type PeerClient struct {
 	// handshake ack.
 	localID int
 	peerID  int
+	// proto is the wire version negotiated at the handshake (0 before it,
+	// treated as V2 — the lowest peer-plane version). Deltas to a v4 peer
+	// carry origin tags and gossip; older peers get the v2 byte stream.
+	proto byte
 
 	mu sync.Mutex // serializes round trips; guards enc and dec
 	// enc and dec are reused across deltas: a sync round encodes into the
 	// same buffer and decodes acks into the same arenas every time.
 	enc []byte
 	dec Decoder
+	// lastRespBytes is the most recent reply frame's size (guarded by mu;
+	// read by the anti-entropy round trips for byte accounting).
+	lastRespBytes int
+}
+
+// Negotiated returns the wire version agreed at the handshake (V2 before
+// any handshake completed).
+func (pc *PeerClient) Negotiated() byte {
+	if pc.proto == 0 {
+		return V2
+	}
+	return pc.proto
 }
 
 // DialPeer performs the PeerHello handshake for the node localID over an
@@ -361,6 +392,7 @@ func DialPeer(conn transport.Conn, localID, numClasses, numLayers int) (*PeerCli
 	if m.Proto < V2 || m.Proto > Version {
 		return nil, fmt.Errorf("protocol: peer negotiated unsupported version %d", m.Proto)
 	}
+	pc.proto = m.Proto
 	pc.peerID = int(m.PeerAck.NodeID)
 	return pc, nil
 }
@@ -413,6 +445,7 @@ func JoinPeer(conn transport.Conn, localID, numClasses, numLayers int, addr stri
 	if m.Proto < V2 || m.Proto > Version {
 		return nil, nil, 0, fmt.Errorf("protocol: peer negotiated unsupported version %d", m.Proto)
 	}
+	pc.proto = m.Proto
 	pc.peerID = int(m.PeerSnapshot.NodeID)
 	return pc, m.PeerSnapshot, len(resp), nil
 }
@@ -422,7 +455,7 @@ func JoinPeer(conn transport.Conn, localID, numClasses, numLayers int, addr stri
 // the peer's failure detector handles anyway).
 func (pc *PeerClient) Leave() error {
 	m, err := pc.roundTrip(&Message{
-		Version:   V2,
+		Version:   pc.Negotiated(),
 		Type:      TypePeerLeave,
 		PeerLeave: &PeerLeave{NodeID: int32(pc.localID)},
 	})
@@ -460,6 +493,7 @@ func (pc *PeerClient) roundTripSized(req *Message) (*Message, int, error) {
 	if err != nil {
 		return nil, len(frame), err
 	}
+	pc.lastRespBytes = len(resp)
 	m, err := pc.dec.Decode(resp)
 	if err != nil {
 		return nil, len(frame), err
@@ -472,12 +506,14 @@ func (pc *PeerClient) roundTripSized(req *Message) (*Message, int, error) {
 
 // SendDelta ships changed cells and frequency increments to the peer and
 // returns how many cells it applied plus the encoded frame size in bytes
-// (the sync-traffic measurement the federation experiments report).
-func (pc *PeerClient) SendDelta(epoch uint64, cells []PeerCell, freq []float64) (applied, wireBytes int, err error) {
+// (the sync-traffic measurement the federation experiments report). The
+// frame is encoded at the negotiated version, so origin tags and gossip
+// reach v4 peers and are silently dropped for older ones.
+func (pc *PeerClient) SendDelta(epoch uint64, cells []PeerCell, freq []float64, gossip []MemberUpdate) (applied, wireBytes int, err error) {
 	m, wireBytes, err := pc.roundTripSized(&Message{
-		Version:   V2,
+		Version:   pc.Negotiated(),
 		Type:      TypePeerDelta,
-		PeerDelta: &PeerDelta{NodeID: int32(pc.localID), Epoch: epoch, Cells: cells, Freq: freq},
+		PeerDelta: &PeerDelta{NodeID: int32(pc.localID), Epoch: epoch, Cells: cells, Freq: freq, Gossip: gossip},
 	})
 	if err != nil {
 		return 0, wireBytes, err
@@ -486,6 +522,49 @@ func (pc *PeerClient) SendDelta(epoch uint64, cells []PeerCell, freq []float64) 
 		return 0, wireBytes, fmt.Errorf("protocol: unexpected reply type %d to peer delta", m.Type)
 	}
 	return int(m.PeerAck.Applied), wireBytes, nil
+}
+
+// ErrPeerTooOld reports that the link's negotiated version predates pull
+// anti-entropy; callers skip anti-entropy on such links and rely on push.
+var ErrPeerTooOld = errors.New("protocol: peer speaks a pre-v4 version without anti-entropy")
+
+// SendDigestRequest opens a pull anti-entropy exchange: it ships the
+// requester's per-class row sums (plus gossip) and returns the peer's
+// digest detail for disagreeing rows. The reply lives in the link's
+// decoder scratch and is valid only until the next round trip; reqBytes
+// and respBytes are the two frames' encoded sizes.
+func (pc *PeerClient) SendDigestRequest(q *PeerDigestRequest) (digest *PeerDigest, reqBytes, respBytes int, err error) {
+	if pc.Negotiated() < V4 {
+		return nil, 0, 0, ErrPeerTooOld
+	}
+	q.NodeID = int32(pc.localID)
+	m, n, err := pc.roundTripSized(&Message{Version: pc.Negotiated(), Type: TypePeerDigestRequest, PeerDigestRequest: q})
+	if err != nil {
+		return nil, n, 0, err
+	}
+	if m.Type != TypePeerDigest || m.PeerDigest == nil {
+		return nil, n, 0, fmt.Errorf("protocol: unexpected reply type %d to peer digest request", m.Type)
+	}
+	return m.PeerDigest, n, pc.lastRespBytes, nil
+}
+
+// SendPull continues the exchange: it ships the want-list (a digest
+// request with Wants set) and returns the peer's pull response. The reply
+// lives in the link's decoder scratch and is valid only until the next
+// round trip.
+func (pc *PeerClient) SendPull(q *PeerDigestRequest) (pull *PeerPullResponse, reqBytes, respBytes int, err error) {
+	if pc.Negotiated() < V4 {
+		return nil, 0, 0, ErrPeerTooOld
+	}
+	q.NodeID = int32(pc.localID)
+	m, n, err := pc.roundTripSized(&Message{Version: pc.Negotiated(), Type: TypePeerDigestRequest, PeerDigestRequest: q})
+	if err != nil {
+		return nil, n, 0, err
+	}
+	if m.Type != TypePeerPullResponse || m.PeerPullResponse == nil {
+		return nil, n, 0, fmt.Errorf("protocol: unexpected reply type %d to peer pull", m.Type)
+	}
+	return m.PeerPullResponse, n, pc.lastRespBytes, nil
 }
 
 // Close releases the underlying connection.
@@ -506,8 +585,12 @@ type connState struct {
 	v2    map[uint64]core.Session
 	v1    map[int32]*v1Peer
 	// peerHello records that the connection completed a federation peer
-	// handshake (gates TypePeerDelta).
+	// handshake (gates TypePeerDelta); peerProto is the version negotiated
+	// by that handshake (min of the peer's offer and this build), which
+	// replies on this connection are framed at and which gates the v4
+	// anti-entropy frames.
 	peerHello bool
+	peerProto byte
 	// enc and dec are the connection's pooled codec scratch: requests
 	// decode into reused arenas (handlers consume them before the next
 	// frame) and replies encode into one reused buffer (the transport
@@ -713,7 +796,8 @@ func (cs *connState) handleSession(ctx context.Context, m *Message, frameLen int
 			return errorReply(v, m.ClientID, 0, "%v", err)
 		}
 		cs.peerHello = true
-		return &Message{Version: v, Type: TypePeerAck, Proto: V2, PeerAck: &PeerAck{NodeID: int32(localID)}}
+		cs.peerProto = negotiatePeer(m.Proto)
+		return &Message{Version: v, Type: TypePeerAck, Proto: cs.peerProto, PeerAck: &PeerAck{NodeID: int32(localID)}}
 	case TypePeerDelta:
 		ph, ok := cs.coord.(PeerHandler)
 		if !ok {
@@ -729,7 +813,7 @@ func (cs *connState) handleSession(ctx context.Context, m *Message, frameLen int
 		if br, ok := cs.coord.(interface{ NotePeerRecvBytes(int) }); ok {
 			br.NotePeerRecvBytes(frameLen)
 		}
-		return &Message{Version: v, Type: TypePeerAck, Proto: V2, PeerAck: &PeerAck{Applied: int32(applied)}}
+		return &Message{Version: v, Type: TypePeerAck, Proto: cs.peerProto, PeerAck: &PeerAck{Applied: int32(applied)}}
 	case TypePeerJoin:
 		ph, ok := cs.coord.(PeerHandler)
 		if !ok {
@@ -745,17 +829,58 @@ func (cs *connState) handleSession(ctx context.Context, m *Message, frameLen int
 		// A join doubles as the handshake: the joiner may push deltas on
 		// this connection next.
 		cs.peerHello = true
-		return &Message{Version: v, Type: TypePeerSnapshot, Proto: V2, PeerSnapshot: snap}
+		cs.peerProto = negotiatePeer(m.Proto)
+		return &Message{Version: v, Type: TypePeerSnapshot, Proto: cs.peerProto, PeerSnapshot: snap}
 	case TypePeerLeave:
 		ph, ok := cs.coord.(PeerHandler)
 		if !ok {
 			return errorReply(v, m.ClientID, 0, "peer sync not supported by this endpoint")
 		}
 		ph.HandlePeerLeave(int(m.PeerLeave.NodeID))
-		return &Message{Version: v, Type: TypePeerAck, Proto: V2, PeerAck: &PeerAck{}}
+		proto := cs.peerProto
+		if proto == 0 {
+			proto = V2
+		}
+		return &Message{Version: v, Type: TypePeerAck, Proto: proto, PeerAck: &PeerAck{}}
+	case TypePeerDigestRequest:
+		ae, ok := cs.coord.(AntiEntropyHandler)
+		if !ok {
+			return errorReply(v, m.ClientID, 0, "peer anti-entropy not supported by this endpoint")
+		}
+		if !cs.peerHello {
+			return errorReply(v, m.ClientID, 0, "peer digest before peer hello")
+		}
+		if cs.peerProto < V4 {
+			return errorReply(v, m.ClientID, 0, "peer digest on a v%d link; anti-entropy requires v%d", cs.peerProto, V4)
+		}
+		if len(m.PeerDigestRequest.Wants) > 0 {
+			pull, err := ae.HandlePeerPull(m.PeerDigestRequest)
+			if err != nil {
+				return errorReply(v, m.ClientID, 0, "%v", err)
+			}
+			return &Message{Version: v, Type: TypePeerPullResponse, PeerPullResponse: pull}
+		}
+		dig, err := ae.HandlePeerDigestRequest(m.PeerDigestRequest)
+		if err != nil {
+			return errorReply(v, m.ClientID, 0, "%v", err)
+		}
+		return &Message{Version: v, Type: TypePeerDigest, PeerDigest: dig}
 	default:
 		return errorReply(v, m.ClientID, m.SessionID, "unexpected request type %d", m.Type)
 	}
+}
+
+// negotiatePeer picks the peer-plane wire version: the lower of the
+// peer's offer and this build's highest (never below V2 — pre-v2 offers
+// are rejected before reaching here).
+func negotiatePeer(offer byte) byte {
+	if offer > Version {
+		return Version
+	}
+	if offer < V2 {
+		return V2
+	}
+	return offer
 }
 
 // handleV1 serves legacy clients: sessions are keyed by client id, and

@@ -46,6 +46,19 @@ var (
 	FedExchangeBytes = NewHistogram("coca_federation_sync_exchange_bytes",
 		"wire bytes per committed outbound peer delta exchange", BytesBuckets)
 
+	// --- federation: pull anti-entropy + epidemic membership ---
+
+	FedAntiEntropyRounds = NewCounter("coca_federation_antientropy_rounds_total",
+		"completed pull anti-entropy rounds initiated by this node")
+	FedDigestBytes = NewCounter("coca_federation_antientropy_digest_bytes_total",
+		"anti-entropy digest negotiation traffic in wire bytes (request, digest and want frames)")
+	FedPullBytes = NewCounter("coca_federation_antientropy_pull_bytes_total",
+		"anti-entropy pull repair traffic in wire bytes (pull response frames)")
+	FedRepairedCells = NewCounter("coca_federation_antientropy_repaired_cells_total",
+		"cells healed by pull anti-entropy (adopted or incrementally merged)")
+	FedTombstones = NewGauge("coca_federation_tombstones",
+		"death certificates currently circulating in the gossip event ring")
+
 	// --- routing: front-door admission + breakers ---
 
 	RoutingAdmissions = NewCounter("coca_routing_admissions_total", "front-door admissions granted")

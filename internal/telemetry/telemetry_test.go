@@ -136,6 +136,10 @@ func TestRecordPathsAllocFree(t *testing.T) {
 		{"counter-add", func() { c.Add(3) }},
 		{"gauge-set", func() { g.Set(5) }},
 		{"gauge-add", func() { g.Add(-1) }},
+		// Inc/Dec are the tombstone gauge's record paths on the
+		// anti-entropy plane; pin them independently of Add.
+		{"gauge-inc", func() { g.Inc() }},
+		{"gauge-dec", func() { g.Dec() }},
 		{"histogram-observe", func() { h.Observe(0.0042) }},
 		{"countervec-inc", func() { cv.Inc(7) }},
 		{"gaugevec-move", func() { gv.Move(0, 2) }},

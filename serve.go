@@ -101,10 +101,11 @@ func Serve(ctx context.Context, addr string, opts Options) (*Server, error) {
 		peerCtx, cancelPeers := context.WithCancel(context.Background())
 		s.cancelPeers = cancelPeers
 		s.peers = federation.NewPeerSetWith(node, fed.Peers, federation.PeerSetConfig{
-			Join:     fed.Join,
-			SelfAddr: lis.Addr(),
-			Fanout:   fed.Gossip,
-			Seed:     opts.Seed,
+			Join:        fed.Join,
+			SelfAddr:    lis.Addr(),
+			Fanout:      fed.Gossip,
+			Seed:        opts.Seed,
+			AntiEntropy: fed.AntiEntropyInterval,
 		})
 		s.wg.Add(1)
 		go func() {
